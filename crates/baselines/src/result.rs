@@ -1,0 +1,49 @@
+//! Shared baseline result type.
+
+/// What a baseline compiler reports for one program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineResult {
+    /// Remote communications issued (EPR pairs under the paper's metric).
+    pub total_comms: usize,
+    /// Program latency in CX units under the Table-1 model.
+    pub makespan: f64,
+    /// Remote CX gates in the unrolled program.
+    pub total_rem_cx: usize,
+    /// Qubit relocations performed (GP-TP only; 0 for the sparse baseline).
+    pub relocations: usize,
+}
+
+impl BaselineResult {
+    /// Remote CXs carried per communication — below 2 for GP-TP, exactly 1
+    /// for the sparse baseline (paper §5.3).
+    pub fn rem_cx_per_comm(&self) -> f64 {
+        if self.total_comms == 0 {
+            0.0
+        } else {
+            self.total_rem_cx as f64 / self.total_comms as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_comm_ratio() {
+        let r = BaselineResult {
+            total_comms: 4,
+            makespan: 10.0,
+            total_rem_cx: 4,
+            relocations: 0,
+        };
+        assert_eq!(r.rem_cx_per_comm(), 1.0);
+        let empty = BaselineResult {
+            total_comms: 0,
+            makespan: 0.0,
+            total_rem_cx: 0,
+            relocations: 0,
+        };
+        assert_eq!(empty.rem_cx_per_comm(), 0.0);
+    }
+}

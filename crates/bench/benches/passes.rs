@@ -1,0 +1,147 @@
+//! Criterion benchmarks of the compiler passes and end-to-end pipelines on
+//! representative workloads (one per paper table/figure family; the
+//! table/figure *values* are produced by the `src/bin` harnesses, these
+//! benches track compile-time performance of the implementation itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autocomm::{aggregate, assign, schedule, AggregateOptions, AutoComm, ScheduleOptions};
+use dqc_baselines::{compile_ferrari, compile_gp_tp};
+use dqc_bench::oee_mapping;
+use dqc_circuit::unroll_circuit;
+use dqc_hardware::HardwareSpec;
+use dqc_partition::{oee_partition, InteractionGraph};
+use dqc_workloads::{generate, BenchConfig, Workload};
+
+fn bench_passes(c: &mut Criterion) {
+    let config = BenchConfig::new(Workload::Qft, 40, 4);
+    let circuit = generate(&config);
+    let unrolled = unroll_circuit(&circuit).unwrap();
+    let partition = oee_mapping(&circuit, config.num_nodes);
+    let hw = HardwareSpec::for_partition(&partition);
+
+    c.bench_function("aggregate/qft-40-4", |b| {
+        b.iter(|| {
+            black_box(aggregate(
+                black_box(&unrolled),
+                &partition,
+                AggregateOptions::default(),
+            ))
+        })
+    });
+
+    let aggregated = aggregate(&unrolled, &partition, AggregateOptions::default());
+    c.bench_function("assign/qft-40-4", |b| {
+        b.iter(|| black_box(assign(black_box(&aggregated))))
+    });
+
+    let assigned = assign(&aggregated);
+    c.bench_function("schedule/qft-40-4", |b| {
+        b.iter(|| {
+            black_box(schedule(
+                black_box(&assigned),
+                &partition,
+                &hw,
+                ScheduleOptions::default(),
+            ))
+        })
+    });
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let circuit = generate(&BenchConfig::new(Workload::Qaoa, 60, 6));
+    let unrolled = unroll_circuit(&circuit).unwrap();
+    let graph = InteractionGraph::from_circuit(&unrolled);
+    c.bench_function("oee/qaoa-60-6", |b| {
+        b.iter(|| black_box(oee_partition(black_box(&graph), 6).unwrap()))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end-to-end");
+    for workload in [Workload::Qft, Workload::Bv, Workload::Qaoa, Workload::Rca] {
+        let config = BenchConfig::new(workload, 20, 2);
+        let circuit = generate(&config);
+        let partition = oee_mapping(&circuit, config.num_nodes);
+        let hw = HardwareSpec::for_partition(&partition);
+
+        group.bench_with_input(
+            BenchmarkId::new("autocomm", config.label()),
+            &(&circuit, &partition),
+            |b, (circuit, partition)| {
+                b.iter(|| black_box(AutoComm::new().compile(circuit, partition).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ferrari-baseline", config.label()),
+            &(&circuit, &partition),
+            |b, (circuit, partition)| {
+                b.iter(|| black_box(compile_ferrari(circuit, partition, &hw).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gp-tp", config.label()),
+            &(&circuit, &partition),
+            |b, (circuit, partition)| {
+                b.iter(|| black_box(compile_gp_tp(circuit, partition, &hw).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Design-choice ablations called out in DESIGN.md: the deferred-item
+/// window that bounds Algorithm-1's lookahead, and the symmetric-gate
+/// orientation pre-pass. Criterion tracks their compile-time cost; the
+/// quality effect is asserted in `tests/edge_cases.rs`.
+fn bench_design_choices(c: &mut Criterion) {
+    let config = BenchConfig::new(Workload::Qaoa, 40, 4);
+    let circuit = generate(&config);
+    let unrolled = unroll_circuit(&circuit).unwrap();
+    let partition = oee_mapping(&circuit, config.num_nodes);
+
+    let mut group = c.benchmark_group("defer-window");
+    for limit in [0usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            b.iter(|| {
+                black_box(aggregate(
+                    black_box(&unrolled),
+                    &partition,
+                    AggregateOptions { defer_limit: limit },
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("orientation");
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            black_box(autocomm::orient_symmetric_gates(
+                black_box(&circuit),
+                &partition,
+            ))
+        })
+    });
+    group.bench_function("full-pipeline-on", |b| {
+        b.iter(|| black_box(AutoComm::new().compile(&circuit, &partition).unwrap()))
+    });
+    group.bench_function("full-pipeline-off", |b| {
+        let compiler = AutoComm::with_options(autocomm::AutoCommOptions {
+            orient_symmetric: false,
+            ..autocomm::AutoCommOptions::default()
+        });
+        b.iter(|| black_box(compiler.compile(&circuit, &partition).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_passes,
+    bench_partitioner,
+    bench_end_to_end,
+    bench_design_choices
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+use dqc_bench::run_config;
+use dqc_workloads::{BenchConfig, Workload};
+use std::time::Instant;
+
+fn main() {
+    for (w, q, n) in [
+        (Workload::Qft, 100, 10),
+        (Workload::Qaoa, 100, 10),
+        (Workload::Uccsd, 16, 8),
+        (Workload::Qft, 300, 30),
+    ] {
+        let t = Instant::now();
+        let row = run_config(&BenchConfig::new(w, q, n));
+        println!(
+            "{}: {:?} improv {:.2} lat {:.2} totcomm {} tp {}",
+            row.config.label(),
+            t.elapsed(),
+            row.improv_factor(),
+            row.lat_dec_factor(),
+            row.metrics.total_comms,
+            row.metrics.tp_comms,
+        );
+    }
+}

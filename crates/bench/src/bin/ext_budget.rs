@@ -1,0 +1,58 @@
+//! Future-work experiment (paper §6, “extending to general collective
+//! communication”): with more than two communication qubits per node, more
+//! bursts overlap. Sweeps the per-node communication-qubit budget and
+//! reports latency and estimated fidelity for AutoComm-compiled programs.
+
+use autocomm::AutoComm;
+use dqc_bench::{oee_mapping, print_table, quick_requested};
+use dqc_circuit::{unroll_circuit, CircuitStats};
+use dqc_hardware::{FidelityModel, HardwareSpec};
+use dqc_workloads::{generate, BenchConfig, Workload};
+
+fn main() {
+    let (q, n) = if quick_requested() { (30, 3) } else { (100, 10) };
+    let budgets = [2usize, 3, 4, 6, 8, 12];
+    let model = FidelityModel::default();
+
+    let mut rows = Vec::new();
+    for workload in [Workload::Qft, Workload::Qaoa, Workload::Rca] {
+        let config = BenchConfig::new(workload, q, n);
+        let circuit = generate(&config);
+        let partition = oee_mapping(&circuit, n);
+        let stats =
+            CircuitStats::of(&unroll_circuit(&circuit).expect("unrolls"), Some(&partition));
+        let mut cells = vec![config.label()];
+        let mut base_latency = None;
+        for &budget in &budgets {
+            let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(budget);
+            let r = AutoComm::new()
+                .compile_on(&circuit, &partition, &hw)
+                .expect("compiles");
+            let base = *base_latency.get_or_insert(r.schedule.makespan);
+            let inputs = FidelityModel::inputs_for(
+                stats.num_1q,
+                stats.num_2q,
+                r.schedule.epr_pairs,
+                circuit.num_qubits(),
+                r.schedule.makespan,
+                hw.latency(),
+            );
+            cells.push(format!(
+                "{:.2}x/{:.2}",
+                base / r.schedule.makespan,
+                model.estimate(&inputs)
+            ));
+        }
+        rows.push(cells);
+    }
+    let header: Vec<String> = std::iter::once("name".to_string())
+        .chain(budgets.iter().map(|b| format!("{b} cq")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        "§6 extension: speedup vs 2-comm-qubit baseline / est. fidelity, per budget",
+        &header_refs,
+        &rows,
+    );
+    println!("\nEach cell: (latency at 2 comm qubits ÷ latency at this budget) / fidelity.");
+}

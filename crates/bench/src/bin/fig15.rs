@@ -1,0 +1,52 @@
+//! Regenerates paper Fig. 15: Pr[one communication carries ≥ X REM-CXs]
+//! per workload, plus (with `--inverse`) the §3.2 inverse-burst analysis.
+
+use autocomm::{burst_distribution, inverse_burst_distribution};
+use dqc_bench::{configs, oee_mapping, print_table, quick_requested, run_config};
+use dqc_circuit::unroll_circuit;
+use dqc_workloads::generate;
+
+fn main() {
+    let quick = quick_requested();
+    let inverse = std::env::args().any(|a| a == "--inverse");
+    let max_x = 20usize;
+
+    let mut rows = Vec::new();
+    for config in configs(quick) {
+        let row = run_config(&config);
+        let dist = burst_distribution(&row.metrics, max_x);
+        let mut cells = vec![config.label()];
+        for x in [1usize, 2, 4, 6, 8, 10, 15, 20] {
+            cells.push(format!("{:.2}", dist[x - 1]));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Fig. 15: Pr[one comm carries >= X REM-CXs]",
+        &["name", "X=1", "X=2", "X=4", "X=6", "X=8", "X=10", "X=15", "X=20"],
+        &rows,
+    );
+
+    if inverse {
+        let mut rows = Vec::new();
+        for config in configs(quick) {
+            if config.num_qubits > 100 {
+                continue; // the analysis is illustrative; keep it fast
+            }
+            let circuit = generate(&config);
+            let unrolled = unroll_circuit(&circuit).expect("benchmarks unroll");
+            let partition = oee_mapping(&circuit, config.num_nodes);
+            let dist = inverse_burst_distribution(&unrolled, &partition, 8);
+            let mut cells = vec![config.label()];
+            for x in [2usize, 4, 6, 8] {
+                cells.push(format!("{:.2}", dist[x - 1]));
+            }
+            rows.push(cells);
+        }
+        print_table(
+            "§3.2 inverse-burst distribution P(x)",
+            &["name", "P(2)", "P(4)", "P(6)", "P(8)"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates paper Fig. 16: AutoComm vs the GP-TP compiler, averaged per
+//! benchmark family.
+
+use std::collections::BTreeMap;
+
+use dqc_bench::{configs, paper, print_table, quick_requested, run_config};
+
+fn main() {
+    let quick = quick_requested();
+    let mut per_family: BTreeMap<&'static str, (f64, f64, usize)> = BTreeMap::new();
+    for config in configs(quick) {
+        let row = run_config(&config);
+        let entry = per_family.entry(config.workload.name()).or_insert((0.0, 0.0, 0));
+        entry.0 += row.gp_improv_factor();
+        entry.1 += row.gp_lat_dec_factor();
+        entry.2 += 1;
+    }
+    let mut rows = Vec::new();
+    for (name, paper_improv, paper_lat) in paper::FIG16 {
+        if let Some((i, l, n)) = per_family.get(name) {
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.2}", i / *n as f64),
+                format!("{:.2}", l / *n as f64),
+                format!("{paper_improv:.1}"),
+                format!("{paper_lat:.1}"),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 16: relative performance vs GP-TP (averaged per family)",
+        &["family", "improv", "LAT-DEC", "paper improv", "paper LAT-DEC"],
+        &rows,
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates paper Fig. 17(a): the aggregation ablation — communication
+//! cost without commutation rules divided by the full pass, on QFT and BV.
+
+use autocomm::AutoComm;
+use dqc_baselines::ablation::compile_no_commute;
+use dqc_bench::{oee_mapping, paper, print_table, quick_requested};
+use dqc_workloads::{generate, BenchConfig, Workload};
+
+fn main() {
+    let sizes: Vec<(usize, usize)> = if quick_requested() {
+        vec![(20, 2), (30, 3), (40, 4)]
+    } else {
+        vec![(100, 10), (200, 20), (300, 30)]
+    };
+    let mut rows = Vec::new();
+    for workload in [Workload::Qft, Workload::Bv] {
+        for (i, &(q, n)) in sizes.iter().enumerate() {
+            let config = BenchConfig::new(workload, q, n);
+            let circuit = generate(&config);
+            let partition = oee_mapping(&circuit, n);
+            let full = AutoComm::new().compile(&circuit, &partition).unwrap();
+            let ablated = compile_no_commute(&circuit, &partition).unwrap();
+            let ratio =
+                ablated.metrics.total_comms as f64 / full.metrics.total_comms.max(1) as f64;
+            let published = paper::FIG17A
+                .iter()
+                .find(|(w, _)| *w == workload.name())
+                .map(|(_, v)| v[i.min(2)]);
+            rows.push(vec![
+                config.label(),
+                ablated.metrics.total_comms.to_string(),
+                full.metrics.total_comms.to_string(),
+                format!("{ratio:.2}"),
+                published.map_or("-".into(), |p| format!("{p:.2}")),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 17(a): aggregation ablation (No Commute / Commute comms)",
+        &["name", "no-commute", "full", "ratio", "paper ratio"],
+        &rows,
+    );
+}

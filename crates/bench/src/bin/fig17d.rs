@@ -1,0 +1,32 @@
+//! Regenerates paper Fig. 17(d): improv. factor vs #qubit for MCTR at
+//! 10 / 20 / 50 nodes.
+
+use dqc_bench::{print_table, quick_requested, run_config};
+use dqc_workloads::{BenchConfig, Workload};
+
+fn main() {
+    let quick = quick_requested();
+    let qubit_range: Vec<usize> =
+        if quick { vec![100, 200] } else { vec![100, 200, 300, 400, 500, 600] };
+    let node_counts: Vec<usize> = if quick { vec![10, 20] } else { vec![10, 20, 50] };
+
+    let mut rows = Vec::new();
+    for &q in &qubit_range {
+        let mut cells = vec![q.to_string()];
+        for &n in &node_counts {
+            if q % n != 0 || q / n < 2 {
+                cells.push("-".into());
+                continue;
+            }
+            let row = run_config(&BenchConfig::new(Workload::Mctr, q, n));
+            cells.push(format!("{:.2}", row.improv_factor()));
+        }
+        rows.push(cells);
+    }
+    let header: Vec<String> = std::iter::once("#qubit".to_string())
+        .chain(node_counts.iter().map(|n| format!("{n} nodes")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table("Fig. 17(d): improv. factor vs #qubit (MCTR)", &header_refs, &rows);
+    println!("\nPaper trend: factors converge as #qubit/#node grows.");
+}

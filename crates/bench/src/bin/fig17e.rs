@@ -1,0 +1,31 @@
+//! Regenerates paper Fig. 17(e): improv. factor vs #node for MCTR at
+//! 100 / 200 / 300 qubits.
+
+use dqc_bench::{print_table, quick_requested, run_config};
+use dqc_workloads::{BenchConfig, Workload};
+
+fn main() {
+    let quick = quick_requested();
+    let node_range: Vec<usize> = if quick { vec![2, 10] } else { vec![2, 10, 20, 50, 100] };
+    let qubit_counts: Vec<usize> = if quick { vec![100] } else { vec![100, 200, 300] };
+
+    let mut rows = Vec::new();
+    for &n in &node_range {
+        let mut cells = vec![n.to_string()];
+        for &q in &qubit_counts {
+            if q % n != 0 || q / n < 2 {
+                cells.push("-".into());
+                continue;
+            }
+            let row = run_config(&BenchConfig::new(Workload::Mctr, q, n));
+            cells.push(format!("{:.2}", row.improv_factor()));
+        }
+        rows.push(cells);
+    }
+    let header: Vec<String> = std::iter::once("#node".to_string())
+        .chain(qubit_counts.iter().map(|q| format!("{q} qubits")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table("Fig. 17(e): improv. factor vs #node (MCTR)", &header_refs, &rows);
+    println!("\nPaper trend: performance degrades when #qubit/#node gets small.");
+}

@@ -1,0 +1,48 @@
+//! Regenerates paper Table 3: AutoComm results and factors over the sparse
+//! Cat-per-CX baseline, side by side with the published numbers.
+
+use dqc_bench::{configs, paper, print_table, quick_requested, run_config};
+
+fn main() {
+    let quick = quick_requested();
+    let mut rows = Vec::new();
+    let mut improv_sum = 0.0;
+    let mut lat_sum = 0.0;
+    let mut n = 0.0;
+    for config in configs(quick) {
+        let row = run_config(&config);
+        let published = paper::table3_row(&config.label());
+        improv_sum += row.improv_factor();
+        lat_sum += row.lat_dec_factor();
+        n += 1.0;
+        rows.push(vec![
+            config.label(),
+            row.metrics.total_comms.to_string(),
+            row.metrics.tp_comms.to_string(),
+            format!("{:.1}", row.metrics.peak_rem_cx),
+            format!("{:.2}", row.improv_factor()),
+            format!("{:.2}", row.lat_dec_factor()),
+            published.map_or("-".into(), |p| format!("{:.2}", p.improv)),
+            published.map_or("-".into(), |p| format!("{:.2}", p.lat_dec)),
+        ]);
+    }
+    print_table(
+        "Table 3: AutoComm vs sparse baseline",
+        &[
+            "name",
+            "TotComm",
+            "TP-Comm",
+            "Peak#REMCX",
+            "improv",
+            "LAT-DEC",
+            "paper improv",
+            "paper LAT-DEC",
+        ],
+        &rows,
+    );
+    println!(
+        "\nAverages: improv {:.2}x (paper 4.1x), LAT-DEC {:.2}x (paper 3.5x)",
+        improv_sum / n,
+        lat_sum / n
+    );
+}

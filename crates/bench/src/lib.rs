@@ -1,0 +1,193 @@
+//! Experiment harness regenerating the AutoComm paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table2` | Table 2 — benchmark characteristics |
+//! | `table3` | Table 3 — AutoComm vs sparse baseline |
+//! | `fig15` | Fig. 15 — burst-communication distribution |
+//! | `fig16` | Fig. 16 — comparison against GP-TP |
+//! | `fig17a` | Fig. 17(a) — aggregation ablation |
+//! | `fig17b` | Fig. 17(b) — assignment ablation |
+//! | `fig17c` | Fig. 17(c) — scheduling ablation |
+//! | `fig17d` | Fig. 17(d) — sensitivity to #qubit |
+//! | `fig17e` | Fig. 17(e) — sensitivity to #node |
+//!
+//! Every binary accepts `--quick` to run scaled-down configurations (same
+//! code paths, minutes → seconds). The library exposes the plumbing:
+//! [`run_config`] compiles one Table-2 row with AutoComm and both
+//! baselines, and [`paper`] holds the published numbers for side-by-side
+//! reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+
+use autocomm::{AutoComm, CommMetrics, CompileResult, ScheduleSummary};
+use dqc_baselines::{compile_ferrari, compile_gp_tp, BaselineResult};
+use dqc_circuit::{unroll_circuit, Circuit, CircuitStats, Partition};
+use dqc_hardware::HardwareSpec;
+use dqc_partition::{oee_partition, InteractionGraph};
+use dqc_workloads::{generate, BenchConfig};
+
+/// Everything measured for one benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentRow {
+    /// The configuration.
+    pub config: BenchConfig,
+    /// Unrolled-circuit statistics under the OEE mapping (Table 2 columns).
+    pub stats: CircuitStats,
+    /// AutoComm metrics (Table 3 columns).
+    pub metrics: CommMetrics,
+    /// AutoComm schedule.
+    pub schedule: ScheduleSummary,
+    /// Sparse Cat-per-CX baseline.
+    pub baseline: BaselineResult,
+    /// GP-TP baseline.
+    pub gp_tp: BaselineResult,
+}
+
+impl ExperimentRow {
+    /// Paper “improv. factor”: baseline comms / AutoComm comms.
+    pub fn improv_factor(&self) -> f64 {
+        ratio(self.baseline.total_comms as f64, self.metrics.total_comms as f64)
+    }
+
+    /// Paper “LAT-DEC factor”: baseline latency / AutoComm latency.
+    pub fn lat_dec_factor(&self) -> f64 {
+        ratio(self.baseline.makespan, self.schedule.makespan)
+    }
+
+    /// Fig. 16 communication ratio vs GP-TP.
+    pub fn gp_improv_factor(&self) -> f64 {
+        ratio(self.gp_tp.total_comms as f64, self.metrics.total_comms as f64)
+    }
+
+    /// Fig. 16 latency ratio vs GP-TP.
+    pub fn gp_lat_dec_factor(&self) -> f64 {
+        ratio(self.gp_tp.makespan, self.schedule.makespan)
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// Builds the OEE qubit → node mapping for a circuit (the paper's “Static
+/// Overall Extreme Exchange” front-end, applied to the unrolled circuit's
+/// interaction graph).
+///
+/// # Panics
+///
+/// Panics on impossible node counts or unrollable circuits.
+pub fn oee_mapping(circuit: &Circuit, num_nodes: usize) -> Partition {
+    let unrolled = unroll_circuit(circuit).expect("benchmark circuits unroll");
+    let graph = InteractionGraph::from_circuit(&unrolled);
+    oee_partition(&graph, num_nodes).expect("valid node count")
+}
+
+/// Generates, maps, and compiles one configuration with AutoComm and both
+/// baselines.
+///
+/// # Panics
+///
+/// Panics if compilation fails (benchmark circuits are always valid).
+pub fn run_config(config: &BenchConfig) -> ExperimentRow {
+    let circuit = generate(config);
+    let partition = oee_mapping(&circuit, config.num_nodes);
+    let hw = HardwareSpec::for_partition(&partition);
+    let result: CompileResult =
+        AutoComm::new().compile(&circuit, &partition).expect("pipeline succeeds");
+    let stats = CircuitStats::of(&result.unrolled, Some(&partition));
+    let baseline = compile_ferrari(&circuit, &partition, &hw).expect("baseline succeeds");
+    let gp_tp = compile_gp_tp(&circuit, &partition, &hw).expect("gp-tp succeeds");
+    ExperimentRow {
+        config: *config,
+        stats,
+        metrics: result.metrics,
+        schedule: result.schedule,
+        baseline,
+        gp_tp,
+    }
+}
+
+/// The benchmark list, scaled down when `quick` is set (same workloads and
+/// node ratios, smaller registers) so every figure can be smoke-tested.
+pub fn configs(quick: bool) -> Vec<BenchConfig> {
+    if !quick {
+        return dqc_workloads::table2_configs();
+    }
+    use dqc_workloads::Workload::*;
+    let mut rows = Vec::new();
+    for w in [Mctr, Rca, Qft, Bv, Qaoa] {
+        rows.push(BenchConfig::new(w, 20, 2));
+        rows.push(BenchConfig::new(w, 30, 3));
+    }
+    rows.push(BenchConfig::new(Uccsd, 8, 4));
+    rows
+}
+
+/// Returns true when the process arguments request quick mode.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Markdown-ish table printer: header + aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_workloads::Workload;
+
+    #[test]
+    fn quick_configs_cover_all_workloads() {
+        let rows = configs(true);
+        for w in Workload::all() {
+            assert!(rows.iter().any(|r| r.workload == w), "{w} missing");
+        }
+    }
+
+    #[test]
+    fn run_config_produces_consistent_row() {
+        let row = run_config(&BenchConfig::new(Workload::Qft, 16, 2));
+        assert_eq!(row.stats.num_remote_2q, row.metrics.total_rem_cx);
+        assert_eq!(row.baseline.total_comms, row.stats.num_remote_2q);
+        assert!(row.improv_factor() >= 1.0);
+        assert!(row.lat_dec_factor() > 0.0);
+    }
+
+    #[test]
+    fn ratio_guards_division_by_zero() {
+        assert_eq!(super::ratio(5.0, 0.0), 1.0);
+        assert_eq!(super::ratio(6.0, 2.0), 3.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-qubit basis-diagonality classification used for symbolic commutation.
+//!
+//! The AutoComm paper's Figure 7 lists X-rotation-centered rewrite rules
+//! (e.g. `X P = P† X`, `H RX = RZ H`, RX commutes through a CX target, RZ
+//! through a CX control). All *order-preserving* instances of those rules are
+//! captured uniformly by classifying how a gate acts on each of its qubit
+//! operands:
+//!
+//! * [`AxisBehavior::ZDiag`]: the gate can be written as
+//!   `Σ_b |b⟩⟨b| ⊗ U_b` on that qubit (diagonal in the computational basis);
+//! * [`AxisBehavior::XDiag`]: likewise in the |±⟩ basis;
+//! * [`AxisBehavior::Opaque`]: neither.
+//!
+//! Two gates sharing qubits commute whenever, on every shared qubit, their
+//! behaviors match in some diagonal basis (both `ZDiag` or both `XDiag`) —
+//! each gate then decomposes over the same projector family and the
+//! coefficient operators act on disjoint qubits. The test is *sound*
+//! (never claims commutation falsely) but deliberately incomplete, which is
+//! exactly what a compiler needs. `dqc-sim` property-tests soundness against
+//! dense unitaries.
+
+use crate::{Gate, GateKind, QubitId};
+
+/// How a gate acts on one specific operand qubit, for commutation purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AxisBehavior {
+    /// Diagonal in the computational (Z) basis on this qubit.
+    ZDiag,
+    /// Diagonal in the Hadamard (X) basis on this qubit.
+    XDiag,
+    /// Neither; the gate blocks commutation through this qubit.
+    Opaque,
+}
+
+impl AxisBehavior {
+    /// Classifies how `gate` behaves on operand `q`.
+    ///
+    /// Returns [`AxisBehavior::Opaque`] when `q` is not an operand of `gate`
+    /// (a gate is trivially diagonal on non-operands, but callers only ask
+    /// about shared qubits, so the conservative answer keeps misuse safe).
+    pub fn of(gate: &Gate, q: QubitId) -> AxisBehavior {
+        let Some(pos) = gate.qubits().iter().position(|&x| x == q) else {
+            return AxisBehavior::Opaque;
+        };
+        // A classically conditioned unitary is a measurement-correlated mixture;
+        // its per-branch behavior is the same as the bare gate, and the classical
+        // bit ordering is handled separately by the scheduler, so classification
+        // by kind remains sound for reordering *quantum* operands.
+        match gate.kind() {
+            GateKind::I
+            | GateKind::Z
+            | GateKind::S
+            | GateKind::Sdg
+            | GateKind::T
+            | GateKind::Tdg
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::Cz
+            | GateKind::Cp
+            | GateKind::Rzz => AxisBehavior::ZDiag,
+            GateKind::X | GateKind::Sx | GateKind::Rx => AxisBehavior::XDiag,
+            GateKind::Cx | GateKind::Crz => {
+                if pos == 0 {
+                    AxisBehavior::ZDiag
+                } else if gate.kind() == GateKind::Cx {
+                    AxisBehavior::XDiag
+                } else {
+                    // CRZ target: RZ is diagonal, so the whole gate is.
+                    AxisBehavior::ZDiag
+                }
+            }
+            GateKind::Ccx | GateKind::Mcx => {
+                if pos + 1 == gate.num_qubits() {
+                    AxisBehavior::XDiag
+                } else {
+                    AxisBehavior::ZDiag
+                }
+            }
+            // Z-basis measurement commutes exactly with Z-diagonal unitaries on
+            // the measured qubit (RZ · |b⟩⟨b| = |b⟩⟨b| · RZ).
+            GateKind::Measure => AxisBehavior::ZDiag,
+            GateKind::H
+            | GateKind::Y
+            | GateKind::Ry
+            | GateKind::U3
+            | GateKind::Swap
+            | GateKind::Reset
+            | GateKind::Barrier => AxisBehavior::Opaque,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn cx_control_is_zdiag_target_is_xdiag() {
+        let g = Gate::cx(q(0), q(1));
+        assert_eq!(AxisBehavior::of(&g, q(0)), AxisBehavior::ZDiag);
+        assert_eq!(AxisBehavior::of(&g, q(1)), AxisBehavior::XDiag);
+    }
+
+    #[test]
+    fn crz_is_diagonal_on_both_operands() {
+        let g = Gate::crz(0.3, q(0), q(1));
+        assert_eq!(AxisBehavior::of(&g, q(0)), AxisBehavior::ZDiag);
+        assert_eq!(AxisBehavior::of(&g, q(1)), AxisBehavior::ZDiag);
+    }
+
+    #[test]
+    fn phase_family_is_zdiag() {
+        for g in [
+            Gate::z(q(0)),
+            Gate::s(q(0)),
+            Gate::sdg(q(0)),
+            Gate::t(q(0)),
+            Gate::tdg(q(0)),
+            Gate::rz(0.7, q(0)),
+            Gate::phase(0.7, q(0)),
+        ] {
+            assert_eq!(AxisBehavior::of(&g, q(0)), AxisBehavior::ZDiag, "{g}");
+        }
+    }
+
+    #[test]
+    fn x_family_is_xdiag() {
+        for g in [Gate::x(q(0)), Gate::sx(q(0)), Gate::rx(0.7, q(0))] {
+            assert_eq!(AxisBehavior::of(&g, q(0)), AxisBehavior::XDiag, "{g}");
+        }
+    }
+
+    #[test]
+    fn opaque_gates() {
+        for g in [
+            Gate::h(q(0)),
+            Gate::y(q(0)),
+            Gate::ry(0.3, q(0)),
+            Gate::u3(0.1, 0.2, 0.3, q(0)),
+            Gate::reset(q(0)),
+            Gate::barrier(&[q(0)]),
+        ] {
+            assert_eq!(AxisBehavior::of(&g, q(0)), AxisBehavior::Opaque, "{g}");
+        }
+        let sw = Gate::swap(q(0), q(1));
+        assert_eq!(AxisBehavior::of(&sw, q(0)), AxisBehavior::Opaque);
+    }
+
+    #[test]
+    fn mcx_controls_zdiag_target_xdiag() {
+        let g = Gate::mcx(&[q(0), q(1), q(2)], q(3));
+        for c in [q(0), q(1), q(2)] {
+            assert_eq!(AxisBehavior::of(&g, c), AxisBehavior::ZDiag);
+        }
+        assert_eq!(AxisBehavior::of(&g, q(3)), AxisBehavior::XDiag);
+    }
+
+    #[test]
+    fn non_operand_is_opaque() {
+        let g = Gate::cx(q(0), q(1));
+        assert_eq!(AxisBehavior::of(&g, q(9)), AxisBehavior::Opaque);
+    }
+
+    #[test]
+    fn measure_is_zdiag() {
+        let g = Gate::measure(q(0), crate::CBitId::new(0));
+        assert_eq!(AxisBehavior::of(&g, q(0)), AxisBehavior::ZDiag);
+    }
+}

@@ -1,0 +1,216 @@
+//! Symbolic gate commutation.
+
+use crate::{AxisBehavior, Gate, GateKind};
+
+/// Whether the supports (operand qubit sets) of two gates are disjoint.
+///
+/// ```
+/// use dqc_circuit::{disjoint_supports, Gate, QubitId};
+/// let a = Gate::cx(QubitId::new(0), QubitId::new(1));
+/// let b = Gate::h(QubitId::new(2));
+/// assert!(disjoint_supports(&a, &b));
+/// ```
+pub fn disjoint_supports(a: &Gate, b: &Gate) -> bool {
+    a.qubits().iter().all(|q| !b.acts_on(*q))
+}
+
+/// Sound symbolic commutation test.
+///
+/// Returns `true` only when reordering `a` and `b` provably leaves the
+/// circuit semantics unchanged:
+///
+/// * disjoint supports always commute;
+/// * barriers and resets never commute with overlapping gates;
+/// * identical unitaries commute with themselves;
+/// * otherwise, on every *shared* qubit both gates must be diagonal in the
+///   same basis (see [`AxisBehavior`]); the gates then decompose over one
+///   common projector family with coefficient operators acting on disjoint
+///   qubits.
+///
+/// Classical bits: two operations touching the same classical bit (a
+/// measurement writing it, or a conditioned gate reading it) are never
+/// reordered.
+///
+/// This single rule covers all order-preserving instances of the paper's
+/// Figure-7 rules, e.g. two CX sharing a control, two CX sharing a target,
+/// RZ through a CX control, RX through a CX target, and the mutual
+/// commutation of all diagonal gates (CRZ/CP/CZ/RZZ) that the QFT and QAOA
+/// aggregation analyses in §3.2 rely on.
+///
+/// ```
+/// use dqc_circuit::{commutes, Gate, QubitId};
+/// let q = |i| QubitId::new(i);
+/// // Shared control.
+/// assert!(commutes(&Gate::cx(q(0), q(1)), &Gate::cx(q(0), q(2))));
+/// // Shared target.
+/// assert!(commutes(&Gate::cx(q(0), q(2)), &Gate::cx(q(1), q(2))));
+/// // Control of one feeding target of the other: not commutable.
+/// assert!(!commutes(&Gate::cx(q(0), q(1)), &Gate::cx(q(1), q(2))));
+/// ```
+pub fn commutes(a: &Gate, b: &Gate) -> bool {
+    if disjoint_supports(a, b) {
+        return classical_bits_disjoint(a, b);
+    }
+    if !classical_bits_disjoint(a, b) {
+        return false;
+    }
+    if matches!(a.kind(), GateKind::Barrier | GateKind::Reset)
+        || matches!(b.kind(), GateKind::Barrier | GateKind::Reset)
+    {
+        return false;
+    }
+    if a == b && a.kind().is_unitary() {
+        return true;
+    }
+    a.qubits().iter().filter(|q| b.acts_on(**q)).all(|&q| {
+        let ba = AxisBehavior::of(a, q);
+        let bb = AxisBehavior::of(b, q);
+        ba != AxisBehavior::Opaque && ba == bb
+    })
+}
+
+/// Whether `gate` commutes with every gate in `others`.
+pub fn commutes_with_all<'a>(
+    gate: &Gate,
+    others: impl IntoIterator<Item = &'a Gate>,
+) -> bool {
+    others.into_iter().all(|g| commutes(gate, g))
+}
+
+fn classical_bits_disjoint(a: &Gate, b: &Gate) -> bool {
+    let a_bits = [a.cbit(), a.condition()];
+    let b_bits = [b.cbit(), b.condition()];
+    for x in a_bits.into_iter().flatten() {
+        for y in b_bits.into_iter().flatten() {
+            if x == y {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CBitId, QubitId};
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn disjoint_gates_commute() {
+        assert!(commutes(&Gate::h(q(0)), &Gate::h(q(1))));
+        assert!(commutes(&Gate::cx(q(0), q(1)), &Gate::cx(q(2), q(3))));
+    }
+
+    #[test]
+    fn shared_control_cx_commute() {
+        assert!(commutes(&Gate::cx(q(0), q(1)), &Gate::cx(q(0), q(2))));
+    }
+
+    #[test]
+    fn shared_target_cx_commute() {
+        assert!(commutes(&Gate::cx(q(0), q(2)), &Gate::cx(q(1), q(2))));
+    }
+
+    #[test]
+    fn chained_cx_do_not_commute() {
+        assert!(!commutes(&Gate::cx(q(0), q(1)), &Gate::cx(q(1), q(2))));
+        assert!(!commutes(&Gate::cx(q(1), q(2)), &Gate::cx(q(0), q(1))));
+    }
+
+    #[test]
+    fn rz_commutes_through_control_rx_through_target() {
+        let cx = Gate::cx(q(0), q(1));
+        assert!(commutes(&Gate::rz(0.4, q(0)), &cx));
+        assert!(commutes(&Gate::t(q(0)), &cx));
+        assert!(commutes(&Gate::rx(0.4, q(1)), &cx));
+        assert!(commutes(&Gate::x(q(1)), &cx));
+        // And the blocked directions:
+        assert!(!commutes(&Gate::rz(0.4, q(1)), &cx));
+        assert!(!commutes(&Gate::rx(0.4, q(0)), &cx));
+        assert!(!commutes(&Gate::h(q(0)), &cx));
+        assert!(!commutes(&Gate::h(q(1)), &cx));
+    }
+
+    #[test]
+    fn diagonal_two_qubit_gates_all_commute() {
+        let gates = [
+            Gate::crz(0.1, q(0), q(1)),
+            Gate::cp(0.2, q(1), q(2)),
+            Gate::cz(q(0), q(2)),
+            Gate::rzz(0.3, q(1), q(0)),
+        ];
+        for a in &gates {
+            for b in &gates {
+                assert!(commutes(a, b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_gates_commute() {
+        let g = Gate::h(q(0));
+        assert!(commutes(&g, &g));
+        let sw = Gate::swap(q(0), q(1));
+        assert!(commutes(&sw, &sw));
+    }
+
+    #[test]
+    fn different_opaque_gates_do_not_commute() {
+        assert!(!commutes(&Gate::h(q(0)), &Gate::y(q(0))));
+        assert!(!commutes(&Gate::swap(q(0), q(1)), &Gate::cx(q(0), q(1))));
+    }
+
+    #[test]
+    fn barrier_and_reset_block_everything_overlapping() {
+        let b = Gate::barrier(&[q(0), q(1)]);
+        assert!(!commutes(&b, &Gate::z(q(0))));
+        assert!(commutes(&b, &Gate::z(q(2))));
+        let r = Gate::reset(q(0));
+        assert!(!commutes(&r, &Gate::z(q(0))));
+        assert!(!commutes(&r, &r));
+    }
+
+    #[test]
+    fn measure_commutes_with_zdiag_only() {
+        let m = Gate::measure(q(0), CBitId::new(0));
+        assert!(commutes(&m, &Gate::rz(0.5, q(0))));
+        assert!(commutes(&m, &Gate::cx(q(0), q(1)))); // q0 is the control
+        assert!(!commutes(&m, &Gate::cx(q(1), q(0))));
+        assert!(!commutes(&m, &Gate::h(q(0))));
+        assert!(!commutes(&m, &Gate::x(q(0))));
+    }
+
+    #[test]
+    fn classical_bit_hazards_block_reordering() {
+        let m = Gate::measure(q(0), CBitId::new(3));
+        let fixup = Gate::x(q(1)).with_condition(CBitId::new(3));
+        // Disjoint qubits but the same classical bit: must stay ordered.
+        assert!(!commutes(&m, &fixup));
+        // Different classical bits: free to move.
+        let other = Gate::x(q(1)).with_condition(CBitId::new(4));
+        assert!(commutes(&m, &other));
+    }
+
+    #[test]
+    fn toffoli_shares_rules_with_cx() {
+        let ccx = Gate::ccx(q(0), q(1), q(2));
+        assert!(commutes(&ccx, &Gate::t(q(0))));
+        assert!(commutes(&ccx, &Gate::x(q(2))));
+        assert!(commutes(&ccx, &Gate::cx(q(0), q(3))));
+        assert!(!commutes(&ccx, &Gate::x(q(0))));
+        assert!(!commutes(&ccx, &Gate::cx(q(2), q(3))));
+        // Two Toffolis sharing a control and a target.
+        assert!(commutes(&ccx, &Gate::ccx(q(0), q(3), q(2))));
+    }
+
+    #[test]
+    fn commutes_with_all_helper() {
+        let gates = vec![Gate::cx(q(0), q(1)), Gate::cx(q(0), q(2))];
+        assert!(commutes_with_all(&Gate::rz(0.1, q(0)), &gates));
+        assert!(!commutes_with_all(&Gate::x(q(0)), &gates));
+    }
+}

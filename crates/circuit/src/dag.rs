@@ -1,0 +1,255 @@
+//! Dependency DAG over a circuit's gates.
+//!
+//! Two views are provided:
+//!
+//! * the **strict** dependency graph, where any two gates sharing a qubit
+//!   (or classical bit) in program order are ordered, giving the usual
+//!   ASAP layering and critical path;
+//! * the **commutation-aware** graph, where an edge exists only when the
+//!   gates do *not* commute ([`crate::commutes`]) — the structure the
+//!   AutoComm aggregation pass navigates implicitly, exposed here for
+//!   analysis and for latency-weighted lower bounds.
+
+use crate::{commutes, Circuit, Gate};
+#[cfg(test)]
+use crate::QubitId;
+
+/// A directed acyclic dependency graph over gate indices of a circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DependencyDag {
+    /// `preds[i]` lists the gate indices that must precede gate `i`.
+    preds: Vec<Vec<usize>>,
+    /// `succs[i]` lists the gate indices that must follow gate `i`.
+    succs: Vec<Vec<usize>>,
+    num_gates: usize,
+}
+
+impl DependencyDag {
+    /// Strict dependencies: gates sharing any qubit or classical bit are
+    /// ordered as written. Only the *last* writer per resource is recorded,
+    /// so edge counts stay linear in practice.
+    pub fn strict(circuit: &Circuit) -> Self {
+        Self::build(circuit, |_, _| true)
+    }
+
+    /// Commutation-aware dependencies: overlapping gates are ordered only
+    /// when the symbolic oracle cannot prove they commute.
+    pub fn commutation_aware(circuit: &Circuit) -> Self {
+        Self::build(circuit, |a, b| !commutes(a, b))
+    }
+
+    fn build(circuit: &Circuit, depends: impl Fn(&Gate, &Gate) -> bool) -> Self {
+        let n = circuit.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Track, per qubit/cbit, the recent gates that may conflict. For the
+        // strict build only the last toucher matters; for the
+        // commutation-aware build we keep the chain of gates on the wire and
+        // link against the nearest non-commuting one.
+        let mut wire_history: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits()];
+        let mut cbit_history: Vec<Vec<usize>> =
+            vec![Vec::new(); circuit.num_cbits().max(1)];
+        let gates = circuit.gates();
+        for (i, gate) in gates.iter().enumerate() {
+            let add_edge = |from: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+                if !preds[i].contains(&from) {
+                    preds[i].push(from);
+                    succs[from].push(i);
+                }
+            };
+            for &q in gate.qubits() {
+                for &j in wire_history[q.index()].iter().rev() {
+                    if depends(&gates[j], gate) {
+                        add_edge(j, &mut preds, &mut succs);
+                        break; // nearest blocker dominates older ones
+                    }
+                }
+                wire_history[q.index()].push(i);
+            }
+            for bit in [gate.cbit(), gate.condition()].into_iter().flatten() {
+                for &j in cbit_history[bit.index()].iter().rev() {
+                    if depends(&gates[j], gate) {
+                        add_edge(j, &mut preds, &mut succs);
+                        break;
+                    }
+                }
+                cbit_history[bit.index()].push(i);
+            }
+        }
+        DependencyDag { preds, succs, num_gates: n }
+    }
+
+    /// Number of gates (nodes).
+    pub fn len(&self) -> usize {
+        self.num_gates
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_gates == 0
+    }
+
+    /// Predecessors of gate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Successors of gate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// ASAP layer of every gate (layer 0 = no predecessors); the maximum
+    /// plus one is the circuit depth under this dependence relation.
+    pub fn asap_layers(&self) -> Vec<usize> {
+        let mut layer = vec![0usize; self.num_gates];
+        for i in 0..self.num_gates {
+            // preds always have smaller indices (edges respect program order).
+            let l = self.preds[i].iter().map(|&p| layer[p] + 1).max().unwrap_or(0);
+            layer[i] = l;
+        }
+        layer
+    }
+
+    /// Depth (longest chain length) under this dependence relation.
+    pub fn depth(&self) -> usize {
+        self.asap_layers().iter().map(|l| l + 1).max().unwrap_or(0)
+    }
+
+    /// Latency-weighted critical path: the minimum possible makespan with
+    /// unlimited parallelism, where `weight(i)` is gate `i`'s duration.
+    pub fn critical_path(&self, weight: impl Fn(usize) -> f64) -> f64 {
+        let mut finish = vec![0.0f64; self.num_gates];
+        let mut best = 0.0f64;
+        for i in 0..self.num_gates {
+            let start = self.preds[i].iter().map(|&p| finish[p]).fold(0.0, f64::max);
+            finish[i] = start + weight(i);
+            best = best.max(finish[i]);
+        }
+        best
+    }
+
+    /// Gates with no predecessors (schedulable immediately).
+    pub fn front(&self) -> Vec<usize> {
+        (0..self.num_gates).filter(|&i| self.preds[i].is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn chain_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(1))).unwrap();
+        c.push(Gate::cx(q(1), q(2))).unwrap();
+        c
+    }
+
+    #[test]
+    fn strict_dag_orders_shared_wires() {
+        let dag = DependencyDag::strict(&chain_circuit());
+        assert_eq!(dag.predecessors(0), &[] as &[usize]);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.depth(), 3);
+        assert_eq!(dag.front(), vec![0]);
+    }
+
+    #[test]
+    fn commutation_aware_dag_skips_commuting_pairs() {
+        // Two CX sharing a control commute: depth collapses to 1.
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(q(0), q(1))).unwrap();
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        let strict = DependencyDag::strict(&c);
+        let aware = DependencyDag::commutation_aware(&c);
+        assert_eq!(strict.depth(), 2);
+        assert_eq!(aware.depth(), 1);
+        assert_eq!(aware.front().len(), 2);
+    }
+
+    #[test]
+    fn nearest_blocker_is_linked_past_commuting_gates() {
+        // H q0 ; RZ q0 ; ... the RZ commutes with a following CX control but
+        // the H does not — the CX must still depend on the H transitively.
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(q(0))).unwrap();
+        c.push(Gate::rz(0.5, q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(1))).unwrap();
+        let aware = DependencyDag::commutation_aware(&c);
+        // CX's blocker through q0 is H (index 0): rz commutes with cx.
+        assert!(aware.predecessors(2).contains(&0));
+        assert_eq!(aware.depth(), 2);
+    }
+
+    #[test]
+    fn classical_bits_create_dependencies() {
+        use crate::CBitId;
+        let mut c = Circuit::with_cbits(2, 1);
+        c.push(Gate::measure(q(0), CBitId::new(0))).unwrap();
+        c.push(Gate::x(q(1)).with_condition(CBitId::new(0))).unwrap();
+        let dag = DependencyDag::strict(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+    }
+
+    #[test]
+    fn critical_path_uses_weights() {
+        let dag = DependencyDag::strict(&chain_circuit());
+        // h = 0.1, cx = 1.0 each → 2.1 total on the chain.
+        let weights = [0.1, 1.0, 1.0];
+        let cp = dag.critical_path(|i| weights[i]);
+        assert!((cp - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let dag = DependencyDag::strict(&Circuit::new(2));
+        assert!(dag.is_empty());
+        assert_eq!(dag.depth(), 0);
+        assert_eq!(dag.critical_path(|_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn commutation_aware_depth_never_exceeds_strict() {
+        for seed in 0..5u64 {
+            // Hand-rolled deterministic pseudo-random circuit (avoid a dev
+            // dependency cycle with dqc-workloads).
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut c = Circuit::new(4);
+            for _ in 0..30 {
+                let a = (next() % 4) as usize;
+                let b = (a + 1 + (next() % 3) as usize) % 4;
+                match next() % 4 {
+                    0 => c.push(Gate::h(q(a))).unwrap(),
+                    1 => c.push(Gate::t(q(a))).unwrap(),
+                    2 => c.push(Gate::cx(q(a), q(b))).unwrap(),
+                    _ => c.push(Gate::cz(q(a), q(b))).unwrap(),
+                }
+            }
+            let strict = DependencyDag::strict(&c).depth();
+            let aware = DependencyDag::commutation_aware(&c).depth();
+            assert!(aware <= strict, "seed {seed}: {aware} > {strict}");
+        }
+    }
+}

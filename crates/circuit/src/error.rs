@@ -1,0 +1,106 @@
+//! Error type shared by all fallible circuit operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CBitId, QubitId};
+
+/// Errors produced while constructing or transforming circuits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate references a qubit outside the circuit's register.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: QubitId,
+        /// Number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// A gate references a classical bit outside the circuit's register.
+    CBitOutOfRange {
+        /// The offending classical bit.
+        cbit: CBitId,
+        /// Number of classical bits in the circuit.
+        num_cbits: usize,
+    },
+    /// The same qubit appears twice in one gate's operand list.
+    DuplicateOperand {
+        /// The repeated qubit.
+        qubit: QubitId,
+    },
+    /// A gate was built with the wrong number of qubit operands.
+    ArityMismatch {
+        /// Gate name for diagnostics.
+        kind: &'static str,
+        /// Number of operands expected.
+        expected: usize,
+        /// Number of operands supplied.
+        actual: usize,
+    },
+    /// A multi-controlled gate decomposition ran out of dirty ancilla qubits.
+    InsufficientAncillas {
+        /// Ancillas the decomposition needs.
+        needed: usize,
+        /// Ancillas available in the register.
+        available: usize,
+    },
+    /// A partition was requested with an invalid node count.
+    InvalidPartition {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::CBitOutOfRange { cbit, num_cbits } => {
+                write!(f, "classical bit {cbit} out of range for {num_cbits}-bit register")
+            }
+            CircuitError::DuplicateOperand { qubit } => {
+                write!(f, "qubit {qubit} appears more than once in a gate operand list")
+            }
+            CircuitError::ArityMismatch { kind, expected, actual } => {
+                write!(f, "gate {kind} expects {expected} qubit operands, got {actual}")
+            }
+            CircuitError::InsufficientAncillas { needed, available } => {
+                write!(
+                    f,
+                    "multi-controlled decomposition needs {needed} dirty ancillas, only {available} available"
+                )
+            }
+            CircuitError::InvalidPartition { reason } => {
+                write!(f, "invalid partition: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = CircuitError::QubitOutOfRange { qubit: QubitId::new(9), num_qubits: 4 };
+        assert!(e.to_string().contains("q9"));
+        assert!(e.to_string().contains("4-qubit"));
+
+        let e = CircuitError::ArityMismatch { kind: "cx", expected: 2, actual: 3 };
+        assert!(e.to_string().contains("cx"));
+
+        let e = CircuitError::InsufficientAncillas { needed: 5, available: 1 };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CircuitError>();
+    }
+}

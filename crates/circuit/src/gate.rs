@@ -1,0 +1,661 @@
+//! Gate kinds and gate instances.
+
+use std::fmt;
+
+use crate::{CBitId, CircuitError, QubitId};
+
+/// The gate alphabet understood by the compiler.
+///
+/// The set mirrors what the AutoComm paper's benchmarks are built from:
+/// Clifford+T single-qubit gates, axis rotations, the `CX` family of
+/// two-qubit gates, Toffoli / multi-controlled X, and the non-unitary
+/// operations required by the communication protocol expansions
+/// (measurement, reset, and barriers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Identity (useful as a scheduling placeholder).
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate S†.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// T†.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Rotation about X: exp(-iθX/2).
+    Rx,
+    /// Rotation about Y: exp(-iθY/2).
+    Ry,
+    /// Rotation about Z: exp(-iθZ/2).
+    Rz,
+    /// Phase rotation diag(1, e^{iθ}).
+    Phase,
+    /// Generic single-qubit unitary U3(θ, φ, λ).
+    U3,
+    /// Controlled X (CNOT); operands are `[control, target]`.
+    Cx,
+    /// Controlled Z; symmetric on its two operands.
+    Cz,
+    /// Swap of two qubits.
+    Swap,
+    /// Controlled RZ; operands are `[control, target]`.
+    Crz,
+    /// Controlled phase; symmetric on its two operands.
+    Cp,
+    /// Two-qubit ZZ interaction exp(-iθ Z⊗Z / 2).
+    Rzz,
+    /// Toffoli; operands are `[control, control, target]`.
+    Ccx,
+    /// Multi-controlled X; operands are `[control, ..., control, target]`.
+    Mcx,
+    /// Z-basis measurement into a classical bit.
+    Measure,
+    /// Reset a qubit to |0⟩.
+    Reset,
+    /// Scheduling barrier over its operand qubits; commutes with nothing.
+    Barrier,
+}
+
+impl GateKind {
+    /// Lower-case mnemonic, as used in textual dumps and OpenQASM export.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::I => "id",
+            GateKind::H => "h",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Sx => "sx",
+            GateKind::Rx => "rx",
+            GateKind::Ry => "ry",
+            GateKind::Rz => "rz",
+            GateKind::Phase => "p",
+            GateKind::U3 => "u3",
+            GateKind::Cx => "cx",
+            GateKind::Cz => "cz",
+            GateKind::Swap => "swap",
+            GateKind::Crz => "crz",
+            GateKind::Cp => "cp",
+            GateKind::Rzz => "rzz",
+            GateKind::Ccx => "ccx",
+            GateKind::Mcx => "mcx",
+            GateKind::Measure => "measure",
+            GateKind::Reset => "reset",
+            GateKind::Barrier => "barrier",
+        }
+    }
+
+    /// Number of real parameters carried by gates of this kind.
+    pub fn num_params(self) -> usize {
+        match self {
+            GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::Crz
+            | GateKind::Cp
+            | GateKind::Rzz => 1,
+            GateKind::U3 => 3,
+            _ => 0,
+        }
+    }
+
+    /// Fixed qubit arity, or `None` for variadic kinds (`Mcx`, `Barrier`).
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            GateKind::I
+            | GateKind::H
+            | GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::S
+            | GateKind::Sdg
+            | GateKind::T
+            | GateKind::Tdg
+            | GateKind::Sx
+            | GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::U3
+            | GateKind::Measure
+            | GateKind::Reset => Some(1),
+            GateKind::Cx
+            | GateKind::Cz
+            | GateKind::Swap
+            | GateKind::Crz
+            | GateKind::Cp
+            | GateKind::Rzz => Some(2),
+            GateKind::Ccx => Some(3),
+            GateKind::Mcx | GateKind::Barrier => None,
+        }
+    }
+
+    /// Whether gates of this kind are unitary operations.
+    pub fn is_unitary(self) -> bool {
+        !matches!(self, GateKind::Measure | GateKind::Reset | GateKind::Barrier)
+    }
+
+    /// Whether the gate matrix is diagonal in the computational (Z) basis on
+    /// all of its operands.
+    pub fn is_diagonal(self) -> bool {
+        matches!(
+            self,
+            GateKind::I
+                | GateKind::Z
+                | GateKind::S
+                | GateKind::Sdg
+                | GateKind::T
+                | GateKind::Tdg
+                | GateKind::Rz
+                | GateKind::Phase
+                | GateKind::Cz
+                | GateKind::Crz
+                | GateKind::Cp
+                | GateKind::Rzz
+        )
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One gate instance: a [`GateKind`] applied to concrete qubits, with
+/// optional rotation parameters, an optional classical measurement target,
+/// and an optional classical condition bit.
+///
+/// A gate with `condition = Some(c)` is applied only when classical bit `c`
+/// holds 1 — exactly the classically controlled corrections appearing in the
+/// Cat-Comm and TP-Comm protocols (paper Figure 2).
+///
+/// ```
+/// use dqc_circuit::{Gate, GateKind, QubitId};
+/// let g = Gate::crz(0.5, QubitId::new(0), QubitId::new(1));
+/// assert_eq!(g.kind(), GateKind::Crz);
+/// assert_eq!(g.control(), Some(QubitId::new(0)));
+/// assert_eq!(g.target(), Some(QubitId::new(1)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    kind: GateKind,
+    qubits: Vec<QubitId>,
+    params: Vec<f64>,
+    cbit: Option<CBitId>,
+    condition: Option<CBitId>,
+}
+
+impl Gate {
+    /// Builds a gate after validating operand arity, parameter count, and
+    /// operand distinctness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ArityMismatch`] when the operand or parameter
+    /// count does not match the kind, and [`CircuitError::DuplicateOperand`]
+    /// when a qubit is repeated.
+    pub fn try_new(
+        kind: GateKind,
+        qubits: Vec<QubitId>,
+        params: Vec<f64>,
+    ) -> Result<Self, CircuitError> {
+        if let Some(arity) = kind.arity() {
+            if qubits.len() != arity {
+                return Err(CircuitError::ArityMismatch {
+                    kind: kind.name(),
+                    expected: arity,
+                    actual: qubits.len(),
+                });
+            }
+        } else if kind == GateKind::Mcx && qubits.is_empty() {
+            return Err(CircuitError::ArityMismatch {
+                kind: kind.name(),
+                expected: 1,
+                actual: 0,
+            });
+        }
+        if params.len() != kind.num_params() {
+            return Err(CircuitError::ArityMismatch {
+                kind: kind.name(),
+                expected: kind.num_params(),
+                actual: params.len(),
+            });
+        }
+        for (i, q) in qubits.iter().enumerate() {
+            if qubits[..i].contains(q) {
+                return Err(CircuitError::DuplicateOperand { qubit: *q });
+            }
+        }
+        Ok(Gate { kind, qubits, params, cbit: None, condition: None })
+    }
+
+    fn new_unchecked(kind: GateKind, qubits: Vec<QubitId>, params: Vec<f64>) -> Self {
+        Gate::try_new(kind, qubits, params).expect("gate constructor invariant")
+    }
+
+    /// Identity gate on `q`.
+    pub fn i(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::I, vec![q], vec![])
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::H, vec![q], vec![])
+    }
+
+    /// Pauli X on `q`.
+    pub fn x(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::X, vec![q], vec![])
+    }
+
+    /// Pauli Y on `q`.
+    pub fn y(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Y, vec![q], vec![])
+    }
+
+    /// Pauli Z on `q`.
+    pub fn z(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Z, vec![q], vec![])
+    }
+
+    /// S gate on `q`.
+    pub fn s(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::S, vec![q], vec![])
+    }
+
+    /// S† gate on `q`.
+    pub fn sdg(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Sdg, vec![q], vec![])
+    }
+
+    /// T gate on `q`.
+    pub fn t(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::T, vec![q], vec![])
+    }
+
+    /// T† gate on `q`.
+    pub fn tdg(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Tdg, vec![q], vec![])
+    }
+
+    /// √X gate on `q`.
+    pub fn sx(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Sx, vec![q], vec![])
+    }
+
+    /// X rotation by `theta` on `q`.
+    pub fn rx(theta: f64, q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Rx, vec![q], vec![theta])
+    }
+
+    /// Y rotation by `theta` on `q`.
+    pub fn ry(theta: f64, q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Ry, vec![q], vec![theta])
+    }
+
+    /// Z rotation by `theta` on `q`.
+    pub fn rz(theta: f64, q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Rz, vec![q], vec![theta])
+    }
+
+    /// Phase rotation diag(1, e^{iθ}) on `q`.
+    pub fn phase(theta: f64, q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Phase, vec![q], vec![theta])
+    }
+
+    /// Generic single-qubit unitary U3(θ, φ, λ) on `q`.
+    pub fn u3(theta: f64, phi: f64, lambda: f64, q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::U3, vec![q], vec![theta, phi, lambda])
+    }
+
+    /// CNOT with the given `control` and `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target`.
+    pub fn cx(control: QubitId, target: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Cx, vec![control, target], vec![])
+    }
+
+    /// Controlled Z between `a` and `b` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cz(a: QubitId, b: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Cz, vec![a, b], vec![])
+    }
+
+    /// Swap of `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn swap(a: QubitId, b: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Swap, vec![a, b], vec![])
+    }
+
+    /// Controlled RZ(θ) with the given `control` and `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target`.
+    pub fn crz(theta: f64, control: QubitId, target: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Crz, vec![control, target], vec![theta])
+    }
+
+    /// Controlled phase gate between `a` and `b` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cp(theta: f64, a: QubitId, b: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Cp, vec![a, b], vec![theta])
+    }
+
+    /// ZZ interaction exp(-iθ Z⊗Z / 2) between `a` and `b` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn rzz(theta: f64, a: QubitId, b: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Rzz, vec![a, b], vec![theta])
+    }
+
+    /// Toffoli with controls `c0`, `c1` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two operands coincide.
+    pub fn ccx(c0: QubitId, c1: QubitId, t: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Ccx, vec![c0, c1, t], vec![])
+    }
+
+    /// Multi-controlled X with the given controls and target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two operands coincide or the operand list is empty.
+    pub fn mcx(controls: &[QubitId], target: QubitId) -> Self {
+        let mut qubits = controls.to_vec();
+        qubits.push(target);
+        Gate::new_unchecked(GateKind::Mcx, qubits, vec![])
+    }
+
+    /// Z-basis measurement of `q` into classical bit `c`.
+    pub fn measure(q: QubitId, c: CBitId) -> Self {
+        let mut g = Gate::new_unchecked(GateKind::Measure, vec![q], vec![]);
+        g.cbit = Some(c);
+        g
+    }
+
+    /// Reset of `q` to |0⟩.
+    pub fn reset(q: QubitId) -> Self {
+        Gate::new_unchecked(GateKind::Reset, vec![q], vec![])
+    }
+
+    /// Barrier across `qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is repeated.
+    pub fn barrier(qubits: &[QubitId]) -> Self {
+        Gate::new_unchecked(GateKind::Barrier, qubits.to_vec(), vec![])
+    }
+
+    /// Returns a copy of this gate conditioned on classical bit `c` being 1.
+    ///
+    /// ```
+    /// use dqc_circuit::{CBitId, Gate, QubitId};
+    /// let fixup = Gate::x(QubitId::new(2)).with_condition(CBitId::new(0));
+    /// assert_eq!(fixup.condition(), Some(CBitId::new(0)));
+    /// ```
+    pub fn with_condition(mut self, c: CBitId) -> Self {
+        self.condition = Some(c);
+        self
+    }
+
+    /// The gate kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The qubit operands, controls before targets.
+    pub fn qubits(&self) -> &[QubitId] {
+        &self.qubits
+    }
+
+    /// The rotation parameters (empty for non-parameterized kinds).
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// The classical bit written by a measurement, if any.
+    pub fn cbit(&self) -> Option<CBitId> {
+        self.cbit
+    }
+
+    /// The classical bit conditioning this gate, if any.
+    pub fn condition(&self) -> Option<CBitId> {
+        self.condition
+    }
+
+    /// First rotation parameter, if the kind is parameterized.
+    pub fn theta(&self) -> Option<f64> {
+        self.params.first().copied()
+    }
+
+    /// Number of qubit operands.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Whether this is a unitary acting on exactly one qubit.
+    pub fn is_single_qubit_unitary(&self) -> bool {
+        self.kind.is_unitary() && self.qubits.len() == 1
+    }
+
+    /// Whether this is a unitary acting on exactly two qubits.
+    pub fn is_two_qubit_unitary(&self) -> bool {
+        self.kind.is_unitary() && self.qubits.len() == 2
+    }
+
+    /// The control qubit for asymmetric controlled gates (`Cx`, `Crz`).
+    ///
+    /// Symmetric diagonal gates (`Cz`, `Cp`, `Rzz`) report their first
+    /// operand, which is interchangeable with the second.
+    pub fn control(&self) -> Option<QubitId> {
+        match self.kind {
+            GateKind::Cx | GateKind::Crz | GateKind::Cz | GateKind::Cp | GateKind::Rzz => {
+                Some(self.qubits[0])
+            }
+            _ => None,
+        }
+    }
+
+    /// The target qubit for controlled gates, the last operand for `Ccx` and
+    /// `Mcx`.
+    pub fn target(&self) -> Option<QubitId> {
+        match self.kind {
+            GateKind::Cx
+            | GateKind::Crz
+            | GateKind::Cz
+            | GateKind::Cp
+            | GateKind::Rzz
+            | GateKind::Ccx
+            | GateKind::Mcx => self.qubits.last().copied(),
+            _ => None,
+        }
+    }
+
+    /// Whether `q` is one of this gate's operands.
+    pub fn acts_on(&self, q: QubitId) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    /// Returns the same gate with each qubit operand remapped through `f`.
+    ///
+    /// Used when relocating logical qubits between nodes (GP-TP baseline) or
+    /// when splicing block bodies onto communication qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remapping makes two operands collide.
+    pub fn map_qubits(&self, mut f: impl FnMut(QubitId) -> QubitId) -> Gate {
+        let mut g = self.clone();
+        g.qubits = self.qubits.iter().map(|&q| f(q)).collect();
+        for (i, q) in g.qubits.iter().enumerate() {
+            assert!(
+                !g.qubits[..i].contains(q),
+                "qubit remapping created duplicate operand {q}"
+            );
+        }
+        g
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(c) = self.condition {
+            write!(f, "if({c}) ")?;
+        }
+        f.write_str(self.kind.name())?;
+        if !self.params.is_empty() {
+            write!(f, "(")?;
+            for (i, p) in self.params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p:.4}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, " ")?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{q}")?;
+        }
+        if let Some(c) = self.cbit {
+            write!(f, " -> {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn constructors_set_kind_and_operands() {
+        let g = Gate::cx(q(0), q(1));
+        assert_eq!(g.kind(), GateKind::Cx);
+        assert_eq!(g.qubits(), &[q(0), q(1)]);
+        assert_eq!(g.control(), Some(q(0)));
+        assert_eq!(g.target(), Some(q(1)));
+        assert!(g.is_two_qubit_unitary());
+        assert!(!g.is_single_qubit_unitary());
+    }
+
+    #[test]
+    fn parameterized_constructors_store_params() {
+        let g = Gate::rz(1.5, q(3));
+        assert_eq!(g.theta(), Some(1.5));
+        let g = Gate::u3(0.1, 0.2, 0.3, q(0));
+        assert_eq!(g.params(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate constructor invariant")]
+    fn duplicate_operand_panics() {
+        let _ = Gate::cx(q(1), q(1));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_arity() {
+        let err = Gate::try_new(GateKind::Cx, vec![q(0)], vec![]).unwrap_err();
+        assert!(matches!(err, CircuitError::ArityMismatch { .. }));
+        let err = Gate::try_new(GateKind::Rz, vec![q(0)], vec![]).unwrap_err();
+        assert!(matches!(err, CircuitError::ArityMismatch { .. }));
+        let err = Gate::try_new(GateKind::Cx, vec![q(0), q(0)], vec![]).unwrap_err();
+        assert!(matches!(err, CircuitError::DuplicateOperand { .. }));
+        let err = Gate::try_new(GateKind::Mcx, vec![], vec![]).unwrap_err();
+        assert!(matches!(err, CircuitError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn measurement_carries_cbit() {
+        let g = Gate::measure(q(2), CBitId::new(7));
+        assert_eq!(g.cbit(), Some(CBitId::new(7)));
+        assert!(!g.kind().is_unitary());
+    }
+
+    #[test]
+    fn condition_builder() {
+        let g = Gate::z(q(0)).with_condition(CBitId::new(1));
+        assert_eq!(g.condition(), Some(CBitId::new(1)));
+        assert_eq!(g.to_string(), "if(c1) z q0");
+    }
+
+    #[test]
+    fn mcx_operands() {
+        let g = Gate::mcx(&[q(0), q(1), q(2)], q(5));
+        assert_eq!(g.num_qubits(), 4);
+        assert_eq!(g.target(), Some(q(5)));
+        assert_eq!(g.kind().arity(), None);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Gate::cx(q(0), q(1)).to_string(), "cx q0,q1");
+        assert_eq!(Gate::rz(0.5, q(2)).to_string(), "rz(0.5000) q2");
+        assert_eq!(
+            Gate::measure(q(1), CBitId::new(0)).to_string(),
+            "measure q1 -> c0"
+        );
+    }
+
+    #[test]
+    fn map_qubits_relocates_operands() {
+        let g = Gate::cx(q(0), q(1)).map_qubits(|x| QubitId::new(x.index() + 10));
+        assert_eq!(g.qubits(), &[q(10), q(11)]);
+    }
+
+    #[test]
+    fn diagonal_kinds() {
+        assert!(GateKind::Crz.is_diagonal());
+        assert!(GateKind::Rzz.is_diagonal());
+        assert!(!GateKind::Cx.is_diagonal());
+        assert!(!GateKind::H.is_diagonal());
+    }
+
+    #[test]
+    fn gate_equality_includes_params() {
+        assert_eq!(Gate::rz(0.5, q(0)), Gate::rz(0.5, q(0)));
+        assert_ne!(Gate::rz(0.5, q(0)), Gate::rz(0.6, q(0)));
+    }
+}

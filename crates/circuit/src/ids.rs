@@ -1,0 +1,140 @@
+//! Strongly typed identifiers for qubits, classical bits, and nodes.
+
+use std::fmt;
+
+/// Identifier of a (logical) qubit inside a [`crate::Circuit`].
+///
+/// Qubit ids are dense indices starting at zero; a circuit with `n` qubits
+/// uses ids `0..n`.
+///
+/// ```
+/// use dqc_circuit::QubitId;
+/// let q = QubitId::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QubitId(u32);
+
+impl QubitId {
+    /// Creates a qubit id from a dense index.
+    pub fn new(index: usize) -> Self {
+        QubitId(index as u32)
+    }
+
+    /// Returns the dense index of this qubit.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<usize> for QubitId {
+    fn from(index: usize) -> Self {
+        QubitId::new(index)
+    }
+}
+
+/// Identifier of a classical bit (measurement target or condition source).
+///
+/// ```
+/// use dqc_circuit::CBitId;
+/// assert_eq!(CBitId::new(1).to_string(), "c1");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CBitId(u32);
+
+impl CBitId {
+    /// Creates a classical bit id from a dense index.
+    pub fn new(index: usize) -> Self {
+        CBitId(index as u32)
+    }
+
+    /// Returns the dense index of this classical bit.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CBitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<usize> for CBitId {
+    fn from(index: usize) -> Self {
+        CBitId::new(index)
+    }
+}
+
+/// Identifier of a quantum computing node (module) in a distributed system.
+///
+/// ```
+/// use dqc_circuit::NodeId;
+/// assert_eq!(NodeId::new(0).to_string(), "N0");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn qubit_id_roundtrip() {
+        for i in [0usize, 1, 7, 4096] {
+            assert_eq!(QubitId::new(i).index(), i);
+            assert_eq!(QubitId::from(i), QubitId::new(i));
+        }
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(QubitId::new(1));
+        set.insert(QubitId::new(1));
+        set.insert(QubitId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(QubitId::new(1) < QubitId::new(2));
+        assert!(NodeId::new(0) < NodeId::new(3));
+        assert!(CBitId::new(2) > CBitId::new(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(QubitId::new(12).to_string(), "q12");
+        assert_eq!(CBitId::new(0).to_string(), "c0");
+        assert_eq!(NodeId::new(5).to_string(), "N5");
+    }
+}

@@ -1,0 +1,238 @@
+//! Qubit-to-node assignment.
+
+use std::fmt;
+
+use crate::{CircuitError, Gate, NodeId, QubitId};
+
+/// A static assignment of every logical qubit to a quantum computing node.
+///
+/// All compilers in this reproduction (AutoComm, the Ferrari-style baseline,
+/// and GP-TP) consume a `Partition` produced by the OEE partitioner in
+/// `dqc-partition`; this type lives in the IR crate so that no dependency
+/// cycles arise.
+///
+/// ```
+/// use dqc_circuit::{Gate, Partition, QubitId};
+/// # fn main() -> Result<(), dqc_circuit::CircuitError> {
+/// let p = Partition::block(6, 3)?; // qubits {0,1} {2,3} {4,5}
+/// assert_eq!(p.node_of(QubitId::new(4)).index(), 2);
+/// assert!(p.is_remote(&Gate::cx(QubitId::new(0), QubitId::new(2))));
+/// assert!(!p.is_remote(&Gate::cx(QubitId::new(2), QubitId::new(3))));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    node_of: Vec<NodeId>,
+    num_nodes: usize,
+}
+
+impl Partition {
+    /// Builds a partition from an explicit qubit → node map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidPartition`] if `num_nodes` is zero or
+    /// any entry references a node `>= num_nodes`.
+    pub fn from_assignment(
+        node_of: Vec<NodeId>,
+        num_nodes: usize,
+    ) -> Result<Self, CircuitError> {
+        if num_nodes == 0 {
+            return Err(CircuitError::InvalidPartition {
+                reason: "node count must be positive".into(),
+            });
+        }
+        if let Some(bad) = node_of.iter().find(|n| n.index() >= num_nodes) {
+            return Err(CircuitError::InvalidPartition {
+                reason: format!("qubit assigned to node {bad} but only {num_nodes} nodes exist"),
+            });
+        }
+        Ok(Partition { node_of, num_nodes })
+    }
+
+    /// Contiguous block partition: the first `⌈n/k⌉` qubits on node 0, the
+    /// next on node 1, and so on. This is the paper's “evenly distributed”
+    /// layout and the starting point the OEE partitioner refines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidPartition`] if `num_nodes` is zero or
+    /// exceeds `num_qubits`.
+    pub fn block(num_qubits: usize, num_nodes: usize) -> Result<Self, CircuitError> {
+        if num_nodes == 0 || num_nodes > num_qubits.max(1) {
+            return Err(CircuitError::InvalidPartition {
+                reason: format!("cannot spread {num_qubits} qubits over {num_nodes} nodes"),
+            });
+        }
+        let per = num_qubits.div_ceil(num_nodes);
+        let node_of = (0..num_qubits)
+            .map(|q| NodeId::new((q / per).min(num_nodes - 1)))
+            .collect();
+        Ok(Partition { node_of, num_nodes })
+    }
+
+    /// Round-robin partition (qubit `i` on node `i mod k`); a deliberately
+    /// bad layout useful in tests and partitioner comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidPartition`] if `num_nodes` is zero.
+    pub fn round_robin(num_qubits: usize, num_nodes: usize) -> Result<Self, CircuitError> {
+        if num_nodes == 0 {
+            return Err(CircuitError::InvalidPartition {
+                reason: "node count must be positive".into(),
+            });
+        }
+        let node_of = (0..num_qubits).map(|q| NodeId::new(q % num_nodes)).collect();
+        Ok(Partition { node_of, num_nodes })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of qubits covered by the assignment.
+    pub fn num_qubits(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// The node hosting qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside the assignment.
+    pub fn node_of(&self, q: QubitId) -> NodeId {
+        self.node_of[q.index()]
+    }
+
+    /// The full qubit → node map.
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.node_of
+    }
+
+    /// All qubits hosted on `node`, in ascending id order.
+    pub fn qubits_on(&self, node: NodeId) -> Vec<QubitId> {
+        self.node_of
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n == node)
+            .map(|(i, _)| QubitId::new(i))
+            .collect()
+    }
+
+    /// Number of qubits hosted on `node`.
+    pub fn load_of(&self, node: NodeId) -> usize {
+        self.node_of.iter().filter(|n| **n == node).count()
+    }
+
+    /// Whether a gate spans two different nodes (and therefore needs remote
+    /// communication). Single-qubit gates are never remote; a multi-qubit
+    /// gate is remote when its operands do not all share one node.
+    pub fn is_remote(&self, gate: &Gate) -> bool {
+        let mut nodes = gate.qubits().iter().map(|&q| self.node_of(q));
+        match nodes.next() {
+            None => false,
+            Some(first) => nodes.any(|n| n != first),
+        }
+    }
+
+    /// Reassigns qubit `q` to `node` (used by the GP-TP baseline's dynamic
+    /// relocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `node` is out of range.
+    pub fn reassign(&mut self, q: QubitId, node: NodeId) {
+        assert!(node.index() < self.num_nodes, "node {node} out of range");
+        self.node_of[q.index()] = node;
+    }
+
+    /// Swaps the node assignments of two qubits (the primitive move of the
+    /// OEE partitioner and of exchange-based relocation).
+    pub fn swap_qubits(&mut self, a: QubitId, b: QubitId) {
+        self.node_of.swap(a.index(), b.index());
+    }
+
+    /// Maximum node load minus minimum node load; 0 or 1 for balanced
+    /// partitions.
+    pub fn imbalance(&self) -> usize {
+        let loads: Vec<usize> =
+            (0..self.num_nodes).map(|n| self.load_of(NodeId::new(n))).collect();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        let min = loads.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partition({} qubits over {} nodes)", self.node_of.len(), self.num_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn block_partition_is_balanced() {
+        let p = Partition::block(10, 3).unwrap();
+        assert_eq!(p.num_nodes(), 3);
+        assert!(p.imbalance() <= 2); // 4,4,2
+        assert_eq!(p.node_of(q(0)).index(), 0);
+        assert_eq!(p.node_of(q(9)).index(), 2);
+    }
+
+    #[test]
+    fn block_partition_exact_division() {
+        let p = Partition::block(9, 3).unwrap();
+        assert_eq!(p.imbalance(), 0);
+        for n in 0..3 {
+            assert_eq!(p.load_of(NodeId::new(n)), 3);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_neighbors() {
+        let p = Partition::round_robin(6, 2).unwrap();
+        assert_eq!(p.node_of(q(0)).index(), 0);
+        assert_eq!(p.node_of(q(1)).index(), 1);
+        assert!(p.is_remote(&Gate::cx(q(0), q(1))));
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert!(Partition::block(4, 0).is_err());
+        assert!(Partition::block(4, 5).is_err());
+        assert!(Partition::from_assignment(vec![NodeId::new(3)], 2).is_err());
+        assert!(Partition::round_robin(4, 0).is_err());
+    }
+
+    #[test]
+    fn remote_detection() {
+        let p = Partition::block(4, 2).unwrap();
+        assert!(!p.is_remote(&Gate::h(q(0))));
+        assert!(!p.is_remote(&Gate::cx(q(0), q(1))));
+        assert!(p.is_remote(&Gate::cx(q(1), q(2))));
+        assert!(p.is_remote(&Gate::ccx(q(0), q(1), q(2))));
+        let p3 = Partition::block(6, 2).unwrap();
+        assert!(!p3.is_remote(&Gate::ccx(q(0), q(1), q(2))));
+    }
+
+    #[test]
+    fn qubits_on_and_reassign() {
+        let mut p = Partition::block(4, 2).unwrap();
+        assert_eq!(p.qubits_on(NodeId::new(0)), vec![q(0), q(1)]);
+        p.reassign(q(1), NodeId::new(1));
+        assert_eq!(p.qubits_on(NodeId::new(1)), vec![q(1), q(2), q(3)]);
+        p.swap_qubits(q(0), q(2));
+        assert_eq!(p.node_of(q(0)).index(), 1);
+        assert_eq!(p.node_of(q(2)).index(), 0);
+    }
+}

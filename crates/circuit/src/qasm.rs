@@ -1,0 +1,97 @@
+//! Minimal OpenQASM-2 style export, for debugging and the example binaries.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, GateKind};
+
+/// Renders `circuit` as OpenQASM-2-flavoured text.
+///
+/// The output targets human inspection and interoperability smoke tests; it
+/// uses the `qelib1` gate names and renders classically conditioned gates
+/// with the `if (c[i] == 1)` form.
+///
+/// ```
+/// use dqc_circuit::{to_qasm, Circuit, Gate, QubitId};
+/// # fn main() -> Result<(), dqc_circuit::CircuitError> {
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::h(QubitId::new(0)))?;
+/// c.push(Gate::cx(QubitId::new(0), QubitId::new(1)))?;
+/// let qasm = to_qasm(&c);
+/// assert!(qasm.contains("h q[0];"));
+/// assert!(qasm.contains("cx q[0], q[1];"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if circuit.num_cbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_cbits());
+    }
+    for g in circuit.gates() {
+        if let Some(cond) = g.condition() {
+            let _ = write!(out, "if (c[{}] == 1) ", cond.index());
+        }
+        match g.kind() {
+            GateKind::Measure => {
+                let c = g.cbit().expect("measure carries a cbit");
+                let _ = writeln!(out, "measure q[{}] -> c[{}];", g.qubits()[0].index(), c.index());
+                continue;
+            }
+            GateKind::Barrier => {
+                let qs: Vec<String> =
+                    g.qubits().iter().map(|q| format!("q[{}]", q.index())).collect();
+                let _ = writeln!(out, "barrier {};", qs.join(", "));
+                continue;
+            }
+            _ => {}
+        }
+        out.push_str(g.kind().name());
+        if !g.params().is_empty() {
+            let ps: Vec<String> = g.params().iter().map(|p| format!("{p}")).collect();
+            let _ = write!(out, "({})", ps.join(", "));
+        }
+        let qs: Vec<String> = g.qubits().iter().map(|q| format!("q[{}]", q.index())).collect();
+        let _ = writeln!(out, " {};", qs.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CBitId, Gate, QubitId};
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn header_and_registers() {
+        let c = Circuit::with_cbits(3, 2);
+        let s = to_qasm(&c);
+        assert!(s.starts_with("OPENQASM 2.0;"));
+        assert!(s.contains("qreg q[3];"));
+        assert!(s.contains("creg c[2];"));
+    }
+
+    #[test]
+    fn parameterized_and_conditioned_gates() {
+        let mut c = Circuit::with_cbits(2, 1);
+        c.push(Gate::rz(0.5, q(0))).unwrap();
+        c.push(Gate::measure(q(0), CBitId::new(0))).unwrap();
+        c.push(Gate::x(q(1)).with_condition(CBitId::new(0))).unwrap();
+        let s = to_qasm(&c);
+        assert!(s.contains("rz(0.5) q[0];"));
+        assert!(s.contains("measure q[0] -> c[0];"));
+        assert!(s.contains("if (c[0] == 1) x q[1];"));
+    }
+
+    #[test]
+    fn barrier_rendering() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::barrier(&[q(0), q(1)])).unwrap();
+        assert!(to_qasm(&c).contains("barrier q[0], q[1];"));
+    }
+}

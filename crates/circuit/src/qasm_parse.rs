@@ -1,0 +1,402 @@
+//! Minimal OpenQASM-2 parser for the dialect produced by [`crate::to_qasm`].
+//!
+//! Supports one quantum and one classical register, the `qelib1` gate names
+//! used by this workspace, `measure`, `barrier`, `reset`, and the
+//! single-bit `if (c[i] == 1)` conditional form — enough for round-tripping
+//! compiled programs and for importing externally generated benchmarks that
+//! stick to this common subset.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CBitId, Circuit, CircuitError, Gate, QubitId};
+
+/// Errors produced while parsing OpenQASM text.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum QasmParseError {
+    /// The line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The program uses a gate the IR does not model.
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// The offending gate name.
+        name: String,
+    },
+    /// A register was re-declared or missing.
+    Register {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The parsed gate failed IR validation.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for QasmParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmParseError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            QasmParseError::UnsupportedGate { line, name } => {
+                write!(f, "unsupported gate `{name}` on line {line}")
+            }
+            QasmParseError::Register { message } => write!(f, "register error: {message}"),
+            QasmParseError::Circuit(e) => write!(f, "invalid gate: {e}"),
+        }
+    }
+}
+
+impl Error for QasmParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QasmParseError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for QasmParseError {
+    fn from(e: CircuitError) -> Self {
+        QasmParseError::Circuit(e)
+    }
+}
+
+/// Parses OpenQASM-2 text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`QasmParseError`] for unknown syntax, unsupported gates, or
+/// register violations.
+///
+/// ```
+/// use dqc_circuit::{from_qasm, to_qasm, Circuit, Gate, QubitId};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::h(QubitId::new(0)))?;
+/// c.push(Gate::cx(QubitId::new(0), QubitId::new(1)))?;
+/// let parsed = from_qasm(&to_qasm(&c))?;
+/// assert_eq!(parsed, c);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_qasm(text: &str) -> Result<Circuit, QasmParseError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut num_cbits = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty()
+            || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+        {
+            continue;
+        }
+        let stmt = line.strip_suffix(';').ok_or_else(|| QasmParseError::Syntax {
+            line: line_no,
+            message: "missing `;`".into(),
+        })?;
+
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let size = parse_decl(rest, 'q').ok_or_else(|| QasmParseError::Register {
+                message: format!("bad qreg declaration `{stmt}`"),
+            })?;
+            if circuit.is_some() {
+                return Err(QasmParseError::Register {
+                    message: "multiple qreg declarations".into(),
+                });
+            }
+            circuit = Some(Circuit::with_cbits(size, num_cbits));
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("creg") {
+            let size = parse_decl(rest, 'c').ok_or_else(|| QasmParseError::Register {
+                message: format!("bad creg declaration `{stmt}`"),
+            })?;
+            num_cbits = size;
+            if let Some(c) = &mut circuit {
+                c.ensure_cbits(size);
+            }
+            continue;
+        }
+
+        let circuit_ref = circuit.as_mut().ok_or_else(|| QasmParseError::Register {
+            message: "statement before qreg declaration".into(),
+        })?;
+
+        // Conditional prefix: `if (c[i] == 1) <gate>`.
+        let (condition, body) = if let Some(rest) = stmt.strip_prefix("if") {
+            let rest = rest.trim_start();
+            let close = rest.find(')').ok_or_else(|| QasmParseError::Syntax {
+                line: line_no,
+                message: "unterminated `if (...)`".into(),
+            })?;
+            let cond_text = &rest[..close];
+            let bit = cond_text
+                .trim_start_matches(['(', ' '])
+                .strip_prefix("c[")
+                .and_then(|t| t.split(']').next())
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(|| QasmParseError::Syntax {
+                    line: line_no,
+                    message: format!("bad condition `{cond_text}`"),
+                })?;
+            if !cond_text.contains("== 1") {
+                return Err(QasmParseError::Syntax {
+                    line: line_no,
+                    message: "only `== 1` conditions are supported".into(),
+                });
+            }
+            (Some(CBitId::new(bit)), rest[close + 1..].trim())
+        } else {
+            (None, stmt)
+        };
+
+        let gate = parse_gate(body, line_no)?;
+        let gate = match condition {
+            Some(c) => gate.with_condition(c),
+            None => gate,
+        };
+        for bit in [gate.cbit(), gate.condition()].into_iter().flatten() {
+            circuit_ref.ensure_cbits(bit.index() + 1);
+        }
+        circuit_ref.push(gate)?;
+    }
+
+    circuit.ok_or(QasmParseError::Register { message: "no qreg declaration".into() })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_decl(rest: &str, reg: char) -> Option<usize> {
+    let rest = rest.trim();
+    let rest = rest.strip_prefix(reg)?;
+    let rest = rest.strip_prefix('[')?;
+    rest.strip_suffix(']')?.parse().ok()
+}
+
+fn parse_operand(token: &str, line: usize) -> Result<usize, QasmParseError> {
+    token
+        .trim()
+        .strip_prefix("q[")
+        .and_then(|t| t.strip_suffix(']'))
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| QasmParseError::Syntax {
+            line,
+            message: format!("bad qubit operand `{token}`"),
+        })
+}
+
+fn parse_gate(body: &str, line: usize) -> Result<Gate, QasmParseError> {
+    // measure q[i] -> c[j]
+    if let Some(rest) = body.strip_prefix("measure") {
+        let (qpart, cpart) = rest.split_once("->").ok_or_else(|| QasmParseError::Syntax {
+            line,
+            message: "measure without `->`".into(),
+        })?;
+        let q = parse_operand(qpart, line)?;
+        let c = cpart
+            .trim()
+            .strip_prefix("c[")
+            .and_then(|t| t.strip_suffix(']'))
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| QasmParseError::Syntax {
+                line,
+                message: format!("bad classical operand `{cpart}`"),
+            })?;
+        return Ok(Gate::measure(QubitId::new(q), CBitId::new(c)));
+    }
+
+    // name(params)? operands — split after the parameter list when present
+    // (parameters may contain spaces, e.g. `u3(0.1, 0.2, 0.3) q[3]`).
+    let (head, operand_text) = if let Some(open) = body.find('(') {
+        let close = body[open..].find(')').map(|i| open + i).ok_or_else(|| {
+            QasmParseError::Syntax { line, message: "unterminated parameter list".into() }
+        })?;
+        (&body[..=close], body[close + 1..].trim())
+    } else {
+        body.split_once(' ').ok_or_else(|| QasmParseError::Syntax {
+            line,
+            message: format!("missing operands in `{body}`"),
+        })?
+    };
+    let (name, params): (&str, Vec<f64>) = match head.split_once('(') {
+        Some((n, ptext)) => {
+            let ptext = ptext.strip_suffix(')').ok_or_else(|| QasmParseError::Syntax {
+                line,
+                message: "unterminated parameter list".into(),
+            })?;
+            let params = ptext
+                .split(',')
+                .map(|p| p.trim().parse::<f64>())
+                .collect::<Result<Vec<f64>, _>>()
+                .map_err(|_| QasmParseError::Syntax {
+                    line,
+                    message: format!("bad parameters `{ptext}`"),
+                })?;
+            (n, params)
+        }
+        None => (head, Vec::new()),
+    };
+
+    let operands: Vec<QubitId> = operand_text
+        .split(',')
+        .map(|t| parse_operand(t, line).map(QubitId::new))
+        .collect::<Result<_, _>>()?;
+
+    let q = |i: usize| operands[i];
+    let arity = operands.len();
+    let expect = |n: usize| -> Result<(), QasmParseError> {
+        if arity == n {
+            Ok(())
+        } else {
+            Err(QasmParseError::Syntax {
+                line,
+                message: format!("`{name}` expects {n} operands, got {arity}"),
+            })
+        }
+    };
+    let theta = |params: &[f64]| -> Result<f64, QasmParseError> {
+        params.first().copied().ok_or_else(|| QasmParseError::Syntax {
+            line,
+            message: format!("`{name}` needs a parameter"),
+        })
+    };
+
+    let gate = match name {
+        "id" => { expect(1)?; Gate::i(q(0)) }
+        "h" => { expect(1)?; Gate::h(q(0)) }
+        "x" => { expect(1)?; Gate::x(q(0)) }
+        "y" => { expect(1)?; Gate::y(q(0)) }
+        "z" => { expect(1)?; Gate::z(q(0)) }
+        "s" => { expect(1)?; Gate::s(q(0)) }
+        "sdg" => { expect(1)?; Gate::sdg(q(0)) }
+        "t" => { expect(1)?; Gate::t(q(0)) }
+        "tdg" => { expect(1)?; Gate::tdg(q(0)) }
+        "sx" => { expect(1)?; Gate::sx(q(0)) }
+        "rx" => { expect(1)?; Gate::rx(theta(&params)?, q(0)) }
+        "ry" => { expect(1)?; Gate::ry(theta(&params)?, q(0)) }
+        "rz" => { expect(1)?; Gate::rz(theta(&params)?, q(0)) }
+        "p" | "u1" => { expect(1)?; Gate::phase(theta(&params)?, q(0)) }
+        "u3" | "u" => {
+            expect(1)?;
+            if params.len() != 3 {
+                return Err(QasmParseError::Syntax {
+                    line,
+                    message: "u3 needs three parameters".into(),
+                });
+            }
+            Gate::u3(params[0], params[1], params[2], q(0))
+        }
+        "cx" | "CX" => { expect(2)?; Gate::cx(q(0), q(1)) }
+        "cz" => { expect(2)?; Gate::cz(q(0), q(1)) }
+        "swap" => { expect(2)?; Gate::swap(q(0), q(1)) }
+        "crz" => { expect(2)?; Gate::crz(theta(&params)?, q(0), q(1)) }
+        "cp" | "cu1" => { expect(2)?; Gate::cp(theta(&params)?, q(0), q(1)) }
+        "rzz" => { expect(2)?; Gate::rzz(theta(&params)?, q(0), q(1)) }
+        "ccx" => { expect(3)?; Gate::ccx(q(0), q(1), q(2)) }
+        "mcx" => {
+            let (controls, target) = operands.split_at(arity - 1);
+            Gate::mcx(controls, target[0])
+        }
+        "reset" => { expect(1)?; Gate::reset(q(0)) }
+        "barrier" => Gate::barrier(&operands),
+        other => {
+            return Err(QasmParseError::UnsupportedGate { line, name: other.into() })
+        }
+    };
+    Ok(gate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_qasm;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn parses_basic_program() {
+        let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[1];\nh q[0];\ncx q[0], q[1];\nrz(0.5) q[2];\nmeasure q[2] -> c[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.num_cbits(), 1);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.gates()[0], Gate::h(q(0)));
+        assert_eq!(c.gates()[1], Gate::cx(q(0), q(1)));
+    }
+
+    #[test]
+    fn parses_conditionals_and_reset() {
+        let text = "qreg q[2];\ncreg c[2];\nreset q[0];\nif (c[1] == 1) x q[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.gates()[0], Gate::reset(q(0)));
+        assert_eq!(c.gates()[1], Gate::x(q(0)).with_condition(CBitId::new(1)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "// header\nqreg q[1];\n\nh q[0]; // flip basis\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = from_qasm("qreg q[1];\nfrobnicate q[0];\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::UnsupportedGate { line: 2, .. }));
+        let err = from_qasm("qreg q[1];\nh q[0]\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::Syntax { line: 2, .. }));
+        let err = from_qasm("h q[0];\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::Register { .. }));
+    }
+
+    #[test]
+    fn round_trips_every_gate_kind() {
+        let mut c = Circuit::with_cbits(4, 2);
+        c.push(Gate::h(q(0))).unwrap();
+        c.push(Gate::sdg(q(1))).unwrap();
+        c.push(Gate::rx(0.25, q(2))).unwrap();
+        c.push(Gate::u3(0.1, 0.2, 0.3, q(3))).unwrap();
+        c.push(Gate::cx(q(0), q(1))).unwrap();
+        c.push(Gate::crz(1.5, q(1), q(2))).unwrap();
+        c.push(Gate::rzz(0.7, q(2), q(3))).unwrap();
+        c.push(Gate::ccx(q(0), q(1), q(2))).unwrap();
+        c.push(Gate::mcx(&[q(0), q(1), q(2)], q(3))).unwrap();
+        c.push(Gate::barrier(&[q(0), q(1)])).unwrap();
+        c.push(Gate::measure(q(0), CBitId::new(0))).unwrap();
+        c.push(Gate::z(q(1)).with_condition(CBitId::new(0))).unwrap();
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn round_trips_generated_workload_text() {
+        // Structural round-trip of a decomposed benchmark circuit.
+        let mut c = Circuit::new(4);
+        for g in [
+            Gate::h(q(3)),
+            Gate::cp(0.785, q(2), q(3)),
+            Gate::cp(0.392, q(1), q(3)),
+            Gate::swap(q(0), q(3)),
+        ] {
+            c.push(g).unwrap();
+        }
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+}

@@ -1,0 +1,167 @@
+//! Circuit statistics matching the columns of the paper's Table 2.
+
+use std::collections::HashMap;
+
+use crate::{Circuit, GateKind, Partition};
+
+/// Summary statistics of a (possibly distributed) circuit.
+///
+/// The fields mirror the paper's Table 2: total gate count, two-qubit gate
+/// count in the unrolled basis, and — when a [`Partition`] is supplied —
+/// the number of remote two-qubit gates under that qubit mapping.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Total number of gates (excluding barriers).
+    pub num_gates: usize,
+    /// Number of two-qubit unitaries (“# CX” once unrolled).
+    pub num_2q: usize,
+    /// Number of single-qubit unitaries.
+    pub num_1q: usize,
+    /// Number of measurements.
+    pub num_measure: usize,
+    /// Number of remote two-qubit unitaries under the partition (0 when no
+    /// partition was supplied).
+    pub num_remote_2q: usize,
+    /// Gate count per kind.
+    pub by_kind: HashMap<GateKind, usize>,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`, counting remote gates against
+    /// `partition` when one is given.
+    ///
+    /// ```
+    /// use dqc_circuit::{Circuit, CircuitStats, Gate, Partition, QubitId};
+    /// # fn main() -> Result<(), dqc_circuit::CircuitError> {
+    /// let mut c = Circuit::new(4);
+    /// c.push(Gate::h(QubitId::new(0)))?;
+    /// c.push(Gate::cx(QubitId::new(0), QubitId::new(2)))?;
+    /// let p = Partition::block(4, 2)?;
+    /// let stats = CircuitStats::of(&c, Some(&p));
+    /// assert_eq!(stats.num_2q, 1);
+    /// assert_eq!(stats.num_remote_2q, 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(circuit: &Circuit, partition: Option<&Partition>) -> Self {
+        let mut s = CircuitStats::default();
+        for g in circuit.gates() {
+            if g.kind() == GateKind::Barrier {
+                continue;
+            }
+            s.num_gates += 1;
+            *s.by_kind.entry(g.kind()).or_insert(0) += 1;
+            if g.is_two_qubit_unitary() {
+                s.num_2q += 1;
+                if let Some(p) = partition {
+                    if p.is_remote(g) {
+                        s.num_remote_2q += 1;
+                    }
+                }
+            } else if g.is_single_qubit_unitary() {
+                s.num_1q += 1;
+            } else if g.kind() == GateKind::Measure {
+                s.num_measure += 1;
+            }
+        }
+        s
+    }
+}
+
+/// Circuit depth: the length of the longest qubit-dependency chain, with
+/// every gate counted as one layer (classical bits included as dependencies).
+///
+/// ```
+/// use dqc_circuit::{circuit_depth, Circuit, Gate, QubitId};
+/// # fn main() -> Result<(), dqc_circuit::CircuitError> {
+/// let q = |i| QubitId::new(i);
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::h(q(0)))?;
+/// c.push(Gate::cx(q(0), q(1)))?;
+/// c.push(Gate::h(q(2)))?; // parallel with the others
+/// assert_eq!(circuit_depth(&c), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn circuit_depth(circuit: &Circuit) -> usize {
+    let mut qubit_level = vec![0usize; circuit.num_qubits()];
+    let mut cbit_level = vec![0usize; circuit.num_cbits()];
+    let mut depth = 0;
+    for g in circuit.gates() {
+        let mut level = 0;
+        for &q in g.qubits() {
+            level = level.max(qubit_level[q.index()]);
+        }
+        for c in [g.cbit(), g.condition()].into_iter().flatten() {
+            level = level.max(cbit_level[c.index()]);
+        }
+        let level = level + 1;
+        for &q in g.qubits() {
+            qubit_level[q.index()] = level;
+        }
+        for c in [g.cbit(), g.condition()].into_iter().flatten() {
+            cbit_level[c.index()] = level;
+        }
+        depth = depth.max(level);
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CBitId, Gate, QubitId};
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut c = Circuit::with_cbits(3, 1);
+        c.push(Gate::h(q(0))).unwrap();
+        c.push(Gate::h(q(1))).unwrap();
+        c.push(Gate::cx(q(0), q(1))).unwrap();
+        c.push(Gate::measure(q(0), CBitId::new(0))).unwrap();
+        c.push(Gate::barrier(&[q(0), q(1)])).unwrap();
+        let s = CircuitStats::of(&c, None);
+        assert_eq!(s.num_gates, 4); // barrier excluded
+        assert_eq!(s.num_1q, 2);
+        assert_eq!(s.num_2q, 1);
+        assert_eq!(s.num_measure, 1);
+        assert_eq!(s.by_kind[&GateKind::H], 2);
+    }
+
+    #[test]
+    fn remote_counting_respects_partition() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(1))).unwrap(); // local
+        c.push(Gate::cx(q(1), q(2))).unwrap(); // remote
+        c.push(Gate::cx(q(2), q(3))).unwrap(); // local
+        let p = Partition::block(4, 2).unwrap();
+        let s = CircuitStats::of(&c, Some(&p));
+        assert_eq!(s.num_remote_2q, 1);
+    }
+
+    #[test]
+    fn depth_of_empty_circuit_is_zero() {
+        assert_eq!(circuit_depth(&Circuit::new(3)), 0);
+    }
+
+    #[test]
+    fn depth_chains_through_shared_qubits() {
+        let mut c = Circuit::new(2);
+        for _ in 0..5 {
+            c.push(Gate::cx(q(0), q(1))).unwrap();
+        }
+        assert_eq!(circuit_depth(&c), 5);
+    }
+
+    #[test]
+    fn depth_chains_through_classical_bits() {
+        let mut c = Circuit::with_cbits(2, 1);
+        c.push(Gate::measure(q(0), CBitId::new(0))).unwrap();
+        c.push(Gate::x(q(1)).with_condition(CBitId::new(0))).unwrap();
+        assert_eq!(circuit_depth(&c), 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Gate unrolling into the `CX + U3` basis (the paper's “Gate Unrolling”
+//! front-end stage, Figure 1).
+//!
+//! Every multi-qubit gate is rewritten into CX gates plus single-qubit
+//! gates. Multi-controlled X gates use the linear-cost dirty-ancilla
+//! V-chain of Barenco et al. (Lemma 7.2), falling back to one level of the
+//! Lemma 7.3 ABAB split when fewer than `n - 2` ancillas are free; both
+//! constructions tolerate ancillas in arbitrary (dirty) states. Correctness
+//! of every rule is verified against dense unitaries in `dqc-sim`'s test
+//! suite.
+
+use crate::{Circuit, CircuitError, Gate, GateKind, QubitId};
+
+/// Unrolls one gate into the `CX + U3` basis.
+///
+/// `num_qubits` is the register size, used to locate dirty ancillas for
+/// multi-controlled gates.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InsufficientAncillas`] when a `Mcx` with three or
+/// more controls has no free qubit to borrow.
+///
+/// ```
+/// use dqc_circuit::{unroll_gate, Gate, GateKind, QubitId};
+/// let crz = Gate::crz(0.5, QubitId::new(0), QubitId::new(1));
+/// let gates = unroll_gate(&crz, 2).unwrap();
+/// assert_eq!(gates.iter().filter(|g| g.kind() == GateKind::Cx).count(), 2);
+/// ```
+pub fn unroll_gate(gate: &Gate, num_qubits: usize) -> Result<Vec<Gate>, CircuitError> {
+    let q = gate.qubits();
+    let out = match gate.kind() {
+        // Already in basis (or non-unitary bookkeeping).
+        GateKind::I
+        | GateKind::H
+        | GateKind::X
+        | GateKind::Y
+        | GateKind::Z
+        | GateKind::S
+        | GateKind::Sdg
+        | GateKind::T
+        | GateKind::Tdg
+        | GateKind::Sx
+        | GateKind::Rx
+        | GateKind::Ry
+        | GateKind::Rz
+        | GateKind::Phase
+        | GateKind::U3
+        | GateKind::Cx
+        | GateKind::Measure
+        | GateKind::Reset
+        | GateKind::Barrier => vec![gate.clone()],
+        GateKind::Cz => {
+            let (a, b) = (q[0], q[1]);
+            vec![Gate::h(b), Gate::cx(a, b), Gate::h(b)]
+        }
+        GateKind::Crz => {
+            let theta = gate.theta().expect("crz has a parameter");
+            let (c, t) = (q[0], q[1]);
+            vec![
+                Gate::rz(theta / 2.0, t),
+                Gate::cx(c, t),
+                Gate::rz(-theta / 2.0, t),
+                Gate::cx(c, t),
+            ]
+        }
+        GateKind::Cp => {
+            let theta = gate.theta().expect("cp has a parameter");
+            let (a, b) = (q[0], q[1]);
+            vec![
+                Gate::phase(theta / 2.0, a),
+                Gate::phase(theta / 2.0, b),
+                Gate::cx(a, b),
+                Gate::phase(-theta / 2.0, b),
+                Gate::cx(a, b),
+            ]
+        }
+        GateKind::Rzz => {
+            let theta = gate.theta().expect("rzz has a parameter");
+            let (a, b) = (q[0], q[1]);
+            vec![Gate::cx(a, b), Gate::rz(theta, b), Gate::cx(a, b)]
+        }
+        GateKind::Swap => {
+            let (a, b) = (q[0], q[1]);
+            vec![Gate::cx(a, b), Gate::cx(b, a), Gate::cx(a, b)]
+        }
+        GateKind::Ccx => ccx_basis(q[0], q[1], q[2]),
+        GateKind::Mcx => {
+            let (controls, target) = q.split_at(q.len() - 1);
+            let mut toffolis = Vec::new();
+            mcx_to_toffolis(controls, target[0], num_qubits, &mut toffolis)?;
+            let mut out = Vec::with_capacity(toffolis.len() * 15);
+            for g in toffolis {
+                match g.kind() {
+                    GateKind::Ccx => {
+                        let p = g.qubits();
+                        out.extend(ccx_basis(p[0], p[1], p[2]));
+                    }
+                    _ => out.push(g),
+                }
+            }
+            out
+        }
+    };
+    Ok(out)
+}
+
+/// Unrolls every gate of `circuit` into the `CX + U3` basis.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError::InsufficientAncillas`] from multi-controlled
+/// gates; register-bound errors cannot occur because the input circuit is
+/// already validated.
+pub fn unroll_circuit(circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let mut out = Circuit::with_cbits(circuit.num_qubits(), circuit.num_cbits());
+    for gate in circuit.gates() {
+        for g in unroll_gate(gate, circuit.num_qubits())? {
+            out.push(g)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Textbook 6-CX Toffoli decomposition (controls `a`, `b`; target `t`).
+fn ccx_basis(a: QubitId, b: QubitId, t: QubitId) -> Vec<Gate> {
+    vec![
+        Gate::h(t),
+        Gate::cx(b, t),
+        Gate::tdg(t),
+        Gate::cx(a, t),
+        Gate::t(t),
+        Gate::cx(b, t),
+        Gate::tdg(t),
+        Gate::cx(a, t),
+        Gate::t(b),
+        Gate::t(t),
+        Gate::h(t),
+        Gate::cx(a, b),
+        Gate::t(a),
+        Gate::tdg(b),
+        Gate::cx(a, b),
+    ]
+}
+
+/// Lowers an `n`-controlled X into Toffoli/CX/X gates using dirty ancillas.
+fn mcx_to_toffolis(
+    controls: &[QubitId],
+    target: QubitId,
+    num_qubits: usize,
+    out: &mut Vec<Gate>,
+) -> Result<(), CircuitError> {
+    match controls.len() {
+        0 => {
+            out.push(Gate::x(target));
+            Ok(())
+        }
+        1 => {
+            out.push(Gate::cx(controls[0], target));
+            Ok(())
+        }
+        2 => {
+            out.push(Gate::ccx(controls[0], controls[1], target));
+            Ok(())
+        }
+        n => {
+            let free = free_qubits(controls, target, num_qubits);
+            if free.len() >= n - 2 {
+                v_chain(controls, &free[..n - 2], target, out);
+                Ok(())
+            } else if !free.is_empty() {
+                split_mcx(controls, target, free[0], num_qubits, out)
+            } else {
+                Err(CircuitError::InsufficientAncillas { needed: 1, available: 0 })
+            }
+        }
+    }
+}
+
+/// Qubits in `0..num_qubits` that are neither controls nor the target.
+fn free_qubits(controls: &[QubitId], target: QubitId, num_qubits: usize) -> Vec<QubitId> {
+    (0..num_qubits)
+        .map(QubitId::new)
+        .filter(|q| *q != target && !controls.contains(q))
+        .collect()
+}
+
+/// Barenco Lemma 7.2 V-chain: `4(n-2)` Toffolis with `n-2` dirty ancillas.
+///
+/// The toggle network is emitted twice; the second pass cancels all dirt on
+/// the ancillas while the target accumulates exactly the AND of all
+/// controls.
+fn v_chain(controls: &[QubitId], ancillas: &[QubitId], target: QubitId, out: &mut Vec<Gate>) {
+    let n = controls.len();
+    debug_assert!(n >= 3 && ancillas.len() >= n - 2);
+    let mut seq = Vec::with_capacity(2 * (n - 2));
+    seq.push(Gate::ccx(controls[n - 1], ancillas[n - 3], target));
+    for i in (2..=n - 2).rev() {
+        seq.push(Gate::ccx(controls[i], ancillas[i - 2], ancillas[i - 1]));
+    }
+    seq.push(Gate::ccx(controls[1], controls[0], ancillas[0]));
+    for i in 2..=n - 2 {
+        seq.push(Gate::ccx(controls[i], ancillas[i - 2], ancillas[i - 1]));
+    }
+    out.extend(seq.iter().cloned());
+    out.extend(seq);
+}
+
+/// Barenco Lemma 7.3 ABAB split using a single dirty ancilla; each half then
+/// has enough spare qubits for the V-chain.
+fn split_mcx(
+    controls: &[QubitId],
+    target: QubitId,
+    ancilla: QubitId,
+    num_qubits: usize,
+    out: &mut Vec<Gate>,
+) -> Result<(), CircuitError> {
+    let n = controls.len();
+    let m = n.div_ceil(2);
+    let (low, high) = controls.split_at(m);
+    let mut upper: Vec<QubitId> = high.to_vec();
+    upper.push(ancilla);
+    // Time order A B A B with A = C^{|upper|}X(upper → target) reading the
+    // ancilla's initial value first, B = C^{m}X(low → ancilla); the target
+    // toggles exactly when all of `low` and `high` are one.
+    for _ in 0..2 {
+        mcx_to_toffolis(&upper, target, num_qubits, out)?;
+        mcx_to_toffolis(low, ancilla, num_qubits, out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn cx_count(gates: &[Gate]) -> usize {
+        gates.iter().filter(|g| g.kind() == GateKind::Cx).count()
+    }
+
+    fn in_basis(gates: &[Gate]) -> bool {
+        gates.iter().all(|g| {
+            g.num_qubits() == 1 || g.kind() == GateKind::Cx
+        })
+    }
+
+    #[test]
+    fn basis_gates_pass_through() {
+        for g in [Gate::h(q(0)), Gate::rz(0.2, q(0)), Gate::cx(q(0), q(1))] {
+            assert_eq!(unroll_gate(&g, 2).unwrap(), vec![g.clone()]);
+        }
+    }
+
+    #[test]
+    fn crz_uses_two_cx() {
+        let gates = unroll_gate(&Gate::crz(0.7, q(0), q(1)), 2).unwrap();
+        assert_eq!(gates.len(), 4);
+        assert_eq!(cx_count(&gates), 2);
+        assert!(in_basis(&gates));
+    }
+
+    #[test]
+    fn cp_uses_two_cx() {
+        let gates = unroll_gate(&Gate::cp(0.7, q(0), q(1)), 2).unwrap();
+        assert_eq!(cx_count(&gates), 2);
+        assert!(in_basis(&gates));
+    }
+
+    #[test]
+    fn rzz_uses_two_cx() {
+        let gates = unroll_gate(&Gate::rzz(0.7, q(0), q(1)), 2).unwrap();
+        assert_eq!(gates.len(), 3);
+        assert_eq!(cx_count(&gates), 2);
+    }
+
+    #[test]
+    fn swap_uses_three_cx() {
+        let gates = unroll_gate(&Gate::swap(q(0), q(1)), 2).unwrap();
+        assert_eq!(gates.len(), 3);
+        assert_eq!(cx_count(&gates), 3);
+    }
+
+    #[test]
+    fn ccx_uses_six_cx() {
+        let gates = unroll_gate(&Gate::ccx(q(0), q(1), q(2)), 3).unwrap();
+        assert_eq!(gates.len(), 15);
+        assert_eq!(cx_count(&gates), 6);
+        assert!(in_basis(&gates));
+    }
+
+    #[test]
+    fn mcx_small_cases() {
+        let g = Gate::mcx(&[], q(0));
+        assert_eq!(unroll_gate(&g, 1).unwrap(), vec![Gate::x(q(0))]);
+        let g = Gate::mcx(&[q(0)], q(1));
+        assert_eq!(unroll_gate(&g, 2).unwrap(), vec![Gate::cx(q(0), q(1))]);
+        let g = Gate::mcx(&[q(0), q(1)], q(2));
+        assert_eq!(cx_count(&unroll_gate(&g, 3).unwrap()), 6);
+    }
+
+    #[test]
+    fn mcx_v_chain_is_linear() {
+        // n controls with n-2 spare qubits → 4(n-2) Toffolis → 24(n-2) CX.
+        for n in 3..10usize {
+            let total = 2 * n - 1; // n controls + 1 target + (n-2) ancillas
+            let controls: Vec<QubitId> = (0..n).map(q).collect();
+            let g = Gate::mcx(&controls, q(n));
+            let gates = unroll_gate(&g, total).unwrap();
+            assert_eq!(cx_count(&gates), 24 * (n - 2), "n = {n}");
+            assert!(in_basis(&gates));
+        }
+    }
+
+    #[test]
+    fn mcx_split_with_single_ancilla() {
+        // 5 controls, 1 target, exactly 1 spare qubit → must use the split.
+        let controls: Vec<QubitId> = (0..5).map(q).collect();
+        let g = Gate::mcx(&controls, q(5));
+        let gates = unroll_gate(&g, 7).unwrap();
+        assert!(in_basis(&gates));
+        assert!(cx_count(&gates) > 0);
+    }
+
+    #[test]
+    fn mcx_without_ancilla_fails() {
+        let controls: Vec<QubitId> = (0..5).map(q).collect();
+        let g = Gate::mcx(&controls, q(5));
+        let err = unroll_gate(&g, 6).unwrap_err();
+        assert!(matches!(err, CircuitError::InsufficientAncillas { .. }));
+    }
+
+    #[test]
+    fn unroll_circuit_preserves_registers() {
+        let mut c = Circuit::with_cbits(3, 2);
+        c.push(Gate::crz(0.1, q(0), q(1))).unwrap();
+        c.push(Gate::swap(q(1), q(2))).unwrap();
+        let u = unroll_circuit(&c).unwrap();
+        assert_eq!(u.num_qubits(), 3);
+        assert_eq!(u.num_cbits(), 2);
+        assert_eq!(u.len(), 7);
+        assert!(in_basis(u.gates()));
+    }
+}

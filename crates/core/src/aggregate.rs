@@ -1,0 +1,584 @@
+//! Communication aggregation (paper §4.2).
+//!
+//! The pass uncovers burst communication hidden in the gate stream. For
+//! each qubit-node pair, in descending order of remote-gate count
+//! (*preprocessing*), it grows blocks along the circuit: gates between two
+//! remote gates of the pair are *hoisted* out when they commute with
+//! everything they would cross (the merge direction of paper Algorithm 1),
+//! *absorbed* into the block interior when they are legal body gates
+//! (Algorithm 1's `non_commute_gates`), or *deferred* behind the block
+//! otherwise; an unmovable conflict seals the block (*linear merge*).
+//! Remaining pairs are processed against the already-built blocks
+//! (*iterative refinement*).
+//!
+//! Every reordering decision is justified by pairwise commutation
+//! ([`dqc_circuit::commutes`]), so the flattened output is provably
+//! equivalent to the input — property-tested against dense unitaries in the
+//! integration suite.
+
+use std::collections::{HashMap, HashSet};
+
+use dqc_circuit::{commutes, Circuit, Gate, NodeId, Partition, QubitId};
+
+use crate::{pair_stats, CommBlock};
+
+/// One element of an aggregated program: a local gate or a burst block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A gate executed locally on one node (or a hoisted single-qubit gate).
+    Local(Gate),
+    /// A burst-communication block.
+    Block(CommBlock),
+}
+
+/// The output of the aggregation pass: an ordered item list whose
+/// flattening is commutation-equivalent to the input circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregatedProgram {
+    items: Vec<Item>,
+    num_qubits: usize,
+    num_cbits: usize,
+}
+
+impl AggregatedProgram {
+    /// Assembles a program from parts (crate-internal; used by passes and
+    /// tests that build programs directly).
+    #[cfg(test)]
+    pub(crate) fn from_items(items: Vec<Item>, num_qubits: usize, num_cbits: usize) -> Self {
+        AggregatedProgram { items, num_qubits, num_cbits }
+    }
+
+    /// The items in execution order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Iterates over the burst blocks in execution order.
+    pub fn blocks(&self) -> impl Iterator<Item = &CommBlock> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Block(b) => Some(b),
+            Item::Local(_) => None,
+        })
+    }
+
+    /// Number of burst blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks().count()
+    }
+
+    /// Register width of the underlying program.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Flattens back to a plain circuit (blocks inlined in body order) —
+    /// the form used for equivalence checking against the input.
+    pub fn to_circuit(&self) -> Circuit {
+        let mut c = Circuit::with_cbits(self.num_qubits, self.num_cbits);
+        for item in &self.items {
+            match item {
+                Item::Local(g) => c.push(g.clone()).expect("registers preserved"),
+                Item::Block(b) => {
+                    for g in b.gates() {
+                        c.push(g.clone()).expect("registers preserved");
+                    }
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Tuning knobs for aggregation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggregateOptions {
+    /// Cap on the deferred-item window behind an open block; exceeding it
+    /// seals the block (bounds worst-case quadratic behaviour).
+    pub defer_limit: usize,
+}
+
+impl Default for AggregateOptions {
+    fn default() -> Self {
+        AggregateOptions { defer_limit: 64 }
+    }
+}
+
+/// Runs the aggregation pass. The circuit should already be unrolled to the
+/// CX+U3 basis (remote multi-qubit gates other than two-qubit unitaries are
+/// left as local items and never blocked).
+///
+/// # Panics
+///
+/// Panics if the partition does not cover the circuit's register (checked
+/// by the pipeline before calling).
+pub fn aggregate(
+    circuit: &Circuit,
+    partition: &Partition,
+    options: AggregateOptions,
+) -> AggregatedProgram {
+    assert_eq!(
+        circuit.num_qubits(),
+        partition.num_qubits(),
+        "partition must cover the circuit register"
+    );
+
+    // Rank pairs by remote-gate count (preprocessing order).
+    let stats = pair_stats(circuit, partition);
+    let mut pairs: Vec<((QubitId, NodeId), usize)> = stats.into_iter().collect();
+    pairs.sort_by(|a, b| {
+        b.1.cmp(&a.1).then_with(|| (a.0 .0, a.0 .1).cmp(&(b.0 .0, b.0 .1)))
+    });
+
+    // Occurrence lists: pair → original gate indices (arena slot ids).
+    let mut occurrences: HashMap<(QubitId, NodeId), Vec<usize>> = HashMap::new();
+    for (idx, gate) in circuit.gates().iter().enumerate() {
+        for pair in crate::remote_pairs_of(gate, partition) {
+            occurrences.entry(pair).or_default().push(idx);
+        }
+    }
+
+    let mut arena = Arena::from_circuit(circuit);
+    for (pair, _) in pairs {
+        let slots = occurrences.remove(&pair).unwrap_or_default();
+        process_pair(&mut arena, partition, pair, &slots, options);
+    }
+
+    AggregatedProgram {
+        items: arena.into_items(),
+        num_qubits: circuit.num_qubits(),
+        num_cbits: circuit.num_cbits(),
+    }
+}
+
+/// The no-commutation ablation of paper Fig. 17(a): every remote gate
+/// becomes its own singleton block — without commutation reasoning, no two
+/// remote gates of a pair can be proven co-executable (they always share
+/// the burst qubit).
+pub fn aggregate_no_commute(circuit: &Circuit, partition: &Partition) -> AggregatedProgram {
+    let items = circuit
+        .gates()
+        .iter()
+        .map(|g| {
+            if g.is_two_qubit_unitary() && partition.is_remote(g) {
+                let (q, node) = crate::remote_pairs_of(g, partition)[0];
+                let mut b = CommBlock::new(q, node);
+                b.push(g.clone());
+                Item::Block(b)
+            } else {
+                Item::Local(g.clone())
+            }
+        })
+        .collect();
+    AggregatedProgram {
+        items,
+        num_qubits: circuit.num_qubits(),
+        num_cbits: circuit.num_cbits(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linked-arena item list: O(1) hoist/absorb/remove while preserving slot ids.
+// ---------------------------------------------------------------------------
+
+struct Arena {
+    slots: Vec<Option<Item>>,
+    next: Vec<usize>,
+    prev: Vec<usize>,
+    head: usize, // sentinel index = slots.len()
+}
+
+impl Arena {
+    fn from_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let sentinel = n; // the sentinel owns slot `n` (kept `None`)
+        let mut next = vec![0; n + 1];
+        let mut prev = vec![0; n + 1];
+        for i in 0..=n {
+            next[i] = if i == n { 0 } else { i + 1 };
+            prev[i] = if i == 0 { sentinel } else { i - 1 };
+        }
+        next[n] = if n == 0 { sentinel } else { 0 };
+        prev[0] = sentinel;
+        let mut slots: Vec<Option<Item>> =
+            circuit.gates().iter().cloned().map(Item::Local).map(Some).collect();
+        slots.push(None); // sentinel slot, so new slots never collide with it
+        Arena { slots, next, prev, head: sentinel }
+    }
+
+    fn sentinel(&self) -> usize {
+        self.head
+    }
+
+    fn unlink(&mut self, i: usize) -> Item {
+        let (p, n) = (self.prev[i], self.next[i]);
+        self.next[p] = n;
+        self.prev[n] = p;
+        self.slots[i].take().expect("unlink of live slot")
+    }
+
+    /// Moves the live slot `i` to just before the live slot `before`.
+    fn move_before(&mut self, i: usize, before: usize) {
+        let item = self.unlink(i);
+        self.slots[i] = Some(item);
+        let p = self.prev[before];
+        self.next[p] = i;
+        self.prev[i] = p;
+        self.next[i] = before;
+        self.prev[before] = i;
+    }
+
+    fn into_items(self) -> Vec<Item> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        let sentinel = self.sentinel();
+        let mut cur = self.next[sentinel];
+        let mut slots = self.slots;
+        while cur != sentinel {
+            if let Some(item) = slots[cur].take() {
+                out.push(item);
+            }
+            cur = self.next[cur];
+        }
+        out
+    }
+}
+
+fn item_gates(item: &Item) -> &[Gate] {
+    match item {
+        Item::Local(g) => std::slice::from_ref(g),
+        Item::Block(b) => b.gates(),
+    }
+}
+
+fn item_commutes_with_gates(item: &Item, gates: &[Gate]) -> bool {
+    item_gates(item)
+        .iter()
+        .all(|a| gates.iter().all(|b| commutes(a, b)))
+}
+
+/// Builds blocks for one qubit-node pair along its occurrence list.
+fn process_pair(
+    arena: &mut Arena,
+    partition: &Partition,
+    (q, node): (QubitId, NodeId),
+    slots: &[usize],
+    options: AggregateOptions,
+) {
+    let is_pair_gate = |g: &Gate| -> bool {
+        g.is_two_qubit_unitary()
+            && g.condition().is_none()
+            && g.acts_on(q)
+            && g.qubits().iter().all(|&x| x == q || partition.node_of(x) == node)
+    };
+
+    // Remaining live occurrences of this pair.
+    let live: Vec<usize> = slots
+        .iter()
+        .copied()
+        .filter(|&s| matches!(&arena.slots[s], Some(Item::Local(g)) if is_pair_gate(g)))
+        .collect();
+    if live.is_empty() {
+        return;
+    }
+    let live_set: HashSet<usize> = live.iter().copied().collect();
+    let last_slot = *live.last().expect("non-empty");
+
+    let mut idx = 0usize;
+    while idx < live.len() {
+        let start = live[idx];
+        // The occurrence may have been absorbed by an earlier block of this
+        // same pass (we only advance `idx` on seals, so re-check liveness).
+        if !matches!(&arena.slots[start], Some(Item::Local(g)) if is_pair_gate(g)) {
+            idx += 1;
+            continue;
+        }
+        // Open a block in place of the first pair gate.
+        let first_gate = match arena.slots[start].take() {
+            Some(Item::Local(g)) => g,
+            _ => unreachable!("liveness checked above"),
+        };
+        let mut block = CommBlock::new(q, node);
+        block.push(first_gate);
+        arena.slots[start] = Some(Item::Block(CommBlock::new(q, node))); // placeholder
+        let mut block_qubits: HashSet<QubitId> =
+            block.involved_qubits().into_iter().collect();
+
+        // Deferred items: stay physically in place (after the block slot).
+        let mut deferred: Vec<usize> = Vec::new();
+        let mut deferred_qubits: HashSet<QubitId> = HashSet::new();
+
+        let mut cur = arena.next[start];
+        let sentinel = arena.sentinel();
+        let mut remaining = live[idx + 1..]
+            .iter()
+            .filter(|s| live_set.contains(s))
+            .count();
+
+        while cur != sentinel && remaining > 0 && cur <= last_slot {
+            let nxt = arena.next[cur];
+            let is_occurrence = live_set.contains(&cur)
+                && matches!(&arena.slots[cur], Some(Item::Local(g)) if is_pair_gate(g));
+
+            if is_occurrence {
+                remaining -= 1;
+                // Joining crosses every deferred item (they end up after the
+                // block); all of them must commute with this gate.
+                let joins = {
+                    let Some(Item::Local(g)) = &arena.slots[cur] else { unreachable!() };
+                    deferred.iter().all(|&d| {
+                        let item = arena.slots[d].as_ref().expect("deferred slot live");
+                        item_commutes_with_gates(item, std::slice::from_ref(g))
+                    })
+                };
+                if joins {
+                    let Item::Local(g) = arena.unlink(cur) else { unreachable!() };
+                    block_qubits.extend(g.qubits().iter().copied());
+                    block.push(g);
+                } else {
+                    // Seal here and restart a fresh block at this occurrence.
+                    break;
+                }
+            } else if arena.slots[cur].is_some() {
+                let item = arena.slots[cur].as_ref().expect("live");
+                let disjoint_fast = item_gates(item).iter().all(|g| {
+                    g.qubits().iter().all(|x| {
+                        !block_qubits.contains(x) && !deferred_qubits.contains(x)
+                    }) && g.cbit().is_none()
+                        && g.condition().is_none()
+                });
+                let can_hoist = disjoint_fast
+                    || (item_commutes_with_gates(item, block.gates())
+                        && deferred.iter().all(|&d| {
+                            let dit = arena.slots[d].as_ref().expect("live");
+                            item_gates(item)
+                                .iter()
+                                .all(|a| item_gates(dit).iter().all(|b| commutes(a, b)))
+                        }));
+                if can_hoist {
+                    arena.move_before(cur, start);
+                } else {
+                    let absorbable = match item {
+                        Item::Local(g) => {
+                            g.kind().is_unitary()
+                                && g.condition().is_none()
+                                && g.qubits()
+                                    .iter()
+                                    .all(|&x| x == q || partition.node_of(x) == node)
+                                && deferred.iter().all(|&d| {
+                                    let dit = arena.slots[d].as_ref().expect("live");
+                                    item_commutes_with_gates(
+                                        dit,
+                                        std::slice::from_ref(g),
+                                    )
+                                })
+                        }
+                        Item::Block(_) => false,
+                    };
+                    if absorbable {
+                        let Item::Local(g) = arena.unlink(cur) else { unreachable!() };
+                        block_qubits.extend(g.qubits().iter().copied());
+                        block.push(g);
+                    } else {
+                        if deferred.len() >= options.defer_limit {
+                            break;
+                        }
+                        for g in item_gates(item) {
+                            deferred_qubits.extend(g.qubits().iter().copied());
+                        }
+                        deferred.push(cur);
+                    }
+                }
+            }
+            cur = nxt;
+        }
+
+        // Seal: trim trailing interior gates back out as local items.
+        let trimmed = block.trim_trailing_locals();
+        arena.slots[start] = Some(Item::Block(block));
+        let mut insert_after = start;
+        for g in trimmed {
+            // Re-insert each trimmed gate right after the block, preserving
+            // order; allocate fresh slots at the end of the arena.
+            let slot = arena.slots.len();
+            arena.slots.push(Some(Item::Local(g)));
+            let after_next = arena.next[insert_after];
+            arena.next.push(after_next);
+            arena.prev.push(insert_after);
+            arena.next[insert_after] = slot;
+            arena.prev[after_next] = slot;
+            insert_after = slot;
+        }
+        idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn aggregate_default(c: &Circuit, p: &Partition) -> AggregatedProgram {
+        aggregate(c, p, AggregateOptions::default())
+    }
+
+    #[test]
+    fn two_shared_control_cx_form_one_block() {
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        let agg = aggregate_default(&c, &p);
+        assert_eq!(agg.block_count(), 1);
+        let b = agg.blocks().next().unwrap();
+        assert_eq!(b.remote_gate_count(), 2);
+        assert_eq!(b.qubit(), q(0));
+    }
+
+    #[test]
+    fn hoistable_gate_between_remote_gates() {
+        // RZ on the control commutes and is hoisted out of the block.
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::rz(0.5, q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        let agg = aggregate_default(&c, &p);
+        assert_eq!(agg.block_count(), 1);
+        let b = agg.blocks().next().unwrap();
+        assert_eq!(b.len(), 2, "rz must be hoisted, not absorbed");
+        // The rz survives as a local item.
+        assert!(agg
+            .items()
+            .iter()
+            .any(|i| matches!(i, Item::Local(g) if g.kind() == dqc_circuit::GateKind::Rz)));
+    }
+
+    #[test]
+    fn non_commuting_interior_gate_is_absorbed() {
+        // H on a remote-node qubit between two CXs onto that qubit: interior.
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::h(q(2))).unwrap();
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        let agg = aggregate_default(&c, &p);
+        assert_eq!(agg.block_count(), 1);
+        let b = agg.blocks().next().unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.remote_gate_count(), 2);
+    }
+
+    #[test]
+    fn blocking_remote_gate_splits_blocks() {
+        // A non-commuting remote gate of another pair interrupts the burst.
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::cx(q(4), q(0))).unwrap(); // touches q0 as target: blocks
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        let agg = aggregate_default(&c, &p);
+        // Pair (q0, N1) has 2 gates but they cannot merge across CX(q4,q0).
+        let blocks: Vec<_> = agg.blocks().collect();
+        assert_eq!(blocks.len(), 3);
+        assert!(blocks.iter().all(|b| b.remote_gate_count() == 1));
+    }
+
+    #[test]
+    fn commuting_remote_gate_of_other_pair_is_deferred_or_hoisted() {
+        // CX(q1,q4) shares no operands with the (q0,N1) block: hoisted.
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::cx(q(1), q(4))).unwrap();
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        let agg = aggregate_default(&c, &p);
+        let pair0_blocks: Vec<_> =
+            agg.blocks().filter(|b| b.qubit() == q(0)).collect();
+        assert_eq!(pair0_blocks.len(), 1);
+        assert_eq!(pair0_blocks[0].remote_gate_count(), 2);
+    }
+
+    #[test]
+    fn flattening_preserves_gate_multiset() {
+        let (c, p) = dqc_workloads::random_distributed_circuit(6, 3, 120, 5);
+        let c = dqc_circuit::unroll_circuit(&c).unwrap();
+        let agg = aggregate_default(&c, &p);
+        let flat = agg.to_circuit();
+        assert_eq!(flat.len(), c.len());
+        // Same multiset of gates (order may differ).
+        let mut a: Vec<String> = c.gates().iter().map(|g| g.to_string()).collect();
+        let mut b: Vec<String> = flat.gates().iter().map(|g| g.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregation_is_semantics_preserving_on_random_circuits() {
+        for seed in 0..8 {
+            let (c, p) = dqc_workloads::random_distributed_circuit(5, 2, 40, seed);
+            let c = dqc_circuit::unroll_circuit(&c).unwrap();
+            let agg = aggregate_default(&c, &p);
+            let flat = agg.to_circuit();
+            assert!(
+                dqc_sim::circuits_equivalent(&c, &flat, 1e-8).unwrap(),
+                "aggregation changed semantics at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_remote_gate_lands_in_exactly_one_block() {
+        let (c, p) = dqc_workloads::random_distributed_circuit(6, 2, 200, 11);
+        let c = dqc_circuit::unroll_circuit(&c).unwrap();
+        let remote_in = c.gates().iter().filter(|g| p.is_remote(g)).count();
+        let agg = aggregate_default(&c, &p);
+        let remote_blocks: usize = agg.blocks().map(|b| b.remote_gate_count()).sum();
+        assert_eq!(remote_in, remote_blocks);
+        // And no remote gate remains as a local item.
+        for item in agg.items() {
+            if let Item::Local(g) = item {
+                assert!(!p.is_remote(g), "remote gate {g} left outside blocks");
+            }
+        }
+    }
+
+    #[test]
+    fn no_commute_ablation_builds_singletons() {
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        let agg = aggregate_no_commute(&c, &p);
+        assert_eq!(agg.block_count(), 2);
+        assert!(agg.blocks().all(|b| b.remote_gate_count() == 1));
+    }
+
+    #[test]
+    fn bv_oracle_aggregates_per_node() {
+        // 9-qubit BV over 3 nodes: ancilla on node 0; inputs 1,2 local,
+        // inputs 3..9 remote → one block per remote node.
+        let c = dqc_workloads::bv_with_secret(&[true; 8]);
+        let p = Partition::block(9, 3).unwrap();
+        let agg = aggregate_default(&c, &p);
+        assert_eq!(agg.block_count(), 2);
+        for b in agg.blocks() {
+            assert_eq!(b.qubit(), q(0));
+            assert_eq!(b.remote_gate_count(), 3);
+        }
+    }
+
+    #[test]
+    fn qft_blocks_collect_full_node_interactions() {
+        // Unrolled QFT: each (qubit, node) block carries 2·t remote CXs.
+        let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(8)).unwrap();
+        let p = Partition::block(8, 2).unwrap();
+        let agg = aggregate_default(&c, &p);
+        let max_block = agg.blocks().map(|b| b.remote_gate_count()).max().unwrap();
+        assert!(max_block >= 6, "expected bursts of ≥ 6 remote CX, got {max_block}");
+        let equivalent = dqc_sim::circuits_equivalent(&c, &agg.to_circuit(), 1e-8).unwrap();
+        assert!(equivalent, "QFT aggregation must preserve semantics");
+    }
+}

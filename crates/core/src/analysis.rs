@@ -1,0 +1,95 @@
+//! Inverse-burst distribution analysis (paper §3.2, Figs. 5–6).
+
+use dqc_circuit::{Circuit, Partition};
+
+use crate::{aggregate, AggregateOptions};
+
+/// The paper's inverse-burst distribution
+/// `P(x) = |{g : len(ε(g)) < x}| / #remote gates`,
+/// where `ε(g)` is the burst block containing remote gate `g` and `len` is
+/// its remote-CX payload. The paper defines `ε` over the best commutation
+/// order; this uses the aggregation pass as a constructive lower bound on
+/// block sizes (so the reported `P(x)` upper-bounds the paper's).
+///
+/// Returns `P(x)` for `x = 1..=max`, indexed by `x - 1`. A *lower* value
+/// means *more* burst communication.
+///
+/// ```
+/// use autocomm::inverse_burst_distribution;
+/// use dqc_circuit::{unroll_circuit, Partition};
+/// let c = unroll_circuit(&dqc_workloads::qft(8)).unwrap();
+/// let p = Partition::block(8, 2).unwrap();
+/// let dist = inverse_burst_distribution(&c, &p, 4);
+/// // No remote gate sits in a block of < 2 remote CX: P(2) = 0 (paper §3.2).
+/// assert_eq!(dist[1], 0.0);
+/// ```
+pub fn inverse_burst_distribution(
+    circuit: &Circuit,
+    partition: &Partition,
+    max: usize,
+) -> Vec<f64> {
+    let program = aggregate(circuit, partition, AggregateOptions::default());
+    let mut lens: Vec<usize> = Vec::new();
+    for block in program.blocks() {
+        let len = block.remote_gate_count();
+        for _ in 0..len {
+            lens.push(len);
+        }
+    }
+    let total = lens.len();
+    (1..=max)
+        .map(|x| {
+            if total == 0 {
+                0.0
+            } else {
+                lens.iter().filter(|&&l| l < x).count() as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::unroll_circuit;
+
+    #[test]
+    fn qft_has_rich_bursts() {
+        // Paper §3.2: for QFT with t qubits per node, P(4) ≤ 1/t.
+        let c = unroll_circuit(&dqc_workloads::qft(12)).unwrap();
+        let p = Partition::block(12, 2).unwrap(); // t = 6
+        let dist = inverse_burst_distribution(&c, &p, 4);
+        assert_eq!(dist[0], 0.0, "P(1) must be 0");
+        assert_eq!(dist[1], 0.0, "each CP contributes 2 CXs: P(2) = 0");
+        assert!(dist[3] <= 1.0 / 6.0 + 0.05, "P(4) = {} exceeds paper bound", dist[3]);
+    }
+
+    #[test]
+    fn qaoa_has_bursts() {
+        let c = unroll_circuit(&dqc_workloads::qaoa_maxcut(12, 40, 3)).unwrap();
+        let p = Partition::block(12, 2).unwrap();
+        let dist = inverse_burst_distribution(&c, &p, 4);
+        assert_eq!(dist[1], 0.0, "P(2) = 0 for ZZ interactions");
+        assert!(dist[3] < 0.9);
+    }
+
+    #[test]
+    fn distribution_is_monotone_nondecreasing() {
+        let c = unroll_circuit(&dqc_workloads::qft(8)).unwrap();
+        let p = Partition::block(8, 4).unwrap();
+        let dist = inverse_burst_distribution(&c, &p, 8);
+        for w in dist.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn local_only_circuit_yields_zeros() {
+        let mut c = Circuit::new(4);
+        c.push(dqc_circuit::Gate::cx(dqc_circuit::QubitId::new(0), dqc_circuit::QubitId::new(1)))
+            .unwrap();
+        let p = Partition::block(4, 2).unwrap();
+        let dist = inverse_burst_distribution(&c, &p, 3);
+        assert_eq!(dist, vec![0.0, 0.0, 0.0]);
+    }
+}

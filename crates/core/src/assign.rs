@@ -1,0 +1,364 @@
+//! Communication assignment (paper §4.3).
+//!
+//! Each burst block's pattern decides its physical scheme:
+//!
+//! * **unidirectional control-form** (every remote gate Z-diagonal on the
+//!   burst qubit, no interior gate on it) → Cat-Comm, one EPR pair;
+//! * **unidirectional target-form** (every remote CX targets the burst
+//!   qubit, no interior gate on it) → H-conjugate to control form (paper
+//!   Fig. 10a), then Cat-Comm, one EPR pair;
+//! * anything else — direction changes or non-hoistable interior gates on
+//!   the burst qubit (paper's block ③ with its T† obstruction, or the
+//!   bidirectional Fig. 9b) → the Cat cost is the number of single-call
+//!   segments while TP-Comm costs a flat two EPR pairs; the cheaper wins
+//!   and ties go to TP, exactly the paper's default.
+
+use dqc_circuit::{AxisBehavior, Gate};
+
+use crate::{AggregatedProgram, CommBlock, Item};
+
+/// How a Cat-Comm block is oriented before expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CatOrientation {
+    /// Remote gates use the burst qubit as control (expandable directly).
+    Control,
+    /// Remote gates use the burst qubit as CX target; lowering conjugates
+    /// the block with Hadamards first (paper Fig. 10a).
+    Target,
+}
+
+/// The physical scheme chosen for one block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Cat-entangler/disentangler; one EPR pair per single-call segment.
+    Cat(CatOrientation),
+    /// Teleport there and back; two EPR pairs regardless of block size.
+    Tp,
+}
+
+/// A burst block with its assigned scheme and communication cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssignedBlock {
+    /// The block.
+    pub block: CommBlock,
+    /// Chosen scheme.
+    pub scheme: Scheme,
+    /// Remote communications (= EPR pairs) this block is charged for in the
+    /// paper's metric: 1 for a single-call Cat block, `segments` for a
+    /// Cat-only split, 2 for TP.
+    pub comms: usize,
+    /// Number of single-call Cat segments the body splits into.
+    pub segments: usize,
+}
+
+/// An aggregated program with every block assigned a scheme.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssignedProgram {
+    items: Vec<AssignedItem>,
+    num_qubits: usize,
+    num_cbits: usize,
+}
+
+/// One element of an assigned program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AssignedItem {
+    /// A local gate.
+    Local(Gate),
+    /// An assigned burst block.
+    Block(AssignedBlock),
+}
+
+impl AssignedProgram {
+    /// Items in execution order.
+    pub fn items(&self) -> &[AssignedItem] {
+        &self.items
+    }
+
+    /// Iterates over assigned blocks in execution order.
+    pub fn blocks(&self) -> impl Iterator<Item = &AssignedBlock> {
+        self.items.iter().filter_map(|i| match i {
+            AssignedItem::Block(b) => Some(b),
+            AssignedItem::Local(_) => None,
+        })
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Classical register width.
+    pub fn num_cbits(&self) -> usize {
+        self.num_cbits
+    }
+}
+
+/// Splits a block body into maximal single-call Cat segments and reports
+/// the orientation when there is exactly one.
+///
+/// A segment extends while remote gates keep one orientation (Z-diagonal on
+/// the burst qubit = control form; X-diagonal = target form) and no
+/// incompatible interior gate touches the burst qubit.
+pub(crate) fn cat_segments(block: &CommBlock) -> (usize, CatOrientation) {
+    let q = block.qubit();
+    let mut segments = 0usize;
+    let mut current: Option<CatOrientation> = None;
+    let mut first = CatOrientation::Control;
+    for gate in block.gates() {
+        if !gate.acts_on(q) {
+            continue; // node-local interior gate: rides along
+        }
+        let behavior = AxisBehavior::of(gate, q);
+        if gate.is_two_qubit_unitary() {
+            let orientation = match behavior {
+                AxisBehavior::ZDiag => CatOrientation::Control,
+                AxisBehavior::XDiag => CatOrientation::Target,
+                AxisBehavior::Opaque => {
+                    // e.g. a SWAP: no cat segment can carry it; force splits.
+                    current = None;
+                    segments += 2;
+                    continue;
+                }
+            };
+            match current {
+                Some(o) if o == orientation => {}
+                _ => {
+                    segments += 1;
+                    if segments == 1 {
+                        first = orientation;
+                    }
+                    current = Some(orientation);
+                }
+            }
+        } else {
+            // Interior single-qubit gate on the burst qubit: compatible with
+            // the running orientation only if it is diagonal in the same
+            // basis (then the cat copy commutes through it).
+            let compatible = matches!(
+                (current, behavior),
+                (Some(CatOrientation::Control), AxisBehavior::ZDiag)
+                    | (Some(CatOrientation::Target), AxisBehavior::XDiag)
+            );
+            if !compatible {
+                current = None;
+            }
+        }
+    }
+    (segments.max(1), first)
+}
+
+/// Hybrid assignment (the paper's scheme): single-call blocks ride
+/// Cat-Comm; everything else takes TP-Comm at two EPR pairs (ties included).
+pub fn assign(program: &AggregatedProgram) -> AssignedProgram {
+    assign_with(program, true)
+}
+
+/// Cat-Comm-only ablation (paper Fig. 17b, modeling the Diadamo et al.
+/// style compiler): every block is implemented by Cat-Comm, costing one
+/// EPR pair per single-call segment.
+pub fn assign_cat_only(program: &AggregatedProgram) -> AssignedProgram {
+    assign_with(program, false)
+}
+
+fn assign_with(program: &AggregatedProgram, hybrid: bool) -> AssignedProgram {
+    let items = program
+        .items()
+        .iter()
+        .map(|item| match item {
+            Item::Local(g) => AssignedItem::Local(g.clone()),
+            Item::Block(b) => {
+                let (segments, orientation) = cat_segments(b);
+                let (scheme, comms) = if segments == 1 {
+                    (Scheme::Cat(orientation), 1)
+                } else if hybrid {
+                    // Cat would need `segments` pairs, TP always needs 2;
+                    // ties go to TP (paper block ③).
+                    (Scheme::Tp, 2)
+                } else {
+                    (Scheme::Cat(orientation), segments)
+                };
+                AssignedItem::Block(AssignedBlock {
+                    block: b.clone(),
+                    scheme,
+                    comms,
+                    segments,
+                })
+            }
+        })
+        .collect();
+    AssignedProgram {
+        items,
+        num_qubits: program.num_qubits(),
+        num_cbits: 0,
+    }
+}
+
+/// Splits a block into its single-call Cat segments (used when lowering
+/// Cat-only assignments, and by the scheduler to serialize split blocks).
+/// Interior node-local gates attach to the current segment.
+pub(crate) fn split_into_segments(block: &CommBlock) -> Vec<CommBlock> {
+    let q = block.qubit();
+    let mut out: Vec<CommBlock> = Vec::new();
+    let mut current = CommBlock::new(q, block.node());
+    let mut orientation: Option<CatOrientation> = None;
+    let seal = |blk: &mut CommBlock, out: &mut Vec<CommBlock>| {
+        if !blk.is_empty() {
+            out.push(std::mem::replace(blk, CommBlock::new(q, block.node())));
+        }
+    };
+    for gate in block.gates() {
+        if !gate.acts_on(q) {
+            current.push(gate.clone());
+            continue;
+        }
+        let behavior = AxisBehavior::of(gate, q);
+        if gate.is_two_qubit_unitary() {
+            let o = match behavior {
+                AxisBehavior::ZDiag => CatOrientation::Control,
+                AxisBehavior::XDiag => CatOrientation::Target,
+                AxisBehavior::Opaque => {
+                    // Unsplittable remote gate: isolate it.
+                    seal(&mut current, &mut out);
+                    orientation = None;
+                    let mut solo = CommBlock::new(q, block.node());
+                    solo.push(gate.clone());
+                    out.push(solo);
+                    continue;
+                }
+            };
+            match orientation {
+                Some(cur) if cur == o => current.push(gate.clone()),
+                _ => {
+                    seal(&mut current, &mut out);
+                    orientation = Some(o);
+                    current.push(gate.clone());
+                }
+            }
+        } else {
+            let compatible = matches!(
+                (orientation, behavior),
+                (Some(CatOrientation::Control), AxisBehavior::ZDiag)
+                    | (Some(CatOrientation::Target), AxisBehavior::XDiag)
+            );
+            if compatible {
+                current.push(gate.clone());
+            } else {
+                seal(&mut current, &mut out);
+                orientation = None;
+                current.push(gate.clone());
+            }
+        }
+    }
+    seal(&mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::{NodeId, QubitId};
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn block_of(gates: Vec<Gate>) -> CommBlock {
+        let mut b = CommBlock::new(q(0), NodeId::new(1));
+        for g in gates {
+            b.push(g);
+        }
+        b
+    }
+
+    fn assigned_single(gates: Vec<Gate>, hybrid: bool) -> AssignedBlock {
+        let program =
+            AggregatedProgram::from_items(vec![Item::Block(block_of(gates))], 4, 0);
+        let assigned = if hybrid { assign(&program) } else { assign_cat_only(&program) };
+        let block = assigned.blocks().next().unwrap().clone();
+        block
+    }
+
+    #[test]
+    fn control_form_gets_cat() {
+        let a = assigned_single(
+            vec![Gate::cx(q(0), q(2)), Gate::ry(0.2, q(2)), Gate::cx(q(0), q(3))],
+            true,
+        );
+        assert_eq!(a.scheme, Scheme::Cat(CatOrientation::Control));
+        assert_eq!(a.comms, 1);
+    }
+
+    #[test]
+    fn target_form_gets_cat_with_conjugation() {
+        let a = assigned_single(vec![Gate::cx(q(2), q(0)), Gate::cx(q(3), q(0))], true);
+        assert_eq!(a.scheme, Scheme::Cat(CatOrientation::Target));
+        assert_eq!(a.comms, 1);
+    }
+
+    #[test]
+    fn bidirectional_gets_tp() {
+        let a = assigned_single(vec![Gate::cx(q(0), q(2)), Gate::cx(q(2), q(0))], true);
+        assert_eq!(a.scheme, Scheme::Tp);
+        assert_eq!(a.comms, 2);
+        assert_eq!(a.segments, 2);
+    }
+
+    #[test]
+    fn obstructed_unidirectional_defaults_to_tp() {
+        // Paper block ③: T† on the burst qubit between two control-form CXs.
+        let a = assigned_single(
+            vec![Gate::cx(q(0), q(2)), Gate::h(q(0)), Gate::cx(q(0), q(3))],
+            true,
+        );
+        assert_eq!(a.scheme, Scheme::Tp);
+        assert_eq!(a.segments, 2);
+    }
+
+    #[test]
+    fn diagonal_interior_on_burst_is_harmless() {
+        let a = assigned_single(
+            vec![Gate::cx(q(0), q(2)), Gate::t(q(0)), Gate::cx(q(0), q(3))],
+            true,
+        );
+        assert_eq!(a.scheme, Scheme::Cat(CatOrientation::Control));
+        assert_eq!(a.comms, 1);
+    }
+
+    #[test]
+    fn cat_only_pays_per_segment() {
+        let a = assigned_single(
+            vec![
+                Gate::cx(q(0), q(2)),
+                Gate::cx(q(2), q(0)),
+                Gate::cx(q(0), q(3)),
+            ],
+            false,
+        );
+        assert!(matches!(a.scheme, Scheme::Cat(_)));
+        assert_eq!(a.segments, 3);
+        assert_eq!(a.comms, 3);
+    }
+
+    #[test]
+    fn split_segments_cover_all_gates() {
+        let b = block_of(vec![
+            Gate::cx(q(0), q(2)),
+            Gate::h(q(2)),
+            Gate::cx(q(2), q(0)),
+            Gate::cx(q(3), q(0)),
+        ]);
+        let segs = split_into_segments(&b);
+        assert_eq!(segs.len(), 2);
+        let total: usize = segs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, b.len());
+        assert_eq!(segs[0].remote_gate_count(), 1);
+        assert_eq!(segs[1].remote_gate_count(), 2);
+    }
+
+    #[test]
+    fn singleton_block_is_always_cat() {
+        let a = assigned_single(vec![Gate::cx(q(2), q(0))], true);
+        assert_eq!(a.scheme, Scheme::Cat(CatOrientation::Target));
+        assert_eq!(a.comms, 1);
+    }
+}

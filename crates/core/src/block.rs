@@ -1,0 +1,186 @@
+//! Burst-communication blocks.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dqc_circuit::{Gate, NodeId, Partition, QubitId};
+
+/// One burst-communication block: an ordered group of gates between a
+/// single *burst qubit* and a single remote *node* (paper §3.2).
+///
+/// The body holds both the remote two-qubit gates of the pair and any
+/// interior local gates absorbed during aggregation (gates on the remote
+/// node's qubits, or non-commuting single-qubit gates on the burst qubit —
+/// paper Algorithm 1's `non_commute_gates`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommBlock {
+    qubit: QubitId,
+    node: NodeId,
+    gates: Vec<Gate>,
+}
+
+impl CommBlock {
+    /// An empty block for the burst pair `(qubit, node)`.
+    pub fn new(qubit: QubitId, node: NodeId) -> Self {
+        CommBlock { qubit, node, gates: Vec::new() }
+    }
+
+    /// The burst qubit.
+    pub fn qubit(&self) -> QubitId {
+        self.qubit
+    }
+
+    /// The remote node the burst qubit communicates with.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The body, in execution order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a gate to the body.
+    pub fn push(&mut self, gate: Gate) {
+        self.gates.push(gate);
+    }
+
+    /// Number of body gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The remote two-qubit gates of the pair (body gates acting on the
+    /// burst qubit with their partner on the remote node).
+    pub fn remote_gates(&self) -> impl Iterator<Item = &Gate> {
+        let q = self.qubit;
+        self.gates
+            .iter()
+            .filter(move |g| g.is_two_qubit_unitary() && g.acts_on(q))
+    }
+
+    /// Number of remote two-qubit gates carried by this block — the
+    /// paper's “# REM CX” per communication once the body is in the CX+U3
+    /// basis.
+    pub fn remote_gate_count(&self) -> usize {
+        self.remote_gates().count()
+    }
+
+    /// Every qubit referenced by the body.
+    pub fn involved_qubits(&self) -> BTreeSet<QubitId> {
+        self.gates.iter().flat_map(|g| g.qubits().iter().copied()).collect()
+    }
+
+    /// The remote node's qubits used by the body, ascending.
+    pub fn partner_qubits(&self) -> Vec<QubitId> {
+        let mut out: BTreeSet<QubitId> = BTreeSet::new();
+        for g in &self.gates {
+            for &q in g.qubits() {
+                if q != self.qubit {
+                    out.insert(q);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The node the burst qubit lives on.
+    pub fn home(&self, partition: &Partition) -> NodeId {
+        partition.node_of(self.qubit)
+    }
+
+    /// Drops trailing body gates that are not remote gates of the pair
+    /// (they never needed to ride the communication; aggregation calls this
+    /// before sealing a block). Returns the trimmed-off suffix in order.
+    pub fn trim_trailing_locals(&mut self) -> Vec<Gate> {
+        let q = self.qubit;
+        let last_remote = self
+            .gates
+            .iter()
+            .rposition(|g| g.is_two_qubit_unitary() && g.acts_on(q));
+        match last_remote {
+            Some(i) => self.gates.split_off(i + 1),
+            None => std::mem::take(&mut self.gates),
+        }
+    }
+}
+
+impl fmt::Display for CommBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block[{} ↔ {}; {} gates, {} remote]",
+            self.qubit,
+            self.node,
+            self.gates.len(),
+            self.remote_gate_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn sample_block() -> CommBlock {
+        let mut b = CommBlock::new(q(0), NodeId::new(1));
+        b.push(Gate::cx(q(0), q(2)));
+        b.push(Gate::h(q(3)));
+        b.push(Gate::cx(q(0), q(3)));
+        b
+    }
+
+    #[test]
+    fn counts_and_partners() {
+        let b = sample_block();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.remote_gate_count(), 2);
+        assert_eq!(b.partner_qubits(), vec![q(2), q(3)]);
+        assert_eq!(b.involved_qubits().len(), 3);
+    }
+
+    #[test]
+    fn trim_trailing_locals_keeps_remote_suffix() {
+        let mut b = sample_block();
+        b.push(Gate::t(q(2)));
+        b.push(Gate::h(q(3)));
+        let trimmed = b.trim_trailing_locals();
+        assert_eq!(trimmed.len(), 2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.remote_gate_count(), 2);
+    }
+
+    #[test]
+    fn trim_on_remote_free_block_empties_it() {
+        let mut b = CommBlock::new(q(0), NodeId::new(1));
+        b.push(Gate::h(q(2)));
+        let trimmed = b.trim_trailing_locals();
+        assert_eq!(trimmed.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn home_uses_partition() {
+        let p = Partition::block(4, 2).unwrap();
+        let b = sample_block();
+        assert_eq!(b.home(&p).index(), 0);
+        assert_eq!(b.node().index(), 1);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = sample_block().to_string();
+        assert!(s.contains("q0"));
+        assert!(s.contains("N1"));
+        assert!(s.contains("2 remote"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Lowering assigned programs onto physical protocols.
+//!
+//! This is the functional back-end used for *verification*: every compiled
+//! program can be expanded into a physical circuit (EPR preparations,
+//! measurements, conditioned corrections) and simulated against the input
+//! circuit. Target-form Cat blocks are H-conjugated into control form here
+//! (paper Fig. 10a).
+
+use dqc_circuit::{Gate, QubitId};
+use dqc_protocols::{PhysicalProgram, ProtocolExpander};
+
+use crate::assign::split_into_segments;
+use crate::{
+    AssignedItem, AssignedProgram, CatOrientation, CommBlock, CompileError, Scheme,
+};
+
+/// Lowers an assigned program into a physical circuit over the extended
+/// register (logical qubits + two communication qubits per node).
+///
+/// # Errors
+///
+/// Returns [`CompileError::Protocol`] if a block violates its assigned
+/// scheme's requirements — that would be a compiler bug, surfaced loudly.
+pub fn lower_assigned(
+    program: &AssignedProgram,
+    partition: &dqc_circuit::Partition,
+) -> Result<PhysicalProgram, CompileError> {
+    let mut exp = ProtocolExpander::new(partition);
+    for item in program.items() {
+        match item {
+            AssignedItem::Local(g) => exp.push_local(g)?,
+            AssignedItem::Block(b) => match b.scheme {
+                Scheme::Tp => exp.tp_comm_block(b.block.qubit(), b.block.node(), b.block.gates())?,
+                Scheme::Cat(_) if b.comms == 1 => {
+                    lower_cat_segment(&mut exp, &b.block)?;
+                }
+                Scheme::Cat(_) => {
+                    for seg in split_into_segments(&b.block) {
+                        if seg.remote_gate_count() == 0 {
+                            for g in seg.gates() {
+                                exp.push_local(g)?;
+                            }
+                        } else {
+                            lower_cat_segment(&mut exp, &seg)?;
+                        }
+                    }
+                }
+            },
+        }
+    }
+    Ok(exp.finish())
+}
+
+/// Expands one single-call Cat segment, conjugating target-form bodies into
+/// control form first.
+fn lower_cat_segment(
+    exp: &mut ProtocolExpander,
+    block: &CommBlock,
+) -> Result<(), CompileError> {
+    let q = block.qubit();
+    // A segment may start with single-qubit gates on the burst qubit left
+    // over from a split (they precede every remote gate); they execute
+    // locally on q before the communication.
+    let prefix_len = block
+        .gates()
+        .iter()
+        .take_while(|g| g.num_qubits() == 1 && g.acts_on(q))
+        .count();
+    for g in &block.gates()[..prefix_len] {
+        exp.push_local(g)?;
+    }
+    let body_gates = &block.gates()[prefix_len..];
+    let mut trimmed = CommBlock::new(q, block.node());
+    for g in body_gates {
+        trimmed.push(g.clone());
+    }
+    if trimmed.remote_gate_count() == 0 {
+        for g in trimmed.gates() {
+            exp.push_local(g)?;
+        }
+        return Ok(());
+    }
+
+    let (_, orientation) = crate::assign::cat_segments(&trimmed);
+    match orientation {
+        CatOrientation::Control => {
+            exp.cat_comm_block(q, trimmed.node(), trimmed.gates())?;
+        }
+        CatOrientation::Target => {
+            // Conjugation set: the burst qubit plus every partner of a
+            // remote CX in this segment.
+            let mut set: Vec<QubitId> = vec![q];
+            for g in trimmed.remote_gates() {
+                for &x in g.qubits() {
+                    if x != q && !set.contains(&x) {
+                        set.push(x);
+                    }
+                }
+            }
+            // Boundary Hadamards (local gates).
+            for &s in &set {
+                exp.push_local(&Gate::h(s))?;
+            }
+            // Per-gate conjugated body.
+            let mut body = Vec::with_capacity(trimmed.len() * 3);
+            for g in trimmed.gates() {
+                if g.is_two_qubit_unitary() && g.acts_on(q) {
+                    // CX(x → q) ≡ (H x ⊗ H q) CX(q → x) (H x ⊗ H q).
+                    let x = g
+                        .qubits()
+                        .iter()
+                        .copied()
+                        .find(|&p| p != q)
+                        .expect("two-qubit gate has a partner");
+                    body.push(Gate::cx(q, x));
+                } else if g.acts_on(q) {
+                    // Interior X-diagonal gate on the burst qubit: conjugate
+                    // algebraically so the body stays Z-diagonal on q.
+                    body.extend(h_conjugate_single(g));
+                } else {
+                    // Interior partner gate: wrap its operands in the set.
+                    let wrapped: Vec<QubitId> = g
+                        .qubits()
+                        .iter()
+                        .copied()
+                        .filter(|x| set.contains(x))
+                        .collect();
+                    for &w in &wrapped {
+                        body.push(Gate::h(w));
+                    }
+                    body.push(g.clone());
+                    for &w in &wrapped {
+                        body.push(Gate::h(w));
+                    }
+                }
+            }
+            exp.cat_comm_block(q, trimmed.node(), &body)?;
+            for &s in &set {
+                exp.push_local(&Gate::h(s))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `H · g · H` for the X-diagonal single-qubit gates that can appear inside
+/// a target-form segment; other kinds are wrapped explicitly (the protocol
+/// layer then rejects them loudly if they reach a cat body).
+fn h_conjugate_single(g: &Gate) -> Vec<Gate> {
+    use dqc_circuit::GateKind;
+    let q = g.qubits()[0];
+    match g.kind() {
+        GateKind::X => vec![Gate::z(q)],
+        GateKind::Sx => vec![Gate::s(q)],
+        GateKind::Rx => vec![Gate::rz(g.theta().expect("rx has a parameter"), q)],
+        GateKind::I => vec![Gate::i(q)],
+        _ => vec![Gate::h(q), g.clone(), Gate::h(q)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{aggregate, assign, assign_cat_only, AggregateOptions};
+    use dqc_circuit::{Circuit, Partition};
+    use dqc_sim::{SplitMix64, StateVector};
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    /// Compiles, lowers, and checks fidelity against the logical circuit.
+    fn verify(c: &Circuit, p: &Partition, seed: u64, cat_only: bool) {
+        let agg = aggregate(c, p, AggregateOptions::default());
+        let assigned = if cat_only { assign_cat_only(&agg) } else { assign(&agg) };
+        let physical = lower_assigned(&assigned, p).expect("lowering succeeds");
+
+        let mut rng = SplitMix64::new(seed);
+        let input = StateVector::random_state(c.num_qubits(), &mut rng).unwrap();
+        let mut expected = input.clone();
+        expected.run(c, &mut rng.fork()).unwrap();
+
+        let total = physical.circuit.num_qubits();
+        let mut amps = vec![dqc_sim::Complex::ZERO; 1 << total];
+        amps[..input.amplitudes().len()].copy_from_slice(input.amplitudes());
+        let mut state = StateVector::from_amplitudes(amps).unwrap();
+        state.run(&physical.circuit, &mut rng).unwrap();
+        let f = state
+            .subset_fidelity(&expected, &physical.logical_qubits())
+            .unwrap();
+        assert!(
+            (f - 1.0).abs() < 1e-8,
+            "end-to-end fidelity {f} (seed {seed}, cat_only {cat_only})"
+        );
+    }
+
+    #[test]
+    fn control_form_cat_lowering_is_exact() {
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::rz(0.3, q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        verify(&c, &p, 1, false);
+    }
+
+    #[test]
+    fn target_form_cat_lowering_is_exact() {
+        // BV-style oracle: two CXs targeting the burst qubit.
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(2), q(0))).unwrap();
+        c.push(Gate::cx(q(3), q(0))).unwrap();
+        verify(&c, &p, 2, false);
+    }
+
+    #[test]
+    fn target_form_with_interior_partner_gates() {
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(2), q(0))).unwrap();
+        c.push(Gate::t(q(2))).unwrap(); // interior gate on a conjugated partner
+        c.push(Gate::cx(q(2), q(0))).unwrap();
+        c.push(Gate::ry(0.4, q(3))).unwrap();
+        c.push(Gate::cx(q(3), q(0))).unwrap();
+        verify(&c, &p, 3, false);
+    }
+
+    #[test]
+    fn tp_lowering_is_exact() {
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::h(q(0))).unwrap();
+        c.push(Gate::cx(q(3), q(0))).unwrap();
+        verify(&c, &p, 4, false);
+    }
+
+    #[test]
+    fn cat_only_split_lowering_is_exact() {
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::cx(q(2), q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        verify(&c, &p, 5, true);
+    }
+
+    #[test]
+    fn random_programs_survive_the_full_pipeline() {
+        for seed in 0..6 {
+            let (c, p) = dqc_workloads::random_distributed_circuit(5, 2, 30, seed + 100);
+            let c = dqc_circuit::unroll_circuit(&c).unwrap();
+            verify(&c, &p, seed, false);
+            verify(&c, &p, seed, true);
+        }
+    }
+
+    #[test]
+    fn mixed_three_node_program() {
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        c.push(Gate::h(q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::cx(q(0), q(4))).unwrap();
+        c.push(Gate::cx(q(3), q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        c.push(Gate::cx(q(4), q(5))).unwrap();
+        verify(&c, &p, 6, false);
+    }
+}

@@ -1,0 +1,558 @@
+//! Burst-greedy communication scheduling (paper §4.4).
+//!
+//! The scheduler lays an assigned program onto the hardware timeline
+//! (two communication qubits per node, EPR preparation at `tep`) with the
+//! paper's three latency optimizations:
+//!
+//! * **EPR prefetching** — preparation starts as soon as communication
+//!   slots free up, hiding `tep` behind preceding computation (“execute as
+//!   many blocks as possible, as soon as EPR pairs are prepared”);
+//! * **block-level parallelism** — commutable Cat blocks sharing the burst
+//!   qubit overlap (paper Fig. 12), and independent TP teleports align
+//!   automatically because both endpoints' claims are issued eagerly
+//!   (Fig. 13b);
+//! * **TP fusion** — consecutive TP blocks teleporting the same qubit form
+//!   a cycle `A → B → C → A`, saving `(n-1)` EPR pairs and
+//!   `(n-1)(tep + t_tele)` latency over teleporting home each time
+//!   (Fig. 14b).
+//!
+//! Disabling all three yields the plain-greedy ablation of paper
+//! Fig. 17(c).
+
+use dqc_circuit::{commutes, Gate, NodeId, Partition, QubitId};
+use dqc_hardware::{HardwareSpec, Timeline, TimelineEvent};
+
+use crate::assign::split_into_segments;
+use crate::{AssignedItem, AssignedProgram, CommBlock, Scheme};
+
+/// Scheduler feature toggles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleOptions {
+    /// Issue EPR preparations as early as slot availability allows.
+    pub prefetch_epr: bool,
+    /// Overlap commutable Cat blocks sharing the burst qubit.
+    pub parallel_commutable: bool,
+    /// Fuse consecutive same-qubit TP blocks into teleport cycles.
+    pub fuse_tp_chains: bool,
+    /// Record timeline events (needed for validation; off for large runs).
+    pub record_events: bool,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            prefetch_epr: true,
+            parallel_commutable: true,
+            fuse_tp_chains: true,
+            record_events: false,
+        }
+    }
+}
+
+impl ScheduleOptions {
+    /// The plain as-soon-as-possible schedule without burst-aware
+    /// optimizations (paper Fig. 17c's “Greedy”).
+    pub fn plain_greedy() -> Self {
+        ScheduleOptions {
+            prefetch_epr: false,
+            parallel_commutable: false,
+            fuse_tp_chains: false,
+            record_events: false,
+        }
+    }
+}
+
+/// Outcome of scheduling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleSummary {
+    /// Program latency in CX units.
+    pub makespan: f64,
+    /// EPR pairs actually consumed (TP fusion reduces this below the
+    /// metric-level “Tot Comm”).
+    pub epr_pairs: usize,
+    /// Teleports (and EPR pairs) saved by TP fusion.
+    pub fusion_savings: usize,
+    /// Cat blocks scheduled (counting Cat-only segments individually).
+    pub cat_blocks: usize,
+    /// TP blocks scheduled.
+    pub tp_blocks: usize,
+    /// Recorded events when [`ScheduleOptions::record_events`] was set.
+    pub events: Option<Vec<TimelineEvent>>,
+}
+
+/// Schedules `program` on machine `hw` and reports latency and EPR usage.
+///
+/// # Panics
+///
+/// Panics if the partition's node count exceeds the hardware's, or if a
+/// node needs more concurrent communications than it has comm qubits (the
+/// timeline enforces this invariant).
+pub fn schedule(
+    program: &AssignedProgram,
+    partition: &Partition,
+    hw: &HardwareSpec,
+    options: ScheduleOptions,
+) -> ScheduleSummary {
+    assert!(
+        partition.num_nodes() <= hw.num_nodes(),
+        "hardware must provide every partition node"
+    );
+    let mut tl = Timeline::new(program.num_qubits(), hw);
+    if options.record_events {
+        tl = tl.with_recording();
+    }
+    let mut sched = Scheduler {
+        tl,
+        partition,
+        options,
+        open_group: None,
+        cat_blocks: 0,
+        tp_blocks: 0,
+        fusion_savings: 0,
+    };
+
+    let items = program.items();
+    let mut i = 0usize;
+    while i < items.len() {
+        match &items[i] {
+            AssignedItem::Local(g) => {
+                sched.close_group_if_conflicts(g.qubits());
+                sched.tl.schedule_gate(g);
+                i += 1;
+            }
+            AssignedItem::Block(b) => match b.scheme {
+                Scheme::Cat(_) => {
+                    if b.comms == 1 {
+                        sched.schedule_cat_block(&b.block);
+                    } else {
+                        // Cat-only split: one communication per segment.
+                        for seg in split_into_segments(&b.block) {
+                            sched.schedule_cat_block(&seg);
+                        }
+                    }
+                    i += 1;
+                }
+                Scheme::Tp => {
+                    // Gather a fusion chain of consecutive TP blocks on the
+                    // same burst qubit. Local gates not touching the qubit
+                    // may interleave (scheduled in place); single-qubit
+                    // unitaries *on* the qubit ride the chain and execute on
+                    // the teleported state at whichever node holds it.
+                    let q = b.block.qubit();
+                    let chain_end = if sched.options.fuse_tp_chains {
+                        find_chain_end(items, i, q)
+                    } else {
+                        i + 1
+                    };
+                    let mut chain: Vec<ChainStep<'_>> = Vec::new();
+                    for item in &items[i..chain_end] {
+                        match item {
+                            AssignedItem::Block(tb) if tb.scheme == Scheme::Tp => {
+                                chain.push(ChainStep::Block(&tb.block));
+                            }
+                            AssignedItem::Local(g) if g.acts_on(q) => {
+                                chain.push(ChainStep::OnState(g));
+                            }
+                            AssignedItem::Local(g) => {
+                                // Interleaved local gate: schedule in place.
+                                sched.tl.schedule_gate(g);
+                            }
+                            AssignedItem::Block(_) => unreachable!("chain scan"),
+                        }
+                    }
+                    sched.schedule_tp_chain(&chain);
+                    i = chain_end;
+                }
+            },
+        }
+    }
+    sched.finish()
+}
+
+/// Extends `[start..end)` over consecutive TP blocks with burst qubit `q`,
+/// allowing interleaved local gates that do not touch `q` and single-qubit
+/// unitaries on `q` itself (they execute on the teleported state).
+fn find_chain_end(items: &[AssignedItem], start: usize, q: QubitId) -> usize {
+    let mut end = start + 1;
+    let mut probe = end;
+    while probe < items.len() {
+        match &items[probe] {
+            AssignedItem::Block(b) if b.scheme == Scheme::Tp && b.block.qubit() == q => {
+                probe += 1;
+                end = probe;
+            }
+            AssignedItem::Local(g)
+                if g.acts_on(q)
+                    && g.num_qubits() == 1
+                    && g.kind().is_unitary()
+                    && g.condition().is_none() =>
+            {
+                probe += 1;
+            }
+            AssignedItem::Local(g) if !g.acts_on(q) => {
+                probe += 1;
+            }
+            _ => break,
+        }
+    }
+    end
+}
+
+/// One step of a TP fusion chain.
+enum ChainStep<'a> {
+    /// A TP block executed at its remote node.
+    Block(&'a CommBlock),
+    /// A single-qubit gate applied to the teleported state wherever it is.
+    OnState(&'a Gate),
+}
+
+/// A set of overlapping commutable Cat blocks sharing one burst qubit
+/// (paper Fig. 12).
+struct CatGroup {
+    qubit: QubitId,
+    /// Time the burst qubit frees up for the next member's entangler CX.
+    q_stagger: f64,
+    /// Latest disentangle end among members.
+    end: f64,
+    /// Member bodies, for commutation checks against joiners.
+    bodies: Vec<Vec<Gate>>,
+}
+
+struct Scheduler<'a> {
+    tl: Timeline,
+    partition: &'a Partition,
+    options: ScheduleOptions,
+    open_group: Option<CatGroup>,
+    cat_blocks: usize,
+    tp_blocks: usize,
+    fusion_savings: usize,
+}
+
+impl Scheduler<'_> {
+    fn claim_earliest(&self, fallback: f64) -> f64 {
+        if self.options.prefetch_epr {
+            0.0
+        } else {
+            fallback
+        }
+    }
+
+    /// Closes the open Cat group when `qubits` intersect its burst qubit
+    /// (the group's logical end was already bumped onto the timeline, so
+    /// this only drops the bookkeeping).
+    fn close_group_if_conflicts(&mut self, qubits: &[QubitId]) {
+        if let Some(g) = &self.open_group {
+            if qubits.contains(&g.qubit) {
+                self.open_group = None;
+            }
+        }
+    }
+
+    fn schedule_cat_block(&mut self, block: &CommBlock) {
+        self.cat_blocks += 1;
+        let q = block.qubit();
+        let home = block.home(self.partition);
+        let node = block.node();
+        let lat = *self.tl.latency();
+
+        // Decide group membership before touching the timeline.
+        let q_avail = match (&mut self.open_group, self.options.parallel_commutable) {
+            (Some(group), true)
+                if group.qubit == q && group_commutes(group, block.gates()) =>
+            {
+                group.q_stagger
+            }
+            _ => {
+                self.open_group = None;
+                self.tl.qubit_free_at(q)
+            }
+        };
+
+        let claim = self.tl.claim_comm(home, node, self.claim_earliest(q_avail));
+        let ent_start = claim.epr_ready.max(q_avail);
+        // The burst qubit is physically busy for the entangler's local CX.
+        self.tl.occupy_qubits("cat-entangle", &[q], ent_start, ent_start + lat.t_2q);
+        let ent_end = ent_start + lat.cat_entangle();
+
+        // Body: gates touching q run on the remote copy (one comm qubit →
+        // they serialize on `comm_cursor`); pure node-local gates obey only
+        // their own operand wires.
+        let mut comm_cursor = ent_end;
+        let mut body_end = ent_end;
+        for gate in block.gates() {
+            if gate.acts_on(q) {
+                let partners: Vec<QubitId> =
+                    gate.qubits().iter().copied().filter(|&x| x != q).collect();
+                let start = partners
+                    .iter()
+                    .map(|&x| self.tl.qubit_free_at(x))
+                    .fold(comm_cursor, f64::max);
+                let end = start + lat.gate(gate);
+                if !partners.is_empty() {
+                    self.tl.occupy_qubits("cat-body", &partners, start, end);
+                }
+                comm_cursor = end;
+                body_end = body_end.max(end);
+            } else {
+                let (_, end) = self.tl.schedule_gate_after(gate, ent_end);
+                body_end = body_end.max(end);
+            }
+        }
+
+        let dis_end = body_end.max(comm_cursor) + lat.cat_disentangle();
+        self.tl.bump_qubit(q, dis_end);
+        self.tl.release_comm(&claim, dis_end);
+
+        // Update / open the group.
+        match (&mut self.open_group, self.options.parallel_commutable) {
+            (Some(group), true) if group.qubit == q => {
+                group.q_stagger = ent_start + lat.t_2q;
+                group.end = group.end.max(dis_end);
+                group.bodies.push(block.gates().to_vec());
+            }
+            (_, true) => {
+                self.open_group = Some(CatGroup {
+                    qubit: q,
+                    q_stagger: ent_start + lat.t_2q,
+                    end: dis_end,
+                    bodies: vec![block.gates().to_vec()],
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Schedules a chain of TP blocks with the same burst qubit as one
+    /// teleport cycle `home → N₁ → … → N_m → home` (a single block is the
+    /// degenerate cycle `home → N → home`, the paper's 2-EPR accounting).
+    fn schedule_tp_chain(&mut self, chain: &[ChainStep<'_>]) {
+        let blocks: Vec<&CommBlock> = chain
+            .iter()
+            .filter_map(|s| match s {
+                ChainStep::Block(b) => Some(*b),
+                ChainStep::OnState(_) => None,
+            })
+            .collect();
+        assert!(!blocks.is_empty(), "chains contain at least one block");
+        self.tp_blocks += blocks.len();
+        if blocks.len() > 1 {
+            self.fusion_savings += blocks.len() - 1;
+        }
+        let q = blocks[0].qubit();
+        self.close_group_if_conflicts(&[q]);
+        let home = blocks[0].home(self.partition);
+        let lat = *self.tl.latency();
+
+        let mut state_time = self.tl.qubit_free_at(q);
+        let journey_start = state_time;
+        let mut cursor_node = home;
+        // The claim whose destination slot currently stores the state.
+        let mut holding: Option<dqc_hardware::CommClaim> = None;
+
+        let hop = |sched: &mut Self,
+                   from: NodeId,
+                   to: NodeId,
+                   state_time: f64,
+                   holding: &mut Option<dqc_hardware::CommClaim>|
+         -> f64 {
+            let claim = sched.tl.claim_comm(from, to, sched.claim_earliest(state_time));
+            let t_start = claim.epr_ready.max(state_time);
+            let t_end = t_start + lat.teleport();
+            // The source side frees once the Bell measurement is done; the
+            // slot that held the state on `from` (previous hop's
+            // destination) frees as well — the state just left.
+            sched.tl.release_comm_source(&claim, t_end);
+            if let Some(prev) = holding.take() {
+                sched.tl.release_comm_dest(&prev, t_end);
+            }
+            *holding = Some(claim);
+            t_end
+        };
+
+        for step in chain {
+            let block = match step {
+                ChainStep::Block(b) => *b,
+                ChainStep::OnState(g) => {
+                    // Applied to the state on whichever node holds it.
+                    state_time += lat.gate(g);
+                    continue;
+                }
+            };
+            let node = block.node();
+            if node != cursor_node {
+                state_time = hop(self, cursor_node, node, state_time, &mut holding);
+                cursor_node = node;
+            }
+            // Body on `node`, with the comm qubit (holding q) serializing.
+            let mut comm_cursor = state_time;
+            for gate in block.gates() {
+                if gate.acts_on(q) {
+                    let partners: Vec<QubitId> =
+                        gate.qubits().iter().copied().filter(|&x| x != q).collect();
+                    let start = partners
+                        .iter()
+                        .map(|&x| self.tl.qubit_free_at(x))
+                        .fold(comm_cursor, f64::max);
+                    let end = start + lat.gate(gate);
+                    if !partners.is_empty() {
+                        self.tl.occupy_qubits("tp-body", &partners, start, end);
+                    }
+                    comm_cursor = end;
+                } else {
+                    let (_, end) = self.tl.schedule_gate_after(gate, state_time);
+                    comm_cursor = comm_cursor.max(end);
+                }
+            }
+            state_time = comm_cursor;
+        }
+
+        // Teleport home; the arrival slot frees immediately after the local
+        // relocation onto the original wire (uncharged, as in the paper).
+        state_time = hop(self, cursor_node, home, state_time, &mut holding);
+        if let Some(last) = holding.take() {
+            self.tl.release_comm_dest(&last, state_time);
+        }
+        self.tl.occupy_qubits("tp-journey", &[q], journey_start, state_time);
+    }
+
+    fn finish(self) -> ScheduleSummary {
+        ScheduleSummary {
+            makespan: self.tl.makespan(),
+            epr_pairs: self.tl.epr_pairs_consumed(),
+            fusion_savings: self.fusion_savings,
+            cat_blocks: self.cat_blocks,
+            tp_blocks: self.tp_blocks,
+            events: None,
+        }
+        .with_events(self.tl)
+    }
+}
+
+impl ScheduleSummary {
+    fn with_events(mut self, tl: Timeline) -> Self {
+        self.events = tl.events().map(|e| e.to_vec());
+        self
+    }
+}
+
+/// Whether a candidate body commutes with every member body of the group.
+fn group_commutes(group: &CatGroup, body: &[Gate]) -> bool {
+    group.bodies.iter().all(|member| {
+        body.iter().all(|a| member.iter().all(|b| commutes(a, b)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{aggregate, assign, AggregateOptions};
+    use dqc_circuit::Circuit;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn compile_and_schedule(
+        c: &Circuit,
+        p: &Partition,
+        options: ScheduleOptions,
+    ) -> ScheduleSummary {
+        let program = assign(&aggregate(c, p, AggregateOptions::default()));
+        schedule(&program, p, &HardwareSpec::for_partition(p), options)
+    }
+
+    #[test]
+    fn single_cat_block_latency() {
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(dqc_circuit::Gate::cx(q(0), q(2))).unwrap();
+        let s = compile_and_schedule(&c, &p, ScheduleOptions::default());
+        assert_eq!(s.epr_pairs, 1);
+        assert_eq!(s.cat_blocks, 1);
+        // tep + entangle + CX + disentangle = 12 + 7.1 + 1 + 6.2 = 26.3.
+        assert!((s.makespan - 26.3).abs() < 1e-9, "makespan {}", s.makespan);
+    }
+
+    #[test]
+    fn tp_chain_fusion_saves_pairs() {
+        // Bidirectional bursts from q0 to two different nodes, back to back.
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        for node_q in [2usize, 4] {
+            c.push(dqc_circuit::Gate::cx(q(0), q(node_q))).unwrap();
+            c.push(dqc_circuit::Gate::cx(q(node_q), q(0))).unwrap();
+        }
+        let fused = compile_and_schedule(&c, &p, ScheduleOptions::default());
+        assert_eq!(fused.tp_blocks, 2);
+        assert_eq!(fused.fusion_savings, 1);
+        assert_eq!(fused.epr_pairs, 3); // 2m = 4 without fusion
+
+        let plain = compile_and_schedule(&c, &p, ScheduleOptions::plain_greedy());
+        assert_eq!(plain.epr_pairs, 4);
+        assert!(
+            fused.makespan < plain.makespan,
+            "fusion must shorten the schedule: {} vs {}",
+            fused.makespan,
+            plain.makespan
+        );
+    }
+
+    #[test]
+    fn prefetch_hides_epr_latency() {
+        // A long local prologue lets prefetching hide the EPR preparation.
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        for _ in 0..20 {
+            c.push(dqc_circuit::Gate::cx(q(0), q(1))).unwrap();
+        }
+        c.push(dqc_circuit::Gate::cx(q(0), q(2))).unwrap();
+        let with = compile_and_schedule(&c, &p, ScheduleOptions::default());
+        let without = compile_and_schedule(&c, &p, ScheduleOptions::plain_greedy());
+        assert!(with.makespan + 1e-9 < without.makespan);
+        // The 12-unit prep hides fully behind the 20-unit prologue.
+        assert!((without.makespan - with.makespan - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_cat_groups_overlap() {
+        // Two commutable cat blocks sharing the control qubit (Fig. 12).
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        c.push(dqc_circuit::Gate::cx(q(0), q(2))).unwrap();
+        c.push(dqc_circuit::Gate::cx(q(0), q(4))).unwrap();
+        let par = compile_and_schedule(&c, &p, ScheduleOptions::default());
+        let seq = compile_and_schedule(&c, &p, ScheduleOptions::plain_greedy());
+        assert!(par.makespan < seq.makespan);
+        // Parallel: both blocks end ≈ together (stagger = 1 CX).
+        assert!((par.makespan - 27.3).abs() < 1e-6, "got {}", par.makespan);
+    }
+
+    #[test]
+    fn events_validate_against_hardware() {
+        let p = Partition::block(6, 2).unwrap();
+        let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(6)).unwrap();
+        let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+        let hw = HardwareSpec::for_partition(&p);
+        let opts = ScheduleOptions { record_events: true, ..ScheduleOptions::default() };
+        let s = schedule(&program, &p, &hw, opts);
+        let events = s.events.expect("recording enabled");
+        dqc_hardware::validate_events(&events, &hw).unwrap();
+        assert!(s.makespan > 0.0);
+    }
+
+    #[test]
+    fn plain_greedy_never_beats_burst_greedy() {
+        for seed in 0..5 {
+            let (c, p) = dqc_workloads::random_distributed_circuit(8, 2, 60, seed);
+            let c = dqc_circuit::unroll_circuit(&c).unwrap();
+            let burst = compile_and_schedule(&c, &p, ScheduleOptions::default());
+            let plain = compile_and_schedule(&c, &p, ScheduleOptions::plain_greedy());
+            assert!(
+                burst.makespan <= plain.makespan + 1e-9,
+                "seed {seed}: burst {} > plain {}",
+                burst.makespan,
+                plain.makespan
+            );
+        }
+    }
+}

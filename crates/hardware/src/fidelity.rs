@@ -1,0 +1,170 @@
+//! Program fidelity estimation.
+//!
+//! The paper's motivation for cutting communication is error: remote
+//! operations suffer “up to 40× accuracy degradation” and long schedules
+//! accumulate decoherence (§1, §3.1). This module provides the standard
+//! first-order estimate used in such studies: every operation succeeds
+//! independently with probability `1 − ε`, and idling qubits decay
+//! exponentially over the schedule makespan, so
+//!
+//! ```text
+//! F ≈ (1-ε_1q)^#1q · (1-ε_2q)^#2q · (1-ε_ms)^#measure
+//!     · (1-ε_epr)^#comms · exp(-T · n · γ)
+//! ```
+//!
+//! The absolute value is a model, but *ratios* between compilations of the
+//! same program are meaningful: fewer EPR pairs and a shorter makespan
+//! translate directly into higher estimated fidelity, which is the paper's
+//! argument for AutoComm.
+
+use crate::LatencyModel;
+
+/// Error rates of the distributed machine.
+///
+/// Defaults reflect the paper's narrative: remote EPR communication is by
+/// far the most error-prone resource (≈ 40× a local two-qubit gate, §1).
+///
+/// ```
+/// use dqc_hardware::FidelityModel;
+/// let m = FidelityModel::default();
+/// assert!(m.e_epr > 10.0 * m.e_2q);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FidelityModel {
+    /// Single-qubit gate error rate.
+    pub e_1q: f64,
+    /// Two-qubit gate error rate.
+    pub e_2q: f64,
+    /// Measurement error rate.
+    pub e_measure: f64,
+    /// Error per consumed (purified) remote EPR pair.
+    pub e_epr: f64,
+    /// Decoherence rate per qubit per CX-unit of schedule time.
+    pub gamma: f64,
+}
+
+impl Default for FidelityModel {
+    fn default() -> Self {
+        FidelityModel {
+            e_1q: 1e-4,
+            e_2q: 1e-3,
+            e_measure: 5e-3,
+            e_epr: 4e-2, // ≈ 40× the local two-qubit error (paper §1)
+            gamma: 1e-5,
+        }
+    }
+}
+
+/// Operation counts of one compiled program (the inputs to the estimate).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FidelityInputs {
+    /// Single-qubit gates executed.
+    pub num_1q: usize,
+    /// Two-qubit gates executed (local and within-block remote bodies).
+    pub num_2q: usize,
+    /// Measurements (including protocol-internal ones).
+    pub num_measure: usize,
+    /// Remote EPR pairs consumed.
+    pub num_epr: usize,
+    /// Logical qubits held coherent across the schedule.
+    pub num_qubits: usize,
+    /// Schedule makespan in CX units.
+    pub makespan: f64,
+}
+
+impl FidelityModel {
+    /// First-order program fidelity estimate; always in `(0, 1]`.
+    pub fn estimate(&self, inputs: &FidelityInputs) -> f64 {
+        let gates = (1.0 - self.e_1q).powi(inputs.num_1q as i32)
+            * (1.0 - self.e_2q).powi(inputs.num_2q as i32)
+            * (1.0 - self.e_measure).powi(inputs.num_measure as i32)
+            * (1.0 - self.e_epr).powi(inputs.num_epr as i32);
+        let idle = (-inputs.makespan * inputs.num_qubits as f64 * self.gamma).exp();
+        (gates * idle).clamp(0.0, 1.0)
+    }
+
+    /// Error contribution of communication alone — the quantity AutoComm
+    /// minimizes (useful for reporting the communication share of the error
+    /// budget).
+    pub fn communication_infidelity(&self, num_epr: usize) -> f64 {
+        1.0 - (1.0 - self.e_epr).powi(num_epr as i32)
+    }
+
+    /// Convenience: derives the inputs for a program compiled onto `lat`,
+    /// adding the protocol-internal operations of each communication
+    /// (cat-entangle/disentangle ≈ 1 CX + 2 measurements per pair).
+    pub fn inputs_for(
+        num_1q: usize,
+        num_2q: usize,
+        num_epr: usize,
+        num_qubits: usize,
+        makespan: f64,
+        _lat: &LatencyModel,
+    ) -> FidelityInputs {
+        FidelityInputs {
+            num_1q,
+            num_2q: num_2q + num_epr, // one comm-qubit CX per protocol pair
+            num_measure: 2 * num_epr,
+            num_epr,
+            num_qubits,
+            makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(num_epr: usize, makespan: f64) -> FidelityInputs {
+        FidelityInputs {
+            num_1q: 100,
+            num_2q: 50,
+            num_measure: 0,
+            num_epr,
+            num_qubits: 10,
+            makespan,
+        }
+    }
+
+    #[test]
+    fn fidelity_is_bounded() {
+        let m = FidelityModel::default();
+        let f = m.estimate(&inputs(10, 100.0));
+        assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    fn fewer_epr_pairs_means_higher_fidelity() {
+        let m = FidelityModel::default();
+        let few = m.estimate(&inputs(10, 100.0));
+        let many = m.estimate(&inputs(40, 100.0));
+        assert!(few > many);
+        // And communication dominates at default rates.
+        let comm_err = m.communication_infidelity(40);
+        assert!(comm_err > 0.5, "40 EPR pairs should dominate: {comm_err}");
+    }
+
+    #[test]
+    fn shorter_schedules_mean_higher_fidelity() {
+        let m = FidelityModel::default();
+        let fast = m.estimate(&inputs(10, 100.0));
+        let slow = m.estimate(&inputs(10, 10_000.0));
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn perfect_machine_gives_unit_fidelity() {
+        let m = FidelityModel { e_1q: 0.0, e_2q: 0.0, e_measure: 0.0, e_epr: 0.0, gamma: 0.0 };
+        assert_eq!(m.estimate(&inputs(100, 1e6)), 1.0);
+    }
+
+    #[test]
+    fn inputs_for_accounts_protocol_overhead() {
+        let lat = LatencyModel::default();
+        let i = FidelityModel::inputs_for(10, 20, 5, 4, 50.0, &lat);
+        assert_eq!(i.num_2q, 25);
+        assert_eq!(i.num_measure, 10);
+        assert_eq!(i.num_epr, 5);
+    }
+}

@@ -1,0 +1,41 @@
+//! Hardware model of a distributed quantum computer.
+//!
+//! The AutoComm paper models the machine as `k` modular nodes, each holding
+//! `t` data qubits plus **two communication qubits**, connected all-to-all
+//! through EPR-pair generation. Latencies are normalized to CX units
+//! (paper Table 1):
+//!
+//! | operation | latency |
+//! |---|---|
+//! | single-qubit gate | 0.1 |
+//! | CX / CZ | 1 |
+//! | measurement | 5 |
+//! | EPR pair preparation | 12 |
+//! | one classical bit | 1 |
+//!
+//! This crate provides:
+//!
+//! * [`LatencyModel`] — those constants plus derived protocol phase
+//!   latencies (cat-entangle, cat-disentangle, teleport);
+//! * [`HardwareSpec`] — node count / qubits-per-node / comm-qubit budget;
+//! * [`Timeline`] — a resource-constrained event timeline tracking per-qubit
+//!   availability and per-node communication-qubit slots, used by every
+//!   scheduler in the reproduction (AutoComm burst-greedy, baseline ASAP,
+//!   GP-TP); it also counts consumed EPR pairs;
+//! * [`validate_events`] — an independent checker that replays a timeline's
+//!   event log and verifies no qubit or comm-slot is double-booked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fidelity;
+mod latency;
+mod spec;
+mod timeline;
+mod validate;
+
+pub use fidelity::{FidelityInputs, FidelityModel};
+pub use latency::LatencyModel;
+pub use spec::HardwareSpec;
+pub use timeline::{CommClaim, Timeline, TimelineEvent};
+pub use validate::{validate_events, ValidationError};

@@ -1,0 +1,115 @@
+//! Static description of the distributed machine.
+
+use dqc_circuit::{NodeId, Partition};
+
+use crate::LatencyModel;
+
+/// Node count, per-node communication-qubit budget, and latency model.
+///
+/// The paper assumes all-to-all EPR connectivity between nodes and exactly
+/// two communication qubits per node for near-term DQC (§3); both are
+/// configurable here, and the sensitivity benches exercise other values.
+///
+/// ```
+/// use dqc_hardware::HardwareSpec;
+/// let hw = HardwareSpec::symmetric(10);
+/// assert_eq!(hw.num_nodes(), 10);
+/// assert_eq!(hw.comm_qubits_per_node(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct HardwareSpec {
+    num_nodes: usize,
+    comm_qubits_per_node: usize,
+    latency: LatencyModel,
+}
+
+impl HardwareSpec {
+    /// A machine with `num_nodes` nodes, the paper's two communication
+    /// qubits per node, and Table-1 latencies.
+    pub fn symmetric(num_nodes: usize) -> Self {
+        HardwareSpec {
+            num_nodes,
+            comm_qubits_per_node: 2,
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// A machine matching `partition`'s node count.
+    pub fn for_partition(partition: &Partition) -> Self {
+        HardwareSpec::symmetric(partition.num_nodes())
+    }
+
+    /// Overrides the per-node communication-qubit budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a node without communication qubits cannot
+    /// participate in DQC.
+    pub fn with_comm_qubits(mut self, n: usize) -> Self {
+        assert!(n > 0, "each node needs at least one communication qubit");
+        self.comm_qubits_per_node = n;
+        self
+    }
+
+    /// Overrides the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Communication qubits available on each node.
+    pub fn comm_qubits_per_node(&self) -> usize {
+        self.comm_qubits_per_node
+    }
+
+    /// The latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Whether `node` is a valid node of this machine.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_defaults() {
+        let hw = HardwareSpec::symmetric(4);
+        assert_eq!(hw.num_nodes(), 4);
+        assert_eq!(hw.comm_qubits_per_node(), 2);
+        assert_eq!(hw.latency().t_epr, 12.0);
+        assert!(hw.contains(NodeId::new(3)));
+        assert!(!hw.contains(NodeId::new(4)));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let hw = HardwareSpec::symmetric(2)
+            .with_comm_qubits(4)
+            .with_latency(LatencyModel { t_epr: 20.0, ..LatencyModel::default() });
+        assert_eq!(hw.comm_qubits_per_node(), 4);
+        assert_eq!(hw.latency().t_epr, 20.0);
+    }
+
+    #[test]
+    fn for_partition_matches_node_count() {
+        let p = Partition::block(12, 3).unwrap();
+        assert_eq!(HardwareSpec::for_partition(&p).num_nodes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one communication qubit")]
+    fn zero_comm_qubits_rejected() {
+        let _ = HardwareSpec::symmetric(2).with_comm_qubits(0);
+    }
+}

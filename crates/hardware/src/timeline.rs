@@ -1,0 +1,443 @@
+//! Resource-constrained event timeline.
+
+use dqc_circuit::{Gate, NodeId, QubitId};
+
+use crate::{HardwareSpec, LatencyModel};
+
+/// A claim on one communication-qubit slot at each of two nodes, produced by
+/// [`Timeline::claim_comm`]. The claim covers EPR-pair preparation and stays
+/// open (both slots busy) until [`Timeline::release_comm`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommClaim {
+    /// First endpoint node.
+    pub node_a: NodeId,
+    /// Slot index used at `node_a`.
+    pub slot_a: usize,
+    /// Second endpoint node.
+    pub node_b: NodeId,
+    /// Slot index used at `node_b`.
+    pub slot_b: usize,
+    /// When EPR preparation starts.
+    pub start: f64,
+    /// When the EPR pair is ready (`start + t_epr`).
+    pub epr_ready: f64,
+}
+
+/// One recorded interval on the timeline (for validation and inspection).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineEvent {
+    /// Human-readable label (e.g. `"epr"`, `"cat-entangle"`, `"cx"`).
+    pub label: String,
+    /// Interval start.
+    pub start: f64,
+    /// Interval end.
+    pub end: f64,
+    /// Logical qubits kept busy for the whole interval.
+    pub qubits: Vec<QubitId>,
+    /// Communication slots `(node, slot)` kept busy for the whole interval.
+    pub slots: Vec<(NodeId, usize)>,
+}
+
+/// Tracks per-qubit availability and per-node communication-qubit slots
+/// while a scheduler lays out a distributed program; counts EPR pairs and
+/// the overall makespan.
+///
+/// ```
+/// use dqc_circuit::{Gate, NodeId, QubitId};
+/// use dqc_hardware::{HardwareSpec, Timeline};
+///
+/// let hw = HardwareSpec::symmetric(2);
+/// let mut tl = Timeline::new(4, &hw);
+/// let (s, e) = tl.schedule_gate(&Gate::cx(QubitId::new(0), QubitId::new(1)));
+/// assert_eq!((s, e), (0.0, 1.0));
+/// let claim = tl.claim_comm(NodeId::new(0), NodeId::new(1), 0.0);
+/// assert_eq!(claim.epr_ready, 12.0);
+/// tl.release_comm(&claim, 20.0);
+/// assert_eq!(tl.epr_pairs_consumed(), 1);
+/// assert_eq!(tl.makespan(), 20.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    latency: LatencyModel,
+    qubit_free: Vec<f64>,
+    slot_free: Vec<Vec<f64>>,
+    epr_count: usize,
+    makespan: f64,
+    events: Option<Vec<TimelineEvent>>,
+}
+
+impl Timeline {
+    /// A fresh timeline for `num_qubits` logical qubits on machine `hw`.
+    pub fn new(num_qubits: usize, hw: &HardwareSpec) -> Self {
+        Timeline {
+            latency: *hw.latency(),
+            qubit_free: vec![0.0; num_qubits],
+            slot_free: vec![vec![0.0; hw.comm_qubits_per_node()]; hw.num_nodes()],
+            epr_count: 0,
+            makespan: 0.0,
+            events: None,
+        }
+    }
+
+    /// Enables event recording (needed by [`crate::validate_events`]).
+    pub fn with_recording(mut self) -> Self {
+        self.events = Some(Vec::new());
+        self
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Earliest time qubit `q` is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn qubit_free_at(&self, q: QubitId) -> f64 {
+        self.qubit_free[q.index()]
+    }
+
+    /// Earliest time at which `node` has a free communication slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_slot_free_at(&self, node: NodeId) -> f64 {
+        self.slot_free[node.index()]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Schedules a gate as soon as its operands are free; returns
+    /// `(start, end)`.
+    pub fn schedule_gate(&mut self, gate: &Gate) -> (f64, f64) {
+        self.schedule_gate_after(gate, 0.0)
+    }
+
+    /// Schedules a gate no earlier than `earliest`; returns `(start, end)`.
+    pub fn schedule_gate_after(&mut self, gate: &Gate, earliest: f64) -> (f64, f64) {
+        let start = gate
+            .qubits()
+            .iter()
+            .map(|q| self.qubit_free[q.index()])
+            .fold(earliest, f64::max);
+        let end = start + self.latency.gate(gate);
+        for q in gate.qubits() {
+            self.qubit_free[q.index()] = end;
+        }
+        self.makespan = self.makespan.max(end);
+        self.record(gate.kind().name().to_owned(), start, end, gate.qubits().to_vec(), vec![]);
+        (start, end)
+    }
+
+    /// Marks `qubits` busy over `[start, end)` with a labelled event
+    /// (protocol phases that are not plain gates).
+    pub fn occupy_qubits(&mut self, label: &str, qubits: &[QubitId], start: f64, end: f64) {
+        for q in qubits {
+            self.qubit_free[q.index()] = self.qubit_free[q.index()].max(end);
+        }
+        self.makespan = self.makespan.max(end);
+        self.record(label.to_owned(), start, end, qubits.to_vec(), vec![]);
+    }
+
+    /// Claims one communication slot at each endpoint and starts EPR
+    /// preparation at the earliest instant both slots are free (but not
+    /// before `earliest`). Consumes one EPR pair. The slots remain busy
+    /// until [`Timeline::release_comm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node is out of range.
+    pub fn claim_comm(&mut self, a: NodeId, b: NodeId, earliest: f64) -> CommClaim {
+        assert_ne!(a, b, "communication requires two distinct nodes");
+        let slot_a = self.best_slot(a);
+        let slot_b = self.best_slot(b);
+        let start = self.slot_free[a.index()][slot_a]
+            .max(self.slot_free[b.index()][slot_b])
+            .max(earliest);
+        let epr_ready = start + self.latency.t_epr;
+        self.slot_free[a.index()][slot_a] = f64::INFINITY;
+        self.slot_free[b.index()][slot_b] = f64::INFINITY;
+        self.epr_count += 1;
+        self.makespan = self.makespan.max(epr_ready);
+        self.record(
+            "epr".to_owned(),
+            start,
+            epr_ready,
+            vec![],
+            vec![(a, slot_a), (b, slot_b)],
+        );
+        CommClaim { node_a: a, slot_a, node_b: b, slot_b, start, epr_ready }
+    }
+
+    /// Raises qubit `q`'s next-free time to at least `until` without
+    /// recording an event — used for logical availability constraints (e.g.
+    /// a parallel block group's end) that are not physical occupancy of a
+    /// distinct interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn bump_qubit(&mut self, q: QubitId, until: f64) {
+        let slot = &mut self.qubit_free[q.index()];
+        *slot = slot.max(until);
+        self.makespan = self.makespan.max(until);
+    }
+
+    /// Releases the two slots of `claim` at different times — TP-Comm holds
+    /// the destination-side communication qubit (which stores the teleported
+    /// state) longer than the source side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time precedes the EPR-ready time.
+    pub fn release_comm_sides(&mut self, claim: &CommClaim, at_a: f64, at_b: f64) {
+        self.release_comm_source(claim, at_a);
+        self.release_comm_dest(claim, at_b);
+    }
+
+    /// Releases only the source (`node_a`) slot of `claim` at `at`; the
+    /// destination slot stays held (e.g. it stores a teleported state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the EPR-ready time.
+    pub fn release_comm_source(&mut self, claim: &CommClaim, at: f64) {
+        assert!(
+            at >= claim.epr_ready - 1e-9,
+            "cannot release a communication before its EPR pair exists"
+        );
+        self.slot_free[claim.node_a.index()][claim.slot_a] = at;
+        self.makespan = self.makespan.max(at);
+        if at > claim.epr_ready {
+            self.record(
+                "comm".to_owned(),
+                claim.epr_ready,
+                at,
+                vec![],
+                vec![(claim.node_a, claim.slot_a)],
+            );
+        }
+    }
+
+    /// Releases only the destination (`node_b`) slot of `claim` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the EPR-ready time.
+    pub fn release_comm_dest(&mut self, claim: &CommClaim, at: f64) {
+        assert!(
+            at >= claim.epr_ready - 1e-9,
+            "cannot release a communication before its EPR pair exists"
+        );
+        self.slot_free[claim.node_b.index()][claim.slot_b] = at;
+        self.makespan = self.makespan.max(at);
+        if at > claim.epr_ready {
+            self.record(
+                "comm".to_owned(),
+                claim.epr_ready,
+                at,
+                vec![],
+                vec![(claim.node_b, claim.slot_b)],
+            );
+        }
+    }
+
+    /// Releases both slots of `claim` at time `at`, recording the occupancy
+    /// interval past EPR readiness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the EPR-ready time.
+    pub fn release_comm(&mut self, claim: &CommClaim, at: f64) {
+        assert!(
+            at >= claim.epr_ready - 1e-9,
+            "cannot release a communication before its EPR pair exists"
+        );
+        self.slot_free[claim.node_a.index()][claim.slot_a] = at;
+        self.slot_free[claim.node_b.index()][claim.slot_b] = at;
+        self.makespan = self.makespan.max(at);
+        if at > claim.epr_ready {
+            self.record(
+                "comm".to_owned(),
+                claim.epr_ready,
+                at,
+                vec![],
+                vec![(claim.node_a, claim.slot_a), (claim.node_b, claim.slot_b)],
+            );
+        }
+    }
+
+    /// Total EPR pairs claimed so far.
+    pub fn epr_pairs_consumed(&self) -> usize {
+        self.epr_count
+    }
+
+    /// Latest event end seen so far (the program latency once scheduling is
+    /// complete).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// The recorded events, if recording was enabled.
+    pub fn events(&self) -> Option<&[TimelineEvent]> {
+        self.events.as_deref()
+    }
+
+    fn best_slot(&self, node: NodeId) -> usize {
+        let slots = &self.slot_free[node.index()];
+        let mut best = 0;
+        for (i, t) in slots.iter().enumerate() {
+            if *t < slots[best] {
+                best = i;
+            }
+        }
+        assert!(
+            slots[best].is_finite(),
+            "all communication slots of {node} are held open; release one first"
+        );
+        best
+    }
+
+    fn record(
+        &mut self,
+        label: String,
+        start: f64,
+        end: f64,
+        qubits: Vec<QubitId>,
+        slots: Vec<(NodeId, usize)>,
+    ) {
+        if let Some(events) = &mut self.events {
+            events.push(TimelineEvent { label, start, end, qubits, slots });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn timeline() -> Timeline {
+        Timeline::new(6, &HardwareSpec::symmetric(3))
+    }
+
+    #[test]
+    fn gates_chain_on_shared_qubits() {
+        let mut tl = timeline();
+        let (s1, e1) = tl.schedule_gate(&Gate::cx(q(0), q(1)));
+        let (s2, e2) = tl.schedule_gate(&Gate::cx(q(1), q(2)));
+        assert_eq!((s1, e1), (0.0, 1.0));
+        assert_eq!((s2, e2), (1.0, 2.0));
+        // Disjoint gate runs in parallel.
+        let (s3, _) = tl.schedule_gate(&Gate::h(q(3)));
+        assert_eq!(s3, 0.0);
+        assert_eq!(tl.makespan(), 2.0);
+    }
+
+    #[test]
+    fn claim_uses_both_nodes_slots() {
+        let mut tl = timeline();
+        let c1 = tl.claim_comm(n(0), n(1), 0.0);
+        let c2 = tl.claim_comm(n(0), n(1), 0.0);
+        // Two comm qubits per node: both claims start immediately.
+        assert_eq!(c1.start, 0.0);
+        assert_eq!(c2.start, 0.0);
+        // Third concurrent claim on node 0 must wait for a release.
+        tl.release_comm(&c1, 15.0);
+        let c3 = tl.claim_comm(n(0), n(2), 0.0);
+        assert_eq!(c3.start, 15.0);
+        assert_eq!(tl.epr_pairs_consumed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "release one first")]
+    fn exhausting_slots_panics() {
+        let mut tl = timeline();
+        let _ = tl.claim_comm(n(0), n(1), 0.0);
+        let _ = tl.claim_comm(n(0), n(1), 0.0);
+        let _ = tl.claim_comm(n(0), n(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before its EPR pair exists")]
+    fn premature_release_panics() {
+        let mut tl = timeline();
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        tl.release_comm(&c, 5.0);
+    }
+
+    #[test]
+    fn makespan_tracks_latest_event() {
+        let mut tl = timeline();
+        let c = tl.claim_comm(n(0), n(1), 3.0);
+        assert_eq!(c.start, 3.0);
+        assert_eq!(c.epr_ready, 15.0);
+        tl.release_comm(&c, 30.0);
+        assert_eq!(tl.makespan(), 30.0);
+    }
+
+    #[test]
+    fn occupy_qubits_blocks_later_gates() {
+        let mut tl = timeline();
+        tl.occupy_qubits("teleport", &[q(0)], 0.0, 7.0);
+        let (s, _) = tl.schedule_gate(&Gate::h(q(0)));
+        assert_eq!(s, 7.0);
+    }
+
+    #[test]
+    fn recording_captures_events() {
+        let mut tl = Timeline::new(2, &HardwareSpec::symmetric(2)).with_recording();
+        tl.schedule_gate(&Gate::h(q(0)));
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        tl.release_comm(&c, 20.0);
+        let events = tl.events().unwrap();
+        assert!(events.iter().any(|e| e.label == "h"));
+        assert!(events.iter().any(|e| e.label == "epr"));
+        assert!(events.iter().any(|e| e.label == "comm"));
+    }
+
+    #[test]
+    fn no_recording_by_default() {
+        let tl = timeline();
+        assert!(tl.events().is_none());
+    }
+
+    #[test]
+    fn bump_qubit_delays_without_event() {
+        let mut tl = Timeline::new(2, &HardwareSpec::symmetric(2)).with_recording();
+        tl.bump_qubit(q(0), 9.0);
+        let (s, _) = tl.schedule_gate(&Gate::h(q(0)));
+        assert_eq!(s, 9.0);
+        // Only the gate event was recorded.
+        assert_eq!(tl.events().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn asymmetric_release_frees_sides_independently() {
+        let mut tl = timeline();
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        tl.release_comm_sides(&c, 12.0, 30.0);
+        // Node 0's slot is free at 12; node 1 keeps one slot busy until 30.
+        let c2 = tl.claim_comm(n(0), n(2), 0.0);
+        assert_eq!(c2.start, 0.0); // second slot of node 0 was never used
+        let c3 = tl.claim_comm(n(0), n(2), 0.0);
+        assert_eq!(c3.start, 12.0); // waits for the side released at 12
+        tl.release_comm(&c2, 40.0);
+        tl.release_comm(&c3, 40.0);
+        // Node 1's state-holding slot is busy until 30, its other slot is
+        // free, but node 2 is busy until 40.
+        let c4 = tl.claim_comm(n(1), n(2), 0.0);
+        assert_eq!(c4.start, 40.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Independent replay validation of a timeline's event log.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use dqc_circuit::{NodeId, QubitId};
+
+use crate::{HardwareSpec, TimelineEvent};
+
+/// A violation found while replaying a timeline event log.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// An event ends before it starts.
+    NegativeDuration {
+        /// Offending event label.
+        label: String,
+    },
+    /// Two events overlap on the same logical qubit.
+    QubitOverlap {
+        /// The double-booked qubit.
+        qubit: QubitId,
+        /// Labels of the overlapping events.
+        labels: (String, String),
+    },
+    /// Two events overlap on the same communication slot.
+    SlotOverlap {
+        /// The double-booked slot.
+        slot: (NodeId, usize),
+        /// Labels of the overlapping events.
+        labels: (String, String),
+    },
+    /// An event references a slot index beyond the machine's budget.
+    SlotOutOfRange {
+        /// The offending slot.
+        slot: (NodeId, usize),
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NegativeDuration { label } => {
+                write!(f, "event `{label}` has negative duration")
+            }
+            ValidationError::QubitOverlap { qubit, labels } => {
+                write!(f, "qubit {qubit} double-booked by `{}` and `{}`", labels.0, labels.1)
+            }
+            ValidationError::SlotOverlap { slot, labels } => write!(
+                f,
+                "comm slot {}#{} double-booked by `{}` and `{}`",
+                slot.0, slot.1, labels.0, labels.1
+            ),
+            ValidationError::SlotOutOfRange { slot } => {
+                write!(f, "comm slot {}#{} beyond the per-node budget", slot.0, slot.1)
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+const EPS: f64 = 1e-9;
+
+/// Replays `events` and checks that no logical qubit and no communication
+/// slot is ever double-booked, and that every slot index respects `hw`'s
+/// per-node budget.
+///
+/// This check is intentionally independent of [`crate::Timeline`]'s internal
+/// bookkeeping, so scheduler bugs cannot hide behind the structure that
+/// produced them.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] found.
+///
+/// ```
+/// use dqc_circuit::{Gate, QubitId};
+/// use dqc_hardware::{validate_events, HardwareSpec, Timeline};
+/// let hw = HardwareSpec::symmetric(2);
+/// let mut tl = Timeline::new(2, &hw).with_recording();
+/// tl.schedule_gate(&Gate::h(QubitId::new(0)));
+/// tl.schedule_gate(&Gate::cx(QubitId::new(0), QubitId::new(1)));
+/// validate_events(tl.events().unwrap(), &hw).unwrap();
+/// ```
+pub fn validate_events(
+    events: &[TimelineEvent],
+    hw: &HardwareSpec,
+) -> Result<(), ValidationError> {
+    for e in events {
+        if e.end < e.start - EPS {
+            return Err(ValidationError::NegativeDuration { label: e.label.clone() });
+        }
+        for &(node, slot) in &e.slots {
+            if slot >= hw.comm_qubits_per_node() || node.index() >= hw.num_nodes() {
+                return Err(ValidationError::SlotOutOfRange { slot: (node, slot) });
+            }
+        }
+    }
+
+    // Per-qubit interval overlap check.
+    let mut by_qubit: HashMap<QubitId, Vec<&TimelineEvent>> = HashMap::new();
+    for e in events {
+        for &q in &e.qubits {
+            by_qubit.entry(q).or_default().push(e);
+        }
+    }
+    for (qubit, mut list) in by_qubit {
+        list.sort_by(|a, b| a.start.total_cmp(&b.start));
+        for w in list.windows(2) {
+            if w[1].start < w[0].end - EPS {
+                return Err(ValidationError::QubitOverlap {
+                    qubit,
+                    labels: (w[0].label.clone(), w[1].label.clone()),
+                });
+            }
+        }
+    }
+
+    // Per-slot interval overlap check.
+    let mut by_slot: HashMap<(NodeId, usize), Vec<&TimelineEvent>> = HashMap::new();
+    for e in events {
+        for &s in &e.slots {
+            by_slot.entry(s).or_default().push(e);
+        }
+    }
+    for (slot, mut list) in by_slot {
+        list.sort_by(|a, b| a.start.total_cmp(&b.start));
+        for w in list.windows(2) {
+            if w[1].start < w[0].end - EPS {
+                return Err(ValidationError::SlotOverlap {
+                    slot,
+                    labels: (w[0].label.clone(), w[1].label.clone()),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Timeline;
+    use dqc_circuit::Gate;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn event(
+        label: &str,
+        start: f64,
+        end: f64,
+        qubits: Vec<QubitId>,
+        slots: Vec<(NodeId, usize)>,
+    ) -> TimelineEvent {
+        TimelineEvent { label: label.into(), start, end, qubits, slots }
+    }
+
+    #[test]
+    fn valid_timeline_passes() {
+        let hw = HardwareSpec::symmetric(2);
+        let mut tl = Timeline::new(4, &hw).with_recording();
+        tl.schedule_gate(&Gate::cx(q(0), q(1)));
+        tl.schedule_gate(&Gate::cx(q(0), q(2)));
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        tl.release_comm(&c, 20.0);
+        validate_events(tl.events().unwrap(), &hw).unwrap();
+    }
+
+    #[test]
+    fn qubit_overlap_detected() {
+        let hw = HardwareSpec::symmetric(1);
+        let events = vec![
+            event("a", 0.0, 2.0, vec![q(0)], vec![]),
+            event("b", 1.0, 3.0, vec![q(0)], vec![]),
+        ];
+        assert!(matches!(
+            validate_events(&events, &hw),
+            Err(ValidationError::QubitOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn slot_overlap_detected() {
+        let hw = HardwareSpec::symmetric(2);
+        let events = vec![
+            event("a", 0.0, 5.0, vec![], vec![(n(0), 0)]),
+            event("b", 4.0, 6.0, vec![], vec![(n(0), 0)]),
+        ];
+        assert!(matches!(
+            validate_events(&events, &hw),
+            Err(ValidationError::SlotOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn slot_out_of_range_detected() {
+        let hw = HardwareSpec::symmetric(2);
+        let events = vec![event("a", 0.0, 1.0, vec![], vec![(n(0), 7)])];
+        assert!(matches!(
+            validate_events(&events, &hw),
+            Err(ValidationError::SlotOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_duration_detected() {
+        let hw = HardwareSpec::symmetric(1);
+        let events = vec![event("a", 2.0, 1.0, vec![q(0)], vec![])];
+        assert!(matches!(
+            validate_events(&events, &hw),
+            Err(ValidationError::NegativeDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn touching_intervals_are_fine() {
+        let hw = HardwareSpec::symmetric(1);
+        let events = vec![
+            event("a", 0.0, 2.0, vec![q(0)], vec![]),
+            event("b", 2.0, 3.0, vec![q(0)], vec![]),
+        ];
+        validate_events(&events, &hw).unwrap();
+    }
+}

@@ -1,0 +1,203 @@
+//! The qubit interaction graph.
+
+use dqc_circuit::{Circuit, Partition, QubitId};
+
+/// Weighted undirected graph over qubits; edge weight = number of
+/// multi-qubit gates coupling the pair.
+///
+/// Stored as a dense upper-triangular matrix — benchmark registers reach a
+/// few hundred qubits, where the dense form is both fastest and simplest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InteractionGraph {
+    num_qubits: usize,
+    // weights[i][j] valid for j > i.
+    weights: Vec<Vec<u64>>,
+}
+
+impl InteractionGraph {
+    /// An edgeless graph over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        let weights = (0..num_qubits).map(|i| vec![0; num_qubits - i]).collect();
+        InteractionGraph { num_qubits, weights }
+    }
+
+    /// Builds the graph of `circuit`: every multi-qubit gate adds one unit
+    /// of weight to each pair of its operands.
+    ///
+    /// ```
+    /// use dqc_circuit::{Circuit, Gate, QubitId};
+    /// use dqc_partition::InteractionGraph;
+    /// let q = |i| QubitId::new(i);
+    /// let mut c = Circuit::new(3);
+    /// c.push(Gate::cx(q(0), q(1))).unwrap();
+    /// c.push(Gate::cx(q(0), q(1))).unwrap();
+    /// c.push(Gate::ccx(q(0), q(1), q(2))).unwrap();
+    /// let g = InteractionGraph::from_circuit(&c);
+    /// assert_eq!(g.weight(q(0), q(1)), 3);
+    /// assert_eq!(g.weight(q(1), q(2)), 1);
+    /// ```
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut g = InteractionGraph::new(circuit.num_qubits());
+        for gate in circuit.gates() {
+            if !gate.kind().is_unitary() || gate.num_qubits() < 2 {
+                continue;
+            }
+            let qs = gate.qubits();
+            for i in 0..qs.len() {
+                for j in i + 1..qs.len() {
+                    g.add_weight(qs[i], qs[j], 1);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of qubits (vertices).
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Weight of the edge `{a, b}` (0 when absent or `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a vertex is out of range.
+    pub fn weight(&self, a: QubitId, b: QubitId) -> u64 {
+        let (i, j) = order(a.index(), b.index());
+        if i == j {
+            return 0;
+        }
+        self.weights[i][j - i]
+    }
+
+    /// Adds `w` to the edge `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a vertex is out of range or `a == b`.
+    pub fn add_weight(&mut self, a: QubitId, b: QubitId, w: u64) {
+        assert_ne!(a, b, "self-loops are not meaningful");
+        let (i, j) = order(a.index(), b.index());
+        self.weights[i][j - i] += w;
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().flatten().sum()
+    }
+
+    /// Sum of weights of edges whose endpoints live on different nodes —
+    /// the quantity OEE minimizes; equal to the number of remote multi-qubit
+    /// gates when the graph came from a circuit.
+    pub fn cut_weight(&self, partition: &Partition) -> u64 {
+        let mut cut = 0;
+        for i in 0..self.num_qubits {
+            for j in i + 1..self.num_qubits {
+                let w = self.weights[i][j - i];
+                if w > 0 && partition.node_of(QubitId::new(i)) != partition.node_of(QubitId::new(j))
+                {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Iterates over `(a, b, weight)` for every positive-weight edge.
+    pub fn edges(&self) -> impl Iterator<Item = (QubitId, QubitId, u64)> + '_ {
+        (0..self.num_qubits).flat_map(move |i| {
+            (i + 1..self.num_qubits).filter_map(move |j| {
+                let w = self.weights[i][j - i];
+                (w > 0).then(|| (QubitId::new(i), QubitId::new(j), w))
+            })
+        })
+    }
+
+    /// Total weight between `q` and all qubits of each node, as a dense
+    /// per-node vector (scratch structure for the OEE inner loop).
+    pub fn node_weights(&self, q: QubitId, partition: &Partition) -> Vec<u64> {
+        let mut out = vec![0; partition.num_nodes()];
+        for other in 0..self.num_qubits {
+            if other == q.index() {
+                continue;
+            }
+            let w = self.weight(q, QubitId::new(other));
+            if w > 0 {
+                out[partition.node_of(QubitId::new(other)).index()] += w;
+            }
+        }
+        out
+    }
+}
+
+fn order(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::Gate;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn weights_are_symmetric() {
+        let mut g = InteractionGraph::new(3);
+        g.add_weight(q(0), q(2), 5);
+        assert_eq!(g.weight(q(0), q(2)), 5);
+        assert_eq!(g.weight(q(2), q(0)), 5);
+        assert_eq!(g.weight(q(0), q(1)), 0);
+        assert_eq!(g.weight(q(1), q(1)), 0);
+    }
+
+    #[test]
+    fn from_circuit_counts_pairs() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(q(0), q(1))).unwrap();
+        c.push(Gate::crz(0.5, q(0), q(1))).unwrap();
+        c.push(Gate::h(q(2))).unwrap();
+        let g = InteractionGraph::from_circuit(&c);
+        assert_eq!(g.weight(q(0), q(1)), 2);
+        assert_eq!(g.total_weight(), 2);
+    }
+
+    #[test]
+    fn cut_weight_counts_cross_node_edges() {
+        let mut g = InteractionGraph::new(4);
+        g.add_weight(q(0), q(1), 3); // same node under block(4,2)
+        g.add_weight(q(1), q(2), 7); // cross
+        let p = Partition::block(4, 2).unwrap();
+        assert_eq!(g.cut_weight(&p), 7);
+    }
+
+    #[test]
+    fn edges_iterator_lists_positive_edges() {
+        let mut g = InteractionGraph::new(3);
+        g.add_weight(q(0), q(2), 2);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(q(0), q(2), 2)]);
+    }
+
+    #[test]
+    fn node_weights_accumulate_per_node() {
+        let mut g = InteractionGraph::new(4);
+        g.add_weight(q(0), q(1), 1);
+        g.add_weight(q(0), q(2), 2);
+        g.add_weight(q(0), q(3), 3);
+        let p = Partition::block(4, 2).unwrap();
+        assert_eq!(g.node_weights(q(0), &p), vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        InteractionGraph::new(2).add_weight(q(1), q(1), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Overall Extreme Exchange (OEE) partitioning.
+
+use dqc_circuit::{CircuitError, NodeId, Partition, QubitId};
+
+use crate::InteractionGraph;
+
+/// Tuning knobs for the OEE loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OeeOptions {
+    /// Upper bound on applied exchanges (safety valve; the loop normally
+    /// terminates on its own when no improving swap exists).
+    pub max_exchanges: usize,
+}
+
+impl Default for OeeOptions {
+    fn default() -> Self {
+        OeeOptions { max_exchanges: 100_000 }
+    }
+}
+
+/// Partitions the graph over `num_nodes` nodes: balanced block assignment
+/// refined by [`oee_refine`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidPartition`] for impossible node counts.
+pub fn oee_partition(
+    graph: &InteractionGraph,
+    num_nodes: usize,
+) -> Result<Partition, CircuitError> {
+    let initial = Partition::block(graph.num_qubits(), num_nodes)?;
+    Ok(oee_refine(graph, initial, OeeOptions::default()))
+}
+
+/// Refines `partition` by repeatedly applying the cross-node qubit exchange
+/// with the largest positive cut reduction (“extreme exchange”), until no
+/// improving exchange exists.
+///
+/// Exchanges preserve per-node loads exactly, so the output is balanced iff
+/// the input was. The returned partition's cut weight is never larger than
+/// the input's (asserted in debug builds and property-tested).
+pub fn oee_refine(
+    graph: &InteractionGraph,
+    mut partition: Partition,
+    options: OeeOptions,
+) -> Partition {
+    let n = graph.num_qubits();
+    if n == 0 || partition.num_nodes() < 2 {
+        return partition;
+    }
+    debug_assert_eq!(partition.num_qubits(), n, "partition must cover the graph");
+
+    // node_w[q][node] = total edge weight between q and the qubits of node.
+    let mut node_w: Vec<Vec<u64>> = (0..n)
+        .map(|q| graph.node_weights(QubitId::new(q), &partition))
+        .collect();
+
+    let initial_cut = graph.cut_weight(&partition);
+    let mut applied = 0usize;
+    while applied < options.max_exchanges {
+        let mut best_gain: i64 = 0;
+        let mut best_pair: Option<(usize, usize)> = None;
+        for a in 0..n {
+            let na = partition.node_of(QubitId::new(a));
+            for b in a + 1..n {
+                let nb = partition.node_of(QubitId::new(b));
+                if na == nb {
+                    continue;
+                }
+                let w_ab = graph.weight(QubitId::new(a), QubitId::new(b)) as i64;
+                let gain = node_w[a][nb.index()] as i64 - node_w[a][na.index()] as i64
+                    + node_w[b][na.index()] as i64
+                    - node_w[b][nb.index()] as i64
+                    - 2 * w_ab;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_pair = Some((a, b));
+                }
+            }
+        }
+        let Some((a, b)) = best_pair else { break };
+        let qa = QubitId::new(a);
+        let qb = QubitId::new(b);
+        let na = partition.node_of(qa);
+        let nb = partition.node_of(qb);
+        partition.swap_qubits(qa, qb);
+        // Update cached node weights: every neighbor of a sees a move na→nb,
+        // every neighbor of b sees nb→na.
+        update_after_move(graph, &mut node_w, qa, na, nb);
+        update_after_move(graph, &mut node_w, qb, nb, na);
+        applied += 1;
+    }
+
+    debug_assert!(
+        graph.cut_weight(&partition) <= initial_cut,
+        "OEE must never increase the cut"
+    );
+    partition
+}
+
+fn update_after_move(
+    graph: &InteractionGraph,
+    node_w: &mut [Vec<u64>],
+    moved: QubitId,
+    from: NodeId,
+    to: NodeId,
+) {
+    for other in 0..node_w.len() {
+        if other == moved.index() {
+            continue;
+        }
+        let w = graph.weight(moved, QubitId::new(other));
+        if w > 0 {
+            node_w[other][from.index()] -= w;
+            node_w[other][to.index()] += w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::{Circuit, Gate};
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn finds_zero_cut_for_separable_clusters() {
+        // Clusters {0,3} and {1,2}: block partition starts with cut > 0.
+        let mut g = InteractionGraph::new(4);
+        g.add_weight(q(0), q(3), 10);
+        g.add_weight(q(1), q(2), 10);
+        let p = oee_partition(&g, 2).unwrap();
+        assert_eq!(g.cut_weight(&p), 0);
+        assert_eq!(p.imbalance(), 0);
+    }
+
+    #[test]
+    fn never_increases_cut() {
+        let mut c = Circuit::new(8);
+        // A ladder: neighbors interact.
+        for i in 0..7 {
+            c.push(Gate::cx(q(i), q(i + 1))).unwrap();
+        }
+        let g = InteractionGraph::from_circuit(&c);
+        let initial = Partition::round_robin(8, 2).unwrap();
+        let before = g.cut_weight(&initial);
+        let refined = oee_refine(&g, initial, OeeOptions::default());
+        assert!(g.cut_weight(&refined) <= before);
+        assert_eq!(refined.imbalance(), 0);
+    }
+
+    #[test]
+    fn ladder_gets_contiguous_blocks() {
+        let mut c = Circuit::new(8);
+        for i in 0..7 {
+            for _ in 0..3 {
+                c.push(Gate::cx(q(i), q(i + 1))).unwrap();
+            }
+        }
+        let g = InteractionGraph::from_circuit(&c);
+        // Start from the worst layout.
+        let refined = oee_refine(&g, Partition::round_robin(8, 2).unwrap(), OeeOptions::default());
+        // Optimal cut for a ladder over two nodes is one edge = 3.
+        assert_eq!(g.cut_weight(&refined), 3);
+    }
+
+    #[test]
+    fn respects_exchange_cap() {
+        let mut g = InteractionGraph::new(4);
+        g.add_weight(q(0), q(3), 10);
+        g.add_weight(q(1), q(2), 10);
+        let initial = Partition::block(4, 2).unwrap();
+        let before = g.cut_weight(&initial);
+        let refined = oee_refine(&g, initial, OeeOptions { max_exchanges: 0 });
+        assert_eq!(g.cut_weight(&refined), before);
+    }
+
+    #[test]
+    fn single_node_is_identity() {
+        let g = InteractionGraph::new(4);
+        let p = oee_partition(&g, 1).unwrap();
+        assert_eq!(p.num_nodes(), 1);
+        assert_eq!(g.cut_weight(&p), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = InteractionGraph::new(0);
+        let p = oee_partition(&g, 1).unwrap();
+        assert_eq!(p.num_qubits(), 0);
+    }
+
+    #[test]
+    fn uniform_graph_keeps_balance() {
+        // Complete graph: any balanced partition is optimal; OEE must not churn.
+        let mut g = InteractionGraph::new(6);
+        for i in 0..6 {
+            for j in i + 1..6 {
+                g.add_weight(q(i), q(j), 1);
+            }
+        }
+        let p = oee_partition(&g, 3).unwrap();
+        assert_eq!(p.imbalance(), 0);
+        // K6 over 3 nodes of 2: internal edges = 3, cut = 15 - 3 = 12.
+        assert_eq!(g.cut_weight(&p), 12);
+    }
+}

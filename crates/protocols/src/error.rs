@@ -1,0 +1,90 @@
+//! Protocol expansion errors.
+
+use std::error::Error;
+use std::fmt;
+
+use dqc_circuit::{CircuitError, NodeId, QubitId};
+
+/// Errors raised while lowering a distributed program onto the physical
+/// register.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A gate in a Cat-Comm body is incompatible with the cat-entangler
+    /// (burst qubit not the control, or a non-diagonal gate on the burst
+    /// qubit).
+    NotCatCompatible {
+        /// Rendering of the offending gate.
+        gate: String,
+        /// Why it cannot ride a single cat-entanglement.
+        reason: &'static str,
+    },
+    /// A block body touches a qubit outside the burst qubit and the remote
+    /// node.
+    ForeignQubit {
+        /// The out-of-scope qubit.
+        qubit: QubitId,
+        /// The node the block communicates with.
+        node: NodeId,
+    },
+    /// A block was requested between a qubit and its own node.
+    NotRemote {
+        /// The burst qubit.
+        qubit: QubitId,
+    },
+    /// An underlying circuit construction failed.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::NotCatCompatible { gate, reason } => {
+                write!(f, "gate `{gate}` cannot ride a single Cat-Comm: {reason}")
+            }
+            ProtocolError::ForeignQubit { qubit, node } => {
+                write!(f, "qubit {qubit} is neither the burst qubit nor on node {node}")
+            }
+            ProtocolError::NotRemote { qubit } => {
+                write!(f, "burst qubit {qubit} already lives on the target node")
+            }
+            ProtocolError::Circuit(e) => write!(f, "circuit error during expansion: {e}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for ProtocolError {
+    fn from(e: CircuitError) -> Self {
+        ProtocolError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::NotRemote { qubit: QubitId::new(3) };
+        assert!(e.to_string().contains("q3"));
+        let e = ProtocolError::ForeignQubit { qubit: QubitId::new(1), node: NodeId::new(2) };
+        assert!(e.to_string().contains("N2"));
+    }
+
+    #[test]
+    fn circuit_errors_convert() {
+        let ce = CircuitError::DuplicateOperand { qubit: QubitId::new(0) };
+        let pe: ProtocolError = ce.clone().into();
+        assert!(matches!(pe, ProtocolError::Circuit(_)));
+        assert!(std::error::Error::source(&pe).is_some());
+    }
+}

@@ -1,0 +1,52 @@
+//! Physical expansion of remote communication protocols.
+//!
+//! The AutoComm paper implements burst-communication blocks with two
+//! schemes (paper Figures 2 and 3):
+//!
+//! * **Cat-Comm** — cat-entangler copies the burst qubit's computational
+//!   value onto a remote communication qubit (one EPR pair, one
+//!   measurement, one conditioned X), the block body executes locally on
+//!   the remote node with the communication qubit standing in as control,
+//!   and the cat-disentangler uncomputes the copy (one measurement, one
+//!   conditioned Z). Valid only when every remote gate uses the burst qubit
+//!   as *control* and no non-diagonal gate touches the burst qubit inside
+//!   the block.
+//! * **TP-Comm** — teleports the burst qubit to the remote node (one EPR
+//!   pair), executes an arbitrary body, and teleports it back (second EPR
+//!   pair, the paper's “dirty side-effect” accounting).
+//!
+//! [`ProtocolExpander`] lowers a distributed program onto a physical
+//! register (logical qubits + two communication qubits per node) emitting
+//! real measurements and classically conditioned corrections, so the whole
+//! construction can be *verified* against the logical circuit with
+//! `dqc-sim` — which this crate's test-suite and `tests/` do exhaustively.
+//!
+//! # Example
+//!
+//! ```
+//! use dqc_circuit::{Gate, NodeId, Partition, QubitId};
+//! use dqc_protocols::ProtocolExpander;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let q = |i| QubitId::new(i);
+//! let partition = Partition::block(4, 2)?; // {0,1} on N0, {2,3} on N1
+//! let mut exp = ProtocolExpander::new(&partition);
+//! // One cat-comm block: q0 controls CXs onto both qubits of node 1.
+//! exp.cat_comm_block(q(0), NodeId::new(1), &[
+//!     Gate::cx(q(0), q(2)),
+//!     Gate::cx(q(0), q(3)),
+//! ])?;
+//! let physical = exp.finish();
+//! assert_eq!(physical.epr_pairs, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod expander;
+
+pub use error::ProtocolError;
+pub use expander::{PhysicalProgram, ProtocolExpander};

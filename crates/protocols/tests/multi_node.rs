@@ -1,0 +1,137 @@
+//! Multi-node protocol scenarios: sequential communications over shared
+//! comm qubits, three-node programs, and randomized block bodies — all
+//! verified against direct simulation.
+
+use dqc_circuit::{Circuit, Gate, NodeId, Partition, QubitId};
+use dqc_protocols::{PhysicalProgram, ProtocolExpander};
+use dqc_sim::{Complex, SplitMix64, StateVector};
+
+fn q(i: usize) -> QubitId {
+    QubitId::new(i)
+}
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn fidelity(logical: &Circuit, physical: &PhysicalProgram, seed: u64) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    let input = StateVector::random_state(logical.num_qubits(), &mut rng).unwrap();
+    let mut expected = input.clone();
+    expected.run(logical, &mut rng.fork()).unwrap();
+    let total = physical.circuit.num_qubits();
+    let mut amps = vec![Complex::ZERO; 1 << total];
+    amps[..input.amplitudes().len()].copy_from_slice(input.amplitudes());
+    let mut state = StateVector::from_amplitudes(amps).unwrap();
+    state.run(&physical.circuit, &mut rng).unwrap();
+    state.subset_fidelity(&expected, &physical.logical_qubits()).unwrap()
+}
+
+#[test]
+fn three_node_ring_of_cat_blocks() {
+    // q0 → node1, q2 → node2, q4 → node0: a ring of communications that
+    // exercises every node's comm qubits.
+    let partition = Partition::block(6, 3).unwrap();
+    let mut exp = ProtocolExpander::new(&partition);
+    exp.cat_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2)), Gate::cx(q(0), q(3))])
+        .unwrap();
+    exp.cat_comm_block(q(2), n(2), &[Gate::cx(q(2), q(4))]).unwrap();
+    exp.cat_comm_block(q(4), n(0), &[Gate::cx(q(4), q(0)), Gate::cx(q(4), q(1))])
+        .unwrap();
+    let physical = exp.finish();
+    assert_eq!(physical.epr_pairs, 3);
+
+    let mut logical = Circuit::new(6);
+    logical.push(Gate::cx(q(0), q(2))).unwrap();
+    logical.push(Gate::cx(q(0), q(3))).unwrap();
+    logical.push(Gate::cx(q(2), q(4))).unwrap();
+    logical.push(Gate::cx(q(4), q(0))).unwrap();
+    logical.push(Gate::cx(q(4), q(1))).unwrap();
+    for seed in 0..3 {
+        let f = fidelity(&logical, &physical, 60 + seed);
+        assert!((f - 1.0).abs() < 1e-9, "ring fidelity {f}");
+    }
+}
+
+#[test]
+fn tp_then_cat_on_same_node_pair() {
+    let partition = Partition::block(4, 2).unwrap();
+    let mut exp = ProtocolExpander::new(&partition);
+    exp.tp_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2)), Gate::cx(q(3), q(0))])
+        .unwrap();
+    exp.cat_comm_block(q(1), n(1), &[Gate::cx(q(1), q(3))]).unwrap();
+    let physical = exp.finish();
+    assert_eq!(physical.epr_pairs, 3);
+    assert_eq!(physical.tp_blocks, 1);
+    assert_eq!(physical.cat_blocks, 1);
+
+    let mut logical = Circuit::new(4);
+    logical.push(Gate::cx(q(0), q(2))).unwrap();
+    logical.push(Gate::cx(q(3), q(0))).unwrap();
+    logical.push(Gate::cx(q(1), q(3))).unwrap();
+    let f = fidelity(&logical, &physical, 7);
+    assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
+}
+
+#[test]
+fn randomized_cat_bodies_are_exact() {
+    // Control-form bodies with random interior node-local unitaries.
+    let partition = Partition::block(4, 2).unwrap();
+    let mut stream = SplitMix64::new(321);
+    for trial in 0..10 {
+        let theta = stream.next_f64() * 6.0;
+        let body = vec![
+            Gate::cx(q(0), q(2)),
+            Gate::ry(theta, q(2)),
+            Gate::cx(q(0), q(3)),
+            Gate::u3(theta, 0.3, 1.1, q(3)),
+            Gate::cx(q(0), q(2)),
+            Gate::rz(theta, q(0)), // diagonal on the burst qubit
+        ];
+        let mut exp = ProtocolExpander::new(&partition);
+        exp.cat_comm_block(q(0), n(1), &body).unwrap();
+        let physical = exp.finish();
+
+        let mut logical = Circuit::new(4);
+        logical.extend_gates(body).unwrap();
+        let f = fidelity(&logical, &physical, 500 + trial);
+        assert!((f - 1.0).abs() < 1e-9, "trial {trial}: fidelity {f}");
+    }
+}
+
+#[test]
+fn randomized_tp_bodies_are_exact() {
+    let partition = Partition::block(4, 2).unwrap();
+    let mut stream = SplitMix64::new(654);
+    for trial in 0..10 {
+        let theta = stream.next_f64() * 6.0;
+        let body = vec![
+            Gate::cx(q(0), q(2)),
+            Gate::h(q(0)),
+            Gate::rzz(theta, q(0), q(3)),
+            Gate::cx(q(3), q(0)),
+            Gate::ry(theta, q(0)),
+        ];
+        let mut exp = ProtocolExpander::new(&partition);
+        exp.tp_comm_block(q(0), n(1), &body).unwrap();
+        let physical = exp.finish();
+
+        let mut logical = Circuit::new(4);
+        logical.extend_gates(body).unwrap();
+        let f = fidelity(&logical, &physical, 900 + trial);
+        assert!((f - 1.0).abs() < 1e-9, "trial {trial}: fidelity {f}");
+    }
+}
+
+#[test]
+fn physical_register_layout_is_stable() {
+    // Logical qubits first, then two comm qubits per node — downstream
+    // consumers (fidelity checks, QASM round-trips) rely on this layout.
+    let partition = Partition::block(6, 3).unwrap();
+    let exp = ProtocolExpander::new(&partition);
+    assert_eq!(exp.comm_qubit(n(0), 0), q(6));
+    assert_eq!(exp.comm_qubit(n(2), 1), q(11));
+    let physical = exp.finish();
+    assert_eq!(physical.circuit.num_qubits(), 12);
+    assert_eq!(physical.logical_qubits(), (0..6).map(q).collect::<Vec<_>>());
+}

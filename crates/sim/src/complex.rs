@@ -1,0 +1,184 @@
+//! Minimal complex arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// Only the operations the simulator needs are provided; the type is `Copy`
+/// and behaves like a plain value.
+///
+/// ```
+/// use dqc_sim::Complex;
+/// let i = Complex::I;
+/// assert!((i * i + Complex::ONE).norm() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a real number.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// e^{iθ}.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// |z|².
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// |z|.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// Whether both components are within `tol` of `other`'s.
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self - other).norm() <= tol
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 0.25);
+        assert!((a + b - a - b).norm() < 1e-15);
+        assert!(((a * b) / b).approx_eq(a, 1e-12));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..8 {
+            let z = Complex::cis(k as f64 * 0.7853981633974483);
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!(Complex::cis(std::f64::consts::PI).approx_eq(Complex::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), 1e-12));
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Complex::from(2.0), Complex::real(2.0));
+        assert_eq!(Complex::new(1.0, -1.0).to_string(), "1.0000-1.0000i");
+    }
+}

@@ -1,0 +1,257 @@
+//! Dense-unitary construction and equivalence checking.
+
+use dqc_circuit::{Circuit, Gate};
+
+use crate::{ClassicalState, Complex, Matrix, SimError, SplitMix64, StateVector};
+
+pub use crate::matrix::gate_unitary;
+
+/// Hard cap for dense circuit unitaries (`2^12 = 4096` columns).
+const MAX_UNITARY_QUBITS: usize = 12;
+
+/// Builds the full `2^n × 2^n` unitary of a measurement-free circuit by
+/// propagating every basis column through the state-vector kernels.
+///
+/// # Errors
+///
+/// Returns [`SimError::NonUnitary`] if the circuit contains measurement,
+/// reset, or conditioned gates, and [`SimError::TooManyQubits`] above the
+/// 12-qubit cap.
+///
+/// ```
+/// use dqc_circuit::{Circuit, Gate, QubitId};
+/// use dqc_sim::circuit_unitary;
+/// let mut c = Circuit::new(1);
+/// c.push(Gate::h(QubitId::new(0))).unwrap();
+/// let u = circuit_unitary(&c).unwrap();
+/// assert!(u.is_unitary(1e-12));
+/// ```
+pub fn circuit_unitary(circuit: &Circuit) -> Result<Matrix, SimError> {
+    let n = circuit.num_qubits();
+    if n > MAX_UNITARY_QUBITS {
+        return Err(SimError::TooManyQubits { requested: n, limit: MAX_UNITARY_QUBITS });
+    }
+    for g in circuit.gates() {
+        if g.condition().is_some() {
+            return Err(SimError::NonUnitary { kind: "conditioned gate" });
+        }
+        if !g.kind().is_unitary() && g.kind() != dqc_circuit::GateKind::Barrier {
+            return Err(SimError::NonUnitary { kind: g.kind().name() });
+        }
+    }
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim);
+    let mut classical = ClassicalState::new(0);
+    let mut rng = SplitMix64::new(0); // never consulted: circuit is unitary
+    for col in 0..dim {
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[col] = Complex::ONE;
+        let mut sv = StateVector::from_amplitudes(amps)?;
+        for g in circuit.gates() {
+            sv.apply(g, &mut classical, &mut rng)?;
+        }
+        for (row, a) in sv.amplitudes().iter().enumerate() {
+            out.set(row, col, *a);
+        }
+    }
+    Ok(out)
+}
+
+/// Whether `b ≈ e^{iφ} · a` for some global phase φ, within `tol` per entry.
+///
+/// ```
+/// use dqc_circuit::{Gate, QubitId};
+/// use dqc_sim::{equivalent_up_to_phase, gate_unitary, Matrix};
+/// let z = gate_unitary(&Gate::z(QubitId::new(0))).unwrap();
+/// // RZ(π) = diag(e^{-iπ/2}, e^{iπ/2}) = -i · Z.
+/// let rz = gate_unitary(&Gate::rz(std::f64::consts::PI, QubitId::new(0))).unwrap();
+/// assert!(equivalent_up_to_phase(&z, &rz, 1e-12));
+/// ```
+pub fn equivalent_up_to_phase(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    if a.dim() != b.dim() {
+        return false;
+    }
+    // Find the entry of largest magnitude in `a` to anchor the phase.
+    let mut best = (0usize, 0usize);
+    let mut best_norm = -1.0;
+    for i in 0..a.dim() {
+        for j in 0..a.dim() {
+            let n = a.get(i, j).norm();
+            if n > best_norm {
+                best_norm = n;
+                best = (i, j);
+            }
+        }
+    }
+    if best_norm <= tol {
+        // `a` is (numerically) zero; matrices are equal iff `b` is too.
+        return b.max_abs() <= tol;
+    }
+    let phase = b.get(best.0, best.1) / a.get(best.0, best.1);
+    if (phase.norm() - 1.0).abs() > tol {
+        return false;
+    }
+    for i in 0..a.dim() {
+        for j in 0..a.dim() {
+            if !(a.get(i, j) * phase).approx_eq(b.get(i, j), tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether two measurement-free circuits implement the same unitary up to
+/// global phase.
+///
+/// # Errors
+///
+/// Propagates [`circuit_unitary`] errors; circuits must have equal register
+/// sizes (checked via the resulting dimensions).
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, tol: f64) -> Result<bool, SimError> {
+    let ua = circuit_unitary(a)?;
+    let ub = circuit_unitary(b)?;
+    Ok(equivalent_up_to_phase(&ua, &ub, tol))
+}
+
+/// Convenience: dense unitary of a single gate embedded in an `n`-qubit
+/// register.
+///
+/// # Errors
+///
+/// Propagates [`gate_unitary`] and embedding errors.
+pub fn embedded_gate_unitary(gate: &Gate, num_qubits: usize) -> Result<Matrix, SimError> {
+    gate_unitary(gate)?.embed(gate.qubits(), num_qubits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::{GateKind, QubitId};
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn unitary_of_bell_pair_circuit() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(1))).unwrap();
+        let u = circuit_unitary(&c).unwrap();
+        assert!(u.is_unitary(1e-10));
+        // Column 0 is the Bell state (|00⟩ + |11⟩)/√2.
+        assert!((u.get(0, 0).norm() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((u.get(3, 0).norm() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(u.get(1, 0).norm() < 1e-12);
+    }
+
+    #[test]
+    fn measuring_circuit_rejected() {
+        let mut c = Circuit::with_cbits(1, 1);
+        c.push(Gate::measure(q(0), dqc_circuit::CBitId::new(0))).unwrap();
+        assert!(matches!(circuit_unitary(&c), Err(SimError::NonUnitary { .. })));
+    }
+
+    #[test]
+    fn commuting_reorder_is_equivalent() {
+        let mut a = Circuit::new(3);
+        a.push(Gate::cx(q(0), q(1))).unwrap();
+        a.push(Gate::cx(q(0), q(2))).unwrap();
+        let mut b = Circuit::new(3);
+        b.push(Gate::cx(q(0), q(2))).unwrap();
+        b.push(Gate::cx(q(0), q(1))).unwrap();
+        assert!(circuits_equivalent(&a, &b, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn non_commuting_reorder_is_detected() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::h(q(0))).unwrap();
+        a.push(Gate::cx(q(0), q(1))).unwrap();
+        let mut b = Circuit::new(2);
+        b.push(Gate::cx(q(0), q(1))).unwrap();
+        b.push(Gate::h(q(0))).unwrap();
+        assert!(!circuits_equivalent(&a, &b, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn phase_equivalence_is_tolerant_to_global_phase_only() {
+        let z = gate_unitary(&Gate::z(q(0))).unwrap();
+        let rz_pi = gate_unitary(&Gate::rz(std::f64::consts::PI, q(0))).unwrap();
+        assert!(equivalent_up_to_phase(&z, &rz_pi, 1e-12));
+        let s = gate_unitary(&Gate::s(q(0))).unwrap();
+        assert!(!equivalent_up_to_phase(&z, &s, 1e-12));
+    }
+
+    #[test]
+    fn unroll_rules_preserve_semantics() {
+        // Every decomposable kind, against its unrolled form.
+        let theta = 0.731;
+        let gates = vec![
+            Gate::cz(q(0), q(1)),
+            Gate::crz(theta, q(0), q(1)),
+            Gate::cp(theta, q(0), q(1)),
+            Gate::rzz(theta, q(0), q(1)),
+            Gate::swap(q(0), q(1)),
+            Gate::ccx(q(0), q(1), q(2)),
+        ];
+        for gate in gates {
+            let n = gate.num_qubits();
+            let mut orig = Circuit::new(n);
+            orig.push(gate.clone()).unwrap();
+            let unrolled = dqc_circuit::unroll_circuit(&orig).unwrap();
+            assert!(
+                circuits_equivalent(&orig, &unrolled, 1e-9).unwrap(),
+                "unroll of {gate} changed semantics"
+            );
+        }
+    }
+
+    #[test]
+    fn mcx_unroll_preserves_semantics_with_dirty_ancillas() {
+        for n_controls in 3..6usize {
+            let total = 2 * n_controls - 1;
+            let controls: Vec<QubitId> = (0..n_controls).map(q).collect();
+            let gate = Gate::mcx(&controls, q(n_controls));
+            let mut orig = Circuit::new(total);
+            orig.push(gate).unwrap();
+            let unrolled = dqc_circuit::unroll_circuit(&orig).unwrap();
+            assert!(
+                circuits_equivalent(&orig, &unrolled, 1e-8).unwrap(),
+                "mcx with {n_controls} controls"
+            );
+        }
+    }
+
+    #[test]
+    fn mcx_split_path_preserves_semantics() {
+        // 4 controls + target + exactly one spare qubit forces the split.
+        let controls: Vec<QubitId> = (0..4).map(q).collect();
+        let gate = Gate::mcx(&controls, q(4));
+        let mut orig = Circuit::new(6);
+        orig.push(gate).unwrap();
+        let unrolled = dqc_circuit::unroll_circuit(&orig).unwrap();
+        assert!(unrolled.gates().iter().all(|g| g.num_qubits() <= 2));
+        assert!(circuits_equivalent(&orig, &unrolled, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn embedded_gate_unitary_matches_circuit() {
+        let gate = Gate::cx(q(1), q(0));
+        let via_embed = embedded_gate_unitary(&gate, 3).unwrap();
+        let mut c = Circuit::new(3);
+        c.push(gate).unwrap();
+        let via_circuit = circuit_unitary(&c).unwrap();
+        assert!(via_embed.approx_eq(&via_circuit, 1e-12));
+    }
+
+    #[test]
+    fn barrier_is_identity_in_unitary() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::barrier(&[q(0), q(1)])).unwrap();
+        let u = circuit_unitary(&c).unwrap();
+        assert!(u.approx_eq(&Matrix::identity(4), 1e-12));
+        assert_eq!(GateKind::Barrier.is_unitary(), false);
+    }
+}

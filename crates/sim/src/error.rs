@@ -1,0 +1,75 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulator and equivalence checkers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The register is too large for dense simulation.
+    TooManyQubits {
+        /// Requested register size.
+        requested: usize,
+        /// Hard cap for this operation.
+        limit: usize,
+    },
+    /// Matrix dimensions do not match the operation.
+    DimensionMismatch {
+        /// Human-readable description.
+        context: &'static str,
+    },
+    /// The circuit contains a non-unitary operation where a unitary is
+    /// required (e.g. building a dense unitary of a measuring circuit).
+    NonUnitary {
+        /// Name of the offending operation.
+        kind: &'static str,
+    },
+    /// A gate referenced a classical bit the register does not have.
+    MissingClassicalBit {
+        /// Index of the missing bit.
+        index: usize,
+    },
+    /// A state vector was constructed with an invalid amplitude count.
+    InvalidStateLength {
+        /// Supplied amplitude count.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyQubits { requested, limit } => {
+                write!(f, "dense simulation of {requested} qubits exceeds the {limit}-qubit limit")
+            }
+            SimError::DimensionMismatch { context } => {
+                write!(f, "matrix dimension mismatch in {context}")
+            }
+            SimError::NonUnitary { kind } => {
+                write!(f, "operation `{kind}` is not unitary")
+            }
+            SimError::MissingClassicalBit { index } => {
+                write!(f, "classical bit c{index} outside the classical register")
+            }
+            SimError::InvalidStateLength { len } => {
+                write!(f, "state length {len} is not a power of two")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::TooManyQubits { requested: 40, limit: 24 };
+        assert!(e.to_string().contains("40"));
+        let e = SimError::NonUnitary { kind: "measure" };
+        assert!(e.to_string().contains("measure"));
+    }
+}

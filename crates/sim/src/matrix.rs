@@ -1,0 +1,490 @@
+//! Dense complex matrices and operator embedding.
+
+use std::fmt;
+
+use dqc_circuit::{Gate, GateKind, QubitId};
+
+use crate::{Complex, SimError};
+
+/// Basis convention used throughout the simulator: qubit `i` is bit `i` of
+/// the basis-state index (qubit 0 is the least significant bit).
+pub(crate) const BASIS_NOTE: &str = "qubit i = bit i (LSB first)";
+
+/// A dense square complex matrix, row-major.
+///
+/// ```
+/// use dqc_sim::Matrix;
+/// let id = Matrix::identity(4);
+/// assert!(id.is_unitary(1e-12));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    dim: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// The `dim × dim` zero matrix.
+    pub fn zeros(dim: usize) -> Self {
+        Matrix { dim, data: vec![Complex::ZERO; dim * dim] }
+    }
+
+    /// The `dim × dim` identity.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Matrix::zeros(dim);
+        for i in 0..dim {
+            m.set(i, i, Complex::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of complex entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not square.
+    pub fn from_rows(rows: &[Vec<Complex>]) -> Self {
+        let dim = rows.len();
+        let mut m = Matrix::zeros(dim);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), dim, "matrix rows must be square");
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Side length.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn get(&self, row: usize, col: usize) -> Complex {
+        self.data[row * self.dim + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn set(&mut self, row: usize, col: usize, v: Complex) {
+        self.data[row * self.dim + col] = v;
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] when dimensions differ.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, SimError> {
+        if self.dim != rhs.dim {
+            return Err(SimError::DimensionMismatch { context: "matrix multiply" });
+        }
+        let d = self.dim;
+        let mut out = Matrix::zeros(d);
+        for i in 0..d {
+            for k in 0..d {
+                let a = self.get(i, k);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..d {
+                    let v = out.get(i, j) + a * rhs.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Kronecker product `self ⊗ rhs` (self becomes the high-order factor).
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let d1 = self.dim;
+        let d2 = rhs.dim;
+        let mut out = Matrix::zeros(d1 * d2);
+        for i1 in 0..d1 {
+            for j1 in 0..d1 {
+                let a = self.get(i1, j1);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for i2 in 0..d2 {
+                    for j2 in 0..d2 {
+                        out.set(i1 * d2 + i2, j1 * d2 + j2, a * rhs.get(i2, j2));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.dim);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                out.set(j, i, self.get(i, j).conj());
+            }
+        }
+        out
+    }
+
+    /// Whether `self† · self ≈ I` within `tol` per entry.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let prod = match self.adjoint().mul(self) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        let id = Matrix::identity(self.dim);
+        prod.approx_eq(&id, tol)
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.dim == other.dim
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Embeds a `2^k`-dimensional operator acting on `operands` into the
+    /// full `2^n`-dimensional space (`n = num_qubits`), under the crate's
+    /// LSB-first basis convention: operand `j` of the local operator is bit
+    /// `j` of the local index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] when the local dimension does
+    /// not match `operands`, or an operand exceeds the register.
+    pub fn embed(&self, operands: &[QubitId], num_qubits: usize) -> Result<Matrix, SimError> {
+        let k = operands.len();
+        if self.dim != 1 << k {
+            return Err(SimError::DimensionMismatch { context: "embed operand count" });
+        }
+        if operands.iter().any(|q| q.index() >= num_qubits) {
+            return Err(SimError::DimensionMismatch { context: "embed operand range" });
+        }
+        let n = 1usize << num_qubits;
+        let mut out = Matrix::zeros(n);
+        for gin in 0..n {
+            // Split the global index into the local operand bits and the rest.
+            let mut lin = 0usize;
+            let mut rest = gin;
+            for (j, q) in operands.iter().enumerate() {
+                if (gin >> q.index()) & 1 == 1 {
+                    lin |= 1 << j;
+                }
+                rest &= !(1 << q.index());
+            }
+            for lout in 0..self.dim {
+                let v = self.get(lout, lin);
+                if v == Complex::ZERO {
+                    continue;
+                }
+                let mut gout = rest;
+                for (j, q) in operands.iter().enumerate() {
+                    if (lout >> j) & 1 == 1 {
+                        gout |= 1 << q.index();
+                    }
+                }
+                let cur = out.get(gout, gin) + v;
+                out.set(gout, gin, cur);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Largest |entry|.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|c| c.norm()).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{} matrix; {BASIS_NOTE}]", self.dim, self.dim)?;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                write!(f, " {}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The 2×2 matrix of a single-qubit unitary kind, or `None` for other kinds.
+pub(crate) fn single_qubit_matrix(kind: GateKind, params: &[f64]) -> Option<[[Complex; 2]; 2]> {
+    use std::f64::consts::FRAC_1_SQRT_2 as RSQRT2;
+    let c = Complex::real;
+    let m = match kind {
+        GateKind::I => [[c(1.0), c(0.0)], [c(0.0), c(1.0)]],
+        GateKind::H => [[c(RSQRT2), c(RSQRT2)], [c(RSQRT2), c(-RSQRT2)]],
+        GateKind::X => [[c(0.0), c(1.0)], [c(1.0), c(0.0)]],
+        GateKind::Y => [[Complex::ZERO, -Complex::I], [Complex::I, Complex::ZERO]],
+        GateKind::Z => [[c(1.0), c(0.0)], [c(0.0), c(-1.0)]],
+        GateKind::S => [[c(1.0), c(0.0)], [c(0.0), Complex::I]],
+        GateKind::Sdg => [[c(1.0), c(0.0)], [c(0.0), -Complex::I]],
+        GateKind::T => [[c(1.0), c(0.0)], [c(0.0), Complex::cis(std::f64::consts::FRAC_PI_4)]],
+        GateKind::Tdg => {
+            [[c(1.0), c(0.0)], [c(0.0), Complex::cis(-std::f64::consts::FRAC_PI_4)]]
+        }
+        GateKind::Sx => {
+            let p = Complex::new(0.5, 0.5);
+            let n = Complex::new(0.5, -0.5);
+            [[p, n], [n, p]]
+        }
+        GateKind::Rx => {
+            let t = params[0] / 2.0;
+            let (cos, sin) = (t.cos(), t.sin());
+            [
+                [c(cos), Complex::new(0.0, -sin)],
+                [Complex::new(0.0, -sin), c(cos)],
+            ]
+        }
+        GateKind::Ry => {
+            let t = params[0] / 2.0;
+            [[c(t.cos()), c(-t.sin())], [c(t.sin()), c(t.cos())]]
+        }
+        GateKind::Rz => {
+            let t = params[0] / 2.0;
+            [[Complex::cis(-t), c(0.0)], [c(0.0), Complex::cis(t)]]
+        }
+        GateKind::Phase => [[c(1.0), c(0.0)], [c(0.0), Complex::cis(params[0])]],
+        GateKind::U3 => {
+            let (t, phi, lam) = (params[0] / 2.0, params[1], params[2]);
+            [
+                [c(t.cos()), -Complex::cis(lam).scale(t.sin())],
+                [
+                    Complex::cis(phi).scale(t.sin()),
+                    Complex::cis(phi + lam).scale(t.cos()),
+                ],
+            ]
+        }
+        _ => return None,
+    };
+    Some(m)
+}
+
+/// Dense unitary of one gate over its own operands (local dimension `2^k`,
+/// operand `j` = bit `j`).
+///
+/// # Errors
+///
+/// Returns [`SimError::NonUnitary`] for measurements, resets, barriers, and
+/// classically conditioned gates.
+pub fn gate_unitary(gate: &Gate) -> Result<Matrix, SimError> {
+    if gate.condition().is_some() {
+        return Err(SimError::NonUnitary { kind: "conditioned gate" });
+    }
+    if !gate.kind().is_unitary() {
+        return Err(SimError::NonUnitary { kind: gate.kind().name() });
+    }
+    if let Some(m2) = single_qubit_matrix(gate.kind(), gate.params()) {
+        let mut m = Matrix::zeros(2);
+        for i in 0..2 {
+            for j in 0..2 {
+                m.set(i, j, m2[i][j]);
+            }
+        }
+        return Ok(m);
+    }
+    let k = gate.num_qubits();
+    let dim = 1usize << k;
+    let mut m = Matrix::zeros(dim);
+    match gate.kind() {
+        GateKind::Cx => {
+            // bit0 = control, bit1 = target
+            for idx in 0..dim {
+                let c = idx & 1;
+                let out = if c == 1 { idx ^ 2 } else { idx };
+                m.set(out, idx, Complex::ONE);
+            }
+        }
+        GateKind::Cz => {
+            for idx in 0..dim {
+                let v = if idx == 3 { Complex::real(-1.0) } else { Complex::ONE };
+                m.set(idx, idx, v);
+            }
+        }
+        GateKind::Swap => {
+            m.set(0, 0, Complex::ONE);
+            m.set(1, 2, Complex::ONE);
+            m.set(2, 1, Complex::ONE);
+            m.set(3, 3, Complex::ONE);
+        }
+        GateKind::Crz => {
+            let t = gate.theta().expect("crz parameter") / 2.0;
+            // diag over (control=bit0, target=bit1)
+            m.set(0, 0, Complex::ONE);
+            m.set(2, 2, Complex::ONE);
+            m.set(1, 1, Complex::cis(-t)); // control 1, target 0
+            m.set(3, 3, Complex::cis(t)); // control 1, target 1
+        }
+        GateKind::Cp => {
+            let t = gate.theta().expect("cp parameter");
+            for idx in 0..dim {
+                let v = if idx == 3 { Complex::cis(t) } else { Complex::ONE };
+                m.set(idx, idx, v);
+            }
+        }
+        GateKind::Rzz => {
+            let t = gate.theta().expect("rzz parameter") / 2.0;
+            for idx in 0..dim {
+                let parity = (idx & 1) ^ ((idx >> 1) & 1);
+                let v = if parity == 0 { Complex::cis(-t) } else { Complex::cis(t) };
+                m.set(idx, idx, v);
+            }
+        }
+        GateKind::Ccx | GateKind::Mcx => {
+            let controls_mask = (1usize << (k - 1)) - 1;
+            let target_bit = 1usize << (k - 1);
+            for idx in 0..dim {
+                let out = if idx & controls_mask == controls_mask { idx ^ target_bit } else { idx };
+                m.set(out, idx, Complex::ONE);
+            }
+        }
+        _ => unreachable!("all unitary kinds handled"),
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn identity_is_unitary() {
+        assert!(Matrix::identity(8).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn all_gate_matrices_are_unitary() {
+        let gates = vec![
+            Gate::i(q(0)),
+            Gate::h(q(0)),
+            Gate::x(q(0)),
+            Gate::y(q(0)),
+            Gate::z(q(0)),
+            Gate::s(q(0)),
+            Gate::sdg(q(0)),
+            Gate::t(q(0)),
+            Gate::tdg(q(0)),
+            Gate::sx(q(0)),
+            Gate::rx(0.3, q(0)),
+            Gate::ry(0.3, q(0)),
+            Gate::rz(0.3, q(0)),
+            Gate::phase(0.3, q(0)),
+            Gate::u3(0.3, 0.5, 0.7, q(0)),
+            Gate::cx(q(0), q(1)),
+            Gate::cz(q(0), q(1)),
+            Gate::swap(q(0), q(1)),
+            Gate::crz(0.3, q(0), q(1)),
+            Gate::cp(0.3, q(0), q(1)),
+            Gate::rzz(0.3, q(0), q(1)),
+            Gate::ccx(q(0), q(1), q(2)),
+            Gate::mcx(&[q(0), q(1), q(2)], q(3)),
+        ];
+        for g in gates {
+            assert!(gate_unitary(&g).unwrap().is_unitary(1e-10), "{g}");
+        }
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = gate_unitary(&Gate::h(q(0))).unwrap();
+        assert!(h.mul(&h).unwrap().approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn hxh_equals_z() {
+        let h = gate_unitary(&Gate::h(q(0))).unwrap();
+        let x = gate_unitary(&Gate::x(q(0))).unwrap();
+        let z = gate_unitary(&Gate::z(q(0))).unwrap();
+        let hxh = h.mul(&x).unwrap().mul(&h).unwrap();
+        assert!(hxh.approx_eq(&z, 1e-12));
+    }
+
+    #[test]
+    fn cx_flips_target_when_control_set() {
+        let cx = gate_unitary(&Gate::cx(q(0), q(1))).unwrap();
+        // |control=1, target=0⟩ is local index 1; expect index 3 out.
+        assert!(cx.get(3, 1).approx_eq(Complex::ONE, 1e-12));
+        assert!(cx.get(1, 3).approx_eq(Complex::ONE, 1e-12));
+        assert!(cx.get(0, 0).approx_eq(Complex::ONE, 1e-12));
+        assert!(cx.get(2, 2).approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn non_unitary_kinds_rejected() {
+        let m = Gate::measure(q(0), dqc_circuit::CBitId::new(0));
+        assert!(matches!(gate_unitary(&m), Err(SimError::NonUnitary { .. })));
+        let g = Gate::x(q(0)).with_condition(dqc_circuit::CBitId::new(0));
+        assert!(matches!(gate_unitary(&g), Err(SimError::NonUnitary { .. })));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = gate_unitary(&Gate::x(q(0))).unwrap();
+        let id = Matrix::identity(2);
+        let k = id.kron(&x);
+        assert_eq!(k.dim(), 4);
+        // I ⊗ X: X acts on the low-order factor.
+        assert!(k.get(0, 1).approx_eq(Complex::ONE, 1e-12));
+        assert!(k.get(2, 3).approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn embed_matches_kron_for_adjacent_qubits() {
+        // X on qubit 1 of 2 = X ⊗ I under our LSB convention.
+        let x = gate_unitary(&Gate::x(q(0))).unwrap();
+        let embedded = x.embed(&[q(1)], 2).unwrap();
+        let kron = x.kron(&Matrix::identity(2));
+        assert!(embedded.approx_eq(&kron, 1e-12));
+    }
+
+    #[test]
+    fn embed_respects_operand_order() {
+        // CX with control q1, target q0 in a 2-qubit register.
+        let cx = gate_unitary(&Gate::cx(q(1), q(0))).unwrap();
+        let m = cx.embed(&[q(1), q(0)], 2).unwrap();
+        // Global |q1=1, q0=0⟩ = index 2 → target q0 flips → index 3.
+        assert!(m.get(3, 2).approx_eq(Complex::ONE, 1e-12));
+        assert!(m.get(1, 1).approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn embed_rejects_bad_shapes() {
+        let x = gate_unitary(&Gate::x(q(0))).unwrap();
+        assert!(x.embed(&[q(0), q(1)], 2).is_err());
+        assert!(x.embed(&[q(5)], 2).is_err());
+    }
+
+    #[test]
+    fn adjoint_of_s_is_sdg() {
+        let s = gate_unitary(&Gate::s(q(0))).unwrap();
+        let sdg = gate_unitary(&Gate::sdg(q(0))).unwrap();
+        assert!(s.adjoint().approx_eq(&sdg, 1e-12));
+    }
+
+    #[test]
+    fn mcx_matrix_is_permutation() {
+        let g = Gate::mcx(&[q(0), q(1)], q(2));
+        let m = gate_unitary(&g).unwrap();
+        let ccx = gate_unitary(&Gate::ccx(q(0), q(1), q(2))).unwrap();
+        assert!(m.approx_eq(&ccx, 1e-12));
+    }
+}

@@ -1,0 +1,646 @@
+//! State-vector simulation with measurement, reset, and classical control.
+
+use dqc_circuit::{Circuit, Gate, GateKind, QubitId};
+
+use crate::matrix::single_qubit_matrix;
+use crate::{Complex, SimError, SplitMix64};
+
+/// Hard cap on dense-simulation register size (2²⁴ amplitudes ≈ 256 MiB).
+const MAX_QUBITS: usize = 24;
+
+/// The classical bit register accompanying a simulation run.
+///
+/// ```
+/// use dqc_sim::ClassicalState;
+/// let mut c = ClassicalState::new(2);
+/// c.set(1, true);
+/// assert!(c.get(1));
+/// assert!(!c.get(0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ClassicalState {
+    bits: Vec<bool>,
+}
+
+impl ClassicalState {
+    /// All-zero register of `n` bits.
+    pub fn new(n: usize) -> Self {
+        ClassicalState { bits: vec![false; n] }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the register is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn set(&mut self, i: usize, v: bool) {
+        self.bits[i] = v;
+    }
+
+    /// The bits as a slice.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+/// A dense state vector over `n` qubits (qubit `i` = bit `i` of the index).
+///
+/// Supports all unitary gates of the IR natively plus measurement, reset,
+/// and classically conditioned gates — everything the Cat-Comm / TP-Comm
+/// protocol expansions need.
+///
+/// ```
+/// use dqc_circuit::{Circuit, Gate, QubitId};
+/// use dqc_sim::{SplitMix64, StateVector};
+///
+/// # fn main() -> Result<(), dqc_sim::SimError> {
+/// let q = |i| QubitId::new(i);
+/// let mut bell = Circuit::new(2);
+/// bell.push(Gate::h(q(0))).unwrap();
+/// bell.push(Gate::cx(q(0), q(1))).unwrap();
+/// let mut psi = StateVector::zero_state(2)?;
+/// psi.run(&bell, &mut SplitMix64::new(1))?;
+/// assert!((psi.probability_one(q(1)) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// |0…0⟩ over `n` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] beyond the dense-simulation cap.
+    pub fn zero_state(n: usize) -> Result<Self, SimError> {
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits { requested: n, limit: MAX_QUBITS });
+        }
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        amps[0] = Complex::ONE;
+        Ok(StateVector { num_qubits: n, amps })
+    }
+
+    /// Builds a state from explicit amplitudes (length must be a power of
+    /// two). The amplitudes are used as-is; callers wanting a normalized
+    /// state should call [`StateVector::normalize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidStateLength`] for non-power-of-two lengths
+    /// and [`SimError::TooManyQubits`] beyond the cap.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Result<Self, SimError> {
+        if !amps.len().is_power_of_two() {
+            return Err(SimError::InvalidStateLength { len: amps.len() });
+        }
+        let n = amps.len().trailing_zeros() as usize;
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits { requested: n, limit: MAX_QUBITS });
+        }
+        Ok(StateVector { num_qubits: n, amps })
+    }
+
+    /// Haar-ish random normalized state (Gaussian components via
+    /// Box–Muller), reproducible from the given stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] beyond the cap.
+    pub fn random_state(n: usize, rng: &mut SplitMix64) -> Result<Self, SimError> {
+        let mut s = StateVector::zero_state(n)?;
+        for a in s.amps.iter_mut() {
+            *a = Complex::new(gaussian(rng), gaussian(rng));
+        }
+        s.normalize();
+        Ok(s)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude vector (length `2^n`).
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// ⟨self|other⟩.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] for different register sizes.
+    pub fn inner_product(&self, other: &StateVector) -> Result<Complex, SimError> {
+        if self.num_qubits != other.num_qubits {
+            return Err(SimError::DimensionMismatch { context: "inner product" });
+        }
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        Ok(acc)
+    }
+
+    /// |⟨self|other⟩|² — global-phase-insensitive overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] for different register sizes.
+    pub fn fidelity(&self, other: &StateVector) -> Result<f64, SimError> {
+        Ok(self.inner_product(other)?.norm_sqr())
+    }
+
+    /// Fidelity of the reduced state on `data_qubits` against the pure state
+    /// `expected` (which lives on exactly `data_qubits.len()` qubits, in the
+    /// listed order: `data_qubits[j]` is qubit `j` of `expected`).
+    ///
+    /// Computes Σ_rest |⟨expected, rest|self⟩|², which equals
+    /// ⟨expected|ρ_data|expected⟩. The value is 1 exactly when the full state
+    /// is `expected ⊗ (anything)` with the data register unentangled from the
+    /// rest — the property the protocol expansions must restore.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] when sizes are inconsistent.
+    pub fn subset_fidelity(
+        &self,
+        expected: &StateVector,
+        data_qubits: &[QubitId],
+    ) -> Result<f64, SimError> {
+        if expected.num_qubits != data_qubits.len()
+            || data_qubits.iter().any(|q| q.index() >= self.num_qubits)
+        {
+            return Err(SimError::DimensionMismatch { context: "subset fidelity" });
+        }
+        let k = data_qubits.len();
+        let rest_qubits: Vec<usize> = (0..self.num_qubits)
+            .filter(|i| !data_qubits.iter().any(|q| q.index() == *i))
+            .collect();
+        let mut total = 0.0;
+        for rest_bits in 0..(1usize << rest_qubits.len()) {
+            let mut base = 0usize;
+            for (j, &qi) in rest_qubits.iter().enumerate() {
+                if (rest_bits >> j) & 1 == 1 {
+                    base |= 1 << qi;
+                }
+            }
+            // ⟨expected, rest|self⟩ for this rest assignment.
+            let mut overlap = Complex::ZERO;
+            for x in 0..(1usize << k) {
+                let mut idx = base;
+                for (j, q) in data_qubits.iter().enumerate() {
+                    if (x >> j) & 1 == 1 {
+                        idx |= 1 << q.index();
+                    }
+                }
+                overlap += expected.amps[x].conj() * self.amps[idx];
+            }
+            total += overlap.norm_sqr();
+        }
+        Ok(total)
+    }
+
+    /// Probability of measuring 1 on `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    pub fn probability_one(&self, q: QubitId) -> f64 {
+        let bit = 1usize << q.index();
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Rescales to unit norm (no-op on the zero vector).
+    pub fn normalize(&mut self) {
+        let norm: f64 = self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for a in self.amps.iter_mut() {
+                *a = a.scale(1.0 / norm);
+            }
+        }
+    }
+
+    /// Runs all gates of `circuit`, creating a fresh classical register of
+    /// `circuit.num_cbits()` bits and returning it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classical-register and dimension errors from
+    /// [`StateVector::apply`].
+    pub fn run(
+        &mut self,
+        circuit: &Circuit,
+        rng: &mut SplitMix64,
+    ) -> Result<ClassicalState, SimError> {
+        let mut classical = ClassicalState::new(circuit.num_cbits());
+        self.run_with(circuit, &mut classical, rng)?;
+        Ok(classical)
+    }
+
+    /// Runs all gates of `circuit` against an existing classical register.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`StateVector::apply`].
+    pub fn run_with(
+        &mut self,
+        circuit: &Circuit,
+        classical: &mut ClassicalState,
+        rng: &mut SplitMix64,
+    ) -> Result<(), SimError> {
+        for g in circuit.gates() {
+            self.apply(g, classical, rng)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one gate (unitary, measurement, reset, or conditioned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingClassicalBit`] when a measurement target or
+    /// condition bit is outside `classical`, and
+    /// [`SimError::DimensionMismatch`] when an operand exceeds the register.
+    pub fn apply(
+        &mut self,
+        gate: &Gate,
+        classical: &mut ClassicalState,
+        rng: &mut SplitMix64,
+    ) -> Result<(), SimError> {
+        if gate.qubits().iter().any(|q| q.index() >= self.num_qubits) {
+            return Err(SimError::DimensionMismatch { context: "gate operand" });
+        }
+        if let Some(cond) = gate.condition() {
+            if cond.index() >= classical.len() {
+                return Err(SimError::MissingClassicalBit { index: cond.index() });
+            }
+            if !classical.get(cond.index()) {
+                return Ok(());
+            }
+        }
+        match gate.kind() {
+            GateKind::Barrier | GateKind::I => Ok(()),
+            GateKind::Measure => {
+                let c = gate.cbit().expect("measure carries a cbit");
+                if c.index() >= classical.len() {
+                    return Err(SimError::MissingClassicalBit { index: c.index() });
+                }
+                let outcome = self.measure_qubit(gate.qubits()[0], rng);
+                classical.set(c.index(), outcome);
+                Ok(())
+            }
+            GateKind::Reset => {
+                let q = gate.qubits()[0];
+                if self.measure_qubit(q, rng) {
+                    self.apply_x(q);
+                }
+                Ok(())
+            }
+            GateKind::Cx => {
+                let (c, t) = (gate.qubits()[0], gate.qubits()[1]);
+                self.apply_cx(c, t);
+                Ok(())
+            }
+            GateKind::X => {
+                self.apply_x(gate.qubits()[0]);
+                Ok(())
+            }
+            GateKind::Swap => {
+                let (a, b) = (gate.qubits()[0], gate.qubits()[1]);
+                let (ab, bb) = (1usize << a.index(), 1usize << b.index());
+                for i in 0..self.amps.len() {
+                    if i & ab != 0 && i & bb == 0 {
+                        let j = (i & !ab) | bb;
+                        self.amps.swap(i, j);
+                    }
+                }
+                Ok(())
+            }
+            GateKind::Cz | GateKind::Crz | GateKind::Cp | GateKind::Rzz => {
+                self.apply_two_qubit_diagonal(gate);
+                Ok(())
+            }
+            GateKind::Z | GateKind::S | GateKind::Sdg | GateKind::T | GateKind::Tdg
+            | GateKind::Rz | GateKind::Phase => {
+                self.apply_single_diagonal(gate);
+                Ok(())
+            }
+            GateKind::Ccx | GateKind::Mcx => {
+                let (controls, target) = gate.qubits().split_at(gate.num_qubits() - 1);
+                let mut cmask = 0usize;
+                for c in controls {
+                    cmask |= 1 << c.index();
+                }
+                let tbit = 1usize << target[0].index();
+                for i in 0..self.amps.len() {
+                    if i & cmask == cmask && i & tbit == 0 {
+                        let j = i | tbit;
+                        self.amps.swap(i, j);
+                    }
+                }
+                Ok(())
+            }
+            _ => {
+                // Generic dense single-qubit unitary (H, Y, RX, RY, SX, U3).
+                let m = single_qubit_matrix(gate.kind(), gate.params())
+                    .expect("remaining kinds are single-qubit unitaries");
+                self.apply_single(gate.qubits()[0], &m);
+                Ok(())
+            }
+        }
+    }
+
+    fn apply_single(&mut self, q: QubitId, m: &[[Complex; 2]; 2]) {
+        let bit = 1usize << q.index();
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let (a, b) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m[0][0] * a + m[0][1] * b;
+                self.amps[j] = m[1][0] * a + m[1][1] * b;
+            }
+        }
+    }
+
+    fn apply_x(&mut self, q: QubitId) {
+        let bit = 1usize << q.index();
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                self.amps.swap(i, i | bit);
+            }
+        }
+    }
+
+    fn apply_cx(&mut self, c: QubitId, t: QubitId) {
+        let (cb, tb) = (1usize << c.index(), 1usize << t.index());
+        for i in 0..self.amps.len() {
+            if i & cb != 0 && i & tb == 0 {
+                self.amps.swap(i, i | tb);
+            }
+        }
+    }
+
+    fn apply_single_diagonal(&mut self, gate: &Gate) {
+        let m = single_qubit_matrix(gate.kind(), gate.params())
+            .expect("diagonal kinds are single-qubit");
+        let (d0, d1) = (m[0][0], m[1][1]);
+        let bit = 1usize << gate.qubits()[0].index();
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a = if i & bit == 0 { d0 * *a } else { d1 * *a };
+        }
+    }
+
+    fn apply_two_qubit_diagonal(&mut self, gate: &Gate) {
+        let (qa, qb) = (gate.qubits()[0], gate.qubits()[1]);
+        let (ba, bb) = (1usize << qa.index(), 1usize << qb.index());
+        let diag: [Complex; 4] = match gate.kind() {
+            GateKind::Cz => [
+                Complex::ONE,
+                Complex::ONE,
+                Complex::ONE,
+                Complex::real(-1.0),
+            ],
+            GateKind::Cp => {
+                let t = gate.theta().expect("cp parameter");
+                [Complex::ONE, Complex::ONE, Complex::ONE, Complex::cis(t)]
+            }
+            GateKind::Crz => {
+                let t = gate.theta().expect("crz parameter") / 2.0;
+                [Complex::ONE, Complex::cis(-t), Complex::ONE, Complex::cis(t)]
+            }
+            GateKind::Rzz => {
+                let t = gate.theta().expect("rzz parameter") / 2.0;
+                [
+                    Complex::cis(-t),
+                    Complex::cis(t),
+                    Complex::cis(t),
+                    Complex::cis(-t),
+                ]
+            }
+            _ => unreachable!("two-qubit diagonal kinds"),
+        };
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let la = usize::from(i & ba != 0);
+            let lb = usize::from(i & bb != 0);
+            *a = diag[la | (lb << 1)] * *a;
+        }
+    }
+
+    fn measure_qubit(&mut self, q: QubitId, rng: &mut SplitMix64) -> bool {
+        let p1 = self.probability_one(q);
+        let outcome = rng.next_f64() < p1;
+        let bit = 1usize << q.index();
+        let keep_one = outcome;
+        let norm = if keep_one { p1.sqrt() } else { (1.0 - p1).sqrt() };
+        let scale = if norm > 0.0 { 1.0 / norm } else { 0.0 };
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let is_one = i & bit != 0;
+            *a = if is_one == keep_one { a.scale(scale) } else { Complex::ZERO };
+        }
+        outcome
+    }
+}
+
+fn gaussian(rng: &mut SplitMix64) -> f64 {
+    // Box–Muller; avoid log(0).
+    let u1 = rng.next_f64().max(1e-300);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::CBitId;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(12345)
+    }
+
+    #[test]
+    fn zero_state_has_unit_amplitude_at_origin() {
+        let s = StateVector::zero_state(3).unwrap();
+        assert_eq!(s.amplitudes()[0], Complex::ONE);
+        assert!((s.probability_one(q(0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut s = StateVector::zero_state(2).unwrap();
+        let mut c = ClassicalState::new(0);
+        s.apply(&Gate::x(q(1)), &mut c, &mut rng()).unwrap();
+        assert!(s.amplitudes()[2].approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::h(q(0))).unwrap();
+        circuit.push(Gate::cx(q(0), q(1))).unwrap();
+        let mut s = StateVector::zero_state(2).unwrap();
+        s.run(&circuit, &mut rng()).unwrap();
+        assert!((s.probability_one(q(0)) - 0.5).abs() < 1e-12);
+        assert!((s.probability_one(q(1)) - 0.5).abs() < 1e-12);
+        // Amplitudes at |01⟩ and |10⟩ must vanish.
+        assert!(s.amplitudes()[1].norm() < 1e-12);
+        assert!(s.amplitudes()[2].norm() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_collapses_and_records() {
+        let mut circuit = Circuit::with_cbits(1, 1);
+        circuit.push(Gate::x(q(0))).unwrap();
+        circuit.push(Gate::measure(q(0), CBitId::new(0))).unwrap();
+        let mut s = StateVector::zero_state(1).unwrap();
+        let c = s.run(&circuit, &mut rng()).unwrap();
+        assert!(c.get(0));
+        assert!((s.probability_one(q(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_on_plus_state() {
+        let mut ones = 0;
+        let mut stream = rng();
+        for _ in 0..500 {
+            let mut s = StateVector::zero_state(1).unwrap();
+            let mut c = ClassicalState::new(1);
+            s.apply(&Gate::h(q(0)), &mut c, &mut stream).unwrap();
+            s.apply(&Gate::measure(q(0), CBitId::new(0)), &mut c, &mut stream).unwrap();
+            if c.get(0) {
+                ones += 1;
+            }
+        }
+        assert!((180..=320).contains(&ones), "got {ones} ones out of 500");
+    }
+
+    #[test]
+    fn conditioned_gate_fires_only_on_one() {
+        let mut s = StateVector::zero_state(1).unwrap();
+        let mut c = ClassicalState::new(1);
+        let gate = Gate::x(q(0)).with_condition(CBitId::new(0));
+        s.apply(&gate, &mut c, &mut rng()).unwrap();
+        assert!(s.amplitudes()[0].approx_eq(Complex::ONE, 1e-12));
+        c.set(0, true);
+        s.apply(&gate, &mut c, &mut rng()).unwrap();
+        assert!(s.amplitudes()[1].approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut s = StateVector::zero_state(2).unwrap();
+        let mut c = ClassicalState::new(0);
+        let mut r = rng();
+        s.apply(&Gate::h(q(0)), &mut c, &mut r).unwrap();
+        s.apply(&Gate::cx(q(0), q(1)), &mut c, &mut r).unwrap();
+        s.apply(&Gate::reset(q(0)), &mut c, &mut r).unwrap();
+        assert!(s.probability_one(q(0)) < 1e-12);
+    }
+
+    #[test]
+    fn teleportation_moves_a_state() {
+        // Teleport qubit 0 onto qubit 2 (paper Fig. 2b structure).
+        let mut r = rng();
+        let single = StateVector::random_state(1, &mut r).unwrap();
+        // Embed |ψ⟩ on qubit 0 of a 3-qubit register.
+        let mut amps = vec![Complex::ZERO; 8];
+        amps[0] = single.amplitudes()[0];
+        amps[1] = single.amplitudes()[1];
+        let mut s = StateVector::from_amplitudes(amps).unwrap();
+
+        let mut tele = Circuit::with_cbits(3, 2);
+        tele.push(Gate::h(q(1))).unwrap();
+        tele.push(Gate::cx(q(1), q(2))).unwrap(); // EPR on (1,2)
+        tele.push(Gate::cx(q(0), q(1))).unwrap();
+        tele.push(Gate::h(q(0))).unwrap();
+        tele.push(Gate::measure(q(0), CBitId::new(0))).unwrap();
+        tele.push(Gate::measure(q(1), CBitId::new(1))).unwrap();
+        tele.push(Gate::x(q(2)).with_condition(CBitId::new(1))).unwrap();
+        tele.push(Gate::z(q(2)).with_condition(CBitId::new(0))).unwrap();
+        s.run(&tele, &mut r).unwrap();
+
+        let f = s.subset_fidelity(&single, &[q(2)]).unwrap();
+        assert!((f - 1.0).abs() < 1e-9, "teleportation fidelity {f}");
+    }
+
+    #[test]
+    fn subset_fidelity_detects_mismatch() {
+        let mut s = StateVector::zero_state(2).unwrap();
+        let mut c = ClassicalState::new(0);
+        s.apply(&Gate::x(q(0)), &mut c, &mut rng()).unwrap();
+        let zero = StateVector::zero_state(1).unwrap();
+        let f = s.subset_fidelity(&zero, &[q(0)]).unwrap();
+        assert!(f < 1e-12);
+        let f = s.subset_fidelity(&zero, &[q(1)]).unwrap();
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_state_is_normalized() {
+        let s = StateVector::random_state(4, &mut rng()).unwrap();
+        let norm: f64 = s.amplitudes().iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(StateVector::zero_state(30).is_err());
+        assert!(StateVector::from_amplitudes(vec![Complex::ONE; 3]).is_err());
+        let mut s = StateVector::zero_state(1).unwrap();
+        let mut c = ClassicalState::new(0);
+        let err = s.apply(&Gate::h(q(5)), &mut c, &mut rng()).unwrap_err();
+        assert!(matches!(err, SimError::DimensionMismatch { .. }));
+        let err = s
+            .apply(&Gate::measure(q(0), CBitId::new(0)), &mut c, &mut rng())
+            .unwrap_err();
+        assert!(matches!(err, SimError::MissingClassicalBit { .. }));
+    }
+
+    #[test]
+    fn crz_matches_unrolled_form() {
+        // CRZ applied natively equals its 2-CX unrolling on a random state.
+        let mut r = rng();
+        let base = StateVector::random_state(2, &mut r).unwrap();
+        let gate = Gate::crz(0.77, q(0), q(1));
+        let mut native = base.clone();
+        let mut c = ClassicalState::new(0);
+        native.apply(&gate, &mut c, &mut r).unwrap();
+        let mut unrolled = base.clone();
+        for g in dqc_circuit::unroll_gate(&gate, 2).unwrap() {
+            unrolled.apply(&g, &mut c, &mut r).unwrap();
+        }
+        let f = native.fidelity(&unrolled).unwrap();
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,363 @@
+//! Application benchmarks: BV, QAOA max-cut, UCCSD.
+
+use dqc_circuit::{Circuit, Gate, QubitId};
+#[cfg(test)]
+use dqc_circuit::GateKind;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Bernstein–Vazirani with the default secret pattern `s_i = (i % 3 != 0)`
+/// (≈ ⅔ density, close to the paper's CX counts). Qubit 0 is the oracle
+/// ancilla, inputs are qubits `1..n`.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2`.
+///
+/// ```
+/// use dqc_workloads::bv;
+/// let c = bv(10);
+/// assert_eq!(c.num_qubits(), 10);
+/// ```
+pub fn bv(num_qubits: usize) -> Circuit {
+    assert!(num_qubits >= 2, "BV needs an ancilla plus at least one input");
+    let secret: Vec<bool> = (0..num_qubits - 1).map(|i| i % 3 != 0).collect();
+    bv_with_secret(&secret)
+}
+
+/// Bernstein–Vazirani with an explicit secret string; the register holds
+/// `secret.len() + 1` qubits with the ancilla at qubit 0.
+///
+/// The oracle is the usual phase-kickback chain: `CX(input_i → ancilla)`
+/// for every set secret bit — the all-target burst pattern of paper
+/// Fig. 9(c).
+///
+/// # Panics
+///
+/// Panics if `secret` is empty.
+pub fn bv_with_secret(secret: &[bool]) -> Circuit {
+    assert!(!secret.is_empty(), "BV needs at least one input qubit");
+    let n = secret.len() + 1;
+    let q = QubitId::new;
+    let anc = q(0);
+    let mut c = Circuit::new(n);
+    // Ancilla in |−⟩, inputs in |+⟩.
+    c.push(Gate::x(anc)).expect("in range");
+    c.push(Gate::h(anc)).expect("in range");
+    for i in 1..n {
+        c.push(Gate::h(q(i))).expect("in range");
+    }
+    for (i, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.push(Gate::cx(q(i + 1), anc)).expect("in range");
+        }
+    }
+    for i in 1..n {
+        c.push(Gate::h(q(i))).expect("in range");
+    }
+    c
+}
+
+/// One QAOA max-cut layer over a random `num_edges`-edge graph on
+/// `num_qubits` vertices: `H` wall, one `RZZ(γ)` per edge, `RX(β)` wall.
+///
+/// Edges are sampled without replacement from a seeded generator, so a
+/// `(num_qubits, num_edges, seed)` triple is fully reproducible. The paper
+/// uses ≈ 20·n edges for its QAOA rows.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2` or `num_edges` exceeds the simple-graph
+/// maximum `n(n-1)/2`.
+///
+/// ```
+/// use dqc_workloads::qaoa_maxcut;
+/// let c = qaoa_maxcut(8, 12, 7);
+/// let rzz = c.gates().iter()
+///     .filter(|g| g.kind() == dqc_circuit::GateKind::Rzz)
+///     .count();
+/// assert_eq!(rzz, 12);
+/// ```
+pub fn qaoa_maxcut(num_qubits: usize, num_edges: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "QAOA needs at least two vertices");
+    let max_edges = num_qubits * (num_qubits - 1) / 2;
+    assert!(
+        num_edges <= max_edges,
+        "{num_edges} edges exceed the simple-graph maximum {max_edges}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::new();
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let a = rng.random_range(0..num_qubits);
+        let b = rng.random_range(0..num_qubits);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if chosen.insert(key) {
+            edges.push(key);
+        }
+    }
+
+    let q = QubitId::new;
+    let gamma = 0.42;
+    let beta = 0.77;
+    let mut c = Circuit::new(num_qubits);
+    for i in 0..num_qubits {
+        c.push(Gate::h(q(i))).expect("in range");
+    }
+    for (a, b) in edges {
+        c.push(Gate::rzz(gamma, q(a), q(b))).expect("in range");
+    }
+    for i in 0..num_qubits {
+        c.push(Gate::rx(2.0 * beta, q(i))).expect("in range");
+    }
+    c
+}
+
+/// UCCSD ansatz over `num_qubits` spin orbitals with `num_qubits / 4`
+/// occupied orbitals (LiH / BeH₂ / CH₄ scale as 8 / 12 / 16 qubits in the
+/// paper), Jordan–Wigner encoded.
+///
+/// Every single excitation `i→a` contributes two Pauli-string exponentials
+/// (XY, YX) and every double excitation `ij→ab` contributes eight, each
+/// lowered to basis changes + a CX ladder + `RZ` + the mirrored ladder —
+/// the bursty unidirectional chains the paper's UCCSD rows exhibit.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 8` or not a multiple of 4.
+pub fn uccsd(num_qubits: usize) -> Circuit {
+    assert!(
+        num_qubits >= 8 && num_qubits % 4 == 0,
+        "UCCSD generator expects a multiple of 4, at least 8 qubits"
+    );
+    let occ = num_qubits / 4;
+    let mut c = Circuit::new(num_qubits);
+    let mut theta_idx = 0usize;
+    let mut next_theta = || {
+        theta_idx += 1;
+        0.05 * theta_idx as f64
+    };
+
+    // Reference state: occupied orbitals set.
+    for i in 0..occ {
+        c.push(Gate::x(QubitId::new(i))).expect("in range");
+    }
+
+    // Single excitations i → a: strings XY and YX.
+    for i in 0..occ {
+        for a in occ..num_qubits {
+            let theta = next_theta();
+            pauli_exponential(&mut c, &[(i, Axis::X), (a, Axis::Y)], theta);
+            pauli_exponential(&mut c, &[(i, Axis::Y), (a, Axis::X)], -theta);
+        }
+    }
+    // Double excitations (i<j) → (a<b): the eight standard strings.
+    const DOUBLE_STRINGS: [([Axis; 4], f64); 8] = [
+        ([Axis::X, Axis::X, Axis::Y, Axis::X], 1.0),
+        ([Axis::Y, Axis::X, Axis::Y, Axis::Y], 1.0),
+        ([Axis::X, Axis::Y, Axis::Y, Axis::Y], 1.0),
+        ([Axis::X, Axis::X, Axis::X, Axis::Y], 1.0),
+        ([Axis::Y, Axis::X, Axis::X, Axis::X], -1.0),
+        ([Axis::X, Axis::Y, Axis::X, Axis::X], -1.0),
+        ([Axis::Y, Axis::Y, Axis::Y, Axis::X], -1.0),
+        ([Axis::Y, Axis::Y, Axis::X, Axis::Y], -1.0),
+    ];
+    for i in 0..occ {
+        for j in i + 1..occ {
+            for a in occ..num_qubits {
+                for b in a + 1..num_qubits {
+                    let theta = next_theta();
+                    for (axes, sign) in DOUBLE_STRINGS {
+                        let ops = [
+                            (i, axes[0]),
+                            (j, axes[1]),
+                            (a, axes[2]),
+                            (b, axes[3]),
+                        ];
+                        pauli_exponential(&mut c, &ops, sign * theta / 8.0);
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Pauli axis of one factor in an exponentiated string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+/// Appends exp(-i θ/2 · P) for the Pauli string `P` given as (qubit, axis)
+/// pairs (Z factors of the Jordan–Wigner string are carried by the CX
+/// ladder over the intermediate qubits).
+fn pauli_exponential(c: &mut Circuit, ops: &[(usize, Axis)], theta: f64) {
+    let q = QubitId::new;
+    // Basis changes into Z.
+    for &(i, axis) in ops {
+        match axis {
+            Axis::X => c.push(Gate::h(q(i))).expect("in range"),
+            Axis::Y => c.push(Gate::rx(std::f64::consts::FRAC_PI_2, q(i))).expect("in range"),
+        }
+    }
+    // CX ladder across the involved qubits (sorted ascending).
+    let mut involved: Vec<usize> = ops.iter().map(|&(i, _)| i).collect();
+    involved.sort_unstable();
+    for w in involved.windows(2) {
+        c.push(Gate::cx(q(w[0]), q(w[1]))).expect("in range");
+    }
+    let last = *involved.last().expect("non-empty string");
+    c.push(Gate::rz(theta, q(last))).expect("in range");
+    for w in involved.windows(2).rev() {
+        c.push(Gate::cx(q(w[0]), q(w[1]))).expect("in range");
+    }
+    // Undo basis changes.
+    for &(i, axis) in ops {
+        match axis {
+            Axis::X => c.push(Gate::h(q(i))).expect("in range"),
+            Axis::Y => c.push(Gate::rx(-std::f64::consts::FRAC_PI_2, q(i))).expect("in range"),
+        }
+    }
+}
+
+/// Counts gates of `kind` (test helper exposed for the suite module).
+#[cfg(test)]
+pub(crate) fn count_kind(c: &Circuit, kind: GateKind) -> usize {
+    c.gates().iter().filter(|g| g.kind() == kind).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_sim::{SplitMix64, StateVector};
+
+    #[test]
+    fn bv_recovers_its_secret() {
+        // After the oracle sandwich, measuring the inputs yields the secret.
+        let secret = [true, false, true, true];
+        let c = bv_with_secret(&secret);
+        let mut s = StateVector::zero_state(c.num_qubits()).unwrap();
+        s.run(&c, &mut SplitMix64::new(3)).unwrap();
+        for (i, &bit) in secret.iter().enumerate() {
+            let p1 = s.probability_one(QubitId::new(i + 1));
+            if bit {
+                assert!(p1 > 1.0 - 1e-9, "input {i} should read 1");
+            } else {
+                assert!(p1 < 1e-9, "input {i} should read 0");
+            }
+        }
+    }
+
+    #[test]
+    fn bv_default_secret_density() {
+        let c = bv(100);
+        let cx = count_kind(&c, GateKind::Cx);
+        assert_eq!(cx, 66); // 2/3 of 99 inputs
+    }
+
+    #[test]
+    fn qaoa_is_reproducible_and_simple() {
+        let a = qaoa_maxcut(10, 20, 5);
+        let b = qaoa_maxcut(10, 20, 5);
+        assert_eq!(a, b);
+        let c = qaoa_maxcut(10, 20, 6);
+        assert_ne!(a, c);
+        // No duplicate edges: RZZ count equals requested edges.
+        assert_eq!(count_kind(&a, GateKind::Rzz), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the simple-graph maximum")]
+    fn qaoa_rejects_too_many_edges() {
+        let _ = qaoa_maxcut(4, 100, 0);
+    }
+
+    #[test]
+    fn uccsd_structure() {
+        let c = uccsd(8);
+        // occ=2, virt=6 → 12 singles × 2 strings + 15 doubles × 8 strings.
+        let rz = count_kind(&c, GateKind::Rz);
+        assert_eq!(rz, 12 * 2 + 15 * 8);
+        // Reference state: two X gates.
+        assert_eq!(count_kind(&c, GateKind::X), 2);
+        assert!(c.two_qubit_gate_count() > 500);
+    }
+
+    #[test]
+    fn pauli_exponential_is_unitary_identity_at_zero_angle() {
+        use dqc_sim::{circuit_unitary, equivalent_up_to_phase, Matrix};
+        let mut c = Circuit::new(3);
+        pauli_exponential(&mut c, &[(0, Axis::X), (2, Axis::Y)], 0.0);
+        let u = circuit_unitary(&c).unwrap();
+        assert!(equivalent_up_to_phase(&u, &Matrix::identity(8), 1e-9));
+    }
+
+    #[test]
+    fn pauli_exponential_matches_direct_matrix() {
+        use dqc_sim::{circuit_unitary, equivalent_up_to_phase, gate_unitary, Matrix};
+        // exp(-iθ/2 X⊗Y) on two qubits, against the circuit construction.
+        let theta = 0.63;
+        let mut c = Circuit::new(2);
+        pauli_exponential(&mut c, &[(0, Axis::X), (1, Axis::Y)], theta);
+        let circuit_u = circuit_unitary(&c).unwrap();
+
+        // Direct: XY = X ⊗ Y (qubit 1 high bit); exp = cos I - i sin · XY.
+        let x = gate_unitary(&dqc_circuit::Gate::x(QubitId::new(0))).unwrap();
+        let y = gate_unitary(&dqc_circuit::Gate::y(QubitId::new(0))).unwrap();
+        let xy = y.kron(&x); // qubit0 = X (low), qubit1 = Y (high)
+        let (cos, sin) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        let mut direct = Matrix::zeros(4);
+        let id = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = id.get(i, j).scale(cos)
+                    + (dqc_sim::Complex::I * xy.get(i, j)).scale(-sin);
+                direct.set(i, j, v);
+            }
+        }
+        assert!(equivalent_up_to_phase(&circuit_u, &direct, 1e-9));
+    }
+}
+
+/// Quantum phase estimation of a single-qubit phase gate `P(2πφ)`:
+/// `counting` counting qubits (qubits `0..counting`), one eigenstate qubit
+/// (the last), controlled-phase ladder, then the inverse QFT on the
+/// counting register. A standard composite workload exercising both the
+/// all-control burst pattern (the ladder) and QFT-style diagonal cascades.
+///
+/// # Panics
+///
+/// Panics if `counting == 0`.
+///
+/// ```
+/// use dqc_workloads::qpe;
+/// let c = qpe(4, 0.3125); // φ = 5/16: exactly representable in 4 bits
+/// assert_eq!(c.num_qubits(), 5);
+/// ```
+pub fn qpe(counting: usize, phase: f64) -> Circuit {
+    assert!(counting > 0, "QPE needs at least one counting qubit");
+    let n = counting + 1;
+    let q = QubitId::new;
+    let target = q(counting);
+    let mut c = Circuit::new(n);
+    // Eigenstate |1⟩ of P(θ), counting register in |+⟩^t.
+    c.push(Gate::x(target)).expect("in range");
+    for i in 0..counting {
+        c.push(Gate::h(q(i))).expect("in range");
+    }
+    // Controlled-U^{2^k}: counting qubit k accumulates phase 2^k · 2πφ.
+    for k in 0..counting {
+        let theta = std::f64::consts::TAU * phase * (1u64 << k) as f64;
+        c.push(Gate::cp(theta, q(k), target)).expect("in range");
+    }
+    // Inverse QFT on the counting register (the target is untouched).
+    for gate in crate::qft_inverse(counting).gates() {
+        c.push(gate.clone()).expect("in range");
+    }
+    c
+}

@@ -1,0 +1,316 @@
+//! Building-block benchmarks: MCTR, RCA, QFT.
+
+use dqc_circuit::{Circuit, Gate, QubitId};
+
+/// Multi-controlled gate benchmark (paper “MCTR”): one `n/2`-controlled X
+/// over an `n`-qubit register, the remaining qubits serving as the dirty
+/// ancillas its linear-cost decomposition borrows.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 6` (the decomposition needs controls, a target,
+/// and at least one ancilla).
+///
+/// ```
+/// use dqc_workloads::mctr;
+/// let c = mctr(8);
+/// assert_eq!(c.num_qubits(), 8);
+/// assert_eq!(c.len(), 1); // a single Mcx, unrolled later
+/// ```
+pub fn mctr(num_qubits: usize) -> Circuit {
+    assert!(num_qubits >= 6, "MCTR needs at least 6 qubits, got {num_qubits}");
+    let num_controls = num_qubits / 2;
+    let controls: Vec<QubitId> = (0..num_controls).map(QubitId::new).collect();
+    let target = QubitId::new(num_controls);
+    let mut c = Circuit::new(num_qubits);
+    c.push(Gate::mcx(&controls, target)).expect("operands in range");
+    c
+}
+
+/// Cuccaro ripple-carry adder (paper “RCA”) over `num_qubits` qubits:
+/// `cin, a0, b0, a1, b1, …, cout`, computing `b += a`.
+///
+/// Per bit the MAJ/UMA pair costs 4 CX + 2 Toffolis (16 CX unrolled),
+/// matching the structure counted in paper Table 2.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 4` or `num_qubits` is odd (the layout needs
+/// `2k + 2` qubits).
+///
+/// ```
+/// use dqc_workloads::rca;
+/// let c = rca(6); // 2-bit adder
+/// assert_eq!(c.num_qubits(), 6);
+/// ```
+pub fn rca(num_qubits: usize) -> Circuit {
+    assert!(
+        num_qubits >= 4 && num_qubits % 2 == 0,
+        "RCA needs an even register of at least 4 qubits, got {num_qubits}"
+    );
+    let k = (num_qubits - 2) / 2;
+    let q = QubitId::new;
+    let cin = q(0);
+    let a = |i: usize| q(1 + 2 * i);
+    let b = |i: usize| q(2 + 2 * i);
+    let cout = q(num_qubits - 1);
+
+    let mut c = Circuit::new(num_qubits);
+    let push = |g: Gate, c: &mut Circuit| c.push(g).expect("operands in range");
+
+    // MAJ sweep: carry chain cin, a0, a1, ... .
+    for i in 0..k {
+        let carry = if i == 0 { cin } else { a(i - 1) };
+        push(Gate::cx(a(i), b(i)), &mut c);
+        push(Gate::cx(a(i), carry), &mut c);
+        push(Gate::ccx(carry, b(i), a(i)), &mut c);
+    }
+    push(Gate::cx(a(k - 1), cout), &mut c);
+    // UMA sweep (2-CX form), restoring a and finishing b.
+    for i in (0..k).rev() {
+        let carry = if i == 0 { cin } else { a(i - 1) };
+        push(Gate::ccx(carry, b(i), a(i)), &mut c);
+        push(Gate::cx(a(i), carry), &mut c);
+        push(Gate::cx(carry, b(i)), &mut c);
+    }
+    c
+}
+
+/// Textbook quantum Fourier transform (paper “QFT”): for each qubit an H
+/// followed by controlled phases from every later qubit, plus the final
+/// reversal swaps.
+///
+/// Controlled phases are emitted as `Cp(π/2^d)`, which unroll to the same
+/// two remote CXs as the paper's CRZ form and are diagonal (hence mutually
+/// commutable — the property §3.2's burst analysis exploits).
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0`.
+///
+/// ```
+/// use dqc_workloads::qft;
+/// let c = qft(3);
+/// assert_eq!(c.two_qubit_gate_count(), 3 + 1); // 3 CP + 1 swap
+/// ```
+pub fn qft(num_qubits: usize) -> Circuit {
+    assert!(num_qubits > 0, "QFT needs at least one qubit");
+    let q = QubitId::new;
+    let mut c = Circuit::new(num_qubits);
+    for i in (0..num_qubits).rev() {
+        c.push(Gate::h(q(i))).expect("in range");
+        for j in (0..i).rev() {
+            let angle = std::f64::consts::PI * 0.5f64.powi((i - j) as i32);
+            c.push(Gate::cp(angle, q(j), q(i))).expect("in range");
+        }
+    }
+    for i in 0..num_qubits / 2 {
+        c.push(Gate::swap(q(i), q(num_qubits - 1 - i))).expect("in range");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc_circuit::{unroll_circuit, CircuitStats, GateKind};
+
+    #[test]
+    fn mctr_unrolls_linearly() {
+        // n/2 controls with n/2-1 spare qubits → V-chain: 4(n/2-2) Toffolis.
+        for n in [8usize, 12, 20] {
+            let c = mctr(n);
+            let u = unroll_circuit(&c).unwrap();
+            let cx = u.two_qubit_gate_count();
+            assert_eq!(cx, 24 * (n / 2 - 2), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 6 qubits")]
+    fn mctr_rejects_tiny_registers() {
+        let _ = mctr(4);
+    }
+
+    #[test]
+    fn rca_gate_structure() {
+        let c = rca(10); // 4-bit adder
+        let k = 4;
+        // Per bit: 2 CCX + 4 CX, plus the carry-out CX.
+        let stats = CircuitStats::of(&c, None);
+        assert_eq!(stats.by_kind[&GateKind::Ccx], 2 * k);
+        assert_eq!(stats.by_kind[&GateKind::Cx], 4 * k + 1);
+        let u = unroll_circuit(&c).unwrap();
+        assert_eq!(u.two_qubit_gate_count(), 16 * k + 1);
+    }
+
+    #[test]
+    fn rca_adds_correctly() {
+        // Functional check on the 2-bit adder via state-vector simulation:
+        // encode a=2 (a1=1), b=1 (b0=1); expect b = 3, a restored, no carry.
+        use dqc_sim::{SplitMix64, StateVector};
+        let q = QubitId::new;
+        let mut prep = Circuit::new(6);
+        prep.push(Gate::x(q(3))).unwrap(); // a1 (qubit layout cin,a0,b0,a1,b1,cout)
+        prep.push(Gate::x(q(2))).unwrap(); // b0
+        prep.append_circuit(&rca(6)).unwrap();
+        let mut s = StateVector::zero_state(6).unwrap();
+        s.run(&prep, &mut SplitMix64::new(1)).unwrap();
+        // Expected basis state: a=2 restored (q3=1), b=3 (q2=1, q4=1).
+        let expect_index = (1 << 3) | (1 << 2) | (1 << 4);
+        assert!(
+            s.amplitudes()[expect_index].norm() > 1.0 - 1e-9,
+            "adder output wrong"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even register")]
+    fn rca_rejects_odd_registers() {
+        let _ = rca(7);
+    }
+
+    #[test]
+    fn qft_counts() {
+        let n = 6;
+        let c = qft(n);
+        let stats = CircuitStats::of(&c, None);
+        assert_eq!(stats.by_kind[&GateKind::H], n);
+        assert_eq!(stats.by_kind[&GateKind::Cp], n * (n - 1) / 2);
+        assert_eq!(stats.by_kind[&GateKind::Swap], n / 2);
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        // QFT|j⟩ amplitudes are ω^{jk}/√N with the bit-reversal swaps folded in.
+        use dqc_sim::circuit_unitary;
+        let n = 3;
+        let u = circuit_unitary(&qft(n)).unwrap();
+        let dim = 1 << n;
+        let omega = 2.0 * std::f64::consts::PI / dim as f64;
+        for j in 0..dim {
+            for k in 0..dim {
+                let expect = dqc_sim::Complex::cis(omega * (j * k) as f64)
+                    .scale(1.0 / (dim as f64).sqrt());
+                let got = u.get(k, j);
+                assert!(
+                    got.approx_eq(expect, 1e-9),
+                    "entry ({k},{j}): got {got}, expected {expect}"
+                );
+            }
+        }
+    }
+}
+
+/// Inverse quantum Fourier transform: the exact adjoint of [`qft`]
+/// (reversed gate order, negated phases).
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0`.
+///
+/// ```
+/// use dqc_workloads::qft_inverse;
+/// let c = qft_inverse(4);
+/// assert_eq!(c.num_qubits(), 4);
+/// ```
+pub fn qft_inverse(num_qubits: usize) -> Circuit {
+    assert!(num_qubits > 0, "QFT needs at least one qubit");
+    let mut c = Circuit::new(num_qubits);
+    for gate in qft(num_qubits).gates().iter().rev() {
+        let adj = match gate.kind() {
+            dqc_circuit::GateKind::H | dqc_circuit::GateKind::Swap => gate.clone(),
+            dqc_circuit::GateKind::Cp => Gate::cp(
+                -gate.theta().expect("cp parameter"),
+                gate.qubits()[0],
+                gate.qubits()[1],
+            ),
+            _ => unreachable!("qft emits only H, CP, and SWAP"),
+        };
+        c.push(adj).expect("in range");
+    }
+    c
+}
+
+/// GHZ-state preparation: `H` on qubit 0 followed by a CX chain — the
+/// canonical entanglement-distribution benchmark for modular machines
+/// (every node-boundary crossing is one remote CX).
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0`.
+///
+/// ```
+/// use dqc_workloads::ghz;
+/// let c = ghz(5);
+/// assert_eq!(c.len(), 5); // 1 H + 4 CX
+/// ```
+pub fn ghz(num_qubits: usize) -> Circuit {
+    assert!(num_qubits > 0, "GHZ needs at least one qubit");
+    let q = QubitId::new;
+    let mut c = Circuit::new(num_qubits);
+    c.push(Gate::h(q(0))).expect("in range");
+    for i in 1..num_qubits {
+        c.push(Gate::cx(q(i - 1), q(i))).expect("in range");
+    }
+    c
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use dqc_sim::{circuit_unitary, equivalent_up_to_phase, Matrix, SplitMix64, StateVector};
+
+    #[test]
+    fn qft_inverse_is_the_adjoint() {
+        let n = 4;
+        let mut both = qft(n);
+        both.append_circuit(&qft_inverse(n)).unwrap();
+        let u = circuit_unitary(&both).unwrap();
+        assert!(equivalent_up_to_phase(&u, &Matrix::identity(1 << n), 1e-9));
+    }
+
+    #[test]
+    fn ghz_prepares_the_ghz_state() {
+        let n = 5;
+        let mut s = StateVector::zero_state(n).unwrap();
+        s.run(&ghz(n), &mut SplitMix64::new(1)).unwrap();
+        let amp0 = s.amplitudes()[0];
+        let amp1 = s.amplitudes()[(1 << n) - 1];
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((amp0.norm() - r).abs() < 1e-12);
+        assert!((amp1.norm() - r).abs() < 1e-12);
+        // All other amplitudes vanish.
+        let other: f64 = s
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 0 && *i != (1 << n) - 1)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        assert!(other < 1e-12);
+    }
+
+    #[test]
+    fn qpe_recovers_exact_phases() {
+        use crate::qpe;
+        use dqc_circuit::QubitId;
+        // φ = j / 2^t is exactly representable: the counting register must
+        // collapse deterministically onto |j⟩ (bit k of j on qubit k).
+        let t = 4usize;
+        for j in [1usize, 5, 11] {
+            let phase = j as f64 / (1 << t) as f64;
+            let c = qpe(t, phase);
+            let mut s = StateVector::zero_state(c.num_qubits()).unwrap();
+            s.run(&c, &mut SplitMix64::new(9)).unwrap();
+            for k in 0..t {
+                let p1 = s.probability_one(QubitId::new(k));
+                let expect = (j >> k) & 1;
+                assert!(
+                    (p1 - expect as f64).abs() < 1e-9,
+                    "phase {phase}: counting bit {k} read {p1}, expected {expect}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Random circuit generation for property-based testing.
+
+use dqc_circuit::{Circuit, Gate, Partition, QubitId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A reproducible random circuit mixing single-qubit gates (including
+/// non-Clifford rotations) and two-qubit gates from the full IR alphabet.
+///
+/// Intended for property tests: small registers, arbitrary structure, and
+/// deterministic from `(num_qubits, num_gates, seed)`.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2`.
+///
+/// ```
+/// use dqc_workloads::random_circuit;
+/// let a = random_circuit(4, 30, 1);
+/// let b = random_circuit(4, 30, 1);
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 30);
+/// ```
+pub fn random_circuit(num_qubits: usize, num_gates: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "random circuits need at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..num_gates {
+        c.push(random_gate(num_qubits, &mut rng)).expect("operands in range");
+    }
+    c
+}
+
+/// A random circuit biased toward cross-node gates under a block partition:
+/// returns the circuit together with the partition used, ready for
+/// end-to-end compilation tests.
+///
+/// # Panics
+///
+/// Panics if the register cannot be spread over `num_nodes` nodes.
+pub fn random_distributed_circuit(
+    num_qubits: usize,
+    num_nodes: usize,
+    num_gates: usize,
+    seed: u64,
+) -> (Circuit, Partition) {
+    let partition = Partition::block(num_qubits, num_nodes).expect("valid node count");
+    let circuit = random_circuit(num_qubits, num_gates, seed);
+    (circuit, partition)
+}
+
+fn random_gate(num_qubits: usize, rng: &mut StdRng) -> Gate {
+    let q = |i: usize| QubitId::new(i);
+    let a = rng.random_range(0..num_qubits);
+    let choice = rng.random_range(0..12u32);
+    if choice < 5 {
+        // Single-qubit gate.
+        let theta = rng.random_range(0.0..std::f64::consts::TAU);
+        match choice {
+            0 => Gate::h(q(a)),
+            1 => Gate::t(q(a)),
+            2 => Gate::rz(theta, q(a)),
+            3 => Gate::rx(theta, q(a)),
+            _ => Gate::x(q(a)),
+        }
+    } else {
+        let mut b = rng.random_range(0..num_qubits - 1);
+        if b >= a {
+            b += 1;
+        }
+        let theta = rng.random_range(0.0..std::f64::consts::TAU);
+        match choice {
+            5 | 6 | 7 => Gate::cx(q(a), q(b)),
+            8 => Gate::cz(q(a), q(b)),
+            9 => Gate::crz(theta, q(a), q(b)),
+            10 => Gate::rzz(theta, q(a), q(b)),
+            _ => Gate::cp(theta, q(a), q(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = random_circuit(5, 100, 42);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, random_circuit(5, 100, 42));
+        assert_ne!(a, random_circuit(5, 100, 43));
+    }
+
+    #[test]
+    fn distributed_variant_bundles_partition() {
+        let (c, p) = random_distributed_circuit(6, 3, 50, 7);
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(p.num_nodes(), 3);
+        assert!(c.gates().iter().any(|g| p.is_remote(g)), "expect remote gates");
+    }
+
+    #[test]
+    fn gates_are_valid_for_register() {
+        let c = random_circuit(3, 500, 9);
+        for g in c.gates() {
+            for qb in g.qubits() {
+                assert!(qb.index() < 3);
+            }
+        }
+    }
+}

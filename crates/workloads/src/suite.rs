@@ -1,0 +1,170 @@
+//! The paper's benchmark suite (Table 2) as data.
+
+use std::fmt;
+
+use dqc_circuit::Circuit;
+
+use crate::{bv, mctr, qaoa_maxcut, qft, rca, uccsd};
+
+/// The six benchmark families of paper Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Multi-controlled gate (building block).
+    Mctr,
+    /// Ripple-carry adder (building block).
+    Rca,
+    /// Quantum Fourier transform (building block).
+    Qft,
+    /// Bernstein–Vazirani (application).
+    Bv,
+    /// QAOA max-cut (application).
+    Qaoa,
+    /// UCCSD ansatz (application).
+    Uccsd,
+}
+
+impl Workload {
+    /// Paper acronym.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Mctr => "MCTR",
+            Workload::Rca => "RCA",
+            Workload::Qft => "QFT",
+            Workload::Bv => "BV",
+            Workload::Qaoa => "QAOA",
+            Workload::Uccsd => "UCCSD",
+        }
+    }
+
+    /// Whether the paper files this under “building blocks” (vs
+    /// “real-world applications”).
+    pub fn is_building_block(self) -> bool {
+        matches!(self, Workload::Mctr | Workload::Rca | Workload::Qft)
+    }
+
+    /// All six workloads, in the paper's table order.
+    pub fn all() -> [Workload; 6] {
+        [
+            Workload::Mctr,
+            Workload::Rca,
+            Workload::Qft,
+            Workload::Bv,
+            Workload::Qaoa,
+            Workload::Uccsd,
+        ]
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of paper Table 2: a workload at a given register size spread
+/// over a given node count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BenchConfig {
+    /// Benchmark family.
+    pub workload: Workload,
+    /// Total logical qubits.
+    pub num_qubits: usize,
+    /// Number of quantum nodes.
+    pub num_nodes: usize,
+}
+
+impl BenchConfig {
+    /// Builds a config.
+    pub fn new(workload: Workload, num_qubits: usize, num_nodes: usize) -> Self {
+        BenchConfig { workload, num_qubits, num_nodes }
+    }
+
+    /// Paper-style row label, e.g. `QFT-100-10`.
+    pub fn label(&self) -> String {
+        format!("{}-{}-{}", self.workload, self.num_qubits, self.num_nodes)
+    }
+}
+
+impl fmt::Display for BenchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The 18 rows of paper Table 2: MCTR/RCA/QFT/BV/QAOA at (100,10),
+/// (200,20), (300,30) and UCCSD at (8,4), (12,6), (16,8).
+pub fn table2_configs() -> Vec<BenchConfig> {
+    let mut rows = Vec::new();
+    for w in [Workload::Mctr, Workload::Rca, Workload::Qft, Workload::Bv, Workload::Qaoa] {
+        for (q, n) in [(100, 10), (200, 20), (300, 30)] {
+            rows.push(BenchConfig::new(w, q, n));
+        }
+    }
+    for (q, n) in [(8, 4), (12, 6), (16, 8)] {
+        rows.push(BenchConfig::new(Workload::Uccsd, q, n));
+    }
+    rows
+}
+
+/// Generates the circuit for a config. QAOA uses ≈ 20·n random edges with a
+/// seed derived from the config so every run of the harness sees the same
+/// graph.
+///
+/// # Panics
+///
+/// Propagates the generator panics for invalid sizes (see each generator's
+/// documentation).
+pub fn generate(config: &BenchConfig) -> Circuit {
+    match config.workload {
+        Workload::Mctr => mctr(config.num_qubits),
+        Workload::Rca => rca(config.num_qubits),
+        Workload::Qft => qft(config.num_qubits),
+        Workload::Bv => bv(config.num_qubits),
+        Workload::Qaoa => {
+            // ≈ 20·n edges as in the paper, clamped to half the simple-graph
+            // maximum so scaled-down (quick) registers stay valid.
+            let n = config.num_qubits;
+            let edges = (20 * n).min(n * (n - 1) / 4);
+            let seed = (n * 31 + config.num_nodes) as u64;
+            qaoa_maxcut(n, edges, seed)
+        }
+        Workload::Uccsd => uccsd(config.num_qubits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_eighteen_rows() {
+        let rows = table2_configs();
+        assert_eq!(rows.len(), 18);
+        assert_eq!(rows[0].label(), "MCTR-100-10");
+        assert_eq!(rows[17].label(), "UCCSD-16-8");
+        // Qubits evenly divisible by nodes in every row.
+        for r in &rows {
+            assert_eq!(r.num_qubits % r.num_nodes, 0, "{r}");
+        }
+    }
+
+    #[test]
+    fn generate_matches_register_size() {
+        for r in table2_configs() {
+            // Keep the test quick: skip the largest configs.
+            if r.num_qubits > 100 {
+                continue;
+            }
+            let c = generate(&r);
+            assert_eq!(c.num_qubits(), r.num_qubits, "{r}");
+            assert!(!c.is_empty(), "{r}");
+        }
+    }
+
+    #[test]
+    fn workload_classification() {
+        assert!(Workload::Qft.is_building_block());
+        assert!(!Workload::Qaoa.is_building_block());
+        assert_eq!(Workload::all().len(), 6);
+    }
+}

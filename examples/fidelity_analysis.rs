@@ -1,0 +1,70 @@
+//! Fidelity analysis: translate the communication and latency reductions
+//! into the estimated program fidelity that motivates the paper (§1 —
+//! remote operations are ≈ 40× noisier than local gates, and schedule time
+//! costs decoherence).
+//!
+//! Run with `cargo run --example fidelity_analysis`.
+
+use autocomm::AutoComm;
+use dqc_baselines::{compile_ferrari, compile_gp_tp};
+use dqc_circuit::{unroll_circuit, CircuitStats};
+use dqc_hardware::{FidelityModel, HardwareSpec};
+use dqc_partition::{oee_partition, InteractionGraph};
+use dqc_workloads::{bv, ghz, qft, qpe};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = FidelityModel::default();
+    println!(
+        "error model: e_1q={:.0e} e_2q={:.0e} e_meas={:.0e} e_epr={:.0e} gamma={:.0e}\n",
+        model.e_1q, model.e_2q, model.e_measure, model.e_epr, model.gamma
+    );
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "program", "F(auto)", "F(sparse)", "F(gp-tp)", "EPR(a)", "EPR(s)", "EPR(g)"
+    );
+    println!("{:-<14} {:->9} {:->9} {:->9}-|-{:->9} {:->9} {:->9}", "", "", "", "", "", "", "");
+
+    let programs: Vec<(&str, dqc_circuit::Circuit, usize)> = vec![
+        ("GHZ-24/4", ghz(24), 4),
+        ("QFT-20/4", qft(20), 4),
+        ("BV-24/4", bv(24), 4),
+        ("QPE-15/4", qpe(15, 0.3), 4),
+    ];
+
+    for (name, circuit, nodes) in programs {
+        let unrolled = unroll_circuit(&circuit)?;
+        let graph = InteractionGraph::from_circuit(&unrolled);
+        let partition = oee_partition(&graph, nodes)?;
+        let hw = HardwareSpec::for_partition(&partition);
+        let stats = CircuitStats::of(&unrolled, Some(&partition));
+
+        let auto = AutoComm::new().compile(&circuit, &partition)?;
+        let sparse = compile_ferrari(&circuit, &partition, &hw)?;
+        let gp = compile_gp_tp(&circuit, &partition, &hw)?;
+
+        let estimate = |epr: usize, makespan: f64| {
+            let inputs = FidelityModel::inputs_for(
+                stats.num_1q,
+                stats.num_2q,
+                epr,
+                circuit.num_qubits(),
+                makespan,
+                hw.latency(),
+            );
+            model.estimate(&inputs)
+        };
+        let f_auto = estimate(auto.schedule.epr_pairs, auto.schedule.makespan);
+        let f_sparse = estimate(sparse.total_comms, sparse.makespan);
+        let f_gp = estimate(gp.total_comms, gp.makespan);
+
+        println!(
+            "{name:<14} {f_auto:>9.4} {f_sparse:>9.4} {f_gp:>9.4} | {:>9} {:>9} {:>9}",
+            auto.schedule.epr_pairs, sparse.total_comms, gp.total_comms
+        );
+    }
+
+    println!("\ncommunication dominates the error budget at realistic EPR error");
+    println!("rates, so the comm reduction translates almost directly into the");
+    println!("fidelity gap between AutoComm and the per-CX baseline.");
+    Ok(())
+}

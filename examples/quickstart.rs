@@ -1,0 +1,48 @@
+//! Quickstart: compile a distributed QFT with AutoComm and compare it
+//! against the sparse Cat-per-CX baseline.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use autocomm::AutoComm;
+use dqc_baselines::compile_ferrari;
+use dqc_circuit::{unroll_circuit, CircuitStats};
+use dqc_hardware::HardwareSpec;
+use dqc_partition::{oee_partition, InteractionGraph};
+use dqc_workloads::qft;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16-qubit QFT spread over 4 quantum nodes (4 qubits per node).
+    let circuit = qft(16);
+    let unrolled = unroll_circuit(&circuit)?;
+    let graph = InteractionGraph::from_circuit(&unrolled);
+    let partition = oee_partition(&graph, 4)?;
+    let hw = HardwareSpec::for_partition(&partition);
+
+    let stats = CircuitStats::of(&unrolled, Some(&partition));
+    println!("program: QFT-16 over 4 nodes");
+    println!("  gates (CX+U3 basis): {}", stats.num_gates);
+    println!("  two-qubit gates:     {}", stats.num_2q);
+    println!("  remote CX gates:     {}", stats.num_remote_2q);
+
+    // AutoComm: aggregate → assign → schedule.
+    let result = AutoComm::new().compile(&circuit, &partition)?;
+    println!("\nAutoComm:");
+    println!("  burst blocks:        {}", result.metrics.num_blocks);
+    println!("  total comms (EPR):   {}", result.metrics.total_comms);
+    println!("  of which TP-Comm:    {}", result.metrics.tp_comms);
+    println!("  peak REM CX / comm:  {:.1}", result.metrics.peak_rem_cx);
+    println!("  latency (CX units):  {:.1}", result.schedule.makespan);
+
+    // The sparse baseline pays one EPR pair per remote CX.
+    let baseline = compile_ferrari(&circuit, &partition, &hw)?;
+    println!("\nSparse baseline (one Cat-Comm per remote CX):");
+    println!("  total comms (EPR):   {}", baseline.total_comms);
+    println!("  latency (CX units):  {:.1}", baseline.makespan);
+
+    println!(
+        "\nimprov. factor: {:.2}x   LAT-DEC factor: {:.2}x",
+        baseline.total_comms as f64 / result.metrics.total_comms as f64,
+        baseline.makespan / result.schedule.makespan,
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Sensitivity study in the spirit of paper Fig. 17(d)(e): how the
+//! communication-reduction factor responds to register size, node count,
+//! and the per-node communication-qubit budget (the paper's future-work
+//! knob).
+//!
+//! Run with `cargo run --example sensitivity`.
+
+use autocomm::AutoComm;
+use dqc_baselines::compile_ferrari;
+use dqc_circuit::unroll_circuit;
+use dqc_hardware::HardwareSpec;
+use dqc_partition::{oee_partition, InteractionGraph};
+use dqc_workloads::qft;
+
+fn factor(num_qubits: usize, num_nodes: usize, comm_qubits: usize) -> (f64, f64) {
+    let circuit = qft(num_qubits);
+    let unrolled = unroll_circuit(&circuit).expect("unrolls");
+    let graph = InteractionGraph::from_circuit(&unrolled);
+    let partition = oee_partition(&graph, num_nodes).expect("valid nodes");
+    let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(comm_qubits);
+    let result = AutoComm::new()
+        .compile_on(&circuit, &partition, &hw)
+        .expect("compiles");
+    let baseline = compile_ferrari(&circuit, &partition, &hw).expect("compiles");
+    (
+        baseline.total_comms as f64 / result.metrics.total_comms.max(1) as f64,
+        baseline.makespan / result.schedule.makespan.max(1e-9),
+    )
+}
+
+fn main() {
+    println!("QFT improv. factor vs register size (4 nodes, 2 comm qubits):");
+    for q in [16usize, 24, 32, 48, 64] {
+        let (improv, lat) = factor(q, 4, 2);
+        println!("  {q:>3} qubits: improv {improv:.2}x, LAT-DEC {lat:.2}x");
+    }
+
+    println!("\nQFT-48 improv. factor vs node count:");
+    for n in [2usize, 3, 4, 6, 8, 12] {
+        let (improv, lat) = factor(48, n, 2);
+        println!("  {n:>3} nodes: improv {improv:.2}x, LAT-DEC {lat:.2}x");
+    }
+
+    println!("\nQFT-32/4 LAT-DEC vs comm-qubit budget (paper future work):");
+    for c in [1usize, 2, 4, 8] {
+        let (_, lat) = factor(32, 4, c);
+        println!("  {c:>3} comm qubits/node: LAT-DEC {lat:.2}x");
+    }
+
+    println!("\ntrends: factors grow with qubits-per-node and shrink as nodes");
+    println!("multiply (paper Fig. 17d/e); extra comm qubits buy schedule slack.");
+}

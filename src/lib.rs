@@ -1,0 +1,23 @@
+//! Umbrella crate for the AutoComm (MICRO 2022) reproduction.
+//!
+//! This crate re-exports the whole workspace behind one dependency so the
+//! `examples/` binaries and `tests/` integration suite can reach every
+//! subsystem. The implementation lives in the `crates/` members:
+//!
+//! * [`circuit`] — quantum circuit IR, commutation analysis, gate unrolling;
+//! * [`sim`] — state-vector simulation and unitary equivalence checking;
+//! * [`hardware`] — node/latency model of the distributed machine;
+//! * [`partition`] — static qubit-to-node partitioning (OEE);
+//! * [`protocols`] — Cat-Comm / TP-Comm physical expansions;
+//! * [`core`] — the AutoComm passes (aggregate → assign → schedule);
+//! * [`baselines`] — Ferrari-style and GP-TP baseline compilers + ablations;
+//! * [`workloads`] — benchmark circuit generators.
+
+pub use autocomm as core;
+pub use dqc_baselines as baselines;
+pub use dqc_circuit as circuit;
+pub use dqc_hardware as hardware;
+pub use dqc_partition as partition;
+pub use dqc_protocols as protocols;
+pub use dqc_sim as sim;
+pub use dqc_workloads as workloads;

@@ -1,0 +1,95 @@
+//! Property tests for the OEE partitioner and the partition type.
+
+use autocomm_repro::circuit::{NodeId, Partition, QubitId};
+use autocomm_repro::partition::{oee_partition, oee_refine, InteractionGraph, OeeOptions};
+use proptest::prelude::*;
+
+/// Strategy: a random weighted interaction graph over `n` qubits.
+fn arb_graph(n: usize) -> impl Strategy<Value = InteractionGraph> {
+    proptest::collection::vec((0..n, 0..n, 1u64..20), 0..40).prop_map(move |edges| {
+        let mut g = InteractionGraph::new(n);
+        for (a, b, w) in edges {
+            if a != b {
+                g.add_weight(QubitId::new(a), QubitId::new(b), w);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// OEE never increases the cut and always preserves balance.
+    #[test]
+    fn oee_improves_and_balances(g in arb_graph(12), k in 1usize..5) {
+        let initial = Partition::block(12, k).unwrap();
+        let before = g.cut_weight(&initial);
+        let initial_imbalance = initial.imbalance();
+        let refined = oee_refine(&g, initial, OeeOptions::default());
+        prop_assert!(g.cut_weight(&refined) <= before);
+        prop_assert_eq!(refined.imbalance(), initial_imbalance);
+        // Still a valid assignment over k nodes.
+        prop_assert_eq!(refined.num_nodes(), k);
+        prop_assert_eq!(refined.num_qubits(), 12);
+    }
+
+    /// The refined cut is invariant to starting from the worst layout only
+    /// in being no worse than that layout's cut (sanity of the gain math).
+    #[test]
+    fn oee_from_round_robin_is_no_worse(g in arb_graph(10), k in 2usize..4) {
+        let initial = Partition::round_robin(10, k).unwrap();
+        let before = g.cut_weight(&initial);
+        let refined = oee_refine(&g, initial, OeeOptions::default());
+        prop_assert!(g.cut_weight(&refined) <= before);
+    }
+
+    /// Cut weight equals the number of remote multi-qubit gates when the
+    /// graph came from a circuit.
+    #[test]
+    fn cut_counts_remote_gates(seed in 0u64..500) {
+        let (c, p) = autocomm_repro::workloads::random_distributed_circuit(8, 2, 40, seed);
+        let g = InteractionGraph::from_circuit(&c);
+        let remote = c.gates().iter().filter(|gate| p.is_remote(gate)).count() as u64;
+        prop_assert_eq!(g.cut_weight(&p), remote);
+    }
+}
+
+#[test]
+fn oee_recovers_planted_clusters() {
+    // Two dense clusters scattered across the initial layout: OEE must
+    // find the zero-cut assignment.
+    let mut g = InteractionGraph::new(8);
+    let cluster_a = [0usize, 2, 4, 6];
+    let cluster_b = [1usize, 3, 5, 7];
+    for c in [cluster_a, cluster_b] {
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g.add_weight(QubitId::new(c[i]), QubitId::new(c[j]), 10);
+            }
+        }
+    }
+    let p = oee_partition(&g, 2).unwrap();
+    assert_eq!(g.cut_weight(&p), 0);
+    // Each cluster sits wholly on one node.
+    let node_of_0 = p.node_of(QubitId::new(0));
+    for &q in &cluster_a {
+        assert_eq!(p.node_of(QubitId::new(q)), node_of_0);
+    }
+}
+
+#[test]
+fn partition_queries_are_consistent() {
+    let p = Partition::block(9, 3).unwrap();
+    let mut seen = 0;
+    for n in 0..3 {
+        let node = NodeId::new(n);
+        let qs = p.qubits_on(node);
+        assert_eq!(qs.len(), p.load_of(node));
+        for q in qs {
+            assert_eq!(p.node_of(q), node);
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 9);
+}

@@ -1,0 +1,105 @@
+//! End-to-end semantic verification of the compiler: aggregation reorders
+//! only commuting gates, orientation is exactly symmetric, and the full
+//! pipeline lowered through physical Cat-Comm / TP-Comm protocols
+//! reproduces the logical state on every seed.
+
+use autocomm_repro::circuit::{unroll_circuit, Partition};
+use autocomm_repro::core::{
+    aggregate, assign, assign_cat_only, lower_assigned, orient_symmetric_gates,
+    AggregateOptions,
+};
+use autocomm_repro::sim::{circuits_equivalent, Complex, SplitMix64, StateVector};
+use autocomm_repro::workloads::random_distributed_circuit;
+use proptest::prelude::*;
+
+/// Compiles and physically lowers a circuit, returning the fidelity of the
+/// logical register against direct simulation of the input.
+fn pipeline_fidelity(
+    circuit: &autocomm_repro::circuit::Circuit,
+    partition: &Partition,
+    seed: u64,
+    cat_only: bool,
+) -> f64 {
+    let oriented = orient_symmetric_gates(circuit, partition);
+    let unrolled = unroll_circuit(&oriented).unwrap();
+    let aggregated = aggregate(&unrolled, partition, AggregateOptions::default());
+    let assigned = if cat_only { assign_cat_only(&aggregated) } else { assign(&aggregated) };
+    let physical = lower_assigned(&assigned, partition).unwrap();
+
+    let mut rng = SplitMix64::new(seed);
+    let input = StateVector::random_state(circuit.num_qubits(), &mut rng).unwrap();
+    let mut expected = input.clone();
+    expected.run(circuit, &mut rng.fork()).unwrap();
+
+    let total = physical.circuit.num_qubits();
+    let mut amps = vec![Complex::ZERO; 1 << total];
+    amps[..input.amplitudes().len()].copy_from_slice(input.amplitudes());
+    let mut state = StateVector::from_amplitudes(amps).unwrap();
+    state.run(&physical.circuit, &mut rng).unwrap();
+    state
+        .subset_fidelity(&expected, &physical.logical_qubits())
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Aggregation output flattens to a circuit equivalent to its input.
+    #[test]
+    fn aggregation_preserves_semantics(seed in 0u64..1000) {
+        let (c, p) = random_distributed_circuit(5, 2, 35, seed);
+        let unrolled = unroll_circuit(&c).unwrap();
+        let agg = aggregate(&unrolled, &p, AggregateOptions::default());
+        prop_assert!(circuits_equivalent(&unrolled, &agg.to_circuit(), 1e-8).unwrap());
+    }
+
+    /// The hybrid pipeline, lowered to physical protocols with mid-circuit
+    /// measurement and feed-forward, reproduces the logical program.
+    #[test]
+    fn hybrid_pipeline_is_exact(seed in 0u64..1000) {
+        let (c, p) = random_distributed_circuit(5, 2, 25, seed);
+        let f = pipeline_fidelity(&c, &p, seed ^ 0xfeed, false);
+        prop_assert!((f - 1.0).abs() < 1e-8, "fidelity {f}");
+    }
+
+    /// The Cat-only ablation is also semantics-preserving.
+    #[test]
+    fn cat_only_pipeline_is_exact(seed in 0u64..1000) {
+        let (c, p) = random_distributed_circuit(5, 2, 20, seed);
+        let f = pipeline_fidelity(&c, &p, seed ^ 0xcafe, true);
+        prop_assert!((f - 1.0).abs() < 1e-8, "fidelity {f}");
+    }
+
+    /// Three-node programs exercise TP fusion chains and node-crossing
+    /// blocks.
+    #[test]
+    fn three_node_pipeline_is_exact(seed in 0u64..500) {
+        let (c, p) = random_distributed_circuit(6, 3, 24, seed);
+        let f = pipeline_fidelity(&c, &p, seed ^ 0xbeef, false);
+        prop_assert!((f - 1.0).abs() < 1e-8, "fidelity {f}");
+    }
+
+    /// Orientation of symmetric gates never changes semantics.
+    #[test]
+    fn orientation_preserves_semantics(seed in 0u64..1000) {
+        let (c, p) = random_distributed_circuit(4, 2, 25, seed);
+        let oriented = orient_symmetric_gates(&c, &p);
+        prop_assert!(circuits_equivalent(&c, &oriented, 1e-9).unwrap());
+    }
+}
+
+#[test]
+fn workload_pipelines_are_exact() {
+    // Small instances of the actual benchmark generators, end to end.
+    let cases: Vec<(autocomm_repro::circuit::Circuit, usize)> = vec![
+        (autocomm_repro::workloads::qft(6), 2),
+        (autocomm_repro::workloads::bv(7), 2),
+        (autocomm_repro::workloads::rca(6), 3),
+        (autocomm_repro::workloads::qaoa_maxcut(6, 9, 5), 2),
+    ];
+    for (circuit, nodes) in cases {
+        let partition = Partition::block(circuit.num_qubits(), nodes).unwrap();
+        let f = pipeline_fidelity(&circuit, &partition, 77, false);
+        assert!((f - 1.0).abs() < 1e-8, "fidelity {f} for {nodes}-node workload");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the OpenQASM-2 import/export pair and for structural
+//! invariants of the commutation oracle.
+
+use autocomm_repro::circuit::{commutes, from_qasm, to_qasm, Gate, QubitId};
+use autocomm_repro::workloads::random_circuit;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Export → import is the identity on random circuits.
+    #[test]
+    fn qasm_round_trip_is_identity(
+        seed in 0u64..10_000,
+        qubits in 2usize..8,
+        gates in 0usize..60,
+    ) {
+        let c = random_circuit(qubits, gates, seed);
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        prop_assert_eq!(parsed.num_qubits(), c.num_qubits());
+        prop_assert_eq!(parsed.len(), c.len());
+        for (a, b) in parsed.gates().iter().zip(c.gates()) {
+            prop_assert_eq!(a.kind(), b.kind());
+            prop_assert_eq!(a.qubits(), b.qubits());
+            for (pa, pb) in a.params().iter().zip(b.params()) {
+                prop_assert!((pa - pb).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The commutation oracle is symmetric.
+    #[test]
+    fn commutation_is_symmetric(seed in 0u64..10_000) {
+        let c = random_circuit(4, 20, seed);
+        for a in c.gates() {
+            for b in c.gates() {
+                prop_assert_eq!(commutes(a, b), commutes(b, a), "{} vs {}", a, b);
+            }
+        }
+    }
+
+    /// Every unitary gate commutes with itself, and gates on disjoint
+    /// supports always commute.
+    #[test]
+    fn commutation_basics(seed in 0u64..10_000) {
+        let c = random_circuit(6, 20, seed);
+        for g in c.gates() {
+            prop_assert!(commutes(g, g), "{} with itself", g);
+        }
+        for a in c.gates() {
+            for b in c.gates() {
+                let disjoint = a.qubits().iter().all(|x| !b.acts_on(*x));
+                if disjoint {
+                    prop_assert!(commutes(a, b), "{} vs {} (disjoint)", a, b);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn qasm_rejects_malformed_programs() {
+    for bad in [
+        "qreg q[2];\ncx q[0];\n",                 // wrong arity
+        "qreg q[2];\nrz q[0];\n",                 // missing parameter
+        "qreg q[2];\nif (c[0] == 0) x q[0];\n",   // unsupported condition value
+        "qreg q[2];\nmeasure q[0];\n",            // measure without target
+        "qreg q[2];\ncx q[0], q[5];\n",           // out-of-range operand
+    ] {
+        assert!(from_qasm(bad).is_err(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn exported_gate_text_is_stable() {
+    // Pin the textual forms downstream tools would parse.
+    let q = QubitId::new;
+    let mut c = autocomm_repro::circuit::Circuit::new(3);
+    c.push(Gate::crz(0.5, q(0), q(1))).unwrap();
+    c.push(Gate::ccx(q(0), q(1), q(2))).unwrap();
+    let text = to_qasm(&c);
+    assert!(text.contains("crz(0.5) q[0], q[1];"));
+    assert!(text.contains("ccx q[0], q[1], q[2];"));
+}

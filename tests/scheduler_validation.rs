@@ -1,0 +1,135 @@
+//! Independent validation of every scheduler: replayed event logs must
+//! never double-book a qubit or a communication slot, and the burst-greedy
+//! optimizations must never lose to the plain schedule.
+
+use autocomm_repro::circuit::{unroll_circuit, Partition};
+use autocomm_repro::core::{
+    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions,
+    ScheduleOptions,
+};
+use autocomm_repro::hardware::{validate_events, HardwareSpec};
+use autocomm_repro::workloads as wl;
+use proptest::prelude::*;
+
+fn recorded_schedule(
+    circuit: &autocomm_repro::circuit::Circuit,
+    partition: &Partition,
+    options: ScheduleOptions,
+) -> autocomm_repro::core::ScheduleSummary {
+    let unrolled = unroll_circuit(circuit).unwrap();
+    let aggregated = aggregate(&unrolled, partition, AggregateOptions::default());
+    let assigned = assign(&aggregated);
+    let hw = HardwareSpec::for_partition(partition);
+    schedule(&assigned, partition, &hw, ScheduleOptions { record_events: true, ..options })
+}
+
+#[test]
+fn workload_schedules_validate() {
+    let cases: Vec<(autocomm_repro::circuit::Circuit, usize)> = vec![
+        (wl::qft(12), 3),
+        (wl::bv(12), 3),
+        (wl::rca(12), 3),
+        (wl::mctr(12), 2),
+        (wl::qaoa_maxcut(12, 30, 1), 3),
+        (wl::uccsd(8), 4),
+    ];
+    for (circuit, nodes) in cases {
+        let partition = Partition::block(circuit.num_qubits(), nodes).unwrap();
+        let hw = HardwareSpec::for_partition(&partition);
+        for options in [ScheduleOptions::default(), ScheduleOptions::plain_greedy()] {
+            let summary = recorded_schedule(&circuit, &partition, options);
+            let events = summary.events.as_ref().expect("recording on");
+            validate_events(events, &hw)
+                .unwrap_or_else(|e| panic!("{nodes}-node schedule invalid: {e}"));
+            assert!(summary.makespan > 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random distributed programs always produce resource-valid schedules.
+    #[test]
+    fn random_schedules_validate(seed in 0u64..1000) {
+        let (circuit, partition) = wl::random_distributed_circuit(8, 2, 60, seed);
+        let hw = HardwareSpec::for_partition(&partition);
+        let summary = recorded_schedule(&circuit, &partition, ScheduleOptions::default());
+        let events = summary.events.as_ref().expect("recording on");
+        validate_events(events, &hw).map_err(|e| {
+            TestCaseError::fail(format!("seed {seed}: {e}"))
+        })?;
+    }
+
+    /// Burst-greedy never loses to plain greedy, and fusion never increases
+    /// EPR usage.
+    #[test]
+    fn burst_greedy_dominates(seed in 0u64..500) {
+        let (circuit, partition) = wl::random_distributed_circuit(8, 3, 50, seed);
+        let burst = recorded_schedule(&circuit, &partition, ScheduleOptions::default());
+        let plain = recorded_schedule(&circuit, &partition, ScheduleOptions::plain_greedy());
+        prop_assert!(burst.makespan <= plain.makespan + 1e-9);
+        prop_assert!(burst.epr_pairs <= plain.epr_pairs);
+    }
+}
+
+#[test]
+fn fusion_reduces_epr_on_chained_tp_blocks() {
+    // Construct a qubit that bursts bidirectionally to three nodes in turn.
+    use autocomm_repro::circuit::{Circuit, Gate, QubitId};
+    let q = |i| QubitId::new(i);
+    let mut c = Circuit::new(8);
+    for peer in [2usize, 4, 6] {
+        c.push(Gate::cx(q(0), q(peer))).unwrap();
+        c.push(Gate::h(q(0))).unwrap(); // force bidirectional → TP
+        c.push(Gate::cx(q(peer), q(0))).unwrap();
+        c.push(Gate::h(q(0))).unwrap();
+    }
+    let partition = Partition::block(8, 4).unwrap();
+    let fused = recorded_schedule(&c, &partition, ScheduleOptions::default());
+    let plain = recorded_schedule(&c, &partition, ScheduleOptions::plain_greedy());
+    assert!(fused.fusion_savings > 0, "chain must fuse");
+    assert!(fused.epr_pairs < plain.epr_pairs);
+    assert!(fused.makespan < plain.makespan);
+}
+
+#[test]
+fn more_comm_qubits_never_slow_the_schedule() {
+    let circuit = wl::qft(16);
+    let partition = Partition::block(16, 4).unwrap();
+    let unrolled = unroll_circuit(&circuit).unwrap();
+    let aggregated = aggregate(&unrolled, &partition, AggregateOptions::default());
+    let assigned = assign(&aggregated);
+    // TP-Comm inherently needs two communication qubits per node (the
+    // destination holds the state while the return EPR pair forms), so the
+    // sweep starts at the paper's budget of 2.
+    let mut last = f64::INFINITY;
+    for budget in [2usize, 3, 4, 8] {
+        let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(budget);
+        let summary = schedule(&assigned, &partition, &hw, ScheduleOptions::default());
+        assert!(
+            summary.makespan <= last + 1e-9,
+            "budget {budget} slowed the schedule: {} > {last}",
+            summary.makespan
+        );
+        last = summary.makespan;
+    }
+}
+
+#[test]
+fn pipeline_options_roundtrip() {
+    // The compiler exposes its options and the ablations change only what
+    // they claim to change.
+    let c = wl::qft(12);
+    let p = Partition::block(12, 2).unwrap();
+    let full = AutoComm::new().compile(&c, &p).unwrap();
+    let plain = AutoComm::with_options(AutoCommOptions {
+        schedule: ScheduleOptions::plain_greedy(),
+        ..AutoCommOptions::default()
+    })
+    .compile(&c, &p)
+    .unwrap();
+    assert_eq!(full.metrics.total_comms, plain.metrics.total_comms);
+    assert_eq!(full.metrics.tp_comms, plain.metrics.tp_comms);
+    assert!(plain.schedule.makespan >= full.schedule.makespan);
+}
