@@ -1,10 +1,25 @@
 //! Single-knob AutoComm ablations (paper Fig. 17a–c).
 //!
-//! Each function disables exactly one optimization while keeping the rest
-//! of the pipeline identical, so measured deltas isolate that component.
+//! Each entry point is a *pipeline configuration* — [`Ablation`] applied
+//! to the full option set, compiled through the same pass manager as the
+//! real compiler — so measured deltas isolate exactly one component and
+//! there is no parallel pipeline code to drift.
 
-use autocomm::{AutoComm, AutoCommOptions, CompileError, CompileResult, ScheduleOptions};
+use autocomm::{Ablation, AutoComm, CompileError, CompileResult};
 use dqc_circuit::{Circuit, Partition};
+
+/// Compiles with one [`Ablation`] applied to the full optimization set.
+///
+/// # Errors
+///
+/// See [`AutoComm::compile`].
+pub fn compile_ablated(
+    ablation: Ablation,
+    circuit: &Circuit,
+    partition: &Partition,
+) -> Result<CompileResult, CompileError> {
+    AutoComm::with_ablations(&[ablation]).compile(circuit, partition)
+}
 
 /// Fig. 17(a): aggregation without commutation rules — every remote gate
 /// becomes a singleton block.
@@ -16,11 +31,7 @@ pub fn compile_no_commute(
     circuit: &Circuit,
     partition: &Partition,
 ) -> Result<CompileResult, CompileError> {
-    AutoComm::with_options(AutoCommOptions {
-        commutation_aggregation: false,
-        ..AutoCommOptions::default()
-    })
-    .compile(circuit, partition)
+    compile_ablated(Ablation::NoCommute, circuit, partition)
 }
 
 /// Fig. 17(b): Cat-Comm-only assignment (one EPR pair per single-call
@@ -33,11 +44,7 @@ pub fn compile_cat_only(
     circuit: &Circuit,
     partition: &Partition,
 ) -> Result<CompileResult, CompileError> {
-    AutoComm::with_options(AutoCommOptions {
-        hybrid_assignment: false,
-        ..AutoCommOptions::default()
-    })
-    .compile(circuit, partition)
+    compile_ablated(Ablation::CatOnly, circuit, partition)
 }
 
 /// Fig. 17(c): plain as-soon-as-possible block scheduling — no EPR
@@ -50,11 +57,7 @@ pub fn compile_plain_greedy(
     circuit: &Circuit,
     partition: &Partition,
 ) -> Result<CompileResult, CompileError> {
-    AutoComm::with_options(AutoCommOptions {
-        schedule: ScheduleOptions::plain_greedy(),
-        ..AutoCommOptions::default()
-    })
-    .compile(circuit, partition)
+    compile_ablated(Ablation::PlainGreedy, circuit, partition)
 }
 
 #[cfg(test)]

@@ -31,19 +31,10 @@ mod tests {
 
     #[test]
     fn per_comm_ratio() {
-        let r = BaselineResult {
-            total_comms: 4,
-            makespan: 10.0,
-            total_rem_cx: 4,
-            relocations: 0,
-        };
+        let r = BaselineResult { total_comms: 4, makespan: 10.0, total_rem_cx: 4, relocations: 0 };
         assert_eq!(r.rem_cx_per_comm(), 1.0);
-        let empty = BaselineResult {
-            total_comms: 0,
-            makespan: 0.0,
-            total_rem_cx: 0,
-            relocations: 0,
-        };
+        let empty =
+            BaselineResult { total_comms: 0, makespan: 0.0, total_rem_cx: 0, relocations: 0 };
         assert_eq!(empty.rem_cx_per_comm(), 0.0);
     }
 }

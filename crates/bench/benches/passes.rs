@@ -23,28 +23,17 @@ fn bench_passes(c: &mut Criterion) {
 
     c.bench_function("aggregate/qft-40-4", |b| {
         b.iter(|| {
-            black_box(aggregate(
-                black_box(&unrolled),
-                &partition,
-                AggregateOptions::default(),
-            ))
+            black_box(aggregate(black_box(&unrolled), &partition, AggregateOptions::default()))
         })
     });
 
     let aggregated = aggregate(&unrolled, &partition, AggregateOptions::default());
-    c.bench_function("assign/qft-40-4", |b| {
-        b.iter(|| black_box(assign(black_box(&aggregated))))
-    });
+    c.bench_function("assign/qft-40-4", |b| b.iter(|| black_box(assign(black_box(&aggregated)))));
 
     let assigned = assign(&aggregated);
     c.bench_function("schedule/qft-40-4", |b| {
         b.iter(|| {
-            black_box(schedule(
-                black_box(&assigned),
-                &partition,
-                &hw,
-                ScheduleOptions::default(),
-            ))
+            black_box(schedule(black_box(&assigned), &partition, &hw, ScheduleOptions::default()))
         })
     });
 }
@@ -117,12 +106,7 @@ fn bench_design_choices(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("orientation");
     group.bench_function("on", |b| {
-        b.iter(|| {
-            black_box(autocomm::orient_symmetric_gates(
-                black_box(&circuit),
-                &partition,
-            ))
-        })
+        b.iter(|| black_box(autocomm::orient_symmetric_gates(black_box(&circuit), &partition)))
     });
     group.bench_function("full-pipeline-on", |b| {
         b.iter(|| black_box(AutoComm::new().compile(&circuit, &partition).unwrap()))
@@ -137,11 +121,5 @@ fn bench_design_choices(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_passes,
-    bench_partitioner,
-    bench_end_to_end,
-    bench_design_choices
-);
+criterion_group!(benches, bench_passes, bench_partitioner, bench_end_to_end, bench_design_choices);
 criterion_main!(benches);

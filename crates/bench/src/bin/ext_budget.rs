@@ -19,15 +19,12 @@ fn main() {
         let config = BenchConfig::new(workload, q, n);
         let circuit = generate(&config);
         let partition = oee_mapping(&circuit, n);
-        let stats =
-            CircuitStats::of(&unroll_circuit(&circuit).expect("unrolls"), Some(&partition));
+        let stats = CircuitStats::of(&unroll_circuit(&circuit).expect("unrolls"), Some(&partition));
         let mut cells = vec![config.label()];
         let mut base_latency = None;
         for &budget in &budgets {
             let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(budget);
-            let r = AutoComm::new()
-                .compile_on(&circuit, &partition, &hw)
-                .expect("compiles");
+            let r = AutoComm::new().compile_on(&circuit, &partition, &hw).expect("compiles");
             let base = *base_latency.get_or_insert(r.schedule.makespan);
             let inputs = FidelityModel::inputs_for(
                 stats.num_1q,

@@ -20,12 +20,9 @@ fn main() {
             let partition = oee_mapping(&circuit, n);
             let full = AutoComm::new().compile(&circuit, &partition).unwrap();
             let ablated = compile_cat_only(&circuit, &partition).unwrap();
-            let ratio =
-                ablated.metrics.total_comms as f64 / full.metrics.total_comms.max(1) as f64;
-            let published = paper::FIG17B
-                .iter()
-                .find(|(w, _)| *w == workload.name())
-                .map(|(_, v)| v[i.min(2)]);
+            let ratio = ablated.metrics.total_comms as f64 / full.metrics.total_comms.max(1) as f64;
+            let published =
+                paper::FIG17B.iter().find(|(w, _)| *w == workload.name()).map(|(_, v)| v[i.min(2)]);
             rows.push(vec![
                 config.label(),
                 ablated.metrics.total_comms.to_string(),

@@ -21,10 +21,8 @@ fn main() {
             let full = AutoComm::new().compile(&circuit, &partition).unwrap();
             let ablated = compile_plain_greedy(&circuit, &partition).unwrap();
             let ratio = ablated.schedule.makespan / full.schedule.makespan.max(1e-9);
-            let published = paper::FIG17C
-                .iter()
-                .find(|(w, _)| *w == workload.name())
-                .map(|(_, v)| v[i.min(2)]);
+            let published =
+                paper::FIG17C.iter().find(|(w, _)| *w == workload.name()).map(|(_, v)| v[i.min(2)]);
             rows.push(vec![
                 config.label(),
                 format!("{:.0}", ablated.schedule.makespan),

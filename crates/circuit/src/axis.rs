@@ -6,10 +6,10 @@
 //! captured uniformly by classifying how a gate acts on each of its qubit
 //! operands:
 //!
-//! * [`AxisBehavior::ZDiag`]: the gate can be written as
+//! * [`AxisBehavior::ZDiag`] — the gate can be written as
 //!   `Σ_b |b⟩⟨b| ⊗ U_b` on that qubit (diagonal in the computational basis);
-//! * [`AxisBehavior::XDiag`]: likewise in the |±⟩ basis;
-//! * [`AxisBehavior::Opaque`]: neither.
+//! * [`AxisBehavior::XDiag`] — likewise in the |±⟩ basis;
+//! * [`AxisBehavior::Opaque`] — neither.
 //!
 //! Two gates sharing qubits commute whenever, on every shared qubit, their
 //! behaviors match in some diagonal basis (both `ZDiag` or both `XDiag`) —

@@ -87,10 +87,7 @@ impl Circuit {
         }
         for c in [gate.cbit(), gate.condition()].into_iter().flatten() {
             if c.index() >= self.num_cbits {
-                return Err(CircuitError::CBitOutOfRange {
-                    cbit: c,
-                    num_cbits: self.num_cbits,
-                });
+                return Err(CircuitError::CBitOutOfRange { cbit: c, num_cbits: self.num_cbits });
             }
         }
         self.gates.push(gate);
@@ -212,9 +209,7 @@ mod tests {
         assert!(c.push(Gate::measure(q(0), CBitId::new(0))).is_ok());
         let err = c.push(Gate::measure(q(0), CBitId::new(1))).unwrap_err();
         assert!(matches!(err, CircuitError::CBitOutOfRange { .. }));
-        let err = c
-            .push(Gate::x(q(0)).with_condition(CBitId::new(9)))
-            .unwrap_err();
+        let err = c.push(Gate::x(q(0)).with_condition(CBitId::new(9))).unwrap_err();
         assert!(matches!(err, CircuitError::CBitOutOfRange { .. }));
     }
 

@@ -70,10 +70,7 @@ pub fn commutes(a: &Gate, b: &Gate) -> bool {
 }
 
 /// Whether `gate` commutes with every gate in `others`.
-pub fn commutes_with_all<'a>(
-    gate: &Gate,
-    others: impl IntoIterator<Item = &'a Gate>,
-) -> bool {
+pub fn commutes_with_all<'a>(gate: &Gate, others: impl IntoIterator<Item = &'a Gate>) -> bool {
     others.into_iter().all(|g| commutes(gate, g))
 }
 

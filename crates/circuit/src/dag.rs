@@ -10,9 +10,9 @@
 //!   AutoComm aggregation pass navigates implicitly, exposed here for
 //!   analysis and for latency-weighted lower bounds.
 
-use crate::{commutes, Circuit, Gate};
 #[cfg(test)]
 use crate::QubitId;
+use crate::{commutes, Circuit, Gate};
 
 /// A directed acyclic dependency graph over gate indices of a circuit.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,16 +47,16 @@ impl DependencyDag {
         // commutation-aware build we keep the chain of gates on the wire and
         // link against the nearest non-commuting one.
         let mut wire_history: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits()];
-        let mut cbit_history: Vec<Vec<usize>> =
-            vec![Vec::new(); circuit.num_cbits().max(1)];
+        let mut cbit_history: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_cbits().max(1)];
         let gates = circuit.gates();
         for (i, gate) in gates.iter().enumerate() {
-            let add_edge = |from: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
-                if !preds[i].contains(&from) {
-                    preds[i].push(from);
-                    succs[from].push(i);
-                }
-            };
+            let add_edge =
+                |from: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+                    if !preds[i].contains(&from) {
+                        preds[i].push(from);
+                        succs[from].push(i);
+                    }
+                };
             for &q in gate.qubits() {
                 for &j in wire_history[q.index()].iter().rev() {
                     if depends(&gates[j], gate) {

@@ -226,11 +226,7 @@ impl Gate {
                 });
             }
         } else if kind == GateKind::Mcx && qubits.is_empty() {
-            return Err(CircuitError::ArityMismatch {
-                kind: kind.name(),
-                expected: 1,
-                actual: 0,
-            });
+            return Err(CircuitError::ArityMismatch { kind: kind.name(), expected: 1, actual: 0 });
         }
         if params.len() != kind.num_params() {
             return Err(CircuitError::ArityMismatch {
@@ -523,10 +519,7 @@ impl Gate {
         let mut g = self.clone();
         g.qubits = self.qubits.iter().map(|&q| f(q)).collect();
         for (i, q) in g.qubits.iter().enumerate() {
-            assert!(
-                !g.qubits[..i].contains(q),
-                "qubit remapping created duplicate operand {q}"
-            );
+            assert!(!g.qubits[..i].contains(q), "qubit remapping created duplicate operand {q}");
         }
         g
     }
@@ -633,10 +626,7 @@ mod tests {
     fn display_round_trips_visually() {
         assert_eq!(Gate::cx(q(0), q(1)).to_string(), "cx q0,q1");
         assert_eq!(Gate::rz(0.5, q(2)).to_string(), "rz(0.5000) q2");
-        assert_eq!(
-            Gate::measure(q(1), CBitId::new(0)).to_string(),
-            "measure q1 -> c0"
-        );
+        assert_eq!(Gate::measure(q(1), CBitId::new(0)).to_string(), "measure q1 -> c0");
     }
 
     #[test]

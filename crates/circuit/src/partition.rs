@@ -34,10 +34,7 @@ impl Partition {
     ///
     /// Returns [`CircuitError::InvalidPartition`] if `num_nodes` is zero or
     /// any entry references a node `>= num_nodes`.
-    pub fn from_assignment(
-        node_of: Vec<NodeId>,
-        num_nodes: usize,
-    ) -> Result<Self, CircuitError> {
+    pub fn from_assignment(node_of: Vec<NodeId>, num_nodes: usize) -> Result<Self, CircuitError> {
         if num_nodes == 0 {
             return Err(CircuitError::InvalidPartition {
                 reason: "node count must be positive".into(),
@@ -66,9 +63,7 @@ impl Partition {
             });
         }
         let per = num_qubits.div_ceil(num_nodes);
-        let node_of = (0..num_qubits)
-            .map(|q| NodeId::new((q / per).min(num_nodes - 1)))
-            .collect();
+        let node_of = (0..num_qubits).map(|q| NodeId::new((q / per).min(num_nodes - 1))).collect();
         Ok(Partition { node_of, num_nodes })
     }
 
@@ -158,8 +153,7 @@ impl Partition {
     /// Maximum node load minus minimum node load; 0 or 1 for balanced
     /// partitions.
     pub fn imbalance(&self) -> usize {
-        let loads: Vec<usize> =
-            (0..self.num_nodes).map(|n| self.load_of(NodeId::new(n))).collect();
+        let loads: Vec<usize> = (0..self.num_nodes).map(|n| self.load_of(NodeId::new(n))).collect();
         let max = loads.iter().copied().max().unwrap_or(0);
         let min = loads.iter().copied().min().unwrap_or(0);
         max - min

@@ -93,10 +93,7 @@ pub fn from_qasm(text: &str) -> Result<Circuit, QasmParseError> {
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = strip_comment(raw).trim();
-        if line.is_empty()
-            || line.starts_with("OPENQASM")
-            || line.starts_with("include")
-        {
+        if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
             continue;
         }
         let stmt = line.strip_suffix(';').ok_or_else(|| QasmParseError::Syntax {
@@ -276,20 +273,62 @@ fn parse_gate(body: &str, line: usize) -> Result<Gate, QasmParseError> {
     };
 
     let gate = match name {
-        "id" => { expect(1)?; Gate::i(q(0)) }
-        "h" => { expect(1)?; Gate::h(q(0)) }
-        "x" => { expect(1)?; Gate::x(q(0)) }
-        "y" => { expect(1)?; Gate::y(q(0)) }
-        "z" => { expect(1)?; Gate::z(q(0)) }
-        "s" => { expect(1)?; Gate::s(q(0)) }
-        "sdg" => { expect(1)?; Gate::sdg(q(0)) }
-        "t" => { expect(1)?; Gate::t(q(0)) }
-        "tdg" => { expect(1)?; Gate::tdg(q(0)) }
-        "sx" => { expect(1)?; Gate::sx(q(0)) }
-        "rx" => { expect(1)?; Gate::rx(theta(&params)?, q(0)) }
-        "ry" => { expect(1)?; Gate::ry(theta(&params)?, q(0)) }
-        "rz" => { expect(1)?; Gate::rz(theta(&params)?, q(0)) }
-        "p" | "u1" => { expect(1)?; Gate::phase(theta(&params)?, q(0)) }
+        "id" => {
+            expect(1)?;
+            Gate::i(q(0))
+        }
+        "h" => {
+            expect(1)?;
+            Gate::h(q(0))
+        }
+        "x" => {
+            expect(1)?;
+            Gate::x(q(0))
+        }
+        "y" => {
+            expect(1)?;
+            Gate::y(q(0))
+        }
+        "z" => {
+            expect(1)?;
+            Gate::z(q(0))
+        }
+        "s" => {
+            expect(1)?;
+            Gate::s(q(0))
+        }
+        "sdg" => {
+            expect(1)?;
+            Gate::sdg(q(0))
+        }
+        "t" => {
+            expect(1)?;
+            Gate::t(q(0))
+        }
+        "tdg" => {
+            expect(1)?;
+            Gate::tdg(q(0))
+        }
+        "sx" => {
+            expect(1)?;
+            Gate::sx(q(0))
+        }
+        "rx" => {
+            expect(1)?;
+            Gate::rx(theta(&params)?, q(0))
+        }
+        "ry" => {
+            expect(1)?;
+            Gate::ry(theta(&params)?, q(0))
+        }
+        "rz" => {
+            expect(1)?;
+            Gate::rz(theta(&params)?, q(0))
+        }
+        "p" | "u1" => {
+            expect(1)?;
+            Gate::phase(theta(&params)?, q(0))
+        }
         "u3" | "u" => {
             expect(1)?;
             if params.len() != 3 {
@@ -300,22 +339,44 @@ fn parse_gate(body: &str, line: usize) -> Result<Gate, QasmParseError> {
             }
             Gate::u3(params[0], params[1], params[2], q(0))
         }
-        "cx" | "CX" => { expect(2)?; Gate::cx(q(0), q(1)) }
-        "cz" => { expect(2)?; Gate::cz(q(0), q(1)) }
-        "swap" => { expect(2)?; Gate::swap(q(0), q(1)) }
-        "crz" => { expect(2)?; Gate::crz(theta(&params)?, q(0), q(1)) }
-        "cp" | "cu1" => { expect(2)?; Gate::cp(theta(&params)?, q(0), q(1)) }
-        "rzz" => { expect(2)?; Gate::rzz(theta(&params)?, q(0), q(1)) }
-        "ccx" => { expect(3)?; Gate::ccx(q(0), q(1), q(2)) }
+        "cx" | "CX" => {
+            expect(2)?;
+            Gate::cx(q(0), q(1))
+        }
+        "cz" => {
+            expect(2)?;
+            Gate::cz(q(0), q(1))
+        }
+        "swap" => {
+            expect(2)?;
+            Gate::swap(q(0), q(1))
+        }
+        "crz" => {
+            expect(2)?;
+            Gate::crz(theta(&params)?, q(0), q(1))
+        }
+        "cp" | "cu1" => {
+            expect(2)?;
+            Gate::cp(theta(&params)?, q(0), q(1))
+        }
+        "rzz" => {
+            expect(2)?;
+            Gate::rzz(theta(&params)?, q(0), q(1))
+        }
+        "ccx" => {
+            expect(3)?;
+            Gate::ccx(q(0), q(1), q(2))
+        }
         "mcx" => {
             let (controls, target) = operands.split_at(arity - 1);
             Gate::mcx(controls, target[0])
         }
-        "reset" => { expect(1)?; Gate::reset(q(0)) }
-        "barrier" => Gate::barrier(&operands),
-        other => {
-            return Err(QasmParseError::UnsupportedGate { line, name: other.into() })
+        "reset" => {
+            expect(1)?;
+            Gate::reset(q(0))
         }
+        "barrier" => Gate::barrier(&operands),
+        other => return Err(QasmParseError::UnsupportedGate { line, name: other.into() }),
     };
     Ok(gate)
 }

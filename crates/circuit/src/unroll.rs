@@ -179,10 +179,7 @@ fn mcx_to_toffolis(
 
 /// Qubits in `0..num_qubits` that are neither controls nor the target.
 fn free_qubits(controls: &[QubitId], target: QubitId, num_qubits: usize) -> Vec<QubitId> {
-    (0..num_qubits)
-        .map(QubitId::new)
-        .filter(|q| *q != target && !controls.contains(q))
-        .collect()
+    (0..num_qubits).map(QubitId::new).filter(|q| *q != target && !controls.contains(q)).collect()
 }
 
 /// Barenco Lemma 7.2 V-chain: `4(n-2)` Toffolis with `n-2` dirty ancillas.
@@ -243,9 +240,7 @@ mod tests {
     }
 
     fn in_basis(gates: &[Gate]) -> bool {
-        gates.iter().all(|g| {
-            g.num_qubits() == 1 || g.kind() == GateKind::Cx
-        })
+        gates.iter().all(|g| g.num_qubits() == 1 || g.kind() == GateKind::Cx)
     }
 
     #[test]

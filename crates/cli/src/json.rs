@@ -1,0 +1,130 @@
+//! Minimal JSON document builder (the container is offline, so no serde).
+
+use std::fmt;
+
+/// A JSON value, rendered via [`fmt::Display`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Number(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An ordered object (insertion order preserved).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn string<S: Into<String>>(s: S) -> Json {
+        Json::String(s.into())
+    }
+
+    /// A numeric value.
+    pub fn number(n: f64) -> Json {
+        Json::Number(n)
+    }
+
+    /// An array from any iterator of values.
+    pub fn array<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keeping their order.
+    pub fn object<'a, I: IntoIterator<Item = (&'a str, Json)>>(fields: I) -> Json {
+        Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(n) if !n.is_finite() => f.write_str("null"),
+            // Integers render without a trailing ".0" so counts look like
+            // counts.
+            Json::Number(n) if n.fract() == 0.0 && n.abs() < 9e15 => {
+                write!(f, "{}", *n as i64)
+            }
+            Json::Number(n) => write!(f, "{n}"),
+            Json::String(s) => write_escaped(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::object([
+            ("name", Json::string("qft")),
+            ("n", Json::number(16.0)),
+            ("ratio", Json::number(2.5)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::array([Json::number(1.0), Json::number(2.0)])),
+        ]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"name":"qft","n":16,"ratio":2.5,"ok":true,"none":null,"xs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::string("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::string("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(Json::number(f64::NAN).to_string(), "null");
+        assert_eq!(Json::number(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -1,0 +1,399 @@
+//! Library behind the `autocomm` binary.
+//!
+//! The CLI drives the whole reproduction end to end: OpenQASM-2 parsing
+//! (`dqc-circuit`) → qubit partitioning (block or OEE, `dqc-partition`) →
+//! the pass-manager pipeline (`autocomm`) → Table-3-style metrics, as
+//! either a human-readable report or JSON. All argument parsing and JSON
+//! emission is hand-rolled: the build container is offline, so no `clap`
+//! or `serde`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::fmt;
+use std::path::PathBuf;
+
+use autocomm::{Ablation, AutoComm, CompileResult};
+use dqc_circuit::{from_qasm, unroll_circuit, Circuit, CircuitStats, Partition};
+use dqc_hardware::HardwareSpec;
+use dqc_partition::{oee_partition, InteractionGraph};
+
+use crate::json::Json;
+
+/// Everything that can go wrong while running the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the message is usage-style.
+    Usage(String),
+    /// The input file could not be read.
+    Io(PathBuf, std::io::Error),
+    /// The input was not valid OpenQASM-2 or failed to compile.
+    Compile(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(path, e) => write!(f, "cannot read {}: {e}", path.display()),
+            CliError::Compile(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// How the logical qubits are spread over nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Contiguous blocks of equal size (deterministic, layout-agnostic).
+    Block,
+    /// The paper's Static Overall Extreme Exchange refinement.
+    Oee,
+}
+
+/// Parsed `autocomm compile` invocation.
+#[derive(Clone, Debug)]
+pub struct CompileArgs {
+    /// The OpenQASM-2 input file.
+    pub file: PathBuf,
+    /// Number of hardware nodes.
+    pub nodes: usize,
+    /// Communication qubits per node (the paper's budget is 2).
+    pub comm_qubits: usize,
+    /// Partitioning strategy (default: OEE, as in the paper).
+    pub strategy: PartitionStrategy,
+    /// Ablations applied to the full optimization set.
+    pub ablations: Vec<Ablation>,
+    /// Emit JSON instead of the human-readable report.
+    pub json: bool,
+}
+
+/// The usage text printed by `autocomm help` and on usage errors.
+pub const USAGE: &str = "\
+autocomm — communication-optimizing compiler for distributed quantum programs
+          (reproduction of AutoComm, Wu et al., MICRO 2022)
+
+USAGE:
+    autocomm compile <file.qasm> --nodes <N> [OPTIONS]
+    autocomm help
+
+OPTIONS:
+    --nodes <N>          number of hardware nodes (required)
+    --comm-qubits <K>    communication qubits per node [default: 2]
+    --partition <S>      qubit partitioning: 'oee' or 'block' [default: oee]
+    --ablation <A>       disable one optimization; repeatable and
+                         comma-separable. One of: no-commute, cat-only,
+                         plain-greedy, no-orient (paper Fig. 17)
+    --json               emit machine-readable JSON on stdout
+";
+
+impl CompileArgs {
+    /// Parses the arguments following the `compile` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on unknown flags, malformed values, or a
+    /// missing file/`--nodes`.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<CompileArgs, CliError> {
+        let mut file = None;
+        let mut nodes = None;
+        let mut comm_qubits = 2usize;
+        let mut strategy = PartitionStrategy::Oee;
+        let mut ablations = Vec::new();
+        let mut json = false;
+
+        let usage = |msg: String| CliError::Usage(format!("{msg}\n\n{USAGE}"));
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut value_for =
+                |flag: &str| iter.next().ok_or_else(|| usage(format!("{flag} needs a value")));
+            match arg.as_str() {
+                "--nodes" => {
+                    let v = value_for("--nodes")?;
+                    nodes = Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        usage(format!("--nodes: '{v}' is not a positive integer"))
+                    })?);
+                }
+                "--comm-qubits" => {
+                    let v = value_for("--comm-qubits")?;
+                    comm_qubits = v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        usage(format!("--comm-qubits: '{v}' is not a positive integer"))
+                    })?;
+                }
+                "--partition" => {
+                    let v = value_for("--partition")?;
+                    strategy = match v.as_str() {
+                        "block" => PartitionStrategy::Block,
+                        "oee" => PartitionStrategy::Oee,
+                        other => {
+                            return Err(usage(format!(
+                            "--partition: unknown strategy '{other}' (expected 'oee' or 'block')"
+                        )))
+                        }
+                    };
+                }
+                "--ablation" => {
+                    let v = value_for("--ablation")?;
+                    for name in v.split(',').filter(|s| !s.is_empty()) {
+                        let ablation = Ablation::parse(name).ok_or_else(|| {
+                            let known: Vec<&str> =
+                                Ablation::all().iter().map(|a| a.name()).collect();
+                            usage(format!(
+                                "--ablation: unknown ablation '{name}' (expected one of {})",
+                                known.join(", ")
+                            ))
+                        })?;
+                        if !ablations.contains(&ablation) {
+                            ablations.push(ablation);
+                        }
+                    }
+                }
+                "--json" => json = true,
+                flag if flag.starts_with('-') => {
+                    return Err(usage(format!("unknown option '{flag}'")));
+                }
+                positional => {
+                    if file.replace(PathBuf::from(positional)).is_some() {
+                        return Err(usage(format!(
+                            "unexpected extra argument '{positional}' (one input file expected)"
+                        )));
+                    }
+                }
+            }
+        }
+
+        Ok(CompileArgs {
+            file: file.ok_or_else(|| usage("missing <file.qasm> input".into()))?,
+            nodes: nodes.ok_or_else(|| usage("missing required --nodes <N>".into()))?,
+            comm_qubits,
+            strategy,
+            ablations,
+            json,
+        })
+    }
+}
+
+/// The compiled program plus everything the report needs.
+#[derive(Clone, Debug)]
+pub struct CompileReport {
+    /// The parsed arguments.
+    pub args: CompileArgs,
+    /// Unrolled-circuit statistics under the chosen partition.
+    pub stats: CircuitStats,
+    /// The partition the program was compiled against.
+    pub partition: Partition,
+    /// The full pipeline result (metrics, schedule, per-pass reports).
+    pub result: CompileResult,
+}
+
+/// Parses, partitions, and compiles `args.file` end to end.
+///
+/// # Errors
+///
+/// Surfaces I/O, QASM, partitioning, and pipeline failures as [`CliError`].
+pub fn compile(args: CompileArgs) -> Result<CompileReport, CliError> {
+    let text =
+        std::fs::read_to_string(&args.file).map_err(|e| CliError::Io(args.file.clone(), e))?;
+    let circuit =
+        from_qasm(&text).map_err(|e| CliError::Compile(format!("{}: {e}", args.file.display())))?;
+    if circuit.num_qubits() < args.nodes {
+        return Err(CliError::Compile(format!(
+            "cannot spread {} qubits over {} nodes",
+            circuit.num_qubits(),
+            args.nodes
+        )));
+    }
+    let partition = build_partition(&circuit, args.nodes, args.strategy)?;
+    let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(args.comm_qubits);
+    let result = AutoComm::with_ablations(&args.ablations)
+        .compile_on(&circuit, &partition, &hw)
+        .map_err(|e| CliError::Compile(e.to_string()))?;
+    let stats = CircuitStats::of(&result.unrolled, Some(&partition));
+    Ok(CompileReport { args, stats, partition, result })
+}
+
+fn build_partition(
+    circuit: &Circuit,
+    nodes: usize,
+    strategy: PartitionStrategy,
+) -> Result<Partition, CliError> {
+    match strategy {
+        PartitionStrategy::Block => Partition::block(circuit.num_qubits(), nodes)
+            .map_err(|e| CliError::Compile(e.to_string())),
+        PartitionStrategy::Oee => {
+            let unrolled = unroll_circuit(circuit).map_err(|e| CliError::Compile(e.to_string()))?;
+            let graph = InteractionGraph::from_circuit(&unrolled);
+            oee_partition(&graph, nodes).map_err(|e| CliError::Compile(e.to_string()))
+        }
+    }
+}
+
+impl CompileReport {
+    /// The machine-readable form emitted under `--json`.
+    pub fn to_json(&self) -> Json {
+        let m = &self.result.metrics;
+        let s = &self.result.schedule;
+        Json::object([
+            ("file", Json::string(self.args.file.display().to_string())),
+            ("nodes", Json::number(self.args.nodes as f64)),
+            ("comm_qubits", Json::number(self.args.comm_qubits as f64)),
+            (
+                "partition",
+                Json::string(match self.args.strategy {
+                    PartitionStrategy::Block => "block",
+                    PartitionStrategy::Oee => "oee",
+                }),
+            ),
+            ("ablations", Json::array(self.args.ablations.iter().map(|a| Json::string(a.name())))),
+            (
+                "circuit",
+                Json::object([
+                    ("qubits", Json::number(self.partition.num_qubits() as f64)),
+                    ("gates", Json::number(self.stats.num_gates as f64)),
+                    ("two_qubit_gates", Json::number(self.stats.num_2q as f64)),
+                    ("remote_cx", Json::number(self.stats.num_remote_2q as f64)),
+                ]),
+            ),
+            (
+                "metrics",
+                Json::object([
+                    ("total_comms", Json::number(m.total_comms as f64)),
+                    ("tp_comms", Json::number(m.tp_comms as f64)),
+                    ("cat_comms", Json::number((m.total_comms - m.tp_comms) as f64)),
+                    ("total_rem_cx", Json::number(m.total_rem_cx as f64)),
+                    ("peak_rem_cx", Json::number(m.peak_rem_cx)),
+                    ("num_blocks", Json::number(m.num_blocks as f64)),
+                    ("improvement_factor", Json::number(m.improvement_factor())),
+                ]),
+            ),
+            (
+                "schedule",
+                Json::object([
+                    ("makespan", Json::number(s.makespan)),
+                    ("epr_pairs", Json::number(s.epr_pairs as f64)),
+                    ("fusion_savings", Json::number(s.fusion_savings as f64)),
+                ]),
+            ),
+            (
+                "passes",
+                Json::array(self.result.passes.iter().map(|p| {
+                    Json::object([
+                        ("pass", Json::string(p.pass)),
+                        ("micros", Json::number(p.duration.as_secs_f64() * 1e6)),
+                        ("metric", p.metric.clone().map_or(Json::Null, Json::string)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// The human-readable report.
+    pub fn to_text(&self) -> String {
+        let m = &self.result.metrics;
+        let s = &self.result.schedule;
+        let mut out = String::new();
+        let line = |out: &mut String, k: &str, v: String| {
+            out.push_str(&format!("  {k:<22} {v}\n"));
+        };
+        out.push_str(&format!("compiled {}\n", self.args.file.display()));
+        line(
+            &mut out,
+            "qubits / nodes",
+            format!("{} / {}", self.partition.num_qubits(), self.args.nodes),
+        );
+        line(&mut out, "gates (unrolled)", self.stats.num_gates.to_string());
+        line(&mut out, "remote CX", self.stats.num_remote_2q.to_string());
+        if !self.args.ablations.is_empty() {
+            let names: Vec<&str> = self.args.ablations.iter().map(|a| a.name()).collect();
+            line(&mut out, "ablations", names.join(", "));
+        }
+        out.push_str("metrics (paper Table 3)\n");
+        line(&mut out, "Tot Comm", m.total_comms.to_string());
+        line(&mut out, "TP-Comm", m.tp_comms.to_string());
+        line(&mut out, "Peak # REM CX", format!("{:.2}", m.peak_rem_cx));
+        line(&mut out, "improv. factor", format!("{:.2}x", m.improvement_factor()));
+        line(&mut out, "makespan (CX units)", format!("{:.1}", s.makespan));
+        line(&mut out, "EPR pairs", s.epr_pairs.to_string());
+        out.push_str("passes\n");
+        for p in &self.result.passes {
+            let metric = p.metric.as_deref().unwrap_or("-");
+            out.push_str(&format!(
+                "  {:<10} {:>9.1} us  {metric}\n",
+                p.pass,
+                p.duration.as_secs_f64() * 1e6
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CompileArgs, CliError> {
+        CompileArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let args = parse(&[
+            "bv.qasm",
+            "--nodes",
+            "4",
+            "--comm-qubits",
+            "3",
+            "--partition",
+            "block",
+            "--ablation",
+            "no-commute,cat-only",
+            "--ablation",
+            "plain-greedy",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(args.file, PathBuf::from("bv.qasm"));
+        assert_eq!(args.nodes, 4);
+        assert_eq!(args.comm_qubits, 3);
+        assert_eq!(args.strategy, PartitionStrategy::Block);
+        assert_eq!(
+            args.ablations,
+            vec![Ablation::NoCommute, Ablation::CatOnly, Ablation::PlainGreedy]
+        );
+        assert!(args.json);
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let args = parse(&["c.qasm", "--nodes", "2"]).unwrap();
+        assert_eq!(args.comm_qubits, 2);
+        assert_eq!(args.strategy, PartitionStrategy::Oee);
+        assert!(args.ablations.is_empty());
+        assert!(!args.json);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        for bad in [
+            &["--nodes", "2"][..],                     // no file
+            &["c.qasm"][..],                           // no nodes
+            &["c.qasm", "--nodes", "0"][..],           // zero nodes
+            &["c.qasm", "--nodes", "x"][..],           // non-numeric
+            &["c.qasm", "--nodes", "2", "--frob"][..], // unknown flag
+            &["a.qasm", "b.qasm", "--nodes", "2"][..], // two files
+            &["c.qasm", "--nodes", "2", "--ablation", "bogus"][..],
+            &["c.qasm", "--nodes", "2", "--partition", "spectral"][..],
+        ] {
+            assert!(matches!(parse(bad), Err(CliError::Usage(_))), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let args = parse(&["/nonexistent/x.qasm", "--nodes", "2"]).unwrap();
+        assert!(matches!(compile(args), Err(CliError::Io(_, _))));
+    }
+}

@@ -1,0 +1,45 @@
+//! The `autocomm` command-line compiler.
+//!
+//! `autocomm compile <file.qasm> --nodes N [--ablation ...] [--json]`
+//! drives QASM parsing → partitioning → the pass-manager pipeline →
+//! metrics end to end. See [`dqc_cli::USAGE`] for the full surface.
+
+use std::process::ExitCode;
+
+use dqc_cli::{compile, CliError, CompileArgs, USAGE};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("compile") => match CompileArgs::parse(args).and_then(compile) {
+            Ok(report) => {
+                if report.args.json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.to_text());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(CliError::Usage(msg)) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("autocomm: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("autocomm: unknown command '{other}'\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end smoke tests of the `autocomm` binary: compile a real QASM
+//! file and check both output modes and the JSON metrics shape.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qasm_fixture(name: &str, circuit: &dqc_circuit::Circuit) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("autocomm-cli-{name}-{}.qasm", std::process::id()));
+    std::fs::write(&path, dqc_circuit::to_qasm(circuit)).expect("write fixture");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_autocomm")).args(args).output().expect("binary runs")
+}
+
+/// Pulls `"key":<number>` out of a flat JSON rendering.
+fn json_number(json: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle).unwrap_or_else(|| panic!("{key} missing in {json}"));
+    let rest = &json[at + needle.len()..];
+    let end = rest.find([',', '}', ']']).expect("value terminated");
+    rest[..end].parse().unwrap_or_else(|_| panic!("{key} not numeric in {json}"))
+}
+
+#[test]
+fn compiles_qft_and_reports_json_metrics() {
+    let path = qasm_fixture("qft", &dqc_workloads::qft(12));
+    let out = run(&["compile", path.to_str().unwrap(), "--nodes", "4", "--json"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8(out.stdout).unwrap();
+
+    // Table-3 shape: every headline metric present and consistent.
+    let total = json_number(&json, "total_comms");
+    let tp = json_number(&json, "tp_comms");
+    let cat = json_number(&json, "cat_comms");
+    let rem = json_number(&json, "total_rem_cx");
+    assert!(total > 0.0, "QFT over 4 nodes must communicate: {json}");
+    assert_eq!(tp + cat, total);
+    assert!(rem >= total, "aggregation never issues more comms than remote CXs");
+    assert!(json_number(&json, "improvement_factor") >= 1.0);
+    assert!(json_number(&json, "makespan") > 0.0);
+    assert!(json_number(&json, "epr_pairs") > 0.0);
+    // The pass-manager trace is visible end to end.
+    for pass in ["orient", "unroll", "aggregate", "assign", "metrics", "schedule"] {
+        assert!(json.contains(&format!("\"pass\":\"{pass}\"")), "{pass} missing in {json}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn ablation_flags_change_the_pipeline() {
+    let path = qasm_fixture("ablate", &dqc_workloads::qft(10));
+    let file = path.to_str().unwrap();
+    let full = run(&["compile", file, "--nodes", "2", "--json"]);
+    let ablated =
+        run(&["compile", file, "--nodes", "2", "--json", "--ablation", "no-commute,cat-only"]);
+    assert!(full.status.success() && ablated.status.success());
+    let full = String::from_utf8(full.stdout).unwrap();
+    let ablated = String::from_utf8(ablated.stdout).unwrap();
+    assert!(
+        json_number(&ablated, "total_comms") >= json_number(&full, "total_comms"),
+        "ablations must not beat the full compiler:\n{full}\n{ablated}"
+    );
+    assert!(ablated.contains("\"ablations\":[\"no-commute\",\"cat-only\"]"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn human_report_prints_table3_metrics() {
+    let path = qasm_fixture("human", &dqc_workloads::bv(9));
+    let out = run(&["compile", path.to_str().unwrap(), "--nodes", "3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in ["Tot Comm", "TP-Comm", "improv. factor", "passes", "aggregate"] {
+        assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bad_usage_exits_2_with_usage_text() {
+    let out = run(&["compile", "x.qasm"]); // no --nodes
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unreadable_input_exits_1() {
+    let out = run(&["compile", "/nonexistent.qasm", "--nodes", "2"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

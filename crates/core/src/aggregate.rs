@@ -125,9 +125,7 @@ pub fn aggregate(
     // Rank pairs by remote-gate count (preprocessing order).
     let stats = pair_stats(circuit, partition);
     let mut pairs: Vec<((QubitId, NodeId), usize)> = stats.into_iter().collect();
-    pairs.sort_by(|a, b| {
-        b.1.cmp(&a.1).then_with(|| (a.0 .0, a.0 .1).cmp(&(b.0 .0, b.0 .1)))
-    });
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0 .0, a.0 .1).cmp(&(b.0 .0, b.0 .1))));
 
     // Occurrence lists: pair → original gate indices (arena slot ids).
     let mut occurrences: HashMap<(QubitId, NodeId), Vec<usize>> = HashMap::new();
@@ -169,11 +167,7 @@ pub fn aggregate_no_commute(circuit: &Circuit, partition: &Partition) -> Aggrega
             }
         })
         .collect();
-    AggregatedProgram {
-        items,
-        num_qubits: circuit.num_qubits(),
-        num_cbits: circuit.num_cbits(),
-    }
+    AggregatedProgram { items, num_qubits: circuit.num_qubits(), num_cbits: circuit.num_cbits() }
 }
 
 // ---------------------------------------------------------------------------
@@ -250,9 +244,7 @@ fn item_gates(item: &Item) -> &[Gate] {
 }
 
 fn item_commutes_with_gates(item: &Item, gates: &[Gate]) -> bool {
-    item_gates(item)
-        .iter()
-        .all(|a| gates.iter().all(|b| commutes(a, b)))
+    item_gates(item).iter().all(|a| gates.iter().all(|b| commutes(a, b)))
 }
 
 /// Builds blocks for one qubit-node pair along its occurrence list.
@@ -299,8 +291,7 @@ fn process_pair(
         let mut block = CommBlock::new(q, node);
         block.push(first_gate);
         arena.slots[start] = Some(Item::Block(CommBlock::new(q, node))); // placeholder
-        let mut block_qubits: HashSet<QubitId> =
-            block.involved_qubits().into_iter().collect();
+        let mut block_qubits: HashSet<QubitId> = block.involved_qubits().into_iter().collect();
 
         // Deferred items: stay physically in place (after the block slot).
         let mut deferred: Vec<usize> = Vec::new();
@@ -308,10 +299,7 @@ fn process_pair(
 
         let mut cur = arena.next[start];
         let sentinel = arena.sentinel();
-        let mut remaining = live[idx + 1..]
-            .iter()
-            .filter(|s| live_set.contains(s))
-            .count();
+        let mut remaining = live[idx + 1..].iter().filter(|s| live_set.contains(s)).count();
 
         while cur != sentinel && remaining > 0 && cur <= last_slot {
             let nxt = arena.next[cur];
@@ -340,9 +328,10 @@ fn process_pair(
             } else if arena.slots[cur].is_some() {
                 let item = arena.slots[cur].as_ref().expect("live");
                 let disjoint_fast = item_gates(item).iter().all(|g| {
-                    g.qubits().iter().all(|x| {
-                        !block_qubits.contains(x) && !deferred_qubits.contains(x)
-                    }) && g.cbit().is_none()
+                    g.qubits()
+                        .iter()
+                        .all(|x| !block_qubits.contains(x) && !deferred_qubits.contains(x))
+                        && g.cbit().is_none()
                         && g.condition().is_none()
                 });
                 let can_hoist = disjoint_fast
@@ -365,10 +354,7 @@ fn process_pair(
                                     .all(|&x| x == q || partition.node_of(x) == node)
                                 && deferred.iter().all(|&d| {
                                     let dit = arena.slots[d].as_ref().expect("live");
-                                    item_commutes_with_gates(
-                                        dit,
-                                        std::slice::from_ref(g),
-                                    )
+                                    item_commutes_with_gates(dit, std::slice::from_ref(g))
                                 })
                         }
                         Item::Block(_) => false,
@@ -494,8 +480,7 @@ mod tests {
         c.push(Gate::cx(q(1), q(4))).unwrap();
         c.push(Gate::cx(q(0), q(3))).unwrap();
         let agg = aggregate_default(&c, &p);
-        let pair0_blocks: Vec<_> =
-            agg.blocks().filter(|b| b.qubit() == q(0)).collect();
+        let pair0_blocks: Vec<_> = agg.blocks().filter(|b| b.qubit() == q(0)).collect();
         assert_eq!(pair0_blocks.len(), 1);
         assert_eq!(pair0_blocks[0].remote_gate_count(), 2);
     }

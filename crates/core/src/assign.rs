@@ -177,20 +177,11 @@ fn assign_with(program: &AggregatedProgram, hybrid: bool) -> AssignedProgram {
                 } else {
                     (Scheme::Cat(orientation), segments)
                 };
-                AssignedItem::Block(AssignedBlock {
-                    block: b.clone(),
-                    scheme,
-                    comms,
-                    segments,
-                })
+                AssignedItem::Block(AssignedBlock { block: b.clone(), scheme, comms, segments })
             }
         })
         .collect();
-    AssignedProgram {
-        items,
-        num_qubits: program.num_qubits(),
-        num_cbits: 0,
-    }
+    AssignedProgram { items, num_qubits: program.num_qubits(), num_cbits: 0 }
 }
 
 /// Splits a block into its single-call Cat segments (used when lowering
@@ -271,8 +262,7 @@ mod tests {
     }
 
     fn assigned_single(gates: Vec<Gate>, hybrid: bool) -> AssignedBlock {
-        let program =
-            AggregatedProgram::from_items(vec![Item::Block(block_of(gates))], 4, 0);
+        let program = AggregatedProgram::from_items(vec![Item::Block(block_of(gates))], 4, 0);
         let assigned = if hybrid { assign(&program) } else { assign_cat_only(&program) };
         let block = assigned.blocks().next().unwrap().clone();
         block
@@ -306,20 +296,16 @@ mod tests {
     #[test]
     fn obstructed_unidirectional_defaults_to_tp() {
         // Paper block ③: T† on the burst qubit between two control-form CXs.
-        let a = assigned_single(
-            vec![Gate::cx(q(0), q(2)), Gate::h(q(0)), Gate::cx(q(0), q(3))],
-            true,
-        );
+        let a =
+            assigned_single(vec![Gate::cx(q(0), q(2)), Gate::h(q(0)), Gate::cx(q(0), q(3))], true);
         assert_eq!(a.scheme, Scheme::Tp);
         assert_eq!(a.segments, 2);
     }
 
     #[test]
     fn diagonal_interior_on_burst_is_harmless() {
-        let a = assigned_single(
-            vec![Gate::cx(q(0), q(2)), Gate::t(q(0)), Gate::cx(q(0), q(3))],
-            true,
-        );
+        let a =
+            assigned_single(vec![Gate::cx(q(0), q(2)), Gate::t(q(0)), Gate::cx(q(0), q(3))], true);
         assert_eq!(a.scheme, Scheme::Cat(CatOrientation::Control));
         assert_eq!(a.comms, 1);
     }
@@ -327,11 +313,7 @@ mod tests {
     #[test]
     fn cat_only_pays_per_segment() {
         let a = assigned_single(
-            vec![
-                Gate::cx(q(0), q(2)),
-                Gate::cx(q(2), q(0)),
-                Gate::cx(q(0), q(3)),
-            ],
+            vec![Gate::cx(q(0), q(2)), Gate::cx(q(2), q(0)), Gate::cx(q(0), q(3))],
             false,
         );
         assert!(matches!(a.scheme, Scheme::Cat(_)));

@@ -59,9 +59,7 @@ impl CommBlock {
     /// burst qubit with their partner on the remote node).
     pub fn remote_gates(&self) -> impl Iterator<Item = &Gate> {
         let q = self.qubit;
-        self.gates
-            .iter()
-            .filter(move |g| g.is_two_qubit_unitary() && g.acts_on(q))
+        self.gates.iter().filter(move |g| g.is_two_qubit_unitary() && g.acts_on(q))
     }
 
     /// Number of remote two-qubit gates carried by this block — the
@@ -99,10 +97,7 @@ impl CommBlock {
     /// before sealing a block). Returns the trimmed-off suffix in order.
     pub fn trim_trailing_locals(&mut self) -> Vec<Gate> {
         let q = self.qubit;
-        let last_remote = self
-            .gates
-            .iter()
-            .rposition(|g| g.is_two_qubit_unitary() && g.acts_on(q));
+        let last_remote = self.gates.iter().rposition(|g| g.is_two_qubit_unitary() && g.acts_on(q));
         match last_remote {
             Some(i) => self.gates.split_off(i + 1),
             None => std::mem::take(&mut self.gates),

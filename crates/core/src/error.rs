@@ -23,6 +23,14 @@ pub enum CompileError {
         /// Qubits covered by the partition.
         partition_qubits: usize,
     },
+    /// A pipeline stage needed an artifact no earlier stage produced (the
+    /// pipeline was composed wrongly, e.g. `assign` without `aggregate`).
+    MissingArtifact {
+        /// The pass (or consumer) that needed the artifact.
+        pass: &'static str,
+        /// What was missing.
+        missing: &'static str,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -34,6 +42,12 @@ impl fmt::Display for CompileError {
                 f,
                 "circuit has {circuit_qubits} qubits but the partition covers {partition_qubits}"
             ),
+            CompileError::MissingArtifact { pass, missing } => {
+                write!(
+                    f,
+                    "pipeline stage '{pass}' needs a {missing}, but no earlier stage produced one"
+                )
+            }
         }
     }
 }
@@ -67,8 +81,7 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: CompileError =
-            CircuitError::DuplicateOperand { qubit: QubitId::new(1) }.into();
+        let e: CompileError = CircuitError::DuplicateOperand { qubit: QubitId::new(1) }.into();
         assert!(e.to_string().contains("q1"));
         let e = CompileError::RegisterMismatch { circuit_qubits: 4, partition_qubits: 6 };
         assert!(e.to_string().contains('4'));

@@ -18,11 +18,15 @@
 //!    burst-greedy scheduling with EPR prefetching, parallel commutable
 //!    blocks (paper Fig. 12/13), and TP fusion chains (paper Fig. 14).
 //!
-//! [`AutoComm`] bundles the passes; [`CommMetrics`] reproduces the paper's
-//! evaluation metrics (Tot Comm, TP-Comm, Peak # REM CX, burst
-//! distribution); [`lower_assigned`] lowers compiled programs through
-//! `dqc-protocols` so the whole pipeline can be verified against the
-//! original circuit on a state-vector simulator.
+//! Since the pass-manager refactor, each stage is a [`Pass`] over a shared
+//! [`PassContext`], composed by a [`Pipeline`] that times every stage and
+//! returns per-pass [`PassReport`]s. [`AutoComm`] maps an
+//! [`AutoCommOptions`] configuration (including every Fig. 17
+//! [`Ablation`]) onto the canonical pipeline; [`CommMetrics`] reproduces
+//! the paper's evaluation metrics (Tot Comm, TP-Comm, Peak # REM CX,
+//! burst distribution); [`lower_assigned`] lowers compiled programs
+//! through `dqc-protocols` so the whole pipeline can be verified against
+//! the original circuit on a state-vector simulator.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@ mod error;
 mod lower;
 mod metrics;
 mod orient;
+mod pass;
 mod pipeline;
 mod program;
 mod schedule;
@@ -62,14 +67,19 @@ mod schedule;
 pub use aggregate::{aggregate, aggregate_no_commute, AggregateOptions, AggregatedProgram, Item};
 pub use analysis::inverse_burst_distribution;
 pub use assign::{
-    assign, assign_cat_only, AssignedBlock, AssignedItem, AssignedProgram, CatOrientation,
-    Scheme,
+    assign, assign_cat_only, AssignedBlock, AssignedItem, AssignedProgram, CatOrientation, Scheme,
 };
 pub use block::CommBlock;
 pub use error::CompileError;
 pub use lower::lower_assigned;
 pub use metrics::{burst_distribution, CommMetrics};
 pub use orient::orient_symmetric_gates;
-pub use pipeline::{AutoComm, AutoCommOptions, CompileResult};
+pub use pass::{
+    AggregatePass, AssignPass, LowerPass, MetricsPass, OrientPass, Pass, PassContext, PassReport,
+    SchedulePass, UnrollPass,
+};
+pub use pipeline::{
+    Ablation, AutoComm, AutoCommOptions, CompileResult, Pipeline, PipelineBuilder, PipelineOutput,
+};
 pub use program::{pair_stats, remote_pairs_of};
 pub use schedule::{schedule, ScheduleOptions, ScheduleSummary};

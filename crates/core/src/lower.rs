@@ -10,9 +10,7 @@ use dqc_circuit::{Gate, QubitId};
 use dqc_protocols::{PhysicalProgram, ProtocolExpander};
 
 use crate::assign::split_into_segments;
-use crate::{
-    AssignedItem, AssignedProgram, CatOrientation, CommBlock, CompileError, Scheme,
-};
+use crate::{AssignedItem, AssignedProgram, CatOrientation, CommBlock, CompileError, Scheme};
 
 /// Lowers an assigned program into a physical circuit over the extended
 /// register (logical qubits + two communication qubits per node).
@@ -30,7 +28,9 @@ pub fn lower_assigned(
         match item {
             AssignedItem::Local(g) => exp.push_local(g)?,
             AssignedItem::Block(b) => match b.scheme {
-                Scheme::Tp => exp.tp_comm_block(b.block.qubit(), b.block.node(), b.block.gates())?,
+                Scheme::Tp => {
+                    exp.tp_comm_block(b.block.qubit(), b.block.node(), b.block.gates())?
+                }
                 Scheme::Cat(_) if b.comms == 1 => {
                     lower_cat_segment(&mut exp, &b.block)?;
                 }
@@ -53,19 +53,13 @@ pub fn lower_assigned(
 
 /// Expands one single-call Cat segment, conjugating target-form bodies into
 /// control form first.
-fn lower_cat_segment(
-    exp: &mut ProtocolExpander,
-    block: &CommBlock,
-) -> Result<(), CompileError> {
+fn lower_cat_segment(exp: &mut ProtocolExpander, block: &CommBlock) -> Result<(), CompileError> {
     let q = block.qubit();
     // A segment may start with single-qubit gates on the burst qubit left
     // over from a split (they precede every remote gate); they execute
     // locally on q before the communication.
-    let prefix_len = block
-        .gates()
-        .iter()
-        .take_while(|g| g.num_qubits() == 1 && g.acts_on(q))
-        .count();
+    let prefix_len =
+        block.gates().iter().take_while(|g| g.num_qubits() == 1 && g.acts_on(q)).count();
     for g in &block.gates()[..prefix_len] {
         exp.push_local(g)?;
     }
@@ -119,12 +113,8 @@ fn lower_cat_segment(
                     body.extend(h_conjugate_single(g));
                 } else {
                     // Interior partner gate: wrap its operands in the set.
-                    let wrapped: Vec<QubitId> = g
-                        .qubits()
-                        .iter()
-                        .copied()
-                        .filter(|x| set.contains(x))
-                        .collect();
+                    let wrapped: Vec<QubitId> =
+                        g.qubits().iter().copied().filter(|x| set.contains(x)).collect();
                     for &w in &wrapped {
                         body.push(Gate::h(w));
                     }
@@ -185,9 +175,7 @@ mod tests {
         amps[..input.amplitudes().len()].copy_from_slice(input.amplitudes());
         let mut state = StateVector::from_amplitudes(amps).unwrap();
         state.run(&physical.circuit, &mut rng).unwrap();
-        let f = state
-            .subset_fidelity(&expected, &physical.logical_qubits())
-            .unwrap();
+        let f = state.subset_fidelity(&expected, &physical.logical_qubits()).unwrap();
         assert!(
             (f - 1.0).abs() < 1e-8,
             "end-to-end fidelity {f} (seed {seed}, cat_only {cat_only})"

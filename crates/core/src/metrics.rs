@@ -113,12 +113,7 @@ pub fn burst_distribution(metrics: &CommMetrics, max: usize) -> Vec<f64> {
             if n == 0 {
                 0.0
             } else {
-                metrics
-                    .per_comm_rem_cx
-                    .iter()
-                    .filter(|&&c| c >= x as f64)
-                    .count() as f64
-                    / n as f64
+                metrics.per_comm_rem_cx.iter().filter(|&&c| c >= x as f64).count() as f64 / n as f64
             }
         })
         .collect()

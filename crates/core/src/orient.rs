@@ -29,24 +29,14 @@ pub fn orient_symmetric_gates(circuit: &Circuit, partition: &Partition) -> Circu
             {
                 let a = gate.qubits()[0];
                 let b = gate.qubits()[1];
-                let weight_a = stats
-                    .get(&(a, partition.node_of(b)))
-                    .copied()
-                    .unwrap_or(0);
-                let weight_b = stats
-                    .get(&(b, partition.node_of(a)))
-                    .copied()
-                    .unwrap_or(0);
+                let weight_a = stats.get(&(a, partition.node_of(b))).copied().unwrap_or(0);
+                let weight_b = stats.get(&(b, partition.node_of(a))).copied().unwrap_or(0);
                 if weight_b > weight_a {
                     // Swap operands: `b` becomes the control side.
                     match gate.kind() {
                         GateKind::Cz => Gate::cz(b, a),
-                        GateKind::Cp => {
-                            Gate::cp(gate.theta().expect("cp parameter"), b, a)
-                        }
-                        GateKind::Rzz => {
-                            Gate::rzz(gate.theta().expect("rzz parameter"), b, a)
-                        }
+                        GateKind::Cp => Gate::cp(gate.theta().expect("cp parameter"), b, a),
+                        GateKind::Rzz => Gate::rzz(gate.theta().expect("rzz parameter"), b, a),
                         _ => unreachable!(),
                     }
                 } else {

@@ -1,12 +1,23 @@
-//! The end-to-end AutoComm compiler.
+//! The end-to-end AutoComm compiler, expressed as a pass pipeline.
+//!
+//! [`Pipeline`] composes [`Pass`] stages over a shared [`PassContext`];
+//! [`AutoComm`] is the convenience wrapper that maps an
+//! [`AutoCommOptions`] configuration onto the canonical
+//! orient → unroll → aggregate → assign → metrics → schedule pipeline.
+//! Every paper ablation (Fig. 17) is an [`Ablation`] applied to the
+//! options — one code path, many configurations.
 
-use dqc_circuit::{unroll_circuit, Circuit, Partition};
+use dqc_circuit::{Circuit, Partition};
 use dqc_hardware::HardwareSpec;
+use dqc_protocols::PhysicalProgram;
 
+use crate::pass::{
+    run_timed, AggregatePass, AssignPass, LowerPass, MetricsPass, OrientPass, Pass, PassContext,
+    PassReport, SchedulePass, UnrollPass,
+};
 use crate::{
-    aggregate, aggregate_no_commute, assign, assign_cat_only, schedule, AggregateOptions,
-    AggregatedProgram, AssignedProgram, CommMetrics, CompileError, ScheduleOptions,
-    ScheduleSummary,
+    AggregateOptions, AggregatedProgram, AssignedProgram, CommMetrics, CompileError,
+    ScheduleOptions, ScheduleSummary,
 };
 
 /// Pipeline configuration; the defaults reproduce full AutoComm, and each
@@ -40,7 +51,263 @@ impl Default for AutoCommOptions {
     }
 }
 
-/// The AutoComm compiler: unroll → aggregate → assign → schedule.
+impl AutoCommOptions {
+    /// These options with one ablation applied.
+    pub fn with_ablation(self, ablation: Ablation) -> Self {
+        ablation.apply(self)
+    }
+}
+
+/// The single-knob pipeline ablations of paper Fig. 17, each disabling
+/// exactly one optimization of the full compiler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Ablation {
+    /// Fig. 17(a): aggregation without commutation rules — every remote
+    /// gate becomes a singleton block.
+    NoCommute,
+    /// Fig. 17(b): Cat-Comm-only assignment (no TP fallback).
+    CatOnly,
+    /// Fig. 17(c): plain as-soon-as-possible scheduling — no prefetching,
+    /// no parallel commutable blocks, no TP fusion.
+    PlainGreedy,
+    /// Skip the symmetric-gate orientation pre-pass.
+    NoOrient,
+}
+
+impl Ablation {
+    /// Every ablation, in paper order.
+    pub fn all() -> [Ablation; 4] {
+        [Ablation::NoCommute, Ablation::CatOnly, Ablation::PlainGreedy, Ablation::NoOrient]
+    }
+
+    /// The kebab-case name used by the CLI (`--ablation <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::NoCommute => "no-commute",
+            Ablation::CatOnly => "cat-only",
+            Ablation::PlainGreedy => "plain-greedy",
+            Ablation::NoOrient => "no-orient",
+        }
+    }
+
+    /// Parses the kebab-case [`Ablation::name`] form.
+    pub fn parse(name: &str) -> Option<Ablation> {
+        Ablation::all().into_iter().find(|a| a.name() == name)
+    }
+
+    /// Applies this ablation to a configuration.
+    pub fn apply(self, mut options: AutoCommOptions) -> AutoCommOptions {
+        match self {
+            Ablation::NoCommute => options.commutation_aggregation = false,
+            Ablation::CatOnly => options.hybrid_assignment = false,
+            Ablation::PlainGreedy => options.schedule = ScheduleOptions::plain_greedy(),
+            Ablation::NoOrient => options.orient_symmetric = false,
+        }
+        options
+    }
+}
+
+/// A composed sequence of passes.
+///
+/// Build one by hand with [`Pipeline::builder`], or derive the canonical
+/// AutoComm sequence from options with [`Pipeline::autocomm`]:
+///
+/// ```
+/// use autocomm::{AggregateOptions, Pipeline, ScheduleOptions};
+/// use dqc_circuit::{Circuit, Gate, Partition, QubitId};
+/// use dqc_hardware::HardwareSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = |i| QubitId::new(i);
+/// let mut circuit = Circuit::new(4);
+/// circuit.push(Gate::cx(q(0), q(2)))?;
+/// circuit.push(Gate::cx(q(0), q(3)))?;
+/// let partition = Partition::block(4, 2)?;
+/// let hw = HardwareSpec::for_partition(&partition);
+///
+/// let pipeline = Pipeline::builder()
+///     .unroll()
+///     .aggregate(AggregateOptions::default())
+///     .assign()
+///     .metrics()
+///     .schedule(ScheduleOptions::default())
+///     .build();
+/// let out = pipeline.run(&circuit, &partition, &hw)?;
+/// assert_eq!(out.metrics.unwrap().total_comms, 1);
+/// assert_eq!(out.reports.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline builder.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder { passes: Vec::new() }
+    }
+
+    /// The canonical AutoComm pipeline for `options`:
+    /// orient → unroll → aggregate → assign → metrics → schedule (with the
+    /// orient stage dropped when `options.orient_symmetric` is off).
+    pub fn autocomm(options: &AutoCommOptions) -> Pipeline {
+        let mut builder = Pipeline::builder();
+        if options.orient_symmetric {
+            builder = builder.orient();
+        }
+        builder = builder.unroll();
+        builder = if options.commutation_aggregation {
+            builder.aggregate(options.aggregate)
+        } else {
+            builder.aggregate_no_commute()
+        };
+        builder =
+            if options.hybrid_assignment { builder.assign() } else { builder.assign_cat_only() };
+        builder.metrics().schedule(options.schedule).build()
+    }
+
+    /// The pass names, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass in order over `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::RegisterMismatch`] when the partition does
+    /// not cover the circuit, and propagates the first failing pass's
+    /// error.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        partition: &Partition,
+        hardware: &HardwareSpec,
+    ) -> Result<PipelineOutput, CompileError> {
+        if circuit.num_qubits() != partition.num_qubits() {
+            return Err(CompileError::RegisterMismatch {
+                circuit_qubits: circuit.num_qubits(),
+                partition_qubits: partition.num_qubits(),
+            });
+        }
+        let mut ctx = PassContext::new(circuit.clone(), partition, hardware);
+        let mut reports = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            reports.push(run_timed(pass.as_ref(), &mut ctx)?);
+        }
+        Ok(PipelineOutput {
+            circuit: ctx.circuit,
+            aggregated: ctx.aggregated,
+            assigned: ctx.assigned,
+            metrics: ctx.metrics,
+            schedule: ctx.schedule,
+            lowered: ctx.lowered,
+            reports,
+        })
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline").field("passes", &self.pass_names()).finish()
+    }
+}
+
+/// Fluent construction of a [`Pipeline`].
+pub struct PipelineBuilder {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl std::fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("PipelineBuilder").field("passes", &names).finish()
+    }
+}
+
+impl PipelineBuilder {
+    /// Appends an arbitrary pass (the extension point for new protocols and
+    /// experiments).
+    pub fn pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends the symmetric-gate orientation stage.
+    pub fn orient(self) -> Self {
+        self.pass(OrientPass)
+    }
+
+    /// Appends the CX+U3 unrolling stage.
+    pub fn unroll(self) -> Self {
+        self.pass(UnrollPass)
+    }
+
+    /// Appends commutation-aware burst aggregation.
+    pub fn aggregate(self, options: AggregateOptions) -> Self {
+        self.pass(AggregatePass { options, no_commute: false })
+    }
+
+    /// Appends commutation-free aggregation (Fig. 17a's “No Commute”).
+    pub fn aggregate_no_commute(self) -> Self {
+        self.pass(AggregatePass { options: AggregateOptions::default(), no_commute: true })
+    }
+
+    /// Appends hybrid Cat/TP scheme assignment.
+    pub fn assign(self) -> Self {
+        self.pass(AssignPass { hybrid: true })
+    }
+
+    /// Appends Cat-Comm-only scheme assignment (Fig. 17b).
+    pub fn assign_cat_only(self) -> Self {
+        self.pass(AssignPass { hybrid: false })
+    }
+
+    /// Appends the Table-3 metrics stage.
+    pub fn metrics(self) -> Self {
+        self.pass(MetricsPass)
+    }
+
+    /// Appends the latency scheduling stage.
+    pub fn schedule(self, options: ScheduleOptions) -> Self {
+        self.pass(SchedulePass { options })
+    }
+
+    /// Appends physical protocol lowering (the verification back-end).
+    pub fn lower(self) -> Self {
+        self.pass(LowerPass)
+    }
+
+    /// Finishes the pipeline.
+    pub fn build(self) -> Pipeline {
+        Pipeline { passes: self.passes }
+    }
+}
+
+/// Everything a pipeline run produced: the final logical circuit, each
+/// stage's artifact (present iff the stage was in the pipeline), and the
+/// per-pass reports.
+#[derive(Clone, Debug)]
+pub struct PipelineOutput {
+    /// The logical circuit after all circuit-rewriting stages.
+    pub circuit: Circuit,
+    /// Burst blocks, if an aggregation stage ran.
+    pub aggregated: Option<AggregatedProgram>,
+    /// Scheme-assigned blocks, if an assignment stage ran.
+    pub assigned: Option<AssignedProgram>,
+    /// Table-3 metrics, if the metrics stage ran.
+    pub metrics: Option<CommMetrics>,
+    /// Latency schedule, if the scheduling stage ran.
+    pub schedule: Option<ScheduleSummary>,
+    /// Physical expansion, if the lowering stage ran.
+    pub lowered: Option<PhysicalProgram>,
+    /// Per-pass timing and headline metrics, in execution order.
+    pub reports: Vec<PassReport>,
+}
+
+/// The AutoComm compiler: the canonical pipeline derived from
+/// [`AutoCommOptions`].
 ///
 /// See the crate-level documentation for an end-to-end example.
 #[derive(Clone, Debug, Default)]
@@ -48,7 +315,7 @@ pub struct AutoComm {
     options: AutoCommOptions,
 }
 
-/// Everything the pipeline produces for one program.
+/// Everything the compiler produces for one program.
 #[derive(Clone, Debug)]
 pub struct CompileResult {
     /// The input circuit in the CX+U3 basis.
@@ -61,6 +328,8 @@ pub struct CompileResult {
     pub metrics: CommMetrics,
     /// Latency schedule on the two-comm-qubit hardware model.
     pub schedule: ScheduleSummary,
+    /// Per-pass timing and headline metrics.
+    pub passes: Vec<PassReport>,
 }
 
 impl AutoComm {
@@ -74,9 +343,21 @@ impl AutoComm {
         AutoComm { options }
     }
 
+    /// A compiler with `ablations` applied to the full optimization set.
+    pub fn with_ablations(ablations: &[Ablation]) -> Self {
+        let options =
+            ablations.iter().fold(AutoCommOptions::default(), |opts, &a| opts.with_ablation(a));
+        AutoComm { options }
+    }
+
     /// The active options.
     pub fn options(&self) -> &AutoCommOptions {
         &self.options
+    }
+
+    /// The pipeline this compiler runs.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::autocomm(&self.options)
     }
 
     /// Compiles `circuit` for the machine implied by `partition` (one node
@@ -107,31 +388,19 @@ impl AutoComm {
         partition: &Partition,
         hw: &HardwareSpec,
     ) -> Result<CompileResult, CompileError> {
-        if circuit.num_qubits() != partition.num_qubits() {
-            return Err(CompileError::RegisterMismatch {
-                circuit_qubits: circuit.num_qubits(),
-                partition_qubits: partition.num_qubits(),
-            });
-        }
-        let oriented = if self.options.orient_symmetric {
-            crate::orient_symmetric_gates(circuit, partition)
-        } else {
-            circuit.clone()
-        };
-        let unrolled = unroll_circuit(&oriented)?;
-        let aggregated = if self.options.commutation_aggregation {
-            aggregate(&unrolled, partition, self.options.aggregate)
-        } else {
-            aggregate_no_commute(&unrolled, partition)
-        };
-        let assigned = if self.options.hybrid_assignment {
-            assign(&aggregated)
-        } else {
-            assign_cat_only(&aggregated)
-        };
-        let metrics = CommMetrics::of(&assigned);
-        let schedule = schedule(&assigned, partition, hw, self.options.schedule);
-        Ok(CompileResult { unrolled, aggregated, assigned, metrics, schedule })
+        let out = self.pipeline().run(circuit, partition, hw)?;
+        // The canonical pipeline always contains these stages, so the
+        // artifacts are present; a hand-built pipeline that omits one
+        // surfaces here instead of silently producing half a result.
+        let missing = |stage| CompileError::MissingArtifact { pass: "compile", missing: stage };
+        Ok(CompileResult {
+            unrolled: out.circuit,
+            aggregated: out.aggregated.ok_or(missing("aggregated program"))?,
+            assigned: out.assigned.ok_or(missing("assigned program"))?,
+            metrics: out.metrics.ok_or(missing("metrics"))?,
+            schedule: out.schedule.ok_or(missing("schedule"))?,
+            passes: out.reports,
+        })
     }
 }
 
@@ -170,24 +439,10 @@ mod tests {
         let c = dqc_workloads::qft(10);
         let p = Partition::block(10, 2).unwrap();
         let full = AutoComm::new().compile(&c, &p).unwrap();
-        let no_commute = AutoComm::with_options(AutoCommOptions {
-            commutation_aggregation: false,
-            ..AutoCommOptions::default()
-        })
-        .compile(&c, &p)
-        .unwrap();
-        let cat_only = AutoComm::with_options(AutoCommOptions {
-            hybrid_assignment: false,
-            ..AutoCommOptions::default()
-        })
-        .compile(&c, &p)
-        .unwrap();
-        let plain_sched = AutoComm::with_options(AutoCommOptions {
-            schedule: ScheduleOptions::plain_greedy(),
-            ..AutoCommOptions::default()
-        })
-        .compile(&c, &p)
-        .unwrap();
+        let no_commute = AutoComm::with_ablations(&[Ablation::NoCommute]).compile(&c, &p).unwrap();
+        let cat_only = AutoComm::with_ablations(&[Ablation::CatOnly]).compile(&c, &p).unwrap();
+        let plain_sched =
+            AutoComm::with_ablations(&[Ablation::PlainGreedy]).compile(&c, &p).unwrap();
 
         assert!(no_commute.metrics.total_comms >= full.metrics.total_comms);
         assert!(cat_only.metrics.total_comms >= full.metrics.total_comms);
@@ -208,11 +463,72 @@ mod tests {
     }
 
     #[test]
-    fn bv_compiles_to_all_cat(){
+    fn bv_compiles_to_all_cat() {
         let c = dqc_workloads::bv(16);
         let p = Partition::block(16, 4).unwrap();
         let r = AutoComm::new().compile(&c, &p).unwrap();
         assert_eq!(r.metrics.tp_comms, 0, "BV is all target-form Cat (paper Table 3)");
         assert_eq!(r.metrics.total_comms, 3, "one comm per remote node");
+    }
+
+    #[test]
+    fn compile_reports_every_pass_in_order() {
+        let c = dqc_workloads::qft(6);
+        let p = Partition::block(6, 2).unwrap();
+        let r = AutoComm::new().compile(&c, &p).unwrap();
+        let names: Vec<&str> = r.passes.iter().map(|p| p.pass).collect();
+        assert_eq!(names, ["orient", "unroll", "aggregate", "assign", "metrics", "schedule"]);
+        let no_orient = AutoComm::with_ablations(&[Ablation::NoOrient]).compile(&c, &p).unwrap();
+        let names: Vec<&str> = no_orient.passes.iter().map(|p| p.pass).collect();
+        assert_eq!(names, ["unroll", "aggregate", "assign", "metrics", "schedule"]);
+    }
+
+    #[test]
+    fn builder_pipeline_matches_options_pipeline() {
+        let c = dqc_workloads::qft(10);
+        let p = Partition::block(10, 2).unwrap();
+        let hw = HardwareSpec::for_partition(&p);
+        let from_options = AutoComm::new().compile(&c, &p).unwrap();
+        let by_hand = Pipeline::builder()
+            .orient()
+            .unroll()
+            .aggregate(AggregateOptions::default())
+            .assign()
+            .metrics()
+            .schedule(ScheduleOptions::default())
+            .build()
+            .run(&c, &p, &hw)
+            .unwrap();
+        assert_eq!(by_hand.metrics.as_ref(), Some(&from_options.metrics));
+        assert_eq!(by_hand.schedule.as_ref(), Some(&from_options.schedule));
+        assert_eq!(by_hand.assigned.as_ref(), Some(&from_options.assigned));
+    }
+
+    #[test]
+    fn lower_stage_composes() {
+        let c = dqc_workloads::bv(8);
+        let p = Partition::block(8, 2).unwrap();
+        let hw = HardwareSpec::for_partition(&p);
+        let out = Pipeline::builder()
+            .orient()
+            .unroll()
+            .aggregate(AggregateOptions::default())
+            .assign()
+            .metrics()
+            .schedule(ScheduleOptions::default())
+            .lower()
+            .build()
+            .run(&c, &p, &hw)
+            .unwrap();
+        let lowered = out.lowered.expect("lower stage ran");
+        assert_eq!(lowered.epr_pairs, out.schedule.unwrap().epr_pairs);
+    }
+
+    #[test]
+    fn ablation_names_round_trip() {
+        for a in Ablation::all() {
+            assert_eq!(Ablation::parse(a.name()), Some(a));
+        }
+        assert_eq!(Ablation::parse("bogus"), None);
     }
 }

@@ -31,10 +31,7 @@ pub fn remote_pairs_of(gate: &Gate, partition: &Partition) -> Vec<(QubitId, Node
 /// Number of remote gates associated with every (qubit, node) pair — the
 /// statistic the aggregation preprocessing ranks pairs by (the paper starts
 /// “with the qubit-node pair associated with the most remote gates”).
-pub fn pair_stats(
-    circuit: &Circuit,
-    partition: &Partition,
-) -> HashMap<(QubitId, NodeId), usize> {
+pub fn pair_stats(circuit: &Circuit, partition: &Partition) -> HashMap<(QubitId, NodeId), usize> {
     let mut stats = HashMap::new();
     for gate in circuit.gates() {
         for pair in remote_pairs_of(gate, partition) {

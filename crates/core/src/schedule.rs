@@ -93,10 +93,7 @@ pub fn schedule(
     hw: &HardwareSpec,
     options: ScheduleOptions,
 ) -> ScheduleSummary {
-    assert!(
-        partition.num_nodes() <= hw.num_nodes(),
-        "hardware must provide every partition node"
-    );
+    assert!(partition.num_nodes() <= hw.num_nodes(), "hardware must provide every partition node");
     let mut tl = Timeline::new(program.num_qubits(), hw);
     if options.record_events {
         tl = tl.with_recording();
@@ -257,9 +254,7 @@ impl Scheduler<'_> {
 
         // Decide group membership before touching the timeline.
         let q_avail = match (&mut self.open_group, self.options.parallel_commutable) {
-            (Some(group), true)
-                if group.qubit == q && group_commutes(group, block.gates()) =>
-            {
+            (Some(group), true) if group.qubit == q && group_commutes(group, block.gates()) => {
                 group.q_stagger
             }
             _ => {
@@ -283,10 +278,8 @@ impl Scheduler<'_> {
             if gate.acts_on(q) {
                 let partners: Vec<QubitId> =
                     gate.qubits().iter().copied().filter(|&x| x != q).collect();
-                let start = partners
-                    .iter()
-                    .map(|&x| self.tl.qubit_free_at(x))
-                    .fold(comm_cursor, f64::max);
+                let start =
+                    partners.iter().map(|&x| self.tl.qubit_free_at(x)).fold(comm_cursor, f64::max);
                 let end = start + lat.gate(gate);
                 if !partners.is_empty() {
                     self.tl.occupy_qubits("cat-body", &partners, start, end);
@@ -437,9 +430,7 @@ impl ScheduleSummary {
 
 /// Whether a candidate body commutes with every member body of the group.
 fn group_commutes(group: &CatGroup, body: &[Gate]) -> bool {
-    group.bodies.iter().all(|member| {
-        body.iter().all(|a| member.iter().all(|b| commutes(a, b)))
-    })
+    group.bodies.iter().all(|member| body.iter().all(|a| member.iter().all(|b| commutes(a, b))))
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 //! lowering, and metric bookkeeping.
 
 use autocomm::{
-    aggregate, assign, lower_assigned, schedule, AggregateOptions, AssignedItem,
-    CommMetrics, ScheduleOptions, Scheme,
+    aggregate, assign, lower_assigned, schedule, AggregateOptions, AssignedItem, CommMetrics,
+    ScheduleOptions, Scheme,
 };
 use dqc_circuit::{Circuit, Gate, Partition, QubitId};
 use dqc_hardware::{validate_events, HardwareSpec};
@@ -59,10 +59,7 @@ fn on_state_gates_ride_tp_chains() {
     c.push(Gate::h(q(0))).unwrap();
     c.push(Gate::cx(q(4), q(0))).unwrap();
     let program = compile(&c, &p);
-    let tp_blocks = program
-        .blocks()
-        .filter(|b| b.scheme == Scheme::Tp)
-        .count();
+    let tp_blocks = program.blocks().filter(|b| b.scheme == Scheme::Tp).count();
     assert_eq!(tp_blocks, 2, "both bursts must be TP");
 
     let hw = HardwareSpec::for_partition(&p);

@@ -27,11 +27,7 @@ impl HardwareSpec {
     /// A machine with `num_nodes` nodes, the paper's two communication
     /// qubits per node, and Table-1 latencies.
     pub fn symmetric(num_nodes: usize) -> Self {
-        HardwareSpec {
-            num_nodes,
-            comm_qubits_per_node: 2,
-            latency: LatencyModel::default(),
-        }
+        HardwareSpec { num_nodes, comm_qubits_per_node: 2, latency: LatencyModel::default() }
     }
 
     /// A machine matching `partition`'s node count.

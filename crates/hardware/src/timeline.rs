@@ -105,10 +105,7 @@ impl Timeline {
     ///
     /// Panics if `node` is out of range.
     pub fn node_slot_free_at(&self, node: NodeId) -> f64 {
-        self.slot_free[node.index()]
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        self.slot_free[node.index()].iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Schedules a gate as soon as its operands are free; returns
@@ -119,11 +116,8 @@ impl Timeline {
 
     /// Schedules a gate no earlier than `earliest`; returns `(start, end)`.
     pub fn schedule_gate_after(&mut self, gate: &Gate, earliest: f64) -> (f64, f64) {
-        let start = gate
-            .qubits()
-            .iter()
-            .map(|q| self.qubit_free[q.index()])
-            .fold(earliest, f64::max);
+        let start =
+            gate.qubits().iter().map(|q| self.qubit_free[q.index()]).fold(earliest, f64::max);
         let end = start + self.latency.gate(gate);
         for q in gate.qubits() {
             self.qubit_free[q.index()] = end;
@@ -155,21 +149,14 @@ impl Timeline {
         assert_ne!(a, b, "communication requires two distinct nodes");
         let slot_a = self.best_slot(a);
         let slot_b = self.best_slot(b);
-        let start = self.slot_free[a.index()][slot_a]
-            .max(self.slot_free[b.index()][slot_b])
-            .max(earliest);
+        let start =
+            self.slot_free[a.index()][slot_a].max(self.slot_free[b.index()][slot_b]).max(earliest);
         let epr_ready = start + self.latency.t_epr;
         self.slot_free[a.index()][slot_a] = f64::INFINITY;
         self.slot_free[b.index()][slot_b] = f64::INFINITY;
         self.epr_count += 1;
         self.makespan = self.makespan.max(epr_ready);
-        self.record(
-            "epr".to_owned(),
-            start,
-            epr_ready,
-            vec![],
-            vec![(a, slot_a), (b, slot_b)],
-        );
+        self.record("epr".to_owned(), start, epr_ready, vec![], vec![(a, slot_a), (b, slot_b)]);
         CommClaim { node_a: a, slot_a, node_b: b, slot_b, start, epr_ready }
     }
 

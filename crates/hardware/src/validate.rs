@@ -84,10 +84,7 @@ const EPS: f64 = 1e-9;
 /// tl.schedule_gate(&Gate::cx(QubitId::new(0), QubitId::new(1)));
 /// validate_events(tl.events().unwrap(), &hw).unwrap();
 /// ```
-pub fn validate_events(
-    events: &[TimelineEvent],
-    hw: &HardwareSpec,
-) -> Result<(), ValidationError> {
+pub fn validate_events(events: &[TimelineEvent], hw: &HardwareSpec) -> Result<(), ValidationError> {
     for e in events {
         if e.end < e.start - EPS {
             return Err(ValidationError::NegativeDuration { label: e.label.clone() });
@@ -181,10 +178,7 @@ mod tests {
             event("a", 0.0, 2.0, vec![q(0)], vec![]),
             event("b", 1.0, 3.0, vec![q(0)], vec![]),
         ];
-        assert!(matches!(
-            validate_events(&events, &hw),
-            Err(ValidationError::QubitOverlap { .. })
-        ));
+        assert!(matches!(validate_events(&events, &hw), Err(ValidationError::QubitOverlap { .. })));
     }
 
     #[test]
@@ -194,10 +188,7 @@ mod tests {
             event("a", 0.0, 5.0, vec![], vec![(n(0), 0)]),
             event("b", 4.0, 6.0, vec![], vec![(n(0), 0)]),
         ];
-        assert!(matches!(
-            validate_events(&events, &hw),
-            Err(ValidationError::SlotOverlap { .. })
-        ));
+        assert!(matches!(validate_events(&events, &hw), Err(ValidationError::SlotOverlap { .. })));
     }
 
     #[test]

@@ -51,9 +51,8 @@ pub fn oee_refine(
     debug_assert_eq!(partition.num_qubits(), n, "partition must cover the graph");
 
     // node_w[q][node] = total edge weight between q and the qubits of node.
-    let mut node_w: Vec<Vec<u64>> = (0..n)
-        .map(|q| graph.node_weights(QubitId::new(q), &partition))
-        .collect();
+    let mut node_w: Vec<Vec<u64>> =
+        (0..n).map(|q| graph.node_weights(QubitId::new(q), &partition)).collect();
 
     let initial_cut = graph.cut_weight(&partition);
     let mut applied = 0usize;
@@ -91,10 +90,7 @@ pub fn oee_refine(
         applied += 1;
     }
 
-    debug_assert!(
-        graph.cut_weight(&partition) <= initial_cut,
-        "OEE must never increase the cut"
-    );
+    debug_assert!(graph.cut_weight(&partition) <= initial_cut, "OEE must never increase the cut");
     partition
 }
 
@@ -105,14 +101,14 @@ fn update_after_move(
     from: NodeId,
     to: NodeId,
 ) {
-    for other in 0..node_w.len() {
+    for (other, weights) in node_w.iter_mut().enumerate() {
         if other == moved.index() {
             continue;
         }
         let w = graph.weight(moved, QubitId::new(other));
         if w > 0 {
-            node_w[other][from.index()] -= w;
-            node_w[other][to.index()] += w;
+            weights[from.index()] -= w;
+            weights[to.index()] += w;
         }
     }
 }

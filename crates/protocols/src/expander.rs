@@ -1,8 +1,6 @@
 //! Lowering of distributed programs onto the physical register.
 
-use dqc_circuit::{
-    AxisBehavior, CBitId, Circuit, Gate, NodeId, Partition, QubitId,
-};
+use dqc_circuit::{AxisBehavior, CBitId, Circuit, Gate, NodeId, Partition, QubitId};
 
 use crate::ProtocolError;
 
@@ -314,9 +312,7 @@ mod tests {
         amps[..expected_in.amplitudes().len()].copy_from_slice(expected_in.amplitudes());
         let mut state = StateVector::from_amplitudes(amps).unwrap();
         state.run(&physical.circuit, &mut rng).unwrap();
-        state
-            .subset_fidelity(&expected, &physical.logical_qubits())
-            .unwrap()
+        state.subset_fidelity(&expected, &physical.logical_qubits()).unwrap()
     }
 
     #[test]
@@ -385,14 +381,11 @@ mod tests {
         let err = exp.cat_comm_block(q(0), n(1), &[Gate::cx(q(2), q(0))]).unwrap_err();
         assert!(matches!(err, ProtocolError::NotCatCompatible { .. }));
         // H on the burst qubit inside the block.
-        let err = exp
-            .cat_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2)), Gate::h(q(0))])
-            .unwrap_err();
+        let err =
+            exp.cat_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2)), Gate::h(q(0))]).unwrap_err();
         assert!(matches!(err, ProtocolError::NotCatCompatible { .. }));
         // Foreign qubit (q1 lives on node 0, not node 1).
-        let err = exp
-            .cat_comm_block(q(0), n(1), &[Gate::cx(q(0), q(1))])
-            .unwrap_err();
+        let err = exp.cat_comm_block(q(0), n(1), &[Gate::cx(q(0), q(1))]).unwrap_err();
         assert!(matches!(err, ProtocolError::ForeignQubit { .. }));
         // Not remote.
         let err = exp.cat_comm_block(q(0), n(0), &[]).unwrap_err();
@@ -429,9 +422,7 @@ mod tests {
     fn tp_rejects_foreign_and_local() {
         let partition = Partition::block(6, 3).unwrap();
         let mut exp = ProtocolExpander::new(&partition);
-        let err = exp
-            .tp_comm_block(q(0), n(1), &[Gate::cx(q(0), q(4))])
-            .unwrap_err();
+        let err = exp.tp_comm_block(q(0), n(1), &[Gate::cx(q(0), q(4))]).unwrap_err();
         assert!(matches!(err, ProtocolError::ForeignQubit { .. }));
         let err = exp.tp_comm_block(q(2), n(1), &[]).unwrap_err();
         assert!(matches!(err, ProtocolError::NotRemote { .. }));
@@ -445,8 +436,7 @@ mod tests {
         exp.push_local(&Gate::cx(q(2), q(3))).unwrap();
         exp.cat_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2))]).unwrap();
         exp.push_local(&Gate::h(q(0))).unwrap();
-        exp.tp_comm_block(q(1), n(1), &[Gate::cx(q(2), q(1)), Gate::cx(q(1), q(3))])
-            .unwrap();
+        exp.tp_comm_block(q(1), n(1), &[Gate::cx(q(2), q(1)), Gate::cx(q(1), q(3))]).unwrap();
         let physical = exp.finish();
         assert_eq!(physical.epr_pairs, 3);
 

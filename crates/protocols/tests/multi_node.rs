@@ -33,11 +33,9 @@ fn three_node_ring_of_cat_blocks() {
     // exercises every node's comm qubits.
     let partition = Partition::block(6, 3).unwrap();
     let mut exp = ProtocolExpander::new(&partition);
-    exp.cat_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2)), Gate::cx(q(0), q(3))])
-        .unwrap();
+    exp.cat_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2)), Gate::cx(q(0), q(3))]).unwrap();
     exp.cat_comm_block(q(2), n(2), &[Gate::cx(q(2), q(4))]).unwrap();
-    exp.cat_comm_block(q(4), n(0), &[Gate::cx(q(4), q(0)), Gate::cx(q(4), q(1))])
-        .unwrap();
+    exp.cat_comm_block(q(4), n(0), &[Gate::cx(q(4), q(0)), Gate::cx(q(4), q(1))]).unwrap();
     let physical = exp.finish();
     assert_eq!(physical.epr_pairs, 3);
 
@@ -57,8 +55,7 @@ fn three_node_ring_of_cat_blocks() {
 fn tp_then_cat_on_same_node_pair() {
     let partition = Partition::block(4, 2).unwrap();
     let mut exp = ProtocolExpander::new(&partition);
-    exp.tp_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2)), Gate::cx(q(3), q(0))])
-        .unwrap();
+    exp.tp_comm_block(q(0), n(1), &[Gate::cx(q(0), q(2)), Gate::cx(q(3), q(0))]).unwrap();
     exp.cat_comm_block(q(1), n(1), &[Gate::cx(q(1), q(3))]).unwrap();
     let physical = exp.finish();
     assert_eq!(physical.epr_pairs, 3);

@@ -99,10 +99,7 @@ impl SubAssign for Complex {
 impl Mul for Complex {
     type Output = Complex;
     fn mul(self, rhs: Complex) -> Complex {
-        Complex {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Complex { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 
@@ -162,7 +159,7 @@ mod tests {
     #[test]
     fn cis_lies_on_unit_circle() {
         for k in 0..8 {
-            let z = Complex::cis(k as f64 * 0.7853981633974483);
+            let z = Complex::cis(k as f64 * std::f64::consts::FRAC_PI_4);
             assert!((z.norm() - 1.0).abs() < 1e-12);
         }
         assert!(Complex::cis(std::f64::consts::PI).approx_eq(Complex::real(-1.0), 1e-12));

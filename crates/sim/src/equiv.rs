@@ -252,6 +252,6 @@ mod tests {
         c.push(Gate::barrier(&[q(0), q(1)])).unwrap();
         let u = circuit_unitary(&c).unwrap();
         assert!(u.approx_eq(&Matrix::identity(4), 1e-12));
-        assert_eq!(GateKind::Barrier.is_unitary(), false);
+        assert!(!GateKind::Barrier.is_unitary());
     }
 }

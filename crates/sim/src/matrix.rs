@@ -149,11 +149,7 @@ impl Matrix {
     /// Entry-wise approximate equality.
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         self.dim == other.dim
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| a.approx_eq(*b, tol))
+            && self.data.iter().zip(&other.data).all(|(a, b)| a.approx_eq(*b, tol))
     }
 
     /// Embeds a `2^k`-dimensional operator acting on `operands` into the
@@ -235,9 +231,7 @@ pub(crate) fn single_qubit_matrix(kind: GateKind, params: &[f64]) -> Option<[[Co
         GateKind::S => [[c(1.0), c(0.0)], [c(0.0), Complex::I]],
         GateKind::Sdg => [[c(1.0), c(0.0)], [c(0.0), -Complex::I]],
         GateKind::T => [[c(1.0), c(0.0)], [c(0.0), Complex::cis(std::f64::consts::FRAC_PI_4)]],
-        GateKind::Tdg => {
-            [[c(1.0), c(0.0)], [c(0.0), Complex::cis(-std::f64::consts::FRAC_PI_4)]]
-        }
+        GateKind::Tdg => [[c(1.0), c(0.0)], [c(0.0), Complex::cis(-std::f64::consts::FRAC_PI_4)]],
         GateKind::Sx => {
             let p = Complex::new(0.5, 0.5);
             let n = Complex::new(0.5, -0.5);
@@ -246,10 +240,7 @@ pub(crate) fn single_qubit_matrix(kind: GateKind, params: &[f64]) -> Option<[[Co
         GateKind::Rx => {
             let t = params[0] / 2.0;
             let (cos, sin) = (t.cos(), t.sin());
-            [
-                [c(cos), Complex::new(0.0, -sin)],
-                [Complex::new(0.0, -sin), c(cos)],
-            ]
+            [[c(cos), Complex::new(0.0, -sin)], [Complex::new(0.0, -sin), c(cos)]]
         }
         GateKind::Ry => {
             let t = params[0] / 2.0;
@@ -264,10 +255,7 @@ pub(crate) fn single_qubit_matrix(kind: GateKind, params: &[f64]) -> Option<[[Co
             let (t, phi, lam) = (params[0] / 2.0, params[1], params[2]);
             [
                 [c(t.cos()), -Complex::cis(lam).scale(t.sin())],
-                [
-                    Complex::cis(phi).scale(t.sin()),
-                    Complex::cis(phi + lam).scale(t.cos()),
-                ],
+                [Complex::cis(phi).scale(t.sin()), Complex::cis(phi + lam).scale(t.cos())],
             ]
         }
         _ => return None,
@@ -291,9 +279,9 @@ pub fn gate_unitary(gate: &Gate) -> Result<Matrix, SimError> {
     }
     if let Some(m2) = single_qubit_matrix(gate.kind(), gate.params()) {
         let mut m = Matrix::zeros(2);
-        for i in 0..2 {
-            for j in 0..2 {
-                m.set(i, j, m2[i][j]);
+        for (i, row) in m2.iter().enumerate() {
+            for (j, &entry) in row.iter().enumerate() {
+                m.set(i, j, entry);
             }
         }
         return Ok(m);

@@ -196,9 +196,8 @@ impl StateVector {
             return Err(SimError::DimensionMismatch { context: "subset fidelity" });
         }
         let k = data_qubits.len();
-        let rest_qubits: Vec<usize> = (0..self.num_qubits)
-            .filter(|i| !data_qubits.iter().any(|q| q.index() == *i))
-            .collect();
+        let rest_qubits: Vec<usize> =
+            (0..self.num_qubits).filter(|i| !data_qubits.iter().any(|q| q.index() == *i)).collect();
         let mut total = 0.0;
         for rest_bits in 0..(1usize << rest_qubits.len()) {
             let mut base = 0usize;
@@ -230,12 +229,7 @@ impl StateVector {
     /// Panics when `q` is out of range.
     pub fn probability_one(&self, q: QubitId) -> f64 {
         let bit = 1usize << q.index();
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.amps.iter().enumerate().filter(|(i, _)| i & bit != 0).map(|(_, a)| a.norm_sqr()).sum()
     }
 
     /// Rescales to unit norm (no-op on the zero vector).
@@ -348,8 +342,13 @@ impl StateVector {
                 self.apply_two_qubit_diagonal(gate);
                 Ok(())
             }
-            GateKind::Z | GateKind::S | GateKind::Sdg | GateKind::T | GateKind::Tdg
-            | GateKind::Rz | GateKind::Phase => {
+            GateKind::Z
+            | GateKind::S
+            | GateKind::Sdg
+            | GateKind::T
+            | GateKind::Tdg
+            | GateKind::Rz
+            | GateKind::Phase => {
                 self.apply_single_diagonal(gate);
                 Ok(())
             }
@@ -422,12 +421,7 @@ impl StateVector {
         let (qa, qb) = (gate.qubits()[0], gate.qubits()[1]);
         let (ba, bb) = (1usize << qa.index(), 1usize << qb.index());
         let diag: [Complex; 4] = match gate.kind() {
-            GateKind::Cz => [
-                Complex::ONE,
-                Complex::ONE,
-                Complex::ONE,
-                Complex::real(-1.0),
-            ],
+            GateKind::Cz => [Complex::ONE, Complex::ONE, Complex::ONE, Complex::real(-1.0)],
             GateKind::Cp => {
                 let t = gate.theta().expect("cp parameter");
                 [Complex::ONE, Complex::ONE, Complex::ONE, Complex::cis(t)]
@@ -438,12 +432,7 @@ impl StateVector {
             }
             GateKind::Rzz => {
                 let t = gate.theta().expect("rzz parameter") / 2.0;
-                [
-                    Complex::cis(-t),
-                    Complex::cis(t),
-                    Complex::cis(t),
-                    Complex::cis(-t),
-                ]
+                [Complex::cis(-t), Complex::cis(t), Complex::cis(t), Complex::cis(-t)]
             }
             _ => unreachable!("two-qubit diagonal kinds"),
         };
@@ -621,9 +610,7 @@ mod tests {
         let mut c = ClassicalState::new(0);
         let err = s.apply(&Gate::h(q(5)), &mut c, &mut rng()).unwrap_err();
         assert!(matches!(err, SimError::DimensionMismatch { .. }));
-        let err = s
-            .apply(&Gate::measure(q(0), CBitId::new(0)), &mut c, &mut rng())
-            .unwrap_err();
+        let err = s.apply(&Gate::measure(q(0), CBitId::new(0)), &mut c, &mut rng()).unwrap_err();
         assert!(matches!(err, SimError::MissingClassicalBit { .. }));
     }
 

@@ -1,8 +1,8 @@
 //! Application benchmarks: BV, QAOA max-cut, UCCSD.
 
-use dqc_circuit::{Circuit, Gate, QubitId};
 #[cfg(test)]
 use dqc_circuit::GateKind;
+use dqc_circuit::{Circuit, Gate, QubitId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -130,7 +130,7 @@ pub fn qaoa_maxcut(num_qubits: usize, num_edges: usize, seed: u64) -> Circuit {
 /// Panics if `num_qubits < 8` or not a multiple of 4.
 pub fn uccsd(num_qubits: usize) -> Circuit {
     assert!(
-        num_qubits >= 8 && num_qubits % 4 == 0,
+        num_qubits >= 8 && num_qubits.is_multiple_of(4),
         "UCCSD generator expects a multiple of 4, at least 8 qubits"
     );
     let occ = num_qubits / 4;
@@ -171,12 +171,7 @@ pub fn uccsd(num_qubits: usize) -> Circuit {
                 for b in a + 1..num_qubits {
                     let theta = next_theta();
                     for (axes, sign) in DOUBLE_STRINGS {
-                        let ops = [
-                            (i, axes[0]),
-                            (j, axes[1]),
-                            (a, axes[2]),
-                            (b, axes[3]),
-                        ];
+                        let ops = [(i, axes[0]), (j, axes[1]), (a, axes[2]), (b, axes[3])];
                         pauli_exponential(&mut c, &ops, sign * theta / 8.0);
                     }
                 }
@@ -229,6 +224,44 @@ fn pauli_exponential(c: &mut Circuit, ops: &[(usize, Axis)], theta: f64) {
 #[cfg(test)]
 pub(crate) fn count_kind(c: &Circuit, kind: GateKind) -> usize {
     c.gates().iter().filter(|g| g.kind() == kind).count()
+}
+
+/// Quantum phase estimation of a single-qubit phase gate `P(2πφ)`:
+/// `counting` counting qubits (qubits `0..counting`), one eigenstate qubit
+/// (the last), controlled-phase ladder, then the inverse QFT on the
+/// counting register. A standard composite workload exercising both the
+/// all-control burst pattern (the ladder) and QFT-style diagonal cascades.
+///
+/// # Panics
+///
+/// Panics if `counting == 0`.
+///
+/// ```
+/// use dqc_workloads::qpe;
+/// let c = qpe(4, 0.3125); // φ = 5/16: exactly representable in 4 bits
+/// assert_eq!(c.num_qubits(), 5);
+/// ```
+pub fn qpe(counting: usize, phase: f64) -> Circuit {
+    assert!(counting > 0, "QPE needs at least one counting qubit");
+    let n = counting + 1;
+    let q = QubitId::new;
+    let target = q(counting);
+    let mut c = Circuit::new(n);
+    // Eigenstate |1⟩ of P(θ), counting register in |+⟩^t.
+    c.push(Gate::x(target)).expect("in range");
+    for i in 0..counting {
+        c.push(Gate::h(q(i))).expect("in range");
+    }
+    // Controlled-U^{2^k}: counting qubit k accumulates phase 2^k · 2πφ.
+    for k in 0..counting {
+        let theta = std::f64::consts::TAU * phase * (1u64 << k) as f64;
+        c.push(Gate::cp(theta, q(k), target)).expect("in range");
+    }
+    // Inverse QFT on the counting register (the target is untouched).
+    for gate in crate::qft_inverse(counting).gates() {
+        c.push(gate.clone()).expect("in range");
+    }
+    c
 }
 
 #[cfg(test)]
@@ -315,49 +348,10 @@ mod tests {
         let id = Matrix::identity(4);
         for i in 0..4 {
             for j in 0..4 {
-                let v = id.get(i, j).scale(cos)
-                    + (dqc_sim::Complex::I * xy.get(i, j)).scale(-sin);
+                let v = id.get(i, j).scale(cos) + (dqc_sim::Complex::I * xy.get(i, j)).scale(-sin);
                 direct.set(i, j, v);
             }
         }
         assert!(equivalent_up_to_phase(&circuit_u, &direct, 1e-9));
     }
-}
-
-/// Quantum phase estimation of a single-qubit phase gate `P(2πφ)`:
-/// `counting` counting qubits (qubits `0..counting`), one eigenstate qubit
-/// (the last), controlled-phase ladder, then the inverse QFT on the
-/// counting register. A standard composite workload exercising both the
-/// all-control burst pattern (the ladder) and QFT-style diagonal cascades.
-///
-/// # Panics
-///
-/// Panics if `counting == 0`.
-///
-/// ```
-/// use dqc_workloads::qpe;
-/// let c = qpe(4, 0.3125); // φ = 5/16: exactly representable in 4 bits
-/// assert_eq!(c.num_qubits(), 5);
-/// ```
-pub fn qpe(counting: usize, phase: f64) -> Circuit {
-    assert!(counting > 0, "QPE needs at least one counting qubit");
-    let n = counting + 1;
-    let q = QubitId::new;
-    let target = q(counting);
-    let mut c = Circuit::new(n);
-    // Eigenstate |1⟩ of P(θ), counting register in |+⟩^t.
-    c.push(Gate::x(target)).expect("in range");
-    for i in 0..counting {
-        c.push(Gate::h(q(i))).expect("in range");
-    }
-    // Controlled-U^{2^k}: counting qubit k accumulates phase 2^k · 2πφ.
-    for k in 0..counting {
-        let theta = std::f64::consts::TAU * phase * (1u64 << k) as f64;
-        c.push(Gate::cp(theta, q(k), target)).expect("in range");
-    }
-    // Inverse QFT on the counting register (the target is untouched).
-    for gate in crate::qft_inverse(counting).gates() {
-        c.push(gate.clone()).expect("in range");
-    }
-    c
 }

@@ -45,7 +45,7 @@ pub fn mctr(num_qubits: usize) -> Circuit {
 /// ```
 pub fn rca(num_qubits: usize) -> Circuit {
     assert!(
-        num_qubits >= 4 && num_qubits % 2 == 0,
+        num_qubits >= 4 && num_qubits.is_multiple_of(2),
         "RCA needs an even register of at least 4 qubits, got {num_qubits}"
     );
     let k = (num_qubits - 2) / 2;
@@ -158,10 +158,7 @@ mod tests {
         s.run(&prep, &mut SplitMix64::new(1)).unwrap();
         // Expected basis state: a=2 restored (q3=1), b=3 (q2=1, q4=1).
         let expect_index = (1 << 3) | (1 << 2) | (1 << 4);
-        assert!(
-            s.amplitudes()[expect_index].norm() > 1.0 - 1e-9,
-            "adder output wrong"
-        );
+        assert!(s.amplitudes()[expect_index].norm() > 1.0 - 1e-9, "adder output wrong");
     }
 
     #[test]
@@ -190,8 +187,8 @@ mod tests {
         let omega = 2.0 * std::f64::consts::PI / dim as f64;
         for j in 0..dim {
             for k in 0..dim {
-                let expect = dqc_sim::Complex::cis(omega * (j * k) as f64)
-                    .scale(1.0 / (dim as f64).sqrt());
+                let expect =
+                    dqc_sim::Complex::cis(omega * (j * k) as f64).scale(1.0 / (dim as f64).sqrt());
                 let got = u.get(k, j);
                 assert!(
                     got.approx_eq(expect, 1e-9),
@@ -220,11 +217,9 @@ pub fn qft_inverse(num_qubits: usize) -> Circuit {
     for gate in qft(num_qubits).gates().iter().rev() {
         let adj = match gate.kind() {
             dqc_circuit::GateKind::H | dqc_circuit::GateKind::Swap => gate.clone(),
-            dqc_circuit::GateKind::Cp => Gate::cp(
-                -gate.theta().expect("cp parameter"),
-                gate.qubits()[0],
-                gate.qubits()[1],
-            ),
+            dqc_circuit::GateKind::Cp => {
+                Gate::cp(-gate.theta().expect("cp parameter"), gate.qubits()[0], gate.qubits()[1])
+            }
             _ => unreachable!("qft emits only H, CP, and SWAP"),
         };
         c.push(adj).expect("in range");

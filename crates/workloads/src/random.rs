@@ -70,7 +70,7 @@ fn random_gate(num_qubits: usize, rng: &mut StdRng) -> Gate {
         }
         let theta = rng.random_range(0.0..std::f64::consts::TAU);
         match choice {
-            5 | 6 | 7 => Gate::cx(q(a), q(b)),
+            5..=7 => Gate::cx(q(a), q(b)),
             8 => Gate::cz(q(a), q(b)),
             9 => Gate::crz(theta, q(a), q(b)),
             10 => Gate::rzz(theta, q(a), q(b)),

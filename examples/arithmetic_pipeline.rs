@@ -7,8 +7,8 @@
 //! Run with `cargo run --example arithmetic_pipeline`.
 
 use autocomm::{
-    aggregate, assign, schedule, AggregateOptions, AssignedItem, CommMetrics, Item, Scheme,
-    ScheduleOptions,
+    aggregate, assign, schedule, AggregateOptions, AssignedItem, CommMetrics, Item,
+    ScheduleOptions, Scheme,
 };
 use dqc_circuit::{Circuit, Gate, NodeId, Partition, QubitId};
 use dqc_hardware::HardwareSpec;
@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     circuit.push(Gate::cx(q[1], q[3]))?; // q1 → node B
     circuit.push(Gate::cx(q[0], q[5]))?; // q0 → node C   (interleaved pair)
     circuit.push(Gate::cx(q[2], q[0]))?; // node B → q0   (direction flip)
-    circuit.push(Gate::tdg(q[0]))?;      // obstruction on the burst qubit
+    circuit.push(Gate::tdg(q[0]))?; // obstruction on the burst qubit
     circuit.push(Gate::cx(q[0], q[4]))?; // q0 → node B
     circuit.push(Gate::h(q[6]))?;
     circuit.push(Gate::cx(q[0], q[6]))?; // q0 → node C
@@ -65,10 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Scheme::Cat(o) => format!("Cat-Comm ({o:?})"),
                 Scheme::Tp => "TP-Comm".to_string(),
             };
-            println!(
-                "  {}  →  {scheme}, {} comm(s), {} segment(s)",
-                b.block, b.comms, b.segments
-            );
+            println!("  {}  →  {scheme}, {} comm(s), {} segment(s)", b.block, b.comms, b.segments);
         }
     }
     let metrics = CommMetrics::of(&assigned);
@@ -81,8 +78,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = HardwareSpec::for_partition(&partition);
     let summary = schedule(&assigned, &partition, &hw, ScheduleOptions::default());
     let plain = schedule(&assigned, &partition, &hw, ScheduleOptions::plain_greedy());
-    println!("\nschedule (burst-greedy): {:.1} CX units, {} EPR pairs", summary.makespan, summary.epr_pairs);
-    println!("schedule (plain greedy): {:.1} CX units, {} EPR pairs", plain.makespan, plain.epr_pairs);
+    println!(
+        "\nschedule (burst-greedy): {:.1} CX units, {} EPR pairs",
+        summary.makespan, summary.epr_pairs
+    );
+    println!(
+        "schedule (plain greedy): {:.1} CX units, {} EPR pairs",
+        plain.makespan, plain.epr_pairs
+    );
     println!(
         "burst-greedy saves {:.1}x latency; TP fusion saved {} teleport(s)",
         plain.makespan / summary.makespan,

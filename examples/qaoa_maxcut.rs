@@ -43,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "AutoComm", autocomm.metrics.total_comms, autocomm.schedule.makespan
     );
     println!("{:<22} {:>10} {:>14.1}", "sparse (Cat per CX)", sparse.total_comms, sparse.makespan);
-    println!(
-        "{:<22} {:>10} {:>14.1}",
-        "GP-TP (relocation)", gp.total_comms, gp.makespan
-    );
+    println!("{:<22} {:>10} {:>14.1}", "GP-TP (relocation)", gp.total_comms, gp.makespan);
 
     println!(
         "\nAutoComm vs sparse: {:.2}x fewer comms, {:.2}x faster",

@@ -18,9 +18,7 @@ fn factor(num_qubits: usize, num_nodes: usize, comm_qubits: usize) -> (f64, f64)
     let graph = InteractionGraph::from_circuit(&unrolled);
     let partition = oee_partition(&graph, num_nodes).expect("valid nodes");
     let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(comm_qubits);
-    let result = AutoComm::new()
-        .compile_on(&circuit, &partition, &hw)
-        .expect("compiles");
+    let result = AutoComm::new().compile_on(&circuit, &partition, &hw).expect("compiles");
     let baseline = compile_ferrari(&circuit, &partition, &hw).expect("compiles");
     (
         baseline.total_comms as f64 / result.metrics.total_comms.max(1) as f64,

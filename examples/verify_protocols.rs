@@ -30,9 +30,8 @@ fn verify(name: &str, circuit: &dqc_circuit::Circuit, partition: &Partition, see
     let mut state = StateVector::from_amplitudes(amps).expect("small");
     state.run(&physical.circuit, &mut rng).expect("simulates");
 
-    let fidelity = state
-        .subset_fidelity(&expected, &physical.logical_qubits())
-        .expect("aligned registers");
+    let fidelity =
+        state.subset_fidelity(&expected, &physical.logical_qubits()).expect("aligned registers");
     println!(
         "{name:<28} {} EPR pairs ({} cat / {} tp blocks)  fidelity {fidelity:.12}",
         physical.epr_pairs, physical.cat_blocks, physical.tp_blocks

@@ -4,8 +4,7 @@ use autocomm_repro::circuit::{
     from_qasm, to_qasm, unroll_circuit, CBitId, Circuit, Gate, Partition, QubitId,
 };
 use autocomm_repro::core::{
-    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions,
-    ScheduleOptions,
+    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions, ScheduleOptions,
 };
 use autocomm_repro::hardware::{HardwareSpec, LatencyModel};
 
@@ -49,11 +48,8 @@ fn measurements_and_feedforward_pass_through() {
     assert_eq!(r.metrics.total_comms, 2);
     // Flattened program preserves the measure → conditioned-X order.
     let flat = r.aggregated.to_circuit();
-    let measure_pos = flat
-        .gates()
-        .iter()
-        .position(|g| g.cbit().is_some())
-        .expect("measure survives");
+    let measure_pos =
+        flat.gates().iter().position(|g| g.cbit().is_some()).expect("measure survives");
     let cond_pos = flat
         .gates()
         .iter()
@@ -68,9 +64,7 @@ fn zero_defer_window_still_compiles_correctly() {
     let c = unroll_circuit(&c).unwrap();
     let agg = aggregate(&c, &p, AggregateOptions { defer_limit: 0 });
     // Correctness must not depend on the window (only block quality does).
-    assert!(
-        autocomm_repro::sim::circuits_equivalent(&c, &agg.to_circuit(), 1e-8).unwrap()
-    );
+    assert!(autocomm_repro::sim::circuits_equivalent(&c, &agg.to_circuit(), 1e-8).unwrap());
     let remote = c.gates().iter().filter(|g| p.is_remote(g)).count();
     let in_blocks: usize = agg.blocks().map(|b| b.remote_gate_count()).sum();
     assert_eq!(remote, in_blocks);
@@ -98,12 +92,8 @@ fn free_epr_latency_model_collapses_comm_cost() {
     let p = Partition::block(12, 2).unwrap();
     let unrolled = unroll_circuit(&c).unwrap();
     let assigned = assign(&aggregate(&unrolled, &p, AggregateOptions::default()));
-    let normal = schedule(
-        &assigned,
-        &p,
-        &HardwareSpec::for_partition(&p),
-        ScheduleOptions::plain_greedy(),
-    );
+    let normal =
+        schedule(&assigned, &p, &HardwareSpec::for_partition(&p), ScheduleOptions::plain_greedy());
     let free_epr = schedule(
         &assigned,
         &p,

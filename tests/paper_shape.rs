@@ -2,9 +2,7 @@
 //! what factor, and which qualitative patterns hold. These tests pin the
 //! reproduction to the published trends without requiring exact numbers.
 
-use autocomm_repro::baselines::{
-    ablation, compile_ferrari, compile_gp_tp,
-};
+use autocomm_repro::baselines::{ablation, compile_ferrari, compile_gp_tp};
 use autocomm_repro::circuit::{unroll_circuit, Partition};
 use autocomm_repro::core::{burst_distribution, AutoComm};
 use autocomm_repro::hardware::HardwareSpec;
@@ -169,10 +167,7 @@ fn sensitivity_trends_match_fig17de() {
     // shrinks when qubits spread over more nodes.
     let few_nodes = improv(&wl::qft(48), 2);
     let many_nodes = improv(&wl::qft(48), 12);
-    assert!(
-        few_nodes > many_nodes,
-        "more qubits per node must help: {few_nodes} vs {many_nodes}"
-    );
+    assert!(few_nodes > many_nodes, "more qubits per node must help: {few_nodes} vs {many_nodes}");
 }
 
 #[test]

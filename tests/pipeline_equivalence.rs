@@ -5,8 +5,7 @@
 
 use autocomm_repro::circuit::{unroll_circuit, Partition};
 use autocomm_repro::core::{
-    aggregate, assign, assign_cat_only, lower_assigned, orient_symmetric_gates,
-    AggregateOptions,
+    aggregate, assign, assign_cat_only, lower_assigned, orient_symmetric_gates, AggregateOptions,
 };
 use autocomm_repro::sim::{circuits_equivalent, Complex, SplitMix64, StateVector};
 use autocomm_repro::workloads::random_distributed_circuit;
@@ -36,9 +35,7 @@ fn pipeline_fidelity(
     amps[..input.amplitudes().len()].copy_from_slice(input.amplitudes());
     let mut state = StateVector::from_amplitudes(amps).unwrap();
     state.run(&physical.circuit, &mut rng).unwrap();
-    state
-        .subset_fidelity(&expected, &physical.logical_qubits())
-        .unwrap()
+    state.subset_fidelity(&expected, &physical.logical_qubits()).unwrap()
 }
 
 proptest! {

@@ -61,11 +61,11 @@ proptest! {
 #[test]
 fn qasm_rejects_malformed_programs() {
     for bad in [
-        "qreg q[2];\ncx q[0];\n",                 // wrong arity
-        "qreg q[2];\nrz q[0];\n",                 // missing parameter
-        "qreg q[2];\nif (c[0] == 0) x q[0];\n",   // unsupported condition value
-        "qreg q[2];\nmeasure q[0];\n",            // measure without target
-        "qreg q[2];\ncx q[0], q[5];\n",           // out-of-range operand
+        "qreg q[2];\ncx q[0];\n",               // wrong arity
+        "qreg q[2];\nrz q[0];\n",               // missing parameter
+        "qreg q[2];\nif (c[0] == 0) x q[0];\n", // unsupported condition value
+        "qreg q[2];\nmeasure q[0];\n",          // measure without target
+        "qreg q[2];\ncx q[0], q[5];\n",         // out-of-range operand
     ] {
         assert!(from_qasm(bad).is_err(), "accepted: {bad}");
     }

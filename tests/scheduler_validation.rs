@@ -4,8 +4,7 @@
 
 use autocomm_repro::circuit::{unroll_circuit, Partition};
 use autocomm_repro::core::{
-    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions,
-    ScheduleOptions,
+    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions, ScheduleOptions,
 };
 use autocomm_repro::hardware::{validate_events, HardwareSpec};
 use autocomm_repro::workloads as wl;

@@ -1,0 +1,123 @@
+//! Suite-wide invariants: every benchmark workload, compiled through the
+//! pass manager under every configuration, satisfies the paper's metric
+//! relations — and the pass-manager pipeline produces *exactly* the same
+//! artifacts as composing the passes by hand (the legacy
+//! orient → unroll → aggregate → assign → schedule sequence).
+
+use autocomm_repro::circuit::{unroll_circuit, Circuit, Partition};
+use autocomm_repro::core::{
+    aggregate, aggregate_no_commute, assign, assign_cat_only, orient_symmetric_gates, schedule,
+    Ablation, AutoComm, AutoCommOptions, CommMetrics, CompileResult,
+};
+use autocomm_repro::hardware::HardwareSpec;
+use autocomm_repro::workloads as wl;
+
+/// Small instances of all six Table-2 workload families.
+fn suite() -> Vec<(&'static str, Circuit, usize)> {
+    vec![
+        ("mctr", wl::mctr(12), 2),
+        ("rca", wl::rca(12), 3),
+        ("qft", wl::qft(12), 3),
+        ("bv", wl::bv(12), 3),
+        ("qaoa", wl::qaoa_maxcut(12, 30, 1), 3),
+        ("uccsd", wl::uccsd(8), 4),
+    ]
+}
+
+/// The pre-pass-manager compiler: direct calls to each pass in the fixed
+/// legacy order, with the same option toggles `AutoComm` honours.
+fn compile_legacy(
+    circuit: &Circuit,
+    partition: &Partition,
+    options: &AutoCommOptions,
+) -> (Circuit, CommMetrics, autocomm_repro::core::ScheduleSummary, usize) {
+    let oriented = if options.orient_symmetric {
+        orient_symmetric_gates(circuit, partition)
+    } else {
+        circuit.clone()
+    };
+    let unrolled = unroll_circuit(&oriented).unwrap();
+    let aggregated = if options.commutation_aggregation {
+        aggregate(&unrolled, partition, options.aggregate)
+    } else {
+        aggregate_no_commute(&unrolled, partition)
+    };
+    let assigned =
+        if options.hybrid_assignment { assign(&aggregated) } else { assign_cat_only(&aggregated) };
+    let metrics = CommMetrics::of(&assigned);
+    let hw = HardwareSpec::for_partition(partition);
+    let summary = schedule(&assigned, partition, &hw, options.schedule);
+    (unrolled, metrics, summary, assigned.items().len())
+}
+
+fn configurations() -> Vec<(String, AutoCommOptions)> {
+    let mut configs = vec![("full".to_string(), AutoCommOptions::default())];
+    for ablation in Ablation::all() {
+        configs.push((
+            ablation.name().to_string(),
+            AutoCommOptions::default().with_ablation(ablation),
+        ));
+    }
+    configs
+}
+
+#[test]
+fn every_workload_satisfies_metric_invariants() {
+    for (name, circuit, nodes) in suite() {
+        let partition = Partition::block(circuit.num_qubits(), nodes).unwrap();
+        for (config, options) in configurations() {
+            let r: CompileResult =
+                AutoComm::with_options(options).compile(&circuit, &partition).unwrap();
+            let label = format!("{name}/{config}");
+            assert!(
+                r.metrics.tp_comms <= r.metrics.total_comms,
+                "{label}: tp_comms {} > total_comms {}",
+                r.metrics.tp_comms,
+                r.metrics.total_comms
+            );
+            assert!(r.schedule.makespan > 0.0, "{label}: empty schedule");
+            assert!(
+                r.metrics.total_comms <= r.metrics.total_rem_cx,
+                "{label}: more comms than remote CXs"
+            );
+            assert!(r.metrics.improvement_factor() >= 1.0, "{label}: regressed vs sparse");
+            // Every pass reported, and the report covers the whole pipeline.
+            assert!(
+                r.passes.iter().any(|p| p.pass == "schedule"),
+                "{label}: missing schedule report"
+            );
+        }
+    }
+}
+
+#[test]
+fn pass_manager_matches_legacy_compiler_on_every_workload() {
+    for (name, circuit, nodes) in suite() {
+        let partition = Partition::block(circuit.num_qubits(), nodes).unwrap();
+        for (config, options) in configurations() {
+            let label = format!("{name}/{config}");
+            let r = AutoComm::with_options(options).compile(&circuit, &partition).unwrap();
+            let (unrolled, metrics, summary, num_items) =
+                compile_legacy(&circuit, &partition, &options);
+            assert_eq!(r.unrolled, unrolled, "{label}: unrolled circuit differs");
+            assert_eq!(r.metrics, metrics, "{label}: metrics differ");
+            assert_eq!(r.schedule, summary, "{label}: schedule differs");
+            assert_eq!(r.assigned.items().len(), num_items, "{label}: assignment differs");
+        }
+    }
+}
+
+#[test]
+fn whole_table2_suite_compiles_under_the_quick_configs() {
+    // The same configurations dqc-bench smoke-tests: every workload family
+    // at two scales, end to end through the pass manager.
+    for workload in wl::Workload::all() {
+        let (qubits, nodes) = if workload == wl::Workload::Uccsd { (8, 4) } else { (20, 2) };
+        let config = wl::BenchConfig::new(workload, qubits, nodes);
+        let circuit = wl::generate(&config);
+        let partition = Partition::block(circuit.num_qubits(), nodes).unwrap();
+        let r = AutoComm::new().compile(&circuit, &partition).unwrap();
+        assert!(r.metrics.tp_comms <= r.metrics.total_comms);
+        assert!(r.schedule.makespan > 0.0);
+    }
+}

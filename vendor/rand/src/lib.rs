@@ -1,0 +1,133 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to crates.io, so this tiny
+//! path crate supplies exactly the surface the workspace uses: a seedable
+//! [`rngs::StdRng`] plus the [`RngExt::random_range`] sampler over integer
+//! and float ranges. Everything is deterministic from the seed, which is
+//! what the workloads and property tests rely on; statistical quality is
+//! SplitMix64-grade, which is plenty for test-case generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// The next word in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling on top of any [`RngCore`] (the subset of the real
+/// crate's `Rng` extension trait this workspace uses).
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range`. Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one sample using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64. Deterministic from
+    /// its seed and good enough for test-case generation.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}
