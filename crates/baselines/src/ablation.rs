@@ -81,6 +81,26 @@ mod tests {
     }
 
     #[test]
+    fn ablation_results_share_the_indexed_ir_shape() {
+        // Non-circuit-rewriting ablations compile over the same `CommIr`
+        // contents (same unrolled stream, table, and conflict DAG) — the
+        // Fig. 17 deltas are pure pass behavior, not IR differences.
+        let c = dqc_workloads::qft(10);
+        let p = Partition::block(10, 2).unwrap();
+        let full = AutoComm::new().compile(&c, &p).unwrap();
+        for r in [
+            compile_no_commute(&c, &p).unwrap(),
+            compile_cat_only(&c, &p).unwrap(),
+            compile_plain_greedy(&c, &p).unwrap(),
+        ] {
+            assert_eq!(r.ir.len(), full.ir.len());
+            assert_eq!(r.ir.unique_gates(), full.ir.unique_gates());
+            assert_eq!(r.ir.dag().edge_count(), full.ir.dag().edge_count());
+            assert_eq!(r.ir.ranked_pairs(), full.ir.ranked_pairs());
+        }
+    }
+
+    #[test]
     fn no_commute_equals_remote_cx_count() {
         // Singleton blocks: Tot Comm = # REM CX (the sparse baseline).
         let c = dqc_workloads::bv(12);

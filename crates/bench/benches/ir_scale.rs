@@ -1,0 +1,70 @@
+//! IR-scale benchmarks: end-to-end and per-pass compile throughput on a
+//! ~10k-gate (~19k unrolled) random circuit, the configuration whose
+//! pre-/post-refactor numbers are recorded in
+//! `crates/bench/baselines/ir_10k_baseline.json`.
+//!
+//! The `CommIr` re-platforming is a compile-*time* change, so these benches
+//! are the acceptance evidence: `end-to-end/random-8-2-10000` must stay
+//! ≥ 3× under the pre-refactor baseline in that JSON (which also snapshots
+//! a wider random sweep and QFT-100).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use autocomm::{
+    aggregate_ir, assign, schedule, AggregateOptions, AutoComm, CommIr, ScheduleOptions,
+};
+use dqc_circuit::unroll_circuit;
+use dqc_hardware::HardwareSpec;
+
+/// The baseline configuration: 10k random gates on 8 qubits over 2 nodes
+/// (deep circuits maximise commutation-scan pressure), seed 7.
+fn baseline_inputs() -> (dqc_circuit::Circuit, dqc_circuit::Partition) {
+    dqc_workloads::random_distributed_circuit(8, 2, 10_000, 7)
+}
+
+fn bench_end_to_end_10k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end-to-end");
+    let (circuit, partition) = baseline_inputs();
+    group.bench_function("random-8-2-10000", |b| {
+        b.iter(|| black_box(AutoComm::new().compile(&circuit, &partition).unwrap()))
+    });
+    let (circuit, partition) = dqc_workloads::random_distributed_circuit(32, 4, 10_000, 7);
+    group.bench_function("random-32-4-10000", |b| {
+        b.iter(|| black_box(AutoComm::new().compile(&circuit, &partition).unwrap()))
+    });
+    let qft = dqc_workloads::qft(100);
+    let p = dqc_circuit::Partition::block(100, 4).unwrap();
+    group.bench_function("qft-100-4", |b| {
+        b.iter(|| black_box(AutoComm::new().compile(&qft, &p).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_per_pass_10k(c: &mut Criterion) {
+    let (raw, partition) = baseline_inputs();
+    let oriented = autocomm::orient_symmetric_gates(&raw, &partition);
+    let circuit = unroll_circuit(&oriented).unwrap();
+    let ir = CommIr::build_shared(&circuit, &partition);
+    let aggregated = aggregate_ir(ir.clone(), AggregateOptions::default());
+    let assigned = assign(&aggregated);
+    let hw = HardwareSpec::for_partition(&partition);
+
+    let mut group = c.benchmark_group("pass-10k");
+    group.bench_function("comm-ir", |b| {
+        b.iter(|| black_box(CommIr::build_shared(black_box(&circuit), &partition)))
+    });
+    group.bench_function("aggregate", |b| {
+        b.iter(|| black_box(aggregate_ir(ir.clone(), AggregateOptions::default())))
+    });
+    group.bench_function("assign", |b| b.iter(|| black_box(assign(black_box(&aggregated)))));
+    group.bench_function("schedule", |b| {
+        b.iter(|| {
+            black_box(schedule(black_box(&assigned), &partition, &hw, ScheduleOptions::default()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end_10k, bench_per_pass_10k);
+criterion_main!(benches);

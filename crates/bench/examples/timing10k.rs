@@ -1,0 +1,57 @@
+//! Wall-clock timing of a ~10k-gate random-circuit compile, per pass and
+//! end to end (one warm-up pass, then the mean of ten runs; the criterion
+//! bench `ir_scale` tracks the same configurations statistically and the
+//! recorded pre-/post-refactor numbers live in
+//! `crates/bench/baselines/ir_10k_baseline.json`).
+
+use std::time::Instant;
+
+fn main() {
+    let (raw, p) = dqc_workloads::random_distributed_circuit(8, 2, 10_000, 7);
+    let c = dqc_circuit::unroll_circuit(&autocomm::orient_symmetric_gates(&raw, &p)).unwrap();
+    eprintln!("gates: {} (after unrolling)", c.len());
+
+    let ir = autocomm::CommIr::build_shared(&c, &p);
+    let agg = autocomm::aggregate_ir(ir.clone(), autocomm::AggregateOptions::default());
+    let asg = autocomm::assign(&agg);
+    let hw = dqc_hardware::HardwareSpec::for_partition(&p);
+    eprintln!(
+        "comm-ir: {} unique gates, {} dag edges; aggregate: {} blocks",
+        ir.unique_gates(),
+        ir.dag().edge_count(),
+        agg.block_count()
+    );
+
+    const RUNS: u32 = 10;
+    fn timed(name: &str, mut f: impl FnMut()) {
+        f(); // warm-up
+        let t = Instant::now();
+        for _ in 0..RUNS {
+            f();
+        }
+        eprintln!("{name}: {:?}/run", t.elapsed() / RUNS);
+    }
+    timed("comm-ir", || {
+        std::hint::black_box(autocomm::CommIr::build_shared(&c, &p));
+    });
+    timed("aggregate", || {
+        std::hint::black_box(autocomm::aggregate_ir(
+            ir.clone(),
+            autocomm::AggregateOptions::default(),
+        ));
+    });
+    timed("assign", || {
+        std::hint::black_box(autocomm::assign(&agg));
+    });
+    timed("schedule", || {
+        std::hint::black_box(autocomm::schedule(
+            &asg,
+            &p,
+            &hw,
+            autocomm::ScheduleOptions::default(),
+        ));
+    });
+    timed("end-to-end compile", || {
+        std::hint::black_box(autocomm::AutoComm::new().compile(&raw, &p).unwrap());
+    });
+}

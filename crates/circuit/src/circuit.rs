@@ -119,6 +119,11 @@ impl Circuit {
         self.extend_gates(other.gates.iter().cloned())
     }
 
+    /// Reserves capacity for at least `additional` more gates.
+    pub fn reserve(&mut self, additional: usize) {
+        self.gates.reserve(additional);
+    }
+
     /// Grows the classical register to at least `n` bits.
     pub fn ensure_cbits(&mut self, n: usize) {
         self.num_cbits = self.num_cbits.max(n);

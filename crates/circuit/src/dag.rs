@@ -7,21 +7,81 @@
 //!   ASAP layering and critical path;
 //! * the **commutation-aware** graph, where an edge exists only when the
 //!   gates do *not* commute ([`crate::commutes`]) — the structure the
-//!   AutoComm aggregation pass navigates implicitly, exposed here for
-//!   analysis and for latency-weighted lower bounds.
+//!   AutoComm aggregation pass navigates, exposed both for analysis and as
+//!   the per-compile conflict index of the indexed IR.
+//!
+//! Adjacency is stored in flat CSR arrays (`u32` indices), so building a
+//! graph over tens of thousands of gates costs a handful of allocations
+//! instead of two `Vec`s per gate.
 
 #[cfg(test)]
 use crate::QubitId;
-use crate::{commutes, Circuit, Gate};
+use crate::{commutes, Circuit, Gate, GateId, GateTable};
 
 /// A directed acyclic dependency graph over gate indices of a circuit.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DependencyDag {
-    /// `preds[i]` lists the gate indices that must precede gate `i`.
-    preds: Vec<Vec<usize>>,
-    /// `succs[i]` lists the gate indices that must follow gate `i`.
-    succs: Vec<Vec<usize>>,
+    /// CSR offsets into `pred_adj`, one entry per gate plus a tail.
+    pred_off: Vec<u32>,
+    /// Flat predecessor lists: `pred_adj[pred_off[i]..pred_off[i+1]]`.
+    pred_adj: Vec<u32>,
+    /// CSR offsets into `succ_adj`.
+    succ_off: Vec<u32>,
+    /// Flat successor lists, ascending within each gate.
+    succ_adj: Vec<u32>,
     num_gates: usize,
+}
+
+/// Incremental CSR builder for predecessors: gates are processed in
+/// ascending order, so each gate's list is appended contiguously.
+struct PredBuilder {
+    off: Vec<u32>,
+    adj: Vec<u32>,
+}
+
+impl PredBuilder {
+    fn new(n: usize) -> Self {
+        PredBuilder { off: Vec::with_capacity(n + 1), adj: Vec::new() }
+    }
+
+    /// Opens gate `i`'s list (must be called in ascending `i` order).
+    fn open(&mut self) {
+        self.off.push(self.adj.len() as u32);
+    }
+
+    /// Adds `from` to the currently open list unless already present.
+    fn add(&mut self, from: usize) -> bool {
+        let start = *self.off.last().expect("open() called") as usize;
+        if self.adj[start..].contains(&(from as u32)) {
+            return false;
+        }
+        self.adj.push(from as u32);
+        true
+    }
+
+    fn finish(mut self, num_gates: usize) -> DependencyDag {
+        self.off.push(self.adj.len() as u32);
+        // Successors by counting sort over the predecessor edges; pushing
+        // in ascending `i` order keeps every successor list sorted.
+        let mut succ_off = vec![0u32; num_gates + 2];
+        for &from in &self.adj {
+            succ_off[from as usize + 2] += 1;
+        }
+        for k in 2..succ_off.len() {
+            succ_off[k] += succ_off[k - 1];
+        }
+        let mut succ_adj = vec![0u32; self.adj.len()];
+        for i in 0..num_gates {
+            let (s, e) = (self.off[i] as usize, self.off[i + 1] as usize);
+            for &from in &self.adj[s..e] {
+                let slot = &mut succ_off[from as usize + 1];
+                succ_adj[*slot as usize] = i as u32;
+                *slot += 1;
+            }
+        }
+        succ_off.pop();
+        DependencyDag { pred_off: self.off, pred_adj: self.adj, succ_off, succ_adj, num_gates }
+    }
 }
 
 impl DependencyDag {
@@ -38,45 +98,100 @@ impl DependencyDag {
         Self::build(circuit, |a, b| !commutes(a, b))
     }
 
+    /// Commutation-aware dependencies with the backward wire scan bounded
+    /// to `window` gates per wire.
+    ///
+    /// On long runs of mutually commuting gates (QAOA's diagonal layers)
+    /// the exact build degenerates to a quadratic scan; the windowed build
+    /// stays linear by giving up on blockers more than `window` commuting
+    /// gates back. Every recorded edge still connects a provably
+    /// non-commuting pair — only edges may be *missing* — so the result is
+    /// exact for "these two gates conflict" queries ([`Self::has_edge`])
+    /// and an *optimistic* bound for layering.
+    pub fn commutation_aware_windowed(circuit: &Circuit, window: usize) -> Self {
+        Self::build_windowed(circuit, |a, b| !commutes(a, b), window)
+    }
+
+    /// [`Self::commutation_aware_windowed`] over an interned gate stream:
+    /// the dependence oracle is [`GateTable::commutes_ids`], which walks the
+    /// table's precomputed wire records instead of re-deriving axis
+    /// behavior per call. Produces the same graph as the circuit-based
+    /// build; this is the constructor the indexed IR uses.
+    pub fn commutation_aware_indexed(
+        table: &GateTable,
+        stream: &[GateId],
+        num_qubits: usize,
+        num_cbits: usize,
+        window: usize,
+    ) -> Self {
+        let n = stream.len();
+        let mut preds = PredBuilder::new(n);
+        let mut wire_history: Vec<Vec<u32>> = vec![Vec::new(); num_qubits];
+        let mut cbit_history: Vec<Vec<u32>> = vec![Vec::new(); num_cbits.max(1)];
+        for (i, &id) in stream.iter().enumerate() {
+            preds.open();
+            for q in table.qubit_indices(id) {
+                for &j in wire_history[q].iter().rev().take(window) {
+                    if !table.commutes_ids(stream[j as usize], id) {
+                        preds.add(j as usize);
+                        break; // nearest blocker dominates older ones
+                    }
+                }
+                wire_history[q].push(i as u32);
+            }
+            for bit in table.classical_bits(id) {
+                for &j in cbit_history[bit].iter().rev().take(window) {
+                    if !table.commutes_ids(stream[j as usize], id) {
+                        preds.add(j as usize);
+                        break;
+                    }
+                }
+                cbit_history[bit].push(i as u32);
+            }
+        }
+        preds.finish(n)
+    }
+
     fn build(circuit: &Circuit, depends: impl Fn(&Gate, &Gate) -> bool) -> Self {
+        Self::build_windowed(circuit, depends, usize::MAX)
+    }
+
+    fn build_windowed(
+        circuit: &Circuit,
+        depends: impl Fn(&Gate, &Gate) -> bool,
+        window: usize,
+    ) -> Self {
         let n = circuit.len();
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds = PredBuilder::new(n);
         // Track, per qubit/cbit, the recent gates that may conflict. For the
         // strict build only the last toucher matters; for the
         // commutation-aware build we keep the chain of gates on the wire and
         // link against the nearest non-commuting one.
-        let mut wire_history: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits()];
-        let mut cbit_history: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_cbits().max(1)];
+        let mut wire_history: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_qubits()];
+        let mut cbit_history: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_cbits().max(1)];
         let gates = circuit.gates();
         for (i, gate) in gates.iter().enumerate() {
-            let add_edge =
-                |from: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
-                    if !preds[i].contains(&from) {
-                        preds[i].push(from);
-                        succs[from].push(i);
-                    }
-                };
+            preds.open();
             for &q in gate.qubits() {
-                for &j in wire_history[q.index()].iter().rev() {
-                    if depends(&gates[j], gate) {
-                        add_edge(j, &mut preds, &mut succs);
+                for &j in wire_history[q.index()].iter().rev().take(window) {
+                    if depends(&gates[j as usize], gate) {
+                        preds.add(j as usize);
                         break; // nearest blocker dominates older ones
                     }
                 }
-                wire_history[q.index()].push(i);
+                wire_history[q.index()].push(i as u32);
             }
             for bit in [gate.cbit(), gate.condition()].into_iter().flatten() {
-                for &j in cbit_history[bit.index()].iter().rev() {
-                    if depends(&gates[j], gate) {
-                        add_edge(j, &mut preds, &mut succs);
+                for &j in cbit_history[bit.index()].iter().rev().take(window) {
+                    if depends(&gates[j as usize], gate) {
+                        preds.add(j as usize);
                         break;
                     }
                 }
-                cbit_history[bit.index()].push(i);
+                cbit_history[bit.index()].push(i as u32);
             }
         }
-        DependencyDag { preds, succs, num_gates: n }
+        preds.finish(n)
     }
 
     /// Number of gates (nodes).
@@ -94,17 +209,17 @@ impl DependencyDag {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn predecessors(&self, i: usize) -> &[usize] {
-        &self.preds[i]
+    pub fn predecessors(&self, i: usize) -> &[u32] {
+        &self.pred_adj[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 
-    /// Successors of gate `i`.
+    /// Successors of gate `i`, ascending.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn successors(&self, i: usize) -> &[usize] {
-        &self.succs[i]
+    pub fn successors(&self, i: usize) -> &[u32] {
+        &self.succ_adj[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// ASAP layer of every gate (layer 0 = no predecessors); the maximum
@@ -113,7 +228,7 @@ impl DependencyDag {
         let mut layer = vec![0usize; self.num_gates];
         for i in 0..self.num_gates {
             // preds always have smaller indices (edges respect program order).
-            let l = self.preds[i].iter().map(|&p| layer[p] + 1).max().unwrap_or(0);
+            let l = self.predecessors(i).iter().map(|&p| layer[p as usize] + 1).max().unwrap_or(0);
             layer[i] = l;
         }
         layer
@@ -130,7 +245,8 @@ impl DependencyDag {
         let mut finish = vec![0.0f64; self.num_gates];
         let mut best = 0.0f64;
         for i in 0..self.num_gates {
-            let start = self.preds[i].iter().map(|&p| finish[p]).fold(0.0, f64::max);
+            let start =
+                self.predecessors(i).iter().map(|&p| finish[p as usize]).fold(0.0, f64::max);
             finish[i] = start + weight(i);
             best = best.max(finish[i]);
         }
@@ -139,7 +255,22 @@ impl DependencyDag {
 
     /// Gates with no predecessors (schedulable immediately).
     pub fn front(&self) -> Vec<usize> {
-        (0..self.num_gates).filter(|&i| self.preds[i].is_empty()).collect()
+        (0..self.num_gates).filter(|&i| self.predecessors(i).is_empty()).collect()
+    }
+
+    /// Whether the dependence edge `from → to` is present.
+    ///
+    /// For the commutation-aware builds an edge is a proof that the two
+    /// gates do **not** commute; absence proves nothing (the blocker may be
+    /// transitive). Successor lists are ascending, so this is a binary
+    /// search.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.successors(from).binary_search(&(to as u32)).is_ok()
+    }
+
+    /// Total number of dependence edges.
+    pub fn edge_count(&self) -> usize {
+        self.pred_adj.len()
     }
 }
 
@@ -160,14 +291,31 @@ mod tests {
         c
     }
 
+    /// Interns a circuit and builds the indexed commutation-aware DAG.
+    fn indexed(circuit: &Circuit, window: usize) -> DependencyDag {
+        let mut table = GateTable::new();
+        let stream: Vec<GateId> = circuit.gates().iter().map(|g| table.intern(g)).collect();
+        DependencyDag::commutation_aware_indexed(
+            &table,
+            &stream,
+            circuit.num_qubits(),
+            circuit.num_cbits(),
+            window,
+        )
+    }
+
     #[test]
     fn strict_dag_orders_shared_wires() {
         let dag = DependencyDag::strict(&chain_circuit());
-        assert_eq!(dag.predecessors(0), &[] as &[usize]);
+        assert_eq!(dag.predecessors(0), &[] as &[u32]);
         assert_eq!(dag.predecessors(1), &[0]);
         assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.successors(0), &[1]);
         assert_eq!(dag.depth(), 3);
         assert_eq!(dag.front(), vec![0]);
+        assert!(dag.has_edge(0, 1));
+        assert!(!dag.has_edge(0, 2));
+        assert_eq!(dag.edge_count(), 2);
     }
 
     #[test]
@@ -205,6 +353,8 @@ mod tests {
         c.push(Gate::x(q(1)).with_condition(CBitId::new(0))).unwrap();
         let dag = DependencyDag::strict(&c);
         assert_eq!(dag.predecessors(1), &[0]);
+        let idx = indexed(&c, 64);
+        assert_eq!(idx.predecessors(1), &[0]);
     }
 
     #[test]
@@ -224,32 +374,63 @@ mod tests {
         assert_eq!(dag.critical_path(|_| 1.0), 0.0);
     }
 
+    fn pseudo_random_circuit(seed: u64, num_qubits: usize, len: usize) -> Circuit {
+        // Hand-rolled deterministic pseudo-random circuit (avoid a dev
+        // dependency cycle with dqc-workloads).
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut c = Circuit::new(num_qubits);
+        for _ in 0..len {
+            let a = (next() % num_qubits as u64) as usize;
+            let b = (a + 1 + (next() % (num_qubits as u64 - 1)) as usize) % num_qubits;
+            match next() % 4 {
+                0 => c.push(Gate::h(q(a))).unwrap(),
+                1 => c.push(Gate::t(q(a))).unwrap(),
+                2 => c.push(Gate::cx(q(a), q(b))).unwrap(),
+                _ => c.push(Gate::cz(q(a), q(b))).unwrap(),
+            }
+        }
+        c
+    }
+
     #[test]
     fn commutation_aware_depth_never_exceeds_strict() {
         for seed in 0..5u64 {
-            // Hand-rolled deterministic pseudo-random circuit (avoid a dev
-            // dependency cycle with dqc-workloads).
-            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-            let mut next = || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state
-            };
-            let mut c = Circuit::new(4);
-            for _ in 0..30 {
-                let a = (next() % 4) as usize;
-                let b = (a + 1 + (next() % 3) as usize) % 4;
-                match next() % 4 {
-                    0 => c.push(Gate::h(q(a))).unwrap(),
-                    1 => c.push(Gate::t(q(a))).unwrap(),
-                    2 => c.push(Gate::cx(q(a), q(b))).unwrap(),
-                    _ => c.push(Gate::cz(q(a), q(b))).unwrap(),
-                }
-            }
+            let c = pseudo_random_circuit(seed, 4, 30);
             let strict = DependencyDag::strict(&c).depth();
             let aware = DependencyDag::commutation_aware(&c).depth();
             assert!(aware <= strict, "seed {seed}: {aware} > {strict}");
+        }
+    }
+
+    #[test]
+    fn indexed_build_matches_gate_build() {
+        for seed in 0..5u64 {
+            let c = pseudo_random_circuit(seed, 5, 60);
+            let by_gate = DependencyDag::commutation_aware_windowed(&c, 16);
+            let by_id = indexed(&c, 16);
+            assert_eq!(by_gate, by_id, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn windowed_build_only_drops_edges() {
+        let c = pseudo_random_circuit(9, 4, 80);
+        let full = DependencyDag::commutation_aware(&c);
+        let windowed = DependencyDag::commutation_aware_windowed(&c, 4);
+        assert!(windowed.edge_count() <= full.edge_count());
+        for i in 0..c.len() {
+            for &p in windowed.predecessors(i) {
+                assert!(
+                    full.has_edge(p as usize, i),
+                    "windowed edge {p}->{i} missing from the exact build"
+                );
+            }
         }
     }
 }

@@ -57,6 +57,7 @@ mod partition;
 mod qasm;
 mod qasm_parse;
 mod stats;
+mod table;
 mod unroll;
 
 pub use axis::AxisBehavior;
@@ -70,4 +71,5 @@ pub use partition::Partition;
 pub use qasm::to_qasm;
 pub use qasm_parse::{from_qasm, QasmParseError};
 pub use stats::{circuit_depth, CircuitStats};
+pub use table::{CommSummary, GateId, GateTable};
 pub use unroll::{unroll_circuit, unroll_gate};

@@ -93,7 +93,22 @@ pub fn from_qasm(text: &str) -> Result<Circuit, QasmParseError> {
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = strip_comment(raw).trim();
-        if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
+        if line.starts_with("OPENQASM") {
+            // Only the 2.x dialect is modeled; refuse other versions loudly
+            // instead of silently mis-parsing their statements.
+            let version = line
+                .strip_prefix("OPENQASM")
+                .map(|v| v.trim().trim_end_matches(';').trim())
+                .unwrap_or("");
+            if !(version.starts_with("2.") || version == "2") {
+                return Err(QasmParseError::Syntax {
+                    line: line_no,
+                    message: format!("unsupported OpenQASM version `{version}` (expected 2.x)"),
+                });
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with("include") {
             continue;
         }
         let stmt = line.strip_suffix(';').ok_or_else(|| QasmParseError::Syntax {
@@ -252,6 +267,13 @@ fn parse_gate(body: &str, line: usize) -> Result<Gate, QasmParseError> {
         .split(',')
         .map(|t| parse_operand(t, line).map(QubitId::new))
         .collect::<Result<_, _>>()?;
+    // The infallible gate constructors assume distinct operands; reject
+    // repeats here so malformed input surfaces as an error, not a panic.
+    for (i, qb) in operands.iter().enumerate() {
+        if operands[..i].contains(qb) {
+            return Err(QasmParseError::Circuit(CircuitError::DuplicateOperand { qubit: *qb }));
+        }
+    }
 
     let q = |i: usize| operands[i];
     let arity = operands.len();
@@ -424,6 +446,80 @@ mod tests {
         assert!(matches!(err, QasmParseError::Syntax { line: 2, .. }));
         let err = from_qasm("h q[0];\n").unwrap_err();
         assert!(matches!(err, QasmParseError::Register { .. }));
+    }
+
+    #[test]
+    fn rejects_unsupported_versions() {
+        let err = from_qasm("OPENQASM 3.0;\nqreg q[2];\nh q[0];\n").unwrap_err();
+        assert!(
+            matches!(&err, QasmParseError::Syntax { line: 1, message } if message.contains("3.0")),
+            "got {err:?}"
+        );
+        // 2.x variants all pass.
+        for header in ["OPENQASM 2.0;", "OPENQASM 2.1;", "OPENQASM 2;"] {
+            let text = format!("{header}\nqreg q[1];\nh q[0];\n");
+            assert!(from_qasm(&text).is_ok(), "rejected {header}");
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_register_errors() {
+        for (text, needle) in [
+            ("qreg q[x];\n", "bad qreg declaration"),
+            ("qreg p[4];\n", "bad qreg declaration"),
+            ("qreg q[2];\nqreg q[3];\n", "multiple qreg"),
+            ("qreg q[2];\ncreg c[y];\n", "bad creg declaration"),
+            ("creg c[2];\nh q[0];\n", "before qreg"),
+            ("", "no qreg"),
+        ] {
+            let err = from_qasm(text).unwrap_err();
+            assert!(
+                matches!(&err, QasmParseError::Register { message } if message.contains(needle)),
+                "{text:?}: expected register error containing {needle:?}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_operands_are_rejected() {
+        // Quantum index past the register.
+        let err = from_qasm("qreg q[3];\nh q[5];\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::Circuit(_)), "got {err:?}");
+        // Two-qubit gate with one operand out of range.
+        let err = from_qasm("qreg q[3];\ncx q[0], q[3];\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::Circuit(_)), "got {err:?}");
+        // Classical target past the register.
+        let err = from_qasm("qreg q[2];\ncreg c[1];\nmeasure q[0] -> c[-1];\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::Syntax { line: 3, .. }), "got {err:?}");
+        // Negative quantum index never parses.
+        let err = from_qasm("qreg q[3];\nh q[-1];\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::Syntax { line: 2, .. }), "got {err:?}");
+        // Duplicate operands violate gate validation.
+        let err = from_qasm("qreg q[3];\ncx q[1], q[1];\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::Circuit(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn malformed_gates_are_located_syntax_errors() {
+        for (text, line) in [
+            ("qreg q[2];\nrz q[0];\n", 2),               // missing parameter
+            ("qreg q[2];\nrz(abc) q[0];\n", 2),          // non-numeric parameter
+            ("qreg q[2];\nrz(0.5 q[0];\n", 2),           // unterminated params
+            ("qreg q[2];\nu3(0.1, 0.2) q[0];\n", 2),     // wrong param count
+            ("qreg q[2];\ncx q[0];\n", 2),               // wrong arity
+            ("qreg q[2];\nmeasure q[0];\n", 2),          // measure without ->
+            ("qreg q[2];\nif (c[0] == 0) x q[0];\n", 2), // unsupported condition
+            ("qreg q[2];\nif (c[0] == 1 x q[0];\n", 2),  // unterminated if
+            ("qreg q[2];\nh;\n", 2),                     // no operands
+        ] {
+            let err = from_qasm(text).unwrap_err();
+            assert!(
+                matches!(err, QasmParseError::Syntax { line: l, .. } if l == line),
+                "{text:?}: expected syntax error on line {line}, got {err:?}"
+            );
+        }
+        let err = from_qasm("qreg q[2];\nfredkin q[0], q[1];\n").unwrap_err();
+        assert!(matches!(err, QasmParseError::UnsupportedGate { line: 2, .. }));
     }
 
     #[test]

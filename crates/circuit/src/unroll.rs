@@ -28,28 +28,14 @@ use crate::{Circuit, CircuitError, Gate, GateKind, QubitId};
 /// assert_eq!(gates.iter().filter(|g| g.kind() == GateKind::Cx).count(), 2);
 /// ```
 pub fn unroll_gate(gate: &Gate, num_qubits: usize) -> Result<Vec<Gate>, CircuitError> {
+    // Already in basis (or non-unitary bookkeeping): pass through. This is
+    // the single source of truth for the basis set — `unroll_circuit`'s
+    // fast path uses the same predicate.
+    if in_basis(gate.kind()) {
+        return Ok(vec![gate.clone()]);
+    }
     let q = gate.qubits();
     let out = match gate.kind() {
-        // Already in basis (or non-unitary bookkeeping).
-        GateKind::I
-        | GateKind::H
-        | GateKind::X
-        | GateKind::Y
-        | GateKind::Z
-        | GateKind::S
-        | GateKind::Sdg
-        | GateKind::T
-        | GateKind::Tdg
-        | GateKind::Sx
-        | GateKind::Rx
-        | GateKind::Ry
-        | GateKind::Rz
-        | GateKind::Phase
-        | GateKind::U3
-        | GateKind::Cx
-        | GateKind::Measure
-        | GateKind::Reset
-        | GateKind::Barrier => vec![gate.clone()],
         GateKind::Cz => {
             let (a, b) = (q[0], q[1]);
             vec![Gate::h(b), Gate::cx(a, b), Gate::h(b)]
@@ -101,6 +87,7 @@ pub fn unroll_gate(gate: &Gate, num_qubits: usize) -> Result<Vec<Gate>, CircuitE
             }
             out
         }
+        kind => unreachable!("in_basis claims `{kind}` needs decomposition but no rule exists"),
     };
     Ok(out)
 }
@@ -114,12 +101,43 @@ pub fn unroll_gate(gate: &Gate, num_qubits: usize) -> Result<Vec<Gate>, CircuitE
 /// already validated.
 pub fn unroll_circuit(circuit: &Circuit) -> Result<Circuit, CircuitError> {
     let mut out = Circuit::with_cbits(circuit.num_qubits(), circuit.num_cbits());
+    out.reserve(circuit.len());
     for gate in circuit.gates() {
-        for g in unroll_gate(gate, circuit.num_qubits())? {
-            out.push(g)?;
+        if in_basis(gate.kind()) {
+            out.push(gate.clone())?;
+        } else {
+            for g in unroll_gate(gate, circuit.num_qubits())? {
+                out.push(g)?;
+            }
         }
     }
     Ok(out)
+}
+
+/// Whether gates of this kind pass through unrolling unchanged.
+fn in_basis(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::I
+            | GateKind::H
+            | GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::S
+            | GateKind::Sdg
+            | GateKind::T
+            | GateKind::Tdg
+            | GateKind::Sx
+            | GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::U3
+            | GateKind::Cx
+            | GateKind::Measure
+            | GateKind::Reset
+            | GateKind::Barrier
+    )
 }
 
 /// Textbook 6-CX Toffoli decomposition (controls `a`, `b`; target `t`).

@@ -1,0 +1,523 @@
+//! The `autocomm batch` driver: compile a whole directory of QASM programs
+//! (or the built-in workload suite) across a worker pool and emit one
+//! aggregated metrics report.
+//!
+//! The indexed-IR pipeline made single compiles cheap enough that whole
+//! suites compile in milliseconds; this driver fans inputs over `--jobs`
+//! std threads (each compile is a pure function of its input, so the
+//! report is byte-identical for every job count — only the timing fields
+//! vary) and totals the paper metrics across the batch.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use autocomm::{Ablation, AutoComm};
+use dqc_circuit::{from_qasm, Circuit, CircuitStats};
+use dqc_hardware::HardwareSpec;
+use dqc_workloads::{generate, smoke_suite};
+
+use crate::json::Json;
+use crate::{build_partition, CliError, PartitionStrategy, USAGE};
+
+/// Where a batch gets its programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchSource {
+    /// Every `*.qasm` file in a directory, sorted by file name.
+    Dir(PathBuf),
+    /// The built-in smoke suite ([`dqc_workloads::smoke_suite`]).
+    Suite,
+}
+
+/// Parsed `autocomm batch` invocation.
+#[derive(Clone, Debug)]
+pub struct BatchArgs {
+    /// Input programs.
+    pub source: BatchSource,
+    /// Number of hardware nodes every program is compiled for.
+    pub nodes: usize,
+    /// Communication qubits per node.
+    pub comm_qubits: usize,
+    /// Partitioning strategy.
+    pub strategy: PartitionStrategy,
+    /// Ablations applied to every compile.
+    pub ablations: Vec<Ablation>,
+    /// Worker threads (defaults to available parallelism, capped at 8).
+    pub jobs: usize,
+    /// Emit JSON instead of the human-readable report.
+    pub json: bool,
+}
+
+impl BatchArgs {
+    /// Parses the arguments following the `batch` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on unknown flags, malformed values, or a
+    /// missing input/`--nodes`.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<BatchArgs, CliError> {
+        let mut dir: Option<PathBuf> = None;
+        let mut suite = false;
+        let mut nodes = None;
+        let mut comm_qubits = 2usize;
+        let mut strategy = PartitionStrategy::Oee;
+        let mut ablations = Vec::new();
+        let mut jobs = None;
+        let mut json = false;
+
+        let usage = |msg: String| CliError::Usage(format!("{msg}\n\n{USAGE}"));
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut value_for =
+                |flag: &str| iter.next().ok_or_else(|| usage(format!("{flag} needs a value")));
+            match arg.as_str() {
+                "--suite" => suite = true,
+                "--nodes" => {
+                    let v = value_for("--nodes")?;
+                    nodes = Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        usage(format!("--nodes: '{v}' is not a positive integer"))
+                    })?);
+                }
+                "--jobs" => {
+                    let v = value_for("--jobs")?;
+                    jobs = Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        usage(format!("--jobs: '{v}' is not a positive integer"))
+                    })?);
+                }
+                "--comm-qubits" => {
+                    let v = value_for("--comm-qubits")?;
+                    comm_qubits = v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        usage(format!("--comm-qubits: '{v}' is not a positive integer"))
+                    })?;
+                }
+                "--partition" => {
+                    let v = value_for("--partition")?;
+                    strategy = match v.as_str() {
+                        "block" => PartitionStrategy::Block,
+                        "oee" => PartitionStrategy::Oee,
+                        other => {
+                            return Err(usage(format!(
+                            "--partition: unknown strategy '{other}' (expected 'oee' or 'block')"
+                        )))
+                        }
+                    };
+                }
+                "--ablation" => {
+                    let v = value_for("--ablation")?;
+                    for name in v.split(',').filter(|s| !s.is_empty()) {
+                        let ablation = Ablation::parse(name).ok_or_else(|| {
+                            let known: Vec<&str> =
+                                Ablation::all().iter().map(|a| a.name()).collect();
+                            usage(format!(
+                                "--ablation: unknown ablation '{name}' (expected one of {})",
+                                known.join(", ")
+                            ))
+                        })?;
+                        if !ablations.contains(&ablation) {
+                            ablations.push(ablation);
+                        }
+                    }
+                }
+                "--json" => json = true,
+                flag if flag.starts_with('-') => {
+                    return Err(usage(format!("unknown option '{flag}'")));
+                }
+                positional => {
+                    if dir.replace(PathBuf::from(positional)).is_some() {
+                        return Err(usage(format!(
+                            "unexpected extra argument '{positional}' (one input directory expected)"
+                        )));
+                    }
+                }
+            }
+        }
+
+        let source = match (dir, suite) {
+            (Some(_), true) => {
+                return Err(usage("pass either an input directory or --suite, not both".into()))
+            }
+            (Some(d), false) => BatchSource::Dir(d),
+            (None, true) => BatchSource::Suite,
+            (None, false) => {
+                return Err(usage("missing input: a directory of .qasm files or --suite".into()))
+            }
+        };
+        Ok(BatchArgs {
+            source,
+            nodes: nodes.ok_or_else(|| usage("missing required --nodes <N>".into()))?,
+            comm_qubits,
+            strategy,
+            ablations,
+            jobs: jobs.unwrap_or_else(default_jobs),
+            json,
+        })
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// One program to compile.
+#[derive(Clone, Debug)]
+enum BatchTask {
+    File(PathBuf),
+    Generated(dqc_workloads::BenchConfig),
+}
+
+impl BatchTask {
+    fn label(&self) -> String {
+        match self {
+            BatchTask::File(p) => p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string()),
+            BatchTask::Generated(c) => c.label(),
+        }
+    }
+
+    fn load(&self) -> Result<Circuit, String> {
+        match self {
+            BatchTask::File(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                from_qasm(&text).map_err(|e| format!("{}: {e}", path.display()))
+            }
+            BatchTask::Generated(config) => Ok(generate(config)),
+        }
+    }
+}
+
+/// The metrics of one successfully compiled batch entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchRow {
+    /// Input label (file stem or workload label).
+    pub label: String,
+    /// Logical qubits.
+    pub qubits: usize,
+    /// Unrolled gate count.
+    pub gates: usize,
+    /// Remote two-qubit gates under the chosen partition.
+    pub remote_cx: usize,
+    /// Paper "Tot Comm".
+    pub total_comms: usize,
+    /// Paper "TP-Comm".
+    pub tp_comms: usize,
+    /// Paper improvement factor vs the sparse baseline.
+    pub improvement: f64,
+    /// Schedule makespan in CX units.
+    pub makespan: f64,
+    /// EPR pairs consumed by the schedule.
+    pub epr_pairs: usize,
+    /// Wall-clock compile time of this entry, in milliseconds.
+    pub compile_ms: f64,
+}
+
+/// The aggregated outcome of a batch run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// The parsed arguments.
+    pub args: BatchArgs,
+    /// Per-entry results in input order (`Err` holds the failure message).
+    pub rows: Vec<Result<BatchRow, String>>,
+    /// Wall-clock time of the whole batch, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Compiles every input across a `--jobs`-wide std-thread worker pool.
+///
+/// # Errors
+///
+/// Fails fast on unusable input sets (unreadable directory, no `.qasm`
+/// files); per-entry compile failures land in their row instead.
+pub fn run_batch(args: BatchArgs) -> Result<BatchReport, CliError> {
+    let tasks = collect_tasks(&args)?;
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<BatchRow, String>>>> = Mutex::new(vec![None; tasks.len()]);
+
+    let workers = args.jobs.min(tasks.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let row = compile_task(&tasks[i], &args);
+                results.lock().expect("worker poisoned the results")[i] = Some(row);
+            });
+        }
+    });
+
+    let rows = results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every task ran"))
+        .collect();
+    Ok(BatchReport { args, rows, wall_ms: started.elapsed().as_secs_f64() * 1e3 })
+}
+
+fn collect_tasks(args: &BatchArgs) -> Result<Vec<BatchTask>, CliError> {
+    match &args.source {
+        BatchSource::Suite => Ok(smoke_suite().into_iter().map(BatchTask::Generated).collect()),
+        BatchSource::Dir(dir) => {
+            let entries = std::fs::read_dir(dir).map_err(|e| CliError::Io(dir.clone(), e))?;
+            let mut files: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().map(|x| x == "qasm").unwrap_or(false))
+                .collect();
+            files.sort();
+            if files.is_empty() {
+                return Err(CliError::Compile(format!(
+                    "no .qasm files found in {}",
+                    dir.display()
+                )));
+            }
+            Ok(files.into_iter().map(BatchTask::File).collect())
+        }
+    }
+}
+
+fn compile_task(task: &BatchTask, args: &BatchArgs) -> Result<BatchRow, String> {
+    let started = Instant::now();
+    let circuit = task.load()?;
+    if circuit.num_qubits() < args.nodes {
+        return Err(format!(
+            "cannot spread {} qubits over {} nodes",
+            circuit.num_qubits(),
+            args.nodes
+        ));
+    }
+    let partition =
+        build_partition(&circuit, args.nodes, args.strategy).map_err(|e| e.to_string())?;
+    let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(args.comm_qubits);
+    let result = AutoComm::with_ablations(&args.ablations)
+        .compile_on(&circuit, &partition, &hw)
+        .map_err(|e| e.to_string())?;
+    let stats = CircuitStats::of(&result.unrolled, Some(&partition));
+    Ok(BatchRow {
+        label: task.label(),
+        qubits: circuit.num_qubits(),
+        gates: stats.num_gates,
+        remote_cx: stats.num_remote_2q,
+        total_comms: result.metrics.total_comms,
+        tp_comms: result.metrics.tp_comms,
+        improvement: result.metrics.improvement_factor(),
+        makespan: result.schedule.makespan,
+        epr_pairs: result.schedule.epr_pairs,
+        compile_ms: started.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+impl BatchReport {
+    /// Number of entries that failed to compile.
+    pub fn failures(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_err()).count()
+    }
+
+    fn ok_rows(&self) -> impl Iterator<Item = &BatchRow> {
+        self.rows.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// Sum of per-entry compile times (the sequential-equivalent cost).
+    pub fn cpu_ms(&self) -> f64 {
+        self.ok_rows().map(|r| r.compile_ms).sum()
+    }
+
+    /// The machine-readable form emitted under `--json`.
+    pub fn to_json(&self) -> Json {
+        let totals = |f: fn(&BatchRow) -> f64| self.ok_rows().map(f).sum::<f64>();
+        Json::object([
+            ("nodes", Json::number(self.args.nodes as f64)),
+            ("jobs", Json::number(self.args.jobs as f64)),
+            (
+                "source",
+                Json::string(match &self.args.source {
+                    BatchSource::Dir(d) => d.display().to_string(),
+                    BatchSource::Suite => "--suite".to_string(),
+                }),
+            ),
+            ("programs", Json::number(self.rows.len() as f64)),
+            ("failures", Json::number(self.failures() as f64)),
+            (
+                "rows",
+                Json::array(self.rows.iter().map(|row| match row {
+                    Ok(r) => Json::object([
+                        ("label", Json::string(r.label.clone())),
+                        ("qubits", Json::number(r.qubits as f64)),
+                        ("gates", Json::number(r.gates as f64)),
+                        ("remote_cx", Json::number(r.remote_cx as f64)),
+                        ("total_comms", Json::number(r.total_comms as f64)),
+                        ("tp_comms", Json::number(r.tp_comms as f64)),
+                        ("improvement_factor", Json::number(r.improvement)),
+                        ("makespan", Json::number(r.makespan)),
+                        ("epr_pairs", Json::number(r.epr_pairs as f64)),
+                        ("compile_ms", Json::number(r.compile_ms)),
+                    ]),
+                    Err(msg) => Json::object([("error", Json::string(msg.clone()))]),
+                })),
+            ),
+            (
+                "totals",
+                Json::object([
+                    ("total_comms", Json::number(totals(|r| r.total_comms as f64))),
+                    ("tp_comms", Json::number(totals(|r| r.tp_comms as f64))),
+                    ("remote_cx", Json::number(totals(|r| r.remote_cx as f64))),
+                    ("epr_pairs", Json::number(totals(|r| r.epr_pairs as f64))),
+                    ("makespan", Json::number(totals(|r| r.makespan))),
+                ]),
+            ),
+            ("cpu_ms", Json::number(self.cpu_ms())),
+            ("wall_ms", Json::number(self.wall_ms)),
+        ])
+    }
+
+    /// The human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "batch: {} program(s) over {} node(s), {} job(s)\n",
+            self.rows.len(),
+            self.args.nodes,
+            self.args.jobs
+        ));
+        out.push_str(&format!(
+            "  {:<16} {:>6} {:>7} {:>8} {:>9} {:>8} {:>8} {:>10} {:>9}\n",
+            "program", "qubits", "gates", "rem CX", "Tot Comm", "TP", "improv", "makespan", "ms"
+        ));
+        for row in &self.rows {
+            match row {
+                Ok(r) => out.push_str(&format!(
+                    "  {:<16} {:>6} {:>7} {:>8} {:>9} {:>8} {:>7.2}x {:>10.1} {:>9.2}\n",
+                    r.label,
+                    r.qubits,
+                    r.gates,
+                    r.remote_cx,
+                    r.total_comms,
+                    r.tp_comms,
+                    r.improvement,
+                    r.makespan,
+                    r.compile_ms,
+                )),
+                Err(msg) => out.push_str(&format!("  FAILED: {msg}\n")),
+            }
+        }
+        let comms: usize = self.ok_rows().map(|r| r.total_comms).sum();
+        let rem: usize = self.ok_rows().map(|r| r.remote_cx).sum();
+        let epr: usize = self.ok_rows().map(|r| r.epr_pairs).sum();
+        out.push_str(&format!(
+            "totals: {} comms for {} remote CX ({} EPR pairs scheduled)\n",
+            comms, rem, epr
+        ));
+        out.push_str(&format!(
+            "time: {:.2} ms wall, {:.2} ms cpu ({:.2}x parallel speedup)\n",
+            self.wall_ms,
+            self.cpu_ms(),
+            if self.wall_ms > 0.0 { self.cpu_ms() / self.wall_ms } else { 1.0 }
+        ));
+        if self.failures() > 0 {
+            out.push_str(&format!("{} program(s) FAILED\n", self.failures()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BatchArgs, CliError> {
+        BatchArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_suite_invocation() {
+        let args = parse(&["--suite", "--nodes", "4", "--jobs", "4", "--json"]).unwrap();
+        assert_eq!(args.source, BatchSource::Suite);
+        assert_eq!(args.nodes, 4);
+        assert_eq!(args.jobs, 4);
+        assert!(args.json);
+    }
+
+    #[test]
+    fn parses_directory_invocation_with_defaults() {
+        let args = parse(&["bench/qasm", "--nodes", "2"]).unwrap();
+        assert_eq!(args.source, BatchSource::Dir(PathBuf::from("bench/qasm")));
+        assert_eq!(args.comm_qubits, 2);
+        assert_eq!(args.strategy, PartitionStrategy::Oee);
+        assert!(args.jobs >= 1);
+        assert!(!args.json);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        for bad in [
+            &["--nodes", "2"][..],                   // no input
+            &["--suite"][..],                        // no nodes
+            &["dir", "--suite", "--nodes", "2"][..], // both inputs
+            &["dir", "extra", "--nodes", "2"][..],   // two dirs
+            &["--suite", "--nodes", "0"][..],        // zero nodes
+            &["--suite", "--nodes", "2", "--jobs", "0"][..],
+            &["--suite", "--nodes", "2", "--frob"][..],
+        ] {
+            assert!(matches!(parse(bad), Err(CliError::Usage(_))), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn suite_batch_is_deterministic_across_job_counts() {
+        let run = |jobs: usize| {
+            let args = parse(&["--suite", "--nodes", "4", "--jobs", &jobs.to_string()]).unwrap();
+            run_batch(args).unwrap()
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential.rows.len(), parallel.rows.len());
+        for (a, b) in sequential.rows.iter().zip(&parallel.rows) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.total_comms, b.total_comms);
+            assert_eq!(a.tp_comms, b.tp_comms);
+            assert_eq!(a.epr_pairs, b.epr_pairs);
+            assert_eq!(a.makespan, b.makespan);
+        }
+        assert_eq!(sequential.failures(), 0);
+    }
+
+    #[test]
+    fn missing_directory_fails_fast() {
+        let args = parse(&["/nonexistent-batch-dir", "--nodes", "2"]).unwrap();
+        assert!(matches!(run_batch(args), Err(CliError::Io(_, _))));
+    }
+
+    #[test]
+    fn per_entry_failures_are_isolated() {
+        let dir = std::env::temp_dir().join(format!("autocomm-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("good.qasm"), "qreg q[4];\ncx q[0], q[2];\n").unwrap();
+        std::fs::write(dir.join("bad.qasm"), "qreg q[4];\nfrobnicate q[0];\n").unwrap();
+        let args = BatchArgs {
+            source: BatchSource::Dir(dir.clone()),
+            nodes: 2,
+            comm_qubits: 2,
+            strategy: PartitionStrategy::Block,
+            ablations: Vec::new(),
+            jobs: 2,
+            json: false,
+        };
+        let report = run_batch(args).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.failures(), 1);
+        // Sorted by name: bad.qasm first.
+        assert!(report.rows[0].is_err());
+        let good = report.rows[1].as_ref().unwrap();
+        assert_eq!(good.total_comms, 1);
+        let text = report.to_text();
+        assert!(text.contains("FAILED"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

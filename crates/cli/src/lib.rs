@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod json;
 
 use std::fmt;
@@ -78,6 +79,8 @@ autocomm — communication-optimizing compiler for distributed quantum programs
 
 USAGE:
     autocomm compile <file.qasm> --nodes <N> [OPTIONS]
+    autocomm batch <dir> --nodes <N> [OPTIONS]
+    autocomm batch --suite --nodes <N> [OPTIONS]
     autocomm help
 
 OPTIONS:
@@ -88,6 +91,12 @@ OPTIONS:
                          comma-separable. One of: no-commute, cat-only,
                          plain-greedy, no-orient (paper Fig. 17)
     --json               emit machine-readable JSON on stdout
+
+BATCH OPTIONS:
+    <dir>                compile every .qasm file in the directory
+    --suite              compile the built-in workload smoke suite instead
+    --jobs <J>           worker threads [default: available cores, max 8];
+                         metrics are identical for every job count
 ";
 
 impl CompileArgs {
@@ -215,7 +224,7 @@ pub fn compile(args: CompileArgs) -> Result<CompileReport, CliError> {
     Ok(CompileReport { args, stats, partition, result })
 }
 
-fn build_partition(
+pub(crate) fn build_partition(
     circuit: &Circuit,
     nodes: usize,
     strategy: PartitionStrategy,
@@ -255,6 +264,15 @@ impl CompileReport {
                     ("gates", Json::number(self.stats.num_gates as f64)),
                     ("two_qubit_gates", Json::number(self.stats.num_2q as f64)),
                     ("remote_cx", Json::number(self.stats.num_remote_2q as f64)),
+                ]),
+            ),
+            (
+                "ir",
+                Json::object([
+                    ("gates", Json::number(self.result.ir.len() as f64)),
+                    ("unique_gates", Json::number(self.result.ir.unique_gates() as f64)),
+                    ("dag_edges", Json::number(self.result.ir.dag().edge_count() as f64)),
+                    ("burst_pairs", Json::number(self.result.ir.ranked_pairs().len() as f64)),
                 ]),
             ),
             (

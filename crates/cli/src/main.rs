@@ -2,10 +2,13 @@
 //!
 //! `autocomm compile <file.qasm> --nodes N [--ablation ...] [--json]`
 //! drives QASM parsing → partitioning → the pass-manager pipeline →
-//! metrics end to end. See [`dqc_cli::USAGE`] for the full surface.
+//! metrics end to end; `autocomm batch <dir|--suite> --nodes N [--jobs J]`
+//! fans a whole workload set across a worker pool. See [`dqc_cli::USAGE`]
+//! for the full surface.
 
 use std::process::ExitCode;
 
+use dqc_cli::batch::{run_batch, BatchArgs};
 use dqc_cli::{compile, CliError, CompileArgs, USAGE};
 
 fn main() -> ExitCode {
@@ -19,6 +22,28 @@ fn main() -> ExitCode {
                     print!("{}", report.to_text());
                 }
                 ExitCode::SUCCESS
+            }
+            Err(CliError::Usage(msg)) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("autocomm: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("batch") => match BatchArgs::parse(args).and_then(run_batch) {
+            Ok(report) => {
+                if report.args.json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.to_text());
+                }
+                if report.failures() == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
             }
             Err(CliError::Usage(msg)) => {
                 eprintln!("{msg}");

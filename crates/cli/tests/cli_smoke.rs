@@ -80,6 +80,46 @@ fn human_report_prints_table3_metrics() {
 }
 
 #[test]
+fn batch_over_directory_matches_across_job_counts() {
+    // Two programs in a temp dir; --jobs 1 and --jobs 2 must agree on every
+    // metric (only the timing fields may differ).
+    let dir = std::env::temp_dir().join(format!("autocomm-batch-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("qft10.qasm"), dqc_circuit::to_qasm(&dqc_workloads::qft(10))).unwrap();
+    std::fs::write(dir.join("bv12.qasm"), dqc_circuit::to_qasm(&dqc_workloads::bv(12))).unwrap();
+
+    let run_jobs = |jobs: &str| {
+        let out = run(&["batch", dir.to_str().unwrap(), "--nodes", "2", "--jobs", jobs, "--json"]);
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let seq = run_jobs("1");
+    let par = run_jobs("2");
+    for key in ["total_comms", "tp_comms", "epr_pairs", "remote_cx", "makespan"] {
+        // Compare the totals object values.
+        let totals = |json: &str| {
+            let at = json.find("\"totals\":").unwrap();
+            json_number(&json[at..], key)
+        };
+        assert_eq!(totals(&seq), totals(&par), "{key} differs between job counts");
+    }
+    assert!(seq.contains("\"programs\":2"));
+    assert!(seq.contains("\"failures\":0"));
+    assert!(seq.contains("\"label\":\"bv12\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_suite_runs_end_to_end() {
+    let out = run(&["batch", "--suite", "--nodes", "4", "--jobs", "2"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in ["QFT-16-4", "UCCSD-8-4", "totals:", "parallel speedup"] {
+        assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+    }
+}
+
+#[test]
 fn bad_usage_exits_2_with_usage_text() {
     let out = run(&["compile", "x.qasm"]); // no --nodes
     assert_eq!(out.status.code(), Some(2));

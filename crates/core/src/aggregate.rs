@@ -1,51 +1,95 @@
-//! Communication aggregation (paper §4.2).
+//! Communication aggregation (paper §4.2), over the indexed IR.
 //!
 //! The pass uncovers burst communication hidden in the gate stream. For
 //! each qubit-node pair, in descending order of remote-gate count
-//! (*preprocessing*), it grows blocks along the circuit: gates between two
-//! remote gates of the pair are *hoisted* out when they commute with
-//! everything they would cross (the merge direction of paper Algorithm 1),
-//! *absorbed* into the block interior when they are legal body gates
-//! (Algorithm 1's `non_commute_gates`), or *deferred* behind the block
-//! otherwise; an unmovable conflict seals the block (*linear merge*).
-//! Remaining pairs are processed against the already-built blocks
-//! (*iterative refinement*).
+//! (*preprocessing*, precomputed by [`CommIr`]), it grows blocks along the
+//! circuit: gates between two remote gates of the pair are *hoisted* out
+//! when they commute with everything they would cross (the merge direction
+//! of paper Algorithm 1), *absorbed* into the block interior when they are
+//! legal body gates (Algorithm 1's `non_commute_gates`), or *deferred*
+//! behind the block otherwise; an unmovable conflict seals the block
+//! (*linear merge*). Remaining pairs are processed against the
+//! already-built blocks (*iterative refinement*).
 //!
-//! Every reordering decision is justified by pairwise commutation
-//! ([`dqc_circuit::commutes`]), so the flattened output is provably
-//! equivalent to the input — property-tested against dense unitaries in the
-//! integration suite.
+//! Since the `CommIr` refactor the merge loop never re-derives commutation
+//! from raw gate pairs:
+//!
+//! * items are [`GateId`]s into the shared table — hoisting and absorbing
+//!   move `u32` indices, not cloned gates;
+//! * "does this item commute with the whole block (and the deferred
+//!   window)?" is answered by two incremental [`CommSummary`]s in
+//!   `O(operands)` instead of an `O(block · deferred)` rescan, with
+//!   answers *identical* to the pairwise [`dqc_circuit::commutes`] oracle;
+//! * the precomputed conflict DAG supplies an `O(preds)` negative filter:
+//!   a direct edge from a block or deferred member proves the candidate
+//!   cannot move before either summary is consulted.
+//!
+//! Every reordering decision is still justified by pairwise commutation,
+//! so the flattened output is provably equivalent to the input —
+//! property-tested against dense unitaries in the integration suite.
 
-use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use dqc_circuit::{commutes, Circuit, Gate, NodeId, Partition, QubitId};
+use dqc_circuit::{Circuit, CommSummary, Gate, GateId, GateTable, NodeId, Partition, QubitId};
 
-use crate::{pair_stats, CommBlock};
+use crate::{CommBlock, CommIr};
 
 /// One element of an aggregated program: a local gate or a burst block.
+/// Local gates are ids into the program's [`CommIr`] table.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Item {
     /// A gate executed locally on one node (or a hoisted single-qubit gate).
-    Local(Gate),
+    Local(GateId),
     /// A burst-communication block.
     Block(CommBlock),
 }
 
 /// The output of the aggregation pass: an ordered item list whose
-/// flattening is commutation-equivalent to the input circuit.
-#[derive(Clone, Debug, PartialEq)]
+/// flattening is commutation-equivalent to the input circuit, indexed into
+/// the compile's shared [`CommIr`].
+#[derive(Clone, Debug)]
 pub struct AggregatedProgram {
+    ir: Arc<CommIr>,
     items: Vec<Item>,
-    num_qubits: usize,
-    num_cbits: usize,
+}
+
+impl PartialEq for AggregatedProgram {
+    fn eq(&self, other: &Self) -> bool {
+        // Item lists are table-relative; compare through resolution.
+        self.num_qubits() == other.num_qubits()
+            && self.ir.num_cbits() == other.ir.num_cbits()
+            && self.items.len() == other.items.len()
+            && self.items.iter().zip(&other.items).all(|(a, b)| match (a, b) {
+                (Item::Local(x), Item::Local(y)) => self.gate(*x) == other.gate(*y),
+                (Item::Block(x), Item::Block(y)) => {
+                    x.qubit() == y.qubit()
+                        && x.node() == y.node()
+                        && x.ids().len() == y.ids().len()
+                        && x.gates(self.ir.table())
+                            .zip(y.gates(other.ir.table()))
+                            .all(|(g, h)| g == h)
+                }
+                _ => false,
+            })
+    }
 }
 
 impl AggregatedProgram {
     /// Assembles a program from parts (crate-internal; used by passes and
     /// tests that build programs directly).
     #[cfg(test)]
-    pub(crate) fn from_items(items: Vec<Item>, num_qubits: usize, num_cbits: usize) -> Self {
-        AggregatedProgram { items, num_qubits, num_cbits }
+    pub(crate) fn from_parts(ir: Arc<CommIr>, items: Vec<Item>) -> Self {
+        AggregatedProgram { ir, items }
+    }
+
+    /// The shared indexed IR this program resolves against.
+    pub fn ir(&self) -> &Arc<CommIr> {
+        &self.ir
+    }
+
+    /// Resolves a gate id through the program's table.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        self.ir.gate(id)
     }
 
     /// The items in execution order.
@@ -68,18 +112,18 @@ impl AggregatedProgram {
 
     /// Register width of the underlying program.
     pub fn num_qubits(&self) -> usize {
-        self.num_qubits
+        self.ir.num_qubits()
     }
 
     /// Flattens back to a plain circuit (blocks inlined in body order) —
     /// the form used for equivalence checking against the input.
     pub fn to_circuit(&self) -> Circuit {
-        let mut c = Circuit::with_cbits(self.num_qubits, self.num_cbits);
+        let mut c = Circuit::with_cbits(self.num_qubits(), self.ir.num_cbits());
         for item in &self.items {
             match item {
-                Item::Local(g) => c.push(g.clone()).expect("registers preserved"),
+                Item::Local(id) => c.push(self.gate(*id).clone()).expect("registers preserved"),
                 Item::Block(b) => {
-                    for g in b.gates() {
+                    for g in b.gates(self.ir.table()) {
                         c.push(g.clone()).expect("registers preserved");
                     }
                 }
@@ -103,9 +147,11 @@ impl Default for AggregateOptions {
     }
 }
 
-/// Runs the aggregation pass. The circuit should already be unrolled to the
-/// CX+U3 basis (remote multi-qubit gates other than two-qubit unitaries are
-/// left as local items and never blocked).
+/// Runs the aggregation pass on a circuit, building the indexed IR first.
+/// Pipelines that already built a [`CommIr`] should call [`aggregate_ir`]
+/// to reuse it. The circuit should already be unrolled to the CX+U3 basis
+/// (remote multi-qubit gates other than two-qubit unitaries are left as
+/// local items and never blocked).
 ///
 /// # Panics
 ///
@@ -116,36 +162,18 @@ pub fn aggregate(
     partition: &Partition,
     options: AggregateOptions,
 ) -> AggregatedProgram {
-    assert_eq!(
-        circuit.num_qubits(),
-        partition.num_qubits(),
-        "partition must cover the circuit register"
-    );
+    aggregate_ir(CommIr::build_shared(circuit, partition), options)
+}
 
-    // Rank pairs by remote-gate count (preprocessing order).
-    let stats = pair_stats(circuit, partition);
-    let mut pairs: Vec<((QubitId, NodeId), usize)> = stats.into_iter().collect();
-    pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0 .0, a.0 .1).cmp(&(b.0 .0, b.0 .1))));
-
-    // Occurrence lists: pair → original gate indices (arena slot ids).
-    let mut occurrences: HashMap<(QubitId, NodeId), Vec<usize>> = HashMap::new();
-    for (idx, gate) in circuit.gates().iter().enumerate() {
-        for pair in crate::remote_pairs_of(gate, partition) {
-            occurrences.entry(pair).or_default().push(idx);
-        }
+/// Runs the aggregation pass over a prebuilt [`CommIr`].
+pub fn aggregate_ir(ir: Arc<CommIr>, options: AggregateOptions) -> AggregatedProgram {
+    let mut arena = Arena::from_ir(&ir);
+    let mut ws = Workspace::new(&ir);
+    for i in 0..ir.ranked_pairs().len() {
+        let (pair, _) = ir.ranked_pairs()[i];
+        process_pair(&mut arena, &ir, pair, &mut ws, options);
     }
-
-    let mut arena = Arena::from_circuit(circuit);
-    for (pair, _) in pairs {
-        let slots = occurrences.remove(&pair).unwrap_or_default();
-        process_pair(&mut arena, partition, pair, &slots, options);
-    }
-
-    AggregatedProgram {
-        items: arena.into_items(),
-        num_qubits: circuit.num_qubits(),
-        num_cbits: circuit.num_cbits(),
-    }
+    AggregatedProgram { items: arena.into_items(), ir }
 }
 
 /// The no-commutation ablation of paper Fig. 17(a): every remote gate
@@ -153,224 +181,357 @@ pub fn aggregate(
 /// remote gates of a pair can be proven co-executable (they always share
 /// the burst qubit).
 pub fn aggregate_no_commute(circuit: &Circuit, partition: &Partition) -> AggregatedProgram {
-    let items = circuit
-        .gates()
+    aggregate_no_commute_ir(CommIr::build_shared(circuit, partition))
+}
+
+/// [`aggregate_no_commute`] over a prebuilt [`CommIr`].
+pub fn aggregate_no_commute_ir(ir: Arc<CommIr>) -> AggregatedProgram {
+    let partition = ir.partition();
+    let items = ir
+        .stream()
         .iter()
-        .map(|g| {
+        .map(|&id| {
+            let g = ir.gate(id);
             if g.is_two_qubit_unitary() && partition.is_remote(g) {
                 let (q, node) = crate::remote_pairs_of(g, partition)[0];
                 let mut b = CommBlock::new(q, node);
-                b.push(g.clone());
+                b.push(id, g);
                 Item::Block(b)
             } else {
-                Item::Local(g.clone())
+                Item::Local(id)
             }
         })
         .collect();
-    AggregatedProgram { items, num_qubits: circuit.num_qubits(), num_cbits: circuit.num_cbits() }
+    AggregatedProgram { items, ir }
 }
 
 // ---------------------------------------------------------------------------
-// Linked-arena item list: O(1) hoist/absorb/remove while preserving slot ids.
+// Linked-arena item list: O(1) hoist/absorb/remove while preserving slot
+// ids. Slots are packed to eight bytes (a tag plus a `u32` payload into the
+// gate table or the side block store), so the hot hoist loop walks a cache-
+// friendly array instead of a vector of full items.
 // ---------------------------------------------------------------------------
 
+/// One arena slot: dead, a local gate id, or an index into the block store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Dead,
+    Local(GateId),
+    Block(u32),
+}
+
 struct Arena {
-    slots: Vec<Option<Item>>,
-    next: Vec<usize>,
-    prev: Vec<usize>,
-    head: usize, // sentinel index = slots.len()
+    slots: Vec<Slot>,
+    /// Burst blocks, referenced by `Slot::Block` indices.
+    blocks: Vec<CommBlock>,
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    head: u32, // sentinel index = slots.len() at build time
 }
 
 impl Arena {
-    fn from_circuit(circuit: &Circuit) -> Self {
-        let n = circuit.len();
-        let sentinel = n; // the sentinel owns slot `n` (kept `None`)
-        let mut next = vec![0; n + 1];
-        let mut prev = vec![0; n + 1];
+    fn from_ir(ir: &CommIr) -> Self {
+        let n = ir.len();
+        let sentinel = n as u32; // the sentinel owns slot `n` (kept dead)
+        let mut next = vec![0u32; n + 1];
+        let mut prev = vec![0u32; n + 1];
         for i in 0..=n {
-            next[i] = if i == n { 0 } else { i + 1 };
-            prev[i] = if i == 0 { sentinel } else { i - 1 };
+            next[i] = if i == n { 0 } else { i as u32 + 1 };
+            prev[i] = if i == 0 { sentinel } else { i as u32 - 1 };
         }
         next[n] = if n == 0 { sentinel } else { 0 };
         prev[0] = sentinel;
-        let mut slots: Vec<Option<Item>> =
-            circuit.gates().iter().cloned().map(Item::Local).map(Some).collect();
-        slots.push(None); // sentinel slot, so new slots never collide with it
-        Arena { slots, next, prev, head: sentinel }
+        let mut slots: Vec<Slot> = ir.stream().iter().map(|&id| Slot::Local(id)).collect();
+        slots.push(Slot::Dead); // sentinel slot, so new slots never collide
+        Arena { slots, blocks: Vec::new(), next, prev, head: sentinel }
     }
 
     fn sentinel(&self) -> usize {
-        self.head
+        self.head as usize
     }
 
-    fn unlink(&mut self, i: usize) -> Item {
-        let (p, n) = (self.prev[i], self.next[i]);
-        self.next[p] = n;
-        self.prev[n] = p;
-        self.slots[i].take().expect("unlink of live slot")
+    /// Unlinks slot `i` from the list and kills it, returning its payload.
+    fn unlink(&mut self, i: usize) -> Slot {
+        let (p, n) = (self.prev[i] as usize, self.next[i] as usize);
+        self.next[p] = self.next[i];
+        self.prev[n] = self.prev[i];
+        std::mem::replace(&mut self.slots[i], Slot::Dead)
     }
 
-    /// Moves the live slot `i` to just before the live slot `before`.
+    /// Moves the live slot `i` to just before the live slot `before`
+    /// (pointer surgery only — the payload stays in its slot).
     fn move_before(&mut self, i: usize, before: usize) {
-        let item = self.unlink(i);
-        self.slots[i] = Some(item);
-        let p = self.prev[before];
-        self.next[p] = i;
-        self.prev[i] = p;
-        self.next[i] = before;
-        self.prev[before] = i;
+        let (p, n) = (self.prev[i] as usize, self.next[i] as usize);
+        self.next[p] = self.next[i];
+        self.prev[n] = self.prev[i];
+        let b = self.prev[before];
+        self.next[b as usize] = i as u32;
+        self.prev[i] = b;
+        self.next[i] = before as u32;
+        self.prev[before] = i as u32;
+    }
+
+    /// Appends a fresh slot holding `slot` right after `after`, returning
+    /// its index.
+    fn insert_after(&mut self, after: usize, slot: Slot) -> usize {
+        let idx = self.slots.len();
+        self.slots.push(slot);
+        let after_next = self.next[after];
+        self.next.push(after_next);
+        self.prev.push(after as u32);
+        self.next[after] = idx as u32;
+        self.prev[after_next as usize] = idx as u32;
+        idx
+    }
+
+    /// The ids of the item in slot `i` (one for locals, the body for
+    /// blocks).
+    fn ids_at(&self, i: usize) -> &[GateId] {
+        match &self.slots[i] {
+            Slot::Local(id) => std::slice::from_ref(id),
+            Slot::Block(bi) => self.blocks[*bi as usize].ids(),
+            Slot::Dead => &[],
+        }
     }
 
     fn into_items(self) -> Vec<Item> {
         let mut out = Vec::with_capacity(self.slots.len());
         let sentinel = self.sentinel();
-        let mut cur = self.next[sentinel];
-        let mut slots = self.slots;
+        let mut blocks: Vec<Option<CommBlock>> = self.blocks.into_iter().map(Some).collect();
+        let mut cur = self.next[sentinel] as usize;
         while cur != sentinel {
-            if let Some(item) = slots[cur].take() {
-                out.push(item);
+            match self.slots[cur] {
+                Slot::Local(id) => out.push(Item::Local(id)),
+                Slot::Block(bi) => {
+                    out.push(Item::Block(blocks[bi as usize].take().expect("block used once")));
+                }
+                Slot::Dead => {}
             }
-            cur = self.next[cur];
+            cur = self.next[cur] as usize;
         }
         out
     }
 }
 
-fn item_gates(item: &Item) -> &[Gate] {
-    match item {
-        Item::Local(g) => std::slice::from_ref(g),
-        Item::Block(b) => b.gates(),
-    }
+/// Reused per-block scratch state: the two commutation summaries, the
+/// folded qubit masks, and the stamped DAG membership marks.
+struct Workspace {
+    /// Summary of the open block's body.
+    block: CommSummary,
+    /// Summary of every gate in the deferred window.
+    deferred: CommSummary,
+    /// Folded wire mask of block-body and deferred gates (see
+    /// [`GateTable::wire_mask`]; only ever conservative).
+    touched_mask: u64,
+    /// Generation-stamped block membership per original stream position.
+    block_pos: Vec<u32>,
+    /// Generation-stamped deferred membership per original stream position.
+    defer_pos: Vec<u32>,
+    /// Generation-stamped occurrence set of the pair being processed.
+    occ_pos: Vec<u32>,
+    /// Occurrence-set generation (bumped per pair, not per block).
+    occ_gen: u32,
+    gen: u32,
 }
 
-fn item_commutes_with_gates(item: &Item, gates: &[Gate]) -> bool {
-    item_gates(item).iter().all(|a| gates.iter().all(|b| commutes(a, b)))
+impl Workspace {
+    fn new(ir: &CommIr) -> Self {
+        Workspace {
+            block: CommSummary::new(ir.num_qubits(), ir.num_cbits()),
+            deferred: CommSummary::new(ir.num_qubits(), ir.num_cbits()),
+            touched_mask: 0,
+            block_pos: vec![0; ir.len()],
+            defer_pos: vec![0; ir.len()],
+            occ_pos: vec![0; ir.len()],
+            occ_gen: 0,
+            gen: 0,
+        }
+    }
+
+    /// Registers `positions` as the current pair's occurrence set.
+    fn set_occurrences(&mut self, positions: &[usize]) {
+        self.occ_gen += 1;
+        for &s in positions {
+            self.occ_pos[s] = self.occ_gen;
+        }
+    }
+
+    fn is_occurrence_pos(&self, pos: usize) -> bool {
+        self.occ_pos.get(pos).copied() == Some(self.occ_gen)
+    }
+
+    fn open_block(&mut self) {
+        self.gen += 1;
+        self.touched_mask = 0;
+        self.block.clear();
+        self.deferred.clear();
+    }
+
+    fn add_to_block(&mut self, table: &GateTable, pos: usize, id: GateId) {
+        self.block.add(table, id);
+        self.touched_mask |= table.wire_mask(id);
+        if let Some(m) = self.block_pos.get_mut(pos) {
+            *m = self.gen;
+        }
+    }
+
+    fn add_to_deferred(&mut self, table: &GateTable, pos: usize, id: GateId) {
+        self.deferred.add(table, id);
+        self.touched_mask |= table.wire_mask(id);
+        if let Some(m) = self.defer_pos.get_mut(pos) {
+            *m = self.gen;
+        }
+    }
+
+    /// DAG edge lookup (the negative filter): whether any direct conflict
+    /// predecessor of `pos` is currently a block or deferred member.
+    fn conflicts(&self, ir: &CommIr, pos: usize) -> (bool, bool) {
+        let mut in_block = false;
+        let mut in_defer = false;
+        if pos < ir.len() {
+            for &p in ir.dag().predecessors(pos) {
+                if self.block_pos[p as usize] == self.gen {
+                    in_block = true;
+                }
+                if self.defer_pos[p as usize] == self.gen {
+                    in_defer = true;
+                }
+            }
+        }
+        (in_block, in_defer)
+    }
 }
 
 /// Builds blocks for one qubit-node pair along its occurrence list.
 fn process_pair(
     arena: &mut Arena,
-    partition: &Partition,
+    ir: &CommIr,
     (q, node): (QubitId, NodeId),
-    slots: &[usize],
+    ws: &mut Workspace,
     options: AggregateOptions,
 ) {
+    let table = ir.table();
+    let partition = ir.partition();
     let is_pair_gate = |g: &Gate| -> bool {
         g.is_two_qubit_unitary()
             && g.condition().is_none()
             && g.acts_on(q)
             && g.qubits().iter().all(|&x| x == q || partition.node_of(x) == node)
     };
+    let is_live_occurrence = |arena: &Arena, s: usize| -> bool {
+        matches!(&arena.slots[s], Slot::Local(id) if is_pair_gate(table.gate(*id)))
+    };
 
-    // Remaining live occurrences of this pair.
-    let live: Vec<usize> = slots
+    // Remaining live occurrences of this pair (stream positions, ascending).
+    let live: Vec<usize> = ir
+        .occurrences((q, node))
         .iter()
-        .copied()
-        .filter(|&s| matches!(&arena.slots[s], Some(Item::Local(g)) if is_pair_gate(g)))
+        .map(|&s| s as usize)
+        .filter(|&s| is_live_occurrence(arena, s))
         .collect();
     if live.is_empty() {
         return;
     }
-    let live_set: HashSet<usize> = live.iter().copied().collect();
     let last_slot = *live.last().expect("non-empty");
+    // Occurrence membership by position (generation-stamped, reused across
+    // pairs — the old per-pair hash set).
+    ws.set_occurrences(&live);
 
     let mut idx = 0usize;
     while idx < live.len() {
         let start = live[idx];
         // The occurrence may have been absorbed by an earlier block of this
         // same pass (we only advance `idx` on seals, so re-check liveness).
-        if !matches!(&arena.slots[start], Some(Item::Local(g)) if is_pair_gate(g)) {
+        if !is_live_occurrence(arena, start) {
             idx += 1;
             continue;
         }
         // Open a block in place of the first pair gate.
-        let first_gate = match arena.slots[start].take() {
-            Some(Item::Local(g)) => g,
-            _ => unreachable!("liveness checked above"),
-        };
+        let Slot::Local(first_id) = arena.slots[start] else { unreachable!("liveness checked") };
+        let bi = arena.blocks.len();
         let mut block = CommBlock::new(q, node);
-        block.push(first_gate);
-        arena.slots[start] = Some(Item::Block(CommBlock::new(q, node))); // placeholder
-        let mut block_qubits: HashSet<QubitId> = block.involved_qubits().into_iter().collect();
+        block.push(first_id, table.gate(first_id));
+        arena.blocks.push(block);
+        arena.slots[start] = Slot::Block(bi as u32);
+        ws.open_block();
+        ws.add_to_block(table, start, first_id);
 
-        // Deferred items: stay physically in place (after the block slot).
-        let mut deferred: Vec<usize> = Vec::new();
-        let mut deferred_qubits: HashSet<QubitId> = HashSet::new();
+        // Deferred items stay physically in place (after the block slot).
+        let mut deferred_items = 0usize;
 
-        let mut cur = arena.next[start];
+        let mut cur = arena.next[start] as usize;
         let sentinel = arena.sentinel();
-        let mut remaining = live[idx + 1..].iter().filter(|s| live_set.contains(s)).count();
+        let mut remaining = live.len() - idx - 1;
 
         while cur != sentinel && remaining > 0 && cur <= last_slot {
-            let nxt = arena.next[cur];
-            let is_occurrence = live_set.contains(&cur)
-                && matches!(&arena.slots[cur], Some(Item::Local(g)) if is_pair_gate(g));
+            let nxt = arena.next[cur] as usize;
+            let slot = arena.slots[cur];
+            let is_occurrence = ws.is_occurrence_pos(cur)
+                && matches!(slot, Slot::Local(id) if is_pair_gate(table.gate(id)));
 
             if is_occurrence {
                 remaining -= 1;
+                let Slot::Local(id) = slot else { unreachable!() };
                 // Joining crosses every deferred item (they end up after the
                 // block); all of them must commute with this gate.
-                let joins = {
-                    let Some(Item::Local(g)) = &arena.slots[cur] else { unreachable!() };
-                    deferred.iter().all(|&d| {
-                        let item = arena.slots[d].as_ref().expect("deferred slot live");
-                        item_commutes_with_gates(item, std::slice::from_ref(g))
-                    })
-                };
-                if joins {
-                    let Item::Local(g) = arena.unlink(cur) else { unreachable!() };
-                    block_qubits.extend(g.qubits().iter().copied());
-                    block.push(g);
+                if ws.deferred.commutes_with(table, id) {
+                    arena.unlink(cur);
+                    ws.add_to_block(table, cur, id);
+                    arena.blocks[bi].push(id, table.gate(id));
                 } else {
                     // Seal here and restart a fresh block at this occurrence.
                     break;
                 }
-            } else if arena.slots[cur].is_some() {
-                let item = arena.slots[cur].as_ref().expect("live");
-                let disjoint_fast = item_gates(item).iter().all(|g| {
-                    g.qubits()
+            } else if slot != Slot::Dead {
+                let disjoint_fast = match slot {
+                    Slot::Local(gid) => table.disjoint_mask(gid) & ws.touched_mask == 0,
+                    _ => arena
+                        .ids_at(cur)
                         .iter()
-                        .all(|x| !block_qubits.contains(x) && !deferred_qubits.contains(x))
-                        && g.cbit().is_none()
-                        && g.condition().is_none()
-                });
+                        .all(|&gid| table.disjoint_mask(gid) & ws.touched_mask == 0),
+                };
+                // DAG edge lookup: a direct conflict edge from a block or
+                // deferred member proves the item cannot be hoisted (and,
+                // for deferred conflicts, cannot be absorbed either).
+                let (edge_block, edge_defer) =
+                    if disjoint_fast { (false, false) } else { ws.conflicts(ir, cur) };
                 let can_hoist = disjoint_fast
-                    || (item_commutes_with_gates(item, block.gates())
-                        && deferred.iter().all(|&d| {
-                            let dit = arena.slots[d].as_ref().expect("live");
-                            item_gates(item)
-                                .iter()
-                                .all(|a| item_gates(dit).iter().all(|b| commutes(a, b)))
+                    || (!edge_block
+                        && !edge_defer
+                        && arena.ids_at(cur).iter().all(|&gid| {
+                            ws.block.commutes_with(table, gid)
+                                && ws.deferred.commutes_with(table, gid)
                         }));
                 if can_hoist {
                     arena.move_before(cur, start);
                 } else {
-                    let absorbable = match item {
-                        Item::Local(g) => {
-                            g.kind().is_unitary()
+                    let absorbable = match slot {
+                        Slot::Local(id) => {
+                            let g = table.gate(id);
+                            !edge_defer
+                                && g.kind().is_unitary()
                                 && g.condition().is_none()
                                 && g.qubits()
                                     .iter()
                                     .all(|&x| x == q || partition.node_of(x) == node)
-                                && deferred.iter().all(|&d| {
-                                    let dit = arena.slots[d].as_ref().expect("live");
-                                    item_commutes_with_gates(dit, std::slice::from_ref(g))
-                                })
+                                && ws.deferred.commutes_with(table, id)
                         }
-                        Item::Block(_) => false,
+                        _ => false,
                     };
                     if absorbable {
-                        let Item::Local(g) = arena.unlink(cur) else { unreachable!() };
-                        block_qubits.extend(g.qubits().iter().copied());
-                        block.push(g);
+                        let Slot::Local(id) = slot else { unreachable!() };
+                        arena.unlink(cur);
+                        ws.add_to_block(table, cur, id);
+                        arena.blocks[bi].push(id, table.gate(id));
                     } else {
-                        if deferred.len() >= options.defer_limit {
+                        if deferred_items >= options.defer_limit {
                             break;
                         }
-                        for g in item_gates(item) {
-                            deferred_qubits.extend(g.qubits().iter().copied());
+                        for k in 0..arena.ids_at(cur).len() {
+                            let gid = arena.ids_at(cur)[k];
+                            ws.add_to_deferred(table, cur, gid);
                         }
-                        deferred.push(cur);
+                        deferred_items += 1;
                     }
                 }
             }
@@ -378,20 +539,12 @@ fn process_pair(
         }
 
         // Seal: trim trailing interior gates back out as local items.
-        let trimmed = block.trim_trailing_locals();
-        arena.slots[start] = Some(Item::Block(block));
+        let trimmed = arena.blocks[bi].trim_trailing_locals(table);
         let mut insert_after = start;
-        for g in trimmed {
+        for id in trimmed {
             // Re-insert each trimmed gate right after the block, preserving
             // order; allocate fresh slots at the end of the arena.
-            let slot = arena.slots.len();
-            arena.slots.push(Some(Item::Local(g)));
-            let after_next = arena.next[insert_after];
-            arena.next.push(after_next);
-            arena.prev.push(insert_after);
-            arena.next[insert_after] = slot;
-            arena.prev[after_next] = slot;
-            insert_after = slot;
+            insert_after = arena.insert_after(insert_after, Slot::Local(id));
         }
         idx += 1;
     }
@@ -400,6 +553,7 @@ fn process_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dqc_circuit::GateKind;
 
     fn q(i: usize) -> QubitId {
         QubitId::new(i)
@@ -438,7 +592,7 @@ mod tests {
         assert!(agg
             .items()
             .iter()
-            .any(|i| matches!(i, Item::Local(g) if g.kind() == dqc_circuit::GateKind::Rz)));
+            .any(|i| matches!(i, Item::Local(id) if agg.gate(*id).kind() == GateKind::Rz)));
     }
 
     #[test]
@@ -524,7 +678,8 @@ mod tests {
         assert_eq!(remote_in, remote_blocks);
         // And no remote gate remains as a local item.
         for item in agg.items() {
-            if let Item::Local(g) = item {
+            if let Item::Local(id) = item {
+                let g = agg.gate(*id);
                 assert!(!p.is_remote(g), "remote gate {g} left outside blocks");
             }
         }
@@ -565,5 +720,18 @@ mod tests {
         assert!(max_block >= 6, "expected bursts of ≥ 6 remote CX, got {max_block}");
         let equivalent = dqc_sim::circuits_equivalent(&c, &agg.to_circuit(), 1e-8).unwrap();
         assert!(equivalent, "QFT aggregation must preserve semantics");
+    }
+
+    #[test]
+    fn repeated_gates_share_table_slots() {
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        for _ in 0..10 {
+            c.push(Gate::cx(q(0), q(2))).unwrap();
+            c.push(Gate::h(q(2))).unwrap();
+        }
+        let agg = aggregate_default(&c, &p);
+        assert_eq!(agg.ir().unique_gates(), 2);
+        assert_eq!(agg.to_circuit().len(), 20);
     }
 }

@@ -12,10 +12,16 @@
 //!   bidirectional Fig. 9b) → the Cat cost is the number of single-call
 //!   segments while TP-Comm costs a flat two EPR pairs; the cheaper wins
 //!   and ties go to TP, exactly the paper's default.
+//!
+//! Since the `CommIr` refactor blocks carry gate ids; segmentation walks
+//! the shared table instead of cloned bodies, and splitting a block into
+//! segments copies `u32` indices only.
 
-use dqc_circuit::{AxisBehavior, Gate};
+use std::sync::Arc;
 
-use crate::{AggregatedProgram, CommBlock, Item};
+use dqc_circuit::{AxisBehavior, Gate, GateId, GateTable};
+
+use crate::{AggregatedProgram, CommBlock, CommIr, Item};
 
 /// How a Cat-Comm block is oriented before expansion.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,24 +57,58 @@ pub struct AssignedBlock {
     pub segments: usize,
 }
 
-/// An aggregated program with every block assigned a scheme.
-#[derive(Clone, Debug, PartialEq)]
+/// An aggregated program with every block assigned a scheme, sharing the
+/// compile's [`CommIr`].
+#[derive(Clone, Debug)]
 pub struct AssignedProgram {
+    ir: Arc<CommIr>,
     items: Vec<AssignedItem>,
-    num_qubits: usize,
-    num_cbits: usize,
 }
 
 /// One element of an assigned program.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AssignedItem {
-    /// A local gate.
-    Local(Gate),
+    /// A local gate (an id into the program's table).
+    Local(GateId),
     /// An assigned burst block.
     Block(AssignedBlock),
 }
 
+impl PartialEq for AssignedProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_qubits() == other.num_qubits()
+            && self.num_cbits() == other.num_cbits()
+            && self.items.len() == other.items.len()
+            && self.items.iter().zip(&other.items).all(|(a, b)| match (a, b) {
+                (AssignedItem::Local(x), AssignedItem::Local(y)) => self.gate(*x) == other.gate(*y),
+                (AssignedItem::Block(x), AssignedItem::Block(y)) => {
+                    x.scheme == y.scheme
+                        && x.comms == y.comms
+                        && x.segments == y.segments
+                        && x.block.qubit() == y.block.qubit()
+                        && x.block.node() == y.block.node()
+                        && x.block.ids().len() == y.block.ids().len()
+                        && x.block
+                            .gates(self.ir.table())
+                            .zip(y.block.gates(other.ir.table()))
+                            .all(|(g, h)| g == h)
+                }
+                _ => false,
+            })
+    }
+}
+
 impl AssignedProgram {
+    /// The shared indexed IR this program resolves against.
+    pub fn ir(&self) -> &Arc<CommIr> {
+        &self.ir
+    }
+
+    /// Resolves a gate id through the program's table.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        self.ir.gate(id)
+    }
+
     /// Items in execution order.
     pub fn items(&self) -> &[AssignedItem] {
         &self.items
@@ -84,12 +124,12 @@ impl AssignedProgram {
 
     /// Register width.
     pub fn num_qubits(&self) -> usize {
-        self.num_qubits
+        self.ir.num_qubits()
     }
 
     /// Classical register width.
     pub fn num_cbits(&self) -> usize {
-        self.num_cbits
+        self.ir.num_cbits()
     }
 }
 
@@ -99,12 +139,12 @@ impl AssignedProgram {
 /// A segment extends while remote gates keep one orientation (Z-diagonal on
 /// the burst qubit = control form; X-diagonal = target form) and no
 /// incompatible interior gate touches the burst qubit.
-pub(crate) fn cat_segments(block: &CommBlock) -> (usize, CatOrientation) {
+pub(crate) fn cat_segments(table: &GateTable, block: &CommBlock) -> (usize, CatOrientation) {
     let q = block.qubit();
     let mut segments = 0usize;
     let mut current: Option<CatOrientation> = None;
     let mut first = CatOrientation::Control;
-    for gate in block.gates() {
+    for gate in block.gates(table) {
         if !gate.acts_on(q) {
             continue; // node-local interior gate: rides along
         }
@@ -161,13 +201,14 @@ pub fn assign_cat_only(program: &AggregatedProgram) -> AssignedProgram {
 }
 
 fn assign_with(program: &AggregatedProgram, hybrid: bool) -> AssignedProgram {
+    let table = program.ir().table();
     let items = program
         .items()
         .iter()
         .map(|item| match item {
-            Item::Local(g) => AssignedItem::Local(g.clone()),
+            Item::Local(id) => AssignedItem::Local(*id),
             Item::Block(b) => {
-                let (segments, orientation) = cat_segments(b);
+                let (segments, orientation) = cat_segments(table, b);
                 let (scheme, comms) = if segments == 1 {
                     (Scheme::Cat(orientation), 1)
                 } else if hybrid {
@@ -181,13 +222,14 @@ fn assign_with(program: &AggregatedProgram, hybrid: bool) -> AssignedProgram {
             }
         })
         .collect();
-    AssignedProgram { items, num_qubits: program.num_qubits(), num_cbits: 0 }
+    AssignedProgram { ir: Arc::clone(program.ir()), items }
 }
 
 /// Splits a block into its single-call Cat segments (used when lowering
 /// Cat-only assignments, and by the scheduler to serialize split blocks).
-/// Interior node-local gates attach to the current segment.
-pub(crate) fn split_into_segments(block: &CommBlock) -> Vec<CommBlock> {
+/// Interior node-local gates attach to the current segment. Only gate ids
+/// move — bodies are never cloned.
+pub(crate) fn split_into_segments(table: &GateTable, block: &CommBlock) -> Vec<CommBlock> {
     let q = block.qubit();
     let mut out: Vec<CommBlock> = Vec::new();
     let mut current = CommBlock::new(q, block.node());
@@ -197,9 +239,10 @@ pub(crate) fn split_into_segments(block: &CommBlock) -> Vec<CommBlock> {
             out.push(std::mem::replace(blk, CommBlock::new(q, block.node())));
         }
     };
-    for gate in block.gates() {
+    for &id in block.ids() {
+        let gate = table.gate(id);
         if !gate.acts_on(q) {
-            current.push(gate.clone());
+            current.push(id, gate);
             continue;
         }
         let behavior = AxisBehavior::of(gate, q);
@@ -212,17 +255,17 @@ pub(crate) fn split_into_segments(block: &CommBlock) -> Vec<CommBlock> {
                     seal(&mut current, &mut out);
                     orientation = None;
                     let mut solo = CommBlock::new(q, block.node());
-                    solo.push(gate.clone());
+                    solo.push(id, gate);
                     out.push(solo);
                     continue;
                 }
             };
             match orientation {
-                Some(cur) if cur == o => current.push(gate.clone()),
+                Some(cur) if cur == o => current.push(id, gate),
                 _ => {
                     seal(&mut current, &mut out);
                     orientation = Some(o);
-                    current.push(gate.clone());
+                    current.push(id, gate);
                 }
             }
         } else {
@@ -232,11 +275,11 @@ pub(crate) fn split_into_segments(block: &CommBlock) -> Vec<CommBlock> {
                     | (Some(CatOrientation::Target), AxisBehavior::XDiag)
             );
             if compatible {
-                current.push(gate.clone());
+                current.push(id, gate);
             } else {
                 seal(&mut current, &mut out);
                 orientation = None;
-                current.push(gate.clone());
+                current.push(id, gate);
             }
         }
     }
@@ -247,22 +290,31 @@ pub(crate) fn split_into_segments(block: &CommBlock) -> Vec<CommBlock> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dqc_circuit::{NodeId, QubitId};
+    use dqc_circuit::{Circuit, NodeId, Partition, QubitId};
 
     fn q(i: usize) -> QubitId {
         QubitId::new(i)
     }
 
-    fn block_of(gates: Vec<Gate>) -> CommBlock {
-        let mut b = CommBlock::new(q(0), NodeId::new(1));
-        for g in gates {
-            b.push(g);
+    /// Builds an IR whose stream is exactly `gates`, plus a block holding
+    /// all of them for the pair (q0, N1).
+    fn ir_and_block(gates: Vec<Gate>) -> (Arc<CommIr>, CommBlock) {
+        let mut c = Circuit::new(4);
+        for g in &gates {
+            c.push(g.clone()).unwrap();
         }
-        b
+        let ir = CommIr::build_shared(&c, &Partition::block(4, 2).unwrap());
+        let mut b = CommBlock::new(q(0), NodeId::new(1));
+        for (pos, _) in gates.iter().enumerate() {
+            let id = ir.stream()[pos];
+            b.push(id, ir.gate(id));
+        }
+        (ir, b)
     }
 
     fn assigned_single(gates: Vec<Gate>, hybrid: bool) -> AssignedBlock {
-        let program = AggregatedProgram::from_items(vec![Item::Block(block_of(gates))], 4, 0);
+        let (ir, block) = ir_and_block(gates);
+        let program = AggregatedProgram::from_parts(ir, vec![Item::Block(block)]);
         let assigned = if hybrid { assign(&program) } else { assign_cat_only(&program) };
         let block = assigned.blocks().next().unwrap().clone();
         block
@@ -323,13 +375,13 @@ mod tests {
 
     #[test]
     fn split_segments_cover_all_gates() {
-        let b = block_of(vec![
+        let (ir, b) = ir_and_block(vec![
             Gate::cx(q(0), q(2)),
             Gate::h(q(2)),
             Gate::cx(q(2), q(0)),
             Gate::cx(q(3), q(0)),
         ]);
-        let segs = split_into_segments(&b);
+        let segs = split_into_segments(ir.table(), &b);
         assert_eq!(segs.len(), 2);
         let total: usize = segs.iter().map(|s| s.len()).sum();
         assert_eq!(total, b.len());

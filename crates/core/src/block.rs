@@ -3,10 +3,16 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use dqc_circuit::{Gate, NodeId, Partition, QubitId};
+use dqc_circuit::{Gate, GateId, GateTable, NodeId, Partition, QubitId};
 
 /// One burst-communication block: an ordered group of gates between a
 /// single *burst qubit* and a single remote *node* (paper §3.2).
+///
+/// Since the `CommIr` refactor the body is a list of [`GateId`]s into the
+/// compile's shared [`GateTable`] — building, splitting, and cloning blocks
+/// moves `u32` indices, never gate payloads. The remote-gate count is
+/// maintained on push so the hot metric needs no table at all; body
+/// accessors that need gate contents take the table explicitly.
 ///
 /// The body holds both the remote two-qubit gates of the pair and any
 /// interior local gates absorbed during aggregation (gates on the remote
@@ -16,13 +22,14 @@ use dqc_circuit::{Gate, NodeId, Partition, QubitId};
 pub struct CommBlock {
     qubit: QubitId,
     node: NodeId,
-    gates: Vec<Gate>,
+    gates: Vec<GateId>,
+    remote: u32,
 }
 
 impl CommBlock {
     /// An empty block for the burst pair `(qubit, node)`.
     pub fn new(qubit: QubitId, node: NodeId) -> Self {
-        CommBlock { qubit, node, gates: Vec::new() }
+        CommBlock { qubit, node, gates: Vec::new(), remote: 0 }
     }
 
     /// The burst qubit.
@@ -35,14 +42,30 @@ impl CommBlock {
         self.node
     }
 
-    /// The body, in execution order.
-    pub fn gates(&self) -> &[Gate] {
+    /// The body as gate ids, in execution order.
+    pub fn ids(&self) -> &[GateId] {
         &self.gates
     }
 
-    /// Appends a gate to the body.
-    pub fn push(&mut self, gate: Gate) {
-        self.gates.push(gate);
+    /// The body gates, in execution order, resolved through `table`.
+    pub fn gates<'a>(&'a self, table: &'a GateTable) -> impl Iterator<Item = &'a Gate> + 'a {
+        self.gates.iter().map(|&id| table.gate(id))
+    }
+
+    /// Whether `gate` counts as a remote gate of this block's pair: a
+    /// two-qubit unitary acting on the burst qubit.
+    fn is_remote(&self, gate: &Gate) -> bool {
+        gate.is_two_qubit_unitary() && gate.acts_on(self.qubit)
+    }
+
+    /// Appends a gate to the body. The resolved `gate` must be `id`'s gate
+    /// in the compile's table (both are passed so the block can classify it
+    /// without a table lookup).
+    pub fn push(&mut self, id: GateId, gate: &Gate) {
+        if self.is_remote(gate) {
+            self.remote += 1;
+        }
+        self.gates.push(id);
     }
 
     /// Number of body gates.
@@ -57,27 +80,26 @@ impl CommBlock {
 
     /// The remote two-qubit gates of the pair (body gates acting on the
     /// burst qubit with their partner on the remote node).
-    pub fn remote_gates(&self) -> impl Iterator<Item = &Gate> {
-        let q = self.qubit;
-        self.gates.iter().filter(move |g| g.is_two_qubit_unitary() && g.acts_on(q))
+    pub fn remote_gates<'a>(&'a self, table: &'a GateTable) -> impl Iterator<Item = &'a Gate> + 'a {
+        self.gates(table).filter(|g| self.is_remote(g))
     }
 
     /// Number of remote two-qubit gates carried by this block — the
     /// paper's “# REM CX” per communication once the body is in the CX+U3
-    /// basis.
+    /// basis. Maintained on push, so no table is needed.
     pub fn remote_gate_count(&self) -> usize {
-        self.remote_gates().count()
+        self.remote as usize
     }
 
     /// Every qubit referenced by the body.
-    pub fn involved_qubits(&self) -> BTreeSet<QubitId> {
-        self.gates.iter().flat_map(|g| g.qubits().iter().copied()).collect()
+    pub fn involved_qubits(&self, table: &GateTable) -> BTreeSet<QubitId> {
+        self.gates(table).flat_map(|g| g.qubits().iter().copied()).collect()
     }
 
     /// The remote node's qubits used by the body, ascending.
-    pub fn partner_qubits(&self) -> Vec<QubitId> {
+    pub fn partner_qubits(&self, table: &GateTable) -> Vec<QubitId> {
         let mut out: BTreeSet<QubitId> = BTreeSet::new();
-        for g in &self.gates {
+        for g in self.gates(table) {
             for &q in g.qubits() {
                 if q != self.qubit {
                     out.insert(q);
@@ -95,26 +117,30 @@ impl CommBlock {
     /// Drops trailing body gates that are not remote gates of the pair
     /// (they never needed to ride the communication; aggregation calls this
     /// before sealing a block). Returns the trimmed-off suffix in order.
-    pub fn trim_trailing_locals(&mut self) -> Vec<Gate> {
-        let q = self.qubit;
-        let last_remote = self.gates.iter().rposition(|g| g.is_two_qubit_unitary() && g.acts_on(q));
+    pub fn trim_trailing_locals(&mut self, table: &GateTable) -> Vec<GateId> {
+        let last_remote = self.gates.iter().rposition(|&id| self.is_remote(table.gate(id)));
         match last_remote {
             Some(i) => self.gates.split_off(i + 1),
             None => std::mem::take(&mut self.gates),
         }
     }
-}
 
-impl fmt::Display for CommBlock {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
+    /// A one-line description (needs the table only for the body length
+    /// breakdown already cached, so none is taken).
+    pub fn describe(&self) -> String {
+        format!(
             "block[{} ↔ {}; {} gates, {} remote]",
             self.qubit,
             self.node,
             self.gates.len(),
-            self.remote_gate_count()
+            self.remote
         )
+    }
+}
+
+impl fmt::Display for CommBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
     }
 }
 
@@ -126,54 +152,65 @@ mod tests {
         QubitId::new(i)
     }
 
-    fn sample_block() -> CommBlock {
+    fn push(b: &mut CommBlock, table: &mut GateTable, gate: Gate) {
+        let id = table.intern(&gate);
+        b.push(id, &gate);
+    }
+
+    fn sample_block(table: &mut GateTable) -> CommBlock {
         let mut b = CommBlock::new(q(0), NodeId::new(1));
-        b.push(Gate::cx(q(0), q(2)));
-        b.push(Gate::h(q(3)));
-        b.push(Gate::cx(q(0), q(3)));
+        push(&mut b, table, Gate::cx(q(0), q(2)));
+        push(&mut b, table, Gate::h(q(3)));
+        push(&mut b, table, Gate::cx(q(0), q(3)));
         b
     }
 
     #[test]
     fn counts_and_partners() {
-        let b = sample_block();
+        let mut table = GateTable::new();
+        let b = sample_block(&mut table);
         assert_eq!(b.len(), 3);
         assert_eq!(b.remote_gate_count(), 2);
-        assert_eq!(b.partner_qubits(), vec![q(2), q(3)]);
-        assert_eq!(b.involved_qubits().len(), 3);
+        assert_eq!(b.partner_qubits(&table), vec![q(2), q(3)]);
+        assert_eq!(b.involved_qubits(&table).len(), 3);
+        assert_eq!(b.remote_gates(&table).count(), 2);
     }
 
     #[test]
     fn trim_trailing_locals_keeps_remote_suffix() {
-        let mut b = sample_block();
-        b.push(Gate::t(q(2)));
-        b.push(Gate::h(q(3)));
-        let trimmed = b.trim_trailing_locals();
+        let mut table = GateTable::new();
+        let mut b = sample_block(&mut table);
+        push(&mut b, &mut table, Gate::t(q(2)));
+        push(&mut b, &mut table, Gate::h(q(3)));
+        let trimmed = b.trim_trailing_locals(&table);
         assert_eq!(trimmed.len(), 2);
         assert_eq!(b.len(), 3);
-        assert_eq!(b.remote_gate_count(), 2);
+        assert_eq!(b.gates(&table).count(), 3);
     }
 
     #[test]
     fn trim_on_remote_free_block_empties_it() {
+        let mut table = GateTable::new();
         let mut b = CommBlock::new(q(0), NodeId::new(1));
-        b.push(Gate::h(q(2)));
-        let trimmed = b.trim_trailing_locals();
+        push(&mut b, &mut table, Gate::h(q(2)));
+        let trimmed = b.trim_trailing_locals(&table);
         assert_eq!(trimmed.len(), 1);
         assert!(b.is_empty());
     }
 
     #[test]
     fn home_uses_partition() {
+        let mut table = GateTable::new();
         let p = Partition::block(4, 2).unwrap();
-        let b = sample_block();
+        let b = sample_block(&mut table);
         assert_eq!(b.home(&p).index(), 0);
         assert_eq!(b.node().index(), 1);
     }
 
     #[test]
     fn display_summarizes() {
-        let s = sample_block().to_string();
+        let mut table = GateTable::new();
+        let s = sample_block(&mut table).to_string();
         assert!(s.contains("q0"));
         assert!(s.contains("N1"));
         assert!(s.contains("2 remote"));

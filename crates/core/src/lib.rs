@@ -56,6 +56,7 @@ mod analysis;
 mod assign;
 mod block;
 mod error;
+mod ir;
 mod lower;
 mod metrics;
 mod orient;
@@ -64,19 +65,23 @@ mod pipeline;
 mod program;
 mod schedule;
 
-pub use aggregate::{aggregate, aggregate_no_commute, AggregateOptions, AggregatedProgram, Item};
+pub use aggregate::{
+    aggregate, aggregate_ir, aggregate_no_commute, aggregate_no_commute_ir, AggregateOptions,
+    AggregatedProgram, Item,
+};
 pub use analysis::inverse_burst_distribution;
 pub use assign::{
     assign, assign_cat_only, AssignedBlock, AssignedItem, AssignedProgram, CatOrientation, Scheme,
 };
 pub use block::CommBlock;
 pub use error::CompileError;
+pub use ir::{CommIr, DAG_WINDOW};
 pub use lower::lower_assigned;
 pub use metrics::{burst_distribution, CommMetrics};
 pub use orient::orient_symmetric_gates;
 pub use pass::{
-    AggregatePass, AssignPass, LowerPass, MetricsPass, OrientPass, Pass, PassContext, PassReport,
-    SchedulePass, UnrollPass,
+    AggregatePass, AssignPass, IrPass, LowerPass, MetricsPass, OrientPass, Pass, PassContext,
+    PassReport, SchedulePass, UnrollPass,
 };
 pub use pipeline::{
     Ablation, AutoComm, AutoCommOptions, CompileResult, Pipeline, PipelineBuilder, PipelineOutput,

@@ -6,7 +6,7 @@
 //! circuit. Target-form Cat blocks are H-conjugated into control form here
 //! (paper Fig. 10a).
 
-use dqc_circuit::{Gate, QubitId};
+use dqc_circuit::{Gate, GateTable, QubitId};
 use dqc_protocols::{PhysicalProgram, ProtocolExpander};
 
 use crate::assign::split_into_segments;
@@ -14,6 +14,9 @@ use crate::{AssignedItem, AssignedProgram, CatOrientation, CommBlock, CompileErr
 
 /// Lowers an assigned program into a physical circuit over the extended
 /// register (logical qubits + two communication qubits per node).
+///
+/// This is the cold verification path, so block bodies are materialized
+/// from the shared gate table into the slices the protocol expander wants.
 ///
 /// # Errors
 ///
@@ -23,25 +26,27 @@ pub fn lower_assigned(
     program: &AssignedProgram,
     partition: &dqc_circuit::Partition,
 ) -> Result<PhysicalProgram, CompileError> {
+    let table = program.ir().table();
     let mut exp = ProtocolExpander::new(partition);
     for item in program.items() {
         match item {
-            AssignedItem::Local(g) => exp.push_local(g)?,
+            AssignedItem::Local(id) => exp.push_local(table.gate(*id))?,
             AssignedItem::Block(b) => match b.scheme {
                 Scheme::Tp => {
-                    exp.tp_comm_block(b.block.qubit(), b.block.node(), b.block.gates())?
+                    let body: Vec<Gate> = b.block.gates(table).cloned().collect();
+                    exp.tp_comm_block(b.block.qubit(), b.block.node(), &body)?
                 }
                 Scheme::Cat(_) if b.comms == 1 => {
-                    lower_cat_segment(&mut exp, &b.block)?;
+                    lower_cat_segment(&mut exp, table, &b.block)?;
                 }
                 Scheme::Cat(_) => {
-                    for seg in split_into_segments(&b.block) {
+                    for seg in split_into_segments(table, &b.block) {
                         if seg.remote_gate_count() == 0 {
-                            for g in seg.gates() {
+                            for g in seg.gates(table) {
                                 exp.push_local(g)?;
                             }
                         } else {
-                            lower_cat_segment(&mut exp, &seg)?;
+                            lower_cat_segment(&mut exp, table, &seg)?;
                         }
                     }
                 }
@@ -53,38 +58,41 @@ pub fn lower_assigned(
 
 /// Expands one single-call Cat segment, conjugating target-form bodies into
 /// control form first.
-fn lower_cat_segment(exp: &mut ProtocolExpander, block: &CommBlock) -> Result<(), CompileError> {
+fn lower_cat_segment(
+    exp: &mut ProtocolExpander,
+    table: &GateTable,
+    block: &CommBlock,
+) -> Result<(), CompileError> {
     let q = block.qubit();
     // A segment may start with single-qubit gates on the burst qubit left
     // over from a split (they precede every remote gate); they execute
     // locally on q before the communication.
-    let prefix_len =
-        block.gates().iter().take_while(|g| g.num_qubits() == 1 && g.acts_on(q)).count();
-    for g in &block.gates()[..prefix_len] {
+    let prefix_len = block.gates(table).take_while(|g| g.num_qubits() == 1 && g.acts_on(q)).count();
+    for g in block.gates(table).take(prefix_len) {
         exp.push_local(g)?;
     }
-    let body_gates = &block.gates()[prefix_len..];
     let mut trimmed = CommBlock::new(q, block.node());
-    for g in body_gates {
-        trimmed.push(g.clone());
+    for &id in &block.ids()[prefix_len..] {
+        trimmed.push(id, table.gate(id));
     }
     if trimmed.remote_gate_count() == 0 {
-        for g in trimmed.gates() {
+        for g in trimmed.gates(table) {
             exp.push_local(g)?;
         }
         return Ok(());
     }
 
-    let (_, orientation) = crate::assign::cat_segments(&trimmed);
+    let (_, orientation) = crate::assign::cat_segments(table, &trimmed);
     match orientation {
         CatOrientation::Control => {
-            exp.cat_comm_block(q, trimmed.node(), trimmed.gates())?;
+            let body: Vec<Gate> = trimmed.gates(table).cloned().collect();
+            exp.cat_comm_block(q, trimmed.node(), &body)?;
         }
         CatOrientation::Target => {
             // Conjugation set: the burst qubit plus every partner of a
             // remote CX in this segment.
             let mut set: Vec<QubitId> = vec![q];
-            for g in trimmed.remote_gates() {
+            for g in trimmed.remote_gates(table) {
                 for &x in g.qubits() {
                     if x != q && !set.contains(&x) {
                         set.push(x);
@@ -97,7 +105,7 @@ fn lower_cat_segment(exp: &mut ProtocolExpander, block: &CommBlock) -> Result<()
             }
             // Per-gate conjugated body.
             let mut body = Vec::with_capacity(trimmed.len() * 3);
-            for g in trimmed.gates() {
+            for g in trimmed.gates(table) {
                 if g.is_two_qubit_unitary() && g.acts_on(q) {
                     // CX(x → q) ≡ (H x ⊗ H q) CX(q → x) (H x ⊗ H q).
                     let x = g

@@ -22,6 +22,7 @@ use crate::pair_stats;
 pub fn orient_symmetric_gates(circuit: &Circuit, partition: &Partition) -> Circuit {
     let stats = pair_stats(circuit, partition);
     let mut out = Circuit::with_cbits(circuit.num_qubits(), circuit.num_cbits());
+    out.reserve(circuit.len());
     for gate in circuit.gates() {
         let oriented = match gate.kind() {
             GateKind::Cz | GateKind::Cp | GateKind::Rzz

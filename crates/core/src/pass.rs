@@ -8,6 +8,8 @@
 //! ablations and baselines are *configurations* of one code path instead
 //! of parallel pipelines.
 
+use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dqc_circuit::{unroll_circuit, Circuit, Partition};
@@ -15,8 +17,8 @@ use dqc_hardware::HardwareSpec;
 use dqc_protocols::PhysicalProgram;
 
 use crate::{
-    aggregate, aggregate_no_commute, assign, assign_cat_only, lower_assigned,
-    orient_symmetric_gates, schedule, AggregateOptions, AggregatedProgram, AssignedProgram,
+    aggregate_ir, aggregate_no_commute_ir, assign, assign_cat_only, lower_assigned,
+    orient_symmetric_gates, schedule, AggregateOptions, AggregatedProgram, AssignedProgram, CommIr,
     CommMetrics, CompileError, ScheduleOptions, ScheduleSummary, Scheme,
 };
 
@@ -28,8 +30,13 @@ pub struct PassContext<'a> {
     pub partition: &'a Partition,
     /// The hardware model used by scheduling.
     pub hardware: &'a HardwareSpec,
-    /// The current logical circuit (input → oriented → unrolled).
-    pub circuit: Circuit,
+    /// The current logical circuit (input → oriented → unrolled); borrowed
+    /// until the first rewriting pass replaces it, so pipelines never clone
+    /// an untouched input.
+    pub circuit: Cow<'a, Circuit>,
+    /// The indexed IR, once [`IrPass`] has run. Shared by every downstream
+    /// artifact.
+    pub ir: Option<Arc<CommIr>>,
     /// Burst blocks, once aggregation has run.
     pub aggregated: Option<AggregatedProgram>,
     /// Scheme-assigned blocks, once assignment has run.
@@ -45,16 +52,44 @@ pub struct PassContext<'a> {
 impl<'a> PassContext<'a> {
     /// A fresh context holding the input circuit and no artifacts.
     pub fn new(circuit: Circuit, partition: &'a Partition, hardware: &'a HardwareSpec) -> Self {
+        Self::with_cow(Cow::Owned(circuit), partition, hardware)
+    }
+
+    /// [`PassContext::new`] borrowing the input circuit (the pipeline entry
+    /// point; the first rewriting pass takes ownership).
+    pub fn new_borrowed(
+        circuit: &'a Circuit,
+        partition: &'a Partition,
+        hardware: &'a HardwareSpec,
+    ) -> Self {
+        Self::with_cow(Cow::Borrowed(circuit), partition, hardware)
+    }
+
+    fn with_cow(
+        circuit: Cow<'a, Circuit>,
+        partition: &'a Partition,
+        hardware: &'a HardwareSpec,
+    ) -> Self {
         PassContext {
             partition,
             hardware,
             circuit,
+            ir: None,
             aggregated: None,
             assigned: None,
             metrics: None,
             schedule: None,
             lowered: None,
         }
+    }
+
+    /// The indexed IR, building it on demand when no [`IrPass`] ran (hand
+    /// built pipelines that jump straight to aggregation stay valid).
+    pub fn ir_or_build(&mut self) -> Arc<CommIr> {
+        if self.ir.is_none() {
+            self.ir = Some(CommIr::build_shared(self.circuit.as_ref(), self.partition));
+        }
+        Arc::clone(self.ir.as_ref().expect("just built"))
     }
 
     /// The aggregated program, or a [`CompileError::MissingArtifact`] naming
@@ -129,7 +164,7 @@ impl Pass for OrientPass {
     }
 
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
-        ctx.circuit = orient_symmetric_gates(&ctx.circuit, ctx.partition);
+        ctx.circuit = Cow::Owned(orient_symmetric_gates(ctx.circuit.as_ref(), ctx.partition));
         Ok(())
     }
 }
@@ -144,12 +179,41 @@ impl Pass for UnrollPass {
     }
 
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
-        ctx.circuit = unroll_circuit(&ctx.circuit)?;
+        ctx.circuit = Cow::Owned(unroll_circuit(ctx.circuit.as_ref())?);
         Ok(())
     }
 
     fn metric(&self, ctx: &PassContext<'_>) -> Option<String> {
         Some(format!("{} gates", ctx.circuit.len()))
+    }
+}
+
+/// Builds the indexed [`CommIr`] — interned gate table, bounded-window
+/// conflict DAG, and ranked pair statistics — that every later pass
+/// resolves against. Must run after [`UnrollPass`] (the IR snapshots the
+/// final logical circuit).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IrPass;
+
+impl Pass for IrPass {
+    fn name(&self) -> &'static str {
+        "comm-ir"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+        ctx.ir = Some(CommIr::build_shared(ctx.circuit.as_ref(), ctx.partition));
+        Ok(())
+    }
+
+    fn metric(&self, ctx: &PassContext<'_>) -> Option<String> {
+        ctx.ir.as_ref().map(|ir| {
+            format!(
+                "{} gates ({} unique), {} dag edges",
+                ir.len(),
+                ir.unique_gates(),
+                ir.dag().edge_count()
+            )
+        })
     }
 }
 
@@ -169,10 +233,11 @@ impl Pass for AggregatePass {
     }
 
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+        let ir = ctx.ir_or_build();
         ctx.aggregated = Some(if self.no_commute {
-            aggregate_no_commute(&ctx.circuit, ctx.partition)
+            aggregate_no_commute_ir(ir)
         } else {
-            aggregate(&ctx.circuit, ctx.partition, self.options)
+            aggregate_ir(ir, self.options)
         });
         Ok(())
     }

@@ -7,16 +7,18 @@
 //! Every paper ablation (Fig. 17) is an [`Ablation`] applied to the
 //! options — one code path, many configurations.
 
+use std::sync::Arc;
+
 use dqc_circuit::{Circuit, Partition};
 use dqc_hardware::HardwareSpec;
 use dqc_protocols::PhysicalProgram;
 
 use crate::pass::{
-    run_timed, AggregatePass, AssignPass, LowerPass, MetricsPass, OrientPass, Pass, PassContext,
-    PassReport, SchedulePass, UnrollPass,
+    run_timed, AggregatePass, AssignPass, IrPass, LowerPass, MetricsPass, OrientPass, Pass,
+    PassContext, PassReport, SchedulePass, UnrollPass,
 };
 use crate::{
-    AggregateOptions, AggregatedProgram, AssignedProgram, CommMetrics, CompileError,
+    AggregateOptions, AggregatedProgram, AssignedProgram, CommIr, CommMetrics, CompileError,
     ScheduleOptions, ScheduleSummary,
 };
 
@@ -149,14 +151,15 @@ impl Pipeline {
     }
 
     /// The canonical AutoComm pipeline for `options`:
-    /// orient → unroll → aggregate → assign → metrics → schedule (with the
-    /// orient stage dropped when `options.orient_symmetric` is off).
+    /// orient → unroll → comm-ir → aggregate → assign → metrics → schedule
+    /// (with the orient stage dropped when `options.orient_symmetric` is
+    /// off).
     pub fn autocomm(options: &AutoCommOptions) -> Pipeline {
         let mut builder = Pipeline::builder();
         if options.orient_symmetric {
             builder = builder.orient();
         }
-        builder = builder.unroll();
+        builder = builder.unroll().comm_ir();
         builder = if options.commutation_aggregation {
             builder.aggregate(options.aggregate)
         } else {
@@ -191,13 +194,14 @@ impl Pipeline {
                 partition_qubits: partition.num_qubits(),
             });
         }
-        let mut ctx = PassContext::new(circuit.clone(), partition, hardware);
+        let mut ctx = PassContext::new_borrowed(circuit, partition, hardware);
         let mut reports = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             reports.push(run_timed(pass.as_ref(), &mut ctx)?);
         }
         Ok(PipelineOutput {
-            circuit: ctx.circuit,
+            circuit: ctx.circuit.into_owned(),
+            ir: ctx.ir,
             aggregated: ctx.aggregated,
             assigned: ctx.assigned,
             metrics: ctx.metrics,
@@ -242,6 +246,12 @@ impl PipelineBuilder {
     /// Appends the CX+U3 unrolling stage.
     pub fn unroll(self) -> Self {
         self.pass(UnrollPass)
+    }
+
+    /// Appends the indexed-IR construction stage (must follow unrolling;
+    /// aggregation builds the IR on demand when this stage is omitted).
+    pub fn comm_ir(self) -> Self {
+        self.pass(IrPass)
     }
 
     /// Appends commutation-aware burst aggregation.
@@ -292,6 +302,8 @@ impl PipelineBuilder {
 pub struct PipelineOutput {
     /// The logical circuit after all circuit-rewriting stages.
     pub circuit: Circuit,
+    /// The indexed IR, if the comm-ir (or an aggregation) stage ran.
+    pub ir: Option<Arc<CommIr>>,
     /// Burst blocks, if an aggregation stage ran.
     pub aggregated: Option<AggregatedProgram>,
     /// Scheme-assigned blocks, if an assignment stage ran.
@@ -320,6 +332,8 @@ pub struct AutoComm {
 pub struct CompileResult {
     /// The input circuit in the CX+U3 basis.
     pub unrolled: Circuit,
+    /// The shared indexed IR every artifact resolves against.
+    pub ir: Arc<CommIr>,
     /// Burst blocks after aggregation.
     pub aggregated: AggregatedProgram,
     /// Blocks with assigned communication schemes.
@@ -395,6 +409,7 @@ impl AutoComm {
         let missing = |stage| CompileError::MissingArtifact { pass: "compile", missing: stage };
         Ok(CompileResult {
             unrolled: out.circuit,
+            ir: out.ir.ok_or(missing("comm ir"))?,
             aggregated: out.aggregated.ok_or(missing("aggregated program"))?,
             assigned: out.assigned.ok_or(missing("assigned program"))?,
             metrics: out.metrics.ok_or(missing("metrics"))?,
@@ -477,10 +492,13 @@ mod tests {
         let p = Partition::block(6, 2).unwrap();
         let r = AutoComm::new().compile(&c, &p).unwrap();
         let names: Vec<&str> = r.passes.iter().map(|p| p.pass).collect();
-        assert_eq!(names, ["orient", "unroll", "aggregate", "assign", "metrics", "schedule"]);
+        assert_eq!(
+            names,
+            ["orient", "unroll", "comm-ir", "aggregate", "assign", "metrics", "schedule"]
+        );
         let no_orient = AutoComm::with_ablations(&[Ablation::NoOrient]).compile(&c, &p).unwrap();
         let names: Vec<&str> = no_orient.passes.iter().map(|p| p.pass).collect();
-        assert_eq!(names, ["unroll", "aggregate", "assign", "metrics", "schedule"]);
+        assert_eq!(names, ["unroll", "comm-ir", "aggregate", "assign", "metrics", "schedule"]);
     }
 
     #[test]

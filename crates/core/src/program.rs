@@ -32,13 +32,21 @@ pub fn remote_pairs_of(gate: &Gate, partition: &Partition) -> Vec<(QubitId, Node
 /// statistic the aggregation preprocessing ranks pairs by (the paper starts
 /// “with the qubit-node pair associated with the most remote gates”).
 pub fn pair_stats(circuit: &Circuit, partition: &Partition) -> HashMap<(QubitId, NodeId), usize> {
-    let mut stats = HashMap::new();
+    // Count densely (qubit x node grid), then export the non-zero cells —
+    // the per-gate loop never hashes.
+    let nodes = partition.num_nodes();
+    let mut dense = vec![0usize; circuit.num_qubits() * nodes];
     for gate in circuit.gates() {
-        for pair in remote_pairs_of(gate, partition) {
-            *stats.entry(pair).or_insert(0) += 1;
+        for (q, node) in remote_pairs_of(gate, partition) {
+            dense[q.index() * nodes + node.index()] += 1;
         }
     }
-    stats
+    dense
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .map(|(slot, n)| ((QubitId::new(slot / nodes), NodeId::new(slot % nodes)), n))
+        .collect()
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! Disabling all three yields the plain-greedy ablation of paper
 //! Fig. 17(c).
 
-use dqc_circuit::{commutes, Gate, NodeId, Partition, QubitId};
+use dqc_circuit::{CommSummary, Gate, GateTable, NodeId, Partition, QubitId};
 use dqc_hardware::{HardwareSpec, Timeline, TimelineEvent};
 
 use crate::assign::split_into_segments;
@@ -94,15 +94,18 @@ pub fn schedule(
     options: ScheduleOptions,
 ) -> ScheduleSummary {
     assert!(partition.num_nodes() <= hw.num_nodes(), "hardware must provide every partition node");
+    let table = program.ir().table();
     let mut tl = Timeline::new(program.num_qubits(), hw);
     if options.record_events {
         tl = tl.with_recording();
     }
     let mut sched = Scheduler {
         tl,
+        table,
         partition,
         options,
         open_group: None,
+        group_summary: CommSummary::new(program.num_qubits(), program.num_cbits()),
         cat_blocks: 0,
         tp_blocks: 0,
         fusion_savings: 0,
@@ -112,7 +115,8 @@ pub fn schedule(
     let mut i = 0usize;
     while i < items.len() {
         match &items[i] {
-            AssignedItem::Local(g) => {
+            AssignedItem::Local(id) => {
+                let g = table.gate(*id);
                 sched.close_group_if_conflicts(g.qubits());
                 sched.tl.schedule_gate(g);
                 i += 1;
@@ -123,7 +127,7 @@ pub fn schedule(
                         sched.schedule_cat_block(&b.block);
                     } else {
                         // Cat-only split: one communication per segment.
-                        for seg in split_into_segments(&b.block) {
+                        for seg in split_into_segments(table, &b.block) {
                             sched.schedule_cat_block(&seg);
                         }
                     }
@@ -137,7 +141,7 @@ pub fn schedule(
                     // the teleported state at whichever node holds it.
                     let q = b.block.qubit();
                     let chain_end = if sched.options.fuse_tp_chains {
-                        find_chain_end(items, i, q)
+                        find_chain_end(table, items, i, q)
                     } else {
                         i + 1
                     };
@@ -147,12 +151,12 @@ pub fn schedule(
                             AssignedItem::Block(tb) if tb.scheme == Scheme::Tp => {
                                 chain.push(ChainStep::Block(&tb.block));
                             }
-                            AssignedItem::Local(g) if g.acts_on(q) => {
-                                chain.push(ChainStep::OnState(g));
+                            AssignedItem::Local(id) if table.gate(*id).acts_on(q) => {
+                                chain.push(ChainStep::OnState(table.gate(*id)));
                             }
-                            AssignedItem::Local(g) => {
+                            AssignedItem::Local(id) => {
                                 // Interleaved local gate: schedule in place.
-                                sched.tl.schedule_gate(g);
+                                sched.tl.schedule_gate(table.gate(*id));
                             }
                             AssignedItem::Block(_) => unreachable!("chain scan"),
                         }
@@ -169,7 +173,7 @@ pub fn schedule(
 /// Extends `[start..end)` over consecutive TP blocks with burst qubit `q`,
 /// allowing interleaved local gates that do not touch `q` and single-qubit
 /// unitaries on `q` itself (they execute on the teleported state).
-fn find_chain_end(items: &[AssignedItem], start: usize, q: QubitId) -> usize {
+fn find_chain_end(table: &GateTable, items: &[AssignedItem], start: usize, q: QubitId) -> usize {
     let mut end = start + 1;
     let mut probe = end;
     while probe < items.len() {
@@ -178,18 +182,16 @@ fn find_chain_end(items: &[AssignedItem], start: usize, q: QubitId) -> usize {
                 probe += 1;
                 end = probe;
             }
-            AssignedItem::Local(g)
+            AssignedItem::Local(id) => {
+                let g = table.gate(*id);
                 if g.acts_on(q)
-                    && g.num_qubits() == 1
-                    && g.kind().is_unitary()
-                    && g.condition().is_none() =>
-            {
+                    && !(g.num_qubits() == 1 && g.kind().is_unitary() && g.condition().is_none())
+                {
+                    break;
+                }
                 probe += 1;
             }
-            AssignedItem::Local(g) if !g.acts_on(q) => {
-                probe += 1;
-            }
-            _ => break,
+            AssignedItem::Block(_) => break,
         }
     }
     end
@@ -204,22 +206,25 @@ enum ChainStep<'a> {
 }
 
 /// A set of overlapping commutable Cat blocks sharing one burst qubit
-/// (paper Fig. 12).
+/// (paper Fig. 12). Member bodies live in the scheduler's reused
+/// [`CommSummary`], so joiner checks are `O(operands)` per gate instead of
+/// a rescan of every member body.
 struct CatGroup {
     qubit: QubitId,
     /// Time the burst qubit frees up for the next member's entangler CX.
     q_stagger: f64,
     /// Latest disentangle end among members.
     end: f64,
-    /// Member bodies, for commutation checks against joiners.
-    bodies: Vec<Vec<Gate>>,
 }
 
 struct Scheduler<'a> {
     tl: Timeline,
+    table: &'a GateTable,
     partition: &'a Partition,
     options: ScheduleOptions,
     open_group: Option<CatGroup>,
+    /// Summary of every member body of the open group.
+    group_summary: CommSummary,
     cat_blocks: usize,
     tp_blocks: usize,
     fusion_savings: usize,
@@ -245,6 +250,13 @@ impl Scheduler<'_> {
         }
     }
 
+    /// Whether the candidate body commutes with every member body of the
+    /// open group (an exact [`dqc_circuit::commutes_with_all`] through the
+    /// group summary).
+    fn joins_group(&self, block: &CommBlock) -> bool {
+        block.ids().iter().all(|&id| self.group_summary.commutes_with(self.table, id))
+    }
+
     fn schedule_cat_block(&mut self, block: &CommBlock) {
         self.cat_blocks += 1;
         let q = block.qubit();
@@ -253,14 +265,14 @@ impl Scheduler<'_> {
         let lat = *self.tl.latency();
 
         // Decide group membership before touching the timeline.
-        let q_avail = match (&mut self.open_group, self.options.parallel_commutable) {
-            (Some(group), true) if group.qubit == q && group_commutes(group, block.gates()) => {
-                group.q_stagger
-            }
-            _ => {
-                self.open_group = None;
-                self.tl.qubit_free_at(q)
-            }
+        let joins = self.options.parallel_commutable
+            && matches!(&self.open_group, Some(group) if group.qubit == q)
+            && self.joins_group(block);
+        let q_avail = if joins {
+            self.open_group.as_ref().expect("joins implies open").q_stagger
+        } else {
+            self.open_group = None;
+            self.tl.qubit_free_at(q)
         };
 
         let claim = self.tl.claim_comm(home, node, self.claim_earliest(q_avail));
@@ -274,7 +286,7 @@ impl Scheduler<'_> {
         // their own operand wires.
         let mut comm_cursor = ent_end;
         let mut body_end = ent_end;
-        for gate in block.gates() {
+        for gate in block.gates(self.table) {
             if gate.acts_on(q) {
                 let partners: Vec<QubitId> =
                     gate.qubits().iter().copied().filter(|&x| x != q).collect();
@@ -296,22 +308,22 @@ impl Scheduler<'_> {
         self.tl.bump_qubit(q, dis_end);
         self.tl.release_comm(&claim, dis_end);
 
-        // Update / open the group.
-        match (&mut self.open_group, self.options.parallel_commutable) {
-            (Some(group), true) if group.qubit == q => {
-                group.q_stagger = ent_start + lat.t_2q;
-                group.end = group.end.max(dis_end);
-                group.bodies.push(block.gates().to_vec());
+        // Update / open the group; either way the body joins the summary.
+        if self.options.parallel_commutable {
+            match &mut self.open_group {
+                Some(group) if group.qubit == q => {
+                    group.q_stagger = ent_start + lat.t_2q;
+                    group.end = group.end.max(dis_end);
+                }
+                _ => {
+                    self.group_summary.clear();
+                    self.open_group =
+                        Some(CatGroup { qubit: q, q_stagger: ent_start + lat.t_2q, end: dis_end });
+                }
             }
-            (_, true) => {
-                self.open_group = Some(CatGroup {
-                    qubit: q,
-                    q_stagger: ent_start + lat.t_2q,
-                    end: dis_end,
-                    bodies: vec![block.gates().to_vec()],
-                });
+            for &id in block.ids() {
+                self.group_summary.add(self.table, id);
             }
-            _ => {}
         }
     }
 
@@ -378,7 +390,7 @@ impl Scheduler<'_> {
             }
             // Body on `node`, with the comm qubit (holding q) serializing.
             let mut comm_cursor = state_time;
-            for gate in block.gates() {
+            for gate in block.gates(self.table) {
                 if gate.acts_on(q) {
                     let partners: Vec<QubitId> =
                         gate.qubits().iter().copied().filter(|&x| x != q).collect();
@@ -426,11 +438,6 @@ impl ScheduleSummary {
         self.events = tl.events().map(|e| e.to_vec());
         self
     }
-}
-
-/// Whether a candidate body commutes with every member body of the group.
-fn group_commutes(group: &CatGroup, body: &[Gate]) -> bool {
-    group.bodies.iter().all(|member| body.iter().all(|a| member.iter().all(|b| commutes(a, b))))
 }
 
 #[cfg(test)]

@@ -122,7 +122,7 @@ fn assigned_items_preserve_program_order_of_locals() {
         .items()
         .iter()
         .map(|i| match i {
-            AssignedItem::Local(g) => g.kind().name().to_string(),
+            AssignedItem::Local(id) => program.gate(*id).kind().name().to_string(),
             AssignedItem::Block(_) => "block".to_string(),
         })
         .collect();

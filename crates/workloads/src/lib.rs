@@ -37,4 +37,4 @@ mod suite;
 pub use apps::{bv, bv_with_secret, qaoa_maxcut, qpe, uccsd};
 pub use blocks::{ghz, mctr, qft, qft_inverse, rca};
 pub use random::{random_circuit, random_distributed_circuit};
-pub use suite::{generate, table2_configs, BenchConfig, Workload};
+pub use suite::{generate, smoke_suite, table2_configs, BenchConfig, Workload};

@@ -106,6 +106,21 @@ pub fn table2_configs() -> Vec<BenchConfig> {
     rows
 }
 
+/// A small fixed suite covering every Table-2 workload family at smoke
+/// scale — the workload set behind `autocomm batch --suite` and the CI
+/// batch smoke test. Node counts here are the generator defaults; batch
+/// callers typically re-partition over their own `--nodes`.
+pub fn smoke_suite() -> Vec<BenchConfig> {
+    vec![
+        BenchConfig::new(Workload::Mctr, 16, 4),
+        BenchConfig::new(Workload::Rca, 16, 4),
+        BenchConfig::new(Workload::Qft, 16, 4),
+        BenchConfig::new(Workload::Bv, 16, 4),
+        BenchConfig::new(Workload::Qaoa, 16, 4),
+        BenchConfig::new(Workload::Uccsd, 8, 4),
+    ]
+}
+
 /// Generates the circuit for a config. QAOA uses ≈ 20·n random edges with a
 /// seed derived from the config so every run of the harness sees the same
 /// graph.

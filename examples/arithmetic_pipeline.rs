@@ -44,12 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pass 1: communication aggregation (paper §4.2, Fig. 8).
     let aggregated = aggregate(&circuit, &partition, AggregateOptions::default());
     println!("\nafter aggregation ({} blocks):", aggregated.block_count());
+    let table = aggregated.ir().table();
     for (i, item) in aggregated.items().iter().enumerate() {
         match item {
-            Item::Local(g) => println!("  {i:>2}: {g}"),
+            Item::Local(id) => println!("  {i:>2}: {}", aggregated.gate(*id)),
             Item::Block(b) => {
                 println!("  {i:>2}: {b}");
-                for g in b.gates() {
+                for g in b.gates(table) {
                     println!("        | {g}");
                 }
             }

@@ -107,6 +107,89 @@ fn pass_manager_matches_legacy_compiler_on_every_workload() {
     }
 }
 
+/// Property: flattening the index-based `AggregatedProgram` back to a
+/// circuit is simulator-equivalent to the input, for random circuits across
+/// register shapes — the end-to-end soundness certificate of the `CommIr`
+/// refactor (ids, summaries, and DAG filters must never change a decision
+/// the pairwise oracle would not have made).
+#[test]
+fn indexed_aggregation_flattening_is_sim_equivalent_on_random_circuits() {
+    use autocomm_repro::core::{aggregate, AggregateOptions};
+    for (num_qubits, num_nodes, num_gates) in [(4, 2, 60), (5, 2, 40), (6, 3, 50)] {
+        for seed in 0..5u64 {
+            let (c, p) = wl::random_distributed_circuit(num_qubits, num_nodes, num_gates, seed);
+            let c = unroll_circuit(&c).unwrap();
+            let agg = aggregate(&c, &p, AggregateOptions::default());
+            let flat = agg.to_circuit();
+            assert_eq!(flat.len(), c.len(), "{num_qubits}q/{num_nodes}n seed {seed}: gate lost");
+            assert!(
+                autocomm_repro::sim::circuits_equivalent(&c, &flat, 1e-8).unwrap(),
+                "{num_qubits}q/{num_nodes}n seed {seed}: aggregation changed semantics"
+            );
+        }
+    }
+}
+
+/// Property: every edge of the IR's conflict DAG links a provably
+/// non-commuting pair, and the id-level commutation oracle agrees with the
+/// pairwise `commutes` everywhere, for random circuits.
+#[test]
+fn dag_edges_and_id_oracle_agree_with_pairwise_commutes() {
+    use autocomm_repro::circuit::commutes;
+    use autocomm_repro::core::CommIr;
+    for seed in 0..5u64 {
+        let (c, p) = wl::random_distributed_circuit(6, 2, 80, seed);
+        let c = unroll_circuit(&c).unwrap();
+        let ir = CommIr::build(&c, &p);
+        let table = ir.table();
+        for a in 0..ir.len() {
+            for b in (a + 1)..ir.len() {
+                let (ga, gb) = (ir.gate_at(a), ir.gate_at(b));
+                assert_eq!(
+                    table.commutes_ids(ir.stream()[a], ir.stream()[b]),
+                    commutes(ga, gb),
+                    "seed {seed}: id oracle diverges on {ga} vs {gb}"
+                );
+                if ir.conflicts_directly(a, b) {
+                    assert!(
+                        !commutes(ga, gb),
+                        "seed {seed}: DAG edge {a}->{b} links commuting gates {ga}, {gb}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Property: the incremental `CommSummary` answers exactly like
+/// `commutes_with_all` over random gate windows (the check the aggregation
+/// hoist loop and the scheduler's parallel-group test rely on).
+#[test]
+fn comm_summary_matches_pairwise_commutes_on_random_windows() {
+    use autocomm_repro::circuit::{commutes_with_all, CommSummary, GateTable};
+    for seed in 0..8u64 {
+        let c = wl::random_circuit(5, 60, seed ^ 0xA5A5);
+        let mut table = GateTable::new();
+        let ids: Vec<_> = c.gates().iter().map(|g| table.intern(g)).collect();
+        // Slide a window over the stream; summarize it; probe with every gate.
+        for start in (0..c.len().saturating_sub(8)).step_by(7) {
+            let window = &c.gates()[start..start + 8];
+            let mut summary = CommSummary::new(c.num_qubits(), 0);
+            for (off, g) in window.iter().enumerate() {
+                let _ = g;
+                summary.add(&table, ids[start + off]);
+            }
+            for (i, probe) in c.gates().iter().enumerate() {
+                assert_eq!(
+                    summary.commutes_with(&table, ids[i]),
+                    commutes_with_all(probe, window),
+                    "seed {seed}, window at {start}, probe {probe}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn whole_table2_suite_compiles_under_the_quick_configs() {
     // The same configurations dqc-bench smoke-tests: every workload family
