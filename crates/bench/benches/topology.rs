@@ -1,0 +1,50 @@
+//! Compile-throughput benchmarks for the interconnect topology layer.
+//!
+//! The routing tables are precomputed per `HardwareSpec`, so sparse
+//! topologies should add only per-claim O(path) work to scheduling; these
+//! benches watch that the re-platforming keeps all-to-all compiles at
+//! their `ir_10k_baseline.json` speed and that sparse compiles stay in
+//! the same order of magnitude. The *output* sensitivity (makespan / EPR
+//! spread per topology) is recorded separately in
+//! `baselines/topology_sensitivity.json` by the `topology_sweep` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use autocomm::AutoComm;
+use dqc_circuit::Partition;
+use dqc_hardware::{HardwareSpec, NetworkTopology};
+
+fn bench_compile_per_topology(c: &mut Criterion) {
+    let circuit = dqc_workloads::qft(32);
+    let partition = Partition::block(32, 4).unwrap();
+    let mut group = c.benchmark_group("topology-compile");
+    for topology in [
+        NetworkTopology::all_to_all(4),
+        NetworkTopology::linear(4).unwrap(),
+        NetworkTopology::ring(4).unwrap(),
+        NetworkTopology::grid(2, 2).unwrap(),
+        NetworkTopology::star(4).unwrap(),
+    ] {
+        let name = format!("qft-32-4/{}", topology.name());
+        let hw = HardwareSpec::for_partition(&partition).with_topology(topology).unwrap();
+        group.bench_function(&name, |b| {
+            b.iter(|| black_box(AutoComm::new().compile_on(&circuit, &partition, &hw).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_tables(c: &mut Criterion) {
+    // Routing-table construction is once-per-spec; keep it cheap even on
+    // larger machines.
+    let mut group = c.benchmark_group("topology-build");
+    group
+        .bench_function("grid-8x8", |b| b.iter(|| black_box(NetworkTopology::grid(8, 8).unwrap())));
+    group
+        .bench_function("all-to-all-64", |b| b.iter(|| black_box(NetworkTopology::all_to_all(64))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_per_topology, bench_routing_tables);
+criterion_main!(benches);

@@ -23,7 +23,9 @@ fn main() {
         let mut cells = vec![config.label()];
         let mut base_latency = None;
         for &budget in &budgets {
-            let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(budget);
+            let hw = HardwareSpec::for_partition(&partition)
+                .with_comm_qubits(budget)
+                .expect("positive budget");
             let r = AutoComm::new().compile_on(&circuit, &partition, &hw).expect("compiles");
             let base = *base_latency.get_or_insert(r.schedule.makespan);
             let inputs = FidelityModel::inputs_for(

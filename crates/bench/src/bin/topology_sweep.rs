@@ -1,0 +1,106 @@
+//! Topology-sensitivity sweep: compiles the smoke suite (plus the
+//! `node_ring_exchange` stressor) against every standard interconnect and
+//! reports makespan / link-level EPR pairs / entanglement swaps per
+//! topology. The recorded numbers live in
+//! `crates/bench/baselines/topology_sensitivity.json`; regenerate them
+//! with `cargo run --release -p dqc-bench --bin topology_sweep`.
+//!
+//! The sweep's two invariants are the refactor's safety rails:
+//!
+//! * `all-to-all` must match the historical pipeline exactly (the batch
+//!   driver and tier-1 tests cross-check the same numbers);
+//! * every sparse topology must be ≥ all-to-all in both makespan and EPR
+//!   pairs on every workload (routing can only add cost).
+
+use autocomm::{AutoComm, CompileResult};
+use dqc_circuit::{Circuit, Partition};
+use dqc_hardware::{HardwareSpec, NetworkTopology};
+use dqc_workloads::{generate, node_ring_exchange, smoke_suite};
+
+struct Row {
+    workload: String,
+    topology: String,
+    makespan: f64,
+    epr_pairs: usize,
+    swaps: usize,
+    tot_comms: usize,
+}
+
+fn compile_on(c: &Circuit, p: &Partition, topology: NetworkTopology) -> CompileResult {
+    let hw = HardwareSpec::for_partition(p)
+        .with_topology(topology)
+        .expect("standard topologies are valid for 4 nodes");
+    AutoComm::new().compile_on(c, p, &hw).expect("suite workloads compile")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let nodes = 4usize;
+    let topologies = |n: usize| {
+        vec![
+            NetworkTopology::all_to_all(n),
+            NetworkTopology::linear(n).unwrap(),
+            NetworkTopology::ring(n).unwrap(),
+            NetworkTopology::grid(2, n / 2).unwrap(),
+            NetworkTopology::star(n).unwrap(),
+        ]
+    };
+
+    let mut inputs: Vec<(String, Circuit)> =
+        smoke_suite().into_iter().map(|config| (config.label(), generate(&config))).collect();
+    inputs.push(("RING-X-16-4".into(), node_ring_exchange(16, nodes, if quick { 2 } else { 6 })));
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, circuit) in &inputs {
+        let p = Partition::block(circuit.num_qubits(), nodes).expect("divisible sizes");
+        let mut dense: Option<(f64, usize)> = None;
+        for topology in topologies(nodes) {
+            let name = topology.name().to_owned();
+            let r = compile_on(circuit, &p, topology);
+            let (makespan, epr) = (r.schedule.makespan, r.schedule.epr_pairs);
+            match dense {
+                None => dense = Some((makespan, epr)),
+                Some((m0, e0)) => {
+                    assert!(
+                        makespan + 1e-9 >= m0 && epr >= e0,
+                        "{label}/{name}: sparse beat all-to-all ({makespan} < {m0} or {epr} < {e0})"
+                    );
+                }
+            }
+            rows.push(Row {
+                workload: label.clone(),
+                topology: name,
+                makespan,
+                epr_pairs: epr,
+                swaps: r.schedule.swaps,
+                tot_comms: r.metrics.total_comms,
+            });
+        }
+    }
+
+    println!(
+        "{:<14} {:<12} {:>10} {:>6} {:>6} {:>6} {:>9}",
+        "workload", "topology", "makespan", "epr", "swaps", "comms", "vs dense"
+    );
+    let mut dense_makespan = 0.0;
+    for row in &rows {
+        if row.topology == "all-to-all" {
+            dense_makespan = row.makespan;
+        }
+        println!(
+            "{:<14} {:<12} {:>10.1} {:>6} {:>6} {:>6} {:>8.2}x",
+            row.workload,
+            row.topology,
+            row.makespan,
+            row.epr_pairs,
+            row.swaps,
+            row.tot_comms,
+            row.makespan / dense_makespan,
+        );
+    }
+    println!(
+        "\n{} workloads × {} topologies; sparse ≥ all-to-all everywhere (asserted).",
+        inputs.len(),
+        topologies(nodes).len()
+    );
+}

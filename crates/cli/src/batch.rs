@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use autocomm::{Ablation, AutoComm};
 use dqc_circuit::{from_qasm, Circuit, CircuitStats};
-use dqc_hardware::HardwareSpec;
+use dqc_hardware::{HardwareSpec, NetworkTopology};
 use dqc_workloads::{generate, smoke_suite};
 
 use crate::json::Json;
@@ -39,6 +39,8 @@ pub struct BatchArgs {
     pub nodes: usize,
     /// Communication qubits per node.
     pub comm_qubits: usize,
+    /// Interconnect topology spec (name or file path); `None` = all-to-all.
+    pub topology: Option<String>,
     /// Partitioning strategy.
     pub strategy: PartitionStrategy,
     /// Ablations applied to every compile.
@@ -61,6 +63,7 @@ impl BatchArgs {
         let mut suite = false;
         let mut nodes = None;
         let mut comm_qubits = 2usize;
+        let mut topology = None;
         let mut strategy = PartitionStrategy::Oee;
         let mut ablations = Vec::new();
         let mut jobs = None;
@@ -91,6 +94,7 @@ impl BatchArgs {
                         usage(format!("--comm-qubits: '{v}' is not a positive integer"))
                     })?;
                 }
+                "--topology" => topology = Some(value_for("--topology")?),
                 "--partition" => {
                     let v = value_for("--partition")?;
                     strategy = match v.as_str() {
@@ -147,6 +151,7 @@ impl BatchArgs {
             source,
             nodes: nodes.ok_or_else(|| usage("missing required --nodes <N>".into()))?,
             comm_qubits,
+            topology,
             strategy,
             ablations,
             jobs: jobs.unwrap_or_else(default_jobs),
@@ -208,8 +213,13 @@ pub struct BatchRow {
     pub improvement: f64,
     /// Schedule makespan in CX units.
     pub makespan: f64,
-    /// EPR pairs consumed by the schedule.
+    /// EPR pairs consumed by the schedule (one per hop on sparse
+    /// topologies).
     pub epr_pairs: usize,
+    /// Entanglement swaps performed at relay nodes.
+    pub swaps: usize,
+    /// EPR pairs generated per interconnect link, `(node, node, pairs)`.
+    pub link_traffic: Vec<(usize, usize, usize)>,
     /// Wall-clock compile time of this entry, in milliseconds.
     pub compile_ms: f64,
 }
@@ -227,12 +237,26 @@ pub struct BatchReport {
 
 /// Compiles every input across a `--jobs`-wide std-thread worker pool.
 ///
+/// Workers are panic-hardened: a compile that panics (a malformed
+/// hand-built pipeline, a scheduler invariant violation) becomes that
+/// entry's failure row instead of aborting the whole batch.
+///
 /// # Errors
 ///
 /// Fails fast on unusable input sets (unreadable directory, no `.qasm`
-/// files); per-entry compile failures land in their row instead.
+/// files, an invalid `--topology`); per-entry compile failures land in
+/// their row instead.
 pub fn run_batch(args: BatchArgs) -> Result<BatchReport, CliError> {
     let tasks = collect_tasks(&args)?;
+    // Resolve the topology and validate the whole hardware configuration
+    // once up front: a bad spec or an infeasible comm-qubit/topology
+    // combination fails fast as one usage error instead of once per row,
+    // and topology files are read from disk exactly once.
+    let topology = crate::resolve_topology(args.topology.as_deref(), args.nodes)?;
+    HardwareSpec::symmetric(args.nodes)
+        .with_comm_qubits(args.comm_qubits)
+        .and_then(|hw| hw.with_topology(topology.clone()))
+        .map_err(|e| CliError::Usage(format!("invalid hardware configuration: {e}\n\n{USAGE}")))?;
     let started = Instant::now();
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<Result<BatchRow, String>>>> = Mutex::new(vec![None; tasks.len()]);
@@ -245,17 +269,35 @@ pub fn run_batch(args: BatchArgs) -> Result<BatchReport, CliError> {
                 if i >= tasks.len() {
                     break;
                 }
-                let row = compile_task(&tasks[i], &args);
-                results.lock().expect("worker poisoned the results")[i] = Some(row);
+                let row = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    compile_task(&tasks[i], &args, &topology)
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_owned());
+                    Err(format!("{}: compile panicked: {msg}", tasks[i].label()))
+                });
+                match results.lock() {
+                    Ok(mut slots) => slots[i] = Some(row),
+                    // A panic between catch_unwind and the store poisoned
+                    // the mutex; keep going — the row stays a failure.
+                    Err(poisoned) => poisoned.into_inner()[i] = Some(row),
+                }
             });
         }
     });
 
     let rows = results
         .into_inner()
-        .expect("workers joined")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .into_iter()
-        .map(|r| r.expect("every task ran"))
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| Err(format!("{}: worker died before reporting", tasks[i].label())))
+        })
         .collect();
     Ok(BatchReport { args, rows, wall_ms: started.elapsed().as_secs_f64() * 1e3 })
 }
@@ -282,7 +324,11 @@ fn collect_tasks(args: &BatchArgs) -> Result<Vec<BatchTask>, CliError> {
     }
 }
 
-fn compile_task(task: &BatchTask, args: &BatchArgs) -> Result<BatchRow, String> {
+fn compile_task(
+    task: &BatchTask,
+    args: &BatchArgs,
+    topology: &NetworkTopology,
+) -> Result<BatchRow, String> {
     let started = Instant::now();
     let circuit = task.load()?;
     if circuit.num_qubits() < args.nodes {
@@ -294,7 +340,12 @@ fn compile_task(task: &BatchTask, args: &BatchArgs) -> Result<BatchRow, String> 
     }
     let partition =
         build_partition(&circuit, args.nodes, args.strategy).map_err(|e| e.to_string())?;
-    let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(args.comm_qubits);
+    // The configuration was validated once in `run_batch`; rebuilding the
+    // spec from the already-resolved topology cannot fail.
+    let hw = HardwareSpec::for_partition(&partition)
+        .with_comm_qubits(args.comm_qubits)
+        .and_then(|hw| hw.with_topology(topology.clone()))
+        .map_err(|e| e.to_string())?;
     let result = AutoComm::with_ablations(&args.ablations)
         .compile_on(&circuit, &partition, &hw)
         .map_err(|e| e.to_string())?;
@@ -309,6 +360,13 @@ fn compile_task(task: &BatchTask, args: &BatchArgs) -> Result<BatchRow, String> 
         improvement: result.metrics.improvement_factor(),
         makespan: result.schedule.makespan,
         epr_pairs: result.schedule.epr_pairs,
+        swaps: result.schedule.swaps,
+        link_traffic: result
+            .schedule
+            .link_traffic
+            .iter()
+            .map(|&(a, b, pairs)| (a.index(), b.index(), pairs))
+            .collect(),
         compile_ms: started.elapsed().as_secs_f64() * 1e3,
     })
 }
@@ -328,12 +386,29 @@ impl BatchReport {
         self.ok_rows().map(|r| r.compile_ms).sum()
     }
 
+    /// Per-link EPR traffic aggregated over every successful row, sorted by
+    /// endpoints.
+    pub fn total_link_traffic(&self) -> Vec<(usize, usize, usize)> {
+        let mut totals: std::collections::BTreeMap<(usize, usize), usize> =
+            std::collections::BTreeMap::new();
+        for row in self.ok_rows() {
+            for &(a, b, pairs) in &row.link_traffic {
+                *totals.entry((a, b)).or_default() += pairs;
+            }
+        }
+        totals.into_iter().map(|((a, b), pairs)| (a, b, pairs)).collect()
+    }
+
     /// The machine-readable form emitted under `--json`.
     pub fn to_json(&self) -> Json {
         let totals = |f: fn(&BatchRow) -> f64| self.ok_rows().map(f).sum::<f64>();
         Json::object([
             ("nodes", Json::number(self.args.nodes as f64)),
             ("jobs", Json::number(self.args.jobs as f64)),
+            (
+                "topology",
+                Json::string(self.args.topology.clone().unwrap_or_else(|| "all-to-all".into())),
+            ),
             (
                 "source",
                 Json::string(match &self.args.source {
@@ -356,6 +431,17 @@ impl BatchReport {
                         ("improvement_factor", Json::number(r.improvement)),
                         ("makespan", Json::number(r.makespan)),
                         ("epr_pairs", Json::number(r.epr_pairs as f64)),
+                        ("swaps", Json::number(r.swaps as f64)),
+                        (
+                            "link_traffic",
+                            Json::array(r.link_traffic.iter().map(|&(a, b, pairs)| {
+                                Json::object([
+                                    ("a", Json::number(a as f64)),
+                                    ("b", Json::number(b as f64)),
+                                    ("epr_pairs", Json::number(pairs as f64)),
+                                ])
+                            })),
+                        ),
                         ("compile_ms", Json::number(r.compile_ms)),
                     ]),
                     Err(msg) => Json::object([("error", Json::string(msg.clone()))]),
@@ -368,7 +454,18 @@ impl BatchReport {
                     ("tp_comms", Json::number(totals(|r| r.tp_comms as f64))),
                     ("remote_cx", Json::number(totals(|r| r.remote_cx as f64))),
                     ("epr_pairs", Json::number(totals(|r| r.epr_pairs as f64))),
+                    ("swaps", Json::number(totals(|r| r.swaps as f64))),
                     ("makespan", Json::number(totals(|r| r.makespan))),
+                    (
+                        "link_traffic",
+                        Json::array(self.total_link_traffic().into_iter().map(|(a, b, pairs)| {
+                            Json::object([
+                                ("a", Json::number(a as f64)),
+                                ("b", Json::number(b as f64)),
+                                ("epr_pairs", Json::number(pairs as f64)),
+                            ])
+                        })),
+                    ),
                 ]),
             ),
             ("cpu_ms", Json::number(self.cpu_ms())),
@@ -409,10 +506,23 @@ impl BatchReport {
         let comms: usize = self.ok_rows().map(|r| r.total_comms).sum();
         let rem: usize = self.ok_rows().map(|r| r.remote_cx).sum();
         let epr: usize = self.ok_rows().map(|r| r.epr_pairs).sum();
+        let swaps: usize = self.ok_rows().map(|r| r.swaps).sum();
         out.push_str(&format!(
-            "totals: {} comms for {} remote CX ({} EPR pairs scheduled)\n",
-            comms, rem, epr
+            "totals: {} comms for {} remote CX ({} EPR pairs scheduled, {} swaps)\n",
+            comms, rem, epr, swaps
         ));
+        if self.args.topology.is_some() {
+            let links: Vec<String> = self
+                .total_link_traffic()
+                .into_iter()
+                .map(|(a, b, pairs)| format!("{a}-{b}:{pairs}"))
+                .collect();
+            out.push_str(&format!(
+                "link EPR traffic ({}): {}\n",
+                self.args.topology.as_deref().unwrap_or("all-to-all"),
+                if links.is_empty() { "none".to_string() } else { links.join(" ") }
+            ));
+        }
         out.push_str(&format!(
             "time: {:.2} ms wall, {:.2} ms cpu ({:.2}x parallel speedup)\n",
             self.wall_ms,
@@ -495,6 +605,52 @@ mod tests {
     }
 
     #[test]
+    fn bad_topology_fails_fast_as_usage() {
+        let args = parse(&["--suite", "--nodes", "4", "--topology", "moebius"]).unwrap();
+        assert!(matches!(run_batch(args), Err(CliError::Usage(_))));
+        // An infeasible comm-qubit/topology combination also fails fast as
+        // one usage error, not once per row.
+        let args =
+            parse(&["--suite", "--nodes", "4", "--topology", "linear", "--comm-qubits", "1"])
+                .unwrap();
+        assert!(matches!(run_batch(args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn sparse_suite_batch_attributes_link_traffic() {
+        let run = |topology: Option<&str>| {
+            let mut argv = vec!["--suite", "--nodes", "4", "--jobs", "2"];
+            if let Some(t) = topology {
+                argv.extend(["--topology", t]);
+            }
+            run_batch(parse(&argv).unwrap()).unwrap()
+        };
+        let dense = run(None);
+        let sparse = run(Some("linear"));
+        assert_eq!(dense.failures(), 0);
+        assert_eq!(sparse.failures(), 0);
+        // Sparse routing can only cost more EPR pairs and makespan.
+        for (d, s) in dense.ok_rows().zip(sparse.ok_rows()) {
+            assert_eq!(d.label, s.label);
+            assert!(s.epr_pairs >= d.epr_pairs, "{}", s.label);
+            assert!(s.makespan + 1e-9 >= d.makespan, "{}", s.label);
+        }
+        // The chain has 3 links; multi-hop traffic appears on them, and the
+        // per-link totals partition the EPR total.
+        let links = sparse.total_link_traffic();
+        assert!(!links.is_empty());
+        assert!(links.iter().all(|&(a, b, _)| b == a + 1), "linear links only");
+        let link_sum: usize = links.iter().map(|&(_, _, p)| p).sum();
+        let epr_sum: usize = sparse.ok_rows().map(|r| r.epr_pairs).sum();
+        assert_eq!(link_sum, epr_sum);
+        assert!(sparse.ok_rows().map(|r| r.swaps).sum::<usize>() > 0);
+        // The aggregated JSON carries the attribution.
+        let json = sparse.to_json().to_string();
+        assert!(json.contains("link_traffic"));
+        assert!(json.contains("\"swaps\""));
+    }
+
+    #[test]
     fn per_entry_failures_are_isolated() {
         let dir = std::env::temp_dir().join(format!("autocomm-batch-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -504,6 +660,7 @@ mod tests {
             source: BatchSource::Dir(dir.clone()),
             nodes: 2,
             comm_qubits: 2,
+            topology: None,
             strategy: PartitionStrategy::Block,
             ablations: Vec::new(),
             jobs: 2,

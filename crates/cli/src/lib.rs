@@ -18,7 +18,7 @@ use std::path::PathBuf;
 
 use autocomm::{Ablation, AutoComm, CompileResult};
 use dqc_circuit::{from_qasm, unroll_circuit, Circuit, CircuitStats, Partition};
-use dqc_hardware::HardwareSpec;
+use dqc_hardware::{HardwareSpec, NetworkTopology};
 use dqc_partition::{oee_partition, InteractionGraph};
 
 use crate::json::Json;
@@ -64,6 +64,10 @@ pub struct CompileArgs {
     pub nodes: usize,
     /// Communication qubits per node (the paper's budget is 2).
     pub comm_qubits: usize,
+    /// Interconnect topology spec: a name (`all-to-all`, `linear`, `ring`,
+    /// `star`, `grid`, `grid:RxC`) or a topology file path. `None` =
+    /// all-to-all, the paper's model.
+    pub topology: Option<String>,
     /// Partitioning strategy (default: OEE, as in the paper).
     pub strategy: PartitionStrategy,
     /// Ablations applied to the full optimization set.
@@ -86,6 +90,11 @@ USAGE:
 OPTIONS:
     --nodes <N>          number of hardware nodes (required)
     --comm-qubits <K>    communication qubits per node [default: 2]
+    --topology <T>       interconnect topology: all-to-all, linear, ring,
+                         star, grid, grid:RxC, or a topology file path
+                         [default: all-to-all]. Sparse topologies route
+                         non-adjacent communication through entanglement
+                         swapping and serialize contended links
     --partition <S>      qubit partitioning: 'oee' or 'block' [default: oee]
     --ablation <A>       disable one optimization; repeatable and
                          comma-separable. One of: no-commute, cat-only,
@@ -110,6 +119,7 @@ impl CompileArgs {
         let mut file = None;
         let mut nodes = None;
         let mut comm_qubits = 2usize;
+        let mut topology = None;
         let mut strategy = PartitionStrategy::Oee;
         let mut ablations = Vec::new();
         let mut json = false;
@@ -132,6 +142,7 @@ impl CompileArgs {
                         usage(format!("--comm-qubits: '{v}' is not a positive integer"))
                     })?;
                 }
+                "--topology" => topology = Some(value_for("--topology")?),
                 "--partition" => {
                     let v = value_for("--partition")?;
                     strategy = match v.as_str() {
@@ -178,11 +189,56 @@ impl CompileArgs {
             file: file.ok_or_else(|| usage("missing <file.qasm> input".into()))?,
             nodes: nodes.ok_or_else(|| usage("missing required --nodes <N>".into()))?,
             comm_qubits,
+            topology,
             strategy,
             ablations,
             json,
         })
     }
+}
+
+/// Resolves a `--topology` spec: a known name (`linear`, `grid:2x3`, …) or
+/// a path to a topology file; `None` means the paper's all-to-all.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for unknown names or node-count mismatches;
+/// [`CliError::Io`] when a file path cannot be read.
+pub fn resolve_topology(spec: Option<&str>, nodes: usize) -> Result<NetworkTopology, CliError> {
+    let Some(spec) = spec else {
+        return Ok(NetworkTopology::all_to_all(nodes));
+    };
+    let path = std::path::Path::new(spec);
+    if path.is_file() {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.into(), e))?;
+        let topology = NetworkTopology::from_text(&text)
+            .map_err(|e| CliError::Usage(format!("--topology {spec}: {e}\n\n{USAGE}")))?;
+        if topology.num_nodes() != nodes {
+            return Err(CliError::Usage(format!(
+                "--topology {spec}: file covers {} node(s) but --nodes is {nodes}\n\n{USAGE}",
+                topology.num_nodes()
+            )));
+        }
+        Ok(topology)
+    } else {
+        NetworkTopology::parse_spec(spec, nodes)
+            .map_err(|e| CliError::Usage(format!("--topology: {e}\n\n{USAGE}")))
+    }
+}
+
+/// Builds the hardware model for parsed CLI arguments, surfacing
+/// validation failures (zero comm qubits, disconnected or mismatched
+/// topologies, missing relay budget) as usage errors.
+pub(crate) fn build_hardware(
+    partition: &Partition,
+    comm_qubits: usize,
+    topology_spec: Option<&str>,
+) -> Result<HardwareSpec, CliError> {
+    let topology = resolve_topology(topology_spec, partition.num_nodes())?;
+    HardwareSpec::for_partition(partition)
+        .with_comm_qubits(comm_qubits)
+        .and_then(|hw| hw.with_topology(topology))
+        .map_err(|e| CliError::Usage(format!("invalid hardware configuration: {e}\n\n{USAGE}")))
 }
 
 /// The compiled program plus everything the report needs.
@@ -194,6 +250,8 @@ pub struct CompileReport {
     pub stats: CircuitStats,
     /// The partition the program was compiled against.
     pub partition: Partition,
+    /// The hardware model (comm-qubit budget + resolved topology).
+    pub hardware: HardwareSpec,
     /// The full pipeline result (metrics, schedule, per-pass reports).
     pub result: CompileResult,
 }
@@ -216,12 +274,12 @@ pub fn compile(args: CompileArgs) -> Result<CompileReport, CliError> {
         )));
     }
     let partition = build_partition(&circuit, args.nodes, args.strategy)?;
-    let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(args.comm_qubits);
+    let hw = build_hardware(&partition, args.comm_qubits, args.topology.as_deref())?;
     let result = AutoComm::with_ablations(&args.ablations)
         .compile_on(&circuit, &partition, &hw)
         .map_err(|e| CliError::Compile(e.to_string()))?;
     let stats = CircuitStats::of(&result.unrolled, Some(&partition));
-    Ok(CompileReport { args, stats, partition, result })
+    Ok(CompileReport { args, stats, partition, hardware: hw, result })
 }
 
 pub(crate) fn build_partition(
@@ -245,10 +303,22 @@ impl CompileReport {
     pub fn to_json(&self) -> Json {
         let m = &self.result.metrics;
         let s = &self.result.schedule;
+        let topology = self.hardware.topology();
         Json::object([
             ("file", Json::string(self.args.file.display().to_string())),
             ("nodes", Json::number(self.args.nodes as f64)),
             ("comm_qubits", Json::number(self.args.comm_qubits as f64)),
+            (
+                "topology",
+                Json::object([
+                    ("name", Json::string(topology.name())),
+                    ("links", Json::number(topology.links().len() as f64)),
+                    (
+                        "diameter",
+                        topology.diameter().map_or(Json::Null, |d| Json::number(d as f64)),
+                    ),
+                ]),
+            ),
             (
                 "partition",
                 Json::string(match self.args.strategy {
@@ -284,6 +354,7 @@ impl CompileReport {
                     ("total_rem_cx", Json::number(m.total_rem_cx as f64)),
                     ("peak_rem_cx", Json::number(m.peak_rem_cx)),
                     ("num_blocks", Json::number(m.num_blocks as f64)),
+                    ("epr_cost", Json::number(m.total_epr_cost as f64)),
                     ("improvement_factor", Json::number(m.improvement_factor())),
                 ]),
             ),
@@ -292,7 +363,18 @@ impl CompileReport {
                 Json::object([
                     ("makespan", Json::number(s.makespan)),
                     ("epr_pairs", Json::number(s.epr_pairs as f64)),
+                    ("swaps", Json::number(s.swaps as f64)),
                     ("fusion_savings", Json::number(s.fusion_savings as f64)),
+                    (
+                        "link_traffic",
+                        Json::array(s.link_traffic.iter().map(|&(a, b, pairs)| {
+                            Json::object([
+                                ("a", Json::number(a.index() as f64)),
+                                ("b", Json::number(b.index() as f64)),
+                                ("epr_pairs", Json::number(pairs as f64)),
+                            ])
+                        })),
+                    ),
                 ]),
             ),
             (
@@ -322,6 +404,7 @@ impl CompileReport {
             "qubits / nodes",
             format!("{} / {}", self.partition.num_qubits(), self.args.nodes),
         );
+        line(&mut out, "topology", self.hardware.topology().to_string());
         line(&mut out, "gates (unrolled)", self.stats.num_gates.to_string());
         line(&mut out, "remote CX", self.stats.num_remote_2q.to_string());
         if !self.args.ablations.is_empty() {
@@ -335,6 +418,17 @@ impl CompileReport {
         line(&mut out, "improv. factor", format!("{:.2}x", m.improvement_factor()));
         line(&mut out, "makespan (CX units)", format!("{:.1}", s.makespan));
         line(&mut out, "EPR pairs", s.epr_pairs.to_string());
+        if s.swaps > 0 {
+            line(&mut out, "ent. swaps", s.swaps.to_string());
+        }
+        if !s.link_traffic.is_empty() && self.hardware.topology().name() != "all-to-all" {
+            let links: Vec<String> = s
+                .link_traffic
+                .iter()
+                .map(|&(a, b, pairs)| format!("{}-{}:{pairs}", a.index(), b.index()))
+                .collect();
+            line(&mut out, "link EPR traffic", links.join(" "));
+        }
         out.push_str("passes\n");
         for p in &self.result.passes {
             let metric = p.metric.as_deref().unwrap_or("-");
@@ -364,6 +458,8 @@ mod tests {
             "4",
             "--comm-qubits",
             "3",
+            "--topology",
+            "linear",
             "--partition",
             "block",
             "--ablation",
@@ -376,6 +472,7 @@ mod tests {
         assert_eq!(args.file, PathBuf::from("bv.qasm"));
         assert_eq!(args.nodes, 4);
         assert_eq!(args.comm_qubits, 3);
+        assert_eq!(args.topology.as_deref(), Some("linear"));
         assert_eq!(args.strategy, PartitionStrategy::Block);
         assert_eq!(
             args.ablations,
@@ -388,9 +485,39 @@ mod tests {
     fn defaults_match_the_paper() {
         let args = parse(&["c.qasm", "--nodes", "2"]).unwrap();
         assert_eq!(args.comm_qubits, 2);
+        assert_eq!(args.topology, None);
         assert_eq!(args.strategy, PartitionStrategy::Oee);
         assert!(args.ablations.is_empty());
         assert!(!args.json);
+    }
+
+    #[test]
+    fn topology_specs_resolve_by_name_and_file() {
+        assert_eq!(resolve_topology(None, 4).unwrap().name(), "all-to-all");
+        assert_eq!(resolve_topology(Some("ring"), 4).unwrap().diameter(), Some(2));
+        assert!(matches!(resolve_topology(Some("moebius"), 4), Err(CliError::Usage(_))));
+
+        let path = std::env::temp_dir().join(format!("autocomm-topo-{}.txt", std::process::id()));
+        std::fs::write(&path, "nodes 3\nlink 0 1\nlink 1 2\n").unwrap();
+        let spec = path.display().to_string();
+        let t = resolve_topology(Some(&spec), 3).unwrap();
+        assert_eq!(t.diameter(), Some(2));
+        // Node-count mismatch between file and --nodes is a usage error.
+        assert!(matches!(resolve_topology(Some(&spec), 4), Err(CliError::Usage(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_hardware_is_a_usage_error() {
+        // One comm qubit cannot relay on a sparse topology (the satellite
+        // plumbing for Result-returning HardwareSpec validation).
+        let p = Partition::block(6, 3).unwrap();
+        let err = build_hardware(&p, 1, Some("linear")).unwrap_err();
+        match err {
+            CliError::Usage(msg) => assert!(msg.contains("communication qubits"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        assert!(build_hardware(&p, 1, None).is_ok(), "all-to-all works with one comm qubit");
     }
 
     #[test]

@@ -120,6 +120,91 @@ fn batch_suite_runs_end_to_end() {
 }
 
 #[test]
+fn explicit_all_to_all_is_bit_identical_to_the_default() {
+    let path = qasm_fixture("topo-id", &dqc_workloads::qft(12));
+    let file = path.to_str().unwrap();
+    let implicit = run(&["compile", file, "--nodes", "4", "--json"]);
+    let explicit = run(&["compile", file, "--nodes", "4", "--topology", "all-to-all", "--json"]);
+    assert!(implicit.status.success() && explicit.status.success());
+    let implicit = String::from_utf8(implicit.stdout).unwrap();
+    let explicit = String::from_utf8(explicit.stdout).unwrap();
+    for key in ["total_comms", "tp_comms", "epr_pairs", "makespan", "fusion_savings"] {
+        assert_eq!(
+            json_number(&implicit, key),
+            json_number(&explicit, key),
+            "{key} differs:\n{implicit}\n{explicit}"
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn sparse_topology_reports_swaps_and_link_traffic() {
+    let path = qasm_fixture("topo-linear", &dqc_workloads::qft(12));
+    let file = path.to_str().unwrap();
+    let dense = run(&["compile", file, "--nodes", "4", "--json"]);
+    let sparse = run(&["compile", file, "--nodes", "4", "--topology", "linear", "--json"]);
+    assert!(dense.status.success() && sparse.status.success());
+    let dense = String::from_utf8(dense.stdout).unwrap();
+    let sparse = String::from_utf8(sparse.stdout).unwrap();
+    assert!(sparse.contains("\"name\":\"linear\""));
+    assert!(json_number(&sparse, "diameter") == 3.0);
+    assert!(json_number(&sparse, "swaps") > 0.0, "QFT over a 4-chain must swap: {sparse}");
+    assert!(sparse.contains("\"link_traffic\":[{\"a\":0,"), "per-link attribution: {sparse}");
+    assert!(
+        json_number(&sparse, "epr_pairs") > json_number(&dense, "epr_pairs"),
+        "multi-hop routing costs link-level pairs"
+    );
+    assert!(json_number(&sparse, "makespan") > json_number(&dense, "makespan"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn topology_file_round_trips_through_the_cli() {
+    let qasm = qasm_fixture("topo-file", &dqc_workloads::bv(12));
+    let topo = std::env::temp_dir().join(format!("autocomm-topo-{}.txt", std::process::id()));
+    std::fs::write(&topo, "nodes 3\nlink 0 1\nlink 1 2 latency=2.0\n").unwrap();
+    let out = run(&[
+        "compile",
+        qasm.to_str().unwrap(),
+        "--nodes",
+        "3",
+        "--topology",
+        topo.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"name\":\"file\""));
+    std::fs::remove_file(qasm).ok();
+    std::fs::remove_file(topo).ok();
+}
+
+#[test]
+fn batch_suite_with_linear_topology_attributes_links() {
+    let out = run(&["batch", "--suite", "--nodes", "4", "--topology", "linear", "--jobs", "2"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("link EPR traffic (linear):"), "missing attribution in:\n{text}");
+    assert!(text.contains("swaps"), "missing swap totals in:\n{text}");
+}
+
+#[test]
+fn bad_topology_is_a_usage_error() {
+    let path = qasm_fixture("topo-bad", &dqc_workloads::bv(9));
+    let file = path.to_str().unwrap();
+    let out = run(&["compile", file, "--nodes", "3", "--topology", "moebius"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown topology"));
+    // Zero relay budget on a sparse machine is caught by hardware
+    // validation and surfaced as usage too.
+    let out = run(&["compile", file, "--nodes", "3", "--topology", "linear", "--comm-qubits", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("communication qubits"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn bad_usage_exits_2_with_usage_text() {
     let out = run(&["compile", "x.qasm"]); // no --nodes
     assert_eq!(out.status.code(), Some(2));

@@ -13,13 +13,24 @@
 //!   segments while TP-Comm costs a flat two EPR pairs; the cheaper wins
 //!   and ties go to TP, exactly the paper's default.
 //!
+//! Since the topology re-platforming the cost model is hop-distance-aware
+//! ([`assign_on`]): every end-to-end communication between nodes at routed
+//! hop distance `h` consumes `h` link-level EPR pairs, recorded per block
+//! as [`AssignedBlock::epr_cost`]. On multi-hop pairs the 2-segment tie
+//! flips from TP to a split Cat: the cat-disentangler needs no fresh
+//! entanglement, while TP-Comm's teleport-home leg must run a second swap
+//! chain through scarce relay-node slots. At `h == 1` every decision is
+//! exactly the paper's, so all-to-all machines reproduce the historical
+//! assignment bit for bit.
+//!
 //! Since the `CommIr` refactor blocks carry gate ids; segmentation walks
 //! the shared table instead of cloned bodies, and splitting a block into
 //! segments copies `u32` indices only.
 
 use std::sync::Arc;
 
-use dqc_circuit::{AxisBehavior, Gate, GateId, GateTable};
+use dqc_circuit::{AxisBehavior, Gate, GateId, GateTable, Partition};
+use dqc_hardware::NetworkTopology;
 
 use crate::{AggregatedProgram, CommBlock, CommIr, Item};
 
@@ -49,12 +60,16 @@ pub struct AssignedBlock {
     pub block: CommBlock,
     /// Chosen scheme.
     pub scheme: Scheme,
-    /// Remote communications (= EPR pairs) this block is charged for in the
+    /// Remote communications (end-to-end) this block is charged for in the
     /// paper's metric: 1 for a single-call Cat block, `segments` for a
     /// Cat-only split, 2 for TP.
     pub comms: usize,
     /// Number of single-call Cat segments the body splits into.
     pub segments: usize,
+    /// Link-level EPR pairs this block is charged for under the hardware's
+    /// routed hop distances: `comms × hops(home, node)`. Equal to `comms`
+    /// on all-to-all machines.
+    pub epr_cost: usize,
 }
 
 /// An aggregated program with every block assigned a scheme, sharing the
@@ -85,6 +100,7 @@ impl PartialEq for AssignedProgram {
                     x.scheme == y.scheme
                         && x.comms == y.comms
                         && x.segments == y.segments
+                        && x.epr_cost == y.epr_cost
                         && x.block.qubit() == y.block.qubit()
                         && x.block.node() == y.block.node()
                         && x.block.ids().len() == y.block.ids().len()
@@ -189,18 +205,56 @@ pub(crate) fn cat_segments(table: &GateTable, block: &CommBlock) -> (usize, CatO
 
 /// Hybrid assignment (the paper's scheme): single-call blocks ride
 /// Cat-Comm; everything else takes TP-Comm at two EPR pairs (ties included).
+/// Hop distances are the paper's implicit all-to-all (1 everywhere).
 pub fn assign(program: &AggregatedProgram) -> AssignedProgram {
-    assign_with(program, true)
+    assign_with(program, true, None)
 }
 
 /// Cat-Comm-only ablation (paper Fig. 17b, modeling the Diadamo et al.
 /// style compiler): every block is implemented by Cat-Comm, costing one
 /// EPR pair per single-call segment.
 pub fn assign_cat_only(program: &AggregatedProgram) -> AssignedProgram {
-    assign_with(program, false)
+    assign_with(program, false, None)
 }
 
-fn assign_with(program: &AggregatedProgram, hybrid: bool) -> AssignedProgram {
+/// Hybrid assignment against an explicit interconnect topology: the cost
+/// model charges `hops(home, node)` link-level EPR pairs per end-to-end
+/// communication, and the 2-segment Cat/TP tie flips to Cat on multi-hop
+/// pairs (see the module docs). With `NetworkTopology::all_to_all` this is
+/// exactly [`assign`].
+///
+/// # Panics
+///
+/// Panics if `topology` leaves a communicating node pair unreachable.
+/// `HardwareSpec::with_topology` rejects disconnected machines, so programs
+/// compiled through the pipeline never hit this; only hand-built
+/// topologies from `NetworkTopology::from_links` can.
+pub fn assign_on(
+    program: &AggregatedProgram,
+    partition: &Partition,
+    topology: &NetworkTopology,
+) -> AssignedProgram {
+    assign_with(program, true, Some((partition, topology)))
+}
+
+/// [`assign_cat_only`] with hop-distance-aware `epr_cost` accounting.
+///
+/// # Panics
+///
+/// See [`assign_on`].
+pub fn assign_cat_only_on(
+    program: &AggregatedProgram,
+    partition: &Partition,
+    topology: &NetworkTopology,
+) -> AssignedProgram {
+    assign_with(program, false, Some((partition, topology)))
+}
+
+fn assign_with(
+    program: &AggregatedProgram,
+    hybrid: bool,
+    routing: Option<(&Partition, &NetworkTopology)>,
+) -> AssignedProgram {
     let table = program.ir().table();
     let items = program
         .items()
@@ -208,17 +262,41 @@ fn assign_with(program: &AggregatedProgram, hybrid: bool) -> AssignedProgram {
         .map(|item| match item {
             Item::Local(id) => AssignedItem::Local(*id),
             Item::Block(b) => {
+                let hops = routing
+                    .map(|(partition, topology)| {
+                        topology.hop_distance(b.home(partition), b.node()).unwrap_or_else(|| {
+                            panic!(
+                                "topology has no route between {} and {} (pass a connected \
+                                 topology, e.g. one accepted by HardwareSpec::with_topology)",
+                                b.home(partition),
+                                b.node()
+                            )
+                        })
+                    })
+                    .unwrap_or(1);
                 let (segments, orientation) = cat_segments(table, b);
                 let (scheme, comms) = if segments == 1 {
                     (Scheme::Cat(orientation), 1)
-                } else if hybrid {
-                    // Cat would need `segments` pairs, TP always needs 2;
-                    // ties go to TP (paper block ③).
-                    (Scheme::Tp, 2)
-                } else {
+                } else if !hybrid {
                     (Scheme::Cat(orientation), segments)
+                } else if hops > 1 && segments == 2 {
+                    // End-to-end tie (2 vs 2). On multi-hop pairs the split
+                    // Cat wins: its disentanglers need no fresh
+                    // entanglement, while TP's teleport-home leg runs a
+                    // second swap chain through scarce relay slots.
+                    (Scheme::Cat(orientation), segments)
+                } else {
+                    // Cat would need `segments` pairs, TP always needs 2;
+                    // ties go to TP at hop distance 1 (paper block ③).
+                    (Scheme::Tp, 2)
                 };
-                AssignedItem::Block(AssignedBlock { block: b.clone(), scheme, comms, segments })
+                AssignedItem::Block(AssignedBlock {
+                    block: b.clone(),
+                    scheme,
+                    comms,
+                    segments,
+                    epr_cost: comms * hops,
+                })
             }
         })
         .collect();
@@ -394,5 +472,53 @@ mod tests {
         let a = assigned_single(vec![Gate::cx(q(2), q(0))], true);
         assert_eq!(a.scheme, Scheme::Cat(CatOrientation::Target));
         assert_eq!(a.comms, 1);
+    }
+
+    /// Builds a block between q0 (node 0) and node 2 of a 3-node machine
+    /// and assigns it against `topology`.
+    fn assigned_distance_two(gates: Vec<Gate>, topology: &NetworkTopology) -> AssignedBlock {
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        for g in &gates {
+            c.push(g.clone()).unwrap();
+        }
+        let ir = CommIr::build_shared(&c, &p);
+        let mut b = CommBlock::new(q(0), NodeId::new(2));
+        for (pos, _) in gates.iter().enumerate() {
+            let id = ir.stream()[pos];
+            b.push(id, ir.gate(id));
+        }
+        let program = AggregatedProgram::from_parts(ir, vec![Item::Block(b)]);
+        assign_on(&program, &p, topology).blocks().next().unwrap().clone()
+    }
+
+    #[test]
+    fn all_to_all_routing_matches_the_paper_rule() {
+        let bidi = vec![Gate::cx(q(0), q(4)), Gate::cx(q(4), q(0))];
+        let a = assigned_distance_two(bidi, &NetworkTopology::all_to_all(3));
+        assert_eq!(a.scheme, Scheme::Tp);
+        assert_eq!(a.comms, 2);
+        assert_eq!(a.epr_cost, 2, "hop distance 1 leaves epr_cost == comms");
+    }
+
+    #[test]
+    fn multi_hop_two_segment_tie_flips_to_cat() {
+        let linear = NetworkTopology::linear(3).unwrap();
+        let bidi = vec![Gate::cx(q(0), q(4)), Gate::cx(q(4), q(0))];
+        let a = assigned_distance_two(bidi, &linear);
+        assert!(matches!(a.scheme, Scheme::Cat(_)), "2-segment tie goes to Cat at hop 2");
+        assert_eq!(a.comms, 2);
+        assert_eq!(a.epr_cost, 4, "2 end-to-end comms × 2 hops");
+        // Three or more segments still prefer TP's flat two comms.
+        let tri = vec![Gate::cx(q(0), q(4)), Gate::cx(q(4), q(0)), Gate::cx(q(0), q(5))];
+        let a = assigned_distance_two(tri, &linear);
+        assert_eq!(a.scheme, Scheme::Tp);
+        assert_eq!(a.epr_cost, 4);
+        // Single-call blocks stay Cat but are charged per hop.
+        let single = vec![Gate::cx(q(0), q(4)), Gate::cx(q(0), q(5))];
+        let a = assigned_distance_two(single, &linear);
+        assert_eq!(a.scheme, Scheme::Cat(CatOrientation::Control));
+        assert_eq!(a.comms, 1);
+        assert_eq!(a.epr_cost, 2);
     }
 }

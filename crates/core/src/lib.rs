@@ -71,12 +71,13 @@ pub use aggregate::{
 };
 pub use analysis::inverse_burst_distribution;
 pub use assign::{
-    assign, assign_cat_only, AssignedBlock, AssignedItem, AssignedProgram, CatOrientation, Scheme,
+    assign, assign_cat_only, assign_cat_only_on, assign_on, AssignedBlock, AssignedItem,
+    AssignedProgram, CatOrientation, Scheme,
 };
 pub use block::CommBlock;
 pub use error::CompileError;
 pub use ir::{CommIr, DAG_WINDOW};
-pub use lower::lower_assigned;
+pub use lower::{lower_assigned, lower_assigned_on};
 pub use metrics::{burst_distribution, CommMetrics};
 pub use orient::orient_symmetric_gates;
 pub use pass::{

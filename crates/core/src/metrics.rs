@@ -27,6 +27,11 @@ pub struct CommMetrics {
     pub per_comm_rem_cx: Vec<f64>,
     /// Number of burst blocks.
     pub num_blocks: usize,
+    /// Link-level EPR pairs the assignment is charged for under the
+    /// hardware's routed hop distances (Σ [`crate::AssignedBlock::epr_cost`]
+    /// = Σ comms × hops). Equals `total_comms` on all-to-all machines; the
+    /// scheduler's consumption is at most this (TP fusion saves pairs).
+    pub total_epr_cost: usize,
 }
 
 impl CommMetrics {
@@ -37,11 +42,13 @@ impl CommMetrics {
         let mut total_rem_cx = 0usize;
         let mut per_comm = Vec::new();
         let mut num_blocks = 0usize;
+        let mut total_epr_cost = 0usize;
         for blk in program.blocks() {
             num_blocks += 1;
             let rem = blk.block.remote_gate_count();
             total_rem_cx += rem;
             total_comms += blk.comms;
+            total_epr_cost += blk.epr_cost;
             match blk.scheme {
                 Scheme::Tp => {
                     tp_comms += blk.comms;
@@ -73,6 +80,7 @@ impl CommMetrics {
             total_rem_cx,
             per_comm_rem_cx: per_comm,
             num_blocks,
+            total_epr_cost,
         }
     }
 
@@ -145,6 +153,23 @@ mod tests {
         assert_eq!(m.total_rem_cx, 2);
         assert_eq!(m.peak_rem_cx, 2.0);
         assert_eq!(m.improvement_factor(), 2.0);
+        assert_eq!(m.total_epr_cost, 1, "all-to-all: epr cost equals comms");
+    }
+
+    #[test]
+    fn epr_cost_scales_with_hop_distance() {
+        use dqc_hardware::NetworkTopology;
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        c.push(Gate::cx(q(0), q(4))).unwrap(); // node 0 → node 2: 2 hops on a chain
+        c.push(Gate::cx(q(0), q(2))).unwrap(); // node 0 → node 1: adjacent
+        let agg = aggregate(&c, &p, AggregateOptions::default());
+        let dense = CommMetrics::of(&crate::assign(&agg));
+        let sparse =
+            CommMetrics::of(&crate::assign_on(&agg, &p, &NetworkTopology::linear(3).unwrap()));
+        assert_eq!(dense.total_comms, sparse.total_comms, "paper metric is topology-invariant");
+        assert_eq!(dense.total_epr_cost, 2);
+        assert_eq!(sparse.total_epr_cost, 3, "the 2-hop cat pays per hop");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use dqc_hardware::HardwareSpec;
 use dqc_protocols::PhysicalProgram;
 
 use crate::{
-    aggregate_ir, aggregate_no_commute_ir, assign, assign_cat_only, lower_assigned,
+    aggregate_ir, aggregate_no_commute_ir, assign_cat_only_on, assign_on, lower_assigned_on,
     orient_symmetric_gates, schedule, AggregateOptions, AggregatedProgram, AssignedProgram, CommIr,
     CommMetrics, CompileError, ScheduleOptions, ScheduleSummary, Scheme,
 };
@@ -268,8 +268,12 @@ impl Pass for AssignPass {
 
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
         let aggregated = ctx.require_aggregated(self.name())?;
-        ctx.assigned =
-            Some(if self.hybrid { assign(aggregated) } else { assign_cat_only(aggregated) });
+        let topology = ctx.hardware.topology();
+        ctx.assigned = Some(if self.hybrid {
+            assign_on(aggregated, ctx.partition, topology)
+        } else {
+            assign_cat_only_on(aggregated, ctx.partition, topology)
+        });
         Ok(())
     }
 
@@ -338,7 +342,7 @@ impl Pass for LowerPass {
 
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
         let assigned = ctx.require_assigned(self.name())?;
-        ctx.lowered = Some(lower_assigned(assigned, ctx.partition)?);
+        ctx.lowered = Some(lower_assigned_on(assigned, ctx.partition, ctx.hardware.topology())?);
         Ok(())
     }
 

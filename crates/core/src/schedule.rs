@@ -67,9 +67,15 @@ impl ScheduleOptions {
 pub struct ScheduleSummary {
     /// Program latency in CX units.
     pub makespan: f64,
-    /// EPR pairs actually consumed (TP fusion reduces this below the
-    /// metric-level “Tot Comm”).
+    /// EPR pairs actually consumed, counted per *link-level* generation —
+    /// multi-hop routes are charged one pair per hop (TP fusion reduces
+    /// this below the metric-level “Tot Comm”).
     pub epr_pairs: usize,
+    /// Entanglement swaps performed at relay nodes (0 on all-to-all).
+    pub swaps: usize,
+    /// EPR pairs generated per interconnect link, `(node, node, pairs)`,
+    /// for links that carried any traffic.
+    pub link_traffic: Vec<(NodeId, NodeId, usize)>,
     /// Teleports (and EPR pairs) saved by TP fusion.
     pub fusion_savings: usize,
     /// Cat blocks scheduled (counting Cat-only segments individually).
@@ -385,8 +391,28 @@ impl Scheduler<'_> {
             };
             let node = block.node();
             if node != cursor_node {
-                state_time = hop(self, cursor_node, node, state_time, &mut holding);
-                cursor_node = node;
+                // Hop-distance-aware fusion: continuing the chain directly
+                // is worth it only while the direct route is strictly
+                // cheaper than re-homing (teleport home, then out again).
+                // On all-to-all machines direct is always 1 < 2, preserving
+                // the paper's always-fuse behavior; on sparse topologies a
+                // junction whose route passes home anyway breaks the chain
+                // there, freeing home's comm slots at equal link cost.
+                if cursor_node != home && node != home {
+                    let topo = self.tl.topology();
+                    let direct = topo.route_weight(cursor_node, node).expect("connected topology");
+                    let via_home = topo.route_weight(cursor_node, home).expect("connected")
+                        + topo.route_weight(home, node).expect("connected");
+                    if direct + 1e-12 >= via_home {
+                        state_time = hop(self, cursor_node, home, state_time, &mut holding);
+                        cursor_node = home;
+                        self.fusion_savings = self.fusion_savings.saturating_sub(1);
+                    }
+                }
+                if node != cursor_node {
+                    state_time = hop(self, cursor_node, node, state_time, &mut holding);
+                    cursor_node = node;
+                }
             }
             // Body on `node`, with the comm qubit (holding q) serializing.
             let mut comm_cursor = state_time;
@@ -424,6 +450,8 @@ impl Scheduler<'_> {
         ScheduleSummary {
             makespan: self.tl.makespan(),
             epr_pairs: self.tl.epr_pairs_consumed(),
+            swaps: self.tl.swaps_performed(),
+            link_traffic: self.tl.link_traffic(),
             fusion_savings: self.fusion_savings,
             cat_blocks: self.cat_blocks,
             tp_blocks: self.tp_blocks,
@@ -552,5 +580,80 @@ mod tests {
                 plain.makespan
             );
         }
+    }
+
+    fn linear_hw(p: &Partition) -> HardwareSpec {
+        HardwareSpec::for_partition(p)
+            .with_topology(dqc_hardware::NetworkTopology::linear(p.num_nodes()).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn sparse_topology_charges_per_hop() {
+        // A single cat block between the ends of a 3-node chain: 2 hops,
+        // 2 link pairs, 1 swap, and strictly more latency than all-to-all.
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        c.push(dqc_circuit::Gate::cx(q(0), q(4))).unwrap();
+        let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+        let dense =
+            schedule(&program, &p, &HardwareSpec::for_partition(&p), ScheduleOptions::default());
+        let sparse = schedule(&program, &p, &linear_hw(&p), ScheduleOptions::default());
+        assert_eq!(dense.epr_pairs, 1);
+        assert_eq!(dense.swaps, 0);
+        assert_eq!(sparse.epr_pairs, 2);
+        assert_eq!(sparse.swaps, 1);
+        assert!(sparse.makespan > dense.makespan);
+        let n = dqc_circuit::NodeId::new;
+        assert_eq!(sparse.link_traffic, vec![(n(0), n(1), 1), (n(1), n(2), 1)]);
+    }
+
+    #[test]
+    fn all_to_all_summary_reports_no_swaps_or_relays() {
+        let p = Partition::block(6, 2).unwrap();
+        let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(6)).unwrap();
+        let s = compile_and_schedule(&c, &p, ScheduleOptions::default());
+        assert_eq!(s.swaps, 0);
+        assert!(s.link_traffic.iter().all(|&(a, b, _)| a != b));
+        let total: usize = s.link_traffic.iter().map(|&(_, _, t)| t).sum();
+        assert_eq!(total, s.epr_pairs, "per-link traffic partitions the EPR count");
+    }
+
+    #[test]
+    fn tp_chain_rehomes_when_the_route_passes_home() {
+        // Home node 1 sits between nodes 0 and 2 on a chain. A fused TP
+        // tour 1→0→2→1 would route its 0→2 junction through home anyway,
+        // so the hop-aware scheduler breaks the chain there (one fewer
+        // fusion saving than on all-to-all).
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        // Three gates per remote node make q2 the ranked burst qubit of
+        // both blocks (so they form one TP chain).
+        for node_q in [0usize, 4] {
+            c.push(dqc_circuit::Gate::cx(q(2), q(node_q))).unwrap();
+            c.push(dqc_circuit::Gate::cx(q(node_q), q(2))).unwrap();
+            c.push(dqc_circuit::Gate::cx(q(2), q(node_q + 1))).unwrap();
+        }
+        let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+        let dense =
+            schedule(&program, &p, &HardwareSpec::for_partition(&p), ScheduleOptions::default());
+        let sparse = schedule(&program, &p, &linear_hw(&p), ScheduleOptions::default());
+        assert_eq!(dense.fusion_savings, 1, "all-to-all fuses the junction");
+        assert_eq!(sparse.fusion_savings, 0, "linear re-homes at the junction");
+        // Re-homing costs the same link pairs as the direct 2-hop route.
+        assert_eq!(sparse.epr_pairs, 4);
+        assert_eq!(sparse.swaps, 0, "every leg of the re-homed tour is adjacent");
+    }
+
+    #[test]
+    fn sparse_events_validate_against_the_link_model() {
+        let p = Partition::block(8, 4).unwrap();
+        let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(8)).unwrap();
+        let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+        let hw = linear_hw(&p);
+        let opts = ScheduleOptions { record_events: true, ..ScheduleOptions::default() };
+        let s = schedule(&program, &p, &hw, opts);
+        dqc_hardware::validate_events(&s.events.expect("recording enabled"), &hw).unwrap();
+        assert!(s.swaps > 0, "QFT over a 4-chain must swap");
     }
 }

@@ -1,0 +1,104 @@
+//! Hardware-model validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating a hardware model.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum HardwareError {
+    /// A machine needs at least one node.
+    ZeroNodes,
+    /// A node without communication qubits cannot participate in DQC.
+    ZeroCommQubits,
+    /// A topology's node count disagrees with the machine's.
+    TopologyNodeMismatch {
+        /// Nodes in the machine spec.
+        spec_nodes: usize,
+        /// Nodes in the topology.
+        topology_nodes: usize,
+    },
+    /// Two nodes have no path between them, so remote gates between their
+    /// qubits can never be implemented.
+    Disconnected {
+        /// One node of the unreachable pair.
+        a: usize,
+        /// The other node.
+        b: usize,
+    },
+    /// A link references a node outside the topology, or loops a node onto
+    /// itself.
+    InvalidLink {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// Why the link is rejected.
+        reason: &'static str,
+    },
+    /// Multi-hop routing needs at least two communication qubits on every
+    /// relay node (one per adjacent hop of a swap chain).
+    InsufficientRelayQubits {
+        /// The configured per-node budget.
+        comm_qubits: usize,
+    },
+    /// A topology specification string or file could not be parsed.
+    Parse {
+        /// Line number (1-based) when the source is a file, 0 for a spec
+        /// string.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for HardwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardwareError::ZeroNodes => write!(f, "a machine needs at least one node"),
+            HardwareError::ZeroCommQubits => {
+                write!(f, "each node needs at least one communication qubit")
+            }
+            HardwareError::TopologyNodeMismatch { spec_nodes, topology_nodes } => write!(
+                f,
+                "topology covers {topology_nodes} node(s) but the machine has {spec_nodes}"
+            ),
+            HardwareError::Disconnected { a, b } => {
+                write!(f, "nodes {a} and {b} are disconnected in the interconnect topology")
+            }
+            HardwareError::InvalidLink { a, b, reason } => {
+                write!(f, "invalid link {a}–{b}: {reason}")
+            }
+            HardwareError::InsufficientRelayQubits { comm_qubits } => write!(
+                f,
+                "multi-hop routing needs ≥ 2 communication qubits per node for \
+                 entanglement swapping, but the budget is {comm_qubits}"
+            ),
+            HardwareError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "invalid topology: {message}")
+                } else {
+                    write!(f, "invalid topology (line {line}): {message}")
+                }
+            }
+        }
+    }
+}
+
+impl Error for HardwareError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_facts() {
+        let e = HardwareError::TopologyNodeMismatch { spec_nodes: 4, topology_nodes: 6 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('6'));
+        let e = HardwareError::Parse { line: 3, message: "bad link".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = HardwareError::Disconnected { a: 0, b: 2 };
+        assert!(e.to_string().contains("disconnected"));
+    }
+}

@@ -77,6 +77,15 @@ impl LatencyModel {
         self.t_1q + self.t_measure + self.t_classical + self.t_1q
     }
 
+    /// One entanglement swap at a relay node of a multi-hop route: a Bell
+    /// measurement on the relay's two link halves (CX + H + measurement),
+    /// one classical bit to an end node, and the two conditioned Pauli
+    /// corrections there. Structurally identical to the teleport
+    /// measurement phase.
+    pub fn entanglement_swap(&self) -> f64 {
+        self.t_2q + self.t_1q + self.t_measure + self.t_classical + 2.0 * self.t_1q
+    }
+
     /// Latency of executing a sequence of gates serially (helper for block
     /// bodies; the schedulers use dependency-aware paths where it matters).
     pub fn serial(&self, gates: &[Gate]) -> f64 {
@@ -134,6 +143,7 @@ mod tests {
         // EPR preparation dominates every other protocol phase (paper §4.4).
         assert!(m.t_epr > m.teleport());
         assert!(m.t_epr > m.cat_entangle());
+        assert!(m.t_epr > m.entanglement_swap());
     }
 
     #[test]

@@ -16,26 +16,40 @@
 //! This crate provides:
 //!
 //! * [`LatencyModel`] — those constants plus derived protocol phase
-//!   latencies (cat-entangle, cat-disentangle, teleport);
-//! * [`HardwareSpec`] — node count / qubits-per-node / comm-qubit budget;
-//! * [`Timeline`] — a resource-constrained event timeline tracking per-qubit
-//!   availability and per-node communication-qubit slots, used by every
-//!   scheduler in the reproduction (AutoComm burst-greedy, baseline ASAP,
-//!   GP-TP); it also counts consumed EPR pairs;
+//!   latencies (cat-entangle, cat-disentangle, teleport, entanglement
+//!   swap);
+//! * [`NetworkTopology`] — an explicit interconnect link graph with
+//!   per-link EPR latency/capacity and shortest-path routing tables;
+//!   `all_to_all` reproduces the paper's implicit model exactly, while
+//!   `linear`/`ring`/`grid`/`star` and a small text file format describe
+//!   sparse machines whose non-adjacent pairs communicate through
+//!   entanglement swapping;
+//! * [`HardwareSpec`] — node count / comm-qubit budget / latency model /
+//!   topology, with `Result`-returning validation;
+//! * [`Timeline`] — a resource-constrained event timeline tracking
+//!   per-qubit availability, per-node communication-qubit slots, and
+//!   per-link generation channels, used by every scheduler in the
+//!   reproduction (AutoComm burst-greedy, baseline ASAP, GP-TP); it counts
+//!   consumed EPR pairs (one per hop), entanglement swaps, and per-link
+//!   traffic;
 //! * [`validate_events`] — an independent checker that replays a timeline's
 //!   event log and verifies no qubit or comm-slot is double-booked.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod fidelity;
 mod latency;
 mod spec;
 mod timeline;
+pub mod topology;
 mod validate;
 
+pub use error::HardwareError;
 pub use fidelity::{FidelityInputs, FidelityModel};
 pub use latency::LatencyModel;
 pub use spec::HardwareSpec;
 pub use timeline::{CommClaim, Timeline, TimelineEvent};
+pub use topology::{Link, NetworkTopology};
 pub use validate::{validate_events, ValidationError};

@@ -2,32 +2,46 @@
 
 use dqc_circuit::{NodeId, Partition};
 
-use crate::LatencyModel;
+use crate::{HardwareError, LatencyModel, NetworkTopology};
 
-/// Node count, per-node communication-qubit budget, and latency model.
+/// Node count, per-node communication-qubit budget, latency model, and
+/// interconnect topology.
 ///
 /// The paper assumes all-to-all EPR connectivity between nodes and exactly
 /// two communication qubits per node for near-term DQC (§3); both are
-/// configurable here, and the sensitivity benches exercise other values.
+/// configurable here ([`HardwareSpec::with_comm_qubits`],
+/// [`HardwareSpec::with_topology`]), and the sensitivity benches exercise
+/// other values. Sparse topologies route non-adjacent communication through
+/// entanglement swapping (see [`NetworkTopology`]).
 ///
 /// ```
-/// use dqc_hardware::HardwareSpec;
+/// use dqc_hardware::{HardwareSpec, NetworkTopology};
 /// let hw = HardwareSpec::symmetric(10);
 /// assert_eq!(hw.num_nodes(), 10);
 /// assert_eq!(hw.comm_qubits_per_node(), 2);
+/// assert_eq!(hw.topology().name(), "all-to-all");
+/// let sparse = hw.with_topology(NetworkTopology::linear(10)?)?;
+/// assert_eq!(sparse.topology().diameter(), Some(9));
+/// # Ok::<(), dqc_hardware::HardwareError>(())
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct HardwareSpec {
     num_nodes: usize,
     comm_qubits_per_node: usize,
     latency: LatencyModel,
+    topology: NetworkTopology,
 }
 
 impl HardwareSpec {
     /// A machine with `num_nodes` nodes, the paper's two communication
-    /// qubits per node, and Table-1 latencies.
+    /// qubits per node, Table-1 latencies, and all-to-all connectivity.
     pub fn symmetric(num_nodes: usize) -> Self {
-        HardwareSpec { num_nodes, comm_qubits_per_node: 2, latency: LatencyModel::default() }
+        HardwareSpec {
+            num_nodes,
+            comm_qubits_per_node: 2,
+            latency: LatencyModel::default(),
+            topology: NetworkTopology::all_to_all(num_nodes),
+        }
     }
 
     /// A machine matching `partition`'s node count.
@@ -37,20 +51,65 @@ impl HardwareSpec {
 
     /// Overrides the per-node communication-qubit budget.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` is zero — a node without communication qubits cannot
-    /// participate in DQC.
-    pub fn with_comm_qubits(mut self, n: usize) -> Self {
-        assert!(n > 0, "each node needs at least one communication qubit");
+    /// [`HardwareError::ZeroCommQubits`] when `n` is zero — a node without
+    /// communication qubits cannot participate in DQC — and
+    /// [`HardwareError::InsufficientRelayQubits`] when `n == 1` but the
+    /// topology needs multi-hop relays (entanglement swapping holds one
+    /// comm qubit per adjacent hop on every relay node).
+    pub fn with_comm_qubits(mut self, n: usize) -> Result<Self, HardwareError> {
+        if n == 0 {
+            return Err(HardwareError::ZeroCommQubits);
+        }
         self.comm_qubits_per_node = n;
-        self
+        self.validate()?;
+        Ok(self)
     }
 
     /// Overrides the latency model.
+    #[must_use]
     pub fn with_latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;
         self
+    }
+
+    /// Overrides the interconnect topology.
+    ///
+    /// # Errors
+    ///
+    /// [`HardwareError::TopologyNodeMismatch`] when the topology's node
+    /// count disagrees with the machine's;
+    /// [`HardwareError::Disconnected`] when some node pair has no route;
+    /// [`HardwareError::InsufficientRelayQubits`] when multi-hop routing is
+    /// needed but the per-node comm-qubit budget is below two.
+    pub fn with_topology(mut self, topology: NetworkTopology) -> Result<Self, HardwareError> {
+        if topology.num_nodes() != self.num_nodes {
+            return Err(HardwareError::TopologyNodeMismatch {
+                spec_nodes: self.num_nodes,
+                topology_nodes: topology.num_nodes(),
+            });
+        }
+        self.topology = topology;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Cross-field validation shared by the fallible builders.
+    fn validate(&self) -> Result<(), HardwareError> {
+        for a in 0..self.num_nodes {
+            for b in (a + 1)..self.num_nodes {
+                if self.topology.hop_distance(NodeId::new(a), NodeId::new(b)).is_none() {
+                    return Err(HardwareError::Disconnected { a, b });
+                }
+            }
+        }
+        if self.topology.needs_relays() && self.comm_qubits_per_node < 2 {
+            return Err(HardwareError::InsufficientRelayQubits {
+                comm_qubits: self.comm_qubits_per_node,
+            });
+        }
+        Ok(())
     }
 
     /// Number of nodes.
@@ -66,6 +125,11 @@ impl HardwareSpec {
     /// The latency model.
     pub fn latency(&self) -> &LatencyModel {
         &self.latency
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
     }
 
     /// Whether `node` is a valid node of this machine.
@@ -84,6 +148,7 @@ mod tests {
         assert_eq!(hw.num_nodes(), 4);
         assert_eq!(hw.comm_qubits_per_node(), 2);
         assert_eq!(hw.latency().t_epr, 12.0);
+        assert_eq!(hw.topology().name(), "all-to-all");
         assert!(hw.contains(NodeId::new(3)));
         assert!(!hw.contains(NodeId::new(4)));
     }
@@ -92,6 +157,7 @@ mod tests {
     fn builders_override_fields() {
         let hw = HardwareSpec::symmetric(2)
             .with_comm_qubits(4)
+            .unwrap()
             .with_latency(LatencyModel { t_epr: 20.0, ..LatencyModel::default() });
         assert_eq!(hw.comm_qubits_per_node(), 4);
         assert_eq!(hw.latency().t_epr, 20.0);
@@ -104,8 +170,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one communication qubit")]
     fn zero_comm_qubits_rejected() {
-        let _ = HardwareSpec::symmetric(2).with_comm_qubits(0);
+        let err = HardwareSpec::symmetric(2).with_comm_qubits(0).unwrap_err();
+        assert_eq!(err, HardwareError::ZeroCommQubits);
+    }
+
+    #[test]
+    fn topology_node_count_must_match() {
+        let err = HardwareSpec::symmetric(4)
+            .with_topology(NetworkTopology::linear(3).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, HardwareError::TopologyNodeMismatch { .. }));
+    }
+
+    #[test]
+    fn disconnected_topologies_are_rejected() {
+        use crate::topology::Link;
+        let t =
+            NetworkTopology::from_links("x", 3, vec![Link::new(NodeId::new(0), NodeId::new(1))])
+                .unwrap();
+        let err = HardwareSpec::symmetric(3).with_topology(t).unwrap_err();
+        assert!(matches!(err, HardwareError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn relay_topologies_need_two_comm_qubits() {
+        let t = NetworkTopology::linear(3).unwrap();
+        let err = HardwareSpec::symmetric(3)
+            .with_comm_qubits(1)
+            .unwrap()
+            .with_topology(t.clone())
+            .unwrap_err();
+        assert!(matches!(err, HardwareError::InsufficientRelayQubits { .. }));
+        // Order of builder calls does not matter.
+        let err =
+            HardwareSpec::symmetric(3).with_topology(t).unwrap().with_comm_qubits(1).unwrap_err();
+        assert!(matches!(err, HardwareError::InsufficientRelayQubits { .. }));
+        // One comm qubit is fine on diameter-1 machines.
+        assert!(HardwareSpec::symmetric(3).with_comm_qubits(1).is_ok());
     }
 }

@@ -2,11 +2,16 @@
 
 use dqc_circuit::{Gate, NodeId, QubitId};
 
-use crate::{HardwareSpec, LatencyModel};
+use crate::{HardwareSpec, LatencyModel, NetworkTopology};
 
-/// A claim on one communication-qubit slot at each of two nodes, produced by
-/// [`Timeline::claim_comm`]. The claim covers EPR-pair preparation and stays
-/// open (both slots busy) until [`Timeline::release_comm`].
+/// A claim on one communication-qubit slot at each of two end nodes,
+/// produced by [`Timeline::claim_comm`]. The claim covers end-to-end
+/// entanglement establishment — a single EPR generation on adjacent nodes,
+/// or a routed swap chain (per-hop generations plus Bell measurements at
+/// every relay) on sparse topologies — and stays open (both end slots busy)
+/// until [`Timeline::release_comm`]. Relay-node slots claimed by a
+/// multi-hop route free themselves at `epr_ready` (the Bell measurements
+/// consume them).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CommClaim {
     /// First endpoint node.
@@ -17,16 +22,20 @@ pub struct CommClaim {
     pub node_b: NodeId,
     /// Slot index used at `node_b`.
     pub slot_b: usize,
-    /// When EPR preparation starts.
+    /// When the first hop's EPR preparation starts.
     pub start: f64,
-    /// When the EPR pair is ready (`start + t_epr`).
+    /// When end-to-end entanglement is ready (last hop generated plus one
+    /// entanglement swap per relay).
     pub epr_ready: f64,
+    /// Hops of the routed path (1 on adjacent pairs and all-to-all).
+    pub hops: usize,
 }
 
 /// One recorded interval on the timeline (for validation and inspection).
 #[derive(Clone, Debug, PartialEq)]
 pub struct TimelineEvent {
-    /// Human-readable label (e.g. `"epr"`, `"cat-entangle"`, `"cx"`).
+    /// Human-readable label (e.g. `"epr"`, `"swap"`, `"cat-entangle"`,
+    /// `"cx"`).
     pub label: String,
     /// Interval start.
     pub start: f64,
@@ -38,9 +47,10 @@ pub struct TimelineEvent {
     pub slots: Vec<(NodeId, usize)>,
 }
 
-/// Tracks per-qubit availability and per-node communication-qubit slots
-/// while a scheduler lays out a distributed program; counts EPR pairs and
-/// the overall makespan.
+/// Tracks per-qubit availability, per-node communication-qubit slots, and
+/// per-link EPR-generation channels while a scheduler lays out a
+/// distributed program; counts EPR pairs (one per *hop*), entanglement
+/// swaps, per-link traffic, and the overall makespan.
 ///
 /// ```
 /// use dqc_circuit::{Gate, NodeId, QubitId};
@@ -59,9 +69,17 @@ pub struct TimelineEvent {
 #[derive(Clone, Debug)]
 pub struct Timeline {
     latency: LatencyModel,
+    topology: NetworkTopology,
     qubit_free: Vec<f64>,
     slot_free: Vec<Vec<f64>>,
+    /// Per-link EPR-generation channels (`links[i]` with capacity `c` gets
+    /// `c` entries; unbounded links get an empty vec and are never
+    /// contended).
+    link_free: Vec<Vec<f64>>,
+    /// EPR pairs generated per link.
+    link_traffic: Vec<usize>,
     epr_count: usize,
+    swap_count: usize,
     makespan: f64,
     events: Option<Vec<TimelineEvent>>,
 }
@@ -69,17 +87,26 @@ pub struct Timeline {
 impl Timeline {
     /// A fresh timeline for `num_qubits` logical qubits on machine `hw`.
     pub fn new(num_qubits: usize, hw: &HardwareSpec) -> Self {
+        let topology = hw.topology().clone();
+        let link_free =
+            topology.links().iter().map(|l| vec![0.0; l.capacity.unwrap_or(0)]).collect::<Vec<_>>();
+        let link_traffic = vec![0; topology.links().len()];
         Timeline {
             latency: *hw.latency(),
+            topology,
             qubit_free: vec![0.0; num_qubits],
             slot_free: vec![vec![0.0; hw.comm_qubits_per_node()]; hw.num_nodes()],
+            link_free,
+            link_traffic,
             epr_count: 0,
+            swap_count: 0,
             makespan: 0.0,
             events: None,
         }
     }
 
     /// Enables event recording (needed by [`crate::validate_events`]).
+    #[must_use]
     pub fn with_recording(mut self) -> Self {
         self.events = Some(Vec::new());
         self
@@ -88,6 +115,11 @@ impl Timeline {
     /// The latency model in force.
     pub fn latency(&self) -> &LatencyModel {
         &self.latency
+    }
+
+    /// The interconnect topology in force.
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
     }
 
     /// Earliest time qubit `q` is free.
@@ -137,27 +169,126 @@ impl Timeline {
         self.record(label.to_owned(), start, end, qubits.to_vec(), vec![]);
     }
 
-    /// Claims one communication slot at each endpoint and starts EPR
-    /// preparation at the earliest instant both slots are free (but not
-    /// before `earliest`). Consumes one EPR pair. The slots remain busy
-    /// until [`Timeline::release_comm`].
+    /// Establishes end-to-end entanglement between `a` and `b` along the
+    /// topology's routed path, no earlier than `earliest`:
+    ///
+    /// * one communication slot is claimed at each end node and stays busy
+    ///   until [`Timeline::release_comm`];
+    /// * every hop generates one EPR pair on its link, serializing on the
+    ///   link's capacity channels (contending claims on the same link wait
+    ///   for a channel) and occupying one slot at each hop endpoint;
+    /// * relay nodes (multi-hop routes only) hold two slots — one per
+    ///   adjacent hop — until the entanglement swaps complete at
+    ///   `epr_ready`, which trails the slowest hop by one
+    ///   [`LatencyModel::entanglement_swap`] per relay.
+    ///
+    /// Consumes one EPR pair *per hop* (so sparse topologies are charged
+    /// their real link traffic).
     ///
     /// # Panics
     ///
-    /// Panics if `a == b` or either node is out of range.
+    /// Panics if `a == b`, either node is out of range, the pair is
+    /// disconnected in the topology, or a required node has every
+    /// communication slot held open.
     pub fn claim_comm(&mut self, a: NodeId, b: NodeId, earliest: f64) -> CommClaim {
         assert_ne!(a, b, "communication requires two distinct nodes");
+        let path = self
+            .topology
+            .path(a, b)
+            .unwrap_or_else(|| panic!("no route between {a} and {b} in the topology"));
+        let hops = path.len() - 1;
+        if hops == 1 {
+            return self.claim_direct(a, b, earliest);
+        }
+
+        // Slot assignment along the path: one slot at each end, two at each
+        // relay (left half toward the previous node, right half toward the
+        // next).
         let slot_a = self.best_slot(a);
         let slot_b = self.best_slot(b);
-        let start =
-            self.slot_free[a.index()][slot_a].max(self.slot_free[b.index()][slot_b]).max(earliest);
-        let epr_ready = start + self.latency.t_epr;
+        let mut out_slot = vec![usize::MAX; path.len()]; // toward path[i+1]
+        let mut in_slot = vec![usize::MAX; path.len()]; // toward path[i-1]
+        out_slot[0] = slot_a;
+        in_slot[hops] = slot_b;
+        for i in 1..hops {
+            let (first, second) = self.two_best_slots(path[i]);
+            in_slot[i] = first;
+            out_slot[i] = second;
+        }
+
+        // Each hop's generation starts as soon as its two slots and a link
+        // channel are free; the end-to-end pair is ready one swap per relay
+        // after the slowest hop.
+        let mut first_start = f64::INFINITY;
+        let mut all_ready: f64 = 0.0;
+        let mut hop_spans = Vec::with_capacity(hops);
+        for i in 0..hops {
+            let (u, v) = (path[i], path[i + 1]);
+            let link_idx =
+                self.topology.link_between(u, v).expect("routed path steps along existing links");
+            let su = self.slot_free[u.index()][out_slot[i]];
+            let sv = self.slot_free[v.index()][in_slot[i + 1]];
+            let channel = self.best_channel(link_idx);
+            let channel_free = channel.map(|c| self.link_free[link_idx][c]).unwrap_or(0.0);
+            let start = su.max(sv).max(channel_free).max(earliest);
+            let gen = self.latency.t_epr * self.topology.links()[link_idx].latency_factor;
+            let ready = start + gen;
+            if let Some(c) = channel {
+                self.link_free[link_idx][c] = ready;
+            }
+            self.link_traffic[link_idx] += 1;
+            first_start = first_start.min(start);
+            all_ready = all_ready.max(ready);
+            hop_spans.push((start, ready, (u, out_slot[i]), (v, in_slot[i + 1])));
+        }
+        let epr_ready = all_ready + (hops - 1) as f64 * self.latency.entanglement_swap();
+
+        // End slots stay open; relay slots free once their halves are
+        // measured out by the swaps.
         self.slot_free[a.index()][slot_a] = f64::INFINITY;
         self.slot_free[b.index()][slot_b] = f64::INFINITY;
+        let mut relay_slots = Vec::with_capacity(2 * (hops - 1));
+        for i in 1..hops {
+            self.slot_free[path[i].index()][in_slot[i]] = epr_ready;
+            self.slot_free[path[i].index()][out_slot[i]] = epr_ready;
+            relay_slots.push((path[i], in_slot[i]));
+            relay_slots.push((path[i], out_slot[i]));
+        }
+
+        self.epr_count += hops;
+        self.swap_count += hops - 1;
+        self.makespan = self.makespan.max(epr_ready);
+        for (start, ready, su, sv) in hop_spans {
+            self.record("epr".to_owned(), start, ready, vec![], vec![su, sv]);
+        }
+        self.record("swap".to_owned(), all_ready, epr_ready, vec![], relay_slots);
+        CommClaim { node_a: a, slot_a, node_b: b, slot_b, start: first_start, epr_ready, hops }
+    }
+
+    /// The single-hop fast path — bit-identical to the historical
+    /// all-to-all claim when the link is uncontended with unit latency.
+    fn claim_direct(&mut self, a: NodeId, b: NodeId, earliest: f64) -> CommClaim {
+        let link_idx = self.topology.link_between(a, b).expect("adjacent pair has a link");
+        let slot_a = self.best_slot(a);
+        let slot_b = self.best_slot(b);
+        let channel = self.best_channel(link_idx);
+        let channel_free = channel.map(|c| self.link_free[link_idx][c]).unwrap_or(0.0);
+        let start = self.slot_free[a.index()][slot_a]
+            .max(self.slot_free[b.index()][slot_b])
+            .max(channel_free)
+            .max(earliest);
+        let gen = self.latency.t_epr * self.topology.links()[link_idx].latency_factor;
+        let epr_ready = start + gen;
+        self.slot_free[a.index()][slot_a] = f64::INFINITY;
+        self.slot_free[b.index()][slot_b] = f64::INFINITY;
+        if let Some(c) = channel {
+            self.link_free[link_idx][c] = epr_ready;
+        }
+        self.link_traffic[link_idx] += 1;
         self.epr_count += 1;
         self.makespan = self.makespan.max(epr_ready);
         self.record("epr".to_owned(), start, epr_ready, vec![], vec![(a, slot_a), (b, slot_b)]);
-        CommClaim { node_a: a, slot_a, node_b: b, slot_b, start, epr_ready }
+        CommClaim { node_a: a, slot_a, node_b: b, slot_b, start, epr_ready, hops: 1 }
     }
 
     /// Raises qubit `q`'s next-free time to at least `until` without
@@ -258,9 +389,26 @@ impl Timeline {
         }
     }
 
-    /// Total EPR pairs claimed so far.
+    /// Total EPR pairs claimed so far (one per hop of every claim).
     pub fn epr_pairs_consumed(&self) -> usize {
         self.epr_count
+    }
+
+    /// Total entanglement swaps performed at relay nodes so far.
+    pub fn swaps_performed(&self) -> usize {
+        self.swap_count
+    }
+
+    /// EPR pairs generated per link, for links with any traffic, as
+    /// `(endpoint, endpoint, pairs)` in link order.
+    pub fn link_traffic(&self) -> Vec<(NodeId, NodeId, usize)> {
+        self.topology
+            .links()
+            .iter()
+            .zip(&self.link_traffic)
+            .filter(|(_, &t)| t > 0)
+            .map(|(l, &t)| (l.a, l.b, t))
+            .collect()
     }
 
     /// Latest event end seen so far (the program latency once scheduling is
@@ -289,6 +437,34 @@ impl Timeline {
         best
     }
 
+    /// The two earliest-free slots of a relay node.
+    fn two_best_slots(&self, node: NodeId) -> (usize, usize) {
+        let slots = &self.slot_free[node.index()];
+        let mut order: Vec<usize> = (0..slots.len()).collect();
+        order.sort_by(|&i, &j| slots[i].total_cmp(&slots[j]).then(i.cmp(&j)));
+        assert!(
+            order.len() >= 2 && slots[order[1]].is_finite(),
+            "relay {node} needs two free communication slots for entanglement swapping"
+        );
+        (order[0], order[1])
+    }
+
+    /// Earliest-free capacity channel of a link (`None` = unbounded link,
+    /// nothing to serialize on).
+    fn best_channel(&self, link_idx: usize) -> Option<usize> {
+        let channels = &self.link_free[link_idx];
+        if channels.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, t) in channels.iter().enumerate() {
+            if *t < channels[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
     fn record(
         &mut self,
         label: String,
@@ -306,6 +482,7 @@ impl Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::NetworkTopology;
 
     fn q(i: usize) -> QubitId {
         QubitId::new(i)
@@ -317,6 +494,12 @@ mod tests {
 
     fn timeline() -> Timeline {
         Timeline::new(6, &HardwareSpec::symmetric(3))
+    }
+
+    fn linear_hw(nodes: usize) -> HardwareSpec {
+        HardwareSpec::symmetric(nodes)
+            .with_topology(NetworkTopology::linear(nodes).unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -426,5 +609,92 @@ mod tests {
         // free, but node 2 is busy until 40.
         let c4 = tl.claim_comm(n(1), n(2), 0.0);
         assert_eq!(c4.start, 40.0);
+    }
+
+    #[test]
+    fn multi_hop_claim_routes_through_relays() {
+        let mut tl = Timeline::new(6, &linear_hw(3));
+        let lat = *tl.latency();
+        let c = tl.claim_comm(n(0), n(2), 0.0);
+        assert_eq!(c.hops, 2);
+        // Both hop generations run in parallel; one swap merges them.
+        assert_eq!(c.start, 0.0);
+        assert!((c.epr_ready - (lat.t_epr + lat.entanglement_swap())).abs() < 1e-9);
+        // Two link-level pairs, one swap, and per-link attribution.
+        assert_eq!(tl.epr_pairs_consumed(), 2);
+        assert_eq!(tl.swaps_performed(), 1);
+        assert_eq!(tl.link_traffic(), vec![(n(0), n(1), 1), (n(1), n(2), 1)]);
+        // The relay's two slots are busy until the swap completes.
+        assert_eq!(tl.node_slot_free_at(n(1)), c.epr_ready);
+        tl.release_comm(&c, c.epr_ready);
+    }
+
+    #[test]
+    fn link_contention_serializes_unit_capacity_links() {
+        // Both claims need the single 0–1 link (capacity 1): the second EPR
+        // generation waits for the first even though slots are free.
+        let mut tl = Timeline::new(4, &linear_hw(2));
+        let c1 = tl.claim_comm(n(0), n(1), 0.0);
+        let c2 = tl.claim_comm(n(0), n(1), 0.0);
+        assert_eq!(c1.start, 0.0);
+        assert_eq!(c2.start, c1.epr_ready);
+        assert_eq!(tl.link_traffic(), vec![(n(0), n(1), 2)]);
+    }
+
+    #[test]
+    fn all_to_all_links_never_contend() {
+        // Same shape as above but on the default topology: both claims
+        // start immediately, exactly the historical behavior.
+        let mut tl = Timeline::new(4, &HardwareSpec::symmetric(2));
+        let c1 = tl.claim_comm(n(0), n(1), 0.0);
+        let c2 = tl.claim_comm(n(0), n(1), 0.0);
+        assert_eq!(c1.start, 0.0);
+        assert_eq!(c2.start, 0.0);
+    }
+
+    #[test]
+    fn link_latency_factor_scales_generation() {
+        let topo = NetworkTopology::from_text("nodes 2\nlink 0 1 latency=2.0\n").unwrap();
+        let hw = HardwareSpec::symmetric(2).with_topology(topo).unwrap();
+        let mut tl = Timeline::new(2, &hw);
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        assert_eq!(c.epr_ready, 24.0);
+    }
+
+    #[test]
+    fn relay_slots_free_after_swap() {
+        // After a 0→2 claim on a 3-node chain completes, the relay can
+        // immediately serve its own communication.
+        let mut tl = Timeline::new(6, &linear_hw(3));
+        let c = tl.claim_comm(n(0), n(2), 0.0);
+        tl.release_comm(&c, c.epr_ready);
+        let c2 = tl.claim_comm(n(1), n(2), 0.0);
+        assert_eq!(c2.start, c.epr_ready);
+    }
+
+    #[test]
+    fn multi_hop_events_validate() {
+        let hw = linear_hw(4);
+        let mut tl = Timeline::new(8, &hw).with_recording();
+        let c = tl.claim_comm(n(0), n(3), 0.0);
+        assert_eq!(c.hops, 3);
+        tl.release_comm(&c, c.epr_ready + 5.0);
+        let events = tl.events().unwrap();
+        assert_eq!(events.iter().filter(|e| e.label == "epr").count(), 3);
+        assert_eq!(events.iter().filter(|e| e.label == "swap").count(), 1);
+        crate::validate_events(events, &hw).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn disconnected_claim_panics() {
+        use crate::topology::Link;
+        // HardwareSpec::with_topology rejects disconnected machines, so
+        // drive the timeline guard directly through the private fields.
+        let mut tl = Timeline::new(6, &HardwareSpec::symmetric(3));
+        tl.topology = NetworkTopology::from_links("x", 3, vec![Link::new(n(0), n(1))]).unwrap();
+        tl.link_free = vec![vec![0.0]];
+        tl.link_traffic = vec![0];
+        let _ = tl.claim_comm(n(0), n(2), 0.0);
     }
 }

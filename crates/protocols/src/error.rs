@@ -32,6 +32,12 @@ pub enum ProtocolError {
         /// The burst qubit.
         qubit: QubitId,
     },
+    /// The interconnect topology cannot serve the partition (node-count
+    /// mismatch or disconnected node pairs).
+    Topology {
+        /// Why the topology is unusable.
+        message: String,
+    },
     /// An underlying circuit construction failed.
     Circuit(CircuitError),
 }
@@ -47,6 +53,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::NotRemote { qubit } => {
                 write!(f, "burst qubit {qubit} already lives on the target node")
+            }
+            ProtocolError::Topology { message } => {
+                write!(f, "unusable interconnect topology: {message}")
             }
             ProtocolError::Circuit(e) => write!(f, "circuit error during expansion: {e}"),
         }

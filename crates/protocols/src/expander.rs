@@ -1,6 +1,7 @@
 //! Lowering of distributed programs onto the physical register.
 
 use dqc_circuit::{AxisBehavior, CBitId, Circuit, Gate, NodeId, Partition, QubitId};
+use dqc_hardware::NetworkTopology;
 
 use crate::ProtocolError;
 
@@ -14,8 +15,10 @@ pub struct PhysicalProgram {
     /// The lowered circuit (logical + communication qubits, with
     /// measurements and conditioned corrections).
     pub circuit: Circuit,
-    /// EPR pairs consumed.
+    /// EPR pairs consumed (one per hop of every routed communication).
     pub epr_pairs: usize,
+    /// Entanglement swaps performed at relay nodes of multi-hop routes.
+    pub swaps: usize,
     /// Number of logical qubits (a prefix of the register).
     pub num_logical: usize,
     /// Cat-Comm blocks expanded.
@@ -37,32 +40,74 @@ impl PhysicalProgram {
 /// The expander is the *functional* counterpart of the latency scheduler:
 /// it emits every EPR preparation, measurement, and conditioned correction
 /// so the result can be simulated and checked against the logical program.
+/// On sparse topologies ([`ProtocolExpander::with_topology`]) end-to-end
+/// entanglement between non-adjacent nodes is emitted as a real swap
+/// chain: per-hop EPR generations followed by a Bell measurement at every
+/// relay node with classically conditioned corrections.
 #[derive(Clone, Debug)]
 pub struct ProtocolExpander {
     circuit: Circuit,
     partition: Partition,
+    topology: NetworkTopology,
     num_logical: usize,
     next_cbit: usize,
     epr_pairs: usize,
+    swaps: usize,
     cat_blocks: usize,
     tp_blocks: usize,
 }
 
 impl ProtocolExpander {
-    /// Creates an expander for programs over `partition`'s qubits; the
-    /// physical register adds two communication qubits per node.
+    /// Creates an expander for programs over `partition`'s qubits with the
+    /// paper's all-to-all connectivity; the physical register adds two
+    /// communication qubits per node.
     pub fn new(partition: &Partition) -> Self {
+        ProtocolExpander::with_topology(
+            partition,
+            NetworkTopology::all_to_all(partition.num_nodes()),
+        )
+        .expect("all-to-all matches every partition")
+    }
+
+    /// Creates an expander lowering against an explicit interconnect
+    /// `topology`; non-adjacent blocks expand through entanglement-swap
+    /// chains.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Topology`] when the topology's node count disagrees
+    /// with the partition's or some node pair is disconnected.
+    pub fn with_topology(
+        partition: &Partition,
+        topology: NetworkTopology,
+    ) -> Result<Self, ProtocolError> {
+        if topology.num_nodes() != partition.num_nodes() {
+            return Err(ProtocolError::Topology {
+                message: format!(
+                    "topology covers {} node(s) but the partition has {}",
+                    topology.num_nodes(),
+                    partition.num_nodes()
+                ),
+            });
+        }
+        if !topology.is_connected() {
+            return Err(ProtocolError::Topology {
+                message: "the interconnect topology is disconnected".into(),
+            });
+        }
         let n = partition.num_qubits();
         let total = n + 2 * partition.num_nodes();
-        ProtocolExpander {
+        Ok(ProtocolExpander {
             circuit: Circuit::with_cbits(total, 0),
             partition: partition.clone(),
+            topology,
             num_logical: n,
             next_cbit: 0,
             epr_pairs: 0,
+            swaps: 0,
             cat_blocks: 0,
             tp_blocks: 0,
-        }
+        })
     }
 
     /// The communication qubit `slot` (0 or 1) of `node`.
@@ -125,7 +170,7 @@ impl ProtocolExpander {
 
         let ca = self.comm_qubit(home, 0);
         let cb = self.comm_qubit(node, 0);
-        self.prepare_epr(ca, cb)?;
+        self.entangle_ends(home, node, ca, cb)?;
 
         // Cat-entangler (Fig. 2a left): copy the burst value onto cb.
         let c0 = self.fresh_cbit();
@@ -187,7 +232,7 @@ impl ProtocolExpander {
         let cb2 = self.comm_qubit(node, 1);
 
         // Teleport burst → cb.
-        self.prepare_epr(ca, cb)?;
+        self.entangle_ends(home, node, ca, cb)?;
         let (c0, c1) = (self.fresh_cbit(), self.fresh_cbit());
         self.circuit.push(Gate::cx(burst, ca))?;
         self.circuit.push(Gate::h(burst))?;
@@ -206,7 +251,7 @@ impl ProtocolExpander {
         // the (now measured-out) burst wire, standing in for a communication
         // qubit plus a free local relocation, which the paper does not
         // charge either.
-        self.prepare_epr(burst, cb2)?;
+        self.entangle_ends(home, node, burst, cb2)?;
         let (c2, c3) = (self.fresh_cbit(), self.fresh_cbit());
         self.circuit.push(Gate::cx(cb, cb2))?;
         self.circuit.push(Gate::h(cb))?;
@@ -227,6 +272,7 @@ impl ProtocolExpander {
         PhysicalProgram {
             circuit: self.circuit,
             epr_pairs: self.epr_pairs,
+            swaps: self.swaps,
             num_logical: self.num_logical,
             cat_blocks: self.cat_blocks,
             tp_blocks: self.tp_blocks,
@@ -236,6 +282,50 @@ impl ProtocolExpander {
     /// EPR pairs consumed so far.
     pub fn epr_pairs(&self) -> usize {
         self.epr_pairs
+    }
+
+    /// Establishes end-to-end entanglement between `q_from` (on node
+    /// `from`) and `q_to` (on node `to`) along the topology's routed path.
+    /// Adjacent nodes get a plain EPR preparation; longer routes emit one
+    /// EPR generation per hop followed by a Bell measurement at every relay
+    /// with classically conditioned corrections (entanglement swapping),
+    /// leaving the relay communication qubits reset for reuse.
+    fn entangle_ends(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        q_from: QubitId,
+        q_to: QubitId,
+    ) -> Result<(), ProtocolError> {
+        let path = self.topology.path(from, to).expect("with_topology validated full connectivity");
+        let k = path.len() - 1;
+        if k == 1 {
+            return self.prepare_epr(q_from, q_to);
+        }
+        // Per-hop pairs: relay i receives on slot 0 and forwards on slot 1.
+        for i in 0..k {
+            let src = if i == 0 { q_from } else { self.comm_qubit(path[i], 1) };
+            let dst = if i + 1 == k { q_to } else { self.comm_qubit(path[i + 1], 0) };
+            self.prepare_epr(src, dst)?;
+        }
+        // Swap left to right: each relay's Bell measurement splices its two
+        // halves; corrections land on the far end of the right-hand pair.
+        for i in 1..k {
+            let m_in = self.comm_qubit(path[i], 0);
+            let m_out = self.comm_qubit(path[i], 1);
+            let far = if i + 1 == k { q_to } else { self.comm_qubit(path[i + 1], 0) };
+            let (c0, c1) = (self.fresh_cbit(), self.fresh_cbit());
+            self.circuit.push(Gate::cx(m_in, m_out))?;
+            self.circuit.push(Gate::h(m_in))?;
+            self.circuit.push(Gate::measure(m_in, c0))?;
+            self.circuit.push(Gate::measure(m_out, c1))?;
+            self.circuit.push(Gate::x(far).with_condition(c1))?;
+            self.circuit.push(Gate::z(far).with_condition(c0))?;
+            self.circuit.push(Gate::reset(m_in))?;
+            self.circuit.push(Gate::reset(m_out))?;
+            self.swaps += 1;
+        }
+        Ok(())
     }
 
     fn validate_block_gate(
@@ -288,6 +378,7 @@ impl ProtocolExpander {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dqc_hardware::NetworkTopology;
     use dqc_sim::{SplitMix64, StateVector};
 
     fn q(i: usize) -> QubitId {
@@ -468,6 +559,75 @@ mod tests {
         assert_eq!(exp.comm_qubit(n(0), 1), q(5));
         assert_eq!(exp.comm_qubit(n(1), 0), q(6));
         assert_eq!(exp.comm_qubit(n(1), 1), q(7));
+    }
+
+    #[test]
+    fn multi_hop_cat_block_is_exact() {
+        // Home node 0, remote node 2 on a 3-node chain: the cat block's
+        // entanglement is a 2-hop swap chain through node 1.
+        let partition = Partition::block(6, 3).unwrap();
+        let topology = NetworkTopology::linear(3).unwrap();
+        let mut exp = ProtocolExpander::with_topology(&partition, topology).unwrap();
+        exp.cat_comm_block(q(0), n(2), &[Gate::cx(q(0), q(4)), Gate::cx(q(0), q(5))]).unwrap();
+        let physical = exp.finish();
+        assert_eq!(physical.epr_pairs, 2, "one pair per hop");
+        assert_eq!(physical.swaps, 1, "one relay");
+
+        let mut logical = Circuit::new(6);
+        logical.push(Gate::cx(q(0), q(4))).unwrap();
+        logical.push(Gate::cx(q(0), q(5))).unwrap();
+        for seed in 60..64 {
+            let f = lowering_fidelity(&logical, &physical, seed);
+            assert!((f - 1.0).abs() < 1e-9, "fidelity {f} at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_hop_tp_block_is_exact() {
+        // A bidirectional block between the two ends of a 4-node chain:
+        // both teleport legs route through two relays.
+        let partition = Partition::block(8, 4).unwrap();
+        let topology = NetworkTopology::linear(4).unwrap();
+        let mut exp = ProtocolExpander::with_topology(&partition, topology).unwrap();
+        let body = vec![Gate::cx(q(0), q(6)), Gate::h(q(0)), Gate::cx(q(7), q(0))];
+        exp.tp_comm_block(q(0), n(3), &body).unwrap();
+        let physical = exp.finish();
+        assert_eq!(physical.epr_pairs, 6, "3 hops out + 3 hops back");
+        assert_eq!(physical.swaps, 4, "2 relays per leg");
+
+        let mut logical = Circuit::new(8);
+        logical.extend_gates(body).unwrap();
+        for seed in 70..73 {
+            let f = lowering_fidelity(&logical, &physical, seed);
+            assert!((f - 1.0).abs() < 1e-9, "fidelity {f} at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_to_all_expansion_is_unchanged_by_topology_plumbing() {
+        let partition = Partition::block(4, 2).unwrap();
+        let body = vec![Gate::cx(q(0), q(2))];
+        let mut implicit = ProtocolExpander::new(&partition);
+        implicit.cat_comm_block(q(0), n(1), &body).unwrap();
+        let mut explicit =
+            ProtocolExpander::with_topology(&partition, NetworkTopology::all_to_all(2)).unwrap();
+        explicit.cat_comm_block(q(0), n(1), &body).unwrap();
+        let (a, b) = (implicit.finish(), explicit.finish());
+        assert_eq!(a.epr_pairs, b.epr_pairs);
+        assert_eq!(a.swaps, 0);
+        assert_eq!(a.circuit.gates(), b.circuit.gates());
+    }
+
+    #[test]
+    fn bad_topologies_are_rejected() {
+        let partition = Partition::block(6, 3).unwrap();
+        let err = ProtocolExpander::with_topology(&partition, NetworkTopology::linear(2).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Topology { .. }));
+        let disconnected =
+            NetworkTopology::from_links("x", 3, vec![dqc_hardware::Link::new(n(0), n(1))]).unwrap();
+        let err = ProtocolExpander::with_topology(&partition, disconnected).unwrap_err();
+        assert!(matches!(err, ProtocolError::Topology { .. }));
     }
 
     #[test]

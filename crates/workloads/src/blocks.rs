@@ -251,6 +251,53 @@ pub fn ghz(num_qubits: usize) -> Circuit {
     c
 }
 
+/// Topology-sensitivity stressor: `rounds` of inter-node exchanges mixing
+/// nearest-neighbour traffic (node `i` ↔ node `i+1`, cheap on chains and
+/// rings) with antipodal traffic (node `i` ↔ node `i + k/2`, the worst
+/// case for sparse interconnects). Under a block partition of `num_qubits`
+/// over `num_nodes`, qubit `i·(n/k)` is node `i`'s representative.
+///
+/// On an all-to-all machine every exchange costs one hop; on a linear
+/// chain the antipodal exchanges pay `k/2` hops of entanglement swapping,
+/// so the makespan spread between topologies isolates the routing layer.
+///
+/// # Panics
+///
+/// Panics if `num_nodes == 0` or `num_qubits < num_nodes`.
+///
+/// ```
+/// use dqc_workloads::node_ring_exchange;
+/// let c = node_ring_exchange(8, 4, 2);
+/// assert!(c.len() > 0);
+/// ```
+pub fn node_ring_exchange(num_qubits: usize, num_nodes: usize, rounds: usize) -> Circuit {
+    assert!(num_nodes > 0, "need at least one node");
+    assert!(num_qubits >= num_nodes, "need at least one qubit per node");
+    let per_node = num_qubits / num_nodes;
+    let rep = |node: usize| QubitId::new(node * per_node);
+    let mut c = Circuit::new(num_qubits);
+    for round in 0..rounds {
+        // Neighbour exchanges: a short burst in each direction.
+        for i in 0..num_nodes.saturating_sub(1) {
+            c.push(Gate::cx(rep(i), rep(i + 1))).expect("in range");
+            c.push(Gate::cx(rep(i), rep(i + 1))).expect("in range");
+        }
+        // Antipodal exchanges: control alternates by round so blocks stay
+        // unidirectional (Cat-friendly) but the traffic crosses the
+        // machine's diameter.
+        if num_nodes >= 3 {
+            let half = num_nodes / 2;
+            for i in 0..half {
+                let (a, b) = (rep(i), rep(i + half));
+                let (ctrl, tgt) = if round % 2 == 0 { (a, b) } else { (b, a) };
+                c.push(Gate::cx(ctrl, tgt)).expect("in range");
+                c.push(Gate::cx(ctrl, tgt)).expect("in range");
+            }
+        }
+    }
+    c
+}
+
 #[cfg(test)]
 mod extension_tests {
     use super::*;
@@ -263,6 +310,28 @@ mod extension_tests {
         both.append_circuit(&qft_inverse(n)).unwrap();
         let u = circuit_unitary(&both).unwrap();
         assert!(equivalent_up_to_phase(&u, &Matrix::identity(1 << n), 1e-9));
+    }
+
+    #[test]
+    fn node_ring_exchange_mixes_neighbour_and_antipodal_traffic() {
+        let k = 4;
+        let c = node_ring_exchange(8, k, 2);
+        assert!(c.gates().iter().all(|g| g.num_qubits() == 2));
+        // Per round: 3 neighbour pairs × 2 + 2 antipodal pairs × 2 = 10.
+        assert_eq!(c.len(), 20);
+        // Antipodal pairs actually cross half the machine under a block
+        // partition (distance k/2 in node space).
+        let p = dqc_circuit::Partition::block(8, k).unwrap();
+        let max_span = c
+            .gates()
+            .iter()
+            .map(|g| {
+                let nodes: Vec<usize> = g.qubits().iter().map(|&q| p.node_of(q).index()).collect();
+                nodes.iter().max().unwrap() - nodes.iter().min().unwrap()
+            })
+            .max()
+            .unwrap();
+        assert_eq!(max_span, k / 2);
     }
 
     #[test]

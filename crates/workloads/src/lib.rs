@@ -35,6 +35,6 @@ mod random;
 mod suite;
 
 pub use apps::{bv, bv_with_secret, qaoa_maxcut, qpe, uccsd};
-pub use blocks::{ghz, mctr, qft, qft_inverse, rca};
+pub use blocks::{ghz, mctr, node_ring_exchange, qft, qft_inverse, rca};
 pub use random::{random_circuit, random_distributed_circuit};
 pub use suite::{generate, smoke_suite, table2_configs, BenchConfig, Workload};

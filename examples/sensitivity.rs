@@ -17,7 +17,9 @@ fn factor(num_qubits: usize, num_nodes: usize, comm_qubits: usize) -> (f64, f64)
     let unrolled = unroll_circuit(&circuit).expect("unrolls");
     let graph = InteractionGraph::from_circuit(&unrolled);
     let partition = oee_partition(&graph, num_nodes).expect("valid nodes");
-    let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(comm_qubits);
+    let hw = HardwareSpec::for_partition(&partition)
+        .with_comm_qubits(comm_qubits)
+        .expect("positive budget");
     let result = AutoComm::new().compile_on(&circuit, &partition, &hw).expect("compiles");
     let baseline = compile_ferrari(&circuit, &partition, &hw).expect("compiles");
     (

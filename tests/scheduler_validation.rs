@@ -104,7 +104,9 @@ fn more_comm_qubits_never_slow_the_schedule() {
     // sweep starts at the paper's budget of 2.
     let mut last = f64::INFINITY;
     for budget in [2usize, 3, 4, 8] {
-        let hw = HardwareSpec::for_partition(&partition).with_comm_qubits(budget);
+        let hw = HardwareSpec::for_partition(&partition)
+            .with_comm_qubits(budget)
+            .expect("positive budget");
         let summary = schedule(&assigned, &partition, &hw, ScheduleOptions::default());
         assert!(
             summary.makespan <= last + 1e-9,

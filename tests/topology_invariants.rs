@@ -1,0 +1,148 @@
+//! The topology re-platforming's safety rail, as property tests:
+//!
+//! * compiling against an explicit `NetworkTopology::all_to_all(n)` is
+//!   *bit-identical* to the historical implicit all-to-all path — same
+//!   assignment, same EPR counts, same makespan, and a lowered circuit
+//!   that reproduces the logical state;
+//! * sparse (linear) topologies can only cost more: makespan and EPR
+//!   pairs are monotonically ≥ all-to-all on every random program, and the
+//!   per-link traffic attribution partitions the EPR total;
+//! * sparse lowering stays simulator-checkable (the swap chains are real
+//!   protocol circuits, not accounting fictions).
+
+use autocomm_repro::circuit::{unroll_circuit, Partition};
+use autocomm_repro::core::{
+    aggregate, assign, assign_on, lower_assigned, lower_assigned_on, schedule, AggregateOptions,
+    ScheduleOptions,
+};
+use autocomm_repro::hardware::{HardwareSpec, NetworkTopology};
+use autocomm_repro::sim::{Complex, SplitMix64, StateVector};
+use autocomm_repro::workloads::random_distributed_circuit;
+use proptest::prelude::*;
+
+fn fidelity_of(
+    physical: &autocomm_repro::protocols::PhysicalProgram,
+    circuit: &autocomm_repro::circuit::Circuit,
+    seed: u64,
+) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    let input = StateVector::random_state(circuit.num_qubits(), &mut rng).unwrap();
+    let mut expected = input.clone();
+    expected.run(circuit, &mut rng.fork()).unwrap();
+
+    let total = physical.circuit.num_qubits();
+    let mut amps = vec![Complex::ZERO; 1 << total];
+    amps[..input.amplitudes().len()].copy_from_slice(input.amplitudes());
+    let mut state = StateVector::from_amplitudes(amps).unwrap();
+    state.run(&physical.circuit, &mut rng).unwrap();
+    state.subset_fidelity(&expected, &physical.logical_qubits()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Explicit all-to-all reproduces the pre-topology pipeline exactly.
+    #[test]
+    fn all_to_all_is_bit_identical_to_the_implicit_path(seed in 0u64..300) {
+        let (c, p) = random_distributed_circuit(6, 3, 40, seed);
+        let c = unroll_circuit(&c).unwrap();
+        let aggregated = aggregate(&c, &p, AggregateOptions::default());
+
+        let implicit = assign(&aggregated);
+        let explicit = assign_on(&aggregated, &p, &NetworkTopology::all_to_all(3));
+        prop_assert_eq!(&implicit, &explicit, "assignment must not change");
+
+        let dense_hw = HardwareSpec::for_partition(&p);
+        let explicit_hw = HardwareSpec::for_partition(&p)
+            .with_topology(NetworkTopology::all_to_all(3))
+            .unwrap();
+        let a = schedule(&implicit, &p, &dense_hw, ScheduleOptions::default());
+        let b = schedule(&explicit, &p, &explicit_hw, ScheduleOptions::default());
+        prop_assert_eq!(a.epr_pairs, b.epr_pairs);
+        prop_assert_eq!(a.makespan, b.makespan, "makespan must be bit-identical");
+        prop_assert_eq!(a.fusion_savings, b.fusion_savings);
+        prop_assert_eq!(b.swaps, 0);
+
+        // Lowered circuits agree gate for gate.
+        let la = lower_assigned(&implicit, &p).unwrap();
+        let lb = lower_assigned_on(&explicit, &p, &NetworkTopology::all_to_all(3)).unwrap();
+        prop_assert_eq!(la.epr_pairs, lb.epr_pairs);
+        prop_assert_eq!(la.circuit.gates(), lb.circuit.gates());
+    }
+
+    /// Sparse routing is monotone: a linear chain never beats all-to-all,
+    /// and its link traffic partitions the EPR total.
+    #[test]
+    fn linear_topology_is_monotonically_no_cheaper(seed in 0u64..300) {
+        let (c, p) = random_distributed_circuit(6, 3, 40, seed);
+        let c = unroll_circuit(&c).unwrap();
+        let aggregated = aggregate(&c, &p, AggregateOptions::default());
+        let linear = NetworkTopology::linear(3).unwrap();
+
+        let dense = schedule(
+            &assign(&aggregated),
+            &p,
+            &HardwareSpec::for_partition(&p),
+            ScheduleOptions::default(),
+        );
+        let sparse_hw =
+            HardwareSpec::for_partition(&p).with_topology(linear.clone()).unwrap();
+        let sparse = schedule(
+            &assign_on(&aggregated, &p, &linear),
+            &p,
+            &sparse_hw,
+            ScheduleOptions::default(),
+        );
+        prop_assert!(
+            sparse.makespan + 1e-9 >= dense.makespan,
+            "linear {} must be >= all-to-all {}",
+            sparse.makespan,
+            dense.makespan
+        );
+        prop_assert!(sparse.epr_pairs >= dense.epr_pairs);
+        let per_link: usize = sparse.link_traffic.iter().map(|&(_, _, t)| t).sum();
+        prop_assert_eq!(per_link, sparse.epr_pairs);
+    }
+
+    /// Swap-chain lowering on a linear machine reproduces the logical
+    /// state exactly.
+    #[test]
+    fn sparse_lowering_is_simulator_exact(seed in 0u64..60) {
+        let (c, p) = random_distributed_circuit(5, 3, 24, seed + 1000);
+        let c = unroll_circuit(&c).unwrap();
+        let linear = NetworkTopology::linear(3).unwrap();
+        let assigned = assign_on(&aggregate(&c, &p, AggregateOptions::default()), &p, &linear);
+        let physical = lower_assigned_on(&assigned, &p, &linear).unwrap();
+        let f = fidelity_of(&physical, &c, seed);
+        prop_assert!((f - 1.0).abs() < 1e-8, "sparse fidelity {f} at seed {seed}");
+    }
+}
+
+/// Deterministic spot-check mirroring the acceptance criterion: on at
+/// least three suite workloads the linear topology routes multi-hop
+/// communication with visible swap chains.
+#[test]
+fn suite_workloads_swap_on_linear_topologies() {
+    let linear = NetworkTopology::linear(4).unwrap();
+    let mut swapped = 0;
+    for circuit in [
+        autocomm_repro::workloads::qft(12),
+        autocomm_repro::workloads::bv(12),
+        autocomm_repro::workloads::qaoa_maxcut(12, 2, 7),
+        autocomm_repro::workloads::rca(12),
+    ] {
+        let p = Partition::block(circuit.num_qubits(), 4).unwrap();
+        let c = unroll_circuit(&circuit).unwrap();
+        let assigned = assign_on(&aggregate(&c, &p, AggregateOptions::default()), &p, &linear);
+        let hw = HardwareSpec::for_partition(&p).with_topology(linear.clone()).unwrap();
+        let s = schedule(&assigned, &p, &hw, ScheduleOptions::default());
+        let physical = lower_assigned_on(&assigned, &p, &linear).unwrap();
+        if s.swaps > 0 {
+            swapped += 1;
+            assert!(physical.swaps > 0, "schedule swaps must appear in the lowered circuit");
+        }
+        // Lowering does not fuse TP chains, so it can only use more pairs.
+        assert!(physical.epr_pairs >= s.epr_pairs);
+    }
+    assert!(swapped >= 3, "only {swapped} of 4 suite workloads routed multi-hop");
+}
