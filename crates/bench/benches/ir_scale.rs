@@ -48,6 +48,7 @@ fn bench_per_pass_10k(c: &mut Criterion) {
     let ir = CommIr::build_shared(&circuit, &partition);
     let aggregated = aggregate_ir(ir.clone(), AggregateOptions::default());
     let assigned = assign(&aggregated);
+    let placement = autocomm::Placement::identity(&partition);
     let hw = HardwareSpec::for_partition(&partition);
 
     let mut group = c.benchmark_group("pass-10k");
@@ -60,7 +61,7 @@ fn bench_per_pass_10k(c: &mut Criterion) {
     group.bench_function("assign", |b| b.iter(|| black_box(assign(black_box(&aggregated)))));
     group.bench_function("schedule", |b| {
         b.iter(|| {
-            black_box(schedule(black_box(&assigned), &partition, &hw, ScheduleOptions::default()))
+            black_box(schedule(black_box(&assigned), &placement, &hw, ScheduleOptions::default()))
         })
     });
     group.finish();

@@ -31,9 +31,10 @@ fn bench_passes(c: &mut Criterion) {
     c.bench_function("assign/qft-40-4", |b| b.iter(|| black_box(assign(black_box(&aggregated)))));
 
     let assigned = assign(&aggregated);
+    let placement = autocomm::Placement::identity(&partition);
     c.bench_function("schedule/qft-40-4", |b| {
         b.iter(|| {
-            black_box(schedule(black_box(&assigned), &partition, &hw, ScheduleOptions::default()))
+            black_box(schedule(black_box(&assigned), &placement, &hw, ScheduleOptions::default()))
         })
     });
 }

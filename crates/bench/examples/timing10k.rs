@@ -46,7 +46,7 @@ fn main() {
     timed("schedule", || {
         std::hint::black_box(autocomm::schedule(
             &asg,
-            &p,
+            &autocomm::Placement::identity(&p),
             &hw,
             autocomm::ScheduleOptions::default(),
         ));

@@ -19,7 +19,9 @@ use dqc_hardware::{HardwareSpec, NetworkTopology};
 use dqc_workloads::{generate, smoke_suite};
 
 use crate::json::Json;
-use crate::{build_partition, CliError, PartitionStrategy, USAGE};
+use crate::{
+    build_partition, parse_strategy, placement_config, CliError, PartitionStrategy, USAGE,
+};
 
 /// Where a batch gets its programs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,8 +43,10 @@ pub struct BatchArgs {
     pub comm_qubits: usize,
     /// Interconnect topology spec (name or file path); `None` = all-to-all.
     pub topology: Option<String>,
-    /// Partitioning strategy.
+    /// Placement strategy.
     pub strategy: PartitionStrategy,
+    /// Re-place + recompile rounds for `--placement topo` (default 3).
+    pub refine_iters: usize,
     /// Ablations applied to every compile.
     pub ablations: Vec<Ablation>,
     /// Worker threads (defaults to available parallelism, capped at 8).
@@ -65,6 +69,7 @@ impl BatchArgs {
         let mut comm_qubits = 2usize;
         let mut topology = None;
         let mut strategy = PartitionStrategy::Oee;
+        let mut refine_iters = 3usize;
         let mut ablations = Vec::new();
         let mut jobs = None;
         let mut json = false;
@@ -95,17 +100,16 @@ impl BatchArgs {
                     })?;
                 }
                 "--topology" => topology = Some(value_for("--topology")?),
-                "--partition" => {
-                    let v = value_for("--partition")?;
-                    strategy = match v.as_str() {
-                        "block" => PartitionStrategy::Block,
-                        "oee" => PartitionStrategy::Oee,
-                        other => {
-                            return Err(usage(format!(
-                            "--partition: unknown strategy '{other}' (expected 'oee' or 'block')"
-                        )))
-                        }
-                    };
+                "--placement" | "--partition" => {
+                    let flag = arg.as_str();
+                    let v = value_for(flag)?;
+                    strategy = parse_strategy(flag, &v).map_err(usage)?;
+                }
+                "--refine-iters" => {
+                    let v = value_for("--refine-iters")?;
+                    refine_iters = v.parse::<usize>().map_err(|_| {
+                        usage(format!("--refine-iters: '{v}' is not a non-negative integer"))
+                    })?;
                 }
                 "--ablation" => {
                     let v = value_for("--ablation")?;
@@ -153,6 +157,7 @@ impl BatchArgs {
             comm_qubits,
             topology,
             strategy,
+            refine_iters,
             ablations,
             jobs: jobs.unwrap_or_else(default_jobs),
             json,
@@ -213,6 +218,11 @@ pub struct BatchRow {
     pub improvement: f64,
     /// Schedule makespan in CX units.
     pub makespan: f64,
+    /// Assignment-level hop-weighted EPR cost (`Σ comms × hops`) — the
+    /// quantity the placement strategies compete on.
+    pub epr_cost: usize,
+    /// Accepted placement-refinement rounds (0 unless `--placement topo`).
+    pub placement_iters: usize,
     /// EPR pairs consumed by the schedule (one per hop on sparse
     /// topologies).
     pub epr_pairs: usize,
@@ -346,10 +356,11 @@ fn compile_task(
         .with_comm_qubits(args.comm_qubits)
         .and_then(|hw| hw.with_topology(topology.clone()))
         .map_err(|e| e.to_string())?;
-    let result = AutoComm::with_ablations(&args.ablations)
-        .compile_on(&circuit, &partition, &hw)
+    let config = placement_config(args.strategy, args.refine_iters);
+    let (result, placement) = AutoComm::with_ablations(&args.ablations)
+        .compile_placed(&circuit, &partition, &hw, &config)
         .map_err(|e| e.to_string())?;
-    let stats = CircuitStats::of(&result.unrolled, Some(&partition));
+    let stats = CircuitStats::of(&result.unrolled, Some(result.placement.partition()));
     Ok(BatchRow {
         label: task.label(),
         qubits: circuit.num_qubits(),
@@ -357,6 +368,8 @@ fn compile_task(
         remote_cx: stats.num_remote_2q,
         total_comms: result.metrics.total_comms,
         tp_comms: result.metrics.tp_comms,
+        epr_cost: result.metrics.total_epr_cost,
+        placement_iters: placement.iterations,
         improvement: result.metrics.improvement_factor(),
         makespan: result.schedule.makespan,
         epr_pairs: result.schedule.epr_pairs,
@@ -409,6 +422,8 @@ impl BatchReport {
                 "topology",
                 Json::string(self.args.topology.clone().unwrap_or_else(|| "all-to-all".into())),
             ),
+            ("placement", Json::string(self.args.strategy.name())),
+            ("refine_iters", Json::number(self.args.refine_iters as f64)),
             (
                 "source",
                 Json::string(match &self.args.source {
@@ -430,6 +445,8 @@ impl BatchReport {
                         ("tp_comms", Json::number(r.tp_comms as f64)),
                         ("improvement_factor", Json::number(r.improvement)),
                         ("makespan", Json::number(r.makespan)),
+                        ("epr_cost", Json::number(r.epr_cost as f64)),
+                        ("placement_iters", Json::number(r.placement_iters as f64)),
                         ("epr_pairs", Json::number(r.epr_pairs as f64)),
                         ("swaps", Json::number(r.swaps as f64)),
                         (
@@ -453,6 +470,7 @@ impl BatchReport {
                     ("total_comms", Json::number(totals(|r| r.total_comms as f64))),
                     ("tp_comms", Json::number(totals(|r| r.tp_comms as f64))),
                     ("remote_cx", Json::number(totals(|r| r.remote_cx as f64))),
+                    ("epr_cost", Json::number(totals(|r| r.epr_cost as f64))),
                     ("epr_pairs", Json::number(totals(|r| r.epr_pairs as f64))),
                     ("swaps", Json::number(totals(|r| r.swaps as f64))),
                     ("makespan", Json::number(totals(|r| r.makespan))),
@@ -505,12 +523,20 @@ impl BatchReport {
         }
         let comms: usize = self.ok_rows().map(|r| r.total_comms).sum();
         let rem: usize = self.ok_rows().map(|r| r.remote_cx).sum();
+        let cost: usize = self.ok_rows().map(|r| r.epr_cost).sum();
         let epr: usize = self.ok_rows().map(|r| r.epr_pairs).sum();
         let swaps: usize = self.ok_rows().map(|r| r.swaps).sum();
         out.push_str(&format!(
-            "totals: {} comms for {} remote CX ({} EPR pairs scheduled, {} swaps)\n",
-            comms, rem, epr, swaps
+            "totals: {} comms for {} remote CX (EPR cost {}, {} EPR pairs scheduled, {} swaps)\n",
+            comms, rem, cost, epr, swaps
         ));
+        if self.args.strategy == PartitionStrategy::Topo {
+            let iters: usize = self.ok_rows().map(|r| r.placement_iters).sum();
+            out.push_str(&format!(
+                "placement: topo ({} refinement round(s) accepted across the batch)\n",
+                iters
+            ));
+        }
         if self.args.topology.is_some() {
             let links: Vec<String> = self
                 .total_link_traffic()
@@ -662,6 +688,7 @@ mod tests {
             comm_qubits: 2,
             topology: None,
             strategy: PartitionStrategy::Block,
+            refine_iters: 3,
             ablations: Vec::new(),
             jobs: 2,
             json: false,

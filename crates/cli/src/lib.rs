@@ -16,7 +16,7 @@ pub mod json;
 use std::fmt;
 use std::path::PathBuf;
 
-use autocomm::{Ablation, AutoComm, CompileResult};
+use autocomm::{Ablation, AutoComm, CompileResult, PlacementConfig, PlacementReport};
 use dqc_circuit::{from_qasm, unroll_circuit, Circuit, CircuitStats, Partition};
 use dqc_hardware::{HardwareSpec, NetworkTopology};
 use dqc_partition::{oee_partition, InteractionGraph};
@@ -46,13 +46,33 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// How the logical qubits are spread over nodes.
+/// How logical qubits are placed onto physical nodes
+/// (`--placement block|oee|topo`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PartitionStrategy {
-    /// Contiguous blocks of equal size (deterministic, layout-agnostic).
+    /// Contiguous blocks of equal size (deterministic, layout-agnostic),
+    /// block `i` on node `i`.
     Block,
-    /// The paper's Static Overall Extreme Exchange refinement.
+    /// The paper's Static Overall Extreme Exchange refinement, block `i`
+    /// on node `i` (the default; bit-identical to the pre-placement
+    /// pipeline).
     Oee,
+    /// OEE plus the topology- and traffic-aware iterative placement driver:
+    /// re-weights the interaction graph with measured communication counts
+    /// and optimizes the block→node map until the hop-weighted EPR cost
+    /// stops improving (bounded by `--refine-iters`).
+    Topo,
+}
+
+impl PartitionStrategy {
+    /// The kebab-case flag value.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Block => "block",
+            PartitionStrategy::Oee => "oee",
+            PartitionStrategy::Topo => "topo",
+        }
+    }
 }
 
 /// Parsed `autocomm compile` invocation.
@@ -68,8 +88,10 @@ pub struct CompileArgs {
     /// `star`, `grid`, `grid:RxC`) or a topology file path. `None` =
     /// all-to-all, the paper's model.
     pub topology: Option<String>,
-    /// Partitioning strategy (default: OEE, as in the paper).
+    /// Placement strategy (default: OEE, as in the paper).
     pub strategy: PartitionStrategy,
+    /// Re-place + recompile rounds for `--placement topo` (default 3).
+    pub refine_iters: usize,
     /// Ablations applied to the full optimization set.
     pub ablations: Vec<Ablation>,
     /// Emit JSON instead of the human-readable report.
@@ -95,7 +117,15 @@ OPTIONS:
                          [default: all-to-all]. Sparse topologies route
                          non-adjacent communication through entanglement
                          swapping and serialize contended links
-    --partition <S>      qubit partitioning: 'oee' or 'block' [default: oee]
+    --placement <S>      qubit placement: 'oee' (OEE partition, block i on
+                         node i — the paper's setup), 'block' (contiguous
+                         blocks, identity map), or 'topo' (OEE plus
+                         topology- and traffic-aware block-to-node
+                         placement with iterative refinement)
+                         [default: oee]
+    --refine-iters <N>   max re-place + recompile rounds for
+                         --placement topo [default: 3]
+    --partition <S>      legacy alias of --placement ('oee' or 'block')
     --ablation <A>       disable one optimization; repeatable and
                          comma-separable. One of: no-commute, cat-only,
                          plain-greedy, no-orient (paper Fig. 17)
@@ -121,6 +151,7 @@ impl CompileArgs {
         let mut comm_qubits = 2usize;
         let mut topology = None;
         let mut strategy = PartitionStrategy::Oee;
+        let mut refine_iters = 3usize;
         let mut ablations = Vec::new();
         let mut json = false;
 
@@ -143,17 +174,16 @@ impl CompileArgs {
                     })?;
                 }
                 "--topology" => topology = Some(value_for("--topology")?),
-                "--partition" => {
-                    let v = value_for("--partition")?;
-                    strategy = match v.as_str() {
-                        "block" => PartitionStrategy::Block,
-                        "oee" => PartitionStrategy::Oee,
-                        other => {
-                            return Err(usage(format!(
-                            "--partition: unknown strategy '{other}' (expected 'oee' or 'block')"
-                        )))
-                        }
-                    };
+                "--placement" | "--partition" => {
+                    let flag = arg.as_str();
+                    let v = value_for(flag)?;
+                    strategy = parse_strategy(flag, &v).map_err(usage)?;
+                }
+                "--refine-iters" => {
+                    let v = value_for("--refine-iters")?;
+                    refine_iters = v.parse::<usize>().map_err(|_| {
+                        usage(format!("--refine-iters: '{v}' is not a non-negative integer"))
+                    })?;
                 }
                 "--ablation" => {
                     let v = value_for("--ablation")?;
@@ -191,9 +221,26 @@ impl CompileArgs {
             comm_qubits,
             topology,
             strategy,
+            refine_iters,
             ablations,
             json,
         })
+    }
+}
+
+/// Parses a `--placement` (block/oee/topo) or legacy `--partition`
+/// (block/oee) value.
+pub(crate) fn parse_strategy(flag: &str, value: &str) -> Result<PartitionStrategy, String> {
+    match (flag, value) {
+        (_, "block") => Ok(PartitionStrategy::Block),
+        (_, "oee") => Ok(PartitionStrategy::Oee),
+        ("--placement", "topo") => Ok(PartitionStrategy::Topo),
+        ("--placement", other) => Err(format!(
+            "--placement: unknown strategy '{other}' (expected 'block', 'oee', or 'topo')"
+        )),
+        (_, other) => {
+            Err(format!("--partition: unknown strategy '{other}' (expected 'oee' or 'block')"))
+        }
     }
 }
 
@@ -248,15 +295,23 @@ pub struct CompileReport {
     pub args: CompileArgs,
     /// Unrolled-circuit statistics under the chosen partition.
     pub stats: CircuitStats,
-    /// The partition the program was compiled against.
+    /// The partition the program was compiled against (the *final* one for
+    /// `--placement topo`, which may re-refine it).
     pub partition: Partition,
     /// The hardware model (comm-qubit budget + resolved topology).
     pub hardware: HardwareSpec,
+    /// What the placement driver did: iterations, cut weights, and the
+    /// final block→node map (trivial for block/oee strategies).
+    pub placement: PlacementReport,
     /// The full pipeline result (metrics, schedule, per-pass reports).
     pub result: CompileResult,
 }
 
-/// Parses, partitions, and compiles `args.file` end to end.
+/// Parses, partitions, places, and compiles `args.file` end to end.
+///
+/// Every strategy funnels through the placement driver: `block` and `oee`
+/// run it with zero refinement rounds (bit-identical to the historical
+/// pipeline), `topo` iterates up to `--refine-iters` times.
 ///
 /// # Errors
 ///
@@ -275,11 +330,26 @@ pub fn compile(args: CompileArgs) -> Result<CompileReport, CliError> {
     }
     let partition = build_partition(&circuit, args.nodes, args.strategy)?;
     let hw = build_hardware(&partition, args.comm_qubits, args.topology.as_deref())?;
-    let result = AutoComm::with_ablations(&args.ablations)
-        .compile_on(&circuit, &partition, &hw)
+    let config = placement_config(args.strategy, args.refine_iters);
+    let (result, placement) = AutoComm::with_ablations(&args.ablations)
+        .compile_placed(&circuit, &partition, &hw, &config)
         .map_err(|e| CliError::Compile(e.to_string()))?;
+    let partition = result.placement.partition().clone();
     let stats = CircuitStats::of(&result.unrolled, Some(&partition));
-    Ok(CompileReport { args, stats, partition, hardware: hw, result })
+    Ok(CompileReport { args, stats, partition, hardware: hw, placement, result })
+}
+
+/// The driver bounds implied by the CLI strategy: only `topo` refines.
+pub(crate) fn placement_config(
+    strategy: PartitionStrategy,
+    refine_iters: usize,
+) -> PlacementConfig {
+    PlacementConfig {
+        refine_iters: match strategy {
+            PartitionStrategy::Topo => refine_iters,
+            _ => 0,
+        },
+    }
 }
 
 pub(crate) fn build_partition(
@@ -290,7 +360,7 @@ pub(crate) fn build_partition(
     match strategy {
         PartitionStrategy::Block => Partition::block(circuit.num_qubits(), nodes)
             .map_err(|e| CliError::Compile(e.to_string())),
-        PartitionStrategy::Oee => {
+        PartitionStrategy::Oee | PartitionStrategy::Topo => {
             let unrolled = unroll_circuit(circuit).map_err(|e| CliError::Compile(e.to_string()))?;
             let graph = InteractionGraph::from_circuit(&unrolled);
             oee_partition(&graph, nodes).map_err(|e| CliError::Compile(e.to_string()))
@@ -319,12 +389,23 @@ impl CompileReport {
                     ),
                 ]),
             ),
+            ("partition", Json::string(self.args.strategy.name())),
             (
-                "partition",
-                Json::string(match self.args.strategy {
-                    PartitionStrategy::Block => "block",
-                    PartitionStrategy::Oee => "oee",
-                }),
+                "placement",
+                Json::object([
+                    ("strategy", Json::string(self.args.strategy.name())),
+                    ("iterations", Json::number(self.placement.iterations as f64)),
+                    ("cut_weight", Json::number(self.placement.cut_weight as f64)),
+                    ("weighted_cost", Json::number(self.placement.weighted_cost as f64)),
+                    ("initial_epr_cost", Json::number(self.placement.initial_epr_cost as f64)),
+                    ("final_epr_cost", Json::number(self.placement.final_epr_cost as f64)),
+                    (
+                        "node_map",
+                        Json::array(
+                            self.placement.node_map.iter().map(|n| Json::number(n.index() as f64)),
+                        ),
+                    ),
+                ]),
             ),
             ("ablations", Json::array(self.args.ablations.iter().map(|a| Json::string(a.name())))),
             (
@@ -405,6 +486,27 @@ impl CompileReport {
             format!("{} / {}", self.partition.num_qubits(), self.args.nodes),
         );
         line(&mut out, "topology", self.hardware.topology().to_string());
+        line(&mut out, "placement", self.args.strategy.name().to_string());
+        if self.args.strategy == PartitionStrategy::Topo {
+            let map: Vec<String> =
+                self.placement.node_map.iter().map(|n| n.index().to_string()).collect();
+            line(
+                &mut out,
+                "block→node map",
+                format!("[{}] after {} round(s)", map.join(" "), self.placement.iterations),
+            );
+            line(
+                &mut out,
+                "placement EPR cost",
+                format!(
+                    "{} → {} (cut {}, weighted {})",
+                    self.placement.initial_epr_cost,
+                    self.placement.final_epr_cost,
+                    self.placement.cut_weight,
+                    self.placement.weighted_cost
+                ),
+            );
+        }
         line(&mut out, "gates (unrolled)", self.stats.num_gates.to_string());
         line(&mut out, "remote CX", self.stats.num_remote_2q.to_string());
         if !self.args.ablations.is_empty() {
@@ -487,8 +589,41 @@ mod tests {
         assert_eq!(args.comm_qubits, 2);
         assert_eq!(args.topology, None);
         assert_eq!(args.strategy, PartitionStrategy::Oee);
+        assert_eq!(args.refine_iters, 3);
         assert!(args.ablations.is_empty());
         assert!(!args.json);
+    }
+
+    #[test]
+    fn placement_flag_parses_all_strategies() {
+        for (value, expect) in [
+            ("block", PartitionStrategy::Block),
+            ("oee", PartitionStrategy::Oee),
+            ("topo", PartitionStrategy::Topo),
+        ] {
+            let args = parse(&["c.qasm", "--nodes", "2", "--placement", value]).unwrap();
+            assert_eq!(args.strategy, expect, "{value}");
+            assert_eq!(args.strategy.name(), value);
+        }
+        let args = parse(&["c.qasm", "--nodes", "2", "--placement", "topo", "--refine-iters", "7"])
+            .unwrap();
+        assert_eq!(args.refine_iters, 7);
+        // The legacy --partition alias keeps its two historical values and
+        // does not grow 'topo'.
+        let args = parse(&["c.qasm", "--nodes", "2", "--partition", "block"]).unwrap();
+        assert_eq!(args.strategy, PartitionStrategy::Block);
+        assert!(matches!(
+            parse(&["c.qasm", "--nodes", "2", "--partition", "topo"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["c.qasm", "--nodes", "2", "--placement", "spectral"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["c.qasm", "--nodes", "2", "--refine-iters", "many"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

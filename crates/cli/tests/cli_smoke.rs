@@ -190,6 +190,120 @@ fn batch_suite_with_linear_topology_attributes_links() {
 }
 
 #[test]
+fn topo_placement_reduces_epr_cost_on_sparse_topologies() {
+    let path = qasm_fixture("place-topo", &dqc_workloads::qft(16));
+    let file = path.to_str().unwrap();
+    let block = run(&[
+        "compile",
+        file,
+        "--nodes",
+        "4",
+        "--topology",
+        "linear",
+        "--placement",
+        "block",
+        "--json",
+    ]);
+    let topo = run(&[
+        "compile",
+        file,
+        "--nodes",
+        "4",
+        "--topology",
+        "linear",
+        "--placement",
+        "topo",
+        "--json",
+    ]);
+    assert!(block.status.success() && topo.status.success());
+    let block = String::from_utf8(block.stdout).unwrap();
+    let topo = String::from_utf8(topo.stdout).unwrap();
+    assert!(
+        json_number(&topo, "epr_cost") <= json_number(&block, "epr_cost"),
+        "topo placement must not lose to the identity block map:\n{block}\n{topo}"
+    );
+    // The placement object is reported with the final block→node map.
+    assert!(topo.contains("\"placement\":{\"strategy\":\"topo\""), "{topo}");
+    assert!(topo.contains("\"node_map\":["), "{topo}");
+    assert!(json_number(&topo, "final_epr_cost") <= json_number(&topo, "initial_epr_cost"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn oee_placement_is_bit_identical_to_the_legacy_partition_flag() {
+    // --placement oee and the legacy --partition oee are the same pipeline;
+    // both must match the default exactly, on sparse topologies too.
+    let path = qasm_fixture("place-oee", &dqc_workloads::qft(12));
+    let file = path.to_str().unwrap();
+    let default = run(&["compile", file, "--nodes", "4", "--topology", "linear", "--json"]);
+    let placement = run(&[
+        "compile",
+        file,
+        "--nodes",
+        "4",
+        "--topology",
+        "linear",
+        "--placement",
+        "oee",
+        "--json",
+    ]);
+    let legacy = run(&[
+        "compile",
+        file,
+        "--nodes",
+        "4",
+        "--topology",
+        "linear",
+        "--partition",
+        "oee",
+        "--json",
+    ]);
+    assert!(default.status.success() && placement.status.success() && legacy.status.success());
+    let default = String::from_utf8(default.stdout).unwrap();
+    let placement = String::from_utf8(placement.stdout).unwrap();
+    let legacy = String::from_utf8(legacy.stdout).unwrap();
+    for key in ["total_comms", "tp_comms", "epr_cost", "epr_pairs", "makespan", "swaps"] {
+        assert_eq!(json_number(&default, key), json_number(&placement, key), "{key}");
+        assert_eq!(json_number(&default, key), json_number(&legacy, key), "{key}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_reports_epr_cost_totals_per_placement() {
+    let run_pl = |pl: &str| {
+        let out = run(&[
+            "batch",
+            "--suite",
+            "--nodes",
+            "4",
+            "--topology",
+            "linear",
+            "--placement",
+            pl,
+            "--jobs",
+            "2",
+            "--json",
+        ]);
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let totals = |json: &str| {
+        let at = json.find("\"totals\":").unwrap();
+        json_number(&json[at..], "epr_cost")
+    };
+    let block = run_pl("block");
+    let topo = run_pl("topo");
+    assert!(
+        totals(&topo) < totals(&block),
+        "suite-wide, topo placement must beat the block identity map: {} vs {}",
+        totals(&topo),
+        totals(&block)
+    );
+    assert!(topo.contains("\"placement\":\"topo\""));
+}
+
+#[test]
 fn bad_topology_is_a_usage_error() {
     let path = qasm_fixture("topo-bad", &dqc_workloads::bv(9));
     let file = path.to_str().unwrap();

@@ -29,10 +29,10 @@
 
 use std::sync::Arc;
 
-use dqc_circuit::{AxisBehavior, Gate, GateId, GateTable, Partition};
+use dqc_circuit::{AxisBehavior, Gate, GateId, GateTable};
 use dqc_hardware::NetworkTopology;
 
-use crate::{AggregatedProgram, CommBlock, CommIr, Item};
+use crate::{AggregatedProgram, CommBlock, CommIr, Item, Placement};
 
 /// How a Cat-Comm block is oriented before expansion.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -219,8 +219,10 @@ pub fn assign_cat_only(program: &AggregatedProgram) -> AssignedProgram {
 
 /// Hybrid assignment against an explicit interconnect topology: the cost
 /// model charges `hops(home, node)` link-level EPR pairs per end-to-end
-/// communication, and the 2-segment Cat/TP tie flips to Cat on multi-hop
-/// pairs (see the module docs). With `NetworkTopology::all_to_all` this is
+/// communication between the *physical* nodes the placement pins the two
+/// blocks to, and the 2-segment Cat/TP tie flips to Cat on multi-hop pairs
+/// (see the module docs). With `NetworkTopology::all_to_all` — or any
+/// topology under the identity placement of a diameter-1 machine — this is
 /// exactly [`assign`].
 ///
 /// # Panics
@@ -231,10 +233,10 @@ pub fn assign_cat_only(program: &AggregatedProgram) -> AssignedProgram {
 /// topologies from `NetworkTopology::from_links` can.
 pub fn assign_on(
     program: &AggregatedProgram,
-    partition: &Partition,
+    placement: &Placement,
     topology: &NetworkTopology,
 ) -> AssignedProgram {
-    assign_with(program, true, Some((partition, topology)))
+    assign_with(program, true, Some((placement, topology)))
 }
 
 /// [`assign_cat_only`] with hop-distance-aware `epr_cost` accounting.
@@ -244,16 +246,16 @@ pub fn assign_on(
 /// See [`assign_on`].
 pub fn assign_cat_only_on(
     program: &AggregatedProgram,
-    partition: &Partition,
+    placement: &Placement,
     topology: &NetworkTopology,
 ) -> AssignedProgram {
-    assign_with(program, false, Some((partition, topology)))
+    assign_with(program, false, Some((placement, topology)))
 }
 
 fn assign_with(
     program: &AggregatedProgram,
     hybrid: bool,
-    routing: Option<(&Partition, &NetworkTopology)>,
+    routing: Option<(&Placement, &NetworkTopology)>,
 ) -> AssignedProgram {
     let table = program.ir().table();
     let items = program
@@ -263,13 +265,14 @@ fn assign_with(
             Item::Local(id) => AssignedItem::Local(*id),
             Item::Block(b) => {
                 let hops = routing
-                    .map(|(partition, topology)| {
-                        topology.hop_distance(b.home(partition), b.node()).unwrap_or_else(|| {
+                    .map(|(placement, topology)| {
+                        let home = placement.physical_of(b.home(placement.partition()));
+                        let node = placement.physical_of(b.node());
+                        topology.hop_distance(home, node).unwrap_or_else(|| {
                             panic!(
-                                "topology has no route between {} and {} (pass a connected \
-                                 topology, e.g. one accepted by HardwareSpec::with_topology)",
-                                b.home(partition),
-                                b.node()
+                                "topology has no route between {home} and {node} (pass a \
+                                 connected topology, e.g. one accepted by \
+                                 HardwareSpec::with_topology)"
                             )
                         })
                     })
@@ -489,7 +492,29 @@ mod tests {
             b.push(id, ir.gate(id));
         }
         let program = AggregatedProgram::from_parts(ir, vec![Item::Block(b)]);
-        assign_on(&program, &p, topology).blocks().next().unwrap().clone()
+        assign_on(&program, &Placement::identity(&p), topology).blocks().next().unwrap().clone()
+    }
+
+    #[test]
+    fn placement_changes_the_charged_hops() {
+        use dqc_circuit::NodeId;
+        // Same single-call block (q0 ↔ node 2) on a 3-chain: the identity
+        // map pays 2 hops; placing block 2 adjacent to block 0 pays 1.
+        let linear = NetworkTopology::linear(3).unwrap();
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        c.push(Gate::cx(q(0), q(4))).unwrap();
+        let ir = CommIr::build_shared(&c, &p);
+        let mut b = CommBlock::new(q(0), NodeId::new(2));
+        let id = ir.stream()[0];
+        b.push(id, ir.gate(id));
+        let program = AggregatedProgram::from_parts(ir, vec![Item::Block(b)]);
+        let identity = assign_on(&program, &Placement::identity(&p), &linear);
+        assert_eq!(identity.blocks().next().unwrap().epr_cost, 2);
+        let swapped =
+            Placement::new(p, vec![NodeId::new(0), NodeId::new(2), NodeId::new(1)]).unwrap();
+        let placed = assign_on(&program, &swapped, &linear);
+        assert_eq!(placed.blocks().next().unwrap().epr_cost, 1, "adjacent after placement");
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub enum CompileError {
         /// What was missing.
         missing: &'static str,
     },
+    /// A block→node map is not a valid placement (wrong length, or two
+    /// blocks landing on the same physical node).
+    InvalidPlacement {
+        /// What was wrong with the map.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -47,6 +53,9 @@ impl fmt::Display for CompileError {
                     f,
                     "pipeline stage '{pass}' needs a {missing}, but no earlier stage produced one"
                 )
+            }
+            CompileError::InvalidPlacement { reason } => {
+                write!(f, "invalid block-to-node placement: {reason}")
             }
         }
     }

@@ -28,6 +28,14 @@
 //! through `dqc-protocols` so the whole pipeline can be verified against
 //! the original circuit on a state-vector simulator.
 //!
+//! Since the placement re-platform, the block→physical-node map is a
+//! first-class [`Placement`] consumed by `assign_on`/`schedule`/
+//! `lower_assigned_on`: an in-pipeline [`PlacementPass`] optimizes it
+//! against the interconnect's routed hop distances, and the iterative
+//! driver [`AutoComm::compile_placed`] feeds *measured* communication
+//! traffic ([`CommMetrics::pair_comms`]) back into hop-weighted
+//! partitioning + node placement until the EPR cost stops improving.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -62,6 +70,7 @@ mod metrics;
 mod orient;
 mod pass;
 mod pipeline;
+mod placement;
 mod program;
 mod schedule;
 
@@ -82,10 +91,12 @@ pub use metrics::{burst_distribution, CommMetrics};
 pub use orient::orient_symmetric_gates;
 pub use pass::{
     AggregatePass, AssignPass, IrPass, LowerPass, MetricsPass, OrientPass, Pass, PassContext,
-    PassReport, SchedulePass, UnrollPass,
+    PassReport, PlacementPass, SchedulePass, UnrollPass,
 };
 pub use pipeline::{
     Ablation, AutoComm, AutoCommOptions, CompileResult, Pipeline, PipelineBuilder, PipelineOutput,
+    PlacementConfig, PlacementReport, PlacementStrategy,
 };
+pub use placement::{comm_weighted_graph, Placement};
 pub use program::{pair_stats, remote_pairs_of};
 pub use schedule::{schedule, ScheduleOptions, ScheduleSummary};

@@ -6,16 +6,18 @@
 //! circuit. Target-form Cat blocks are H-conjugated into control form here
 //! (paper Fig. 10a).
 
-use dqc_circuit::{Gate, GateTable, QubitId};
+use dqc_circuit::{Gate, GateTable, NodeId, QubitId};
 use dqc_hardware::NetworkTopology;
 use dqc_protocols::{PhysicalProgram, ProtocolExpander};
 
 use crate::assign::split_into_segments;
-use crate::{AssignedItem, AssignedProgram, CatOrientation, CommBlock, CompileError, Scheme};
+use crate::{
+    AssignedItem, AssignedProgram, CatOrientation, CommBlock, CompileError, Placement, Scheme,
+};
 
 /// Lowers an assigned program into a physical circuit over the extended
 /// register (logical qubits + two communication qubits per node), assuming
-/// the paper's all-to-all interconnect.
+/// the paper's all-to-all interconnect and the identity block→node map.
 ///
 /// # Errors
 ///
@@ -24,14 +26,20 @@ pub fn lower_assigned(
     program: &AssignedProgram,
     partition: &dqc_circuit::Partition,
 ) -> Result<PhysicalProgram, CompileError> {
-    lower_assigned_on(program, partition, &NetworkTopology::all_to_all(partition.num_nodes()))
+    lower_assigned_on(
+        program,
+        &Placement::identity(partition),
+        &NetworkTopology::all_to_all(partition.num_nodes()),
+    )
 }
 
 /// Lowers an assigned program into a physical circuit over the extended
 /// register against an explicit interconnect `topology`; communications
 /// between non-adjacent nodes expand into real entanglement-swap chains
 /// (per-hop EPR generations plus relay Bell measurements), so lowered
-/// circuits stay simulator-checkable on sparse machines.
+/// circuits stay simulator-checkable on sparse machines. The expansion
+/// runs over the *physical* qubit→node assignment of `placement`, so swap
+/// chains follow the links the placed program actually routes over.
 ///
 /// This is the cold verification path, so block bodies are materialized
 /// from the shared gate table into the slices the protocol expander wants.
@@ -39,49 +47,55 @@ pub fn lower_assigned(
 /// # Errors
 ///
 /// Returns [`CompileError::Protocol`] if the topology cannot serve the
-/// partition, or if a block violates its assigned scheme's requirements —
+/// placement, or if a block violates its assigned scheme's requirements —
 /// the latter would be a compiler bug, surfaced loudly.
 pub fn lower_assigned_on(
     program: &AssignedProgram,
-    partition: &dqc_circuit::Partition,
+    placement: &Placement,
     topology: &NetworkTopology,
 ) -> Result<PhysicalProgram, CompileError> {
     let table = program.ir().table();
-    let mut exp = ProtocolExpander::with_topology(partition, topology.clone())?;
+    let mut exp =
+        ProtocolExpander::with_topology(placement.physical_partition(), topology.clone())?;
     for item in program.items() {
         match item {
             AssignedItem::Local(id) => exp.push_local(table.gate(*id))?,
-            AssignedItem::Block(b) => match b.scheme {
-                Scheme::Tp => {
-                    let body: Vec<Gate> = b.block.gates(table).cloned().collect();
-                    exp.tp_comm_block(b.block.qubit(), b.block.node(), &body)?
-                }
-                Scheme::Cat(_) if b.comms == 1 => {
-                    lower_cat_segment(&mut exp, table, &b.block)?;
-                }
-                Scheme::Cat(_) => {
-                    for seg in split_into_segments(table, &b.block) {
-                        if seg.remote_gate_count() == 0 {
-                            for g in seg.gates(table) {
-                                exp.push_local(g)?;
+            AssignedItem::Block(b) => {
+                let node = placement.physical_of(b.block.node());
+                match b.scheme {
+                    Scheme::Tp => {
+                        let body: Vec<Gate> = b.block.gates(table).cloned().collect();
+                        exp.tp_comm_block(b.block.qubit(), node, &body)?
+                    }
+                    Scheme::Cat(_) if b.comms == 1 => {
+                        lower_cat_segment(&mut exp, table, &b.block, node)?;
+                    }
+                    Scheme::Cat(_) => {
+                        for seg in split_into_segments(table, &b.block) {
+                            if seg.remote_gate_count() == 0 {
+                                for g in seg.gates(table) {
+                                    exp.push_local(g)?;
+                                }
+                            } else {
+                                lower_cat_segment(&mut exp, table, &seg, node)?;
                             }
-                        } else {
-                            lower_cat_segment(&mut exp, table, &seg)?;
                         }
                     }
                 }
-            },
+            }
         }
     }
     Ok(exp.finish())
 }
 
 /// Expands one single-call Cat segment, conjugating target-form bodies into
-/// control form first.
+/// control form first. `node` is the physical node the remote block is
+/// placed on.
 fn lower_cat_segment(
     exp: &mut ProtocolExpander,
     table: &GateTable,
     block: &CommBlock,
+    node: NodeId,
 ) -> Result<(), CompileError> {
     let q = block.qubit();
     // A segment may start with single-qubit gates on the burst qubit left
@@ -106,7 +120,7 @@ fn lower_cat_segment(
     match orientation {
         CatOrientation::Control => {
             let body: Vec<Gate> = trimmed.gates(table).cloned().collect();
-            exp.cat_comm_block(q, trimmed.node(), &body)?;
+            exp.cat_comm_block(q, node, &body)?;
         }
         CatOrientation::Target => {
             // Conjugation set: the burst qubit plus every partner of a
@@ -152,7 +166,7 @@ fn lower_cat_segment(
                     }
                 }
             }
-            exp.cat_comm_block(q, trimmed.node(), &body)?;
+            exp.cat_comm_block(q, node, &body)?;
             for &s in &set {
                 exp.push_local(&Gate::h(s))?;
             }
@@ -289,8 +303,10 @@ mod tests {
     /// and checks fidelity against the logical circuit on a sparse machine.
     fn verify_sparse(c: &Circuit, p: &Partition, topology: &NetworkTopology, seed: u64) {
         let agg = aggregate(c, p, AggregateOptions::default());
-        let assigned = crate::assign_on(&agg, p, topology);
-        let physical = lower_assigned_on(&assigned, p, topology).expect("lowering succeeds");
+        let placement = Placement::identity(p);
+        let assigned = crate::assign_on(&agg, &placement, topology);
+        let physical =
+            lower_assigned_on(&assigned, &placement, topology).expect("lowering succeeds");
         assert!(physical.swaps > 0, "sparse program must swap");
 
         let mut rng = SplitMix64::new(seed);
@@ -319,6 +335,39 @@ mod tests {
         c.push(Gate::cx(q(4), q(0))).unwrap();
         c.push(Gate::cx(q(0), q(5))).unwrap();
         verify_sparse(&c, &p, &topology, 31);
+    }
+
+    #[test]
+    fn permuted_placement_lowering_is_exact() {
+        use dqc_circuit::NodeId;
+        // The same program under a non-identity block→node map must still
+        // reproduce the logical state: the swap chains just follow
+        // different links.
+        let topology = NetworkTopology::linear(3).unwrap();
+        let p = Partition::block(6, 3).unwrap();
+        let placement =
+            Placement::new(p.clone(), vec![NodeId::new(1), NodeId::new(0), NodeId::new(2)])
+                .unwrap();
+        let mut c = Circuit::new(6);
+        c.push(Gate::h(q(0))).unwrap();
+        c.push(Gate::cx(q(0), q(4))).unwrap();
+        c.push(Gate::cx(q(0), q(2))).unwrap();
+        c.push(Gate::cx(q(3), q(0))).unwrap();
+        let agg = aggregate(&c, &p, AggregateOptions::default());
+        let assigned = crate::assign_on(&agg, &placement, &topology);
+        let physical = lower_assigned_on(&assigned, &placement, &topology).unwrap();
+
+        let mut rng = SplitMix64::new(77);
+        let input = StateVector::random_state(c.num_qubits(), &mut rng).unwrap();
+        let mut expected = input.clone();
+        expected.run(&c, &mut rng.fork()).unwrap();
+        let total = physical.circuit.num_qubits();
+        let mut amps = vec![dqc_sim::Complex::ZERO; 1 << total];
+        amps[..input.amplitudes().len()].copy_from_slice(input.amplitudes());
+        let mut state = StateVector::from_amplitudes(amps).unwrap();
+        state.run(&physical.circuit, &mut rng).unwrap();
+        let f = state.subset_fidelity(&expected, &physical.logical_qubits()).unwrap();
+        assert!((f - 1.0).abs() < 1e-8, "placed fidelity {f}");
     }
 
     #[test]

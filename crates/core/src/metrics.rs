@@ -1,5 +1,7 @@
 //! Evaluation metrics (paper §5.1).
 
+use dqc_circuit::NodeId;
+
 use crate::{AssignedProgram, Scheme};
 
 /// Communication-cost metrics of a compiled program, matching the columns
@@ -32,11 +34,21 @@ pub struct CommMetrics {
     /// = Σ comms × hops). Equals `total_comms` on all-to-all machines; the
     /// scheduler's consumption is at most this (TP fusion saves pairs).
     pub total_epr_cost: usize,
+    /// Measured communication traffic per unordered *logical block* pair:
+    /// `(block a, block b, comms)` with `a < b`, sorted, one entry per pair
+    /// that communicated. This is the post-aggregation traffic matrix the
+    /// iterative placement driver re-weights the interaction graph with —
+    /// it counts communications the compiled program actually issues, not
+    /// raw remote gate counts.
+    pub pair_comms: Vec<(NodeId, NodeId, usize)>,
 }
 
 impl CommMetrics {
     /// Computes the metrics of an assigned program.
     pub fn of(program: &AssignedProgram) -> Self {
+        let partition = program.ir().partition();
+        let nodes = partition.num_nodes();
+        let mut pair_traffic = vec![0usize; nodes * nodes];
         let mut total_comms = 0usize;
         let mut tp_comms = 0usize;
         let mut total_rem_cx = 0usize;
@@ -44,6 +56,12 @@ impl CommMetrics {
         let mut num_blocks = 0usize;
         let mut total_epr_cost = 0usize;
         for blk in program.blocks() {
+            let (a, b) = {
+                let home = blk.block.home(partition).index();
+                let node = blk.block.node().index();
+                (home.min(node), home.max(node))
+            };
+            pair_traffic[a * nodes + b] += blk.comms;
             num_blocks += 1;
             let rem = blk.block.remote_gate_count();
             total_rem_cx += rem;
@@ -73,6 +91,12 @@ impl CommMetrics {
             }
         }
         let peak = per_comm.iter().copied().fold(0.0, f64::max);
+        let pair_comms = pair_traffic
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(slot, c)| (NodeId::new(slot / nodes), NodeId::new(slot % nodes), c))
+            .collect();
         CommMetrics {
             total_comms,
             tp_comms,
@@ -81,7 +105,20 @@ impl CommMetrics {
             per_comm_rem_cx: per_comm,
             num_blocks,
             total_epr_cost,
+            pair_comms,
         }
+    }
+
+    /// The [`CommMetrics::pair_comms`] traffic as a dense symmetric
+    /// `num_nodes × num_nodes` matrix over logical blocks — the input shape
+    /// the node-placement stage (`dqc_partition::place_blocks`) wants.
+    pub fn traffic_matrix(&self, num_nodes: usize) -> Vec<Vec<u64>> {
+        let mut t = vec![vec![0u64; num_nodes]; num_nodes];
+        for &(a, b, comms) in &self.pair_comms {
+            t[a.index()][b.index()] += comms as u64;
+            t[b.index()][a.index()] += comms as u64;
+        }
+        t
     }
 
     /// The paper's “improv. factor” against a sparse baseline that issues
@@ -165,8 +202,11 @@ mod tests {
         c.push(Gate::cx(q(0), q(2))).unwrap(); // node 0 → node 1: adjacent
         let agg = aggregate(&c, &p, AggregateOptions::default());
         let dense = CommMetrics::of(&crate::assign(&agg));
-        let sparse =
-            CommMetrics::of(&crate::assign_on(&agg, &p, &NetworkTopology::linear(3).unwrap()));
+        let sparse = CommMetrics::of(&crate::assign_on(
+            &agg,
+            &crate::Placement::identity(&p),
+            &NetworkTopology::linear(3).unwrap(),
+        ));
         assert_eq!(dense.total_comms, sparse.total_comms, "paper metric is topology-invariant");
         assert_eq!(dense.total_epr_cost, 2);
         assert_eq!(sparse.total_epr_cost, 3, "the 2-hop cat pays per hop");
@@ -196,6 +236,25 @@ mod tests {
         assert_eq!(m.total_comms, 0);
         assert_eq!(m.improvement_factor(), 1.0);
         assert_eq!(burst_distribution(&m, 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pair_comms_records_the_block_traffic_matrix() {
+        let p = Partition::block(6, 3).unwrap();
+        let mut c = Circuit::new(6);
+        c.push(Gate::cx(q(0), q(2))).unwrap(); // block 0 ↔ 1
+        c.push(Gate::cx(q(0), q(4))).unwrap(); // block 0 ↔ 2
+        c.push(Gate::cx(q(2), q(4))).unwrap(); // block 1 ↔ 2
+        let m = CommMetrics::of(&compile(&c, &p));
+        let n = dqc_circuit::NodeId::new;
+        let total: usize = m.pair_comms.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, m.total_comms, "pair traffic partitions the comm total");
+        assert!(m.pair_comms.iter().all(|&(a, b, _)| a < b), "unordered pairs, a < b");
+        assert!(m.pair_comms.iter().any(|&(a, b, _)| (a, b) == (n(0), n(1))));
+        let t = m.traffic_matrix(3);
+        assert_eq!(t[0][1], t[1][0], "dense matrix is symmetric");
+        let dense_total: u64 = (0..3).map(|i| t[i].iter().sum::<u64>()).sum();
+        assert_eq!(dense_total as usize, 2 * total);
     }
 
     #[test]

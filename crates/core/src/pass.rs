@@ -17,19 +17,25 @@ use dqc_hardware::HardwareSpec;
 use dqc_protocols::PhysicalProgram;
 
 use crate::{
-    aggregate_ir, aggregate_no_commute_ir, assign_cat_only_on, assign_on, lower_assigned_on,
-    orient_symmetric_gates, schedule, AggregateOptions, AggregatedProgram, AssignedProgram, CommIr,
-    CommMetrics, CompileError, ScheduleOptions, ScheduleSummary, Scheme,
+    aggregate_ir, aggregate_no_commute_ir, assign_cat_only_on, assign_on, comm_weighted_graph,
+    lower_assigned_on, orient_symmetric_gates, schedule, AggregateOptions, AggregatedProgram,
+    AssignedProgram, CommIr, CommMetrics, CompileError, Placement, ScheduleOptions,
+    ScheduleSummary, Scheme,
 };
 
 /// Mutable state threaded through a pipeline: the evolving logical circuit
 /// plus every artifact produced so far.
 #[derive(Clone, Debug)]
 pub struct PassContext<'a> {
-    /// The static qubit → node assignment the program is compiled against.
+    /// The static qubit → block assignment the program is compiled against.
     pub partition: &'a Partition,
     /// The hardware model used by scheduling.
     pub hardware: &'a HardwareSpec,
+    /// The block→physical-node placement downstream passes (assign,
+    /// schedule, lower) consume. Starts as the identity map; a
+    /// [`PlacementPass`] (or [`crate::Pipeline::run_placed`]) installs an
+    /// optimized one.
+    pub placement: Placement,
     /// The current logical circuit (input → oriented → unrolled); borrowed
     /// until the first rewriting pass replaces it, so pipelines never clone
     /// an untouched input.
@@ -65,6 +71,18 @@ impl<'a> PassContext<'a> {
         Self::with_cow(Cow::Borrowed(circuit), partition, hardware)
     }
 
+    /// A context compiled against an explicit placement (the iterative
+    /// placement driver's entry point).
+    pub fn new_placed(
+        circuit: &'a Circuit,
+        placement: &'a Placement,
+        hardware: &'a HardwareSpec,
+    ) -> Self {
+        let mut ctx = Self::with_cow(Cow::Borrowed(circuit), placement.partition(), hardware);
+        ctx.placement = placement.clone();
+        ctx
+    }
+
     fn with_cow(
         circuit: Cow<'a, Circuit>,
         partition: &'a Partition,
@@ -73,6 +91,7 @@ impl<'a> PassContext<'a> {
         PassContext {
             partition,
             hardware,
+            placement: Placement::identity(partition),
             circuit,
             ir: None,
             aggregated: None,
@@ -247,6 +266,58 @@ impl Pass for AggregatePass {
     }
 }
 
+/// Optimizes the block→physical-node map inside the pipeline: builds the
+/// communication-weighted interaction graph of the aggregated program
+/// (burst blocks, not raw gate counts), derives the block-level traffic
+/// matrix, and runs the greedy-seed + pairwise-exchange placement of
+/// `dqc_partition::place_blocks` against the hardware topology's routed
+/// hop distances. Must run after aggregation and before assignment.
+///
+/// The qubit→block partition is **not** touched here — blocks were
+/// discovered under it and must stay coherent; re-partitioning belongs to
+/// the iterative driver ([`crate::AutoComm::compile_placed`]), which
+/// recompiles from scratch each round.
+#[derive(Clone, Debug, Default)]
+pub struct PlacementPass {
+    /// Explicit block-level traffic to optimize against — e.g. a matrix
+    /// measured from a previous compile's [`CommMetrics::pair_comms`],
+    /// installed via `Pipeline::builder().place_with_traffic(..)`. `None`
+    /// derives the matrix from the aggregated program. (The iterative
+    /// driver `AutoComm::compile_placed` does its feedback loop outside
+    /// the pipeline — it must re-partition between rounds, which a
+    /// mid-pipeline pass cannot do.)
+    pub traffic: Option<Vec<Vec<u64>>>,
+}
+
+impl Pass for PlacementPass {
+    fn name(&self) -> &'static str {
+        "place"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+        let aggregated = ctx.require_aggregated(self.name())?;
+        let topology = ctx.hardware.topology();
+        let traffic = match &self.traffic {
+            Some(t) => t.clone(),
+            None => comm_weighted_graph(aggregated).block_traffic(ctx.partition),
+        };
+        let node_map = dqc_partition::place_blocks(
+            &traffic,
+            topology.num_nodes(),
+            topology,
+            dqc_partition::PlaceOptions::default(),
+        );
+        ctx.placement = Placement::new(ctx.partition.clone(), node_map)?;
+        Ok(())
+    }
+
+    fn metric(&self, ctx: &PassContext<'_>) -> Option<String> {
+        let map: Vec<String> =
+            ctx.placement.node_map().iter().map(|n| n.index().to_string()).collect();
+        Some(format!("block→node [{}]", map.join(" ")))
+    }
+}
+
 /// Assigns each burst block a communication scheme: hybrid Cat/TP (the
 /// paper's analysis) or Cat-Comm only (Fig. 17b's ablation).
 #[derive(Clone, Copy, Debug)]
@@ -269,11 +340,12 @@ impl Pass for AssignPass {
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
         let aggregated = ctx.require_aggregated(self.name())?;
         let topology = ctx.hardware.topology();
-        ctx.assigned = Some(if self.hybrid {
-            assign_on(aggregated, ctx.partition, topology)
+        let assigned = if self.hybrid {
+            assign_on(aggregated, &ctx.placement, topology)
         } else {
-            assign_cat_only_on(aggregated, ctx.partition, topology)
-        });
+            assign_cat_only_on(aggregated, &ctx.placement, topology)
+        };
+        ctx.assigned = Some(assigned);
         Ok(())
     }
 
@@ -321,7 +393,8 @@ impl Pass for SchedulePass {
 
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
         let assigned = ctx.require_assigned(self.name())?;
-        ctx.schedule = Some(schedule(assigned, ctx.partition, ctx.hardware, self.options));
+        let summary = schedule(assigned, &ctx.placement, ctx.hardware, self.options);
+        ctx.schedule = Some(summary);
         Ok(())
     }
 
@@ -342,7 +415,8 @@ impl Pass for LowerPass {
 
     fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
         let assigned = ctx.require_assigned(self.name())?;
-        ctx.lowered = Some(lower_assigned_on(assigned, ctx.partition, ctx.hardware.topology())?);
+        let lowered = lower_assigned_on(assigned, &ctx.placement, ctx.hardware.topology())?;
+        ctx.lowered = Some(lowered);
         Ok(())
     }
 

@@ -9,18 +9,33 @@
 
 use std::sync::Arc;
 
-use dqc_circuit::{Circuit, Partition};
+use dqc_circuit::{Circuit, NodeId, Partition};
 use dqc_hardware::HardwareSpec;
+use dqc_partition::{oee_refine_on, place_blocks, OeeOptions, PlaceOptions};
 use dqc_protocols::PhysicalProgram;
 
 use crate::pass::{
     run_timed, AggregatePass, AssignPass, IrPass, LowerPass, MetricsPass, OrientPass, Pass,
-    PassContext, PassReport, SchedulePass, UnrollPass,
+    PassContext, PassReport, PlacementPass, SchedulePass, UnrollPass,
 };
 use crate::{
-    AggregateOptions, AggregatedProgram, AssignedProgram, CommIr, CommMetrics, CompileError,
-    ScheduleOptions, ScheduleSummary,
+    comm_weighted_graph, AggregateOptions, AggregatedProgram, AssignedProgram, CommIr, CommMetrics,
+    CompileError, Placement, ScheduleOptions, ScheduleSummary,
 };
+
+/// How the pipeline maps partition blocks onto physical topology nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PlacementStrategy {
+    /// Block `i` lands on node `i` — the historical implicit map, and the
+    /// bit-identity safety rail.
+    #[default]
+    Identity,
+    /// Insert a [`PlacementPass`] after aggregation: one traffic-aware
+    /// block→node optimization per compile (the iterative driver
+    /// [`AutoComm::compile_placed`] goes further and feeds *measured*
+    /// communication counts back in).
+    Topology,
+}
 
 /// Pipeline configuration; the defaults reproduce full AutoComm, and each
 /// toggle corresponds to one ablation of paper Fig. 17.
@@ -34,6 +49,8 @@ pub struct AutoCommOptions {
     pub orient_symmetric: bool,
     /// Use the hybrid Cat/TP assignment (off = Fig. 17b's “Cat-Comm only”).
     pub hybrid_assignment: bool,
+    /// Block→node placement (identity reproduces the historical pipeline).
+    pub placement: PlacementStrategy,
     /// Aggregation tuning.
     pub aggregate: AggregateOptions,
     /// Scheduler tuning ([`ScheduleOptions::plain_greedy`] = Fig. 17c's
@@ -47,6 +64,7 @@ impl Default for AutoCommOptions {
             commutation_aggregation: true,
             orient_symmetric: true,
             hybrid_assignment: true,
+            placement: PlacementStrategy::Identity,
             aggregate: AggregateOptions::default(),
             schedule: ScheduleOptions::default(),
         }
@@ -151,9 +169,10 @@ impl Pipeline {
     }
 
     /// The canonical AutoComm pipeline for `options`:
-    /// orient → unroll → comm-ir → aggregate → assign → metrics → schedule
-    /// (with the orient stage dropped when `options.orient_symmetric` is
-    /// off).
+    /// orient → unroll → comm-ir → aggregate → [place →] assign → metrics →
+    /// schedule (the orient stage drops when `options.orient_symmetric` is
+    /// off; the place stage appears only under
+    /// [`PlacementStrategy::Topology`]).
     pub fn autocomm(options: &AutoCommOptions) -> Pipeline {
         let mut builder = Pipeline::builder();
         if options.orient_symmetric {
@@ -165,6 +184,9 @@ impl Pipeline {
         } else {
             builder.aggregate_no_commute()
         };
+        if options.placement == PlacementStrategy::Topology {
+            builder = builder.place();
+        }
         builder =
             if options.hybrid_assignment { builder.assign() } else { builder.assign_cat_only() };
         builder.metrics().schedule(options.schedule).build()
@@ -175,7 +197,8 @@ impl Pipeline {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
-    /// Runs every pass in order over `circuit`.
+    /// Runs every pass in order over `circuit` under the identity
+    /// placement (block `i` on node `i` — the historical behavior).
     ///
     /// # Errors
     ///
@@ -188,19 +211,37 @@ impl Pipeline {
         partition: &Partition,
         hardware: &HardwareSpec,
     ) -> Result<PipelineOutput, CompileError> {
-        if circuit.num_qubits() != partition.num_qubits() {
+        self.run_placed(circuit, &Placement::identity(partition), hardware)
+    }
+
+    /// Runs every pass in order over `circuit` against an explicit
+    /// placement (the iterative driver's entry point; a [`PlacementPass`]
+    /// in the pipeline overrides the provided map with its own optimized
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::run`].
+    pub fn run_placed(
+        &self,
+        circuit: &Circuit,
+        placement: &Placement,
+        hardware: &HardwareSpec,
+    ) -> Result<PipelineOutput, CompileError> {
+        if circuit.num_qubits() != placement.num_qubits() {
             return Err(CompileError::RegisterMismatch {
                 circuit_qubits: circuit.num_qubits(),
-                partition_qubits: partition.num_qubits(),
+                partition_qubits: placement.num_qubits(),
             });
         }
-        let mut ctx = PassContext::new_borrowed(circuit, partition, hardware);
+        let mut ctx = PassContext::new_placed(circuit, placement, hardware);
         let mut reports = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             reports.push(run_timed(pass.as_ref(), &mut ctx)?);
         }
         Ok(PipelineOutput {
             circuit: ctx.circuit.into_owned(),
+            placement: ctx.placement,
             ir: ctx.ir,
             aggregated: ctx.aggregated,
             assigned: ctx.assigned,
@@ -264,6 +305,19 @@ impl PipelineBuilder {
         self.pass(AggregatePass { options: AggregateOptions::default(), no_commute: true })
     }
 
+    /// Appends the topology-aware block→node placement stage (must follow
+    /// aggregation — it optimizes over the discovered burst blocks).
+    pub fn place(self) -> Self {
+        self.pass(PlacementPass::default())
+    }
+
+    /// Appends a placement stage optimizing an explicit (typically
+    /// *measured*) block-level traffic matrix instead of the aggregated
+    /// program's predicted one.
+    pub fn place_with_traffic(self, traffic: Vec<Vec<u64>>) -> Self {
+        self.pass(PlacementPass { traffic: Some(traffic) })
+    }
+
     /// Appends hybrid Cat/TP scheme assignment.
     pub fn assign(self) -> Self {
         self.pass(AssignPass { hybrid: true })
@@ -302,6 +356,9 @@ impl PipelineBuilder {
 pub struct PipelineOutput {
     /// The logical circuit after all circuit-rewriting stages.
     pub circuit: Circuit,
+    /// The placement the run compiled against (identity unless a
+    /// [`PlacementPass`] ran or [`Pipeline::run_placed`] provided one).
+    pub placement: Placement,
     /// The indexed IR, if the comm-ir (or an aggregation) stage ran.
     pub ir: Option<Arc<CommIr>>,
     /// Burst blocks, if an aggregation stage ran.
@@ -332,6 +389,9 @@ pub struct AutoComm {
 pub struct CompileResult {
     /// The input circuit in the CX+U3 basis.
     pub unrolled: Circuit,
+    /// The placement (partition + block→node map) the program was compiled
+    /// against. Identity for the plain [`AutoComm::compile`] path.
+    pub placement: Placement,
     /// The shared indexed IR every artifact resolves against.
     pub ir: Arc<CommIr>,
     /// Burst blocks after aggregation.
@@ -403,12 +463,149 @@ impl AutoComm {
         hw: &HardwareSpec,
     ) -> Result<CompileResult, CompileError> {
         let out = self.pipeline().run(circuit, partition, hw)?;
-        // The canonical pipeline always contains these stages, so the
-        // artifacts are present; a hand-built pipeline that omits one
-        // surfaces here instead of silently producing half a result.
+        CompileResult::from_output(out)
+    }
+
+    /// Compiles against an explicit placement through this compiler's
+    /// pipeline, with any in-pipeline placement stage removed — the caller
+    /// owns the block→node map.
+    ///
+    /// # Errors
+    ///
+    /// See [`AutoComm::compile`].
+    pub fn compile_with_placement(
+        &self,
+        circuit: &Circuit,
+        placement: &Placement,
+        hw: &HardwareSpec,
+    ) -> Result<CompileResult, CompileError> {
+        let mut options = self.options;
+        options.placement = PlacementStrategy::Identity;
+        let out = Pipeline::autocomm(&options).run_placed(circuit, placement, hw)?;
+        CompileResult::from_output(out)
+    }
+
+    /// The topology- and traffic-aware iterative placement driver: compile,
+    /// read the *measured* per-pair communication traffic out of
+    /// [`CommMetrics::pair_comms`], re-weight the interaction graph with
+    /// post-aggregation comm counts, re-place (block→node map via
+    /// `dqc_partition::place_blocks`, qubit partition via hop-weighted
+    /// `oee_refine_on`), and recompile — until the assignment-level EPR
+    /// cost ([`CommMetrics::total_epr_cost`]) stops improving, bounded by
+    /// `config.refine_iters` recompiles.
+    ///
+    /// Rounds that do not strictly improve are discarded, so the returned
+    /// result never costs more EPR pairs than the identity placement of
+    /// `partition` — and on all-to-all machines (where every map costs the
+    /// same) the identity compile is returned untouched.
+    ///
+    /// # Errors
+    ///
+    /// See [`AutoComm::compile`].
+    pub fn compile_placed(
+        &self,
+        circuit: &Circuit,
+        partition: &Partition,
+        hw: &HardwareSpec,
+        config: &PlacementConfig,
+    ) -> Result<(CompileResult, PlacementReport), CompileError> {
+        let topology = hw.topology();
+        let mut placement = Placement::identity(partition);
+        let mut best = self.compile_with_placement(circuit, &placement, hw)?;
+        let initial_epr_cost = best.metrics.total_epr_cost;
+        let mut iterations = 0usize;
+        for _ in 0..config.refine_iters {
+            // Measured communication traffic over logical blocks — what the
+            // compiled program actually pays per pair, post-aggregation.
+            let traffic = best.metrics.traffic_matrix(placement.num_nodes());
+            let node_map =
+                place_blocks(&traffic, topology.num_nodes(), topology, PlaceOptions::default());
+            // Re-weight the qubit interaction graph by burst blocks and
+            // refine the partition under the candidate map's hop metric.
+            let graph = comm_weighted_graph(&best.aggregated);
+            let refined = oee_refine_on(
+                &graph,
+                placement.partition().clone(),
+                &node_map,
+                topology,
+                OeeOptions::default(),
+            );
+            let candidate = Placement::new(refined, node_map)?;
+            if candidate == placement {
+                break; // fixed point
+            }
+            let result = self.compile_with_placement(circuit, &candidate, hw)?;
+            if result.metrics.total_epr_cost < best.metrics.total_epr_cost {
+                best = result;
+                placement = candidate;
+                iterations += 1;
+            } else {
+                break; // no improvement: keep the best-so-far compile
+            }
+        }
+        let graph = comm_weighted_graph(&best.aggregated);
+        let report = PlacementReport {
+            iterations,
+            cut_weight: graph.cut_weight(placement.partition()),
+            weighted_cost: graph.placed_cut_weight(
+                placement.partition(),
+                placement.node_map(),
+                topology,
+            ),
+            node_map: placement.node_map().to_vec(),
+            initial_epr_cost,
+            final_epr_cost: best.metrics.total_epr_cost,
+        };
+        Ok((best, report))
+    }
+}
+
+/// Bounds for the iterative placement driver
+/// ([`AutoComm::compile_placed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacementConfig {
+    /// Maximum re-place + recompile rounds (the loop also stops at a fixed
+    /// point or on the first non-improving round, so this is a ceiling,
+    /// not a target).
+    pub refine_iters: usize,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig { refine_iters: 3 }
+    }
+}
+
+/// What the iterative placement driver did and achieved.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementReport {
+    /// Accepted re-place + recompile rounds (0 = the identity placement
+    /// was already optimal, or the topology made placement irrelevant).
+    pub iterations: usize,
+    /// Unweighted cut of the final partition over the communication
+    /// weighted interaction graph (cross-block burst communications).
+    pub cut_weight: u64,
+    /// Hop-weighted cut of the final placement — `Σ comm-weight × hops`
+    /// between the physical nodes the blocks landed on.
+    pub weighted_cost: u64,
+    /// The final block→node map.
+    pub node_map: Vec<NodeId>,
+    /// Assignment-level EPR cost of the identity-placement compile the
+    /// driver started from.
+    pub initial_epr_cost: usize,
+    /// Assignment-level EPR cost of the returned compile (≤ initial).
+    pub final_epr_cost: usize,
+}
+
+impl CompileResult {
+    /// Extracts the canonical artifacts from a pipeline run, surfacing a
+    /// hand-built pipeline that omitted a stage as a loud error instead of
+    /// silently producing half a result.
+    fn from_output(out: PipelineOutput) -> Result<CompileResult, CompileError> {
         let missing = |stage| CompileError::MissingArtifact { pass: "compile", missing: stage };
         Ok(CompileResult {
             unrolled: out.circuit,
+            placement: out.placement,
             ir: out.ir.ok_or(missing("comm ir"))?,
             aggregated: out.aggregated.ok_or(missing("aggregated program"))?,
             assigned: out.assigned.ok_or(missing("assigned program"))?,
@@ -540,6 +737,133 @@ mod tests {
             .unwrap();
         let lowered = out.lowered.expect("lower stage ran");
         assert_eq!(lowered.epr_pairs, out.schedule.unwrap().epr_pairs);
+    }
+
+    #[test]
+    fn placement_pass_appears_under_the_topology_strategy() {
+        let c = dqc_workloads::qft(6);
+        let p = Partition::block(6, 2).unwrap();
+        let options =
+            AutoCommOptions { placement: PlacementStrategy::Topology, ..Default::default() };
+        let r = AutoComm::with_options(options).compile(&c, &p).unwrap();
+        let names: Vec<&str> = r.passes.iter().map(|p| p.pass).collect();
+        assert_eq!(
+            names,
+            ["orient", "unroll", "comm-ir", "aggregate", "place", "assign", "metrics", "schedule"]
+        );
+        // On the implicit all-to-all machine every map costs the same, so
+        // the optimizer keeps the identity and the results match exactly.
+        let base = AutoComm::new().compile(&c, &p).unwrap();
+        assert!(r.placement.is_identity());
+        assert_eq!(r.metrics, base.metrics);
+        assert_eq!(r.schedule, base.schedule);
+    }
+
+    #[test]
+    fn compile_placed_never_loses_to_identity_and_improves_on_a_chain() {
+        // Heavy traffic between blocks 0 and 2 of a 3-chain: the identity
+        // map pays 2 hops per comm; placement pulls the pair adjacent.
+        let mut c = Circuit::new(6);
+        for _ in 0..4 {
+            c.push(Gate::cx(q(0), q(4))).unwrap();
+            c.push(Gate::h(q(4))).unwrap();
+        }
+        c.push(Gate::cx(q(2), q(3))).unwrap();
+        let p = Partition::block(6, 3).unwrap();
+        let hw = HardwareSpec::for_partition(&p)
+            .with_topology(dqc_hardware::NetworkTopology::linear(3).unwrap())
+            .unwrap();
+        let identity = AutoComm::new().compile_on(&c, &p, &hw).unwrap();
+        let (placed, report) =
+            AutoComm::new().compile_placed(&c, &p, &hw, &PlacementConfig::default()).unwrap();
+        assert_eq!(report.initial_epr_cost, identity.metrics.total_epr_cost);
+        assert!(
+            placed.metrics.total_epr_cost < identity.metrics.total_epr_cost,
+            "placement must help here: {} vs {}",
+            placed.metrics.total_epr_cost,
+            identity.metrics.total_epr_cost
+        );
+        assert_eq!(report.final_epr_cost, placed.metrics.total_epr_cost);
+        assert!(report.iterations >= 1);
+        assert!(!placed.placement.is_identity());
+        // The map is a permutation of the three nodes.
+        let mut nodes: Vec<usize> = report.node_map.iter().map(|n| n.index()).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn place_with_traffic_overrides_the_derived_matrix() {
+        // The circuit's own traffic is negligible; an explicit measured
+        // matrix demanding blocks 0 and 2 be adjacent must drive the map.
+        let mut c = Circuit::new(6);
+        c.push(Gate::cx(q(0), q(4))).unwrap();
+        let p = Partition::block(6, 3).unwrap();
+        let linear = dqc_hardware::NetworkTopology::linear(3).unwrap();
+        let hw = HardwareSpec::for_partition(&p).with_topology(linear.clone()).unwrap();
+        let traffic = vec![vec![0, 0, 50], vec![0, 0, 0], vec![50, 0, 0]];
+        let out = Pipeline::builder()
+            .unroll()
+            .comm_ir()
+            .aggregate(AggregateOptions::default())
+            .place_with_traffic(traffic)
+            .assign()
+            .metrics()
+            .build()
+            .run(&c, &p, &hw)
+            .unwrap();
+        let map = out.placement.node_map();
+        assert_eq!(
+            linear.hop_distance(map[0], map[2]),
+            Some(1),
+            "the override's heavy pair must land adjacent, got {map:?}"
+        );
+        // The single 2-hop-under-identity comm is now charged one hop.
+        assert_eq!(out.metrics.unwrap().total_epr_cost, 1);
+        // Dropping the override falls back to the aggregated program's own
+        // (here: identical-preference) traffic.
+        let derived = Pipeline::builder()
+            .unroll()
+            .comm_ir()
+            .aggregate(AggregateOptions::default())
+            .place()
+            .assign()
+            .metrics()
+            .build()
+            .run(&c, &p, &hw)
+            .unwrap();
+        let dmap = derived.placement.node_map();
+        assert_eq!(linear.hop_distance(dmap[0], dmap[2]), Some(1));
+    }
+
+    #[test]
+    fn compile_placed_is_bit_identical_on_all_to_all() {
+        let c = dqc_workloads::qft(12);
+        let p = Partition::block(12, 4).unwrap();
+        let hw = HardwareSpec::for_partition(&p);
+        let plain = AutoComm::new().compile_on(&c, &p, &hw).unwrap();
+        let (placed, report) =
+            AutoComm::new().compile_placed(&c, &p, &hw, &PlacementConfig::default()).unwrap();
+        assert_eq!(placed.metrics, plain.metrics);
+        assert_eq!(placed.schedule, plain.schedule);
+        assert_eq!(placed.assigned, plain.assigned);
+        assert_eq!(report.initial_epr_cost, report.final_epr_cost);
+    }
+
+    #[test]
+    fn zero_refine_iters_is_the_identity_compile() {
+        let c = dqc_workloads::bv(12);
+        let p = Partition::block(12, 3).unwrap();
+        let hw = HardwareSpec::for_partition(&p)
+            .with_topology(dqc_hardware::NetworkTopology::linear(3).unwrap())
+            .unwrap();
+        let plain = AutoComm::new().compile_on(&c, &p, &hw).unwrap();
+        let (placed, report) = AutoComm::new()
+            .compile_placed(&c, &p, &hw, &PlacementConfig { refine_iters: 0 })
+            .unwrap();
+        assert_eq!(report.iterations, 0);
+        assert_eq!(placed.metrics, plain.metrics);
+        assert_eq!(placed.schedule, plain.schedule);
     }
 
     #[test]

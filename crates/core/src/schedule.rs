@@ -19,11 +19,11 @@
 //! Disabling all three yields the plain-greedy ablation of paper
 //! Fig. 17(c).
 
-use dqc_circuit::{CommSummary, Gate, GateTable, NodeId, Partition, QubitId};
+use dqc_circuit::{CommSummary, Gate, GateTable, NodeId, QubitId};
 use dqc_hardware::{HardwareSpec, Timeline, TimelineEvent};
 
 use crate::assign::split_into_segments;
-use crate::{AssignedItem, AssignedProgram, CommBlock, Scheme};
+use crate::{AssignedItem, AssignedProgram, CommBlock, Placement, Scheme};
 
 /// Scheduler feature toggles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,19 +87,28 @@ pub struct ScheduleSummary {
 }
 
 /// Schedules `program` on machine `hw` and reports latency and EPR usage.
+/// All timeline claims, routes, and link traffic are issued against the
+/// *physical* nodes of `placement` — the identity placement reproduces the
+/// historical block-`i`-on-node-`i` behavior exactly.
 ///
 /// # Panics
 ///
-/// Panics if the partition's node count exceeds the hardware's, or if a
+/// Panics if the placement's node count exceeds the hardware's, or if a
 /// node needs more concurrent communications than it has comm qubits (the
 /// timeline enforces this invariant).
 pub fn schedule(
     program: &AssignedProgram,
-    partition: &Partition,
+    placement: &Placement,
     hw: &HardwareSpec,
     options: ScheduleOptions,
 ) -> ScheduleSummary {
-    assert!(partition.num_nodes() <= hw.num_nodes(), "hardware must provide every partition node");
+    assert!(placement.num_nodes() <= hw.num_nodes(), "hardware must provide every placed node");
+    let highest = placement.node_map().iter().map(|n| n.index()).max().unwrap_or(0);
+    assert!(
+        highest < hw.num_nodes(),
+        "placement maps a block onto node {highest}, but the hardware has {} node(s)",
+        hw.num_nodes()
+    );
     let table = program.ir().table();
     let mut tl = Timeline::new(program.num_qubits(), hw);
     if options.record_events {
@@ -108,7 +117,7 @@ pub fn schedule(
     let mut sched = Scheduler {
         tl,
         table,
-        partition,
+        placement,
         options,
         open_group: None,
         group_summary: CommSummary::new(program.num_qubits(), program.num_cbits()),
@@ -226,7 +235,7 @@ struct CatGroup {
 struct Scheduler<'a> {
     tl: Timeline,
     table: &'a GateTable,
-    partition: &'a Partition,
+    placement: &'a Placement,
     options: ScheduleOptions,
     open_group: Option<CatGroup>,
     /// Summary of every member body of the open group.
@@ -266,8 +275,10 @@ impl Scheduler<'_> {
     fn schedule_cat_block(&mut self, block: &CommBlock) {
         self.cat_blocks += 1;
         let q = block.qubit();
-        let home = block.home(self.partition);
-        let node = block.node();
+        // Claims route between *physical* nodes: where the placement put
+        // the home and remote blocks.
+        let home = self.placement.physical_node_of(q);
+        let node = self.placement.physical_of(block.node());
         let lat = *self.tl.latency();
 
         // Decide group membership before touching the timeline.
@@ -351,7 +362,7 @@ impl Scheduler<'_> {
         }
         let q = blocks[0].qubit();
         self.close_group_if_conflicts(&[q]);
-        let home = blocks[0].home(self.partition);
+        let home = self.placement.physical_node_of(q);
         let lat = *self.tl.latency();
 
         let mut state_time = self.tl.qubit_free_at(q);
@@ -389,7 +400,7 @@ impl Scheduler<'_> {
                     continue;
                 }
             };
-            let node = block.node();
+            let node = self.placement.physical_of(block.node());
             if node != cursor_node {
                 // Hop-distance-aware fusion: continuing the chain directly
                 // is worth it only while the direct route is strictly
@@ -472,7 +483,7 @@ impl ScheduleSummary {
 mod tests {
     use super::*;
     use crate::{aggregate, assign, AggregateOptions};
-    use dqc_circuit::Circuit;
+    use dqc_circuit::{Circuit, Partition};
 
     fn q(i: usize) -> QubitId {
         QubitId::new(i)
@@ -484,7 +495,22 @@ mod tests {
         options: ScheduleOptions,
     ) -> ScheduleSummary {
         let program = assign(&aggregate(c, p, AggregateOptions::default()));
-        schedule(&program, p, &HardwareSpec::for_partition(p), options)
+        schedule(&program, &Placement::identity(p), &HardwareSpec::for_partition(p), options)
+    }
+
+    #[test]
+    #[should_panic(expected = "maps a block onto node")]
+    fn out_of_range_placement_fails_loudly() {
+        // An injective map can still point past the machine; the scheduler
+        // must reject it with a clear message, not an index panic deep in
+        // the timeline.
+        let p = Partition::block(4, 2).unwrap();
+        let mut c = Circuit::new(4);
+        c.push(dqc_circuit::Gate::cx(q(0), q(2))).unwrap();
+        let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+        let placement = Placement::new(p.clone(), vec![NodeId::new(0), NodeId::new(5)]).unwrap();
+        let hw = HardwareSpec::for_partition(&p);
+        schedule(&program, &placement, &hw, ScheduleOptions::default());
     }
 
     #[test]
@@ -560,7 +586,7 @@ mod tests {
         let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
         let hw = HardwareSpec::for_partition(&p);
         let opts = ScheduleOptions { record_events: true, ..ScheduleOptions::default() };
-        let s = schedule(&program, &p, &hw, opts);
+        let s = schedule(&program, &Placement::identity(&p), &hw, opts);
         let events = s.events.expect("recording enabled");
         dqc_hardware::validate_events(&events, &hw).unwrap();
         assert!(s.makespan > 0.0);
@@ -596,9 +622,18 @@ mod tests {
         let mut c = Circuit::new(6);
         c.push(dqc_circuit::Gate::cx(q(0), q(4))).unwrap();
         let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
-        let dense =
-            schedule(&program, &p, &HardwareSpec::for_partition(&p), ScheduleOptions::default());
-        let sparse = schedule(&program, &p, &linear_hw(&p), ScheduleOptions::default());
+        let dense = schedule(
+            &program,
+            &Placement::identity(&p),
+            &HardwareSpec::for_partition(&p),
+            ScheduleOptions::default(),
+        );
+        let sparse = schedule(
+            &program,
+            &Placement::identity(&p),
+            &linear_hw(&p),
+            ScheduleOptions::default(),
+        );
         assert_eq!(dense.epr_pairs, 1);
         assert_eq!(dense.swaps, 0);
         assert_eq!(sparse.epr_pairs, 2);
@@ -635,9 +670,18 @@ mod tests {
             c.push(dqc_circuit::Gate::cx(q(2), q(node_q + 1))).unwrap();
         }
         let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
-        let dense =
-            schedule(&program, &p, &HardwareSpec::for_partition(&p), ScheduleOptions::default());
-        let sparse = schedule(&program, &p, &linear_hw(&p), ScheduleOptions::default());
+        let dense = schedule(
+            &program,
+            &Placement::identity(&p),
+            &HardwareSpec::for_partition(&p),
+            ScheduleOptions::default(),
+        );
+        let sparse = schedule(
+            &program,
+            &Placement::identity(&p),
+            &linear_hw(&p),
+            ScheduleOptions::default(),
+        );
         assert_eq!(dense.fusion_savings, 1, "all-to-all fuses the junction");
         assert_eq!(sparse.fusion_savings, 0, "linear re-homes at the junction");
         // Re-homing costs the same link pairs as the direct 2-hop route.
@@ -652,7 +696,7 @@ mod tests {
         let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
         let hw = linear_hw(&p);
         let opts = ScheduleOptions { record_events: true, ..ScheduleOptions::default() };
-        let s = schedule(&program, &p, &hw, opts);
+        let s = schedule(&program, &Placement::identity(&p), &hw, opts);
         dqc_hardware::validate_events(&s.events.expect("recording enabled"), &hw).unwrap();
         assert!(s.swaps > 0, "QFT over a 4-chain must swap");
     }

@@ -4,7 +4,7 @@
 
 use autocomm::{
     aggregate, assign, lower_assigned, schedule, AggregateOptions, AssignedItem, CommMetrics,
-    ScheduleOptions, Scheme,
+    Placement, ScheduleOptions, Scheme,
 };
 use dqc_circuit::{Circuit, Gate, Partition, QubitId};
 use dqc_hardware::{validate_events, HardwareSpec};
@@ -33,8 +33,8 @@ fn local_gate_on_burst_qubit_closes_the_parallel_group() {
 
     let hw = HardwareSpec::for_partition(&p);
     let opts = ScheduleOptions { record_events: true, ..ScheduleOptions::default() };
-    let serial = schedule(&compile(&with_h, &p), &p, &hw, opts);
-    let parallel = schedule(&compile(&without_h, &p), &p, &hw, opts);
+    let serial = schedule(&compile(&with_h, &p), &Placement::identity(&p), &hw, opts);
+    let parallel = schedule(&compile(&without_h, &p), &Placement::identity(&p), &hw, opts);
     assert!(
         serial.makespan > parallel.makespan + 10.0,
         "H must break the group: {} vs {}",
@@ -63,7 +63,7 @@ fn on_state_gates_ride_tp_chains() {
     assert_eq!(tp_blocks, 2, "both bursts must be TP");
 
     let hw = HardwareSpec::for_partition(&p);
-    let s = schedule(&program, &p, &hw, ScheduleOptions::default());
+    let s = schedule(&program, &Placement::identity(&p), &hw, ScheduleOptions::default());
     assert_eq!(s.fusion_savings, 1, "chain must fuse across the S gate");
     assert_eq!(s.epr_pairs, 3);
 }
@@ -138,8 +138,8 @@ fn schedules_are_deterministic() {
     let (c, p) = dqc_workloads::random_distributed_circuit(8, 2, 80, 42);
     let c = dqc_circuit::unroll_circuit(&c).unwrap();
     let hw = HardwareSpec::for_partition(&p);
-    let a = schedule(&compile(&c, &p), &p, &hw, ScheduleOptions::default());
-    let b = schedule(&compile(&c, &p), &p, &hw, ScheduleOptions::default());
+    let a = schedule(&compile(&c, &p), &Placement::identity(&p), &hw, ScheduleOptions::default());
+    let b = schedule(&compile(&c, &p), &Placement::identity(&p), &hw, ScheduleOptions::default());
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.epr_pairs, b.epr_pairs);
     assert_eq!(a.fusion_savings, b.fusion_savings);

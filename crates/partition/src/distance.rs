@@ -1,0 +1,81 @@
+//! Node-to-node distance abstraction.
+//!
+//! The OEE partitioner historically minimized an *unweighted* cut: every
+//! cross-node edge costs the same, which is exact on the paper's all-to-all
+//! interconnect where every communication consumes one EPR pair. Since the
+//! topology re-platforming the hardware charges `comms × hops`, so the same
+//! cut costs different amounts of EPR traffic depending on which physical
+//! nodes the blocks land on. [`NodeDistance`] abstracts that cost surface:
+//! the uniform metric reproduces the historical objective bit for bit, and
+//! [`dqc_hardware::NetworkTopology`] plugs in routed hop counts.
+
+use dqc_circuit::NodeId;
+use dqc_hardware::NetworkTopology;
+
+/// A distance (EPR-pairs-per-communication multiplier) between physical
+/// nodes. `distance(a, a)` must be 0 and the metric symmetric; both are
+/// relied on by the weighted OEE gain formula.
+pub trait NodeDistance {
+    /// EPR pairs one end-to-end communication between `a` and `b` costs.
+    fn node_distance(&self, a: NodeId, b: NodeId) -> u64;
+}
+
+/// The paper's implicit all-to-all metric: every distinct pair is one hop.
+/// [`crate::oee_refine`] under this metric is exactly the historical
+/// unweighted OEE.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UniformDistance;
+
+impl NodeDistance for UniformDistance {
+    fn node_distance(&self, a: NodeId, b: NodeId) -> u64 {
+        u64::from(a != b)
+    }
+}
+
+/// Routed hop counts. [`dqc_hardware::HardwareSpec::with_topology`] rejects
+/// disconnected machines, so pipeline-facing callers never hit the panic.
+///
+/// # Panics
+///
+/// Panics when `a` and `b` are disconnected (only possible for hand-built
+/// [`NetworkTopology::from_links`] graphs).
+impl NodeDistance for NetworkTopology {
+    fn node_distance(&self, a: NodeId, b: NodeId) -> u64 {
+        self.hop_distance(a, b).unwrap_or_else(|| {
+            panic!("topology has no route between {a} and {b} (pass a connected topology)")
+        }) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn uniform_distance_is_the_historical_metric() {
+        assert_eq!(UniformDistance.node_distance(n(0), n(0)), 0);
+        assert_eq!(UniformDistance.node_distance(n(0), n(5)), 1);
+        assert_eq!(UniformDistance.node_distance(n(5), n(0)), 1);
+    }
+
+    #[test]
+    fn topology_distance_counts_hops() {
+        let t = NetworkTopology::linear(4).unwrap();
+        assert_eq!(t.node_distance(n(0), n(3)), 3);
+        assert_eq!(t.node_distance(n(1), n(1)), 0);
+        let full = NetworkTopology::all_to_all(4);
+        assert_eq!(full.node_distance(n(0), n(3)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn disconnected_distance_panics() {
+        use dqc_hardware::Link;
+        let t = NetworkTopology::from_links("x", 3, vec![Link::new(n(0), n(1))]).unwrap();
+        t.node_distance(n(0), n(2));
+    }
+}

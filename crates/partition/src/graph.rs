@@ -1,6 +1,8 @@
 //! The qubit interaction graph.
 
-use dqc_circuit::{Circuit, Partition, QubitId};
+use dqc_circuit::{Circuit, NodeId, Partition, QubitId};
+
+use crate::NodeDistance;
 
 /// Weighted undirected graph over qubits; edge weight = number of
 /// multi-qubit gates coupling the pair.
@@ -23,6 +25,13 @@ impl InteractionGraph {
 
     /// Builds the graph of `circuit`: every multi-qubit gate adds one unit
     /// of weight to each pair of its operands.
+    ///
+    /// This is the *raw-gate* weighting — the documented fallback when no
+    /// compiled program is available (e.g. the very first partitioning of a
+    /// fresh circuit). It overweights pairs whose gates aggregate into few
+    /// burst communications; once a program has been aggregated, prefer the
+    /// communication-weighted graph (`autocomm::comm_weighted_graph`),
+    /// which counts burst blocks instead of gates.
     ///
     /// ```
     /// use dqc_circuit::{Circuit, Gate, QubitId};
@@ -101,6 +110,57 @@ impl InteractionGraph {
             }
         }
         cut
+    }
+
+    /// The hop-weighted generalization of [`InteractionGraph::cut_weight`]:
+    /// `Σ w(a, b) × distance(node_map[block(a)], node_map[block(b)])` — the
+    /// EPR traffic the hardware charges when partition block `i` lands on
+    /// physical node `node_map[i]`. With the identity map and
+    /// [`crate::UniformDistance`] this is exactly `cut_weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node_map` does not cover every partition block.
+    pub fn placed_cut_weight(
+        &self,
+        partition: &Partition,
+        node_map: &[NodeId],
+        dist: &impl NodeDistance,
+    ) -> u64 {
+        assert!(node_map.len() >= partition.num_nodes(), "node map must cover every block");
+        let mut cut = 0;
+        for i in 0..self.num_qubits {
+            for j in i + 1..self.num_qubits {
+                let w = self.weights[i][j - i];
+                if w == 0 {
+                    continue;
+                }
+                let a = partition.node_of(QubitId::new(i));
+                let b = partition.node_of(QubitId::new(j));
+                if a != b {
+                    cut += w * dist.node_distance(node_map[a.index()], node_map[b.index()]);
+                }
+            }
+        }
+        cut
+    }
+
+    /// The block-level traffic matrix under `partition`:
+    /// `traffic[i][j] = Σ w(a, b)` over edges with `a` in block `i` and `b`
+    /// in block `j` (symmetric, zero diagonal). This is the input the
+    /// node-placement stage ([`crate::place_blocks`]) optimizes over.
+    pub fn block_traffic(&self, partition: &Partition) -> Vec<Vec<u64>> {
+        let k = partition.num_nodes();
+        let mut traffic = vec![vec![0u64; k]; k];
+        for (a, b, w) in self.edges() {
+            let na = partition.node_of(a).index();
+            let nb = partition.node_of(b).index();
+            if na != nb {
+                traffic[na][nb] += w;
+                traffic[nb][na] += w;
+            }
+        }
+        traffic
     }
 
     /// Iterates over `(a, b, weight)` for every positive-weight edge.
@@ -199,5 +259,48 @@ mod tests {
     #[should_panic(expected = "self-loops")]
     fn self_loop_rejected() {
         InteractionGraph::new(2).add_weight(q(1), q(1), 1);
+    }
+
+    #[test]
+    fn placed_cut_weight_reduces_to_cut_weight_under_uniform_identity() {
+        use crate::UniformDistance;
+        let mut g = InteractionGraph::new(6);
+        g.add_weight(q(0), q(3), 4);
+        g.add_weight(q(2), q(5), 2);
+        g.add_weight(q(0), q(1), 9); // same block: never cut
+        let p = Partition::block(6, 3).unwrap();
+        let identity: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        assert_eq!(g.placed_cut_weight(&p, &identity, &UniformDistance), g.cut_weight(&p));
+    }
+
+    #[test]
+    fn placed_cut_weight_charges_hops() {
+        use dqc_hardware::NetworkTopology;
+        let mut g = InteractionGraph::new(6);
+        g.add_weight(q(0), q(4), 3); // block 0 ↔ block 2
+        let p = Partition::block(6, 3).unwrap();
+        let chain = NetworkTopology::linear(3).unwrap();
+        let identity: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        assert_eq!(g.placed_cut_weight(&p, &identity, &chain), 6, "3 comms × 2 hops");
+        // Swapping blocks 1 and 2 makes the pair adjacent.
+        let swapped = vec![NodeId::new(0), NodeId::new(2), NodeId::new(1)];
+        assert_eq!(g.placed_cut_weight(&p, &swapped, &chain), 3);
+    }
+
+    #[test]
+    fn block_traffic_is_symmetric_with_zero_diagonal() {
+        let mut g = InteractionGraph::new(6);
+        g.add_weight(q(0), q(2), 5);
+        g.add_weight(q(1), q(4), 2);
+        g.add_weight(q(0), q(1), 7); // intra-block: not traffic
+        let p = Partition::block(6, 3).unwrap();
+        let t = g.block_traffic(&p);
+        assert_eq!(t[0][1], 5);
+        assert_eq!(t[1][0], 5);
+        assert_eq!(t[0][2], 2);
+        assert_eq!(t[0][0], 0);
+        let cut: u64 =
+            (0..3).flat_map(|i| (i + 1..3).map(move |j| (i, j))).map(|(i, j)| t[i][j]).sum();
+        assert_eq!(cut, g.cut_weight(&p), "traffic totals the cut");
     }
 }

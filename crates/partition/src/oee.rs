@@ -2,7 +2,7 @@
 
 use dqc_circuit::{CircuitError, NodeId, Partition, QubitId};
 
-use crate::InteractionGraph;
+use crate::{InteractionGraph, NodeDistance, UniformDistance};
 
 /// Tuning knobs for the OEE loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,6 +21,14 @@ impl Default for OeeOptions {
 /// Partitions the graph over `num_nodes` nodes: balanced block assignment
 /// refined by [`oee_refine`].
 ///
+/// # Determinism
+///
+/// The result is fully deterministic across runs and platforms: the
+/// exchange loop scans candidate pairs in ascending `(a, b)` qubit order
+/// and only a *strictly larger* gain displaces the running best, so equal
+/// gains always resolve to the lexicographically-first exchange. Placement
+/// baselines recorded from this partitioner are reproducible bit for bit.
+///
 /// # Errors
 ///
 /// Returns [`CircuitError::InvalidPartition`] for impossible node counts.
@@ -38,10 +46,40 @@ pub fn oee_partition(
 ///
 /// Exchanges preserve per-node loads exactly, so the output is balanced iff
 /// the input was. The returned partition's cut weight is never larger than
-/// the input's (asserted in debug builds and property-tested).
+/// the input's (asserted in debug builds and property-tested). Tie-breaks
+/// are deterministic — see [`oee_partition`].
 pub fn oee_refine(
     graph: &InteractionGraph,
+    partition: Partition,
+    options: OeeOptions,
+) -> Partition {
+    // The uniform metric with the identity block→node map reproduces the
+    // historical unweighted objective exactly (same gains, same scan order,
+    // same tie-breaks), so this delegation is bit-identical to the
+    // pre-placement OEE.
+    let identity: Vec<NodeId> = (0..partition.num_nodes()).map(NodeId::new).collect();
+    oee_refine_on(graph, partition, &identity, &UniformDistance, options)
+}
+
+/// The hop-distance-weighted generalization of [`oee_refine`]: minimizes
+/// [`InteractionGraph::placed_cut_weight`] — `Σ w × distance(π(block(a)),
+/// π(block(b)))` — for a fixed block→node map `node_map` and a
+/// [`NodeDistance`] metric (routed hop counts when backed by a
+/// `NetworkTopology`).
+///
+/// With [`UniformDistance`] and the identity map this is exactly the
+/// historical unweighted OEE. The same determinism guarantee applies:
+/// candidates scan in ascending `(a, b)` order and only strict gain
+/// improvements displace the running best.
+///
+/// # Panics
+///
+/// Panics when `node_map` does not cover every partition block.
+pub fn oee_refine_on(
+    graph: &InteractionGraph,
     mut partition: Partition,
+    node_map: &[NodeId],
+    dist: &impl NodeDistance,
     options: OeeOptions,
 ) -> Partition {
     let n = graph.num_qubits();
@@ -49,28 +87,47 @@ pub fn oee_refine(
         return partition;
     }
     debug_assert_eq!(partition.num_qubits(), n, "partition must cover the graph");
+    let k = partition.num_nodes();
+    assert!(node_map.len() >= k, "node map must cover every block");
+
+    // Block-to-block distances under the map, flattened (k is small).
+    let d = |a: usize, b: usize| dist.node_distance(node_map[a], node_map[b]) as i64;
 
     // node_w[q][node] = total edge weight between q and the qubits of node.
     let mut node_w: Vec<Vec<u64>> =
         (0..n).map(|q| graph.node_weights(QubitId::new(q), &partition)).collect();
 
-    let initial_cut = graph.cut_weight(&partition);
+    let initial_cut = graph.placed_cut_weight(&partition, node_map, dist);
     let mut applied = 0usize;
     while applied < options.max_exchanges {
         let mut best_gain: i64 = 0;
         let mut best_pair: Option<(usize, usize)> = None;
         for a in 0..n {
-            let na = partition.node_of(QubitId::new(a));
+            let na = partition.node_of(QubitId::new(a)).index();
             for b in a + 1..n {
-                let nb = partition.node_of(QubitId::new(b));
+                let nb = partition.node_of(QubitId::new(b)).index();
                 if na == nb {
                     continue;
                 }
                 let w_ab = graph.weight(QubitId::new(a), QubitId::new(b)) as i64;
-                let gain = node_w[a][nb.index()] as i64 - node_w[a][na.index()] as i64
-                    + node_w[b][na.index()] as i64
-                    - node_w[b][nb.index()] as i64
-                    - 2 * w_ab;
+                // Swapping a (block A) and b (block B) changes the weighted
+                // cut by -gain where, summing over every block C:
+                //   gain = Σ_C node_w[a][C]·(d(A,C) − d(B,C))
+                //        + Σ_C node_w[b][C]·(d(B,C) − d(A,C))
+                //        − 2·w_ab·d(A,B)
+                // (the correction removes the double-counted (a, b) edge,
+                // whose own contribution is unchanged by the swap). Under
+                // the uniform metric this reduces to the classic
+                // node_w[a][B] − node_w[a][A] + node_w[b][A] − node_w[b][B]
+                // − 2·w_ab.
+                let mut gain: i64 = -2 * w_ab * d(na, nb);
+                for (c, (&wa, &wb)) in node_w[a].iter().zip(node_w[b].iter()).enumerate() {
+                    let delta = d(na, c) - d(nb, c);
+                    if delta != 0 {
+                        gain += wa as i64 * delta;
+                        gain -= wb as i64 * delta;
+                    }
+                }
                 if gain > best_gain {
                     best_gain = gain;
                     best_pair = Some((a, b));
@@ -90,7 +147,10 @@ pub fn oee_refine(
         applied += 1;
     }
 
-    debug_assert!(graph.cut_weight(&partition) <= initial_cut, "OEE must never increase the cut");
+    debug_assert!(
+        graph.placed_cut_weight(&partition, node_map, dist) <= initial_cut,
+        "OEE must never increase the (weighted) cut"
+    );
     partition
 }
 
@@ -202,5 +262,59 @@ mod tests {
         assert_eq!(p.imbalance(), 0);
         // K6 over 3 nodes of 2: internal edges = 3, cut = 15 - 3 = 12.
         assert_eq!(g.cut_weight(&p), 12);
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic_and_lexicographically_first() {
+        // Two disjoint, perfectly symmetric improving exchanges: (0,2)↔ and
+        // (1,3)↔ both gain the same. The documented guarantee picks (0, 2)
+        // first on every run and platform.
+        let mut g = InteractionGraph::new(4);
+        g.add_weight(q(0), q(3), 5); // wants 0 with 3
+        g.add_weight(q(1), q(2), 5); // wants 1 with 2
+        let initial = Partition::block(4, 2).unwrap(); // {0,1} | {2,3}
+        let a = oee_refine(&g, initial.clone(), OeeOptions { max_exchanges: 1 });
+        let b = oee_refine(&g, initial, OeeOptions { max_exchanges: 1 });
+        assert_eq!(a.assignment(), b.assignment(), "identical across runs");
+        // First applied exchange is the lexicographically-first candidate:
+        // swapping qubits 0 and 2 (not 1 and 3).
+        assert_eq!(a.node_of(q(0)).index(), 1);
+        assert_eq!(a.node_of(q(2)).index(), 0);
+        assert_eq!(a.node_of(q(1)).index(), 0, "qubit 1 untouched after one exchange");
+    }
+
+    #[test]
+    fn weighted_refinement_reduces_to_unweighted_under_uniform_identity() {
+        for seed in 0..4u64 {
+            let (c, _) = dqc_workloads::random_distributed_circuit(9, 3, 50, seed);
+            let g = InteractionGraph::from_circuit(&c);
+            let initial = Partition::round_robin(9, 3).unwrap();
+            let identity: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+            let classic = oee_refine(&g, initial.clone(), OeeOptions::default());
+            let weighted =
+                oee_refine_on(&g, initial, &identity, &UniformDistance, OeeOptions::default());
+            assert_eq!(classic.assignment(), weighted.assignment(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hop_weighted_refinement_helps_on_a_chain() {
+        use dqc_hardware::NetworkTopology;
+        // Qubit 0 (block 0) talks to blocks 1 and 2; qubit 5 (block 2)
+        // talks only locally-ish. Under a chain, the weighted objective
+        // prefers moving far-talking qubits toward the middle.
+        let mut g = InteractionGraph::new(6);
+        g.add_weight(q(0), q(4), 6); // block 0 ↔ block 2: 2 hops on a chain
+        g.add_weight(q(2), q(4), 1);
+        let chain = NetworkTopology::linear(3).unwrap();
+        let identity: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let initial = Partition::block(6, 3).unwrap();
+        let before = g.placed_cut_weight(&initial, &identity, &chain);
+        let refined = oee_refine_on(&g, initial.clone(), &identity, &chain, OeeOptions::default());
+        let after = g.placed_cut_weight(&refined, &identity, &chain);
+        assert!(after <= before, "weighted OEE must not increase the weighted cut");
+        assert!(after < before, "the 2-hop pair should be pulled adjacent ({after} vs {before})");
+        // The unweighted cut may differ — the objective really changed.
+        assert_eq!(refined.imbalance(), initial.imbalance(), "exchanges preserve balance");
     }
 }

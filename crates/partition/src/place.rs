@@ -1,0 +1,270 @@
+//! Node placement: mapping partition blocks onto physical topology nodes.
+//!
+//! OEE decides *which qubits share a block*; on a sparse interconnect the
+//! compiler must also decide *which physical node each block lands on*,
+//! because the hardware charges `comms × hops` and the same cut costs
+//! different amounts of EPR traffic under different block→node maps. This
+//! module optimizes that map: given a block-level traffic matrix and a
+//! [`NodeDistance`], it minimizes `Σ traffic[i][j] × distance(π(i), π(j))`
+//! with a greedy seed followed by pairwise-exchange refinement — the same
+//! shape as OEE itself, one level up.
+//!
+//! # Determinism
+//!
+//! Like [`crate::oee_refine`], every loop scans candidates in a fixed
+//! ascending order and accepts only *strict* improvements, so ties resolve
+//! to the lexicographically-first candidate and the result is identical
+//! across runs and platforms.
+
+use dqc_circuit::NodeId;
+
+use crate::NodeDistance;
+
+/// Tuning knobs for the placement exchange loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlaceOptions {
+    /// Upper bound on applied exchanges (safety valve; the loop normally
+    /// terminates when no improving swap exists).
+    pub max_exchanges: usize,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions { max_exchanges: 10_000 }
+    }
+}
+
+/// `Σ traffic[i][j] × distance(node_map[i], node_map[j])` over `i < j` —
+/// the hop-weighted EPR cost of a block→node map.
+///
+/// # Panics
+///
+/// Panics when `node_map` is shorter than the traffic matrix.
+pub fn placement_cost(traffic: &[Vec<u64>], node_map: &[NodeId], dist: &impl NodeDistance) -> u64 {
+    let k = traffic.len();
+    let mut cost = 0u64;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let w = traffic[i][j];
+            if w > 0 {
+                cost += w * dist.node_distance(node_map[i], node_map[j]);
+            }
+        }
+    }
+    cost
+}
+
+/// Maps `k` partition blocks onto `num_nodes ≥ k` physical nodes,
+/// minimizing `Σ traffic × distance`.
+///
+/// Greedy seed: blocks are placed in descending-total-traffic order (ties:
+/// lower block index first); each takes the free node minimizing the
+/// traffic-weighted distance to the already-placed blocks (ties: the node
+/// with the smallest total distance to all nodes — most central — then the
+/// lowest index). Pairwise-exchange refinement then repeatedly applies the
+/// strictly-improving block swap with the largest cost reduction until none
+/// exists.
+///
+/// The identity map is always *evaluated* implicitly: the exchange loop
+/// never accepts a non-improving swap, so on metrics where placement cannot
+/// help (all-to-all: every distinct pair is 1 hop) the greedy seed's cost
+/// already equals the optimum and the refinement is a no-op.
+///
+/// # Panics
+///
+/// Panics when `traffic` is not square or `num_nodes < traffic.len()`.
+pub fn place_blocks(
+    traffic: &[Vec<u64>],
+    num_nodes: usize,
+    dist: &impl NodeDistance,
+    options: PlaceOptions,
+) -> Vec<NodeId> {
+    let k = traffic.len();
+    assert!(traffic.iter().all(|row| row.len() == k), "traffic matrix must be square");
+    assert!(num_nodes >= k, "need at least {k} physical nodes, have {num_nodes}");
+    if k == 0 {
+        return Vec::new();
+    }
+
+    // Node centrality: total distance to every other node (ascending =
+    // more central). Used to seed the first block and to break ties.
+    let centrality: Vec<u64> = (0..num_nodes)
+        .map(|a| (0..num_nodes).map(|b| dist.node_distance(NodeId::new(a), NodeId::new(b))).sum())
+        .collect();
+
+    // Blocks in descending total-traffic order, ties to the lower index.
+    let mut order: Vec<usize> = (0..k).collect();
+    let totals: Vec<u64> = (0..k).map(|i| traffic[i].iter().sum()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(totals[i]), i));
+
+    const UNPLACED: usize = usize::MAX;
+    let mut node_of: Vec<usize> = vec![UNPLACED; k];
+    let mut free: Vec<bool> = vec![true; num_nodes];
+    for &blk in &order {
+        let mut best: Option<(u64, u64, usize)> = None; // (attraction cost, centrality, node)
+        for node in 0..num_nodes {
+            if !free[node] {
+                continue;
+            }
+            let cost: u64 = (0..k)
+                .filter(|&other| node_of[other] != UNPLACED && traffic[blk][other] > 0)
+                .map(|other| {
+                    traffic[blk][other]
+                        * dist.node_distance(NodeId::new(node), NodeId::new(node_of[other]))
+                })
+                .sum();
+            let key = (cost, centrality[node], node);
+            if best.map(|b| key < b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        let (_, _, node) = best.expect("num_nodes >= k leaves a free node");
+        node_of[blk] = node;
+        free[node] = false;
+    }
+
+    let mut node_map: Vec<NodeId> = node_of.into_iter().map(NodeId::new).collect();
+
+    // Pairwise-exchange refinement (strict improvement only). Each
+    // candidate swap is scored by its O(k) cost *delta* — only pairs
+    // involving the two swapped blocks change, and the (i, j) pair itself
+    // is invariant under a symmetric metric — so a round is O(k³), not the
+    // O(k⁴) of re-evaluating the full matrix per candidate.
+    let swap_delta = |node_map: &[NodeId], i: usize, j: usize| -> i64 {
+        let (ni, nj) = (node_map[i], node_map[j]);
+        let mut delta = 0i64;
+        for m in 0..k {
+            if m == i || m == j {
+                continue;
+            }
+            let nm = node_map[m];
+            if traffic[i][m] > 0 {
+                delta += traffic[i][m] as i64
+                    * (dist.node_distance(nj, nm) as i64 - dist.node_distance(ni, nm) as i64);
+            }
+            if traffic[j][m] > 0 {
+                delta += traffic[j][m] as i64
+                    * (dist.node_distance(ni, nm) as i64 - dist.node_distance(nj, nm) as i64);
+            }
+        }
+        delta
+    };
+    let mut applied = 0usize;
+    while applied < options.max_exchanges {
+        let mut best: Option<(i64, usize, usize)> = None;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let delta = swap_delta(&node_map, i, j);
+                if delta < 0 && best.map(|(b, _, _)| delta < b).unwrap_or(true) {
+                    best = Some((delta, i, j));
+                }
+            }
+        }
+        let Some((_, i, j)) = best else { break };
+        node_map.swap(i, j);
+        applied += 1;
+    }
+    node_map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformDistance;
+    use dqc_hardware::NetworkTopology;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// A traffic matrix from an upper-triangular edge list.
+    fn traffic(k: usize, edges: &[(usize, usize, u64)]) -> Vec<Vec<u64>> {
+        let mut t = vec![vec![0; k]; k];
+        for &(a, b, w) in edges {
+            t[a][b] += w;
+            t[b][a] += w;
+        }
+        t
+    }
+
+    #[test]
+    fn heavy_pairs_land_on_adjacent_nodes() {
+        // Blocks 0 and 3 talk a lot; 1 and 2 talk a lot. On a 4-chain the
+        // identity map pays 3 + 1 hops; the optimum pairs them up adjacent.
+        let t = traffic(4, &[(0, 3, 10), (1, 2, 10), (0, 1, 1)]);
+        let chain = NetworkTopology::linear(4).unwrap();
+        let map = place_blocks(&t, 4, &chain, PlaceOptions::default());
+        let identity: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let placed = placement_cost(&t, &map, &chain);
+        assert!(placed < placement_cost(&t, &identity, &chain));
+        assert_eq!(chain.node_distance(map[0], map[3]), 1, "heavy pair 0-3 adjacent");
+        assert_eq!(chain.node_distance(map[1], map[2]), 1, "heavy pair 1-2 adjacent");
+    }
+
+    #[test]
+    fn all_to_all_placement_is_cost_invariant() {
+        let t = traffic(4, &[(0, 1, 5), (2, 3, 7), (0, 3, 2)]);
+        let full = NetworkTopology::all_to_all(4);
+        let map = place_blocks(&t, 4, &full, PlaceOptions::default());
+        let identity: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        assert_eq!(
+            placement_cost(&t, &map, &full),
+            placement_cost(&t, &identity, &full),
+            "every permutation costs the same at one hop"
+        );
+    }
+
+    #[test]
+    fn uniform_distance_cost_equals_cut() {
+        let t = traffic(3, &[(0, 1, 4), (1, 2, 6)]);
+        let identity: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        assert_eq!(placement_cost(&t, &identity, &UniformDistance), 10);
+    }
+
+    #[test]
+    fn star_placement_centers_the_hub_block() {
+        // Block 2 talks to everyone; on a star it must take the hub (node 0).
+        let t = traffic(4, &[(2, 0, 5), (2, 1, 5), (2, 3, 5)]);
+        let star = NetworkTopology::star(4).unwrap();
+        let map = place_blocks(&t, 4, &star, PlaceOptions::default());
+        assert_eq!(map[2], n(0), "the all-talking block takes the hub");
+        let cost = placement_cost(&t, &map, &star);
+        assert_eq!(cost, 15, "every spoke pair is one hop from the hub");
+    }
+
+    #[test]
+    fn placement_is_a_permutation_and_deterministic() {
+        let t = traffic(5, &[(0, 4, 3), (1, 3, 3), (2, 4, 1), (0, 1, 2)]);
+        let grid = NetworkTopology::parse_spec("grid", 6).unwrap();
+        let a = place_blocks(&t, 6, &grid, PlaceOptions::default());
+        let b = place_blocks(&t, 6, &grid, PlaceOptions::default());
+        assert_eq!(a, b, "placement must be reproducible");
+        let mut seen = a.iter().map(|n| n.index()).collect::<Vec<_>>();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 5, "5 blocks land on 5 distinct nodes of 6");
+    }
+
+    #[test]
+    fn empty_and_single_block_cases() {
+        assert!(place_blocks(&[], 0, &UniformDistance, PlaceOptions::default()).is_empty());
+        let t = traffic(1, &[]);
+        let map =
+            place_blocks(&t, 3, &NetworkTopology::linear(3).unwrap(), PlaceOptions::default());
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[0], n(1), "a lone block takes the most central node");
+    }
+
+    #[test]
+    fn exchange_cap_is_respected() {
+        let t = traffic(4, &[(0, 3, 10), (1, 2, 10)]);
+        let chain = NetworkTopology::linear(4).unwrap();
+        // Zero exchanges: the greedy seed stands as-is.
+        let capped = place_blocks(&t, 4, &chain, PlaceOptions { max_exchanges: 0 });
+        let refined = place_blocks(&t, 4, &chain, PlaceOptions::default());
+        assert!(
+            placement_cost(&t, &refined, &chain) <= placement_cost(&t, &capped, &chain),
+            "refinement can only improve on the seed"
+        );
+    }
+}

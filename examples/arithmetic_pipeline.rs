@@ -7,7 +7,7 @@
 //! Run with `cargo run --example arithmetic_pipeline`.
 
 use autocomm::{
-    aggregate, assign, schedule, AggregateOptions, AssignedItem, CommMetrics, Item,
+    aggregate, assign, schedule, AggregateOptions, AssignedItem, CommMetrics, Item, Placement,
     ScheduleOptions, Scheme,
 };
 use dqc_circuit::{Circuit, Gate, NodeId, Partition, QubitId};
@@ -77,8 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pass 3: communication scheduling (paper §4.4, Fig. 11b).
     let hw = HardwareSpec::for_partition(&partition);
-    let summary = schedule(&assigned, &partition, &hw, ScheduleOptions::default());
-    let plain = schedule(&assigned, &partition, &hw, ScheduleOptions::plain_greedy());
+    let placement = Placement::identity(&partition);
+    let summary = schedule(&assigned, &placement, &hw, ScheduleOptions::default());
+    let plain = schedule(&assigned, &placement, &hw, ScheduleOptions::plain_greedy());
     println!(
         "\nschedule (burst-greedy): {:.1} CX units, {} EPR pairs",
         summary.makespan, summary.epr_pairs

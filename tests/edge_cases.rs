@@ -4,7 +4,8 @@ use autocomm_repro::circuit::{
     from_qasm, to_qasm, unroll_circuit, CBitId, Circuit, Gate, Partition, QubitId,
 };
 use autocomm_repro::core::{
-    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions, ScheduleOptions,
+    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions, Placement,
+    ScheduleOptions,
 };
 use autocomm_repro::hardware::{HardwareSpec, LatencyModel};
 
@@ -92,11 +93,15 @@ fn free_epr_latency_model_collapses_comm_cost() {
     let p = Partition::block(12, 2).unwrap();
     let unrolled = unroll_circuit(&c).unwrap();
     let assigned = assign(&aggregate(&unrolled, &p, AggregateOptions::default()));
-    let normal =
-        schedule(&assigned, &p, &HardwareSpec::for_partition(&p), ScheduleOptions::plain_greedy());
+    let normal = schedule(
+        &assigned,
+        &Placement::identity(&p),
+        &HardwareSpec::for_partition(&p),
+        ScheduleOptions::plain_greedy(),
+    );
     let free_epr = schedule(
         &assigned,
-        &p,
+        &Placement::identity(&p),
         &HardwareSpec::for_partition(&p)
             .with_latency(LatencyModel { t_epr: 0.0, ..LatencyModel::default() }),
         ScheduleOptions::plain_greedy(),

@@ -4,7 +4,8 @@
 
 use autocomm_repro::circuit::{unroll_circuit, Partition};
 use autocomm_repro::core::{
-    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions, ScheduleOptions,
+    aggregate, assign, schedule, AggregateOptions, AutoComm, AutoCommOptions, Placement,
+    ScheduleOptions,
 };
 use autocomm_repro::hardware::{validate_events, HardwareSpec};
 use autocomm_repro::workloads as wl;
@@ -19,7 +20,12 @@ fn recorded_schedule(
     let aggregated = aggregate(&unrolled, partition, AggregateOptions::default());
     let assigned = assign(&aggregated);
     let hw = HardwareSpec::for_partition(partition);
-    schedule(&assigned, partition, &hw, ScheduleOptions { record_events: true, ..options })
+    schedule(
+        &assigned,
+        &Placement::identity(partition),
+        &hw,
+        ScheduleOptions { record_events: true, ..options },
+    )
 }
 
 #[test]
@@ -107,7 +113,8 @@ fn more_comm_qubits_never_slow_the_schedule() {
         let hw = HardwareSpec::for_partition(&partition)
             .with_comm_qubits(budget)
             .expect("positive budget");
-        let summary = schedule(&assigned, &partition, &hw, ScheduleOptions::default());
+        let summary =
+            schedule(&assigned, &Placement::identity(&partition), &hw, ScheduleOptions::default());
         assert!(
             summary.makespan <= last + 1e-9,
             "budget {budget} slowed the schedule: {} > {last}",

@@ -7,7 +7,7 @@
 use autocomm_repro::circuit::{unroll_circuit, Circuit, Partition};
 use autocomm_repro::core::{
     aggregate, aggregate_no_commute, assign, assign_cat_only, orient_symmetric_gates, schedule,
-    Ablation, AutoComm, AutoCommOptions, CommMetrics, CompileResult,
+    Ablation, AutoComm, AutoCommOptions, CommMetrics, CompileResult, Placement,
 };
 use autocomm_repro::hardware::HardwareSpec;
 use autocomm_repro::workloads as wl;
@@ -46,7 +46,7 @@ fn compile_legacy(
         if options.hybrid_assignment { assign(&aggregated) } else { assign_cat_only(&aggregated) };
     let metrics = CommMetrics::of(&assigned);
     let hw = HardwareSpec::for_partition(partition);
-    let summary = schedule(&assigned, partition, &hw, options.schedule);
+    let summary = schedule(&assigned, &Placement::identity(partition), &hw, options.schedule);
     (unrolled, metrics, summary, assigned.items().len())
 }
 

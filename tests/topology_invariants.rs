@@ -13,7 +13,7 @@
 use autocomm_repro::circuit::{unroll_circuit, Partition};
 use autocomm_repro::core::{
     aggregate, assign, assign_on, lower_assigned, lower_assigned_on, schedule, AggregateOptions,
-    ScheduleOptions,
+    Placement, ScheduleOptions,
 };
 use autocomm_repro::hardware::{HardwareSpec, NetworkTopology};
 use autocomm_repro::sim::{Complex, SplitMix64, StateVector};
@@ -48,16 +48,17 @@ proptest! {
         let c = unroll_circuit(&c).unwrap();
         let aggregated = aggregate(&c, &p, AggregateOptions::default());
 
+        let placement = Placement::identity(&p);
         let implicit = assign(&aggregated);
-        let explicit = assign_on(&aggregated, &p, &NetworkTopology::all_to_all(3));
+        let explicit = assign_on(&aggregated, &placement, &NetworkTopology::all_to_all(3));
         prop_assert_eq!(&implicit, &explicit, "assignment must not change");
 
         let dense_hw = HardwareSpec::for_partition(&p);
         let explicit_hw = HardwareSpec::for_partition(&p)
             .with_topology(NetworkTopology::all_to_all(3))
             .unwrap();
-        let a = schedule(&implicit, &p, &dense_hw, ScheduleOptions::default());
-        let b = schedule(&explicit, &p, &explicit_hw, ScheduleOptions::default());
+        let a = schedule(&implicit, &placement, &dense_hw, ScheduleOptions::default());
+        let b = schedule(&explicit, &placement, &explicit_hw, ScheduleOptions::default());
         prop_assert_eq!(a.epr_pairs, b.epr_pairs);
         prop_assert_eq!(a.makespan, b.makespan, "makespan must be bit-identical");
         prop_assert_eq!(a.fusion_savings, b.fusion_savings);
@@ -65,7 +66,7 @@ proptest! {
 
         // Lowered circuits agree gate for gate.
         let la = lower_assigned(&implicit, &p).unwrap();
-        let lb = lower_assigned_on(&explicit, &p, &NetworkTopology::all_to_all(3)).unwrap();
+        let lb = lower_assigned_on(&explicit, &placement, &NetworkTopology::all_to_all(3)).unwrap();
         prop_assert_eq!(la.epr_pairs, lb.epr_pairs);
         prop_assert_eq!(la.circuit.gates(), lb.circuit.gates());
     }
@@ -79,17 +80,18 @@ proptest! {
         let aggregated = aggregate(&c, &p, AggregateOptions::default());
         let linear = NetworkTopology::linear(3).unwrap();
 
+        let placement = Placement::identity(&p);
         let dense = schedule(
             &assign(&aggregated),
-            &p,
+            &placement,
             &HardwareSpec::for_partition(&p),
             ScheduleOptions::default(),
         );
         let sparse_hw =
             HardwareSpec::for_partition(&p).with_topology(linear.clone()).unwrap();
         let sparse = schedule(
-            &assign_on(&aggregated, &p, &linear),
-            &p,
+            &assign_on(&aggregated, &placement, &linear),
+            &placement,
             &sparse_hw,
             ScheduleOptions::default(),
         );
@@ -111,8 +113,10 @@ proptest! {
         let (c, p) = random_distributed_circuit(5, 3, 24, seed + 1000);
         let c = unroll_circuit(&c).unwrap();
         let linear = NetworkTopology::linear(3).unwrap();
-        let assigned = assign_on(&aggregate(&c, &p, AggregateOptions::default()), &p, &linear);
-        let physical = lower_assigned_on(&assigned, &p, &linear).unwrap();
+        let placement = Placement::identity(&p);
+        let assigned =
+            assign_on(&aggregate(&c, &p, AggregateOptions::default()), &placement, &linear);
+        let physical = lower_assigned_on(&assigned, &placement, &linear).unwrap();
         let f = fidelity_of(&physical, &c, seed);
         prop_assert!((f - 1.0).abs() < 1e-8, "sparse fidelity {f} at seed {seed}");
     }
@@ -133,10 +137,12 @@ fn suite_workloads_swap_on_linear_topologies() {
     ] {
         let p = Partition::block(circuit.num_qubits(), 4).unwrap();
         let c = unroll_circuit(&circuit).unwrap();
-        let assigned = assign_on(&aggregate(&c, &p, AggregateOptions::default()), &p, &linear);
+        let placement = Placement::identity(&p);
+        let assigned =
+            assign_on(&aggregate(&c, &p, AggregateOptions::default()), &placement, &linear);
         let hw = HardwareSpec::for_partition(&p).with_topology(linear.clone()).unwrap();
-        let s = schedule(&assigned, &p, &hw, ScheduleOptions::default());
-        let physical = lower_assigned_on(&assigned, &p, &linear).unwrap();
+        let s = schedule(&assigned, &placement, &hw, ScheduleOptions::default());
+        let physical = lower_assigned_on(&assigned, &placement, &linear).unwrap();
         if s.swaps > 0 {
             swapped += 1;
             assert!(physical.swaps > 0, "schedule swaps must appear in the lowered circuit");
