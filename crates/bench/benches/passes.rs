@@ -37,6 +37,15 @@ fn bench_passes(c: &mut Criterion) {
             black_box(schedule(black_box(&assigned), &placement, &hw, ScheduleOptions::default()))
         })
     });
+
+    // The buffered engine runs the prescan plus both schedules (the
+    // strict-improvement rail), so this tracks its constant-factor cost
+    // over the legacy path.
+    let buffered =
+        ScheduleOptions::default().with_buffer(autocomm::BufferPolicy::Prefetch { depth: 4 });
+    c.bench_function("schedule-buffered/qft-40-4", |b| {
+        b.iter(|| black_box(schedule(black_box(&assigned), &placement, &hw, buffered)))
+    });
 }
 
 fn bench_partitioner(c: &mut Criterion) {

@@ -1,0 +1,151 @@
+//! Buffer-sensitivity sweep: compiles the smoke suite under the on-demand
+//! and prefetch EPR-buffering policies on each sparse standard interconnect
+//! (linear, grid, star) with the paper's finite two-comm-qubit budget, and
+//! reports the schedule makespan, prefetch effectiveness, and EPR wait per
+//! combination.
+//!
+//! The recorded numbers live in
+//! `crates/bench/baselines/buffer_sensitivity.json`; regenerate them with
+//! `cargo run --release -p dqc-bench --bin buffer_sweep`. Every reported
+//! quantity is produced by a fully deterministic discrete-event schedule,
+//! so CI simply diffs the sweep's stdout against the baseline and fails on
+//! any drift (the scheduler gate, mirroring the placement gate).
+//!
+//! In-binary safety rails, asserted on every run:
+//!
+//! * per workload × topology, `prefetch` never exceeds the `on-demand`
+//!   makespan (the engine's strict-improvement rail, re-checked here);
+//! * per topology, the suite-summed `prefetch` makespan is *strictly*
+//!   below `on-demand` (the acceptance criterion of the buffering
+//!   re-platform).
+
+use autocomm::{AutoComm, AutoCommOptions, BufferPolicy};
+use dqc_circuit::{unroll_circuit, Partition};
+use dqc_hardware::{HardwareSpec, NetworkTopology};
+use dqc_partition::{oee_partition, InteractionGraph};
+use dqc_workloads::{generate, smoke_suite};
+
+const POLICIES: [BufferPolicy; 2] = [BufferPolicy::OnDemand, BufferPolicy::Prefetch { depth: 4 }];
+
+struct Row {
+    workload: String,
+    topology: String,
+    policy: String,
+    makespan: f64,
+    epr_pairs: usize,
+    prefetch_hits: usize,
+    comm_requests: usize,
+    mean_epr_wait: f64,
+    fell_back: bool,
+}
+
+fn main() {
+    let nodes = 4usize;
+    let topologies = || {
+        vec![
+            NetworkTopology::linear(nodes).unwrap(),
+            NetworkTopology::grid(2, 2).unwrap(),
+            NetworkTopology::star(nodes).unwrap(),
+        ]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for config in smoke_suite() {
+        let circuit = generate(&config);
+        let unrolled = unroll_circuit(&circuit).expect("suite circuits unroll");
+        let partition: Partition = oee_partition(&InteractionGraph::from_circuit(&unrolled), nodes)
+            .expect("valid node count");
+        for topology in topologies() {
+            let hw = HardwareSpec::for_partition(&partition)
+                .with_topology(topology.clone())
+                .expect("standard topologies are valid for 4 nodes");
+            let mut makespans = [0.0f64; 2];
+            for (pi, policy) in POLICIES.into_iter().enumerate() {
+                let result = AutoComm::with_options(AutoCommOptions::default().with_buffer(policy))
+                    .compile_on(&circuit, &partition, &hw)
+                    .expect("suite workloads compile");
+                let s = &result.schedule;
+                makespans[pi] = s.makespan;
+                rows.push(Row {
+                    workload: config.label(),
+                    topology: topology.name().to_owned(),
+                    policy: policy.name(),
+                    makespan: s.makespan,
+                    epr_pairs: s.epr_pairs,
+                    prefetch_hits: s.buffering.prefetch_hits,
+                    comm_requests: s.buffering.requests,
+                    mean_epr_wait: s.buffering.mean_epr_wait,
+                    fell_back: s.buffering.fell_back,
+                });
+            }
+            let [on_demand, prefetch] = makespans;
+            assert!(
+                prefetch <= on_demand + 1e-9,
+                "{}/{}: prefetch {prefetch} beat by on-demand {on_demand}",
+                config.label(),
+                topology.name()
+            );
+        }
+    }
+
+    // Per-topology policy totals, with the acceptance assertion.
+    let mut totals: Vec<(String, [f64; 2])> = Vec::new();
+    for topology in topologies() {
+        let mut sums = [0.0f64; 2];
+        for row in rows.iter().filter(|r| r.topology == topology.name()) {
+            let pi = POLICIES.iter().position(|p| p.name() == row.policy).unwrap();
+            sums[pi] += row.makespan;
+        }
+        let [on_demand, prefetch] = sums;
+        assert!(
+            prefetch + 1e-6 < on_demand,
+            "{}: suite-summed prefetch {prefetch} must strictly beat on-demand {on_demand}",
+            topology.name()
+        );
+        totals.push((topology.name().to_owned(), sums));
+    }
+
+    // Deterministic JSON, diffed against the recorded baseline by CI.
+    println!("{{");
+    println!("  \"nodes\": {nodes},");
+    println!("  \"comm_qubits\": 2,");
+    println!("  \"policies\": [\"on-demand\", \"prefetch:4\"],");
+    println!("  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"topology\": \"{}\", \"policy\": \"{}\", \
+             \"makespan\": {:.1}, \"epr_pairs\": {}, \"prefetch_hits\": {}, \
+             \"comm_requests\": {}, \"mean_epr_wait\": {:.2}, \"fell_back\": {}}}{comma}",
+            r.workload,
+            r.topology,
+            r.policy,
+            r.makespan,
+            r.epr_pairs,
+            r.prefetch_hits,
+            r.comm_requests,
+            r.mean_epr_wait,
+            r.fell_back
+        );
+    }
+    println!("  ],");
+    println!("  \"totals\": [");
+    for (i, (name, [on_demand, prefetch])) in totals.iter().enumerate() {
+        let comma = if i + 1 == totals.len() { "" } else { "," };
+        println!(
+            "    {{\"topology\": \"{name}\", \"on_demand\": {on_demand:.1}, \
+             \"prefetch\": {prefetch:.1}}}{comma}"
+        );
+    }
+    println!("  ]");
+    println!("}}");
+
+    for (name, [on_demand, prefetch]) in &totals {
+        eprintln!(
+            "{name:<12} on-demand {on_demand:>8.1}  prefetch {prefetch:>8.1}  \
+             ({:.1}% faster)",
+            100.0 * (on_demand - prefetch) / on_demand.max(1.0)
+        );
+    }
+    eprintln!("buffer sweep OK: prefetch <= on-demand per workload, strictly faster per topology");
+}

@@ -13,14 +13,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use autocomm::{Ablation, AutoComm};
+use autocomm::{Ablation, BufferPolicy};
 use dqc_circuit::{from_qasm, Circuit, CircuitStats};
 use dqc_hardware::{HardwareSpec, NetworkTopology};
 use dqc_workloads::{generate, smoke_suite};
 
 use crate::json::Json;
 use crate::{
-    build_partition, parse_strategy, placement_config, CliError, PartitionStrategy, USAGE,
+    build_partition, compiler_for, parse_buffer, parse_strategy, placement_config, CliError,
+    PartitionStrategy, USAGE,
 };
 
 /// Where a batch gets its programs.
@@ -47,12 +48,17 @@ pub struct BatchArgs {
     pub strategy: PartitionStrategy,
     /// Re-place + recompile rounds for `--placement topo` (default 3).
     pub refine_iters: usize,
+    /// EPR buffering policy for the scheduler (`--buffer`).
+    pub buffer: BufferPolicy,
     /// Ablations applied to every compile.
     pub ablations: Vec<Ablation>,
     /// Worker threads (defaults to available parallelism, capped at 8).
     pub jobs: usize,
     /// Emit JSON instead of the human-readable report.
     pub json: bool,
+    /// Whether the legacy `--partition` alias was used (one deprecation
+    /// warning per batch, not one per file).
+    pub legacy_partition_alias: bool,
 }
 
 impl BatchArgs {
@@ -70,9 +76,11 @@ impl BatchArgs {
         let mut topology = None;
         let mut strategy = PartitionStrategy::Oee;
         let mut refine_iters = 3usize;
+        let mut buffer = BufferPolicy::OnDemand;
         let mut ablations = Vec::new();
         let mut jobs = None;
         let mut json = false;
+        let mut legacy_partition_alias = false;
 
         let usage = |msg: String| CliError::Usage(format!("{msg}\n\n{USAGE}"));
         let mut iter = args.into_iter();
@@ -100,10 +108,17 @@ impl BatchArgs {
                     })?;
                 }
                 "--topology" => topology = Some(value_for("--topology")?),
+                "--buffer" => {
+                    let v = value_for("--buffer")?;
+                    buffer = parse_buffer(&v).map_err(usage)?;
+                }
                 "--placement" | "--partition" => {
                     let flag = arg.as_str();
                     let v = value_for(flag)?;
                     strategy = parse_strategy(flag, &v).map_err(usage)?;
+                    if flag == "--partition" {
+                        legacy_partition_alias = true;
+                    }
                 }
                 "--refine-iters" => {
                     let v = value_for("--refine-iters")?;
@@ -158,9 +173,11 @@ impl BatchArgs {
             topology,
             strategy,
             refine_iters,
+            buffer,
             ablations,
             jobs: jobs.unwrap_or_else(default_jobs),
             json,
+            legacy_partition_alias,
         })
     }
 }
@@ -230,6 +247,14 @@ pub struct BatchRow {
     pub swaps: usize,
     /// EPR pairs generated per interconnect link, `(node, node, pairs)`.
     pub link_traffic: Vec<(usize, usize, usize)>,
+    /// Prefetch hits of the buffered scheduler (0 under on-demand).
+    pub prefetch_hits: usize,
+    /// Comm requests the scheduler served.
+    pub comm_requests: usize,
+    /// Mean time bursts waited for their EPR pair, in CX units.
+    pub mean_epr_wait: f64,
+    /// Whether the buffered schedule fell back to the on-demand rail.
+    pub fell_back: bool,
     /// Wall-clock compile time of this entry, in milliseconds.
     pub compile_ms: f64,
 }
@@ -257,6 +282,14 @@ pub struct BatchReport {
 /// files, an invalid `--topology`); per-entry compile failures land in
 /// their row instead.
 pub fn run_batch(args: BatchArgs) -> Result<BatchReport, CliError> {
+    if args.legacy_partition_alias {
+        // One warning per batch — never one per compiled file.
+        eprintln!(
+            "warning: --partition is a legacy alias of --placement and will be removed; \
+             use --placement {}",
+            args.strategy.name()
+        );
+    }
     let tasks = collect_tasks(&args)?;
     // Resolve the topology and validate the whole hardware configuration
     // once up front: a bad spec or an infeasible comm-qubit/topology
@@ -357,7 +390,7 @@ fn compile_task(
         .and_then(|hw| hw.with_topology(topology.clone()))
         .map_err(|e| e.to_string())?;
     let config = placement_config(args.strategy, args.refine_iters);
-    let (result, placement) = AutoComm::with_ablations(&args.ablations)
+    let (result, placement) = compiler_for(&args.ablations, args.buffer)
         .compile_placed(&circuit, &partition, &hw, &config)
         .map_err(|e| e.to_string())?;
     let stats = CircuitStats::of(&result.unrolled, Some(result.placement.partition()));
@@ -380,6 +413,10 @@ fn compile_task(
             .iter()
             .map(|&(a, b, pairs)| (a.index(), b.index(), pairs))
             .collect(),
+        prefetch_hits: result.schedule.buffering.prefetch_hits,
+        comm_requests: result.schedule.buffering.requests,
+        mean_epr_wait: result.schedule.buffering.mean_epr_wait,
+        fell_back: result.schedule.buffering.fell_back,
         compile_ms: started.elapsed().as_secs_f64() * 1e3,
     })
 }
@@ -425,6 +462,24 @@ impl BatchReport {
             ("placement", Json::string(self.args.strategy.name())),
             ("refine_iters", Json::number(self.args.refine_iters as f64)),
             (
+                "buffering",
+                Json::object([
+                    ("policy", Json::string(self.args.buffer.name())),
+                    (
+                        "prefetch_hits",
+                        Json::number(self.ok_rows().map(|r| r.prefetch_hits).sum::<usize>() as f64),
+                    ),
+                    (
+                        "comm_requests",
+                        Json::number(self.ok_rows().map(|r| r.comm_requests).sum::<usize>() as f64),
+                    ),
+                    (
+                        "fallbacks",
+                        Json::number(self.ok_rows().filter(|r| r.fell_back).count() as f64),
+                    ),
+                ]),
+            ),
+            (
                 "source",
                 Json::string(match &self.args.source {
                     BatchSource::Dir(d) => d.display().to_string(),
@@ -449,6 +504,10 @@ impl BatchReport {
                         ("placement_iters", Json::number(r.placement_iters as f64)),
                         ("epr_pairs", Json::number(r.epr_pairs as f64)),
                         ("swaps", Json::number(r.swaps as f64)),
+                        ("prefetch_hits", Json::number(r.prefetch_hits as f64)),
+                        ("comm_requests", Json::number(r.comm_requests as f64)),
+                        ("mean_epr_wait", Json::number(r.mean_epr_wait)),
+                        ("fell_back", Json::Bool(r.fell_back)),
                         (
                             "link_traffic",
                             Json::array(r.link_traffic.iter().map(|&(a, b, pairs)| {
@@ -535,6 +594,15 @@ impl BatchReport {
             out.push_str(&format!(
                 "placement: topo ({} refinement round(s) accepted across the batch)\n",
                 iters
+            ));
+        }
+        if self.args.buffer.is_buffered() {
+            let hits: usize = self.ok_rows().map(|r| r.prefetch_hits).sum();
+            let requests: usize = self.ok_rows().map(|r| r.comm_requests).sum();
+            let fallbacks = self.ok_rows().filter(|r| r.fell_back).count();
+            out.push_str(&format!(
+                "buffering: {} ({hits}/{requests} prefetch hits, {fallbacks} fallback(s))\n",
+                self.args.buffer.name()
             ));
         }
         if self.args.topology.is_some() {
@@ -689,9 +757,11 @@ mod tests {
             topology: None,
             strategy: PartitionStrategy::Block,
             refine_iters: 3,
+            buffer: BufferPolicy::OnDemand,
             ablations: Vec::new(),
             jobs: 2,
             json: false,
+            legacy_partition_alias: false,
         };
         let report = run_batch(args).unwrap();
         assert_eq!(report.rows.len(), 2);

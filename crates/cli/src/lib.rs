@@ -16,7 +16,10 @@ pub mod json;
 use std::fmt;
 use std::path::PathBuf;
 
-use autocomm::{Ablation, AutoComm, CompileResult, PlacementConfig, PlacementReport};
+use autocomm::{
+    Ablation, AutoComm, AutoCommOptions, BufferPolicy, CompileResult, PlacementConfig,
+    PlacementReport,
+};
 use dqc_circuit::{from_qasm, unroll_circuit, Circuit, CircuitStats, Partition};
 use dqc_hardware::{HardwareSpec, NetworkTopology};
 use dqc_partition::{oee_partition, InteractionGraph};
@@ -92,6 +95,9 @@ pub struct CompileArgs {
     pub strategy: PartitionStrategy,
     /// Re-place + recompile rounds for `--placement topo` (default 3).
     pub refine_iters: usize,
+    /// EPR buffering policy for the scheduler (`--buffer`; default
+    /// on-demand, the bit-identical legacy engine).
+    pub buffer: BufferPolicy,
     /// Ablations applied to the full optimization set.
     pub ablations: Vec<Ablation>,
     /// Emit JSON instead of the human-readable report.
@@ -125,6 +131,15 @@ OPTIONS:
                          [default: oee]
     --refine-iters <N>   max re-place + recompile rounds for
                          --placement topo [default: 3]
+    --buffer <B>         EPR buffering policy for the scheduler:
+                         'on-demand' (generate each pair at burst time —
+                         the legacy engine), 'prefetch:N' (generate up to
+                         N bursts ahead during computation slack, buffer
+                         capacity permitting; 'prefetch' = prefetch:4), or
+                         'greedy' (unbounded lookahead)
+                         [default: on-demand]. Buffered schedules fall
+                         back to on-demand when they do not strictly
+                         improve the makespan
     --partition <S>      legacy alias of --placement ('oee' or 'block')
     --ablation <A>       disable one optimization; repeatable and
                          comma-separable. One of: no-commute, cat-only,
@@ -152,6 +167,7 @@ impl CompileArgs {
         let mut topology = None;
         let mut strategy = PartitionStrategy::Oee;
         let mut refine_iters = 3usize;
+        let mut buffer = BufferPolicy::OnDemand;
         let mut ablations = Vec::new();
         let mut json = false;
 
@@ -161,6 +177,10 @@ impl CompileArgs {
             let mut value_for =
                 |flag: &str| iter.next().ok_or_else(|| usage(format!("{flag} needs a value")));
             match arg.as_str() {
+                "--buffer" => {
+                    let v = value_for("--buffer")?;
+                    buffer = parse_buffer(&v).map_err(usage)?;
+                }
                 "--nodes" => {
                     let v = value_for("--nodes")?;
                     nodes = Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
@@ -222,10 +242,32 @@ impl CompileArgs {
             topology,
             strategy,
             refine_iters,
+            buffer,
             ablations,
             json,
         })
     }
+}
+
+/// Parses a `--buffer` value (`on-demand`, `prefetch`, `prefetch:N`,
+/// `greedy`).
+pub(crate) fn parse_buffer(value: &str) -> Result<BufferPolicy, String> {
+    BufferPolicy::parse(value).ok_or_else(|| {
+        format!(
+            "--buffer: unknown policy '{value}' (expected 'on-demand', 'prefetch', \
+             'prefetch:N' with N >= 1, or 'greedy')"
+        )
+    })
+}
+
+/// The compiler for a flag set: ablations applied to the full optimization
+/// set, then the buffering policy threaded into the scheduler (so
+/// `--ablation plain-greedy --buffer prefetch:4` composes).
+pub(crate) fn compiler_for(ablations: &[Ablation], buffer: BufferPolicy) -> AutoComm {
+    let mut options =
+        ablations.iter().fold(AutoCommOptions::default(), |opts, &a| opts.with_ablation(a));
+    options.schedule.buffer = buffer;
+    AutoComm::with_options(options)
 }
 
 /// Parses a `--placement` (block/oee/topo) or legacy `--partition`
@@ -331,7 +373,7 @@ pub fn compile(args: CompileArgs) -> Result<CompileReport, CliError> {
     let partition = build_partition(&circuit, args.nodes, args.strategy)?;
     let hw = build_hardware(&partition, args.comm_qubits, args.topology.as_deref())?;
     let config = placement_config(args.strategy, args.refine_iters);
-    let (result, placement) = AutoComm::with_ablations(&args.ablations)
+    let (result, placement) = compiler_for(&args.ablations, args.buffer)
         .compile_placed(&circuit, &partition, &hw, &config)
         .map_err(|e| CliError::Compile(e.to_string()))?;
     let partition = result.placement.partition().clone();
@@ -440,6 +482,25 @@ impl CompileReport {
                 ]),
             ),
             (
+                "buffering",
+                Json::object([
+                    ("policy", Json::string(s.buffering.policy.name())),
+                    ("requests", Json::number(s.buffering.requests as f64)),
+                    ("prefetch_hits", Json::number(s.buffering.prefetch_hits as f64)),
+                    ("prefetch_misses", Json::number(s.buffering.prefetch_misses as f64)),
+                    ("hit_rate", Json::number(s.buffering.hit_rate)),
+                    ("mean_epr_wait", Json::number(s.buffering.mean_epr_wait)),
+                    ("mean_pair_age", Json::number(s.buffering.mean_pair_age)),
+                    (
+                        "occupancy_hist",
+                        Json::array(
+                            s.buffering.occupancy_hist.iter().map(|&c| Json::number(c as f64)),
+                        ),
+                    ),
+                    ("fell_back", Json::Bool(s.buffering.fell_back)),
+                ]),
+            ),
+            (
                 "schedule",
                 Json::object([
                     ("makespan", Json::number(s.makespan)),
@@ -520,6 +581,21 @@ impl CompileReport {
         line(&mut out, "improv. factor", format!("{:.2}x", m.improvement_factor()));
         line(&mut out, "makespan (CX units)", format!("{:.1}", s.makespan));
         line(&mut out, "EPR pairs", s.epr_pairs.to_string());
+        if self.args.buffer.is_buffered() {
+            line(
+                &mut out,
+                "EPR buffering",
+                format!(
+                    "{} ({}/{} prefetch hits, mean wait {:.1}, mean age {:.1}{})",
+                    s.buffering.policy.name(),
+                    s.buffering.prefetch_hits,
+                    s.buffering.requests,
+                    s.buffering.mean_epr_wait,
+                    s.buffering.mean_pair_age,
+                    if s.buffering.fell_back { ", fell back to on-demand" } else { "" }
+                ),
+            );
+        }
         if s.swaps > 0 {
             line(&mut out, "ent. swaps", s.swaps.to_string());
         }

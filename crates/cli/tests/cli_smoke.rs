@@ -304,6 +304,93 @@ fn batch_reports_epr_cost_totals_per_placement() {
 }
 
 #[test]
+fn buffer_flag_reports_buffering_and_never_loses() {
+    let path = qasm_fixture("buffer", &dqc_workloads::qft(16));
+    let file = path.to_str().unwrap();
+    let base = run(&["compile", file, "--nodes", "4", "--topology", "linear", "--json"]);
+    let pre = run(&[
+        "compile",
+        file,
+        "--nodes",
+        "4",
+        "--topology",
+        "linear",
+        "--buffer",
+        "prefetch:4",
+        "--json",
+    ]);
+    assert!(base.status.success() && pre.status.success());
+    let base = String::from_utf8(base.stdout).unwrap();
+    let pre = String::from_utf8(pre.stdout).unwrap();
+    assert!(base.contains("\"policy\":\"on-demand\""), "{base}");
+    assert!(pre.contains("\"policy\":\"prefetch:4\""), "{pre}");
+    assert!(
+        json_number(&pre, "makespan") <= json_number(&base, "makespan") + 1e-9,
+        "prefetch must not lose to on-demand:\n{base}\n{pre}"
+    );
+    // Same physical EPR accounting; only the schedule moves.
+    assert_eq!(json_number(&pre, "epr_pairs"), json_number(&base, "epr_pairs"));
+    for key in ["prefetch_hits", "prefetch_misses", "hit_rate", "mean_epr_wait", "mean_pair_age"] {
+        assert!(pre.contains(&format!("\"{key}\":")), "missing {key} in {pre}");
+    }
+    assert!(pre.contains("\"occupancy_hist\":["), "{pre}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn buffered_batch_reports_suite_wide_buffering() {
+    let out = run(&[
+        "batch",
+        "--suite",
+        "--nodes",
+        "4",
+        "--topology",
+        "linear",
+        "--buffer",
+        "prefetch:4",
+        "--jobs",
+        "2",
+        "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"buffering\":{\"policy\":\"prefetch:4\""), "{json}");
+    let at = json.find("\"buffering\":").unwrap();
+    assert!(json_number(&json[at..], "prefetch_hits") > 0.0, "suite must hit the buffer: {json}");
+}
+
+#[test]
+fn bad_buffer_policy_is_a_usage_error() {
+    let path = qasm_fixture("buffer-bad", &dqc_workloads::bv(9));
+    let out = run(&["compile", path.to_str().unwrap(), "--nodes", "3", "--buffer", "psychic"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+    let out = run(&["compile", path.to_str().unwrap(), "--nodes", "3", "--buffer", "prefetch:0"]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn legacy_partition_alias_warns_exactly_once_per_batch() {
+    // The suite has six programs; the deprecation warning must appear once
+    // per batch, not once per file.
+    let out = run(&["batch", "--suite", "--nodes", "4", "--partition", "oee", "--jobs", "2"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let warnings = stderr.matches("legacy alias").count();
+    assert_eq!(warnings, 1, "expected exactly one deprecation warning, got:\n{stderr}");
+    assert!(stderr.contains("--placement oee"), "warning names the replacement: {stderr}");
+
+    // The modern flag stays silent.
+    let out = run(&["batch", "--suite", "--nodes", "4", "--placement", "oee", "--jobs", "2"]);
+    assert!(out.status.success());
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("legacy alias"),
+        "--placement must not warn"
+    );
+}
+
+#[test]
 fn bad_topology_is_a_usage_error() {
     let path = qasm_fixture("topo-bad", &dqc_workloads::bv(9));
     let file = path.to_str().unwrap();

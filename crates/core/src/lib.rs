@@ -84,10 +84,11 @@ pub use assign::{
     AssignedProgram, CatOrientation, Scheme,
 };
 pub use block::CommBlock;
+pub use dqc_hardware::BufferPolicy;
 pub use error::CompileError;
 pub use ir::{CommIr, DAG_WINDOW};
 pub use lower::{lower_assigned, lower_assigned_on};
-pub use metrics::{burst_distribution, CommMetrics};
+pub use metrics::{burst_distribution, BufferingReport, CommMetrics};
 pub use orient::orient_symmetric_gates;
 pub use pass::{
     AggregatePass, AssignPass, IrPass, LowerPass, MetricsPass, OrientPass, Pass, PassContext,

@@ -1,8 +1,61 @@
-//! Evaluation metrics (paper §5.1).
+//! Evaluation metrics (paper §5.1), plus the EPR-buffering report of the
+//! event-driven scheduler.
 
 use dqc_circuit::NodeId;
+use dqc_hardware::{BufferMetrics, BufferPolicy};
 
 use crate::{AssignedProgram, Scheme};
+
+/// What the EPR-buffering engine did during one scheduling run: the policy
+/// in force, prefetch effectiveness, pair wait/staleness, and the per-node
+/// buffer occupancy distribution. Attached to every
+/// [`crate::ScheduleSummary`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufferingReport {
+    /// The requested [`BufferPolicy`].
+    pub policy: BufferPolicy,
+    /// Comm requests served (generations consumed end-to-end; multi-hop
+    /// routes still count once here — per-hop pairs are in `epr_pairs`).
+    pub requests: usize,
+    /// Requests served by a pair generated ahead of consumption.
+    pub prefetch_hits: usize,
+    /// Requests generated at consumption time.
+    pub prefetch_misses: usize,
+    /// `prefetch_hits / requests` (0 when nothing communicated).
+    pub hit_rate: f64,
+    /// Mean time a burst waited past its ready point for its EPR pair, in
+    /// CX units — the latency the buffer failed to hide.
+    pub mean_epr_wait: f64,
+    /// Mean age of a buffered pair between herald and consumption, in CX
+    /// units — the staleness the prefetch depth bounds (see
+    /// [`dqc_hardware::FidelityModel::epr_pair_fidelity`]).
+    pub mean_pair_age: f64,
+    /// `occupancy_hist[k]` counts buffer transitions that left a node
+    /// holding `k` heralded pairs.
+    pub occupancy_hist: Vec<u64>,
+    /// Whether the buffered schedule lost to the on-demand rail and the
+    /// legacy schedule was kept (the reported latency numbers are then the
+    /// on-demand ones; the buffer statistics describe the discarded
+    /// attempt).
+    pub fell_back: bool,
+}
+
+impl BufferingReport {
+    /// Builds the report from a run's raw [`BufferMetrics`].
+    pub fn new(policy: BufferPolicy, metrics: &BufferMetrics, fell_back: bool) -> Self {
+        BufferingReport {
+            policy,
+            requests: metrics.requests,
+            prefetch_hits: metrics.prefetch_hits,
+            prefetch_misses: metrics.prefetch_misses,
+            hit_rate: metrics.hit_rate(),
+            mean_epr_wait: metrics.mean_epr_wait(),
+            mean_pair_age: metrics.mean_pair_age(),
+            occupancy_hist: metrics.occupancy_hist.clone(),
+            fell_back,
+        }
+    }
+}
 
 /// Communication-cost metrics of a compiled program, matching the columns
 /// of paper Table 3.

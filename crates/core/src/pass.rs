@@ -399,7 +399,21 @@ impl Pass for SchedulePass {
     }
 
     fn metric(&self, ctx: &PassContext<'_>) -> Option<String> {
-        ctx.schedule.as_ref().map(|s| format!("makespan {:.1}, {} epr", s.makespan, s.epr_pairs))
+        ctx.schedule.as_ref().map(|s| {
+            if s.buffering.policy.is_buffered() {
+                format!(
+                    "makespan {:.1}, {} epr, {} buffering ({}/{} hits{})",
+                    s.makespan,
+                    s.epr_pairs,
+                    s.buffering.policy.name(),
+                    s.buffering.prefetch_hits,
+                    s.buffering.requests,
+                    if s.buffering.fell_back { ", fell back" } else { "" }
+                )
+            } else {
+                format!("makespan {:.1}, {} epr", s.makespan, s.epr_pairs)
+            }
+        })
     }
 }
 

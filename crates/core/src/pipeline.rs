@@ -76,6 +76,15 @@ impl AutoCommOptions {
     pub fn with_ablation(self, ablation: Ablation) -> Self {
         ablation.apply(self)
     }
+
+    /// These options with `policy` selecting the scheduler's EPR-buffering
+    /// engine (threads into [`ScheduleOptions::buffer`];
+    /// [`crate::BufferPolicy::OnDemand`] is the bit-identical default).
+    #[must_use]
+    pub fn with_buffer(mut self, policy: crate::BufferPolicy) -> Self {
+        self.schedule.buffer = policy;
+        self
+    }
 }
 
 /// The single-knob pipeline ablations of paper Fig. 17, each disabling

@@ -1,8 +1,8 @@
-//! Burst-greedy communication scheduling (paper §4.4).
+//! Event-driven communication scheduling with EPR buffering (paper §4.4
+//! plus the CollComm-style buffered-generation engine).
 //!
-//! The scheduler lays an assigned program onto the hardware timeline
-//! (two communication qubits per node, EPR preparation at `tep`) with the
-//! paper's three latency optimizations:
+//! The scheduler lays an assigned program onto the hardware timeline with
+//! the paper's three latency optimizations:
 //!
 //! * **EPR prefetching** — preparation starts as soon as communication
 //!   slots free up, hiding `tep` behind preceding computation (“execute as
@@ -18,11 +18,37 @@
 //!
 //! Disabling all three yields the plain-greedy ablation of paper
 //! Fig. 17(c).
+//!
+//! On top of those, [`BufferPolicy`] selects how EPR pairs are
+//! materialized. [`BufferPolicy::OnDemand`] reproduces the historical
+//! engine bit for bit: every pair goes through one monolithic
+//! [`dqc_hardware::Timeline::claim_comm`] at burst time, holding the
+//! end-node communication slots from generation start to protocol
+//! completion. The buffered policies ([`BufferPolicy::Prefetch`],
+//! [`BufferPolicy::Greedy`]) run the discrete-event engine instead: the
+//! scheduler prescans its walk of the DAG-ordered item list into a comm
+//! *request sequence* (the lookahead frontier), a
+//! [`dqc_hardware::ResourceManager`] issues generation events for upcoming
+//! requests during local-computation slack (depositing heralded pairs into
+//! per-node [`dqc_hardware::EprBuffer`]s), and each burst pops its matching
+//! buffered pair — or blocks until one matures, falling back to on-demand
+//! generation when buffers are full or capacity-constrained. Because
+//! buffered generation occupies end-node slots only from herald to
+//! consumption (not for the whole generation window), pair preparation
+//! pipelines deeper than the comm-qubit budget on contended nodes.
+//!
+//! Buffered schedules are guarded by a strict-improvement rail: when the
+//! buffered makespan does not beat the on-demand one, the legacy schedule
+//! is returned (with [`BufferingReport::fell_back`] set), so `Prefetch`
+//! and `Greedy` never lose to `OnDemand`.
 
 use dqc_circuit::{CommSummary, Gate, GateTable, NodeId, QubitId};
-use dqc_hardware::{HardwareSpec, Timeline, TimelineEvent};
+use dqc_hardware::{
+    BufferPolicy, HardwareSpec, NetworkTopology, ResourceManager, Timeline, TimelineEvent,
+};
 
 use crate::assign::split_into_segments;
+use crate::metrics::BufferingReport;
 use crate::{AssignedItem, AssignedProgram, CommBlock, Placement, Scheme};
 
 /// Scheduler feature toggles.
@@ -36,6 +62,10 @@ pub struct ScheduleOptions {
     pub fuse_tp_chains: bool,
     /// Record timeline events (needed for validation; off for large runs).
     pub record_events: bool,
+    /// How EPR pairs are materialized relative to the bursts that consume
+    /// them ([`BufferPolicy::OnDemand`] is the bit-identical legacy
+    /// engine).
+    pub buffer: BufferPolicy,
 }
 
 impl Default for ScheduleOptions {
@@ -45,6 +75,7 @@ impl Default for ScheduleOptions {
             parallel_commutable: true,
             fuse_tp_chains: true,
             record_events: false,
+            buffer: BufferPolicy::OnDemand,
         }
     }
 }
@@ -58,7 +89,15 @@ impl ScheduleOptions {
             parallel_commutable: false,
             fuse_tp_chains: false,
             record_events: false,
+            buffer: BufferPolicy::OnDemand,
         }
+    }
+
+    /// These options with `policy` selecting the EPR-buffering engine.
+    #[must_use]
+    pub fn with_buffer(mut self, policy: BufferPolicy) -> Self {
+        self.buffer = policy;
+        self
     }
 }
 
@@ -82,6 +121,9 @@ pub struct ScheduleSummary {
     pub cat_blocks: usize,
     /// TP blocks scheduled.
     pub tp_blocks: usize,
+    /// What the EPR-buffering engine did: policy, prefetch hit rate, pair
+    /// wait/staleness, buffer occupancy distribution.
+    pub buffering: BufferingReport,
     /// Recorded events when [`ScheduleOptions::record_events`] was set.
     pub events: Option<Vec<TimelineEvent>>,
 }
@@ -90,6 +132,10 @@ pub struct ScheduleSummary {
 /// All timeline claims, routes, and link traffic are issued against the
 /// *physical* nodes of `placement` — the identity placement reproduces the
 /// historical block-`i`-on-node-`i` behavior exactly.
+///
+/// Under a buffered [`ScheduleOptions::buffer`] policy both the buffered
+/// and the on-demand schedules are computed and the better one returned
+/// (strict-improvement rail; see the module docs).
 ///
 /// # Panics
 ///
@@ -109,13 +155,50 @@ pub fn schedule(
         "placement maps a block onto node {highest}, but the hardware has {} node(s)",
         hw.num_nodes()
     );
+    if !options.buffer.is_buffered() {
+        return schedule_run(program, placement, hw, options);
+    }
+    let base = schedule_run(
+        program,
+        placement,
+        hw,
+        ScheduleOptions { buffer: BufferPolicy::OnDemand, ..options },
+    );
+    let buffered = schedule_run(program, placement, hw, options);
+    if buffered.makespan + 1e-9 < base.makespan {
+        buffered
+    } else {
+        // The buffered attempt did not strictly improve: keep the legacy
+        // schedule, but report the attempt's buffer statistics so the
+        // fallback is visible.
+        let mut summary = base;
+        let mut report = buffered.buffering;
+        report.fell_back = true;
+        summary.buffering = report;
+        summary
+    }
+}
+
+/// One full walk of the program under a fixed engine (no rail).
+fn schedule_run(
+    program: &AssignedProgram,
+    placement: &Placement,
+    hw: &HardwareSpec,
+    options: ScheduleOptions,
+) -> ScheduleSummary {
     let table = program.ir().table();
     let mut tl = Timeline::new(program.num_qubits(), hw);
     if options.record_events {
         tl = tl.with_recording();
     }
+    let requests = if options.buffer.is_buffered() {
+        comm_requests(program, placement, hw.topology(), options)
+    } else {
+        Vec::new()
+    };
+    let rm = ResourceManager::new(tl, options.buffer, requests, hw.comm_qubits_per_node());
     let mut sched = Scheduler {
-        tl,
+        rm,
         table,
         placement,
         options,
@@ -133,7 +216,7 @@ pub fn schedule(
             AssignedItem::Local(id) => {
                 let g = table.gate(*id);
                 sched.close_group_if_conflicts(g.qubits());
-                sched.tl.schedule_gate(g);
+                sched.rm.timeline_mut().schedule_gate(g);
                 i += 1;
             }
             AssignedItem::Block(b) => match b.scheme {
@@ -171,7 +254,7 @@ pub fn schedule(
                             }
                             AssignedItem::Local(id) => {
                                 // Interleaved local gate: schedule in place.
-                                sched.tl.schedule_gate(table.gate(*id));
+                                sched.rm.timeline_mut().schedule_gate(table.gate(*id));
                             }
                             AssignedItem::Block(_) => unreachable!("chain scan"),
                         }
@@ -183,6 +266,85 @@ pub fn schedule(
         }
     }
     sched.finish()
+}
+
+/// Prescans the schedule walk into its comm request sequence — the
+/// endpoint pairs every [`dqc_hardware::Timeline`] claim will be issued
+/// for, in consumption order. The item list is a topological
+/// linearization of the program DAG, so this sequence *is* the lookahead
+/// frontier the buffered engine prefetches along. Mirrors the walk's
+/// structural decisions exactly: Cat-split segmentation, TP chain
+/// grouping, and hop-distance-aware re-homing (all placement/topology
+/// functions, independent of timing).
+fn comm_requests(
+    program: &AssignedProgram,
+    placement: &Placement,
+    topology: &NetworkTopology,
+    options: ScheduleOptions,
+) -> Vec<(NodeId, NodeId)> {
+    let table = program.ir().table();
+    let items = program.items();
+    let mut requests = Vec::new();
+    let mut i = 0usize;
+    while i < items.len() {
+        let b = match &items[i] {
+            AssignedItem::Local(_) => {
+                i += 1;
+                continue;
+            }
+            AssignedItem::Block(b) => b,
+        };
+        match b.scheme {
+            Scheme::Cat(_) => {
+                let home = placement.physical_node_of(b.block.qubit());
+                let node = placement.physical_of(b.block.node());
+                let comms =
+                    if b.comms == 1 { 1 } else { split_into_segments(table, &b.block).len() };
+                for _ in 0..comms {
+                    requests.push((home, node));
+                }
+                i += 1;
+            }
+            Scheme::Tp => {
+                let q = b.block.qubit();
+                let chain_end =
+                    if options.fuse_tp_chains { find_chain_end(table, items, i, q) } else { i + 1 };
+                let home = placement.physical_node_of(q);
+                let mut cursor = home;
+                let mut hop = |from: NodeId, to: NodeId| requests.push((from, to));
+                for item in &items[i..chain_end] {
+                    let AssignedItem::Block(tb) = item else { continue };
+                    if tb.scheme != Scheme::Tp {
+                        continue;
+                    }
+                    let node = placement.physical_of(tb.block.node());
+                    if node != cursor {
+                        if cursor != home && node != home && rehomes(topology, cursor, node, home) {
+                            hop(cursor, home);
+                            cursor = home;
+                        }
+                        if node != cursor {
+                            hop(cursor, node);
+                            cursor = node;
+                        }
+                    }
+                }
+                hop(cursor, home);
+                i = chain_end;
+            }
+        }
+    }
+    requests
+}
+
+/// The TP-chain junction decision shared by the prescan and the walk:
+/// continuing `cursor → node` directly is only worth it while strictly
+/// cheaper than re-homing (see [`Scheduler::schedule_tp_chain`]).
+fn rehomes(topology: &NetworkTopology, cursor: NodeId, node: NodeId, home: NodeId) -> bool {
+    let direct = topology.route_weight(cursor, node).expect("connected topology");
+    let via_home = topology.route_weight(cursor, home).expect("connected")
+        + topology.route_weight(home, node).expect("connected");
+    direct + 1e-12 >= via_home
 }
 
 /// Extends `[start..end)` over consecutive TP blocks with burst qubit `q`,
@@ -233,7 +395,7 @@ struct CatGroup {
 }
 
 struct Scheduler<'a> {
-    tl: Timeline,
+    rm: ResourceManager,
     table: &'a GateTable,
     placement: &'a Placement,
     options: ScheduleOptions,
@@ -279,7 +441,7 @@ impl Scheduler<'_> {
         // the home and remote blocks.
         let home = self.placement.physical_node_of(q);
         let node = self.placement.physical_of(block.node());
-        let lat = *self.tl.latency();
+        let lat = *self.rm.timeline().latency();
 
         // Decide group membership before touching the timeline.
         let joins = self.options.parallel_commutable
@@ -289,13 +451,15 @@ impl Scheduler<'_> {
             self.open_group.as_ref().expect("joins implies open").q_stagger
         } else {
             self.open_group = None;
-            self.tl.qubit_free_at(q)
+            self.rm.timeline().qubit_free_at(q)
         };
 
-        let claim = self.tl.claim_comm(home, node, self.claim_earliest(q_avail));
+        let earliest = self.claim_earliest(q_avail);
+        let claim = self.rm.acquire(home, node, earliest, q_avail);
         let ent_start = claim.epr_ready.max(q_avail);
+        let tl = self.rm.timeline_mut();
         // The burst qubit is physically busy for the entangler's local CX.
-        self.tl.occupy_qubits("cat-entangle", &[q], ent_start, ent_start + lat.t_2q);
+        tl.occupy_qubits("cat-entangle", &[q], ent_start, ent_start + lat.t_2q);
         let ent_end = ent_start + lat.cat_entangle();
 
         // Body: gates touching q run on the remote copy (one comm qubit →
@@ -308,22 +472,22 @@ impl Scheduler<'_> {
                 let partners: Vec<QubitId> =
                     gate.qubits().iter().copied().filter(|&x| x != q).collect();
                 let start =
-                    partners.iter().map(|&x| self.tl.qubit_free_at(x)).fold(comm_cursor, f64::max);
+                    partners.iter().map(|&x| tl.qubit_free_at(x)).fold(comm_cursor, f64::max);
                 let end = start + lat.gate(gate);
                 if !partners.is_empty() {
-                    self.tl.occupy_qubits("cat-body", &partners, start, end);
+                    tl.occupy_qubits("cat-body", &partners, start, end);
                 }
                 comm_cursor = end;
                 body_end = body_end.max(end);
             } else {
-                let (_, end) = self.tl.schedule_gate_after(gate, ent_end);
+                let (_, end) = tl.schedule_gate_after(gate, ent_end);
                 body_end = body_end.max(end);
             }
         }
 
         let dis_end = body_end.max(comm_cursor) + lat.cat_disentangle();
-        self.tl.bump_qubit(q, dis_end);
-        self.tl.release_comm(&claim, dis_end);
+        tl.bump_qubit(q, dis_end);
+        tl.release_comm(&claim, dis_end);
 
         // Update / open the group; either way the body joins the summary.
         if self.options.parallel_commutable {
@@ -363,9 +527,9 @@ impl Scheduler<'_> {
         let q = blocks[0].qubit();
         self.close_group_if_conflicts(&[q]);
         let home = self.placement.physical_node_of(q);
-        let lat = *self.tl.latency();
+        let lat = *self.rm.timeline().latency();
 
-        let mut state_time = self.tl.qubit_free_at(q);
+        let mut state_time = self.rm.timeline().qubit_free_at(q);
         let journey_start = state_time;
         let mut cursor_node = home;
         // The claim whose destination slot currently stores the state.
@@ -377,15 +541,16 @@ impl Scheduler<'_> {
                    state_time: f64,
                    holding: &mut Option<dqc_hardware::CommClaim>|
          -> f64 {
-            let claim = sched.tl.claim_comm(from, to, sched.claim_earliest(state_time));
+            let earliest = sched.claim_earliest(state_time);
+            let claim = sched.rm.acquire(from, to, earliest, state_time);
             let t_start = claim.epr_ready.max(state_time);
             let t_end = t_start + lat.teleport();
             // The source side frees once the Bell measurement is done; the
             // slot that held the state on `from` (previous hop's
             // destination) frees as well — the state just left.
-            sched.tl.release_comm_source(&claim, t_end);
+            sched.rm.timeline_mut().release_comm_source(&claim, t_end);
             if let Some(prev) = holding.take() {
-                sched.tl.release_comm_dest(&prev, t_end);
+                sched.rm.timeline_mut().release_comm_dest(&prev, t_end);
             }
             *holding = Some(claim);
             t_end
@@ -409,16 +574,13 @@ impl Scheduler<'_> {
                 // the paper's always-fuse behavior; on sparse topologies a
                 // junction whose route passes home anyway breaks the chain
                 // there, freeing home's comm slots at equal link cost.
-                if cursor_node != home && node != home {
-                    let topo = self.tl.topology();
-                    let direct = topo.route_weight(cursor_node, node).expect("connected topology");
-                    let via_home = topo.route_weight(cursor_node, home).expect("connected")
-                        + topo.route_weight(home, node).expect("connected");
-                    if direct + 1e-12 >= via_home {
-                        state_time = hop(self, cursor_node, home, state_time, &mut holding);
-                        cursor_node = home;
-                        self.fusion_savings = self.fusion_savings.saturating_sub(1);
-                    }
+                if cursor_node != home
+                    && node != home
+                    && rehomes(self.rm.timeline().topology(), cursor_node, node, home)
+                {
+                    state_time = hop(self, cursor_node, home, state_time, &mut holding);
+                    cursor_node = home;
+                    self.fusion_savings = self.fusion_savings.saturating_sub(1);
                 }
                 if node != cursor_node {
                     state_time = hop(self, cursor_node, node, state_time, &mut holding);
@@ -427,21 +589,20 @@ impl Scheduler<'_> {
             }
             // Body on `node`, with the comm qubit (holding q) serializing.
             let mut comm_cursor = state_time;
+            let tl = self.rm.timeline_mut();
             for gate in block.gates(self.table) {
                 if gate.acts_on(q) {
                     let partners: Vec<QubitId> =
                         gate.qubits().iter().copied().filter(|&x| x != q).collect();
-                    let start = partners
-                        .iter()
-                        .map(|&x| self.tl.qubit_free_at(x))
-                        .fold(comm_cursor, f64::max);
+                    let start =
+                        partners.iter().map(|&x| tl.qubit_free_at(x)).fold(comm_cursor, f64::max);
                     let end = start + lat.gate(gate);
                     if !partners.is_empty() {
-                        self.tl.occupy_qubits("tp-body", &partners, start, end);
+                        tl.occupy_qubits("tp-body", &partners, start, end);
                     }
                     comm_cursor = end;
                 } else {
-                    let (_, end) = self.tl.schedule_gate_after(gate, state_time);
+                    let (_, end) = tl.schedule_gate_after(gate, state_time);
                     comm_cursor = comm_cursor.max(end);
                 }
             }
@@ -452,30 +613,25 @@ impl Scheduler<'_> {
         // relocation onto the original wire (uncharged, as in the paper).
         state_time = hop(self, cursor_node, home, state_time, &mut holding);
         if let Some(last) = holding.take() {
-            self.tl.release_comm_dest(&last, state_time);
+            self.rm.timeline_mut().release_comm_dest(&last, state_time);
         }
-        self.tl.occupy_qubits("tp-journey", &[q], journey_start, state_time);
+        self.rm.timeline_mut().occupy_qubits("tp-journey", &[q], journey_start, state_time);
     }
 
     fn finish(self) -> ScheduleSummary {
+        let policy = self.rm.policy();
+        let (tl, metrics) = self.rm.finish();
         ScheduleSummary {
-            makespan: self.tl.makespan(),
-            epr_pairs: self.tl.epr_pairs_consumed(),
-            swaps: self.tl.swaps_performed(),
-            link_traffic: self.tl.link_traffic(),
+            makespan: tl.makespan(),
+            epr_pairs: tl.epr_pairs_consumed(),
+            swaps: tl.swaps_performed(),
+            link_traffic: tl.link_traffic(),
             fusion_savings: self.fusion_savings,
             cat_blocks: self.cat_blocks,
             tp_blocks: self.tp_blocks,
-            events: None,
+            buffering: BufferingReport::new(policy, &metrics, false),
+            events: tl.events().map(|e| e.to_vec()),
         }
-        .with_events(self.tl)
-    }
-}
-
-impl ScheduleSummary {
-    fn with_events(mut self, tl: Timeline) -> Self {
-        self.events = tl.events().map(|e| e.to_vec());
-        self
     }
 }
 
@@ -699,5 +855,115 @@ mod tests {
         let s = schedule(&program, &Placement::identity(&p), &hw, opts);
         dqc_hardware::validate_events(&s.events.expect("recording enabled"), &hw).unwrap();
         assert!(s.swaps > 0, "QFT over a 4-chain must swap");
+    }
+
+    // ---- EPR buffering ----------------------------------------------------
+
+    fn buffered(depth: usize) -> ScheduleOptions {
+        ScheduleOptions::default().with_buffer(BufferPolicy::Prefetch { depth })
+    }
+
+    #[test]
+    fn on_demand_policy_is_the_default_and_reports_no_hits() {
+        let p = Partition::block(6, 3).unwrap();
+        let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(6)).unwrap();
+        let s = compile_and_schedule(&c, &p, ScheduleOptions::default());
+        assert_eq!(s.buffering.policy, BufferPolicy::OnDemand);
+        assert_eq!(s.buffering.prefetch_hits, 0);
+        assert!(s.buffering.requests > 0);
+        assert!(!s.buffering.fell_back);
+    }
+
+    #[test]
+    fn buffered_policies_never_lose_and_report_their_run() {
+        let p = Partition::block(8, 4).unwrap();
+        let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(8)).unwrap();
+        let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+        let hw = linear_hw(&p);
+        let base = schedule(&program, &Placement::identity(&p), &hw, ScheduleOptions::default());
+        for policy in [
+            BufferPolicy::Prefetch { depth: 2 },
+            BufferPolicy::Prefetch { depth: 8 },
+            BufferPolicy::Greedy,
+        ] {
+            let s = schedule(
+                &program,
+                &Placement::identity(&p),
+                &hw,
+                ScheduleOptions::default().with_buffer(policy),
+            );
+            assert!(
+                s.makespan <= base.makespan + 1e-9,
+                "{policy:?} lost: {} vs {}",
+                s.makespan,
+                base.makespan
+            );
+            assert_eq!(s.epr_pairs, base.epr_pairs, "{policy:?} changed EPR accounting");
+            assert_eq!(s.swaps, base.swaps);
+            assert_eq!(s.buffering.policy, policy);
+            assert_eq!(
+                s.buffering.requests,
+                s.buffering.prefetch_hits + s.buffering.prefetch_misses
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_wins_under_link_contention() {
+        // Back-to-back cat bursts from both end nodes of a chain contend
+        // for links and comm slots; buffered generation pipelines past the
+        // slot-hold serialization and must strictly win.
+        let p = Partition::block(8, 4).unwrap();
+        let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(8)).unwrap();
+        let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+        let hw = linear_hw(&p);
+        let base = schedule(&program, &Placement::identity(&p), &hw, ScheduleOptions::default());
+        let pre = schedule(&program, &Placement::identity(&p), &hw, buffered(4));
+        assert!(
+            pre.makespan + 1e-9 < base.makespan,
+            "prefetch should hide generation latency here: {} vs {}",
+            pre.makespan,
+            base.makespan
+        );
+        assert!(pre.buffering.prefetch_hits > 0);
+        assert!(!pre.buffering.fell_back);
+        assert!(pre.buffering.hit_rate > 0.0 && pre.buffering.hit_rate <= 1.0);
+    }
+
+    #[test]
+    fn buffered_events_validate_against_hardware() {
+        let p = Partition::block(8, 4).unwrap();
+        let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(8)).unwrap();
+        let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+        let hw = linear_hw(&p);
+        let opts = ScheduleOptions { record_events: true, ..buffered(4) };
+        let s = schedule(&program, &Placement::identity(&p), &hw, opts);
+        dqc_hardware::validate_events(&s.events.expect("recording enabled"), &hw).unwrap();
+    }
+
+    #[test]
+    fn comm_request_prescan_matches_the_walk() {
+        // The prescan must predict exactly the claims the walk issues —
+        // the debug assertion in `ResourceManager::acquire` checks this on
+        // every buffered schedule; here we lock the counts explicitly.
+        for (c, p) in [
+            {
+                let c = dqc_circuit::unroll_circuit(&dqc_workloads::qft(8)).unwrap();
+                (c, Partition::block(8, 4).unwrap())
+            },
+            {
+                let c = dqc_circuit::unroll_circuit(&dqc_workloads::uccsd(8)).unwrap();
+                (c, Partition::block(8, 4).unwrap())
+            },
+        ] {
+            let program = assign(&aggregate(&c, &p, AggregateOptions::default()));
+            for hw in [HardwareSpec::for_partition(&p), linear_hw(&p)] {
+                let placement = Placement::identity(&p);
+                let requests =
+                    comm_requests(&program, &placement, hw.topology(), ScheduleOptions::default());
+                let s = schedule(&program, &placement, &hw, buffered(4));
+                assert_eq!(requests.len(), s.buffering.requests, "{}", hw.topology().name());
+            }
+        }
     }
 }

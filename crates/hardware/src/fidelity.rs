@@ -41,6 +41,10 @@ pub struct FidelityModel {
     pub e_epr: f64,
     /// Decoherence rate per qubit per CX-unit of schedule time.
     pub gamma: f64,
+    /// Decay rate of a *buffered* EPR pair per CX-unit it ages between
+    /// herald and consumption (Werner-state depolarization toward the
+    /// maximally mixed two-qubit state).
+    pub gamma_epr: f64,
 }
 
 impl Default for FidelityModel {
@@ -51,6 +55,7 @@ impl Default for FidelityModel {
             e_measure: 5e-3,
             e_epr: 4e-2, // ≈ 40× the local two-qubit error (paper §1)
             gamma: 1e-5,
+            gamma_epr: 1e-3,
         }
     }
 }
@@ -88,6 +93,32 @@ impl FidelityModel {
     /// budget).
     pub fn communication_infidelity(&self, num_epr: usize) -> f64 {
         1.0 - (1.0 - self.e_epr).powi(num_epr as i32)
+    }
+
+    /// Fidelity of one EPR pair that aged `age` CX-units in a buffer
+    /// between herald and consumption: a fresh pair starts at `1 - e_epr`
+    /// and depolarizes exponentially toward the maximally mixed two-qubit
+    /// state's Bell fidelity of 1/4,
+    ///
+    /// ```text
+    /// F(age) = 1/4 + (1 - e_epr - 1/4) · exp(-gamma_epr · age)
+    /// ```
+    ///
+    /// so a buffered (aged) pair never reports a *higher* fidelity than a
+    /// fresh one — the safety property the EPR-buffering scheduler's
+    /// staleness bound ([`crate::BufferPolicy::Prefetch`]'s depth) trades
+    /// against makespan.
+    pub fn epr_pair_fidelity(&self, age: f64) -> f64 {
+        let fresh = 1.0 - self.e_epr;
+        let floor = 0.25;
+        floor + (fresh - floor).max(0.0) * (-self.gamma_epr * age.max(0.0)).exp()
+    }
+
+    /// Error contribution of `num_epr` pairs consumed at a mean buffer age
+    /// of `mean_age` CX-units (the aged generalization of
+    /// [`FidelityModel::communication_infidelity`]; identical at age 0).
+    pub fn aged_communication_infidelity(&self, num_epr: usize, mean_age: f64) -> f64 {
+        1.0 - self.epr_pair_fidelity(mean_age).powi(num_epr as i32)
     }
 
     /// Convenience: derives the inputs for a program compiled onto `lat`,
@@ -155,8 +186,28 @@ mod tests {
 
     #[test]
     fn perfect_machine_gives_unit_fidelity() {
-        let m = FidelityModel { e_1q: 0.0, e_2q: 0.0, e_measure: 0.0, e_epr: 0.0, gamma: 0.0 };
+        let m = FidelityModel {
+            e_1q: 0.0,
+            e_2q: 0.0,
+            e_measure: 0.0,
+            e_epr: 0.0,
+            gamma: 0.0,
+            gamma_epr: 0.0,
+        };
         assert_eq!(m.estimate(&inputs(100, 1e6)), 1.0);
+    }
+
+    #[test]
+    fn aged_pairs_decay_from_fresh_toward_the_mixed_floor() {
+        let m = FidelityModel::default();
+        assert!((m.epr_pair_fidelity(0.0) - (1.0 - m.e_epr)).abs() < 1e-12);
+        assert!(m.epr_pair_fidelity(50.0) < m.epr_pair_fidelity(0.0));
+        // Asymptote: the maximally mixed two-qubit state.
+        assert!((m.epr_pair_fidelity(1e9) - 0.25).abs() < 1e-9);
+        // Age-0 aged infidelity matches the unaged formula.
+        assert!(
+            (m.aged_communication_infidelity(7, 0.0) - m.communication_infidelity(7)).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -32,12 +32,19 @@
 //!   reproduction (AutoComm burst-greedy, baseline ASAP, GP-TP); it counts
 //!   consumed EPR pairs (one per hop), entanglement swaps, and per-link
 //!   traffic;
+//! * [`EprBuffer`] / [`ResourceManager`] — the event-driven buffering layer
+//!   on top of the timeline: per-node FIFO buffers of heralded EPR pairs
+//!   (capacity = comm-qubit budget) and a manager that separates
+//!   *generation events* (link-channel claims, relay swap chains, buffer
+//!   deposits) from *consumption events* (bursts pop matching pairs or
+//!   block until one matures), selected by a [`BufferPolicy`];
 //! * [`validate_events`] — an independent checker that replays a timeline's
 //!   event log and verifies no qubit or comm-slot is double-booked.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 mod error;
 mod fidelity;
 mod latency;
@@ -46,10 +53,11 @@ mod timeline;
 pub mod topology;
 mod validate;
 
+pub use buffer::{BufferMetrics, BufferPolicy, EprBuffer, ResourceManager};
 pub use error::HardwareError;
 pub use fidelity::{FidelityInputs, FidelityModel};
 pub use latency::LatencyModel;
 pub use spec::HardwareSpec;
-pub use timeline::{CommClaim, Timeline, TimelineEvent};
+pub use timeline::{CommClaim, PendingPair, Timeline, TimelineEvent};
 pub use topology::{Link, NetworkTopology};
 pub use validate::{validate_events, ValidationError};

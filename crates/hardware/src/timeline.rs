@@ -31,6 +31,39 @@ pub struct CommClaim {
     pub hops: usize,
 }
 
+/// An EPR pair whose generation has been committed to the timeline but
+/// whose end-node communication slots have **not** been claimed yet — the
+/// unit of work a [`crate::ResourceManager`] keeps in its per-node
+/// [`crate::EprBuffer`]s between generation and consumption.
+///
+/// Produced by [`Timeline::generate_routed`]; turned into a live
+/// [`CommClaim`] by [`Timeline::attach_pair`] when a burst consumes it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingPair {
+    /// First endpoint node.
+    pub a: NodeId,
+    /// Second endpoint node.
+    pub b: NodeId,
+    /// When the first hop's EPR preparation starts.
+    pub start: f64,
+    /// When end-to-end entanglement is heralded (last hop generated plus
+    /// one entanglement swap per relay). The pair occupies an end-node
+    /// buffer slot only from this moment on.
+    pub ready: f64,
+    /// Hops of the routed path (1 on adjacent pairs and all-to-all).
+    pub hops: usize,
+}
+
+/// What one [`Timeline::run_hops`] routed generation produced.
+struct HopPlan {
+    /// When the first hop's preparation starts.
+    first_start: f64,
+    /// End-to-end readiness (slowest hop plus one swap per relay).
+    epr_ready: f64,
+    /// Hops of the routed path.
+    hops: usize,
+}
+
 /// One recorded interval on the timeline (for validation and inspection).
 #[derive(Clone, Debug, PartialEq)]
 pub struct TimelineEvent {
@@ -140,6 +173,18 @@ impl Timeline {
         self.slot_free[node.index()].iter().copied().fold(f64::INFINITY, f64::min)
     }
 
+    /// Communication slots of `node` currently held open by unreleased
+    /// claims (the buffered engine counts these against prefetch headroom
+    /// so buffered pairs plus live claims never exceed the comm-qubit
+    /// budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn held_slots(&self, node: NodeId) -> usize {
+        self.slot_free[node.index()].iter().filter(|t| t.is_infinite()).count()
+    }
+
     /// Schedules a gate as soon as its operands are free; returns
     /// `(start, end)`.
     pub fn schedule_gate(&mut self, gate: &Gate) -> (f64, f64) {
@@ -196,27 +241,59 @@ impl Timeline {
             .topology
             .path(a, b)
             .unwrap_or_else(|| panic!("no route between {a} and {b} in the topology"));
-        let hops = path.len() - 1;
-        if hops == 1 {
-            return self.claim_direct(a, b, earliest);
-        }
-
-        // Slot assignment along the path: one slot at each end, two at each
-        // relay (left half toward the previous node, right half toward the
-        // next).
+        // One slot at each end, claimed for the whole generation-to-release
+        // window (the legacy engine's defining constraint).
         let slot_a = self.best_slot(a);
         let slot_b = self.best_slot(b);
+        let plan = self.run_hops(&path, earliest, Some((slot_a, slot_b)));
+        self.slot_free[a.index()][slot_a] = f64::INFINITY;
+        self.slot_free[b.index()][slot_b] = f64::INFINITY;
+        CommClaim {
+            node_a: a,
+            slot_a,
+            node_b: b,
+            slot_b,
+            start: plan.first_start,
+            epr_ready: plan.epr_ready,
+            hops: plan.hops,
+        }
+    }
+
+    /// The shared routed-generation engine behind [`Timeline::claim_comm`]
+    /// and [`Timeline::generate_routed`]: claims one capacity channel per
+    /// hop link (contending generations serialize), two slots per relay
+    /// (held until the swap chain completes at `epr_ready`), counts
+    /// per-hop EPR pairs / swaps / link traffic, and records the hop and
+    /// swap events.
+    ///
+    /// `ends` carries the already-chosen end-node slots of the legacy
+    /// claim path — their availability then constrains the first/last hop
+    /// and they appear in the recorded events; `None` (the buffered path)
+    /// generates without touching end slots, so only link capacity and
+    /// relay availability bound the start.
+    fn run_hops(
+        &mut self,
+        path: &[NodeId],
+        earliest: f64,
+        ends: Option<(usize, usize)>,
+    ) -> HopPlan {
+        let hops = path.len() - 1;
+        // Slot assignment along the path: two slots at each relay (left
+        // half toward the previous node, right half toward the next);
+        // `usize::MAX` marks an unconstrained end.
         let mut out_slot = vec![usize::MAX; path.len()]; // toward path[i+1]
         let mut in_slot = vec![usize::MAX; path.len()]; // toward path[i-1]
-        out_slot[0] = slot_a;
-        in_slot[hops] = slot_b;
+        if let Some((slot_a, slot_b)) = ends {
+            out_slot[0] = slot_a;
+            in_slot[hops] = slot_b;
+        }
         for i in 1..hops {
             let (first, second) = self.two_best_slots(path[i]);
             in_slot[i] = first;
             out_slot[i] = second;
         }
 
-        // Each hop's generation starts as soon as its two slots and a link
+        // Each hop's generation starts as soon as its slots and a link
         // channel are free; the end-to-end pair is ready one swap per relay
         // after the slowest hop.
         let mut first_start = f64::INFINITY;
@@ -226,8 +303,16 @@ impl Timeline {
             let (u, v) = (path[i], path[i + 1]);
             let link_idx =
                 self.topology.link_between(u, v).expect("routed path steps along existing links");
-            let su = self.slot_free[u.index()][out_slot[i]];
-            let sv = self.slot_free[v.index()][in_slot[i + 1]];
+            let su = if out_slot[i] == usize::MAX {
+                0.0
+            } else {
+                self.slot_free[u.index()][out_slot[i]]
+            };
+            let sv = if in_slot[i + 1] == usize::MAX {
+                0.0
+            } else {
+                self.slot_free[v.index()][in_slot[i + 1]]
+            };
             let channel = self.best_channel(link_idx);
             let channel_free = channel.map(|c| self.link_free[link_idx][c]).unwrap_or(0.0);
             let start = su.max(sv).max(channel_free).max(earliest);
@@ -239,15 +324,19 @@ impl Timeline {
             self.link_traffic[link_idx] += 1;
             first_start = first_start.min(start);
             all_ready = all_ready.max(ready);
-            hop_spans.push((start, ready, (u, out_slot[i]), (v, in_slot[i + 1])));
+            let mut slots = Vec::with_capacity(2);
+            if out_slot[i] != usize::MAX {
+                slots.push((u, out_slot[i]));
+            }
+            if in_slot[i + 1] != usize::MAX {
+                slots.push((v, in_slot[i + 1]));
+            }
+            hop_spans.push((start, ready, slots));
         }
         let epr_ready = all_ready + (hops - 1) as f64 * self.latency.entanglement_swap();
 
-        // End slots stay open; relay slots free once their halves are
-        // measured out by the swaps.
-        self.slot_free[a.index()][slot_a] = f64::INFINITY;
-        self.slot_free[b.index()][slot_b] = f64::INFINITY;
-        let mut relay_slots = Vec::with_capacity(2 * (hops - 1));
+        // Relay slots free once their halves are measured out by the swaps.
+        let mut relay_slots = Vec::with_capacity(2 * hops.saturating_sub(1));
         for i in 1..hops {
             self.slot_free[path[i].index()][in_slot[i]] = epr_ready;
             self.slot_free[path[i].index()][out_slot[i]] = epr_ready;
@@ -258,37 +347,89 @@ impl Timeline {
         self.epr_count += hops;
         self.swap_count += hops - 1;
         self.makespan = self.makespan.max(epr_ready);
-        for (start, ready, su, sv) in hop_spans {
-            self.record("epr".to_owned(), start, ready, vec![], vec![su, sv]);
+        for (start, ready, slots) in hop_spans {
+            self.record("epr".to_owned(), start, ready, vec![], slots);
         }
-        self.record("swap".to_owned(), all_ready, epr_ready, vec![], relay_slots);
-        CommClaim { node_a: a, slot_a, node_b: b, slot_b, start: first_start, epr_ready, hops }
+        if hops > 1 {
+            self.record("swap".to_owned(), all_ready, epr_ready, vec![], relay_slots);
+        }
+        HopPlan { first_start, epr_ready, hops }
     }
 
-    /// The single-hop fast path — bit-identical to the historical
-    /// all-to-all claim when the link is uncontended with unit latency.
-    fn claim_direct(&mut self, a: NodeId, b: NodeId, earliest: f64) -> CommClaim {
-        let link_idx = self.topology.link_between(a, b).expect("adjacent pair has a link");
-        let slot_a = self.best_slot(a);
-        let slot_b = self.best_slot(b);
-        let channel = self.best_channel(link_idx);
-        let channel_free = channel.map(|c| self.link_free[link_idx][c]).unwrap_or(0.0);
-        let start = self.slot_free[a.index()][slot_a]
-            .max(self.slot_free[b.index()][slot_b])
-            .max(channel_free)
-            .max(earliest);
-        let gen = self.latency.t_epr * self.topology.links()[link_idx].latency_factor;
-        let epr_ready = start + gen;
-        self.slot_free[a.index()][slot_a] = f64::INFINITY;
-        self.slot_free[b.index()][slot_b] = f64::INFINITY;
-        if let Some(c) = channel {
-            self.link_free[link_idx][c] = epr_ready;
+    /// Generates end-to-end entanglement between `a` and `b` along the
+    /// routed path **without claiming the end-node communication slots** —
+    /// the buffered-generation half of the event-driven engine. The
+    /// generation serializes on link capacity channels and (on multi-hop
+    /// routes) on relay-node slots exactly like [`Timeline::claim_comm`],
+    /// but the heralded pair parks in the link interface until
+    /// [`Timeline::attach_pair`] loads it into comm-qubit slots at both
+    /// ends, so end-node slots are occupied only from herald to
+    /// consumption, not for the whole generation window.
+    ///
+    /// Charges one EPR pair per hop and one entanglement swap per relay,
+    /// identical to the legacy claim path.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Timeline::claim_comm`], minus
+    /// the end-slot exhaustion case (end slots are not touched here).
+    pub fn generate_routed(&mut self, a: NodeId, b: NodeId, earliest: f64) -> PendingPair {
+        assert_ne!(a, b, "communication requires two distinct nodes");
+        let path = self
+            .topology
+            .path(a, b)
+            .unwrap_or_else(|| panic!("no route between {a} and {b} in the topology"));
+        let plan = self.run_hops(&path, earliest, None);
+        PendingPair { a, b, start: plan.first_start, ready: plan.epr_ready, hops: plan.hops }
+    }
+
+    /// Whether a generation between `a` and `b` can be issued right now:
+    /// the pair is routable and every relay on the path has two
+    /// communication slots not currently held open (entanglement swapping
+    /// needs both). Prefetch engines use this to stall lookahead instead of
+    /// tripping the relay-slot assertion.
+    pub fn can_generate(&self, a: NodeId, b: NodeId) -> bool {
+        let Some(path) = self.topology.path(a, b) else {
+            return false;
+        };
+        path[1..path.len() - 1].iter().all(|relay| {
+            self.slot_free[relay.index()].iter().filter(|t| t.is_finite()).count() >= 2
+        })
+    }
+
+    /// Loads a heralded [`PendingPair`] into one communication slot at each
+    /// end node, claiming both until release. The returned claim's
+    /// `epr_ready` is the *availability* time — the pair's herald time or
+    /// the moment both end slots free up, whichever is later — so the
+    /// standard [`Timeline::release_comm`] family applies unchanged.
+    ///
+    /// The end-slot occupancy interval `[available, release]` enters the
+    /// event log through the `"comm"` event the `release_comm` family
+    /// records (the returned claim's `epr_ready` *is* the attach time), so
+    /// buffered schedules stay checkable by [`crate::validate_events`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an end node has every communication slot held open.
+    pub fn attach_pair(&mut self, pair: &PendingPair) -> CommClaim {
+        let slot_a = self.best_slot(pair.a);
+        let slot_b = self.best_slot(pair.b);
+        let available = pair
+            .ready
+            .max(self.slot_free[pair.a.index()][slot_a])
+            .max(self.slot_free[pair.b.index()][slot_b]);
+        self.slot_free[pair.a.index()][slot_a] = f64::INFINITY;
+        self.slot_free[pair.b.index()][slot_b] = f64::INFINITY;
+        self.makespan = self.makespan.max(available);
+        CommClaim {
+            node_a: pair.a,
+            slot_a,
+            node_b: pair.b,
+            slot_b,
+            start: pair.start,
+            epr_ready: available,
+            hops: pair.hops,
         }
-        self.link_traffic[link_idx] += 1;
-        self.epr_count += 1;
-        self.makespan = self.makespan.max(epr_ready);
-        self.record("epr".to_owned(), start, epr_ready, vec![], vec![(a, slot_a), (b, slot_b)]);
-        CommClaim { node_a: a, slot_a, node_b: b, slot_b, start, epr_ready, hops: 1 }
     }
 
     /// Raises qubit `q`'s next-free time to at least `until` without
@@ -328,6 +469,12 @@ impl Timeline {
             at >= claim.epr_ready - 1e-9,
             "cannot release a communication before its EPR pair exists"
         );
+        debug_assert!(
+            self.slot_free[claim.node_a.index()][claim.slot_a].is_infinite(),
+            "double release of comm slot {}#{} (source side already released)",
+            claim.node_a,
+            claim.slot_a
+        );
         self.slot_free[claim.node_a.index()][claim.slot_a] = at;
         self.makespan = self.makespan.max(at);
         if at > claim.epr_ready {
@@ -350,6 +497,12 @@ impl Timeline {
         assert!(
             at >= claim.epr_ready - 1e-9,
             "cannot release a communication before its EPR pair exists"
+        );
+        debug_assert!(
+            self.slot_free[claim.node_b.index()][claim.slot_b].is_infinite(),
+            "double release of comm slot {}#{} (destination side already released)",
+            claim.node_b,
+            claim.slot_b
         );
         self.slot_free[claim.node_b.index()][claim.slot_b] = at;
         self.makespan = self.makespan.max(at);
@@ -374,6 +527,15 @@ impl Timeline {
         assert!(
             at >= claim.epr_ready - 1e-9,
             "cannot release a communication before its EPR pair exists"
+        );
+        debug_assert!(
+            self.slot_free[claim.node_a.index()][claim.slot_a].is_infinite()
+                && self.slot_free[claim.node_b.index()][claim.slot_b].is_infinite(),
+            "double release of comm claim {}#{} / {}#{}",
+            claim.node_a,
+            claim.slot_a,
+            claim.node_b,
+            claim.slot_b
         );
         self.slot_free[claim.node_a.index()][claim.slot_a] = at;
         self.slot_free[claim.node_b.index()][claim.slot_b] = at;
@@ -683,6 +845,47 @@ mod tests {
         assert_eq!(events.iter().filter(|e| e.label == "epr").count(), 3);
         assert_eq!(events.iter().filter(|e| e.label == "swap").count(), 1);
         crate::validate_events(events, &hw).unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_of_a_claim_is_caught_in_debug() {
+        let mut tl = timeline();
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        tl.release_comm(&c, 15.0);
+        tl.release_comm(&c, 16.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_of_one_side_is_caught_in_debug() {
+        let mut tl = timeline();
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        tl.release_comm_source(&c, 15.0);
+        tl.release_comm_source(&c, 16.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn release_sides_after_full_release_is_caught_in_debug() {
+        let mut tl = timeline();
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        tl.release_comm_sides(&c, 15.0, 20.0);
+        tl.release_comm_dest(&c, 25.0);
+    }
+
+    #[test]
+    fn asymmetric_release_of_distinct_sides_is_fine() {
+        // The guard must not fire on the legitimate TP pattern: source
+        // first, destination later, each exactly once.
+        let mut tl = timeline();
+        let c = tl.claim_comm(n(0), n(1), 0.0);
+        tl.release_comm_source(&c, 15.0);
+        tl.release_comm_dest(&c, 25.0);
+        assert_eq!(tl.makespan(), 25.0);
     }
 
     #[test]

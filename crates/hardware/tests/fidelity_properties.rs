@@ -1,0 +1,66 @@
+//! Property tests for the EPR decay model behind buffered scheduling: a
+//! buffered (aged) pair must never report a *higher* fidelity than a fresh
+//! one, for any machine parameters — otherwise the prefetch engine could
+//! "launder" staleness into apparent quality.
+
+use dqc_hardware::FidelityModel;
+use proptest::prelude::*;
+
+fn model(e_epr: f64, gamma_epr: f64) -> FidelityModel {
+    FidelityModel { e_epr, gamma_epr, ..FidelityModel::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Monotone decay: more buffer age never means more fidelity.
+    #[test]
+    fn aged_pairs_never_beat_fresh_ones(
+        e_epr in 0.0f64..0.5,
+        gamma_epr in 0.0f64..0.1,
+        age_a in 0.0f64..10_000.0,
+        extra in 0.0f64..10_000.0,
+    ) {
+        let m = model(e_epr, gamma_epr);
+        let young = m.epr_pair_fidelity(age_a);
+        let old = m.epr_pair_fidelity(age_a + extra);
+        prop_assert!(
+            old <= young + 1e-12,
+            "aging {age_a} -> {} raised fidelity {young} -> {old}",
+            age_a + extra
+        );
+        prop_assert!(old <= m.epr_pair_fidelity(0.0) + 1e-12, "nothing beats a fresh pair");
+    }
+
+    /// The decayed fidelity stays a fidelity: within (0, 1], floored by the
+    /// maximally mixed state's 1/4 whenever the fresh pair starts above it.
+    #[test]
+    fn decayed_fidelity_stays_physical(
+        e_epr in 0.0f64..0.5,
+        gamma_epr in 0.0f64..0.1,
+        age in 0.0f64..1e6,
+    ) {
+        let m = model(e_epr, gamma_epr);
+        let f = m.epr_pair_fidelity(age);
+        prop_assert!(f > 0.0 && f <= 1.0, "fidelity {f} out of range");
+        prop_assert!(f >= 0.25 - 1e-12, "decay undershot the mixed-state floor: {f}");
+    }
+
+    /// Aged communication infidelity is monotone in both pair count and
+    /// age, and degenerates to the unaged formula at age zero.
+    #[test]
+    fn aged_infidelity_is_monotone(
+        e_epr in 1e-6f64..0.3,
+        gamma_epr in 1e-6f64..0.05,
+        pairs in 1usize..200,
+        age in 0.0f64..5_000.0,
+    ) {
+        let m = model(e_epr, gamma_epr);
+        let fresh = m.aged_communication_infidelity(pairs, 0.0);
+        let aged = m.aged_communication_infidelity(pairs, age);
+        prop_assert!(aged >= fresh - 1e-12, "aging reduced infidelity: {fresh} -> {aged}");
+        prop_assert!((fresh - m.communication_infidelity(pairs)).abs() < 1e-9);
+        let more = m.aged_communication_infidelity(pairs + 1, age);
+        prop_assert!(more >= aged - 1e-12, "an extra pair reduced infidelity");
+    }
+}

@@ -44,6 +44,13 @@ impl PhysicalProgram {
 /// entanglement between non-adjacent nodes is emitted as a real swap
 /// chain: per-hop EPR generations followed by a Bell measurement at every
 /// relay node with classically conditioned corrections.
+///
+/// The expansion is deliberately independent of *when* the scheduler
+/// materializes each pair: a pair popped from an EPR buffer (prefetched
+/// generation under a buffered `BufferPolicy`) lowers to exactly the same
+/// Cat/TP gate sequence as an on-demand pair, so buffered schedules stay
+/// simulator-exact by construction (`tests/buffer_properties.rs` verifies
+/// this end to end).
 #[derive(Clone, Debug)]
 pub struct ProtocolExpander {
     circuit: Circuit,

@@ -41,7 +41,13 @@ fn workload_schedules_validate() {
     for (circuit, nodes) in cases {
         let partition = Partition::block(circuit.num_qubits(), nodes).unwrap();
         let hw = HardwareSpec::for_partition(&partition);
-        for options in [ScheduleOptions::default(), ScheduleOptions::plain_greedy()] {
+        for options in [
+            ScheduleOptions::default(),
+            ScheduleOptions::plain_greedy(),
+            ScheduleOptions::default()
+                .with_buffer(autocomm_repro::core::BufferPolicy::Prefetch { depth: 4 }),
+            ScheduleOptions::default().with_buffer(autocomm_repro::core::BufferPolicy::Greedy),
+        ] {
             let summary = recorded_schedule(&circuit, &partition, options);
             let events = summary.events.as_ref().expect("recording on");
             validate_events(events, &hw)
