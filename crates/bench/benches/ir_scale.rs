@@ -1,7 +1,10 @@
 //! IR-scale benchmarks: end-to-end and per-pass compile throughput on a
 //! ~10k-gate (~19k unrolled) random circuit, the configuration whose
 //! pre-/post-refactor numbers are recorded in
-//! `crates/bench/baselines/ir_10k_baseline.json`.
+//! `crates/bench/baselines/ir_10k_baseline.json`, plus the 100k- and
+//! 1M-gate configurations of the scaling re-platform
+//! (`crates/bench/baselines/ir_1m_baseline.json`; the asserting companion
+//! is the `ir_scale_gate` binary).
 //!
 //! The `CommIr` re-platforming is a compile-*time* change, so these benches
 //! are the acceptance evidence: `end-to-end/random-8-2-10000` must stay
@@ -67,5 +70,21 @@ fn bench_per_pass_10k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end_10k, bench_per_pass_10k);
+fn bench_end_to_end_scale(c: &mut Criterion) {
+    // 100k- and 1M-gate compiles take hundreds of ms to seconds each, so
+    // the groups run few samples — the trend matters, not the variance.
+    let mut group = c.benchmark_group("end-to-end-scale");
+    group.sample_size(10);
+    let (circuit, partition) = dqc_workloads::random_distributed_circuit(64, 8, 100_000, 7);
+    group.bench_function("random-64-8-100000", |b| {
+        b.iter(|| black_box(AutoComm::new().compile(&circuit, &partition).unwrap()))
+    });
+    let (circuit, partition) = dqc_workloads::random_distributed_circuit(32, 4, 1_000_000, 7);
+    group.bench_function("random-32-4-1000000", |b| {
+        b.iter(|| black_box(AutoComm::new().compile(&circuit, &partition).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end_10k, bench_per_pass_10k, bench_end_to_end_scale);
 criterion_main!(benches);

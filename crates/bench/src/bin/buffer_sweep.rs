@@ -20,10 +20,9 @@
 //!   re-platform).
 
 use autocomm::{AutoComm, AutoCommOptions, BufferPolicy};
-use dqc_circuit::{unroll_circuit, Partition};
+use dqc_bench::{oee_mapping, sweep_inputs};
+use dqc_circuit::Partition;
 use dqc_hardware::{HardwareSpec, NetworkTopology};
-use dqc_partition::{oee_partition, InteractionGraph};
-use dqc_workloads::{generate, smoke_suite};
 
 const POLICIES: [BufferPolicy; 2] = [BufferPolicy::OnDemand, BufferPolicy::Prefetch { depth: 4 }];
 
@@ -50,11 +49,8 @@ fn main() {
     };
 
     let mut rows: Vec<Row> = Vec::new();
-    for config in smoke_suite() {
-        let circuit = generate(&config);
-        let unrolled = unroll_circuit(&circuit).expect("suite circuits unroll");
-        let partition: Partition = oee_partition(&InteractionGraph::from_circuit(&unrolled), nodes)
-            .expect("valid node count");
+    for (label, circuit) in sweep_inputs(nodes, false, false) {
+        let partition: Partition = oee_mapping(&circuit, nodes);
         for topology in topologies() {
             let hw = HardwareSpec::for_partition(&partition)
                 .with_topology(topology.clone())
@@ -67,7 +63,7 @@ fn main() {
                 let s = &result.schedule;
                 makespans[pi] = s.makespan;
                 rows.push(Row {
-                    workload: config.label(),
+                    workload: label.clone(),
                     topology: topology.name().to_owned(),
                     policy: policy.name(),
                     makespan: s.makespan,
@@ -81,8 +77,7 @@ fn main() {
             let [on_demand, prefetch] = makespans;
             assert!(
                 prefetch <= on_demand + 1e-9,
-                "{}/{}: prefetch {prefetch} beat by on-demand {on_demand}",
-                config.label(),
+                "{label}/{}: prefetch {prefetch} beat by on-demand {on_demand}",
                 topology.name()
             );
         }

@@ -20,10 +20,9 @@
 //!   (the acceptance criterion of the placement re-platform).
 
 use autocomm::{AutoComm, PlacementConfig};
-use dqc_circuit::{unroll_circuit, Circuit, Partition};
+use dqc_bench::{oee_mapping, quick_requested, sweep_inputs};
+use dqc_circuit::{Circuit, Partition};
 use dqc_hardware::{HardwareSpec, NetworkTopology};
-use dqc_partition::{oee_partition, InteractionGraph};
-use dqc_workloads::{generate, node_ring_exchange, smoke_suite};
 
 const STRATEGIES: [&str; 3] = ["block", "oee", "topo"];
 
@@ -39,16 +38,12 @@ struct Row {
 fn partition_for(circuit: &Circuit, nodes: usize, strategy: &str) -> Partition {
     match strategy {
         "block" => Partition::block(circuit.num_qubits(), nodes).expect("divisible sizes"),
-        _ => {
-            let unrolled = unroll_circuit(circuit).expect("suite circuits unroll");
-            oee_partition(&InteractionGraph::from_circuit(&unrolled), nodes)
-                .expect("valid node count")
-        }
+        _ => oee_mapping(circuit, nodes),
     }
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_requested();
     let nodes = 4usize;
     let refine_iters = 3usize;
     let topologies = || {
@@ -60,9 +55,7 @@ fn main() {
         ]
     };
 
-    let mut inputs: Vec<(String, Circuit)> =
-        smoke_suite().into_iter().map(|config| (config.label(), generate(&config))).collect();
-    inputs.push(("RING-X-16-4".into(), node_ring_exchange(16, nodes, if quick { 2 } else { 6 })));
+    let inputs: Vec<(String, Circuit)> = sweep_inputs(nodes, true, quick);
 
     let mut rows: Vec<Row> = Vec::new();
     for (label, circuit) in &inputs {
@@ -75,6 +68,7 @@ fn main() {
                     .expect("standard topologies are valid for 4 nodes");
                 let config = PlacementConfig {
                     refine_iters: if *strategy == "topo" { refine_iters } else { 0 },
+                    ..Default::default()
                 };
                 let (result, report) = AutoComm::new()
                     .compile_placed(circuit, &partition, &hw, &config)

@@ -13,9 +13,9 @@
 //!   pairs on every workload (routing can only add cost).
 
 use autocomm::{AutoComm, CompileResult};
+use dqc_bench::{quick_requested, sweep_inputs};
 use dqc_circuit::{Circuit, Partition};
 use dqc_hardware::{HardwareSpec, NetworkTopology};
-use dqc_workloads::{generate, node_ring_exchange, smoke_suite};
 
 struct Row {
     workload: String,
@@ -34,7 +34,7 @@ fn compile_on(c: &Circuit, p: &Partition, topology: NetworkTopology) -> CompileR
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_requested();
     let nodes = 4usize;
     let topologies = |n: usize| {
         vec![
@@ -46,9 +46,7 @@ fn main() {
         ]
     };
 
-    let mut inputs: Vec<(String, Circuit)> =
-        smoke_suite().into_iter().map(|config| (config.label(), generate(&config))).collect();
-    inputs.push(("RING-X-16-4".into(), node_ring_exchange(16, nodes, if quick { 2 } else { 6 })));
+    let inputs: Vec<(String, Circuit)> = sweep_inputs(nodes, true, quick);
 
     let mut rows: Vec<Row> = Vec::new();
     for (label, circuit) in &inputs {

@@ -30,7 +30,7 @@ use dqc_baselines::{compile_ferrari, compile_gp_tp, BaselineResult};
 use dqc_circuit::{unroll_circuit, Circuit, CircuitStats, Partition};
 use dqc_hardware::HardwareSpec;
 use dqc_partition::{oee_partition, InteractionGraph};
-use dqc_workloads::{generate, BenchConfig};
+use dqc_workloads::{generate, node_ring_exchange, smoke_suite, BenchConfig};
 
 /// Everything measured for one benchmark configuration.
 #[derive(Clone, Debug)]
@@ -136,6 +136,23 @@ pub fn configs(quick: bool) -> Vec<BenchConfig> {
 /// Returns true when the process arguments request quick mode.
 pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// The labelled workload set shared by the deterministic sweep binaries
+/// (`buffer_sweep`, `topology_sweep`, `placement_sweep`): every smoke-suite
+/// program, optionally followed by the `node_ring_exchange` interconnect
+/// stressor (`RING-X-16-4`, scaled down under `--quick`).
+///
+/// Keeping the list in one place keeps the three recorded sweep baselines
+/// in lockstep: a workload added here reaches every sweep at once.
+pub fn sweep_inputs(nodes: usize, stressor: bool, quick: bool) -> Vec<(String, Circuit)> {
+    let mut inputs: Vec<(String, Circuit)> =
+        smoke_suite().into_iter().map(|config| (config.label(), generate(&config))).collect();
+    if stressor {
+        inputs
+            .push(("RING-X-16-4".into(), node_ring_exchange(16, nodes, if quick { 2 } else { 6 })));
+    }
+    inputs
 }
 
 /// Markdown-ish table printer: header + aligned rows.

@@ -32,6 +32,50 @@ pub struct DependencyDag {
     num_gates: usize,
 }
 
+/// Bounded per-wire history for the streaming DAG builds: at most `cap`
+/// most-recent stream positions are retained per wire, in ring buffers, so
+/// the build's working set is O(wires × window) no matter how long the
+/// stream is. The windowed scans only ever look `window` entries back, so
+/// evicting older positions changes nothing — the graphs are bit-identical
+/// to the unbounded-history build (the property tests below assert it).
+///
+/// With `cap == usize::MAX` (the exact, unwindowed builds) the rings never
+/// fill and degenerate to plain grow-on-push vectors.
+struct HistoryRings {
+    rings: Vec<Vec<u32>>,
+    /// Index of the *oldest* entry once a ring is full (rings rotate in
+    /// place instead of shifting).
+    head: Vec<u32>,
+    cap: usize,
+}
+
+impl HistoryRings {
+    fn new(wires: usize, cap: usize) -> Self {
+        HistoryRings { rings: vec![Vec::new(); wires], head: vec![0; wires], cap: cap.max(1) }
+    }
+
+    /// Records `pos` as wire `w`'s most recent entry, evicting the oldest
+    /// once `cap` entries are held.
+    fn push(&mut self, w: usize, pos: u32) {
+        let ring = &mut self.rings[w];
+        if ring.len() < self.cap {
+            ring.push(pos);
+        } else {
+            let h = self.head[w] as usize;
+            ring[h] = pos;
+            self.head[w] = ((h + 1) % self.cap) as u32;
+        }
+    }
+
+    /// The retained entries of wire `w`, newest first.
+    fn newest_first(&self, w: usize) -> impl Iterator<Item = u32> + '_ {
+        let ring = &self.rings[w];
+        let len = ring.len();
+        let head = self.head[w] as usize;
+        (0..len).map(move |k| ring[(head + len - 1 - k) % len])
+    }
+}
+
 /// Incremental CSR builder for predecessors: gates are processed in
 /// ascending order, so each gate's list is appended contiguously.
 struct PredBuilder {
@@ -126,27 +170,27 @@ impl DependencyDag {
     ) -> Self {
         let n = stream.len();
         let mut preds = PredBuilder::new(n);
-        let mut wire_history: Vec<Vec<u32>> = vec![Vec::new(); num_qubits];
-        let mut cbit_history: Vec<Vec<u32>> = vec![Vec::new(); num_cbits.max(1)];
+        let mut wire_history = HistoryRings::new(num_qubits, window);
+        let mut cbit_history = HistoryRings::new(num_cbits.max(1), window);
         for (i, &id) in stream.iter().enumerate() {
             preds.open();
             for q in table.qubit_indices(id) {
-                for &j in wire_history[q].iter().rev().take(window) {
+                for j in wire_history.newest_first(q).take(window) {
                     if !table.commutes_ids(stream[j as usize], id) {
                         preds.add(j as usize);
                         break; // nearest blocker dominates older ones
                     }
                 }
-                wire_history[q].push(i as u32);
+                wire_history.push(q, i as u32);
             }
             for bit in table.classical_bits(id) {
-                for &j in cbit_history[bit].iter().rev().take(window) {
+                for j in cbit_history.newest_first(bit).take(window) {
                     if !table.commutes_ids(stream[j as usize], id) {
                         preds.add(j as usize);
                         break;
                     }
                 }
-                cbit_history[bit].push(i as u32);
+                cbit_history.push(bit, i as u32);
             }
         }
         preds.finish(n)
@@ -166,29 +210,32 @@ impl DependencyDag {
         // Track, per qubit/cbit, the recent gates that may conflict. For the
         // strict build only the last toucher matters; for the
         // commutation-aware build we keep the chain of gates on the wire and
-        // link against the nearest non-commuting one.
-        let mut wire_history: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_qubits()];
-        let mut cbit_history: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_cbits().max(1)];
+        // link against the nearest non-commuting one. The windowed builds
+        // retain at most `window` positions per wire (ring buffers), so a
+        // million-gate stream never holds more than O(wires × window)
+        // history.
+        let mut wire_history = HistoryRings::new(circuit.num_qubits(), window);
+        let mut cbit_history = HistoryRings::new(circuit.num_cbits().max(1), window);
         let gates = circuit.gates();
         for (i, gate) in gates.iter().enumerate() {
             preds.open();
             for &q in gate.qubits() {
-                for &j in wire_history[q.index()].iter().rev().take(window) {
+                for j in wire_history.newest_first(q.index()).take(window) {
                     if depends(&gates[j as usize], gate) {
                         preds.add(j as usize);
                         break; // nearest blocker dominates older ones
                     }
                 }
-                wire_history[q.index()].push(i as u32);
+                wire_history.push(q.index(), i as u32);
             }
             for bit in [gate.cbit(), gate.condition()].into_iter().flatten() {
-                for &j in cbit_history[bit.index()].iter().rev().take(window) {
+                for j in cbit_history.newest_first(bit.index()).take(window) {
                     if depends(&gates[j as usize], gate) {
                         preds.add(j as usize);
                         break;
                     }
                 }
-                cbit_history[bit.index()].push(i as u32);
+                cbit_history.push(bit.index(), i as u32);
             }
         }
         preds.finish(n)
@@ -415,6 +462,54 @@ mod tests {
             let by_gate = DependencyDag::commutation_aware_windowed(&c, 16);
             let by_id = indexed(&c, 16);
             assert_eq!(by_gate, by_id, "seed {seed}");
+        }
+    }
+
+    /// Reference windowed build with *unbounded* per-wire history vectors
+    /// (the pre-ring-buffer implementation): the streaming build must
+    /// reproduce it bit for bit, including when rings wrap many times.
+    fn reference_windowed(circuit: &Circuit, window: usize) -> DependencyDag {
+        let gates = circuit.gates();
+        let mut preds = PredBuilder::new(gates.len());
+        let mut wire_history: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_qubits()];
+        let mut cbit_history: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_cbits().max(1)];
+        for (i, gate) in gates.iter().enumerate() {
+            preds.open();
+            for &q in gate.qubits() {
+                for &j in wire_history[q.index()].iter().rev().take(window) {
+                    if !commutes(&gates[j as usize], gate) {
+                        preds.add(j as usize);
+                        break;
+                    }
+                }
+                wire_history[q.index()].push(i as u32);
+            }
+            for bit in [gate.cbit(), gate.condition()].into_iter().flatten() {
+                for &j in cbit_history[bit.index()].iter().rev().take(window) {
+                    if !commutes(&gates[j as usize], gate) {
+                        preds.add(j as usize);
+                        break;
+                    }
+                }
+                cbit_history[bit.index()].push(i as u32);
+            }
+        }
+        preds.finish(gates.len())
+    }
+
+    #[test]
+    fn ring_history_build_matches_unbounded_history_reference() {
+        // Streams far longer than the window per wire, so every ring wraps
+        // around many times; tiny windows stress the eviction path.
+        for window in [1usize, 2, 3, 7, 16] {
+            for seed in 0..4u64 {
+                let c = pseudo_random_circuit(seed * 31 + 5, 3, 200);
+                let streamed = DependencyDag::commutation_aware_windowed(&c, window);
+                let reference = reference_windowed(&c, window);
+                assert_eq!(streamed, reference, "window {window}, seed {seed}");
+                let by_id = indexed(&c, window);
+                assert_eq!(by_id, reference, "indexed: window {window}, seed {seed}");
+            }
         }
     }
 

@@ -71,5 +71,5 @@ pub use partition::Partition;
 pub use qasm::to_qasm;
 pub use qasm_parse::{from_qasm, QasmParseError};
 pub use stats::{circuit_depth, CircuitStats};
-pub use table::{CommSummary, GateId, GateTable};
+pub use table::{CommSummary, GateId, GateTable, WireClass};
 pub use unroll::{unroll_circuit, unroll_gate};

@@ -142,6 +142,22 @@ struct Wire {
     tag: WireTag,
 }
 
+/// Public view of a gate's precomputed per-wire commutation class — what
+/// [`GateTable::wire_class_on`] reports so hot passes (segmentation,
+/// aggregation) can classify a gate's action on a wire without resolving
+/// the heap-allocated [`Gate`] at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireClass {
+    /// Diagonal in the computational basis on this wire.
+    ZDiag,
+    /// Diagonal in the |±⟩ basis on this wire.
+    XDiag,
+    /// Opaque but unitary: commutes only with bit-identical copies.
+    Opaque,
+    /// Barrier/reset: conflicts with everything sharing the wire.
+    Block,
+}
+
 const NO_CBIT: u32 = u32::MAX;
 
 /// Fixed-size classical-bit record: `[cbit, condition]`, `NO_CBIT` = none.
@@ -190,6 +206,14 @@ pub struct GateTable {
     /// CSR wire records: `wires[offsets[id]..offsets[id + 1]]`.
     wires: Vec<Wire>,
     offsets: Vec<u32>,
+    /// Arena (bump) copies of the per-gate scalar metadata, so the hot
+    /// passes read flat `Vec`s instead of chasing each [`Gate`]'s
+    /// heap-allocated operand storage: one [`GateKind`] per gate…
+    kinds: Vec<GateKind>,
+    /// …and the rotation parameters in a CSR arena
+    /// (`params[param_off[id]..param_off[id + 1]]`).
+    params: Vec<f64>,
+    param_off: Vec<u32>,
     cbits: Vec<CBits>,
     /// Per-gate folded wire mask: bit `q % 64` per operand (collisions past
     /// 64 qubits only ever make overlap checks conservative).
@@ -202,7 +226,7 @@ pub struct GateTable {
 impl GateTable {
     /// An empty table.
     pub fn new() -> Self {
-        GateTable { offsets: vec![0], ..GateTable::default() }
+        GateTable { offsets: vec![0], param_off: vec![0], ..GateTable::default() }
     }
 
     /// An empty table sized for roughly `gates` interned gates.
@@ -212,6 +236,9 @@ impl GateTable {
         t.index.reserve(gates);
         t.wires.reserve(gates * 2);
         t.offsets.reserve(gates);
+        t.kinds.reserve(gates);
+        t.params.reserve(gates);
+        t.param_off.reserve(gates);
         t.cbits.reserve(gates);
         t.masks.reserve(gates);
         t.disjoint_masks.reserve(gates);
@@ -240,6 +267,9 @@ impl GateTable {
             mask |= 1u64 << (q.index() % 64);
         }
         self.offsets.push(self.wires.len() as u32);
+        self.kinds.push(gate.kind());
+        self.params.extend_from_slice(gate.params());
+        self.param_off.push(self.params.len() as u32);
         let cbits = CBits::of(gate);
         self.disjoint_masks.push(if cbits.any() { u64::MAX } else { mask });
         self.cbits.push(cbits);
@@ -284,6 +314,38 @@ impl GateTable {
     /// The operand qubit indices of `id`, without touching the gate.
     pub fn qubit_indices(&self, id: GateId) -> impl Iterator<Item = usize> + '_ {
         self.wires_of(id).iter().map(|w| w.qubit as usize)
+    }
+
+    /// The kind of gate `id`, from the flat kind arena.
+    pub fn kind_of(&self, id: GateId) -> GateKind {
+        self.kinds[id.index()]
+    }
+
+    /// The rotation parameters of `id`, from the CSR parameter arena.
+    pub fn params_of(&self, id: GateId) -> &[f64] {
+        &self.params[self.param_off[id.index()] as usize..self.param_off[id.index() + 1] as usize]
+    }
+
+    /// Number of qubit operands of `id` (CSR offset difference; no gate
+    /// resolution).
+    pub fn operand_count(&self, id: GateId) -> usize {
+        (self.offsets[id.index() + 1] - self.offsets[id.index()]) as usize
+    }
+
+    /// Whether `id` is a unitary gate (not a measure/reset/barrier).
+    pub fn is_unitary(&self, id: GateId) -> bool {
+        self.kinds[id.index()].is_unitary()
+    }
+
+    /// The precomputed commutation class of `id`'s action on `qubit`, or
+    /// `None` when the gate does not act on that wire.
+    pub fn wire_class_on(&self, id: GateId, qubit: usize) -> Option<WireClass> {
+        self.wires_of(id).iter().find(|w| w.qubit as usize == qubit).map(|w| match w.tag {
+            WireTag::Z => WireClass::ZDiag,
+            WireTag::X => WireClass::XDiag,
+            WireTag::Opaque => WireClass::Opaque,
+            WireTag::Block => WireClass::Block,
+        })
     }
 
     /// Whether `id` reads or writes any classical bit.
@@ -608,6 +670,31 @@ mod tests {
         s.add(&table, id);
         let probe = table.intern(&Gate::h(q(9)));
         assert!(!s.commutes_with(&table, probe));
+    }
+
+    /// The arena accessors agree with the resolved gate for every zoo gate.
+    #[test]
+    fn arena_metadata_matches_gates() {
+        let mut table = GateTable::new();
+        let ids: Vec<GateId> = zoo().iter().map(|g| table.intern(g)).collect();
+        for &id in &ids {
+            let gate = table.gate(id).clone();
+            assert_eq!(table.kind_of(id), gate.kind());
+            assert_eq!(table.params_of(id), gate.params());
+            assert_eq!(table.operand_count(id), gate.qubits().len());
+            assert_eq!(table.is_unitary(id), gate.kind().is_unitary());
+            for &q in gate.qubits() {
+                let class = table.wire_class_on(id, q.index()).expect("gate acts on operand");
+                let expected = match wire_tag(&gate, q) {
+                    WireTag::Z => WireClass::ZDiag,
+                    WireTag::X => WireClass::XDiag,
+                    WireTag::Opaque => WireClass::Opaque,
+                    WireTag::Block => WireClass::Block,
+                };
+                assert_eq!(class, expected, "{gate} on q{}", q.index());
+            }
+            assert_eq!(table.wire_class_on(id, 63), None, "{gate} does not act on q63");
+        }
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub struct BatchArgs {
     pub jobs: usize,
     /// Emit JSON instead of the human-readable report.
     pub json: bool,
+    /// Add a `"timings"` object (per-pass wall-clock totals summed across
+    /// every program) to the JSON report.
+    pub timings: bool,
     /// Whether the legacy `--partition` alias was used (one deprecation
     /// warning per batch, not one per file).
     pub legacy_partition_alias: bool,
@@ -80,6 +83,7 @@ impl BatchArgs {
         let mut ablations = Vec::new();
         let mut jobs = None;
         let mut json = false;
+        let mut timings = false;
         let mut legacy_partition_alias = false;
 
         let usage = |msg: String| CliError::Usage(format!("{msg}\n\n{USAGE}"));
@@ -143,6 +147,7 @@ impl BatchArgs {
                     }
                 }
                 "--json" => json = true,
+                "--timings" => timings = true,
                 flag if flag.starts_with('-') => {
                     return Err(usage(format!("unknown option '{flag}'")));
                 }
@@ -177,6 +182,7 @@ impl BatchArgs {
             ablations,
             jobs: jobs.unwrap_or_else(default_jobs),
             json,
+            timings,
             legacy_partition_alias,
         })
     }
@@ -255,6 +261,9 @@ pub struct BatchRow {
     pub mean_epr_wait: f64,
     /// Whether the buffered schedule fell back to the on-demand rail.
     pub fell_back: bool,
+    /// Per-pass wall-clock times of this entry, `(pass, ms)` in pipeline
+    /// order (feeds the aggregated `--timings` object).
+    pub pass_ms: Vec<(&'static str, f64)>,
     /// Wall-clock compile time of this entry, in milliseconds.
     pub compile_ms: f64,
 }
@@ -417,6 +426,7 @@ fn compile_task(
         comm_requests: result.schedule.buffering.requests,
         mean_epr_wait: result.schedule.buffering.mean_epr_wait,
         fell_back: result.schedule.buffering.fell_back,
+        pass_ms: result.passes.iter().map(|p| (p.pass, p.duration.as_secs_f64() * 1e3)).collect(),
         compile_ms: started.elapsed().as_secs_f64() * 1e3,
     })
 }
@@ -436,6 +446,22 @@ impl BatchReport {
         self.ok_rows().map(|r| r.compile_ms).sum()
     }
 
+    /// Per-pass wall-clock totals summed over every successful row, in
+    /// first-seen pipeline order (every row runs the same pipeline, so this
+    /// is simply the pass order).
+    pub fn total_pass_ms(&self) -> Vec<(&'static str, f64)> {
+        let mut totals: Vec<(&'static str, f64)> = Vec::new();
+        for row in self.ok_rows() {
+            for &(pass, ms) in &row.pass_ms {
+                match totals.iter_mut().find(|(p, _)| *p == pass) {
+                    Some((_, total)) => *total += ms,
+                    None => totals.push((pass, ms)),
+                }
+            }
+        }
+        totals
+    }
+
     /// Per-link EPR traffic aggregated over every successful row, sorted by
     /// endpoints.
     pub fn total_link_traffic(&self) -> Vec<(usize, usize, usize)> {
@@ -452,102 +478,123 @@ impl BatchReport {
     /// The machine-readable form emitted under `--json`.
     pub fn to_json(&self) -> Json {
         let totals = |f: fn(&BatchRow) -> f64| self.ok_rows().map(f).sum::<f64>();
-        Json::object([
-            ("nodes", Json::number(self.args.nodes as f64)),
-            ("jobs", Json::number(self.args.jobs as f64)),
+        // `--timings` adds the per-pass wall-clock totals (summed across
+        // every compiled program) as a flat pass-name -> milliseconds
+        // object.
+        let timings = self.args.timings.then(|| {
             (
-                "topology",
-                Json::string(self.args.topology.clone().unwrap_or_else(|| "all-to-all".into())),
-            ),
-            ("placement", Json::string(self.args.strategy.name())),
-            ("refine_iters", Json::number(self.args.refine_iters as f64)),
-            (
-                "buffering",
-                Json::object([
-                    ("policy", Json::string(self.args.buffer.name())),
-                    (
-                        "prefetch_hits",
-                        Json::number(self.ok_rows().map(|r| r.prefetch_hits).sum::<usize>() as f64),
-                    ),
-                    (
-                        "comm_requests",
-                        Json::number(self.ok_rows().map(|r| r.comm_requests).sum::<usize>() as f64),
-                    ),
-                    (
-                        "fallbacks",
-                        Json::number(self.ok_rows().filter(|r| r.fell_back).count() as f64),
-                    ),
-                ]),
-            ),
-            (
-                "source",
-                Json::string(match &self.args.source {
-                    BatchSource::Dir(d) => d.display().to_string(),
-                    BatchSource::Suite => "--suite".to_string(),
-                }),
-            ),
-            ("programs", Json::number(self.rows.len() as f64)),
-            ("failures", Json::number(self.failures() as f64)),
-            (
-                "rows",
-                Json::array(self.rows.iter().map(|row| match row {
-                    Ok(r) => Json::object([
-                        ("label", Json::string(r.label.clone())),
-                        ("qubits", Json::number(r.qubits as f64)),
-                        ("gates", Json::number(r.gates as f64)),
-                        ("remote_cx", Json::number(r.remote_cx as f64)),
-                        ("total_comms", Json::number(r.total_comms as f64)),
-                        ("tp_comms", Json::number(r.tp_comms as f64)),
-                        ("improvement_factor", Json::number(r.improvement)),
-                        ("makespan", Json::number(r.makespan)),
-                        ("epr_cost", Json::number(r.epr_cost as f64)),
-                        ("placement_iters", Json::number(r.placement_iters as f64)),
-                        ("epr_pairs", Json::number(r.epr_pairs as f64)),
-                        ("swaps", Json::number(r.swaps as f64)),
-                        ("prefetch_hits", Json::number(r.prefetch_hits as f64)),
-                        ("comm_requests", Json::number(r.comm_requests as f64)),
-                        ("mean_epr_wait", Json::number(r.mean_epr_wait)),
-                        ("fell_back", Json::Bool(r.fell_back)),
+                "timings",
+                Json::object(
+                    self.total_pass_ms().into_iter().map(|(pass, ms)| (pass, Json::number(ms))),
+                ),
+            )
+        });
+        Json::object(
+            [
+                ("nodes", Json::number(self.args.nodes as f64)),
+                ("jobs", Json::number(self.args.jobs as f64)),
+                (
+                    "topology",
+                    Json::string(self.args.topology.clone().unwrap_or_else(|| "all-to-all".into())),
+                ),
+                ("placement", Json::string(self.args.strategy.name())),
+                ("refine_iters", Json::number(self.args.refine_iters as f64)),
+                (
+                    "buffering",
+                    Json::object([
+                        ("policy", Json::string(self.args.buffer.name())),
+                        (
+                            "prefetch_hits",
+                            Json::number(
+                                self.ok_rows().map(|r| r.prefetch_hits).sum::<usize>() as f64
+                            ),
+                        ),
+                        (
+                            "comm_requests",
+                            Json::number(
+                                self.ok_rows().map(|r| r.comm_requests).sum::<usize>() as f64
+                            ),
+                        ),
+                        (
+                            "fallbacks",
+                            Json::number(self.ok_rows().filter(|r| r.fell_back).count() as f64),
+                        ),
+                    ]),
+                ),
+                (
+                    "source",
+                    Json::string(match &self.args.source {
+                        BatchSource::Dir(d) => d.display().to_string(),
+                        BatchSource::Suite => "--suite".to_string(),
+                    }),
+                ),
+                ("programs", Json::number(self.rows.len() as f64)),
+                ("failures", Json::number(self.failures() as f64)),
+                (
+                    "rows",
+                    Json::array(self.rows.iter().map(|row| match row {
+                        Ok(r) => Json::object([
+                            ("label", Json::string(r.label.clone())),
+                            ("qubits", Json::number(r.qubits as f64)),
+                            ("gates", Json::number(r.gates as f64)),
+                            ("remote_cx", Json::number(r.remote_cx as f64)),
+                            ("total_comms", Json::number(r.total_comms as f64)),
+                            ("tp_comms", Json::number(r.tp_comms as f64)),
+                            ("improvement_factor", Json::number(r.improvement)),
+                            ("makespan", Json::number(r.makespan)),
+                            ("epr_cost", Json::number(r.epr_cost as f64)),
+                            ("placement_iters", Json::number(r.placement_iters as f64)),
+                            ("epr_pairs", Json::number(r.epr_pairs as f64)),
+                            ("swaps", Json::number(r.swaps as f64)),
+                            ("prefetch_hits", Json::number(r.prefetch_hits as f64)),
+                            ("comm_requests", Json::number(r.comm_requests as f64)),
+                            ("mean_epr_wait", Json::number(r.mean_epr_wait)),
+                            ("fell_back", Json::Bool(r.fell_back)),
+                            (
+                                "link_traffic",
+                                Json::array(r.link_traffic.iter().map(|&(a, b, pairs)| {
+                                    Json::object([
+                                        ("a", Json::number(a as f64)),
+                                        ("b", Json::number(b as f64)),
+                                        ("epr_pairs", Json::number(pairs as f64)),
+                                    ])
+                                })),
+                            ),
+                            ("compile_ms", Json::number(r.compile_ms)),
+                        ]),
+                        Err(msg) => Json::object([("error", Json::string(msg.clone()))]),
+                    })),
+                ),
+                (
+                    "totals",
+                    Json::object([
+                        ("total_comms", Json::number(totals(|r| r.total_comms as f64))),
+                        ("tp_comms", Json::number(totals(|r| r.tp_comms as f64))),
+                        ("remote_cx", Json::number(totals(|r| r.remote_cx as f64))),
+                        ("epr_cost", Json::number(totals(|r| r.epr_cost as f64))),
+                        ("epr_pairs", Json::number(totals(|r| r.epr_pairs as f64))),
+                        ("swaps", Json::number(totals(|r| r.swaps as f64))),
+                        ("makespan", Json::number(totals(|r| r.makespan))),
                         (
                             "link_traffic",
-                            Json::array(r.link_traffic.iter().map(|&(a, b, pairs)| {
-                                Json::object([
-                                    ("a", Json::number(a as f64)),
-                                    ("b", Json::number(b as f64)),
-                                    ("epr_pairs", Json::number(pairs as f64)),
-                                ])
-                            })),
+                            Json::array(self.total_link_traffic().into_iter().map(
+                                |(a, b, pairs)| {
+                                    Json::object([
+                                        ("a", Json::number(a as f64)),
+                                        ("b", Json::number(b as f64)),
+                                        ("epr_pairs", Json::number(pairs as f64)),
+                                    ])
+                                },
+                            )),
                         ),
-                        ("compile_ms", Json::number(r.compile_ms)),
                     ]),
-                    Err(msg) => Json::object([("error", Json::string(msg.clone()))]),
-                })),
-            ),
-            (
-                "totals",
-                Json::object([
-                    ("total_comms", Json::number(totals(|r| r.total_comms as f64))),
-                    ("tp_comms", Json::number(totals(|r| r.tp_comms as f64))),
-                    ("remote_cx", Json::number(totals(|r| r.remote_cx as f64))),
-                    ("epr_cost", Json::number(totals(|r| r.epr_cost as f64))),
-                    ("epr_pairs", Json::number(totals(|r| r.epr_pairs as f64))),
-                    ("swaps", Json::number(totals(|r| r.swaps as f64))),
-                    ("makespan", Json::number(totals(|r| r.makespan))),
-                    (
-                        "link_traffic",
-                        Json::array(self.total_link_traffic().into_iter().map(|(a, b, pairs)| {
-                            Json::object([
-                                ("a", Json::number(a as f64)),
-                                ("b", Json::number(b as f64)),
-                                ("epr_pairs", Json::number(pairs as f64)),
-                            ])
-                        })),
-                    ),
-                ]),
-            ),
-            ("cpu_ms", Json::number(self.cpu_ms())),
-            ("wall_ms", Json::number(self.wall_ms)),
-        ])
+                ),
+                ("cpu_ms", Json::number(self.cpu_ms())),
+                ("wall_ms", Json::number(self.wall_ms)),
+            ]
+            .into_iter()
+            .chain(timings),
+        )
     }
 
     /// The human-readable report.
@@ -616,6 +663,14 @@ impl BatchReport {
                 self.args.topology.as_deref().unwrap_or("all-to-all"),
                 if links.is_empty() { "none".to_string() } else { links.join(" ") }
             ));
+        }
+        if self.args.timings {
+            let passes: Vec<String> = self
+                .total_pass_ms()
+                .into_iter()
+                .map(|(pass, ms)| format!("{pass}:{ms:.2}"))
+                .collect();
+            out.push_str(&format!("pass timings (ms): {}\n", passes.join(" ")));
         }
         out.push_str(&format!(
             "time: {:.2} ms wall, {:.2} ms cpu ({:.2}x parallel speedup)\n",
@@ -693,6 +748,29 @@ mod tests {
     }
 
     #[test]
+    fn timings_flag_sums_per_pass_totals() {
+        let args = parse(&["--suite", "--nodes", "4", "--jobs", "2", "--timings"]).unwrap();
+        assert!(args.timings);
+        let report = run_batch(args).unwrap();
+        assert_eq!(report.failures(), 0);
+        let totals = report.total_pass_ms();
+        assert!(!totals.is_empty());
+        // Every program runs the same pipeline, so each pass total sums
+        // one entry per row and every total is non-negative.
+        for row in report.ok_rows() {
+            assert_eq!(row.pass_ms.len(), totals.len());
+        }
+        assert!(totals.iter().all(|&(_, ms)| ms >= 0.0));
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"timings\""));
+        assert!(report.to_text().contains("pass timings (ms):"));
+        // Without the flag the object stays out of the report.
+        let silent =
+            run_batch(parse(&["--suite", "--nodes", "4", "--jobs", "2"]).unwrap()).unwrap();
+        assert!(!silent.to_json().to_string().contains("\"timings\""));
+    }
+
+    #[test]
     fn missing_directory_fails_fast() {
         let args = parse(&["/nonexistent-batch-dir", "--nodes", "2"]).unwrap();
         assert!(matches!(run_batch(args), Err(CliError::Io(_, _))));
@@ -761,6 +839,7 @@ mod tests {
             ablations: Vec::new(),
             jobs: 2,
             json: false,
+            timings: false,
             legacy_partition_alias: false,
         };
         let report = run_batch(args).unwrap();

@@ -102,6 +102,9 @@ pub struct CompileArgs {
     pub ablations: Vec<Ablation>,
     /// Emit JSON instead of the human-readable report.
     pub json: bool,
+    /// Add a per-pass wall-clock `"timings"` object to the JSON report
+    /// (`--timings`) — the profiling hook the benches and CI gates reuse.
+    pub timings: bool,
 }
 
 /// The usage text printed by `autocomm help` and on usage errors.
@@ -145,6 +148,9 @@ OPTIONS:
                          comma-separable. One of: no-commute, cat-only,
                          plain-greedy, no-orient (paper Fig. 17)
     --json               emit machine-readable JSON on stdout
+    --timings            add a per-pass wall-clock \"timings\" object (pass
+                         name -> milliseconds) to the JSON report; batch
+                         reports sum each pass across every program
 
 BATCH OPTIONS:
     <dir>                compile every .qasm file in the directory
@@ -170,6 +176,7 @@ impl CompileArgs {
         let mut buffer = BufferPolicy::OnDemand;
         let mut ablations = Vec::new();
         let mut json = false;
+        let mut timings = false;
 
         let usage = |msg: String| CliError::Usage(format!("{msg}\n\n{USAGE}"));
         let mut iter = args.into_iter();
@@ -222,6 +229,7 @@ impl CompileArgs {
                     }
                 }
                 "--json" => json = true,
+                "--timings" => timings = true,
                 flag if flag.starts_with('-') => {
                     return Err(usage(format!("unknown option '{flag}'")));
                 }
@@ -245,6 +253,7 @@ impl CompileArgs {
             buffer,
             ablations,
             json,
+            timings,
         })
     }
 }
@@ -391,6 +400,7 @@ pub(crate) fn placement_config(
             PartitionStrategy::Topo => refine_iters,
             _ => 0,
         },
+        ..Default::default()
     }
 }
 
@@ -416,120 +426,144 @@ impl CompileReport {
         let m = &self.result.metrics;
         let s = &self.result.schedule;
         let topology = self.hardware.topology();
-        Json::object([
-            ("file", Json::string(self.args.file.display().to_string())),
-            ("nodes", Json::number(self.args.nodes as f64)),
-            ("comm_qubits", Json::number(self.args.comm_qubits as f64)),
+        // `--timings` adds a flat pass-name -> milliseconds object next to
+        // the structural "passes" array, so profiling consumers (the bench
+        // harness, the CI perf gate) can key on pass names directly.
+        let timings = self.args.timings.then(|| {
             (
-                "topology",
-                Json::object([
-                    ("name", Json::string(topology.name())),
-                    ("links", Json::number(topology.links().len() as f64)),
-                    (
-                        "diameter",
-                        topology.diameter().map_or(Json::Null, |d| Json::number(d as f64)),
-                    ),
-                ]),
-            ),
-            ("partition", Json::string(self.args.strategy.name())),
-            (
-                "placement",
-                Json::object([
-                    ("strategy", Json::string(self.args.strategy.name())),
-                    ("iterations", Json::number(self.placement.iterations as f64)),
-                    ("cut_weight", Json::number(self.placement.cut_weight as f64)),
-                    ("weighted_cost", Json::number(self.placement.weighted_cost as f64)),
-                    ("initial_epr_cost", Json::number(self.placement.initial_epr_cost as f64)),
-                    ("final_epr_cost", Json::number(self.placement.final_epr_cost as f64)),
-                    (
-                        "node_map",
-                        Json::array(
-                            self.placement.node_map.iter().map(|n| Json::number(n.index() as f64)),
-                        ),
-                    ),
-                ]),
-            ),
-            ("ablations", Json::array(self.args.ablations.iter().map(|a| Json::string(a.name())))),
-            (
-                "circuit",
-                Json::object([
-                    ("qubits", Json::number(self.partition.num_qubits() as f64)),
-                    ("gates", Json::number(self.stats.num_gates as f64)),
-                    ("two_qubit_gates", Json::number(self.stats.num_2q as f64)),
-                    ("remote_cx", Json::number(self.stats.num_remote_2q as f64)),
-                ]),
-            ),
-            (
-                "ir",
-                Json::object([
-                    ("gates", Json::number(self.result.ir.len() as f64)),
-                    ("unique_gates", Json::number(self.result.ir.unique_gates() as f64)),
-                    ("dag_edges", Json::number(self.result.ir.dag().edge_count() as f64)),
-                    ("burst_pairs", Json::number(self.result.ir.ranked_pairs().len() as f64)),
-                ]),
-            ),
-            (
-                "metrics",
-                Json::object([
-                    ("total_comms", Json::number(m.total_comms as f64)),
-                    ("tp_comms", Json::number(m.tp_comms as f64)),
-                    ("cat_comms", Json::number((m.total_comms - m.tp_comms) as f64)),
-                    ("total_rem_cx", Json::number(m.total_rem_cx as f64)),
-                    ("peak_rem_cx", Json::number(m.peak_rem_cx)),
-                    ("num_blocks", Json::number(m.num_blocks as f64)),
-                    ("epr_cost", Json::number(m.total_epr_cost as f64)),
-                    ("improvement_factor", Json::number(m.improvement_factor())),
-                ]),
-            ),
-            (
-                "buffering",
-                Json::object([
-                    ("policy", Json::string(s.buffering.policy.name())),
-                    ("requests", Json::number(s.buffering.requests as f64)),
-                    ("prefetch_hits", Json::number(s.buffering.prefetch_hits as f64)),
-                    ("prefetch_misses", Json::number(s.buffering.prefetch_misses as f64)),
-                    ("hit_rate", Json::number(s.buffering.hit_rate)),
-                    ("mean_epr_wait", Json::number(s.buffering.mean_epr_wait)),
-                    ("mean_pair_age", Json::number(s.buffering.mean_pair_age)),
-                    (
-                        "occupancy_hist",
-                        Json::array(
-                            s.buffering.occupancy_hist.iter().map(|&c| Json::number(c as f64)),
-                        ),
-                    ),
-                    ("fell_back", Json::Bool(s.buffering.fell_back)),
-                ]),
-            ),
-            (
-                "schedule",
-                Json::object([
-                    ("makespan", Json::number(s.makespan)),
-                    ("epr_pairs", Json::number(s.epr_pairs as f64)),
-                    ("swaps", Json::number(s.swaps as f64)),
-                    ("fusion_savings", Json::number(s.fusion_savings as f64)),
-                    (
-                        "link_traffic",
-                        Json::array(s.link_traffic.iter().map(|&(a, b, pairs)| {
-                            Json::object([
-                                ("a", Json::number(a.index() as f64)),
-                                ("b", Json::number(b.index() as f64)),
-                                ("epr_pairs", Json::number(pairs as f64)),
-                            ])
-                        })),
-                    ),
-                ]),
-            ),
-            (
-                "passes",
-                Json::array(self.result.passes.iter().map(|p| {
+                "timings",
+                Json::object(
+                    self.result
+                        .passes
+                        .iter()
+                        .map(|p| (p.pass, Json::number(p.duration.as_secs_f64() * 1e3))),
+                ),
+            )
+        });
+        Json::object(
+            [
+                ("file", Json::string(self.args.file.display().to_string())),
+                ("nodes", Json::number(self.args.nodes as f64)),
+                ("comm_qubits", Json::number(self.args.comm_qubits as f64)),
+                (
+                    "topology",
                     Json::object([
-                        ("pass", Json::string(p.pass)),
-                        ("micros", Json::number(p.duration.as_secs_f64() * 1e6)),
-                        ("metric", p.metric.clone().map_or(Json::Null, Json::string)),
-                    ])
-                })),
-            ),
-        ])
+                        ("name", Json::string(topology.name())),
+                        ("links", Json::number(topology.links().len() as f64)),
+                        (
+                            "diameter",
+                            topology.diameter().map_or(Json::Null, |d| Json::number(d as f64)),
+                        ),
+                    ]),
+                ),
+                ("partition", Json::string(self.args.strategy.name())),
+                (
+                    "placement",
+                    Json::object([
+                        ("strategy", Json::string(self.args.strategy.name())),
+                        ("iterations", Json::number(self.placement.iterations as f64)),
+                        ("cut_weight", Json::number(self.placement.cut_weight as f64)),
+                        ("weighted_cost", Json::number(self.placement.weighted_cost as f64)),
+                        ("initial_epr_cost", Json::number(self.placement.initial_epr_cost as f64)),
+                        ("final_epr_cost", Json::number(self.placement.final_epr_cost as f64)),
+                        (
+                            "node_map",
+                            Json::array(
+                                self.placement
+                                    .node_map
+                                    .iter()
+                                    .map(|n| Json::number(n.index() as f64)),
+                            ),
+                        ),
+                    ]),
+                ),
+                (
+                    "ablations",
+                    Json::array(self.args.ablations.iter().map(|a| Json::string(a.name()))),
+                ),
+                (
+                    "circuit",
+                    Json::object([
+                        ("qubits", Json::number(self.partition.num_qubits() as f64)),
+                        ("gates", Json::number(self.stats.num_gates as f64)),
+                        ("two_qubit_gates", Json::number(self.stats.num_2q as f64)),
+                        ("remote_cx", Json::number(self.stats.num_remote_2q as f64)),
+                    ]),
+                ),
+                (
+                    "ir",
+                    Json::object([
+                        ("gates", Json::number(self.result.ir.len() as f64)),
+                        ("unique_gates", Json::number(self.result.ir.unique_gates() as f64)),
+                        ("dag_edges", Json::number(self.result.ir.dag().edge_count() as f64)),
+                        ("burst_pairs", Json::number(self.result.ir.ranked_pairs().len() as f64)),
+                    ]),
+                ),
+                (
+                    "metrics",
+                    Json::object([
+                        ("total_comms", Json::number(m.total_comms as f64)),
+                        ("tp_comms", Json::number(m.tp_comms as f64)),
+                        ("cat_comms", Json::number((m.total_comms - m.tp_comms) as f64)),
+                        ("total_rem_cx", Json::number(m.total_rem_cx as f64)),
+                        ("peak_rem_cx", Json::number(m.peak_rem_cx)),
+                        ("num_blocks", Json::number(m.num_blocks as f64)),
+                        ("epr_cost", Json::number(m.total_epr_cost as f64)),
+                        ("improvement_factor", Json::number(m.improvement_factor())),
+                    ]),
+                ),
+                (
+                    "buffering",
+                    Json::object([
+                        ("policy", Json::string(s.buffering.policy.name())),
+                        ("requests", Json::number(s.buffering.requests as f64)),
+                        ("prefetch_hits", Json::number(s.buffering.prefetch_hits as f64)),
+                        ("prefetch_misses", Json::number(s.buffering.prefetch_misses as f64)),
+                        ("hit_rate", Json::number(s.buffering.hit_rate)),
+                        ("mean_epr_wait", Json::number(s.buffering.mean_epr_wait)),
+                        ("mean_pair_age", Json::number(s.buffering.mean_pair_age)),
+                        (
+                            "occupancy_hist",
+                            Json::array(
+                                s.buffering.occupancy_hist.iter().map(|&c| Json::number(c as f64)),
+                            ),
+                        ),
+                        ("fell_back", Json::Bool(s.buffering.fell_back)),
+                    ]),
+                ),
+                (
+                    "schedule",
+                    Json::object([
+                        ("makespan", Json::number(s.makespan)),
+                        ("epr_pairs", Json::number(s.epr_pairs as f64)),
+                        ("swaps", Json::number(s.swaps as f64)),
+                        ("fusion_savings", Json::number(s.fusion_savings as f64)),
+                        (
+                            "link_traffic",
+                            Json::array(s.link_traffic.iter().map(|&(a, b, pairs)| {
+                                Json::object([
+                                    ("a", Json::number(a.index() as f64)),
+                                    ("b", Json::number(b.index() as f64)),
+                                    ("epr_pairs", Json::number(pairs as f64)),
+                                ])
+                            })),
+                        ),
+                    ]),
+                ),
+                (
+                    "passes",
+                    Json::array(self.result.passes.iter().map(|p| {
+                        Json::object([
+                            ("pass", Json::string(p.pass)),
+                            ("micros", Json::number(p.duration.as_secs_f64() * 1e6)),
+                            ("metric", p.metric.clone().map_or(Json::Null, Json::string)),
+                        ])
+                    })),
+                ),
+            ]
+            .into_iter()
+            .chain(timings),
+        )
     }
 
     /// The human-readable report.
@@ -645,6 +679,7 @@ mod tests {
             "--ablation",
             "plain-greedy",
             "--json",
+            "--timings",
         ])
         .unwrap();
         assert_eq!(args.file, PathBuf::from("bv.qasm"));
@@ -657,6 +692,7 @@ mod tests {
             vec![Ablation::NoCommute, Ablation::CatOnly, Ablation::PlainGreedy]
         );
         assert!(args.json);
+        assert!(args.timings);
     }
 
     #[test]
@@ -668,6 +704,7 @@ mod tests {
         assert_eq!(args.refine_iters, 3);
         assert!(args.ablations.is_empty());
         assert!(!args.json);
+        assert!(!args.timings);
     }
 
     #[test]

@@ -29,9 +29,10 @@
 
 use std::sync::Arc;
 
-use dqc_circuit::{AxisBehavior, Gate, GateId, GateTable};
+use dqc_circuit::{AxisBehavior, Gate, GateId, GateTable, WireClass};
 use dqc_hardware::NetworkTopology;
 
+use crate::par::par_map;
 use crate::{AggregatedProgram, CommBlock, CommIr, Item, Placement};
 
 /// How a Cat-Comm block is oriented before expansion.
@@ -156,20 +157,24 @@ impl AssignedProgram {
 /// the burst qubit = control form; X-diagonal = target form) and no
 /// incompatible interior gate touches the burst qubit.
 pub(crate) fn cat_segments(table: &GateTable, block: &CommBlock) -> (usize, CatOrientation) {
-    let q = block.qubit();
+    // Walks the table's precomputed per-wire class records exclusively —
+    // never the heap-allocated gates — so the hot per-block assignment
+    // stage reads only flat arena `Vec`s. `WireClass` reproduces
+    // `AxisBehavior::of` exactly on operand wires, with `Block` standing
+    // in for non-unitary opacity (both are segment breakers here).
+    let q = block.qubit().index();
     let mut segments = 0usize;
     let mut current: Option<CatOrientation> = None;
     let mut first = CatOrientation::Control;
-    for gate in block.gates(table) {
-        if !gate.acts_on(q) {
+    for &id in block.ids() {
+        let Some(class) = table.wire_class_on(id, q) else {
             continue; // node-local interior gate: rides along
-        }
-        let behavior = AxisBehavior::of(gate, q);
-        if gate.is_two_qubit_unitary() {
-            let orientation = match behavior {
-                AxisBehavior::ZDiag => CatOrientation::Control,
-                AxisBehavior::XDiag => CatOrientation::Target,
-                AxisBehavior::Opaque => {
+        };
+        if table.is_unitary(id) && table.operand_count(id) == 2 {
+            let orientation = match class {
+                WireClass::ZDiag => CatOrientation::Control,
+                WireClass::XDiag => CatOrientation::Target,
+                WireClass::Opaque | WireClass::Block => {
                     // e.g. a SWAP: no cat segment can carry it; force splits.
                     current = None;
                     segments += 2;
@@ -191,9 +196,9 @@ pub(crate) fn cat_segments(table: &GateTable, block: &CommBlock) -> (usize, CatO
             // the running orientation only if it is diagonal in the same
             // basis (then the cat copy commutes through it).
             let compatible = matches!(
-                (current, behavior),
-                (Some(CatOrientation::Control), AxisBehavior::ZDiag)
-                    | (Some(CatOrientation::Target), AxisBehavior::XDiag)
+                (current, class),
+                (Some(CatOrientation::Control), WireClass::ZDiag)
+                    | (Some(CatOrientation::Target), WireClass::XDiag)
             );
             if !compatible {
                 current = None;
@@ -252,58 +257,113 @@ pub fn assign_cat_only_on(
     assign_with(program, false, Some((placement, topology)))
 }
 
+/// Routed hop distance between a block's physical endpoints (1 without an
+/// explicit topology — the paper's implicit all-to-all).
+fn block_hops(block: &CommBlock, routing: Option<(&Placement, &NetworkTopology)>) -> usize {
+    routing
+        .map(|(placement, topology)| {
+            let home = placement.physical_of(block.home(placement.partition()));
+            let node = placement.physical_of(block.node());
+            topology.hop_distance(home, node).unwrap_or_else(|| {
+                panic!(
+                    "topology has no route between {home} and {node} (pass a \
+                     connected topology, e.g. one accepted by \
+                     HardwareSpec::with_topology)"
+                )
+            })
+        })
+        .unwrap_or(1)
+}
+
+/// Scheme decision for one block at a known hop distance — the pure
+/// per-block kernel both the full assignment fan-out and the incremental
+/// re-assignment share.
+fn assign_block(table: &GateTable, b: &CommBlock, hops: usize, hybrid: bool) -> AssignedBlock {
+    let (segments, orientation) = cat_segments(table, b);
+    let (scheme, comms) = if segments == 1 {
+        (Scheme::Cat(orientation), 1)
+    } else if !hybrid {
+        (Scheme::Cat(orientation), segments)
+    } else if hops > 1 && segments == 2 {
+        // End-to-end tie (2 vs 2). On multi-hop pairs the split
+        // Cat wins: its disentanglers need no fresh
+        // entanglement, while TP's teleport-home leg runs a
+        // second swap chain through scarce relay slots.
+        (Scheme::Cat(orientation), segments)
+    } else {
+        // Cat would need `segments` pairs, TP always needs 2;
+        // ties go to TP at hop distance 1 (paper block ③).
+        (Scheme::Tp, 2)
+    };
+    AssignedBlock { block: b.clone(), scheme, comms, segments, epr_cost: comms * hops }
+}
+
 fn assign_with(
     program: &AggregatedProgram,
     hybrid: bool,
     routing: Option<(&Placement, &NetworkTopology)>,
 ) -> AssignedProgram {
     let table = program.ir().table();
-    let items = program
-        .items()
-        .iter()
-        .map(|item| match item {
-            Item::Local(id) => AssignedItem::Local(*id),
-            Item::Block(b) => {
-                let hops = routing
-                    .map(|(placement, topology)| {
-                        let home = placement.physical_of(b.home(placement.partition()));
-                        let node = placement.physical_of(b.node());
-                        topology.hop_distance(home, node).unwrap_or_else(|| {
-                            panic!(
-                                "topology has no route between {home} and {node} (pass a \
-                                 connected topology, e.g. one accepted by \
-                                 HardwareSpec::with_topology)"
-                            )
-                        })
-                    })
-                    .unwrap_or(1);
-                let (segments, orientation) = cat_segments(table, b);
-                let (scheme, comms) = if segments == 1 {
-                    (Scheme::Cat(orientation), 1)
-                } else if !hybrid {
-                    (Scheme::Cat(orientation), segments)
-                } else if hops > 1 && segments == 2 {
-                    // End-to-end tie (2 vs 2). On multi-hop pairs the split
-                    // Cat wins: its disentanglers need no fresh
-                    // entanglement, while TP's teleport-home leg runs a
-                    // second swap chain through scarce relay slots.
-                    (Scheme::Cat(orientation), segments)
-                } else {
-                    // Cat would need `segments` pairs, TP always needs 2;
-                    // ties go to TP at hop distance 1 (paper block ③).
-                    (Scheme::Tp, 2)
-                };
-                AssignedItem::Block(AssignedBlock {
-                    block: b.clone(),
-                    scheme,
-                    comms,
-                    segments,
-                    epr_cost: comms * hops,
-                })
-            }
-        })
-        .collect();
+    // Per-item work is independent; fan out on scoped threads with a
+    // deterministic in-order merge (par_map), so the parallel result is
+    // bit-identical to the sequential one.
+    let items = par_map(program.items(), |item| match item {
+        Item::Local(id) => AssignedItem::Local(*id),
+        Item::Block(b) => {
+            AssignedItem::Block(assign_block(table, b, block_hops(b, routing), hybrid))
+        }
+    });
     AssignedProgram { ir: Arc::clone(program.ir()), items }
+}
+
+/// Re-derives a scheme assignment after a placement change (`hybrid` as in
+/// [`assign`] vs [`assign_cat_only`]), reusing every
+/// block whose **physical endpoints did not move**: a block's segmentation
+/// depends only on its body, and its scheme/cost only on the routed hop
+/// distance between its two physical endpoints, so an unmoved block's
+/// previous [`AssignedBlock`] is bit-identical to a fresh recompute. Only
+/// blocks with a moved endpoint re-run [`cat_segments`].
+///
+/// This is the incremental-recompilation kernel of
+/// [`crate::AutoComm::compile_placed`]: a refinement round that moves two
+/// of *n* partition blocks re-assigns only the bursts touching those two
+/// nodes instead of the whole program.
+///
+/// Both placements must share one logical partition (refinement rounds
+/// only permute the block→node map).
+///
+/// # Panics
+///
+/// See [`assign_on`]; debug builds also assert the partitions match.
+pub fn assign_incremental(
+    prev: &AssignedProgram,
+    prev_placement: &Placement,
+    placement: &Placement,
+    topology: &NetworkTopology,
+    hybrid: bool,
+) -> AssignedProgram {
+    debug_assert_eq!(
+        prev_placement.partition(),
+        placement.partition(),
+        "incremental re-assignment requires an unchanged logical partition"
+    );
+    let table = prev.ir().table();
+    let items = par_map(prev.items(), |item| match item {
+        AssignedItem::Local(id) => AssignedItem::Local(*id),
+        AssignedItem::Block(ab) => {
+            let home = ab.block.home(placement.partition());
+            let node = ab.block.node();
+            let moved = prev_placement.physical_of(home) != placement.physical_of(home)
+                || prev_placement.physical_of(node) != placement.physical_of(node);
+            if moved {
+                let hops = block_hops(&ab.block, Some((placement, topology)));
+                AssignedItem::Block(assign_block(table, &ab.block, hops, hybrid))
+            } else {
+                AssignedItem::Block(ab.clone())
+            }
+        }
+    });
+    AssignedProgram { ir: Arc::clone(prev.ir()), items }
 }
 
 /// Splits a block into its single-call Cat segments (used when lowering
@@ -515,6 +575,82 @@ mod tests {
             Placement::new(p, vec![NodeId::new(0), NodeId::new(2), NodeId::new(1)]).unwrap();
         let placed = assign_on(&program, &swapped, &linear);
         assert_eq!(placed.blocks().next().unwrap().epr_cost, 1, "adjacent after placement");
+    }
+
+    /// Incremental re-assignment equals a fresh `assign_on` whether the
+    /// moved endpoint is the block's home, its remote node, or neither.
+    #[test]
+    fn incremental_reassignment_matches_full() {
+        use dqc_circuit::NodeId;
+        let p = Partition::block(8, 4).unwrap();
+        let mut c = Circuit::new(8);
+        // Blocks across several node pairs, mixing schemes.
+        c.push(Gate::cx(q(0), q(2))).unwrap(); // block pair (0, 1)
+        c.push(Gate::cx(q(0), q(3))).unwrap();
+        c.push(Gate::cx(q(1), q(4))).unwrap(); // block pair (0, 2)
+        c.push(Gate::cx(q(4), q(1))).unwrap(); // bidirectional → 2 segments
+        c.push(Gate::h(q(5))).unwrap(); // local
+        c.push(Gate::cx(q(6), q(1))).unwrap(); // block pair (3, 0)
+        let agg = crate::aggregate(&c, &p, crate::AggregateOptions::default());
+        let topology = NetworkTopology::linear(4).unwrap();
+        let n = NodeId::new;
+        let before = Placement::identity(&p);
+        let prev = assign_on(&agg, &before, &topology);
+        // Swap nodes 1 and 3: pairs (0,1) and (3,0) move, pair (0,2) does not.
+        let after = Placement::new(p.clone(), vec![n(0), n(3), n(2), n(1)]).unwrap();
+        let full = assign_on(&agg, &after, &topology);
+        let incremental = assign_incremental(&prev, &before, &after, &topology, true);
+        assert_eq!(incremental, full);
+        // A no-op re-placement reuses every block.
+        let unmoved = assign_incremental(&prev, &before, &before, &topology, true);
+        assert_eq!(unmoved, prev);
+        // Cat-only assignments take the same incremental path.
+        let prev_cat = assign_cat_only_on(&agg, &before, &topology);
+        let full_cat = assign_cat_only_on(&agg, &after, &topology);
+        let inc_cat = assign_incremental(&prev_cat, &before, &after, &topology, false);
+        assert_eq!(inc_cat, full_cat);
+    }
+
+    /// Randomized agreement: incremental == full across random circuits and
+    /// random placement permutations on a multi-hop topology.
+    #[test]
+    fn incremental_reassignment_matches_full_randomized() {
+        use dqc_circuit::NodeId;
+        let nodes = 5;
+        let p = Partition::block(10, nodes).unwrap();
+        let topology = NetworkTopology::ring(nodes).unwrap();
+        let mut state = 0x9e37_79b9u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..12 {
+            let mut c = Circuit::new(10);
+            for _ in 0..60 {
+                let a = (rng() % 10) as usize;
+                let b = (rng() % 10) as usize;
+                match rng() % 4 {
+                    0 => c.push(Gate::h(q(a))).unwrap(),
+                    1 => c.push(Gate::t(q(a))).unwrap(),
+                    _ if a != b => c.push(Gate::cx(q(a), q(b))).unwrap(),
+                    _ => c.push(Gate::rz(0.25, q(a))).unwrap(),
+                }
+            }
+            let agg = crate::aggregate(&c, &p, crate::AggregateOptions::default());
+            // Random permutation via Fisher–Yates.
+            let mut map: Vec<NodeId> = (0..nodes).map(NodeId::new).collect();
+            for i in (1..nodes).rev() {
+                map.swap(i, (rng() % (i as u64 + 1)) as usize);
+            }
+            let before = Placement::identity(&p);
+            let after = Placement::new(p.clone(), map).unwrap();
+            let prev = assign_on(&agg, &before, &topology);
+            let full = assign_on(&agg, &after, &topology);
+            let incremental = assign_incremental(&prev, &before, &after, &topology, true);
+            assert_eq!(incremental, full);
+        }
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod ir;
 mod lower;
 mod metrics;
 mod orient;
+mod par;
 mod pass;
 mod pipeline;
 mod placement;
@@ -80,8 +81,8 @@ pub use aggregate::{
 };
 pub use analysis::inverse_burst_distribution;
 pub use assign::{
-    assign, assign_cat_only, assign_cat_only_on, assign_on, AssignedBlock, AssignedItem,
-    AssignedProgram, CatOrientation, Scheme,
+    assign, assign_cat_only, assign_cat_only_on, assign_incremental, assign_on, AssignedBlock,
+    AssignedItem, AssignedProgram, CatOrientation, Scheme,
 };
 pub use block::CommBlock;
 pub use dqc_hardware::BufferPolicy;

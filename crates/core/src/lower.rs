@@ -11,9 +11,24 @@ use dqc_hardware::NetworkTopology;
 use dqc_protocols::{PhysicalProgram, ProtocolExpander};
 
 use crate::assign::split_into_segments;
+use crate::par::par_map;
 use crate::{
     AssignedItem, AssignedProgram, CatOrientation, CommBlock, CompileError, Placement, Scheme,
 };
+
+/// One planned call into the stateful [`ProtocolExpander`]. Planning an
+/// item is pure (conjugation, segmentation, body materialization — all the
+/// per-item work), so it fans out across threads; the apply loop then
+/// drives the expander sequentially with exactly the calls the historical
+/// single-pass lowering made, in the same order.
+enum LowerStep {
+    /// `ProtocolExpander::push_local`.
+    Local(Gate),
+    /// `ProtocolExpander::cat_comm_block`.
+    Cat { q: QubitId, node: NodeId, body: Vec<Gate> },
+    /// `ProtocolExpander::tp_comm_block`.
+    Tp { q: QubitId, node: NodeId, body: Vec<Gate> },
+}
 
 /// Lowers an assigned program into a physical circuit over the extended
 /// register (logical qubits + two communication qubits per node), assuming
@@ -55,55 +70,72 @@ pub fn lower_assigned_on(
     topology: &NetworkTopology,
 ) -> Result<PhysicalProgram, CompileError> {
     let table = program.ir().table();
+    // Plan: per-item step sequences, computed independently (parallel on
+    // large programs, deterministic in-order merge).
+    let plans: Vec<Vec<LowerStep>> =
+        par_map(program.items(), |item| plan_item(table, placement, item));
+    // Apply: drive the single stateful expander sequentially.
     let mut exp =
         ProtocolExpander::with_topology(placement.physical_partition(), topology.clone())?;
-    for item in program.items() {
-        match item {
-            AssignedItem::Local(id) => exp.push_local(table.gate(*id))?,
-            AssignedItem::Block(b) => {
-                let node = placement.physical_of(b.block.node());
-                match b.scheme {
-                    Scheme::Tp => {
-                        let body: Vec<Gate> = b.block.gates(table).cloned().collect();
-                        exp.tp_comm_block(b.block.qubit(), node, &body)?
-                    }
-                    Scheme::Cat(_) if b.comms == 1 => {
-                        lower_cat_segment(&mut exp, table, &b.block, node)?;
-                    }
-                    Scheme::Cat(_) => {
-                        for seg in split_into_segments(table, &b.block) {
-                            if seg.remote_gate_count() == 0 {
-                                for g in seg.gates(table) {
-                                    exp.push_local(g)?;
-                                }
-                            } else {
-                                lower_cat_segment(&mut exp, table, &seg, node)?;
+    for step in plans.iter().flatten() {
+        match step {
+            LowerStep::Local(g) => exp.push_local(g)?,
+            LowerStep::Cat { q, node, body } => exp.cat_comm_block(*q, *node, body)?,
+            LowerStep::Tp { q, node, body } => exp.tp_comm_block(*q, *node, body)?,
+        }
+    }
+    Ok(exp.finish())
+}
+
+/// Plans the expander calls for one assigned item (the pure half of
+/// lowering).
+fn plan_item(table: &GateTable, placement: &Placement, item: &AssignedItem) -> Vec<LowerStep> {
+    let mut steps = Vec::new();
+    match item {
+        AssignedItem::Local(id) => steps.push(LowerStep::Local(table.gate(*id).clone())),
+        AssignedItem::Block(b) => {
+            let node = placement.physical_of(b.block.node());
+            match b.scheme {
+                Scheme::Tp => {
+                    let body: Vec<Gate> = b.block.gates(table).cloned().collect();
+                    steps.push(LowerStep::Tp { q: b.block.qubit(), node, body });
+                }
+                Scheme::Cat(_) if b.comms == 1 => {
+                    plan_cat_segment(&mut steps, table, &b.block, node);
+                }
+                Scheme::Cat(_) => {
+                    for seg in split_into_segments(table, &b.block) {
+                        if seg.remote_gate_count() == 0 {
+                            for g in seg.gates(table) {
+                                steps.push(LowerStep::Local(g.clone()));
                             }
+                        } else {
+                            plan_cat_segment(&mut steps, table, &seg, node);
                         }
                     }
                 }
             }
         }
     }
-    Ok(exp.finish())
+    steps
 }
 
-/// Expands one single-call Cat segment, conjugating target-form bodies into
+/// Plans one single-call Cat segment, conjugating target-form bodies into
 /// control form first. `node` is the physical node the remote block is
 /// placed on.
-fn lower_cat_segment(
-    exp: &mut ProtocolExpander,
+fn plan_cat_segment(
+    steps: &mut Vec<LowerStep>,
     table: &GateTable,
     block: &CommBlock,
     node: NodeId,
-) -> Result<(), CompileError> {
+) {
     let q = block.qubit();
     // A segment may start with single-qubit gates on the burst qubit left
     // over from a split (they precede every remote gate); they execute
     // locally on q before the communication.
     let prefix_len = block.gates(table).take_while(|g| g.num_qubits() == 1 && g.acts_on(q)).count();
     for g in block.gates(table).take(prefix_len) {
-        exp.push_local(g)?;
+        steps.push(LowerStep::Local(g.clone()));
     }
     let mut trimmed = CommBlock::new(q, block.node());
     for &id in &block.ids()[prefix_len..] {
@@ -111,16 +143,16 @@ fn lower_cat_segment(
     }
     if trimmed.remote_gate_count() == 0 {
         for g in trimmed.gates(table) {
-            exp.push_local(g)?;
+            steps.push(LowerStep::Local(g.clone()));
         }
-        return Ok(());
+        return;
     }
 
     let (_, orientation) = crate::assign::cat_segments(table, &trimmed);
     match orientation {
         CatOrientation::Control => {
             let body: Vec<Gate> = trimmed.gates(table).cloned().collect();
-            exp.cat_comm_block(q, node, &body)?;
+            steps.push(LowerStep::Cat { q, node, body });
         }
         CatOrientation::Target => {
             // Conjugation set: the burst qubit plus every partner of a
@@ -135,7 +167,7 @@ fn lower_cat_segment(
             }
             // Boundary Hadamards (local gates).
             for &s in &set {
-                exp.push_local(&Gate::h(s))?;
+                steps.push(LowerStep::Local(Gate::h(s)));
             }
             // Per-gate conjugated body.
             let mut body = Vec::with_capacity(trimmed.len() * 3);
@@ -166,13 +198,12 @@ fn lower_cat_segment(
                     }
                 }
             }
-            exp.cat_comm_block(q, node, &body)?;
+            steps.push(LowerStep::Cat { q, node, body });
             for &s in &set {
-                exp.push_local(&Gate::h(s))?;
+                steps.push(LowerStep::Local(Gate::h(s)));
             }
         }
     }
-    Ok(())
 }
 
 /// `H · g · H` for the X-diagonal single-qubit gates that can appear inside

@@ -183,6 +183,21 @@ impl Pipeline {
     /// off; the place stage appears only under
     /// [`PlacementStrategy::Topology`]).
     pub fn autocomm(options: &AutoCommOptions) -> Pipeline {
+        Pipeline::autocomm_prefix(options).schedule(options.schedule).build()
+    }
+
+    /// The canonical pipeline *without* the scheduling stage — everything
+    /// needed to evaluate a candidate placement's EPR cost. The placement
+    /// driver uses this for rounds that re-partition (scheduling the
+    /// discarded candidates would be pure waste; the winning placement
+    /// gets one full compile at the end).
+    pub(crate) fn autocomm_analysis(options: &AutoCommOptions) -> Pipeline {
+        Pipeline::autocomm_prefix(options).build()
+    }
+
+    /// Shared prefix of [`Pipeline::autocomm`] and
+    /// [`Pipeline::autocomm_analysis`]: everything through metrics.
+    fn autocomm_prefix(options: &AutoCommOptions) -> PipelineBuilder {
         let mut builder = Pipeline::builder();
         if options.orient_symmetric {
             builder = builder.orient();
@@ -198,7 +213,7 @@ impl Pipeline {
         }
         builder =
             if options.hybrid_assignment { builder.assign() } else { builder.assign_cat_only() };
-        builder.metrics().schedule(options.schedule).build()
+        builder.metrics()
     }
 
     /// The pass names, in execution order.
@@ -518,6 +533,125 @@ impl AutoComm {
         hw: &HardwareSpec,
         config: &PlacementConfig,
     ) -> Result<(CompileResult, PlacementReport), CompileError> {
+        if config.force_full {
+            return self.compile_placed_full(circuit, partition, hw, config);
+        }
+        let topology = hw.topology();
+        let mut placement = Placement::identity(partition);
+        let identity = self.compile_with_placement(circuit, &placement, hw)?;
+        let initial_epr_cost = identity.metrics.total_epr_cost;
+        // Round state: evaluating a candidate placement needs only the
+        // aggregated program, the assignment, and its metrics — never the
+        // schedule. The interaction graph is hoisted out of the loop and
+        // recomputed only when an accepted round changed the logical
+        // partition: it depends on the aggregated program alone, not on
+        // the block→node map.
+        let mut aggregated = identity.aggregated.clone();
+        let mut assigned = identity.assigned.clone();
+        let mut metrics = identity.metrics.clone();
+        let mut graph = comm_weighted_graph(&aggregated);
+        let mut iterations = 0usize;
+        for _ in 0..config.refine_iters {
+            // Measured communication traffic over logical blocks — what the
+            // compiled program actually pays per pair, post-aggregation.
+            let traffic = metrics.traffic_matrix(placement.num_nodes());
+            let node_map =
+                place_blocks(&traffic, topology.num_nodes(), topology, PlaceOptions::default());
+            // Refine the partition under the candidate map's hop metric.
+            let refined = oee_refine_on(
+                &graph,
+                placement.partition().clone(),
+                &node_map,
+                topology,
+                OeeOptions::default(),
+            );
+            let candidate = Placement::new(refined, node_map)?;
+            if candidate == placement {
+                break; // fixed point
+            }
+            // Refinement rounds usually permute the block→node map and
+            // leave the logical partition alone; then only blocks whose
+            // physical endpoints moved are re-assigned (incremental
+            // recompilation). A changed partition invalidates aggregation
+            // and falls back to the analysis pipeline (no scheduling — the
+            // winning placement gets one full compile after the loop).
+            let (cand_aggregated, cand_assigned, cand_metrics) =
+                if candidate.partition() == placement.partition() {
+                    let inc = crate::assign_incremental(
+                        &assigned,
+                        &placement,
+                        &candidate,
+                        topology,
+                        self.options.hybrid_assignment,
+                    );
+                    let m = CommMetrics::of(&inc);
+                    (None, inc, m)
+                } else {
+                    let mut options = self.options;
+                    options.placement = PlacementStrategy::Identity;
+                    let out = Pipeline::autocomm_analysis(&options)
+                        .run_placed(circuit, &candidate, hw)?;
+                    let missing = |stage| CompileError::MissingArtifact {
+                        pass: "compile-placed",
+                        missing: stage,
+                    };
+                    (
+                        Some(out.aggregated.ok_or(missing("aggregated program"))?),
+                        out.assigned.ok_or(missing("assigned program"))?,
+                        out.metrics.ok_or(missing("metrics"))?,
+                    )
+                };
+            if cand_metrics.total_epr_cost < metrics.total_epr_cost {
+                if let Some(agg) = cand_aggregated {
+                    aggregated = agg;
+                    graph = comm_weighted_graph(&aggregated);
+                }
+                assigned = cand_assigned;
+                metrics = cand_metrics;
+                placement = candidate;
+                iterations += 1;
+            } else {
+                break; // no improvement: keep the best-so-far placement
+            }
+        }
+        // One full compile at the winning placement reproduces the
+        // historical driver's returned artifacts exactly (the identity
+        // compile already is one).
+        let best = if iterations == 0 {
+            identity
+        } else {
+            self.compile_with_placement(circuit, &placement, hw)?
+        };
+        debug_assert_eq!(
+            best.metrics, metrics,
+            "incremental round metrics drifted from the full recompile"
+        );
+        let report = PlacementReport {
+            iterations,
+            cut_weight: graph.cut_weight(placement.partition()),
+            weighted_cost: graph.placed_cut_weight(
+                placement.partition(),
+                placement.node_map(),
+                topology,
+            ),
+            node_map: placement.node_map().to_vec(),
+            initial_epr_cost,
+            final_epr_cost: best.metrics.total_epr_cost,
+        };
+        Ok((best, report))
+    }
+
+    /// The historical full-recompile placement driver, kept verbatim as the
+    /// strict bit-identity rail behind [`PlacementConfig::force_full`]: the
+    /// property suite asserts the incremental [`AutoComm::compile_placed`]
+    /// matches it artifact-for-artifact on every topology.
+    fn compile_placed_full(
+        &self,
+        circuit: &Circuit,
+        partition: &Partition,
+        hw: &HardwareSpec,
+        config: &PlacementConfig,
+    ) -> Result<(CompileResult, PlacementReport), CompileError> {
         let topology = hw.topology();
         let mut placement = Placement::identity(partition);
         let mut best = self.compile_with_placement(circuit, &placement, hw)?;
@@ -577,11 +711,16 @@ pub struct PlacementConfig {
     /// point or on the first non-improving round, so this is a ceiling,
     /// not a target).
     pub refine_iters: usize,
+    /// Run the historical full-recompile driver instead of the incremental
+    /// one. The two produce bit-identical results (the property suite
+    /// asserts it across every topology); this flag exists as the strict
+    /// reference rail and for measuring the incremental speedup.
+    pub force_full: bool,
 }
 
 impl Default for PlacementConfig {
     fn default() -> Self {
-        PlacementConfig { refine_iters: 3 }
+        PlacementConfig { refine_iters: 3, force_full: false }
     }
 }
 
@@ -868,11 +1007,84 @@ mod tests {
             .unwrap();
         let plain = AutoComm::new().compile_on(&c, &p, &hw).unwrap();
         let (placed, report) = AutoComm::new()
-            .compile_placed(&c, &p, &hw, &PlacementConfig { refine_iters: 0 })
+            .compile_placed(&c, &p, &hw, &PlacementConfig { refine_iters: 0, force_full: false })
             .unwrap();
         assert_eq!(report.iterations, 0);
         assert_eq!(placed.metrics, plain.metrics);
         assert_eq!(placed.schedule, plain.schedule);
+    }
+
+    /// The incremental placement driver is bit-identical to the historical
+    /// full-recompile driver on all five topology families, across suite
+    /// and random workloads — the acceptance rail for incremental
+    /// recompilation.
+    #[test]
+    fn incremental_compile_placed_matches_full_on_all_topologies() {
+        use dqc_hardware::NetworkTopology;
+        let nodes = 4;
+        let mut programs: Vec<Circuit> = vec![dqc_workloads::qft(8), dqc_workloads::bv(8)];
+        for seed in 0..3 {
+            let (c, _) = dqc_workloads::random_distributed_circuit(8, nodes, 40, seed);
+            programs.push(c);
+        }
+        let p = Partition::block(8, nodes).unwrap();
+        let topologies = [
+            ("all-to-all", NetworkTopology::all_to_all(nodes)),
+            ("linear", NetworkTopology::linear(nodes).unwrap()),
+            ("ring", NetworkTopology::ring(nodes).unwrap()),
+            ("grid", NetworkTopology::grid(2, 2).unwrap()),
+            ("star", NetworkTopology::star(nodes).unwrap()),
+        ];
+        for c in &programs {
+            for (name, topology) in &topologies {
+                let hw = HardwareSpec::for_partition(&p).with_topology(topology.clone()).unwrap();
+                let incremental = AutoComm::new()
+                    .compile_placed(c, &p, &hw, &PlacementConfig::default())
+                    .unwrap();
+                let full = AutoComm::new()
+                    .compile_placed(
+                        c,
+                        &p,
+                        &hw,
+                        &PlacementConfig { force_full: true, ..Default::default() },
+                    )
+                    .unwrap();
+                assert_eq!(incremental.1, full.1, "report differs on {name}");
+                assert_eq!(incremental.0.metrics, full.0.metrics, "metrics differ on {name}");
+                assert_eq!(incremental.0.schedule, full.0.schedule, "schedule differs on {name}");
+                assert_eq!(incremental.0.assigned, full.0.assigned, "assignment differs on {name}");
+                assert_eq!(
+                    incremental.0.placement, full.0.placement,
+                    "placement differs on {name}"
+                );
+            }
+        }
+    }
+
+    /// Cat-only configurations ride the same incremental path (the
+    /// incremental re-assignment must respect `hybrid_assignment`).
+    #[test]
+    fn incremental_compile_placed_matches_full_under_cat_only() {
+        use dqc_hardware::NetworkTopology;
+        let c = dqc_workloads::qft(8);
+        let p = Partition::block(8, 4).unwrap();
+        let hw = HardwareSpec::for_partition(&p)
+            .with_topology(NetworkTopology::ring(4).unwrap())
+            .unwrap();
+        let compiler = AutoComm::with_ablations(&[Ablation::CatOnly]);
+        let incremental =
+            compiler.compile_placed(&c, &p, &hw, &PlacementConfig::default()).unwrap();
+        let full = compiler
+            .compile_placed(
+                &c,
+                &p,
+                &hw,
+                &PlacementConfig { force_full: true, ..Default::default() },
+            )
+            .unwrap();
+        assert_eq!(incremental.1, full.1);
+        assert_eq!(incremental.0.metrics, full.0.metrics);
+        assert_eq!(incremental.0.assigned, full.0.assigned);
     }
 
     #[test]

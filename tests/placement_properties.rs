@@ -121,7 +121,7 @@ proptest! {
         let hw = HardwareSpec::for_partition(&p);
         let legacy = AutoComm::new().compile_on(&c, &p, &hw).unwrap();
         let (placed, report) = AutoComm::new()
-            .compile_placed(&c, &p, &hw, &PlacementConfig { refine_iters: 0 })
+            .compile_placed(&c, &p, &hw, &PlacementConfig { refine_iters: 0, force_full: false })
             .unwrap();
         prop_assert!(placed.placement.is_identity());
         prop_assert_eq!(report.iterations, 0);

@@ -109,6 +109,12 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's sample count is fixed
+    /// by `Bencher::iter`'s calibration loop.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
     /// Runs a named benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         run_one(&format!("{}/{name}", self.name), |b| f(b));
