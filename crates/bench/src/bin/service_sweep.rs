@@ -1,0 +1,125 @@
+//! Compile-service latency gate: boots the daemon in-process on a
+//! loopback socket, pushes a set of 10k-gate circuits through it cold
+//! (every job compiles) and then warm (every job answered from the
+//! content-addressed artifact cache), and measures client-side
+//! end-to-end latency for both. The acceptance rail is asserted on
+//! every full run: **warm p50 must be ≥ 20× faster than cold p50** at
+//! the 10k-gate tier, and every warm response must be byte-identical
+//! to its cold counterpart.
+//!
+//! Latencies vary per machine, so stdout is not baseline-diffed; the
+//! recorded reference run lives in
+//! `crates/bench/baselines/service_latency.json` (regenerate by
+//! redirecting this binary's stdout there). `--quick` shrinks the
+//! inputs ~10× and skips the ratio rail (CI-smoke speed).
+
+use std::net::TcpListener;
+use std::time::Instant;
+
+use dqc_cli::json::Json;
+use dqc_cli::serve::{roundtrip, serve_on, ServeArgs};
+use dqc_workloads::random_circuit;
+
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let at = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[at]
+}
+
+fn main() {
+    let quick = dqc_bench::quick_requested();
+    let gates = if quick { 1_000 } else { 10_000 };
+    let circuits = if quick { 3 } else { 8 };
+    let warm_repeats = if quick { 3 } else { 10 };
+
+    // In-process daemon on an ephemeral loopback port.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let args = ServeArgs { port: 0, workers: 4, cache_capacity: 64, port_file: None };
+    let server = std::thread::spawn(move || serve_on(listener, args));
+
+    // Distinct 10k-gate-tier jobs: every cold submission really compiles.
+    let requests: Vec<String> = (0..circuits)
+        .map(|seed| {
+            let circuit = random_circuit(32, gates, 100 + seed as u64);
+            Json::object([
+                ("op", Json::string("compile")),
+                ("qasm", Json::string(dqc_circuit::to_qasm(&circuit))),
+                ("nodes", Json::number(4.0)),
+            ])
+            .to_string()
+        })
+        .collect();
+
+    let timed = |request: &str| {
+        let t = Instant::now();
+        let response = roundtrip(&addr, request).expect("service response");
+        (t.elapsed().as_secs_f64() * 1e3, response)
+    };
+
+    let mut cold_ms = Vec::new();
+    let mut cold_responses = Vec::new();
+    for request in &requests {
+        let (ms, response) = timed(request);
+        assert!(response.contains("\"status\":\"ok\""), "cold compile failed: {response}");
+        cold_ms.push(ms);
+        cold_responses.push(response);
+    }
+
+    let mut warm_ms = Vec::new();
+    let mut byte_identical = true;
+    for _ in 0..warm_repeats {
+        for (request, cold_response) in requests.iter().zip(&cold_responses) {
+            let (ms, response) = timed(request);
+            byte_identical &= response == *cold_response;
+            warm_ms.push(ms);
+        }
+    }
+    assert!(byte_identical, "a warm response drifted from its cold compile");
+
+    // All warm lookups must have been cache hits.
+    let stats = roundtrip(&addr, "{\"op\":\"stats\"}").expect("stats");
+    let parsed = Json::parse(&stats).expect("stats parse");
+    let stat = |key: &str| {
+        parsed
+            .get("stats")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{key} in {stats}"))
+    };
+    assert_eq!(stat("cache_misses"), circuits as f64, "every circuit compiles exactly once");
+    assert_eq!(stat("cache_hits"), (circuits * warm_repeats) as f64, "every repeat must hit");
+
+    roundtrip(&addr, "{\"op\":\"shutdown\"}").expect("shutdown");
+    server.join().expect("server thread").expect("clean shutdown");
+
+    let cold_p50 = percentile(&mut cold_ms, 0.50);
+    let cold_p99 = percentile(&mut cold_ms, 0.99);
+    let warm_p50 = percentile(&mut warm_ms, 0.50);
+    let warm_p99 = percentile(&mut warm_ms, 0.99);
+    let speedup = cold_p50 / warm_p50;
+    eprintln!(
+        "service sweep ({gates} gates × {circuits} circuits): cold p50 {cold_p50:.2} ms, \
+         warm p50 {warm_p50:.3} ms ({speedup:.0}x)"
+    );
+    // The acceptance rail: warm hits >= 20x faster than cold compiles at
+    // the 10k-gate tier (--quick shrinks the tier, where the ratio is
+    // not meaningful).
+    if !quick {
+        assert!(
+            warm_p50 * 20.0 <= cold_p50,
+            "warm p50 must be >= 20x faster than cold p50, got {speedup:.1}x \
+             ({warm_p50:.3} ms vs {cold_p50:.2} ms)"
+        );
+    }
+
+    println!("{{");
+    println!("  \"tier_gates\": {gates},");
+    println!("  \"circuits\": {circuits},");
+    println!("  \"warm_repeats\": {warm_repeats},");
+    println!("  \"cold_ms\": {{\"p50\": {cold_p50:.3}, \"p99\": {cold_p99:.3}}},");
+    println!("  \"warm_ms\": {{\"p50\": {warm_p50:.3}, \"p99\": {warm_p99:.3}}},");
+    println!("  \"speedup_p50\": {speedup:.1},");
+    println!("  \"byte_identical\": true");
+    println!("}}");
+}

@@ -101,6 +101,40 @@ impl GateKind {
         }
     }
 
+    /// Parses a lower-case mnemonic back to its kind — the inverse of
+    /// [`GateKind::name`], used by textual artifact formats.
+    pub fn parse(name: &str) -> Option<GateKind> {
+        Some(match name {
+            "id" => GateKind::I,
+            "h" => GateKind::H,
+            "x" => GateKind::X,
+            "y" => GateKind::Y,
+            "z" => GateKind::Z,
+            "s" => GateKind::S,
+            "sdg" => GateKind::Sdg,
+            "t" => GateKind::T,
+            "tdg" => GateKind::Tdg,
+            "sx" => GateKind::Sx,
+            "rx" => GateKind::Rx,
+            "ry" => GateKind::Ry,
+            "rz" => GateKind::Rz,
+            "p" => GateKind::Phase,
+            "u3" => GateKind::U3,
+            "cx" => GateKind::Cx,
+            "cz" => GateKind::Cz,
+            "swap" => GateKind::Swap,
+            "crz" => GateKind::Crz,
+            "cp" => GateKind::Cp,
+            "rzz" => GateKind::Rzz,
+            "ccx" => GateKind::Ccx,
+            "mcx" => GateKind::Mcx,
+            "measure" => GateKind::Measure,
+            "reset" => GateKind::Reset,
+            "barrier" => GateKind::Barrier,
+            _ => return None,
+        })
+    }
+
     /// Number of real parameters carried by gates of this kind.
     pub fn num_params(self) -> usize {
         match self {
@@ -641,6 +675,41 @@ mod tests {
         assert!(GateKind::Rzz.is_diagonal());
         assert!(!GateKind::Cx.is_diagonal());
         assert!(!GateKind::H.is_diagonal());
+    }
+
+    #[test]
+    fn kind_parse_inverts_name() {
+        for kind in [
+            GateKind::I,
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::T,
+            GateKind::Tdg,
+            GateKind::Sx,
+            GateKind::Rx,
+            GateKind::Ry,
+            GateKind::Rz,
+            GateKind::Phase,
+            GateKind::U3,
+            GateKind::Cx,
+            GateKind::Cz,
+            GateKind::Swap,
+            GateKind::Crz,
+            GateKind::Cp,
+            GateKind::Rzz,
+            GateKind::Ccx,
+            GateKind::Mcx,
+            GateKind::Measure,
+            GateKind::Reset,
+            GateKind::Barrier,
+        ] {
+            assert_eq!(GateKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(GateKind::parse("bogus"), None);
     }
 
     #[test]

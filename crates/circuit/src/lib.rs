@@ -52,6 +52,7 @@ mod commute;
 mod dag;
 mod error;
 mod gate;
+mod hash;
 mod ids;
 mod partition;
 mod qasm;
@@ -66,6 +67,7 @@ pub use commute::{commutes, commutes_with_all, disjoint_supports};
 pub use dag::DependencyDag;
 pub use error::CircuitError;
 pub use gate::{Gate, GateKind};
+pub use hash::{circuit_content_hash, stream_content_hash, ContentHash};
 pub use ids::{CBitId, NodeId, QubitId};
 pub use partition::Partition;
 pub use qasm::to_qasm;

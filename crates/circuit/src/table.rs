@@ -348,6 +348,18 @@ impl GateTable {
         })
     }
 
+    /// The classical bit written by `id` if it is a measurement.
+    pub fn measure_bit(&self, id: GateId) -> Option<usize> {
+        let c = self.cbits[id.index()].0[0];
+        (c != NO_CBIT).then_some(c as usize)
+    }
+
+    /// The classical bit conditioning `id`, if any.
+    pub fn condition_bit(&self, id: GateId) -> Option<usize> {
+        let c = self.cbits[id.index()].0[1];
+        (c != NO_CBIT).then_some(c as usize)
+    }
+
     /// Whether `id` reads or writes any classical bit.
     pub fn touches_classical(&self, id: GateId) -> bool {
         self.cbits[id.index()].any()

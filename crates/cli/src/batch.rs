@@ -9,8 +9,6 @@
 //! vary) and totals the paper metrics across the batch.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use autocomm::{Ablation, BufferPolicy};
@@ -19,6 +17,7 @@ use dqc_hardware::{HardwareSpec, NetworkTopology};
 use dqc_workloads::{generate, smoke_suite};
 
 use crate::json::Json;
+use crate::pool::par_rows;
 use crate::{
     build_partition, compiler_for, parse_buffer, parse_strategy, placement_config, CliError,
     PartitionStrategy, USAGE,
@@ -310,47 +309,18 @@ pub fn run_batch(args: BatchArgs) -> Result<BatchReport, CliError> {
         .and_then(|hw| hw.with_topology(topology.clone()))
         .map_err(|e| CliError::Usage(format!("invalid hardware configuration: {e}\n\n{USAGE}")))?;
     let started = Instant::now();
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<BatchRow, String>>>> = Mutex::new(vec![None; tasks.len()]);
-
-    let workers = args.jobs.min(tasks.len()).max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks.len() {
-                    break;
-                }
-                let row = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    compile_task(&tasks[i], &args, &topology)
-                }))
-                .unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_owned())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "unknown panic".to_owned());
-                    Err(format!("{}: compile panicked: {msg}", tasks[i].label()))
-                });
-                match results.lock() {
-                    Ok(mut slots) => slots[i] = Some(row),
-                    // A panic between catch_unwind and the store poisoned
-                    // the mutex; keep going — the row stays a failure.
-                    Err(poisoned) => poisoned.into_inner()[i] = Some(row),
-                }
-            });
-        }
-    });
-
-    let rows = results
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| {
-            r.unwrap_or_else(|| Err(format!("{}: worker died before reporting", tasks[i].label())))
-        })
-        .collect();
+    let rows = par_rows(
+        tasks.len(),
+        args.jobs,
+        |i| compile_task(&tasks[i], &args, &topology),
+        |i, msg| Err(format!("{}: compile panicked: {msg}", tasks[i].label())),
+    )
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| {
+        r.unwrap_or_else(|| Err(format!("{}: worker died before reporting", tasks[i].label())))
+    })
+    .collect();
     Ok(BatchReport { args, rows, wall_ms: started.elapsed().as_secs_f64() * 1e3 })
 }
 

@@ -1,4 +1,7 @@
-//! Minimal JSON document builder (the container is offline, so no serde).
+//! Minimal JSON document builder and parser (the container is offline, so
+//! no serde). The parser exists for the compile service's wire protocol:
+//! newline-delimited request/response objects built and read with the
+//! same [`Json`] type the reports already use.
 
 use std::fmt;
 
@@ -38,6 +41,224 @@ impl Json {
     /// An object from `(key, value)` pairs, keeping their order.
     pub fn object<'a, I: IntoIterator<Item = (&'a str, Json)>>(fields: I) -> Json {
         Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parses a JSON document (the service protocol's request/response
+    /// lines). Rejects trailing non-whitespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{token}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| Json::Null),
+            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let code = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("malformed \\u escape"))?;
+                            self.pos = end;
+                            // Surrogates (the emitter never writes them for
+                            // this protocol) decode as the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: re-borrow the full char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    self.pos += ch.len_utf8() - 1;
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
     }
 }
 
@@ -126,5 +347,45 @@ mod tests {
     fn non_finite_numbers_render_null() {
         assert_eq!(Json::number(f64::NAN).to_string(), "null");
         assert_eq!(Json::number(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let doc = Json::object([
+            ("name", Json::string("qft \"big\"\n")),
+            ("n", Json::number(16.0)),
+            ("ratio", Json::number(-2.5e-3)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::array([Json::number(1.0), Json::string("π unicode")])),
+            ("nested", Json::object([("k", Json::array([]))])),
+        ]);
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_string(), doc.to_string());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let parsed = Json::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : \"x\\u0041/\" } ").unwrap();
+        assert_eq!(parsed.get("a"), Some(&Json::array([Json::number(1.0), Json::number(2.0)])));
+        assert_eq!(parsed.get("b").and_then(Json::as_str), Some("xA/"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "\"open", "{\"a\":}", "tru", "1 2", "{'a':1}", "nul"] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn accessors_read_typed_fields() {
+        let doc = Json::parse(r#"{"op":"compile","nodes":4,"verbose":true}"#).unwrap();
+        assert_eq!(doc.get("op").and_then(Json::as_str), Some("compile"));
+        assert_eq!(doc.get("nodes").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(doc.get("verbose").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("op"), None);
     }
 }

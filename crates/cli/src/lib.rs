@@ -12,6 +12,9 @@
 
 pub mod batch;
 pub mod json;
+pub mod pool;
+pub mod sections;
+pub mod serve;
 
 use std::fmt;
 use std::path::PathBuf;
@@ -116,6 +119,10 @@ USAGE:
     autocomm compile <file.qasm> --nodes <N> [OPTIONS]
     autocomm batch <dir> --nodes <N> [OPTIONS]
     autocomm batch --suite --nodes <N> [OPTIONS]
+    autocomm serve [SERVE OPTIONS]
+    autocomm submit <file.qasm> --nodes <N> [--addr <A>] [--verbose] [OPTIONS]
+    autocomm stats [--addr <A>]
+    autocomm shutdown [--addr <A>]
     autocomm help
 
 OPTIONS:
@@ -157,6 +164,31 @@ BATCH OPTIONS:
     --suite              compile the built-in workload smoke suite instead
     --jobs <J>           worker threads [default: available cores, max 8];
                          metrics are identical for every job count
+
+SERVE OPTIONS:
+    --port <P>           TCP port on 127.0.0.1 [default: 7878; 0 = pick an
+                         ephemeral port]
+    --jobs <J>           compile worker threads [default: available cores,
+                         max 8]
+    --cache-cap <N>      max compiled artifacts kept in the LRU cache
+                         [default: 256]
+    --port-file <path>   write the bound port here once listening (how
+                         scripts find an ephemeral port); removed on
+                         clean shutdown
+
+SERVICE CLIENTS:
+    submit               compile via a running daemon: same options as
+                         'compile', plus --addr <host:port>
+                         [default: 127.0.0.1:7878] and --verbose (adds a
+                         per-request \"service\" object: cache hit/miss,
+                         latency, queue depth). Repeat submissions of an
+                         identical job are answered from the daemon's
+                         content-addressed artifact cache, byte-identical
+                         to the cold compile
+    stats                print the daemon's aggregate service metrics
+                         (cache hit rate, coalesced compiles, p50/p99
+                         latency)
+    shutdown             stop the daemon cleanly
 ";
 
 impl CompileArgs {
@@ -447,108 +479,44 @@ impl CompileReport {
                 ("comm_qubits", Json::number(self.args.comm_qubits as f64)),
                 (
                     "topology",
-                    Json::object([
-                        ("name", Json::string(topology.name())),
-                        ("links", Json::number(topology.links().len() as f64)),
-                        (
-                            "diameter",
-                            topology.diameter().map_or(Json::Null, |d| Json::number(d as f64)),
-                        ),
-                    ]),
+                    sections::topology_json(
+                        topology.name(),
+                        topology.links().len(),
+                        topology.diameter(),
+                    ),
                 ),
                 ("partition", Json::string(self.args.strategy.name())),
-                (
-                    "placement",
-                    Json::object([
-                        ("strategy", Json::string(self.args.strategy.name())),
-                        ("iterations", Json::number(self.placement.iterations as f64)),
-                        ("cut_weight", Json::number(self.placement.cut_weight as f64)),
-                        ("weighted_cost", Json::number(self.placement.weighted_cost as f64)),
-                        ("initial_epr_cost", Json::number(self.placement.initial_epr_cost as f64)),
-                        ("final_epr_cost", Json::number(self.placement.final_epr_cost as f64)),
-                        (
-                            "node_map",
-                            Json::array(
-                                self.placement
-                                    .node_map
-                                    .iter()
-                                    .map(|n| Json::number(n.index() as f64)),
-                            ),
-                        ),
-                    ]),
-                ),
-                (
-                    "ablations",
-                    Json::array(self.args.ablations.iter().map(|a| Json::string(a.name()))),
-                ),
+                ("placement", sections::placement_json(self.args.strategy.name(), &self.placement)),
+                ("ablations", sections::ablations_json(&self.args.ablations)),
                 (
                     "circuit",
-                    Json::object([
-                        ("qubits", Json::number(self.partition.num_qubits() as f64)),
-                        ("gates", Json::number(self.stats.num_gates as f64)),
-                        ("two_qubit_gates", Json::number(self.stats.num_2q as f64)),
-                        ("remote_cx", Json::number(self.stats.num_remote_2q as f64)),
-                    ]),
+                    sections::circuit_json(
+                        self.partition.num_qubits(),
+                        self.stats.num_gates,
+                        self.stats.num_2q,
+                        self.stats.num_remote_2q,
+                    ),
                 ),
                 (
                     "ir",
-                    Json::object([
-                        ("gates", Json::number(self.result.ir.len() as f64)),
-                        ("unique_gates", Json::number(self.result.ir.unique_gates() as f64)),
-                        ("dag_edges", Json::number(self.result.ir.dag().edge_count() as f64)),
-                        ("burst_pairs", Json::number(self.result.ir.ranked_pairs().len() as f64)),
-                    ]),
+                    sections::ir_json(
+                        self.result.ir.len(),
+                        self.result.ir.unique_gates(),
+                        self.result.ir.dag().edge_count(),
+                        self.result.ir.ranked_pairs().len(),
+                    ),
                 ),
-                (
-                    "metrics",
-                    Json::object([
-                        ("total_comms", Json::number(m.total_comms as f64)),
-                        ("tp_comms", Json::number(m.tp_comms as f64)),
-                        ("cat_comms", Json::number((m.total_comms - m.tp_comms) as f64)),
-                        ("total_rem_cx", Json::number(m.total_rem_cx as f64)),
-                        ("peak_rem_cx", Json::number(m.peak_rem_cx)),
-                        ("num_blocks", Json::number(m.num_blocks as f64)),
-                        ("epr_cost", Json::number(m.total_epr_cost as f64)),
-                        ("improvement_factor", Json::number(m.improvement_factor())),
-                    ]),
-                ),
-                (
-                    "buffering",
-                    Json::object([
-                        ("policy", Json::string(s.buffering.policy.name())),
-                        ("requests", Json::number(s.buffering.requests as f64)),
-                        ("prefetch_hits", Json::number(s.buffering.prefetch_hits as f64)),
-                        ("prefetch_misses", Json::number(s.buffering.prefetch_misses as f64)),
-                        ("hit_rate", Json::number(s.buffering.hit_rate)),
-                        ("mean_epr_wait", Json::number(s.buffering.mean_epr_wait)),
-                        ("mean_pair_age", Json::number(s.buffering.mean_pair_age)),
-                        (
-                            "occupancy_hist",
-                            Json::array(
-                                s.buffering.occupancy_hist.iter().map(|&c| Json::number(c as f64)),
-                            ),
-                        ),
-                        ("fell_back", Json::Bool(s.buffering.fell_back)),
-                    ]),
-                ),
+                ("metrics", sections::metrics_json(m)),
+                ("buffering", sections::buffering_json(&s.buffering)),
                 (
                     "schedule",
-                    Json::object([
-                        ("makespan", Json::number(s.makespan)),
-                        ("epr_pairs", Json::number(s.epr_pairs as f64)),
-                        ("swaps", Json::number(s.swaps as f64)),
-                        ("fusion_savings", Json::number(s.fusion_savings as f64)),
-                        (
-                            "link_traffic",
-                            Json::array(s.link_traffic.iter().map(|&(a, b, pairs)| {
-                                Json::object([
-                                    ("a", Json::number(a.index() as f64)),
-                                    ("b", Json::number(b.index() as f64)),
-                                    ("epr_pairs", Json::number(pairs as f64)),
-                                ])
-                            })),
-                        ),
-                    ]),
+                    sections::schedule_json(
+                        s.makespan,
+                        s.epr_pairs,
+                        s.swaps,
+                        s.fusion_savings,
+                        &s.link_traffic,
+                    ),
                 ),
                 (
                     "passes",

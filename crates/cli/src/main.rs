@@ -3,13 +3,32 @@
 //! `autocomm compile <file.qasm> --nodes N [--ablation ...] [--json]`
 //! drives QASM parsing → partitioning → the pass-manager pipeline →
 //! metrics end to end; `autocomm batch <dir|--suite> --nodes N [--jobs J]`
-//! fans a whole workload set across a worker pool. See [`dqc_cli::USAGE`]
+//! fans a whole workload set across a worker pool; `autocomm serve` keeps
+//! a persistent compile daemon with a content-addressed artifact cache
+//! (`submit`/`stats`/`shutdown` are its clients). See [`dqc_cli::USAGE`]
 //! for the full surface.
 
 use std::process::ExitCode;
 
 use dqc_cli::batch::{run_batch, BatchArgs};
+use dqc_cli::serve::{
+    parse_addr, run_serve, run_shutdown, run_stats, run_submit, ServeArgs, SubmitArgs,
+};
 use dqc_cli::{compile, CliError, CompileArgs, USAGE};
+
+fn exit_code(result: Result<(), CliError>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("autocomm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -54,6 +73,10 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("serve") => exit_code(ServeArgs::parse(args).and_then(run_serve)),
+        Some("submit") => exit_code(SubmitArgs::parse(args).and_then(|a| run_submit(&a))),
+        Some("stats") => exit_code(parse_addr(args).and_then(|a| run_stats(&a))),
+        Some("shutdown") => exit_code(parse_addr(args).and_then(|a| run_shutdown(&a))),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS

@@ -1,0 +1,198 @@
+//! Panic-hardened worker pools shared by the batch driver and the compile
+//! service.
+//!
+//! Two shapes over the same hardening discipline ([`catch_panic`]):
+//!
+//! * [`par_rows`] — the batch shape: a fixed task list fanned over scoped
+//!   std threads pulling indices from an atomic counter, results landing
+//!   in their input slot so the output order never depends on scheduling.
+//! * [`WorkerPool`] — the service shape: long-lived threads draining a
+//!   shared job queue, owned by the `autocomm serve` daemon for the
+//!   lifetime of the process.
+//!
+//! Both recover poisoned mutexes with `into_inner`: poisoning here only
+//! means some *other* job panicked mid-store, and one bad compile must
+//! never take down the batch or the daemon.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Runs `f`, converting a panic into its payload message. The seam that
+/// keeps a panicking compile (malformed hand-built pipeline, scheduler
+/// invariant violation) contained to the one job that hit it.
+pub fn catch_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".to_owned())
+    })
+}
+
+/// Runs `run(0..count)` across `jobs` scoped worker threads, returning
+/// each result in its input slot. A task that panics produces
+/// `on_panic(index, message)` instead; a slot left `None` means its
+/// worker died before reporting (only possible if `on_panic` itself
+/// panicked).
+pub fn par_rows<R: Send>(
+    count: usize,
+    jobs: usize,
+    run: impl Fn(usize) -> R + Sync,
+    on_panic: impl Fn(usize, String) -> R + Sync,
+) -> Vec<Option<R>> {
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..count).map(|_| None).collect());
+    let workers = jobs.min(count).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let row = catch_panic(|| run(i)).unwrap_or_else(|msg| on_panic(i, msg));
+                match slots.lock() {
+                    Ok(mut slots) => slots[i] = Some(row),
+                    // A panic between catch_panic and the store poisoned
+                    // the mutex; keep going — the row stays a failure.
+                    Err(poisoned) => poisoned.into_inner()[i] = Some(row),
+                }
+            });
+        }
+    });
+    slots.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads draining a shared job queue —
+/// the compile backend of `autocomm serve`. Jobs run under
+/// [`catch_panic`], so a panicking compile never kills its worker;
+/// dropping the pool closes the queue and joins every thread.
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (at least one) queue-draining threads.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || loop {
+                    // Holding the lock only while receiving keeps the
+                    // queue a fair single-consumer handoff.
+                    let job = {
+                        let guard = match receiver.lock() {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => {
+                            // The job owns its error channel; the panic
+                            // message is intentionally dropped here.
+                            let _ = catch_panic(job);
+                        }
+                        Err(_) => break, // queue closed: pool is shutting down
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), handles, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues a job; some idle worker will run it.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(sender) = &self.sender {
+            // Send fails only after shutdown began; the job is dropped,
+            // which is the correct refusal.
+            let _ = sender.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the queue; workers drain and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn par_rows_preserves_input_order() {
+        let rows = par_rows(32, 4, |i| i * i, |i, _| i);
+        assert_eq!(rows.len(), 32);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(*row, Some(i * i));
+        }
+    }
+
+    #[test]
+    fn par_rows_contains_panics_to_their_slot() {
+        let rows = par_rows(
+            8,
+            3,
+            |i| {
+                if i == 5 {
+                    panic!("boom {i}");
+                }
+                Ok(i)
+            },
+            |i, msg| Err(format!("{i}: {msg}")),
+        );
+        assert_eq!(rows[5], Some(Err("5: boom 5".to_string())));
+        for (i, row) in rows.iter().enumerate().filter(|&(i, _)| i != 5) {
+            assert_eq!(*row, Some(Ok(i)));
+        }
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_survives_panics() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        pool.execute(|| panic!("job panic"));
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        pool.execute(move || flag.store(true, Ordering::SeqCst));
+        drop(pool); // joins: every queued job ran first
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn catch_panic_extracts_string_payloads() {
+        assert_eq!(catch_panic(|| 7), Ok(7));
+        assert_eq!(catch_panic(|| panic!("static")), Err::<(), _>("static".to_string()));
+        let msg = format!("formatted {}", 3);
+        assert_eq!(catch_panic(|| panic!("{msg}")), Err::<(), _>("formatted 3".to_string()));
+    }
+}

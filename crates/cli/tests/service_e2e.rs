@@ -1,0 +1,225 @@
+//! End-to-end gate for the compile service: boot the real `autocomm`
+//! binary as a daemon, push the workload suite through it twice from
+//! concurrent clients, and hold it to the cache contract — a 100%
+//! second-pass hit rate with byte-identical responses — plus clean
+//! shutdown and exit codes on every client mode.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use dqc_cli::json::Json;
+use dqc_cli::serve::roundtrip;
+
+/// The running daemon; killed on drop so a failing assertion never
+/// leaks a listener into the test harness.
+struct Daemon {
+    child: Child,
+    addr: String,
+    port_file: PathBuf,
+}
+
+impl Daemon {
+    fn start(tag: &str) -> Daemon {
+        let port_file =
+            std::env::temp_dir().join(format!("autocomm-e2e-{tag}-{}.port", std::process::id()));
+        std::fs::remove_file(&port_file).ok();
+        let child = Command::new(env!("CARGO_BIN_EXE_autocomm"))
+            .args(["serve", "--port", "0", "--jobs", "4"])
+            .arg("--port-file")
+            .arg(&port_file)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        // The daemon writes the bound port once it is listening.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let port = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(port) = text.trim().parse::<u16>() {
+                    break port;
+                }
+            }
+            assert!(Instant::now() < deadline, "daemon never wrote {}", port_file.display());
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        Daemon { child, addr: format!("127.0.0.1:{port}"), port_file }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+        std::fs::remove_file(&self.port_file).ok();
+    }
+}
+
+/// The suite as inline compile requests: every workload family, plus
+/// sparse-topology / placement / buffering / ablation coverage.
+fn suite_requests() -> Vec<String> {
+    let req = |circuit: &dqc_circuit::Circuit, extra: &[(&str, Json)]| {
+        let mut fields = vec![
+            ("op", Json::string("compile")),
+            ("qasm", Json::string(dqc_circuit::to_qasm(circuit))),
+            ("nodes", Json::number(4.0)),
+        ];
+        fields.extend(extra.iter().cloned());
+        Json::object(fields).to_string()
+    };
+    vec![
+        req(&dqc_workloads::mctr(8), &[]),
+        req(&dqc_workloads::rca(8), &[("topology", Json::string("linear"))]),
+        req(
+            &dqc_workloads::qft(12),
+            &[("topology", Json::string("ring")), ("placement", Json::string("topo"))],
+        ),
+        req(&dqc_workloads::bv(12), &[("buffer", Json::string("prefetch:4"))]),
+        req(
+            &dqc_workloads::qaoa_maxcut(12, 18, 7),
+            &[("ablations", Json::array([Json::string("no-commute")]))],
+        ),
+        req(&dqc_workloads::uccsd(8), &[("comm_qubits", Json::number(3.0))]),
+    ]
+}
+
+/// Submits every request from its own client thread (one connection
+/// each, all in flight together) and returns the responses in order.
+fn concurrent_pass(addr: &str, requests: &[String]) -> Vec<String> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| scope.spawn(move || roundtrip(addr, request).expect("response")))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    })
+}
+
+/// Extracts the raw `"key":{...}` span (balanced braces; none of the
+/// compared sections contain braces inside strings).
+fn json_object(json: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":{{");
+    let start = json.find(&needle).unwrap_or_else(|| panic!("{key} missing in {json}"));
+    let mut depth = 0usize;
+    for (i, b) in json[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return json[start..=start + i].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced {key} object in {json}");
+}
+
+fn stat(addr: &str, key: &str) -> f64 {
+    let response = roundtrip(addr, "{\"op\":\"stats\"}").expect("stats");
+    let parsed = Json::parse(&response).expect("stats parse");
+    parsed
+        .get("stats")
+        .and_then(|stats| stats.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{key} in {response}"))
+}
+
+#[test]
+fn suite_twice_is_all_hits_and_byte_identical() {
+    let daemon = Daemon::start("suite");
+    let addr = daemon.addr.clone();
+    let requests = suite_requests();
+
+    // Cold pass: all misses, every job compiles.
+    let cold = concurrent_pass(&addr, &requests);
+    for (request, response) in requests.iter().zip(&cold) {
+        let parsed = Json::parse(response).expect("response parse");
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"), "{request}");
+        assert!(parsed.get("artifact").is_some(), "artifact missing in {response}");
+    }
+    let misses_after_cold = stat(&addr, "cache_misses");
+    assert_eq!(misses_after_cold, requests.len() as f64, "cold pass must all miss");
+
+    // Warm pass: 100% hit rate, responses byte-identical to the cold pass.
+    let warm = concurrent_pass(&addr, &requests);
+    assert_eq!(cold, warm, "cache hits must be byte-identical to cold compiles");
+    assert_eq!(stat(&addr, "cache_misses"), misses_after_cold, "warm pass must not miss");
+    assert!(stat(&addr, "cache_hits") >= requests.len() as f64);
+    assert_eq!(stat(&addr, "queue_depth"), 0.0, "nothing left in flight");
+
+    // A malformed line is an error response, not a dead daemon.
+    let err = roundtrip(&addr, "{\"op\":\"compile\"}").expect("error response");
+    let parsed = Json::parse(&err).expect("error parse");
+    assert_eq!(parsed.get("status").and_then(Json::as_str), Some("error"));
+    assert!(err.contains("qasm"), "error names the missing field: {err}");
+
+    // Clean shutdown: exit code 0 on both the client and the daemon, and
+    // the port file is removed.
+    let out = Command::new(env!("CARGO_BIN_EXE_autocomm"))
+        .args(["shutdown", "--addr", &addr])
+        .output()
+        .expect("shutdown client runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status:?}");
+    assert!(!daemon.port_file.exists(), "port file must be cleaned up");
+}
+
+#[test]
+fn submit_and_stats_clients_round_trip_the_binary() {
+    let daemon = Daemon::start("clients");
+    let addr = &daemon.addr;
+    let qasm =
+        std::env::temp_dir().join(format!("autocomm-e2e-submit-{}.qasm", std::process::id()));
+    std::fs::write(&qasm, dqc_circuit::to_qasm(&dqc_workloads::qft(12))).unwrap();
+
+    let submit = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_autocomm"))
+            .args(["submit", qasm.to_str().unwrap(), "--nodes", "4", "--addr", addr])
+            .output()
+            .expect("submit client runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let cold = submit();
+    let parsed = Json::parse(cold.trim_end()).expect("submit response parse");
+    assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+    // Same job again: served from cache, byte for byte.
+    assert_eq!(submit(), cold);
+
+    // The artifact's deterministic sections are byte-identical to a cold
+    // `compile --json` run of the same job — same section builders.
+    let out = Command::new(env!("CARGO_BIN_EXE_autocomm"))
+        .args(["compile", qasm.to_str().unwrap(), "--nodes", "4", "--json"])
+        .output()
+        .expect("compile runs");
+    assert!(out.status.success());
+    let compile_json = String::from_utf8(out.stdout).unwrap();
+    for key in ["metrics", "schedule", "placement", "buffering", "circuit", "ir"] {
+        let section = json_object(&cold, key);
+        assert!(
+            compile_json.contains(&section),
+            "served {key} section drifted from compile --json:\n{section}\n{compile_json}"
+        );
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_autocomm"))
+        .args(["stats", "--addr", addr])
+        .output()
+        .expect("stats client runs");
+    assert!(out.status.success());
+    let stats = String::from_utf8(out.stdout).unwrap();
+    assert!(stats.contains("\"cache_hits\":1"), "one warm hit expected: {stats}");
+    assert!(stats.contains("\"cache_misses\":1"), "one cold miss expected: {stats}");
+
+    // A submit against a dead address is exit code 1, not a hang.
+    let out = Command::new(env!("CARGO_BIN_EXE_autocomm"))
+        .args(["submit", qasm.to_str().unwrap(), "--nodes", "4", "--addr", "127.0.0.1:1"])
+        .output()
+        .expect("submit client runs");
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(&qasm).ok();
+}

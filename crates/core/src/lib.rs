@@ -61,6 +61,7 @@
 
 mod aggregate;
 mod analysis;
+mod artifact;
 mod assign;
 mod block;
 mod error;
@@ -80,6 +81,10 @@ pub use aggregate::{
     AggregatedProgram, Item,
 };
 pub use analysis::inverse_burst_distribution;
+pub use artifact::{
+    ArtifactCircuitStats, ArtifactConfig, ArtifactError, ArtifactIrStats, ArtifactSchedule,
+    CompiledArtifact, ARTIFACT_VERSION,
+};
 pub use assign::{
     assign, assign_cat_only, assign_cat_only_on, assign_incremental, assign_on, AssignedBlock,
     AssignedItem, AssignedProgram, CatOrientation, Scheme,
@@ -88,7 +93,7 @@ pub use block::CommBlock;
 pub use dqc_hardware::BufferPolicy;
 pub use error::CompileError;
 pub use ir::{CommIr, DAG_WINDOW};
-pub use lower::{lower_assigned, lower_assigned_on};
+pub use lower::{lower_assigned, lower_assigned_on, lower_plan, CommOp};
 pub use metrics::{burst_distribution, BufferingReport, CommMetrics};
 pub use orient::orient_symmetric_gates;
 pub use pass::{

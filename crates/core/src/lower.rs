@@ -16,18 +16,41 @@ use crate::{
     AssignedItem, AssignedProgram, CatOrientation, CommBlock, CompileError, Placement, Scheme,
 };
 
-/// One planned call into the stateful [`ProtocolExpander`]. Planning an
-/// item is pure (conjugation, segmentation, body materialization — all the
+/// One planned call into the stateful [`ProtocolExpander`] — the
+/// communication-primitive form of a compiled program. Planning an item is
+/// pure (conjugation, segmentation, body materialization — all the
 /// per-item work), so it fans out across threads; the apply loop then
 /// drives the expander sequentially with exactly the calls the historical
 /// single-pass lowering made, in the same order.
-enum LowerStep {
-    /// `ProtocolExpander::push_local`.
+///
+/// The op list is also the unit the compile service serializes: a
+/// [`crate::CompiledArtifact`] stores the [`lower_plan`] of a program so a
+/// cache hit can replay the lowered form without recompiling.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CommOp {
+    /// A gate executed locally (`ProtocolExpander::push_local`).
     Local(Gate),
-    /// `ProtocolExpander::cat_comm_block`.
-    Cat { q: QubitId, node: NodeId, body: Vec<Gate> },
-    /// `ProtocolExpander::tp_comm_block`.
-    Tp { q: QubitId, node: NodeId, body: Vec<Gate> },
+    /// A Cat-Comm burst: qubit `q` is cat-entangled to `node` and `body`
+    /// executes under the shared entanglement
+    /// (`ProtocolExpander::cat_comm_block`).
+    Cat {
+        /// The burst qubit.
+        q: QubitId,
+        /// The physical node the block is placed on.
+        node: NodeId,
+        /// The block body, already conjugated into control form.
+        body: Vec<Gate>,
+    },
+    /// A TP-Comm burst: qubit `q` teleports to `node`, `body` executes,
+    /// and the qubit teleports back (`ProtocolExpander::tp_comm_block`).
+    Tp {
+        /// The teleported qubit.
+        q: QubitId,
+        /// The physical node the block is placed on.
+        node: NodeId,
+        /// The block body.
+        body: Vec<Gate>,
+    },
 }
 
 /// Lowers an assigned program into a physical circuit over the extended
@@ -69,36 +92,45 @@ pub fn lower_assigned_on(
     placement: &Placement,
     topology: &NetworkTopology,
 ) -> Result<PhysicalProgram, CompileError> {
-    let table = program.ir().table();
-    // Plan: per-item step sequences, computed independently (parallel on
-    // large programs, deterministic in-order merge).
-    let plans: Vec<Vec<LowerStep>> =
-        par_map(program.items(), |item| plan_item(table, placement, item));
+    let plan = lower_plan(program, placement);
     // Apply: drive the single stateful expander sequentially.
     let mut exp =
         ProtocolExpander::with_topology(placement.physical_partition(), topology.clone())?;
-    for step in plans.iter().flatten() {
+    for step in &plan {
         match step {
-            LowerStep::Local(g) => exp.push_local(g)?,
-            LowerStep::Cat { q, node, body } => exp.cat_comm_block(*q, *node, body)?,
-            LowerStep::Tp { q, node, body } => exp.tp_comm_block(*q, *node, body)?,
+            CommOp::Local(g) => exp.push_local(g)?,
+            CommOp::Cat { q, node, body } => exp.cat_comm_block(*q, *node, body)?,
+            CommOp::Tp { q, node, body } => exp.tp_comm_block(*q, *node, body)?,
         }
     }
     Ok(exp.finish())
 }
 
+/// The pure half of lowering: the flat [`CommOp`] sequence an assigned
+/// program expands into under `placement` — local gates plus Cat/TP bursts
+/// with fully materialized (and, for target-form Cat blocks, H-conjugated)
+/// bodies, in program order. Per-item planning is independent, so it fans
+/// out across threads on large programs with a deterministic in-order
+/// merge.
+pub fn lower_plan(program: &AssignedProgram, placement: &Placement) -> Vec<CommOp> {
+    let table = program.ir().table();
+    let plans: Vec<Vec<CommOp>> =
+        par_map(program.items(), |item| plan_item(table, placement, item));
+    plans.into_iter().flatten().collect()
+}
+
 /// Plans the expander calls for one assigned item (the pure half of
 /// lowering).
-fn plan_item(table: &GateTable, placement: &Placement, item: &AssignedItem) -> Vec<LowerStep> {
+fn plan_item(table: &GateTable, placement: &Placement, item: &AssignedItem) -> Vec<CommOp> {
     let mut steps = Vec::new();
     match item {
-        AssignedItem::Local(id) => steps.push(LowerStep::Local(table.gate(*id).clone())),
+        AssignedItem::Local(id) => steps.push(CommOp::Local(table.gate(*id).clone())),
         AssignedItem::Block(b) => {
             let node = placement.physical_of(b.block.node());
             match b.scheme {
                 Scheme::Tp => {
                     let body: Vec<Gate> = b.block.gates(table).cloned().collect();
-                    steps.push(LowerStep::Tp { q: b.block.qubit(), node, body });
+                    steps.push(CommOp::Tp { q: b.block.qubit(), node, body });
                 }
                 Scheme::Cat(_) if b.comms == 1 => {
                     plan_cat_segment(&mut steps, table, &b.block, node);
@@ -107,7 +139,7 @@ fn plan_item(table: &GateTable, placement: &Placement, item: &AssignedItem) -> V
                     for seg in split_into_segments(table, &b.block) {
                         if seg.remote_gate_count() == 0 {
                             for g in seg.gates(table) {
-                                steps.push(LowerStep::Local(g.clone()));
+                                steps.push(CommOp::Local(g.clone()));
                             }
                         } else {
                             plan_cat_segment(&mut steps, table, &seg, node);
@@ -123,19 +155,14 @@ fn plan_item(table: &GateTable, placement: &Placement, item: &AssignedItem) -> V
 /// Plans one single-call Cat segment, conjugating target-form bodies into
 /// control form first. `node` is the physical node the remote block is
 /// placed on.
-fn plan_cat_segment(
-    steps: &mut Vec<LowerStep>,
-    table: &GateTable,
-    block: &CommBlock,
-    node: NodeId,
-) {
+fn plan_cat_segment(steps: &mut Vec<CommOp>, table: &GateTable, block: &CommBlock, node: NodeId) {
     let q = block.qubit();
     // A segment may start with single-qubit gates on the burst qubit left
     // over from a split (they precede every remote gate); they execute
     // locally on q before the communication.
     let prefix_len = block.gates(table).take_while(|g| g.num_qubits() == 1 && g.acts_on(q)).count();
     for g in block.gates(table).take(prefix_len) {
-        steps.push(LowerStep::Local(g.clone()));
+        steps.push(CommOp::Local(g.clone()));
     }
     let mut trimmed = CommBlock::new(q, block.node());
     for &id in &block.ids()[prefix_len..] {
@@ -143,7 +170,7 @@ fn plan_cat_segment(
     }
     if trimmed.remote_gate_count() == 0 {
         for g in trimmed.gates(table) {
-            steps.push(LowerStep::Local(g.clone()));
+            steps.push(CommOp::Local(g.clone()));
         }
         return;
     }
@@ -152,7 +179,7 @@ fn plan_cat_segment(
     match orientation {
         CatOrientation::Control => {
             let body: Vec<Gate> = trimmed.gates(table).cloned().collect();
-            steps.push(LowerStep::Cat { q, node, body });
+            steps.push(CommOp::Cat { q, node, body });
         }
         CatOrientation::Target => {
             // Conjugation set: the burst qubit plus every partner of a
@@ -167,7 +194,7 @@ fn plan_cat_segment(
             }
             // Boundary Hadamards (local gates).
             for &s in &set {
-                steps.push(LowerStep::Local(Gate::h(s)));
+                steps.push(CommOp::Local(Gate::h(s)));
             }
             // Per-gate conjugated body.
             let mut body = Vec::with_capacity(trimmed.len() * 3);
@@ -198,9 +225,9 @@ fn plan_cat_segment(
                     }
                 }
             }
-            steps.push(LowerStep::Cat { q, node, body });
+            steps.push(CommOp::Cat { q, node, body });
             for &s in &set {
-                steps.push(LowerStep::Local(Gate::h(s)));
+                steps.push(CommOp::Local(Gate::h(s)));
             }
         }
     }

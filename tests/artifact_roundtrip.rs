@@ -1,0 +1,131 @@
+//! Artifact serialization invariants: every benchmark workload, compiled
+//! under every topology family (and every ablation on one workload),
+//! produces a [`CompiledArtifact`] whose text form survives
+//! serialize → deserialize → re-serialize **byte-identically** — the
+//! property the compile service's cache relies on to answer warm hits
+//! with the exact bytes a cold compile would have produced.
+
+use autocomm_repro::circuit::{Circuit, NodeId, Partition};
+use autocomm_repro::core::{
+    Ablation, ArtifactCircuitStats, ArtifactConfig, AutoComm, AutoCommOptions, BufferPolicy,
+    CompiledArtifact, PlacementConfig,
+};
+use autocomm_repro::hardware::{HardwareSpec, NetworkTopology};
+use autocomm_repro::workloads as wl;
+
+const NODES: usize = 4;
+
+/// Small instances of all six Table-2 workload families, sized for a
+/// four-node machine.
+fn suite() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("mctr", wl::mctr(12)),
+        ("rca", wl::rca(12)),
+        ("qft", wl::qft(12)),
+        ("bv", wl::bv(12)),
+        ("qaoa", wl::qaoa_maxcut(12, 30, 1)),
+        ("uccsd", wl::uccsd(8)),
+    ]
+}
+
+/// All five topology families at four nodes.
+const TOPOLOGIES: [&str; 5] = ["all-to-all", "linear", "ring", "grid:2x2", "star"];
+
+fn compile_artifact(
+    name: &str,
+    circuit: &Circuit,
+    spec: &str,
+    options: AutoCommOptions,
+    ablations: Vec<Ablation>,
+) -> CompiledArtifact {
+    let partition = Partition::block(circuit.num_qubits(), NODES).unwrap();
+    let topology = NetworkTopology::parse_spec(spec, NODES).unwrap();
+    let hw = HardwareSpec::for_partition(&partition).with_topology(topology).unwrap();
+    let compiler = AutoComm::with_options(options);
+    let (result, placement) = compiler
+        .compile_placed(circuit, &partition, &hw, &PlacementConfig::default())
+        .unwrap_or_else(|e| panic!("{name} on {spec}: {e}"));
+    let config = ArtifactConfig {
+        key: format!("{name}-{spec}"),
+        nodes: NODES,
+        comm_qubits: hw.comm_qubits_per_node(),
+        strategy: "topo".to_string(),
+        refine_iters: PlacementConfig::default().refine_iters,
+        buffer: BufferPolicy::OnDemand,
+        ablations,
+        ..ArtifactConfig::default()
+    };
+    let stats = ArtifactCircuitStats {
+        qubits: circuit.num_qubits(),
+        gates: circuit.len(),
+        two_qubit_gates: result.metrics.total_rem_cx,
+        remote_cx: result.metrics.total_rem_cx,
+    };
+    CompiledArtifact::capture(config, stats, &hw, &placement, &result)
+}
+
+fn assert_round_trip(label: &str, artifact: &CompiledArtifact) {
+    let text = artifact.to_text();
+    let parsed =
+        CompiledArtifact::from_text(&text).unwrap_or_else(|e| panic!("{label}: parse failed: {e}"));
+    assert_eq!(&parsed, artifact, "{label}: artifact changed across round trip");
+    assert_eq!(parsed.to_text(), text, "{label}: re-serialization not byte-identical");
+}
+
+#[test]
+fn suite_round_trips_on_every_topology() {
+    for (name, circuit) in suite() {
+        for spec in TOPOLOGIES {
+            let label = format!("{name} on {spec}");
+            let artifact =
+                compile_artifact(name, &circuit, spec, AutoCommOptions::default(), Vec::new());
+            assert!(!artifact.program.is_empty(), "{label}: empty lowered program");
+            assert_eq!(
+                artifact.config.topology,
+                NetworkTopology::parse_spec(spec, NODES).unwrap().name()
+            );
+            assert_round_trip(&label, &artifact);
+        }
+    }
+}
+
+#[test]
+fn every_ablation_round_trips() {
+    let circuit = wl::qft(12);
+    for ablation in Ablation::all() {
+        let label = format!("qft under {}", ablation.name());
+        let artifact = compile_artifact(
+            "qft",
+            &circuit,
+            "linear",
+            AutoCommOptions::default().with_ablation(ablation),
+            vec![ablation],
+        );
+        assert_round_trip(&label, &artifact);
+        let text = artifact.to_text();
+        assert!(
+            text.contains(&format!("ablations {}", ablation.name())),
+            "{label}: ablation list not serialized"
+        );
+    }
+}
+
+#[test]
+fn artifacts_distinguish_configurations() {
+    let circuit = wl::qft(12);
+    let a = compile_artifact("qft", &circuit, "linear", AutoCommOptions::default(), Vec::new());
+    let b = compile_artifact("qft", &circuit, "ring", AutoCommOptions::default(), Vec::new());
+    assert_ne!(a.to_text(), b.to_text(), "different topologies must serialize differently");
+}
+
+#[test]
+fn node_map_survives_round_trip_verbatim() {
+    let circuit = wl::qft(12);
+    let artifact =
+        compile_artifact("qft", &circuit, "linear", AutoCommOptions::default(), Vec::new());
+    let parsed = CompiledArtifact::from_text(&artifact.to_text()).unwrap();
+    assert_eq!(parsed.placement.node_map, artifact.placement.node_map);
+    assert!(parsed.placement.node_map.iter().all(|n| n.index() < NODES));
+    assert_eq!(parsed.schedule.link_traffic, artifact.schedule.link_traffic);
+    let _: Vec<NodeId> = parsed.placement.node_map;
+}

@@ -1,0 +1,132 @@
+//! Property tests for the circuit content hash — the identity half of the
+//! compile service's cache key. The cache is sound only if the hash is
+//! (a) stable across parse → emit → re-parse, (b) sensitive to every
+//! semantic gate edit, and (c) independent of gate-table interning order.
+
+use autocomm_repro::circuit::{
+    circuit_content_hash, from_qasm, stream_content_hash, to_qasm, Circuit, Gate, GateId, GateKind,
+    GateTable, QubitId,
+};
+use autocomm_repro::workloads::random_circuit;
+use proptest::prelude::*;
+
+/// Rebuilds `circuit` with the gate at `at` replaced by `replacement`.
+fn with_gate_replaced(circuit: &Circuit, at: usize, replacement: Gate) -> Circuit {
+    let mut out = Circuit::with_cbits(circuit.num_qubits(), circuit.num_cbits());
+    for (i, g) in circuit.gates().iter().enumerate() {
+        let g = if i == at { replacement.clone() } else { g.clone() };
+        out.push(g).unwrap();
+    }
+    out
+}
+
+/// A minimal semantic edit of `gate`: nudge a parameter if it has one,
+/// otherwise move an operand, otherwise swap the kind.
+fn mutated(gate: &Gate, num_qubits: usize) -> Gate {
+    if !gate.params().is_empty() {
+        let mut params = gate.params().to_vec();
+        params[0] += 0.5;
+        return Gate::try_new(gate.kind(), gate.qubits().to_vec(), params).unwrap();
+    }
+    if gate.qubits().len() == 1 {
+        let q = (gate.qubits()[0].index() + 1) % num_qubits;
+        return Gate::try_new(gate.kind(), vec![QubitId::new(q)], Vec::new()).unwrap();
+    }
+    let kind = if gate.kind() == GateKind::Cx { GateKind::Cz } else { GateKind::Cx };
+    Gate::try_new(kind, gate.qubits().to_vec(), Vec::new()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hash survives an OpenQASM round trip: the text format carries
+    /// exactly the hashed fields and `f64` display round-trips bit-exactly.
+    #[test]
+    fn hash_is_stable_across_reparse(
+        seed in 0u64..10_000,
+        qubits in 2usize..8,
+        gates in 0usize..60,
+    ) {
+        let c = random_circuit(qubits, gates, seed);
+        let reparsed = from_qasm(&to_qasm(&c)).unwrap();
+        prop_assert_eq!(circuit_content_hash(&c), circuit_content_hash(&reparsed));
+        // And a second round trip still agrees (emission is canonical).
+        let again = from_qasm(&to_qasm(&reparsed)).unwrap();
+        prop_assert_eq!(circuit_content_hash(&c), circuit_content_hash(&again));
+    }
+
+    /// Editing any single gate — kind, operand, or parameter — changes
+    /// the hash.
+    #[test]
+    fn hash_detects_single_gate_edits(
+        seed in 0u64..10_000,
+        qubits in 2usize..8,
+        gates in 1usize..60,
+        pick in 0usize..60,
+    ) {
+        let c = random_circuit(qubits, gates, seed);
+        if c.is_empty() {
+            return Ok(());
+        }
+        let at = pick % c.len();
+        let replacement = mutated(&c.gates()[at], c.num_qubits());
+        if replacement == c.gates()[at] {
+            return Ok(());
+        }
+        let edited = with_gate_replaced(&c, at, replacement);
+        prop_assert_ne!(circuit_content_hash(&c), circuit_content_hash(&edited));
+    }
+
+    /// Deleting or duplicating a gate changes the hash.
+    #[test]
+    fn hash_detects_length_edits(seed in 0u64..10_000, qubits in 2usize..6) {
+        let c = random_circuit(qubits, 20, seed);
+        if c.is_empty() {
+            return Ok(());
+        }
+        let base = circuit_content_hash(&c);
+        let mut shorter = Circuit::with_cbits(c.num_qubits(), c.num_cbits());
+        for g in &c.gates()[..c.len() - 1] {
+            shorter.push(g.clone()).unwrap();
+        }
+        prop_assert_ne!(base, circuit_content_hash(&shorter));
+        let mut longer = c.clone();
+        longer.push(c.gates()[0].clone()).unwrap();
+        prop_assert_ne!(base, circuit_content_hash(&longer));
+    }
+
+    /// The stream hash equals the circuit hash and is invariant under the
+    /// order in which the table interned the gates.
+    #[test]
+    fn stream_hash_is_interning_order_independent(
+        seed in 0u64..10_000,
+        warm_seed in 0u64..10_000,
+        qubits in 2usize..8,
+        gates in 1usize..60,
+    ) {
+        let c = random_circuit(qubits, gates, seed);
+        let expected = circuit_content_hash(&c);
+
+        let mut cold = GateTable::new();
+        let cold_stream: Vec<GateId> = c.gates().iter().map(|g| cold.intern(g)).collect();
+        prop_assert_eq!(
+            stream_content_hash(&cold, &cold_stream, c.num_qubits(), c.num_cbits()),
+            expected
+        );
+
+        // Warm a second table with unrelated traffic plus the program's own
+        // gates in reverse, scrambling every interned id.
+        let mut warm = GateTable::new();
+        for g in random_circuit(qubits, 15, warm_seed).gates() {
+            warm.intern(g);
+        }
+        for g in c.gates().iter().rev() {
+            warm.intern(g);
+        }
+        let warm_stream: Vec<GateId> = c.gates().iter().map(|g| warm.intern(g)).collect();
+        prop_assert_eq!(
+            stream_content_hash(&warm, &warm_stream, c.num_qubits(), c.num_cbits()),
+            expected
+        );
+    }
+}
