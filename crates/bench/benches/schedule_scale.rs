@@ -1,0 +1,50 @@
+//! Schedule-stage scaling benchmarks: buffered vs on-demand scheduling at
+//! the 10k- and 100k-gate tiers on a comm-rich grid machine — the
+//! configuration whose asserting companion is the `schedule_scale_gate`
+//! binary (baseline: `crates/bench/baselines/schedule_scale.json`).
+//!
+//! Each tier schedules the same pre-compiled assigned program, so the
+//! numbers isolate the schedule stage from the rest of the pipeline. The
+//! buffered entries exercise the full dual-rail path (base walk, buffered
+//! walk, strict-improvement comparison); the on-demand entries are the
+//! single-rail floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use autocomm::{schedule, AssignedProgram, AutoComm, BufferPolicy, Placement, ScheduleOptions};
+use dqc_hardware::{HardwareSpec, NetworkTopology};
+
+/// Compiles a random distributed circuit on a 3×3 grid with a deep
+/// comm-qubit budget, returning what the schedule stage consumes.
+fn grid_workload(num_gates: usize) -> (AssignedProgram, Placement, HardwareSpec) {
+    let (circuit, partition) = dqc_workloads::random_distributed_circuit(72, 9, num_gates, 7);
+    let hw = HardwareSpec::for_partition(&partition)
+        .with_comm_qubits(128)
+        .expect("128 comm qubits is a valid budget")
+        .with_topology(NetworkTopology::grid(3, 3).expect("3x3 grid is valid"))
+        .expect("grid covers the 9 placed nodes");
+    let compiled = AutoComm::new().compile_on(&circuit, &partition, &hw).expect("compiles");
+    (compiled.assigned, compiled.placement, hw)
+}
+
+fn bench_schedule_scale(c: &mut Criterion) {
+    let buffered = ScheduleOptions::default().with_buffer(BufferPolicy::Prefetch { depth: 4 });
+    let on_demand = ScheduleOptions::default();
+    for gates in [10_000usize, 100_000] {
+        let (assigned, placement, hw) = grid_workload(gates);
+        let name = format!("schedule-scale-{gates}");
+        let mut group = c.benchmark_group(name.as_str());
+        group.sample_size(10);
+        group.bench_function("on-demand", |b| {
+            b.iter(|| black_box(schedule(black_box(&assigned), &placement, &hw, on_demand)))
+        });
+        group.bench_function("buffered", |b| {
+            b.iter(|| black_box(schedule(black_box(&assigned), &placement, &hw, buffered)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_schedule_scale);
+criterion_main!(benches);

@@ -187,7 +187,7 @@ SERVICE CLIENTS:
                          to the cold compile
     stats                print the daemon's aggregate service metrics
                          (cache hit rate, coalesced compiles, p50/p99
-                         latency)
+                         latency overall and per pipeline pass)
     shutdown             stop the daemon cleanly
 ";
 

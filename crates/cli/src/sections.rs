@@ -115,6 +115,35 @@ pub fn schedule_json(
     ])
 }
 
+/// Nearest-rank percentile over an unsorted sample set (copies and sorts;
+/// the daemon's sample vectors stay small enough that this beats keeping
+/// them sorted on every push).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A `{samples, p50, p99}` latency summary — the shape every timing field
+/// of the `stats` op uses, aggregate and per-pass alike.
+pub fn latency_json(samples: &[f64]) -> Json {
+    Json::object([
+        ("samples", Json::number(samples.len() as f64)),
+        ("p50", Json::number(percentile(samples, 0.50))),
+        ("p99", Json::number(percentile(samples, 0.99))),
+    ])
+}
+
+/// The `"passes"` object of the `stats` op: one latency summary per
+/// pipeline pass, in first-seen (pipeline) order.
+pub fn pass_latency_json(passes: &[(&'static str, Vec<f64>)]) -> Json {
+    Json::object(passes.iter().map(|(name, samples)| (*name, latency_json(samples))))
+}
+
 /// Renders a [`CompiledArtifact`] as the deterministic subset of the
 /// `compile --json` report: the same sections, built by the same section
 /// builders, minus `file`/`passes`/`timings` (whose wall-clock content

@@ -46,7 +46,7 @@ use dqc_hardware::BufferPolicy;
 
 use crate::json::Json;
 use crate::pool::{catch_panic, WorkerPool};
-use crate::sections::artifact_json;
+use crate::sections::{artifact_json, latency_json, pass_latency_json};
 use crate::{
     build_hardware, build_partition, compiler_for, parse_buffer, parse_strategy, placement_config,
     CliError, PartitionStrategy, USAGE,
@@ -239,6 +239,9 @@ struct CacheEntry {
     artifact_text: String,
     response: String,
     compile_ms: f64,
+    /// Per-pass wall-clock milliseconds of the cold compile, in pipeline
+    /// order — folded into the daemon's per-pass latency log on a miss.
+    pass_ms: Vec<(&'static str, f64)>,
 }
 
 /// An in-flight compile other submitters of the same key wait on.
@@ -435,24 +438,21 @@ struct LatencyLog {
     requests: usize,
     compile_ms: Vec<f64>,
     e2e_ms: Vec<f64>,
+    /// Per-pass compile samples in first-seen (pipeline) order; only cold
+    /// compiles contribute, so the percentiles profile the pipeline, not
+    /// the cache.
+    pass_ms: Vec<(&'static str, Vec<f64>)>,
 }
 
-fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
+impl LatencyLog {
+    fn record_passes(&mut self, pass_ms: &[(&'static str, f64)]) {
+        for &(name, ms) in pass_ms {
+            match self.pass_ms.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, samples)) => samples.push(ms),
+                None => self.pass_ms.push((name, vec![ms])),
+            }
+        }
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
-fn latency_json(samples: &[f64]) -> Json {
-    Json::object([
-        ("samples", Json::number(samples.len() as f64)),
-        ("p50", Json::number(percentile(samples, 0.50))),
-        ("p99", Json::number(percentile(samples, 0.99))),
-    ])
 }
 
 /// Everything connection handlers share.
@@ -521,6 +521,7 @@ fn compile_entry(circuit: &Circuit, spec: &JobSpec, key: &str) -> Result<CacheEn
         artifact_text: artifact.to_text(),
         response,
         compile_ms: started.elapsed().as_secs_f64() * 1e3,
+        pass_ms: result.passes.iter().map(|r| (r.pass, r.duration.as_secs_f64() * 1e3)).collect(),
     })
 }
 
@@ -594,6 +595,7 @@ fn handle_compile(state: &Arc<ServiceState>, req: &Json) -> String {
         let mut log = state.latency();
         if outcome == "miss" {
             log.compile_ms.push(entry.compile_ms);
+            log.record_passes(&entry.pass_ms);
         }
         log.e2e_ms.push(e2e_ms);
     }
@@ -645,6 +647,7 @@ fn handle_stats(state: &ServiceState) -> String {
         ("workers", Json::number(state.pool.workers() as f64)),
         ("compile_ms", latency_json(&log.compile_ms)),
         ("e2e_ms", latency_json(&log.e2e_ms)),
+        ("passes", pass_latency_json(&log.pass_ms)),
     ]);
     Json::object([("status", Json::string("ok")), ("stats", stats)]).to_string()
 }
@@ -974,6 +977,7 @@ mod tests {
             artifact_text: format!("text-{tag}"),
             response: format!("{{\"status\":\"ok\",\"key\":\"{tag}\"}}"),
             compile_ms: 1.0,
+            pass_ms: Vec::new(),
         }
     }
 
@@ -1046,10 +1050,23 @@ mod tests {
 
     #[test]
     fn percentiles_are_order_independent() {
+        use crate::sections::percentile;
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), 2.0);
         assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.99), 3.0);
         assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn pass_latency_log_keeps_pipeline_order_and_groups_samples() {
+        let mut log = LatencyLog::default();
+        log.record_passes(&[("orient", 1.0), ("unroll", 2.0), ("schedule", 5.0)]);
+        log.record_passes(&[("orient", 3.0), ("unroll", 4.0), ("schedule", 7.0)]);
+        let names: Vec<&str> = log.pass_ms.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["orient", "unroll", "schedule"], "first-seen order");
+        assert_eq!(log.pass_ms[0].1, [1.0, 3.0]);
+        let rendered = pass_latency_json(&log.pass_ms).to_string();
+        assert!(rendered.contains("\"schedule\":{\"samples\":2"), "{rendered}");
     }
 
     #[test]
@@ -1137,6 +1154,20 @@ mod tests {
             |k: &str| parsed.get("stats").and_then(|s| s.get(k)).and_then(Json::as_f64).unwrap();
         assert_eq!(stat("cache_misses"), 1.0, "{stats}");
         assert_eq!(stat("cache_hits"), 1.0, "{stats}");
+        // Per-pass percentiles: one cold compile → one sample per pass,
+        // and the cache hit must not add a second.
+        let pass_samples = |name: &str| {
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("passes"))
+                .and_then(|p| p.get(name))
+                .and_then(|p| p.get("samples"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        for pass in ["orient", "unroll", "schedule"] {
+            assert_eq!(pass_samples(pass), 1.0, "{stats}");
+        }
 
         // The artifact op returns the canonical text, which round-trips.
         let key =

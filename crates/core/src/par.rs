@@ -12,7 +12,7 @@ use std::num::NonZeroUsize;
 /// Minimum number of items before forking threads pays for itself; below
 /// this the pass runs sequentially (typical suite programs stay well
 /// under it, so small compiles never touch the thread machinery).
-const PAR_THRESHOLD: usize = 4096;
+pub(crate) const PAR_THRESHOLD: usize = 4096;
 
 fn worker_count() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(8)

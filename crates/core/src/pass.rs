@@ -399,21 +399,26 @@ impl Pass for SchedulePass {
     }
 
     fn metric(&self, ctx: &PassContext<'_>) -> Option<String> {
-        ctx.schedule.as_ref().map(|s| {
-            if s.buffering.policy.is_buffered() {
-                format!(
-                    "makespan {:.1}, {} epr, {} buffering ({}/{} hits{})",
-                    s.makespan,
-                    s.epr_pairs,
-                    s.buffering.policy.name(),
-                    s.buffering.prefetch_hits,
-                    s.buffering.requests,
-                    if s.buffering.fell_back { ", fell back" } else { "" }
-                )
-            } else {
-                format!("makespan {:.1}, {} epr", s.makespan, s.epr_pairs)
-            }
-        })
+        ctx.schedule.as_ref().map(schedule_metric)
+    }
+}
+
+/// The schedule stage's headline metric line, shared by [`SchedulePass`]
+/// and the placement driver's schedule-reuse path (which reports the same
+/// pass without re-running the pipeline).
+pub(crate) fn schedule_metric(s: &crate::ScheduleSummary) -> String {
+    if s.buffering.policy.is_buffered() {
+        format!(
+            "makespan {:.1}, {} epr, {} buffering ({}/{} hits{})",
+            s.makespan,
+            s.epr_pairs,
+            s.buffering.policy.name(),
+            s.buffering.prefetch_hits,
+            s.buffering.requests,
+            if s.buffering.fell_back { ", fell back" } else { "" }
+        )
+    } else {
+        format!("makespan {:.1}, {} epr", s.makespan, s.epr_pairs)
     }
 }
 

@@ -66,6 +66,16 @@ pub struct ScheduleOptions {
     /// them ([`BufferPolicy::OnDemand`] is the bit-identical legacy
     /// engine).
     pub buffer: BufferPolicy,
+    /// Run the strict-improvement rail's two walks sequentially on the
+    /// calling thread instead of on two scoped threads — the
+    /// `schedule_scale` gate's reference mode (the two executions are
+    /// pinned identical by the scheduler property suite).
+    pub sequential_rails: bool,
+    /// Run the timeline on the historical linear-scan slot/channel lookups
+    /// instead of the earliest-free indexes — the `schedule_scale` gate's
+    /// other reference mode (see
+    /// [`dqc_hardware::Timeline::with_linear_scan_reference`]).
+    pub linear_scan_timeline: bool,
 }
 
 impl Default for ScheduleOptions {
@@ -76,6 +86,8 @@ impl Default for ScheduleOptions {
             fuse_tp_chains: true,
             record_events: false,
             buffer: BufferPolicy::OnDemand,
+            sequential_rails: false,
+            linear_scan_timeline: false,
         }
     }
 }
@@ -90,6 +102,8 @@ impl ScheduleOptions {
             fuse_tp_chains: false,
             record_events: false,
             buffer: BufferPolicy::OnDemand,
+            sequential_rails: false,
+            linear_scan_timeline: false,
         }
     }
 
@@ -156,15 +170,31 @@ pub fn schedule(
         hw.num_nodes()
     );
     if !options.buffer.is_buffered() {
-        return schedule_run(program, placement, hw, options);
+        return schedule_run(program, placement, hw, options, Vec::new());
     }
-    let base = schedule_run(
-        program,
-        placement,
-        hw,
-        ScheduleOptions { buffer: BufferPolicy::OnDemand, ..options },
-    );
-    let buffered = schedule_run(program, placement, hw, options);
+    // One shared prescan feeds the buffered rail (the on-demand rail never
+    // reads it); historically each buffered `schedule_run` re-walked it.
+    let requests = comm_requests(program, placement, hw.topology(), options);
+    let base_options = ScheduleOptions { buffer: BufferPolicy::OnDemand, ..options };
+    // The two rails are independent walks over immutable inputs, so they
+    // run on two scoped threads (same idiom and threshold as `par_map` —
+    // small programs never pay the spawn). Results are compared exactly as
+    // in the sequential order, so the rail's outcome is byte-identical.
+    let parallel = !options.sequential_rails && program.items().len() >= crate::par::PAR_THRESHOLD;
+    let (base, buffered) = if parallel {
+        std::thread::scope(|scope| {
+            let base =
+                scope.spawn(|| schedule_run(program, placement, hw, base_options, Vec::new()));
+            let buffered = schedule_run(program, placement, hw, options, requests);
+            let base = base.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            (base, buffered)
+        })
+    } else {
+        (
+            schedule_run(program, placement, hw, base_options, Vec::new()),
+            schedule_run(program, placement, hw, options, requests),
+        )
+    };
     if buffered.makespan + 1e-9 < base.makespan {
         buffered
     } else {
@@ -180,22 +210,23 @@ pub fn schedule(
 }
 
 /// One full walk of the program under a fixed engine (no rail).
+/// `requests` is the shared [`comm_requests`] prescan for buffered
+/// policies (empty for on-demand — that rail never consults it).
 fn schedule_run(
     program: &AssignedProgram,
     placement: &Placement,
     hw: &HardwareSpec,
     options: ScheduleOptions,
+    requests: Vec<(NodeId, NodeId)>,
 ) -> ScheduleSummary {
     let table = program.ir().table();
     let mut tl = Timeline::new(program.num_qubits(), hw);
     if options.record_events {
         tl = tl.with_recording();
     }
-    let requests = if options.buffer.is_buffered() {
-        comm_requests(program, placement, hw.topology(), options)
-    } else {
-        Vec::new()
-    };
+    if options.linear_scan_timeline {
+        tl = tl.with_linear_scan_reference();
+    }
     let rm = ResourceManager::new(tl, options.buffer, requests, hw.comm_qubits_per_node());
     let mut sched = Scheduler {
         rm,
@@ -625,7 +656,7 @@ impl Scheduler<'_> {
             makespan: tl.makespan(),
             epr_pairs: tl.epr_pairs_consumed(),
             swaps: tl.swaps_performed(),
-            link_traffic: tl.link_traffic(),
+            link_traffic: tl.link_traffic().collect(),
             fusion_savings: self.fusion_savings,
             cat_blocks: self.cat_blocks,
             tp_blocks: self.tp_blocks,

@@ -1,8 +1,45 @@
 //! Resource-constrained event timeline.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use dqc_circuit::{Gate, NodeId, QubitId};
 
 use crate::{HardwareSpec, LatencyModel, NetworkTopology};
+
+/// A finite, non-NaN timeline instant, totally ordered so free slots and
+/// channels can live in min-heaps (`f64` alone is not [`Ord`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap of `(free_at, index)` entries: earliest time first, lowest
+/// index among ties — exactly the deterministic tie-break the linear scans
+/// in [`Timeline::best_slot`] / [`Timeline::best_channel`] use, so the
+/// indexed and linear-scan engines pick identical resources.
+type FreeQueue = BinaryHeap<Reverse<(TimeKey, usize)>>;
+
+fn free_queue(times: &[f64]) -> FreeQueue {
+    times
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_finite())
+        .map(|(i, &t)| Reverse((TimeKey(t), i)))
+        .collect()
+}
 
 /// A claim on one communication-qubit slot at each of two end nodes,
 /// produced by [`Timeline::claim_comm`]. The claim covers end-to-end
@@ -115,6 +152,18 @@ pub struct Timeline {
     swap_count: usize,
     makespan: f64,
     events: Option<Vec<TimelineEvent>>,
+    /// Earliest-free indexes (off = the historical linear-scan lookups,
+    /// kept as the `schedule_scale` reference rail; see
+    /// [`Timeline::with_linear_scan_reference`]). When on, `slot_queue`
+    /// mirrors the *finite* entries of `slot_free` per node, `link_queue`
+    /// mirrors `link_free` per link, and `free_slots` counts each node's
+    /// finite slots — all maintained incrementally on claim/release so the
+    /// per-claim lookups drop from O(slots)/O(capacity) scans to heap
+    /// peeks and pops.
+    indexed: bool,
+    slot_queue: Vec<FreeQueue>,
+    free_slots: Vec<usize>,
+    link_queue: Vec<FreeQueue>,
 }
 
 impl Timeline {
@@ -124,17 +173,25 @@ impl Timeline {
         let link_free =
             topology.links().iter().map(|l| vec![0.0; l.capacity.unwrap_or(0)]).collect::<Vec<_>>();
         let link_traffic = vec![0; topology.links().len()];
+        let slot_free = vec![vec![0.0; hw.comm_qubits_per_node()]; hw.num_nodes()];
+        let slot_queue = slot_free.iter().map(|s| free_queue(s)).collect();
+        let free_slots = slot_free.iter().map(Vec::len).collect();
+        let link_queue = link_free.iter().map(|c| free_queue(c)).collect();
         Timeline {
             latency: *hw.latency(),
             topology,
             qubit_free: vec![0.0; num_qubits],
-            slot_free: vec![vec![0.0; hw.comm_qubits_per_node()]; hw.num_nodes()],
+            slot_free,
             link_free,
             link_traffic,
             epr_count: 0,
             swap_count: 0,
             makespan: 0.0,
             events: None,
+            indexed: true,
+            slot_queue,
+            free_slots,
+            link_queue,
         }
     }
 
@@ -142,6 +199,21 @@ impl Timeline {
     #[must_use]
     pub fn with_recording(mut self) -> Self {
         self.events = Some(Vec::new());
+        self
+    }
+
+    /// Disables the earliest-free indexes: every slot/channel lookup falls
+    /// back to the historical linear scans. The two modes are pinned to
+    /// identical schedules (same claims, same event log) by the scheduler
+    /// property suite; this reference mode exists so the `schedule_scale`
+    /// gate can measure the indexes against the engine they replaced in
+    /// one process.
+    #[must_use]
+    pub fn with_linear_scan_reference(mut self) -> Self {
+        self.indexed = false;
+        self.slot_queue.clear();
+        self.free_slots.clear();
+        self.link_queue.clear();
         self
     }
 
@@ -170,7 +242,11 @@ impl Timeline {
     ///
     /// Panics if `node` is out of range.
     pub fn node_slot_free_at(&self, node: NodeId) -> f64 {
-        self.slot_free[node.index()].iter().copied().fold(f64::INFINITY, f64::min)
+        if self.indexed {
+            self.slot_queue[node.index()].peek().map_or(f64::INFINITY, |Reverse((t, _))| t.0)
+        } else {
+            self.slot_free[node.index()].iter().copied().fold(f64::INFINITY, f64::min)
+        }
     }
 
     /// Communication slots of `node` currently held open by unreleased
@@ -182,7 +258,11 @@ impl Timeline {
     ///
     /// Panics if `node` is out of range.
     pub fn held_slots(&self, node: NodeId) -> usize {
-        self.slot_free[node.index()].iter().filter(|t| t.is_infinite()).count()
+        if self.indexed {
+            self.slot_free[node.index()].len() - self.free_slots[node.index()]
+        } else {
+            self.slot_free[node.index()].iter().filter(|t| t.is_infinite()).count()
+        }
     }
 
     /// Schedules a gate as soon as its operands are free; returns
@@ -246,8 +326,8 @@ impl Timeline {
         let slot_a = self.best_slot(a);
         let slot_b = self.best_slot(b);
         let plan = self.run_hops(&path, earliest, Some((slot_a, slot_b)));
-        self.slot_free[a.index()][slot_a] = f64::INFINITY;
-        self.slot_free[b.index()][slot_b] = f64::INFINITY;
+        self.hold_slot(a, slot_a);
+        self.hold_slot(b, slot_b);
         CommClaim {
             node_a: a,
             slot_a,
@@ -288,6 +368,8 @@ impl Timeline {
             in_slot[hops] = slot_b;
         }
         for i in 1..hops {
+            // In indexed mode this pops both entries; the relay-release
+            // loop below pushes them back at `epr_ready`.
             let (first, second) = self.two_best_slots(path[i]);
             in_slot[i] = first;
             out_slot[i] = second;
@@ -320,6 +402,11 @@ impl Timeline {
             let ready = start + gen;
             if let Some(c) = channel {
                 self.link_free[link_idx][c] = ready;
+                if self.indexed {
+                    // `best_channel` popped the entry; reinsert at its new
+                    // free time.
+                    self.link_queue[link_idx].push(Reverse((TimeKey(ready), c)));
+                }
             }
             self.link_traffic[link_idx] += 1;
             first_start = first_start.min(start);
@@ -340,6 +427,11 @@ impl Timeline {
         for i in 1..hops {
             self.slot_free[path[i].index()][in_slot[i]] = epr_ready;
             self.slot_free[path[i].index()][out_slot[i]] = epr_ready;
+            if self.indexed {
+                let q = &mut self.slot_queue[path[i].index()];
+                q.push(Reverse((TimeKey(epr_ready), in_slot[i])));
+                q.push(Reverse((TimeKey(epr_ready), out_slot[i])));
+            }
             relay_slots.push((path[i], in_slot[i]));
             relay_slots.push((path[i], out_slot[i]));
         }
@@ -392,9 +484,13 @@ impl Timeline {
         let Some(path) = self.topology.path(a, b) else {
             return false;
         };
-        path[1..path.len() - 1].iter().all(|relay| {
-            self.slot_free[relay.index()].iter().filter(|t| t.is_finite()).count() >= 2
-        })
+        if self.indexed {
+            path[1..path.len() - 1].iter().all(|relay| self.free_slots[relay.index()] >= 2)
+        } else {
+            path[1..path.len() - 1].iter().all(|relay| {
+                self.slot_free[relay.index()].iter().filter(|t| t.is_finite()).count() >= 2
+            })
+        }
     }
 
     /// Loads a heralded [`PendingPair`] into one communication slot at each
@@ -418,8 +514,8 @@ impl Timeline {
             .ready
             .max(self.slot_free[pair.a.index()][slot_a])
             .max(self.slot_free[pair.b.index()][slot_b]);
-        self.slot_free[pair.a.index()][slot_a] = f64::INFINITY;
-        self.slot_free[pair.b.index()][slot_b] = f64::INFINITY;
+        self.hold_slot(pair.a, slot_a);
+        self.hold_slot(pair.b, slot_b);
         self.makespan = self.makespan.max(available);
         CommClaim {
             node_a: pair.a,
@@ -475,7 +571,7 @@ impl Timeline {
             claim.node_a,
             claim.slot_a
         );
-        self.slot_free[claim.node_a.index()][claim.slot_a] = at;
+        self.release_slot(claim.node_a, claim.slot_a, at);
         self.makespan = self.makespan.max(at);
         if at > claim.epr_ready {
             self.record(
@@ -504,7 +600,7 @@ impl Timeline {
             claim.node_b,
             claim.slot_b
         );
-        self.slot_free[claim.node_b.index()][claim.slot_b] = at;
+        self.release_slot(claim.node_b, claim.slot_b, at);
         self.makespan = self.makespan.max(at);
         if at > claim.epr_ready {
             self.record(
@@ -537,8 +633,8 @@ impl Timeline {
             claim.node_b,
             claim.slot_b
         );
-        self.slot_free[claim.node_a.index()][claim.slot_a] = at;
-        self.slot_free[claim.node_b.index()][claim.slot_b] = at;
+        self.release_slot(claim.node_a, claim.slot_a, at);
+        self.release_slot(claim.node_b, claim.slot_b, at);
         self.makespan = self.makespan.max(at);
         if at > claim.epr_ready {
             self.record(
@@ -562,15 +658,16 @@ impl Timeline {
     }
 
     /// EPR pairs generated per link, for links with any traffic, as
-    /// `(endpoint, endpoint, pairs)` in link order.
-    pub fn link_traffic(&self) -> Vec<(NodeId, NodeId, usize)> {
+    /// `(endpoint, endpoint, pairs)` in link order. Borrowed iterator —
+    /// callers that want the materialized table collect once (per-summary
+    /// callers used to pay a fresh `Vec` on every call).
+    pub fn link_traffic(&self) -> impl Iterator<Item = (NodeId, NodeId, usize)> + '_ {
         self.topology
             .links()
             .iter()
             .zip(&self.link_traffic)
             .filter(|(_, &t)| t > 0)
             .map(|(l, &t)| (l.a, l.b, t))
-            .collect()
     }
 
     /// Latest event end seen so far (the program latency once scheduling is
@@ -585,6 +682,12 @@ impl Timeline {
     }
 
     fn best_slot(&self, node: NodeId) -> usize {
+        if self.indexed {
+            let Some(&Reverse((_, best))) = self.slot_queue[node.index()].peek() else {
+                panic!("all communication slots of {node} are held open; release one first");
+            };
+            return best;
+        }
         let slots = &self.slot_free[node.index()];
         let mut best = 0;
         for (i, t) in slots.iter().enumerate() {
@@ -599,8 +702,43 @@ impl Timeline {
         best
     }
 
-    /// The two earliest-free slots of a relay node.
-    fn two_best_slots(&self, node: NodeId) -> (usize, usize) {
+    /// Marks `slot` of `node` held open (a live claim) and maintains the
+    /// earliest-free index. Callers hold only a slot just returned by
+    /// [`Timeline::best_slot`] with no intervening writes on `node`, so in
+    /// indexed mode the slot's entry is the top of the node's queue.
+    fn hold_slot(&mut self, node: NodeId, slot: usize) {
+        self.slot_free[node.index()][slot] = f64::INFINITY;
+        if self.indexed {
+            let top = self.slot_queue[node.index()].pop();
+            debug_assert!(
+                matches!(top, Some(Reverse((_, s))) if s == slot),
+                "held slot {node}#{slot} was not the earliest-free entry"
+            );
+            self.free_slots[node.index()] -= 1;
+        }
+    }
+
+    /// Frees `slot` of `node` at `at` and maintains the earliest-free
+    /// index (the release half of [`Timeline::hold_slot`]).
+    fn release_slot(&mut self, node: NodeId, slot: usize, at: f64) {
+        self.slot_free[node.index()][slot] = at;
+        if self.indexed {
+            self.slot_queue[node.index()].push(Reverse((TimeKey(at), slot)));
+            self.free_slots[node.index()] += 1;
+        }
+    }
+
+    /// The two earliest-free slots of a relay node. In indexed mode both
+    /// entries are popped — [`Timeline::run_hops`] pushes them back at the
+    /// swap-chain completion time.
+    fn two_best_slots(&mut self, node: NodeId) -> (usize, usize) {
+        if self.indexed {
+            let q = &mut self.slot_queue[node.index()];
+            let (Some(Reverse((_, first))), Some(Reverse((_, second)))) = (q.pop(), q.pop()) else {
+                panic!("relay {node} needs two free communication slots for entanglement swapping");
+            };
+            return (first, second);
+        }
         let slots = &self.slot_free[node.index()];
         let mut order: Vec<usize> = (0..slots.len()).collect();
         order.sort_by(|&i, &j| slots[i].total_cmp(&slots[j]).then(i.cmp(&j)));
@@ -612,11 +750,18 @@ impl Timeline {
     }
 
     /// Earliest-free capacity channel of a link (`None` = unbounded link,
-    /// nothing to serialize on).
-    fn best_channel(&self, link_idx: usize) -> Option<usize> {
+    /// nothing to serialize on). In indexed mode the entry is popped —
+    /// [`Timeline::run_hops`] pushes it back at the generation's end.
+    fn best_channel(&mut self, link_idx: usize) -> Option<usize> {
         let channels = &self.link_free[link_idx];
         if channels.is_empty() {
             return None;
+        }
+        if self.indexed {
+            let Some(Reverse((_, best))) = self.link_queue[link_idx].pop() else {
+                unreachable!("every popped channel entry is pushed back after its claim")
+            };
+            return Some(best);
         }
         let mut best = 0;
         for (i, t) in channels.iter().enumerate() {
@@ -785,7 +930,7 @@ mod tests {
         // Two link-level pairs, one swap, and per-link attribution.
         assert_eq!(tl.epr_pairs_consumed(), 2);
         assert_eq!(tl.swaps_performed(), 1);
-        assert_eq!(tl.link_traffic(), vec![(n(0), n(1), 1), (n(1), n(2), 1)]);
+        assert_eq!(tl.link_traffic().collect::<Vec<_>>(), vec![(n(0), n(1), 1), (n(1), n(2), 1)]);
         // The relay's two slots are busy until the swap completes.
         assert_eq!(tl.node_slot_free_at(n(1)), c.epr_ready);
         tl.release_comm(&c, c.epr_ready);
@@ -800,7 +945,7 @@ mod tests {
         let c2 = tl.claim_comm(n(0), n(1), 0.0);
         assert_eq!(c1.start, 0.0);
         assert_eq!(c2.start, c1.epr_ready);
-        assert_eq!(tl.link_traffic(), vec![(n(0), n(1), 2)]);
+        assert_eq!(tl.link_traffic().collect::<Vec<_>>(), vec![(n(0), n(1), 2)]);
     }
 
     #[test]
@@ -897,6 +1042,7 @@ mod tests {
         let mut tl = Timeline::new(6, &HardwareSpec::symmetric(3));
         tl.topology = NetworkTopology::from_links("x", 3, vec![Link::new(n(0), n(1))]).unwrap();
         tl.link_free = vec![vec![0.0]];
+        tl.link_queue = tl.link_free.iter().map(|c| free_queue(c)).collect();
         tl.link_traffic = vec![0];
         let _ = tl.claim_comm(n(0), n(2), 0.0);
     }

@@ -1,0 +1,173 @@
+//! Schedule-stage scaling safety rails, as property tests:
+//!
+//! * the **parallel dual-rail** evaluation (base and buffered walks on two
+//!   scoped threads) returns a summary bit-identical to the sequential
+//!   reference ([`ScheduleOptions::sequential_rails`]) — on every suite
+//!   workload across all five standard topologies under every
+//!   [`BufferPolicy`], and on a program large enough to actually cross the
+//!   fork threshold;
+//! * the **indexed timeline** (earliest-free slot/channel indexes) emits
+//!   the same event log as the historical linear-scan lookups
+//!   ([`ScheduleOptions::linear_scan_timeline`]) under `record_events` —
+//!   the indexes must preserve the lowest-index tie-breaks exactly, not
+//!   just the makespan;
+//! * **schedule reuse** in the placement driver (skipping the final
+//!   full recompile when the held artifacts are identical) stays
+//!   bit-identical to the historical full driver
+//!   ([`PlacementConfig::force_full`]) under buffered policies too.
+
+use autocomm_repro::circuit::Partition;
+use autocomm_repro::core::{
+    schedule, AutoComm, AutoCommOptions, BufferPolicy, PlacementConfig, ScheduleOptions,
+};
+use autocomm_repro::hardware::{HardwareSpec, NetworkTopology};
+use autocomm_repro::workloads as wl;
+
+fn topologies(nodes: usize) -> Vec<NetworkTopology> {
+    vec![
+        NetworkTopology::all_to_all(nodes),
+        NetworkTopology::linear(nodes).unwrap(),
+        NetworkTopology::grid(2, nodes / 2).unwrap(),
+        NetworkTopology::star(nodes).unwrap(),
+        NetworkTopology::ring(nodes).unwrap(),
+    ]
+}
+
+fn policies() -> [BufferPolicy; 4] {
+    [
+        BufferPolicy::OnDemand,
+        BufferPolicy::Prefetch { depth: 1 },
+        BufferPolicy::Prefetch { depth: 4 },
+        BufferPolicy::Greedy,
+    ]
+}
+
+/// Schedules one compiled program under `base` with the given overrides
+/// and compares the full summaries (including recorded event logs).
+fn assert_schedule_modes_match(
+    circuit: &autocomm_repro::circuit::Circuit,
+    hw: &HardwareSpec,
+    partition: &Partition,
+    reference: ScheduleOptions,
+    candidate: ScheduleOptions,
+    what: &str,
+) {
+    let compiled = AutoComm::new().compile_on(circuit, partition, hw).unwrap();
+    let expected = schedule(&compiled.assigned, &compiled.placement, hw, reference);
+    let actual = schedule(&compiled.assigned, &compiled.placement, hw, candidate);
+    assert_eq!(
+        expected,
+        actual,
+        "{what} drifted on {} under {}",
+        hw.topology().name(),
+        reference.buffer.name()
+    );
+}
+
+#[test]
+fn suite_parallel_dual_rail_matches_sequential() {
+    let nodes = 4;
+    for config in wl::smoke_suite() {
+        let circuit = wl::generate(&config);
+        let partition = Partition::block(circuit.num_qubits(), nodes).unwrap();
+        for topology in topologies(nodes) {
+            let hw = HardwareSpec::for_partition(&partition).with_topology(topology).unwrap();
+            for policy in policies() {
+                let parallel = ScheduleOptions {
+                    record_events: true,
+                    ..ScheduleOptions::default().with_buffer(policy)
+                };
+                let sequential = ScheduleOptions { sequential_rails: true, ..parallel };
+                assert_schedule_modes_match(
+                    &circuit,
+                    &hw,
+                    &partition,
+                    sequential,
+                    parallel,
+                    "parallel dual-rail",
+                );
+            }
+        }
+    }
+}
+
+/// Suite programs sit under the fork threshold; this one actually spawns
+/// the base rail on a second thread.
+#[test]
+fn large_program_parallel_dual_rail_matches_sequential() {
+    let nodes = 4;
+    let (circuit, partition) = wl::random_distributed_circuit(16, nodes, 10_000, 11);
+    let hw = HardwareSpec::for_partition(&partition)
+        .with_topology(NetworkTopology::ring(nodes).unwrap())
+        .unwrap();
+    for policy in policies() {
+        let parallel = ScheduleOptions::default().with_buffer(policy);
+        let sequential = ScheduleOptions { sequential_rails: true, ..parallel };
+        assert_schedule_modes_match(
+            &circuit,
+            &hw,
+            &partition,
+            sequential,
+            parallel,
+            "parallel dual-rail (threaded)",
+        );
+    }
+}
+
+#[test]
+fn suite_indexed_timeline_event_log_matches_linear_scan_reference() {
+    let nodes = 4;
+    for config in wl::smoke_suite() {
+        let circuit = wl::generate(&config);
+        let partition = Partition::block(circuit.num_qubits(), nodes).unwrap();
+        for topology in topologies(nodes) {
+            let hw = HardwareSpec::for_partition(&partition).with_topology(topology).unwrap();
+            for policy in policies() {
+                let indexed = ScheduleOptions {
+                    record_events: true,
+                    ..ScheduleOptions::default().with_buffer(policy)
+                };
+                let linear = ScheduleOptions { linear_scan_timeline: true, ..indexed };
+                assert_schedule_modes_match(
+                    &circuit,
+                    &hw,
+                    &partition,
+                    linear,
+                    indexed,
+                    "indexed timeline",
+                );
+            }
+        }
+    }
+}
+
+/// Schedule reuse in `compile_placed` under buffered policies: the reused
+/// final schedule must equal what the historical full driver produces.
+#[test]
+fn buffered_schedule_reuse_matches_force_full() {
+    let nodes = 4;
+    let circuit = wl::qft(12);
+    let partition = Partition::block(12, nodes).unwrap();
+    for topology in topologies(nodes) {
+        let hw = HardwareSpec::for_partition(&partition).with_topology(topology.clone()).unwrap();
+        for policy in [BufferPolicy::OnDemand, BufferPolicy::Prefetch { depth: 4 }] {
+            let compiler = AutoComm::with_options(AutoCommOptions::default().with_buffer(policy));
+            let (reused, reused_report) = compiler
+                .compile_placed(&circuit, &partition, &hw, &PlacementConfig::default())
+                .unwrap();
+            let (full, full_report) = compiler
+                .compile_placed(
+                    &circuit,
+                    &partition,
+                    &hw,
+                    &PlacementConfig { force_full: true, ..Default::default() },
+                )
+                .unwrap();
+            let context = format!("{} under {}", topology.name(), policy.name());
+            assert_eq!(reused_report, full_report, "report differs on {context}");
+            assert_eq!(reused.metrics, full.metrics, "metrics differ on {context}");
+            assert_eq!(reused.schedule, full.schedule, "schedule differs on {context}");
+            assert_eq!(reused.passes.len(), full.passes.len(), "pass list differs on {context}");
+        }
+    }
+}
