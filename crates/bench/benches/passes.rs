@@ -107,7 +107,7 @@ fn bench_design_choices(c: &mut Criterion) {
                 black_box(aggregate(
                     black_box(&unrolled),
                     &partition,
-                    AggregateOptions { defer_limit: limit },
+                    AggregateOptions { defer_limit: limit, ..AggregateOptions::default() },
                 ))
             })
         });

@@ -47,11 +47,19 @@ struct HistoryRings {
     /// place instead of shifting).
     head: Vec<u32>,
     cap: usize,
+    /// Total retained entries across all rings (each ring saturates at
+    /// `cap`, so this saturates at `wires × cap`).
+    live: usize,
 }
 
 impl HistoryRings {
     fn new(wires: usize, cap: usize) -> Self {
-        HistoryRings { rings: vec![Vec::new(); wires], head: vec![0; wires], cap: cap.max(1) }
+        HistoryRings {
+            rings: vec![Vec::new(); wires],
+            head: vec![0; wires],
+            cap: cap.max(1),
+            live: 0,
+        }
     }
 
     /// Records `pos` as wire `w`'s most recent entry, evicting the oldest
@@ -60,6 +68,7 @@ impl HistoryRings {
         let ring = &mut self.rings[w];
         if ring.len() < self.cap {
             ring.push(pos);
+            self.live += 1;
         } else {
             let h = self.head[w] as usize;
             ring[h] = pos;
@@ -73,6 +82,109 @@ impl HistoryRings {
         let len = ring.len();
         let head = self.head[w] as usize;
         (0..len).map(move |k| ring[(head + len - 1 - k) % len])
+    }
+}
+
+/// Streaming commutation-aware conflict scan over an interned gate stream:
+/// the gate-at-a-time core of [`DependencyDag::commutation_aware_indexed`],
+/// exposed so consumers that only need each gate's predecessor set *once*
+/// (the default aggregation path) can consume it directly and never
+/// materialize the CSR edge arrays.
+///
+/// Each [`ConflictScan::advance`] call yields the next stream position's
+/// direct-conflict predecessors — the same nearest-blocker-per-wire sets
+/// the materialized build records, in the same order — while retaining only
+/// the bounded [`HistoryRings`] state: at most `window` positions per wire,
+/// so the whole scan runs in `O(wires × window)` working set regardless of
+/// stream length ([`ConflictScan::peak_live_slots`] reports the observed
+/// peak, [`ConflictScan::slot_bound`] the bound).
+pub struct ConflictScan<'a> {
+    table: &'a GateTable,
+    stream: &'a [GateId],
+    wire_history: HistoryRings,
+    cbit_history: HistoryRings,
+    window: usize,
+    next: usize,
+    peak_live: usize,
+    /// Scratch predecessor list, reused across `advance` calls.
+    preds: Vec<u32>,
+}
+
+impl<'a> ConflictScan<'a> {
+    /// Starts a scan over `stream` with the backward wire scan bounded to
+    /// `window` gates per wire (see
+    /// [`DependencyDag::commutation_aware_windowed`] for the windowing
+    /// semantics).
+    pub fn new(
+        table: &'a GateTable,
+        stream: &'a [GateId],
+        num_qubits: usize,
+        num_cbits: usize,
+        window: usize,
+    ) -> Self {
+        ConflictScan {
+            table,
+            stream,
+            wire_history: HistoryRings::new(num_qubits, window),
+            cbit_history: HistoryRings::new(num_cbits.max(1), window),
+            window,
+            next: 0,
+            peak_live: 0,
+            preds: Vec::new(),
+        }
+    }
+
+    /// Scans the next stream position and returns its direct-conflict
+    /// predecessor set (deduplicated, nearest blocker per wire, qubit wires
+    /// before classical bits — exactly the order the materialized CSR build
+    /// stores). Returns `None` once the stream is exhausted. The slice is
+    /// only valid until the next `advance` call.
+    pub fn advance(&mut self) -> Option<&[u32]> {
+        let i = self.next;
+        let &id = self.stream.get(i)?;
+        self.preds.clear();
+        for q in self.table.qubit_indices(id) {
+            for j in self.wire_history.newest_first(q).take(self.window) {
+                if !self.table.commutes_ids(self.stream[j as usize], id) {
+                    if !self.preds.contains(&j) {
+                        self.preds.push(j);
+                    }
+                    break; // nearest blocker dominates older ones
+                }
+            }
+            self.wire_history.push(q, i as u32);
+        }
+        for bit in self.table.classical_bits(id) {
+            for j in self.cbit_history.newest_first(bit).take(self.window) {
+                if !self.table.commutes_ids(self.stream[j as usize], id) {
+                    if !self.preds.contains(&j) {
+                        self.preds.push(j);
+                    }
+                    break;
+                }
+            }
+            self.cbit_history.push(bit, i as u32);
+        }
+        self.peak_live = self.peak_live.max(self.live_slots());
+        self.next = i + 1;
+        Some(&self.preds)
+    }
+
+    /// Ring-buffer entries currently retained across all wires.
+    pub fn live_slots(&self) -> usize {
+        self.wire_history.live + self.cbit_history.live
+    }
+
+    /// Peak [`Self::live_slots`] observed so far.
+    pub fn peak_live_slots(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Upper bound on [`Self::live_slots`]: `(qubit wires + cbit wires) ×
+    /// window` — the `O(wires × window)` working-set guarantee.
+    pub fn slot_bound(&self) -> usize {
+        (self.wire_history.rings.len() + self.cbit_history.rings.len())
+            .saturating_mul(self.window.max(1))
     }
 }
 
@@ -170,27 +282,14 @@ impl DependencyDag {
     ) -> Self {
         let n = stream.len();
         let mut preds = PredBuilder::new(n);
-        let mut wire_history = HistoryRings::new(num_qubits, window);
-        let mut cbit_history = HistoryRings::new(num_cbits.max(1), window);
-        for (i, &id) in stream.iter().enumerate() {
+        // Materialization is just the streaming scan with every predecessor
+        // set frozen into CSR arrays — one code path for both rails, so the
+        // streaming consumers see bit-identical sets by construction.
+        let mut scan = ConflictScan::new(table, stream, num_qubits, num_cbits, window);
+        while let Some(set) = scan.advance() {
             preds.open();
-            for q in table.qubit_indices(id) {
-                for j in wire_history.newest_first(q).take(window) {
-                    if !table.commutes_ids(stream[j as usize], id) {
-                        preds.add(j as usize);
-                        break; // nearest blocker dominates older ones
-                    }
-                }
-                wire_history.push(q, i as u32);
-            }
-            for bit in table.classical_bits(id) {
-                for j in cbit_history.newest_first(bit).take(window) {
-                    if !table.commutes_ids(stream[j as usize], id) {
-                        preds.add(j as usize);
-                        break;
-                    }
-                }
-                cbit_history.push(bit, i as u32);
+            for &p in set {
+                preds.add(p as usize);
             }
         }
         preds.finish(n)
@@ -509,6 +608,37 @@ mod tests {
                 assert_eq!(streamed, reference, "window {window}, seed {seed}");
                 let by_id = indexed(&c, window);
                 assert_eq!(by_id, reference, "indexed: window {window}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_scan_matches_materialized_build_and_stays_bounded() {
+        for window in [2usize, 8, 16] {
+            for seed in 0..3u64 {
+                let c = pseudo_random_circuit(seed * 17 + 3, 4, 300);
+                let mut table = GateTable::new();
+                let stream: Vec<GateId> = c.gates().iter().map(|g| table.intern(g)).collect();
+                let dag = DependencyDag::commutation_aware_indexed(
+                    &table,
+                    &stream,
+                    c.num_qubits(),
+                    c.num_cbits(),
+                    window,
+                );
+                let mut scan =
+                    ConflictScan::new(&table, &stream, c.num_qubits(), c.num_cbits(), window);
+                let mut pos = 0usize;
+                while let Some(set) = scan.advance() {
+                    assert_eq!(set, dag.predecessors(pos), "window {window}, pos {pos}");
+                    pos += 1;
+                }
+                assert_eq!(pos, c.len());
+                // The working set is O(wires × window), never O(gates): the
+                // stream is 300 gates long but at most `window` positions
+                // per wire are ever retained.
+                assert!(scan.peak_live_slots() <= scan.slot_bound());
+                assert_eq!(scan.slot_bound(), (c.num_qubits() + 1) * window);
             }
         }
     }

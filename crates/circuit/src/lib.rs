@@ -54,6 +54,7 @@ mod error;
 mod gate;
 mod hash;
 mod ids;
+mod par;
 mod partition;
 mod qasm;
 mod qasm_parse;
@@ -64,14 +65,15 @@ mod unroll;
 pub use axis::AxisBehavior;
 pub use circuit::Circuit;
 pub use commute::{commutes, commutes_with_all, disjoint_supports};
-pub use dag::DependencyDag;
+pub use dag::{ConflictScan, DependencyDag};
 pub use error::CircuitError;
 pub use gate::{Gate, GateKind};
 pub use hash::{circuit_content_hash, stream_content_hash, ContentHash};
 pub use ids::{CBitId, NodeId, QubitId};
+pub use par::{par_map, worker_count, PAR_THRESHOLD};
 pub use partition::Partition;
 pub use qasm::to_qasm;
-pub use qasm_parse::{from_qasm, QasmParseError};
+pub use qasm_parse::{from_qasm, from_qasm_sequential, QasmParseError};
 pub use stats::{circuit_depth, CircuitStats};
 pub use table::{CommSummary, GateId, GateTable, WireClass};
-pub use unroll::{unroll_circuit, unroll_gate};
+pub use unroll::{unroll_circuit, unroll_circuit_sequential, unroll_gate};

@@ -68,7 +68,202 @@ impl From<CircuitError> for QasmParseError {
     }
 }
 
+/// One statement of a parsed line, position-independent: everything the
+/// splice state machine ([`Assembler`]) needs to grow the circuit in input
+/// order. Produced by the pure per-line parser shared by the sequential
+/// and chunked-parallel rails.
+#[derive(Clone, Debug)]
+enum LineStmt {
+    /// `qreg q[n];`
+    Qreg(usize),
+    /// `creg c[n];`
+    Creg(usize),
+    /// A gate statement (conditional prefix already applied).
+    Gate(Gate),
+}
+
+/// All statements of one source line. Statements are `;`-terminated and a
+/// line may carry several; the common one-statement case avoids the `Vec`.
+#[derive(Clone, Debug)]
+enum ParsedLine {
+    /// Blank, comment-only, `OPENQASM`, or `include` line.
+    Empty,
+    One(LineStmt),
+    Many(Vec<LineStmt>),
+}
+
+/// Parses one raw source line in isolation. Pure: no register state, so
+/// arbitrary line subsets parse independently on worker threads; errors
+/// carry the global 1-based `line_no`.
+fn parse_line(raw: &str, line_no: usize) -> Result<ParsedLine, QasmParseError> {
+    let line = strip_comment(raw).trim();
+    if line.starts_with("OPENQASM") {
+        // Only the 2.x dialect is modeled; refuse other versions loudly
+        // instead of silently mis-parsing their statements.
+        let version = line
+            .strip_prefix("OPENQASM")
+            .map(|v| v.trim().trim_end_matches(';').trim())
+            .unwrap_or("");
+        if !(version.starts_with("2.") || version == "2") {
+            return Err(QasmParseError::Syntax {
+                line: line_no,
+                message: format!("unsupported OpenQASM version `{version}` (expected 2.x)"),
+            });
+        }
+        return Ok(ParsedLine::Empty);
+    }
+    if line.is_empty() || line.starts_with("include") {
+        return Ok(ParsedLine::Empty);
+    }
+    match line.strip_suffix(';') {
+        // Fast path: exactly one `;`-terminated statement (the shape
+        // `to_qasm` emits), no per-line allocation.
+        Some(body) if !body.contains(';') => {
+            let body = body.trim();
+            if body.is_empty() {
+                return Ok(ParsedLine::Empty);
+            }
+            Ok(ParsedLine::One(parse_statement(body, line_no)?))
+        }
+        _ => {
+            // Multi-statement (or malformed) line: every statement must be
+            // terminated, so text after the final `;` is an error — checked
+            // before any statement parses, matching the sequential rail.
+            if !line.ends_with(';') {
+                return Err(QasmParseError::Syntax {
+                    line: line_no,
+                    message: "missing `;`".into(),
+                });
+            }
+            let mut stmts = Vec::new();
+            for part in line.split(';') {
+                let body = part.trim();
+                if body.is_empty() {
+                    continue;
+                }
+                stmts.push(parse_statement(body, line_no)?);
+            }
+            Ok(match stmts.len() {
+                0 => ParsedLine::Empty,
+                1 => ParsedLine::One(stmts.pop().expect("len checked")),
+                _ => ParsedLine::Many(stmts),
+            })
+        }
+    }
+}
+
+/// Parses one `;`-stripped statement body.
+fn parse_statement(stmt: &str, line_no: usize) -> Result<LineStmt, QasmParseError> {
+    if let Some(rest) = stmt.strip_prefix("qreg") {
+        let size = parse_decl(rest, 'q').ok_or_else(|| QasmParseError::Register {
+            message: format!("bad qreg declaration `{stmt}`"),
+        })?;
+        return Ok(LineStmt::Qreg(size));
+    }
+    if let Some(rest) = stmt.strip_prefix("creg") {
+        let size = parse_decl(rest, 'c').ok_or_else(|| QasmParseError::Register {
+            message: format!("bad creg declaration `{stmt}`"),
+        })?;
+        return Ok(LineStmt::Creg(size));
+    }
+
+    // Conditional prefix: `if (c[i] == 1) <gate>`.
+    let (condition, body) = if let Some(rest) = stmt.strip_prefix("if") {
+        let rest = rest.trim_start();
+        let close = rest.find(')').ok_or_else(|| QasmParseError::Syntax {
+            line: line_no,
+            message: "unterminated `if (...)`".into(),
+        })?;
+        let cond_text = &rest[..close];
+        let bit = cond_text
+            .trim_start_matches(['(', ' '])
+            .strip_prefix("c[")
+            .and_then(|t| t.split(']').next())
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| QasmParseError::Syntax {
+                line: line_no,
+                message: format!("bad condition `{cond_text}`"),
+            })?;
+        if !cond_text.contains("== 1") {
+            return Err(QasmParseError::Syntax {
+                line: line_no,
+                message: "only `== 1` conditions are supported".into(),
+            });
+        }
+        (Some(CBitId::new(bit)), rest[close + 1..].trim())
+    } else {
+        (None, stmt)
+    };
+
+    let gate = parse_gate(body, line_no)?;
+    Ok(LineStmt::Gate(match condition {
+        Some(c) => gate.with_condition(c),
+        None => gate,
+    }))
+}
+
+/// The sequential splice state machine both rails feed parsed statements
+/// through, in input order: register declarations, the
+/// statement-before-qreg check, classical-register growth, and gate
+/// validation all live here, so the rails cannot diverge on anything but
+/// *where* lines were parsed.
+#[derive(Default)]
+struct Assembler {
+    circuit: Option<Circuit>,
+    num_cbits: usize,
+}
+
+impl Assembler {
+    fn feed(&mut self, stmt: LineStmt) -> Result<(), QasmParseError> {
+        match stmt {
+            LineStmt::Qreg(size) => {
+                if self.circuit.is_some() {
+                    return Err(QasmParseError::Register {
+                        message: "multiple qreg declarations".into(),
+                    });
+                }
+                self.circuit = Some(Circuit::with_cbits(size, self.num_cbits));
+            }
+            LineStmt::Creg(size) => {
+                self.num_cbits = size;
+                if let Some(c) = &mut self.circuit {
+                    c.ensure_cbits(size);
+                }
+            }
+            LineStmt::Gate(gate) => {
+                let circuit = self.circuit.as_mut().ok_or_else(|| QasmParseError::Register {
+                    message: "statement before qreg declaration".into(),
+                })?;
+                for bit in [gate.cbit(), gate.condition()].into_iter().flatten() {
+                    circuit.ensure_cbits(bit.index() + 1);
+                }
+                circuit.push(gate)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn feed_line(&mut self, parsed: ParsedLine) -> Result<(), QasmParseError> {
+        match parsed {
+            ParsedLine::Empty => Ok(()),
+            ParsedLine::One(stmt) => self.feed(stmt),
+            ParsedLine::Many(stmts) => stmts.into_iter().try_for_each(|s| self.feed(s)),
+        }
+    }
+
+    fn finish(self) -> Result<Circuit, QasmParseError> {
+        self.circuit.ok_or(QasmParseError::Register { message: "no qreg declaration".into() })
+    }
+}
+
 /// Parses OpenQASM-2 text into a [`Circuit`].
+///
+/// Large inputs (≥ [`crate::PAR_THRESHOLD`] lines) are parsed in parallel:
+/// the line list is split into contiguous chunks, each chunk's lines parse
+/// independently ([`parse_line`] is pure), and the per-line statements are
+/// spliced through the same sequential [`Assembler`] in input order — so
+/// the result, including the first error in input order, is bit-identical
+/// to [`from_qasm_sequential`] by construction.
 ///
 /// # Errors
 ///
@@ -87,102 +282,33 @@ impl From<CircuitError> for QasmParseError {
 /// # }
 /// ```
 pub fn from_qasm(text: &str) -> Result<Circuit, QasmParseError> {
-    let mut circuit: Option<Circuit> = None;
-    let mut num_cbits = 0usize;
-
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = strip_comment(raw).trim();
-        if line.starts_with("OPENQASM") {
-            // Only the 2.x dialect is modeled; refuse other versions loudly
-            // instead of silently mis-parsing their statements.
-            let version = line
-                .strip_prefix("OPENQASM")
-                .map(|v| v.trim().trim_end_matches(';').trim())
-                .unwrap_or("");
-            if !(version.starts_with("2.") || version == "2") {
-                return Err(QasmParseError::Syntax {
-                    line: line_no,
-                    message: format!("unsupported OpenQASM version `{version}` (expected 2.x)"),
-                });
-            }
-            continue;
-        }
-        if line.is_empty() || line.starts_with("include") {
-            continue;
-        }
-        let stmt = line.strip_suffix(';').ok_or_else(|| QasmParseError::Syntax {
-            line: line_no,
-            message: "missing `;`".into(),
-        })?;
-
-        if let Some(rest) = stmt.strip_prefix("qreg") {
-            let size = parse_decl(rest, 'q').ok_or_else(|| QasmParseError::Register {
-                message: format!("bad qreg declaration `{stmt}`"),
-            })?;
-            if circuit.is_some() {
-                return Err(QasmParseError::Register {
-                    message: "multiple qreg declarations".into(),
-                });
-            }
-            circuit = Some(Circuit::with_cbits(size, num_cbits));
-            continue;
-        }
-        if let Some(rest) = stmt.strip_prefix("creg") {
-            let size = parse_decl(rest, 'c').ok_or_else(|| QasmParseError::Register {
-                message: format!("bad creg declaration `{stmt}`"),
-            })?;
-            num_cbits = size;
-            if let Some(c) = &mut circuit {
-                c.ensure_cbits(size);
-            }
-            continue;
-        }
-
-        let circuit_ref = circuit.as_mut().ok_or_else(|| QasmParseError::Register {
-            message: "statement before qreg declaration".into(),
-        })?;
-
-        // Conditional prefix: `if (c[i] == 1) <gate>`.
-        let (condition, body) = if let Some(rest) = stmt.strip_prefix("if") {
-            let rest = rest.trim_start();
-            let close = rest.find(')').ok_or_else(|| QasmParseError::Syntax {
-                line: line_no,
-                message: "unterminated `if (...)`".into(),
-            })?;
-            let cond_text = &rest[..close];
-            let bit = cond_text
-                .trim_start_matches(['(', ' '])
-                .strip_prefix("c[")
-                .and_then(|t| t.split(']').next())
-                .and_then(|t| t.parse::<usize>().ok())
-                .ok_or_else(|| QasmParseError::Syntax {
-                    line: line_no,
-                    message: format!("bad condition `{cond_text}`"),
-                })?;
-            if !cond_text.contains("== 1") {
-                return Err(QasmParseError::Syntax {
-                    line: line_no,
-                    message: "only `== 1` conditions are supported".into(),
-                });
-            }
-            (Some(CBitId::new(bit)), rest[close + 1..].trim())
-        } else {
-            (None, stmt)
-        };
-
-        let gate = parse_gate(body, line_no)?;
-        let gate = match condition {
-            Some(c) => gate.with_condition(c),
-            None => gate,
-        };
-        for bit in [gate.cbit(), gate.condition()].into_iter().flatten() {
-            circuit_ref.ensure_cbits(bit.index() + 1);
-        }
-        circuit_ref.push(gate)?;
+    let lines: Vec<(usize, &str)> = text.lines().enumerate().collect();
+    if lines.len() < crate::PAR_THRESHOLD || crate::worker_count() < 2 {
+        return from_qasm_sequential(text);
     }
+    let parsed = crate::par_map(&lines, |&(idx, raw)| parse_line(raw, idx + 1));
+    let mut asm = Assembler::default();
+    for result in parsed {
+        asm.feed_line(result?)?;
+    }
+    asm.finish()
+}
 
-    circuit.ok_or(QasmParseError::Register { message: "no qreg declaration".into() })
+/// The sequential reference rail of [`from_qasm`]: parses line by line on
+/// the calling thread with no intermediate line table. Kept
+/// runtime-selectable (mirroring `sequential_rails` elsewhere) as the
+/// bit-identity baseline the property tests and the `frontend_scale_gate`
+/// bench compare the chunked-parallel parse against.
+///
+/// # Errors
+///
+/// Returns [`QasmParseError`] exactly as [`from_qasm`] does.
+pub fn from_qasm_sequential(text: &str) -> Result<Circuit, QasmParseError> {
+    let mut asm = Assembler::default();
+    for (idx, raw) in text.lines().enumerate() {
+        asm.feed_line(parse_line(raw, idx + 1)?)?;
+    }
+    asm.finish()
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -520,6 +646,70 @@ mod tests {
         }
         let err = from_qasm("qreg q[2];\nfredkin q[0], q[1];\n").unwrap_err();
         assert!(matches!(err, QasmParseError::UnsupportedGate { line: 2, .. }));
+    }
+
+    #[test]
+    fn multi_statement_lines_parse_in_order() {
+        let text = "qreg q[2]; creg c[1];\nh q[0]; cx q[0], q[1]; measure q[1] -> c[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.num_cbits(), 1);
+        assert_eq!(c.gates()[0], Gate::h(q(0)));
+        assert_eq!(c.gates()[1], Gate::cx(q(0), q(1)));
+        assert_eq!(c.gates()[2], Gate::measure(q(1), CBitId::new(0)));
+        // Stray `;;` and trailing spaces are harmless; an unterminated
+        // trailing fragment is not.
+        assert!(from_qasm("qreg q[1];; h q[0];  \n").is_ok());
+        let err = from_qasm("qreg q[1];\nh q[0]; x q[0]\n").unwrap_err();
+        assert!(
+            matches!(&err, QasmParseError::Syntax { line: 2, message } if message.contains(';')),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_parse_matches_sequential_rail() {
+        // Enough lines to cross PAR_THRESHOLD and engage the chunked path,
+        // with adversarial shapes sprinkled at chunk-boundary-agnostic
+        // positions: comments, blank lines, multi-statement lines.
+        let mut text = String::from("OPENQASM 2.0;\nqreg q[4];\ncreg c[2];\n");
+        for i in 0..(2 * crate::PAR_THRESHOLD) {
+            match i % 7 {
+                0 => text.push_str("// comment line\n"),
+                1 => text.push('\n'),
+                2 => text.push_str("h q[0]; t q[1]; cx q[1], q[2];\n"),
+                3 => text.push_str(&format!("rz({}.125) q[3];\n", i % 10)),
+                4 => text.push_str("if (c[1] == 1) x q[2];\n"),
+                5 => text.push_str("cx q[0], q[3]; // trailing comment\n"),
+                _ => text.push_str("measure q[2] -> c[0];\n"),
+            }
+        }
+        let parallel = from_qasm(&text).unwrap();
+        let sequential = from_qasm_sequential(&text).unwrap();
+        assert_eq!(parallel, sequential);
+        assert!(parallel.len() > 2 * crate::PAR_THRESHOLD / 2);
+    }
+
+    #[test]
+    fn parallel_parse_reports_first_error_in_input_order() {
+        // Two errors, the earlier one in a later chunk position — both
+        // rails must report the *first* in input order with its line.
+        let mut text = String::from("qreg q[2];\n");
+        for _ in 0..(2 * crate::PAR_THRESHOLD) {
+            text.push_str("h q[0];\n");
+        }
+        let bad_line = 100usize;
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[bad_line - 1] = "frobnicate q[0];".into();
+        lines.push("h q[0]".into()); // second error, much later
+        let text = lines.join("\n");
+        let err_par = from_qasm(&text).unwrap_err();
+        let err_seq = from_qasm_sequential(&text).unwrap_err();
+        assert_eq!(err_par, err_seq);
+        assert!(
+            matches!(err_par, QasmParseError::UnsupportedGate { line, .. } if line == bad_line),
+            "got {err_par:?}"
+        );
     }
 
     #[test]

@@ -386,6 +386,24 @@ impl GateTable {
         self.disjoint_masks[id.index()]
     }
 
+    /// Approximate heap footprint of the flat arenas in bytes: the CSR wire
+    /// records and offsets plus the kind/param/cbit/mask copies. Excludes
+    /// the resolved [`Gate`] values and the interning index (whose sizes
+    /// depend on hash-map capacity growth, not on content) so the number is
+    /// deterministic for a given program — the memory counter the front-end
+    /// scale gate records in its baseline.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.wires.len() * size_of::<Wire>()
+            + self.offsets.len() * size_of::<u32>()
+            + self.kinds.len() * size_of::<GateKind>()
+            + self.params.len() * size_of::<f64>()
+            + self.param_off.len() * size_of::<u32>()
+            + self.cbits.len() * size_of::<CBits>()
+            + self.masks.len() * size_of::<u64>()
+            + self.disjoint_masks.len() * size_of::<u64>()
+    }
+
     /// Exact pairwise commutation over interned ids — identical to
     /// [`crate::commutes`] on the resolved gates, but using the precomputed
     /// wire records (the identical-unitary rule becomes `a == b`).

@@ -94,12 +94,56 @@ pub fn unroll_gate(gate: &Gate, num_qubits: usize) -> Result<Vec<Gate>, CircuitE
 
 /// Unrolls every gate of `circuit` into the `CX + U3` basis.
 ///
+/// Unrolling is per-gate pure, so large circuits
+/// (≥ [`crate::PAR_THRESHOLD`] gates) fan the rewrites across
+/// [`crate::par_map`] worker threads and splice the expansions back in
+/// input order — bit-identical to [`unroll_circuit_sequential`] by
+/// construction (the property tests pin it), including which error
+/// surfaces first when several gates fail.
+///
 /// # Errors
 ///
 /// Propagates [`CircuitError::InsufficientAncillas`] from multi-controlled
 /// gates; register-bound errors cannot occur because the input circuit is
 /// already validated.
 pub fn unroll_circuit(circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    if circuit.len() < crate::PAR_THRESHOLD || crate::worker_count() < 2 {
+        return unroll_circuit_sequential(circuit);
+    }
+    let n = circuit.num_qubits();
+    // `None` marks in-basis pass-throughs so the fan-out never allocates a
+    // singleton Vec per unchanged gate (the overwhelmingly common case).
+    let expanded: Vec<Result<Option<Vec<Gate>>, CircuitError>> =
+        crate::par_map(circuit.gates(), |gate| {
+            if in_basis(gate.kind()) {
+                Ok(None)
+            } else {
+                unroll_gate(gate, n).map(Some)
+            }
+        });
+    let mut out = Circuit::with_cbits(n, circuit.num_cbits());
+    out.reserve(circuit.len());
+    for (gate, exp) in circuit.gates().iter().zip(expanded) {
+        match exp? {
+            None => out.push(gate.clone())?,
+            Some(gates) => {
+                for g in gates {
+                    out.push(g)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The sequential reference rail of [`unroll_circuit`]: one gate at a time
+/// on the calling thread. Kept runtime-selectable as the bit-identity
+/// baseline for the property tests and the `frontend_scale_gate` bench.
+///
+/// # Errors
+///
+/// Exactly as [`unroll_circuit`].
+pub fn unroll_circuit_sequential(circuit: &Circuit) -> Result<Circuit, CircuitError> {
     let mut out = Circuit::with_cbits(circuit.num_qubits(), circuit.num_cbits());
     out.reserve(circuit.len());
     for gate in circuit.gates() {

@@ -402,8 +402,14 @@ pub struct CompileReport {
 pub fn compile(args: CompileArgs) -> Result<CompileReport, CliError> {
     let text =
         std::fs::read_to_string(&args.file).map_err(|e| CliError::Io(args.file.clone(), e))?;
+    let parse_start = std::time::Instant::now();
     let circuit =
         from_qasm(&text).map_err(|e| CliError::Compile(format!("{}: {e}", args.file.display())))?;
+    let parse_report = autocomm::PassReport {
+        pass: "parse",
+        duration: parse_start.elapsed(),
+        metric: Some(format!("{} gates from {} bytes of QASM", circuit.len(), text.len())),
+    };
     if circuit.num_qubits() < args.nodes {
         return Err(CliError::Compile(format!(
             "cannot spread {} qubits over {} nodes",
@@ -414,9 +420,13 @@ pub fn compile(args: CompileArgs) -> Result<CompileReport, CliError> {
     let partition = build_partition(&circuit, args.nodes, args.strategy)?;
     let hw = build_hardware(&partition, args.comm_qubits, args.topology.as_deref())?;
     let config = placement_config(args.strategy, args.refine_iters);
-    let (result, placement) = compiler_for(&args.ablations, args.buffer)
+    let (mut result, placement) = compiler_for(&args.ablations, args.buffer)
         .compile_placed(&circuit, &partition, &hw, &config)
         .map_err(|e| CliError::Compile(e.to_string()))?;
+    // The pipeline only sees the parsed circuit; the front-end parse time
+    // is the CLI's to report, prepended so `--timings` and the passes
+    // array cover the whole run.
+    result.passes.insert(0, parse_report);
     let partition = result.placement.partition().clone();
     let stats = CircuitStats::of(&result.unrolled, Some(&partition));
     Ok(CompileReport { args, stats, partition, hardware: hw, placement, result })
@@ -502,7 +512,7 @@ impl CompileReport {
                     sections::ir_json(
                         self.result.ir.len(),
                         self.result.ir.unique_gates(),
-                        self.result.ir.dag().edge_count(),
+                        self.result.ir.dag_edges_if_built().unwrap_or(0),
                         self.result.ir.ranked_pairs().len(),
                     ),
                 ),

@@ -139,12 +139,37 @@ pub struct AggregateOptions {
     /// Cap on the deferred-item window behind an open block; exceeding it
     /// seals the block (bounds worst-case quadratic behaviour).
     pub defer_limit: usize,
+    /// Reference rail: force-materialize the conflict DAG and use its edge
+    /// lists as the negative filter (the historical path), instead of the
+    /// default streaming per-wire member filter that never builds the CSR
+    /// arrays. Both rails produce bit-identical programs (every decision is
+    /// ultimately justified by the [`CommSummary`] oracles; the filters only
+    /// short-circuit provably-failing checks) — property-tested in the
+    /// integration suite and asserted by the `frontend_scale_gate` bench.
+    pub materialized_dag: bool,
 }
 
 impl Default for AggregateOptions {
     fn default() -> Self {
-        AggregateOptions { defer_limit: 64 }
+        AggregateOptions { defer_limit: 64, materialized_dag: false }
     }
+}
+
+/// Deterministic working-set counters from one aggregation run (see
+/// [`aggregate_ir_with_stats`]); the `frontend_scale_gate` bench records
+/// them in its baseline and asserts the bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggregateStats {
+    /// Peak live entries in the streaming conflict filter (newest block /
+    /// deferred member per wire, generation-stamped). Always 0 on the
+    /// materialized-DAG rail.
+    pub peak_tracked_entries: usize,
+    /// Hard bound on `peak_tracked_entries`: two entries (block + deferred)
+    /// per qubit wire and per classical bit — `O(wires)`, independent of
+    /// stream length.
+    pub tracked_entry_bound: usize,
+    /// Whether the run used the materialized-DAG reference rail.
+    pub used_materialized_dag: bool,
 }
 
 /// Runs the aggregation pass on a circuit, building the indexed IR first.
@@ -167,13 +192,31 @@ pub fn aggregate(
 
 /// Runs the aggregation pass over a prebuilt [`CommIr`].
 pub fn aggregate_ir(ir: Arc<CommIr>, options: AggregateOptions) -> AggregatedProgram {
+    aggregate_ir_with_stats(ir, options).0
+}
+
+/// [`aggregate_ir`] plus the run's working-set counters.
+pub fn aggregate_ir_with_stats(
+    ir: Arc<CommIr>,
+    options: AggregateOptions,
+) -> (AggregatedProgram, AggregateStats) {
+    if options.materialized_dag {
+        // Reference rail: force the CSR build up front so the filter below
+        // sees a complete graph (and the rail's cost honestly includes it).
+        ir.dag();
+    }
     let mut arena = Arena::from_ir(&ir);
-    let mut ws = Workspace::new(&ir);
+    let mut ws = Workspace::new(&ir, options.materialized_dag);
     for i in 0..ir.ranked_pairs().len() {
         let (pair, _) = ir.ranked_pairs()[i];
         process_pair(&mut arena, &ir, pair, &mut ws, options);
     }
-    AggregatedProgram { items: arena.into_items(), ir }
+    let stats = AggregateStats {
+        peak_tracked_entries: ws.peak_tracked,
+        tracked_entry_bound: 2 * (ir.num_qubits() + ir.num_cbits()),
+        used_materialized_dag: options.materialized_dag,
+    };
+    (AggregatedProgram { items: arena.into_items(), ir }, stats)
 }
 
 /// The no-commutation ablation of paper Fig. 17(a): every remote gate
@@ -332,10 +375,31 @@ struct Workspace {
     /// Occurrence-set generation (bumped per pair, not per block).
     occ_gen: u32,
     gen: u32,
+    /// Whether to filter through the materialized DAG's edge lists
+    /// (reference rail) instead of the streaming per-wire member maps.
+    use_dag: bool,
+    /// Streaming filter state: newest block member touching each qubit wire
+    /// (then each classical bit), generation-stamped. A candidate conflicts
+    /// with the open block iff it fails to commute with *some* member on a
+    /// shared wire — and the newest one is already a sound witness, because
+    /// any hit short-circuits exactly what [`CommSummary::commutes_with`]
+    /// would answer. Total live entries are bounded by two per wire,
+    /// `O(wires)`, where the CSR edge arrays grow `O(gates)`.
+    block_wire: Vec<(u32, Option<GateId>)>,
+    /// Newest deferred member per qubit wire / classical bit.
+    defer_wire: Vec<(u32, Option<GateId>)>,
+    /// Live entries stamped with the current generation, and the peak
+    /// across the whole run (deterministic; reported by
+    /// [`aggregate_ir_with_stats`]).
+    tracked: usize,
+    peak_tracked: usize,
+    /// Classical bits live at `cbit_base + bit` in the wire maps.
+    cbit_base: usize,
 }
 
 impl Workspace {
-    fn new(ir: &CommIr) -> Self {
+    fn new(ir: &CommIr, use_dag: bool) -> Self {
+        let wires = ir.num_qubits() + ir.num_cbits();
         Workspace {
             block: CommSummary::new(ir.num_qubits(), ir.num_cbits()),
             deferred: CommSummary::new(ir.num_qubits(), ir.num_cbits()),
@@ -345,6 +409,12 @@ impl Workspace {
             occ_pos: vec![0; ir.len()],
             occ_gen: 0,
             gen: 0,
+            use_dag,
+            block_wire: vec![(0, None); wires],
+            defer_wire: vec![(0, None); wires],
+            tracked: 0,
+            peak_tracked: 0,
+            cbit_base: ir.num_qubits(),
         }
     }
 
@@ -365,6 +435,17 @@ impl Workspace {
         self.touched_mask = 0;
         self.block.clear();
         self.deferred.clear();
+        // The wire maps invalidate by generation; only the live count
+        // resets (stale entries are overwritten lazily on the next stamp).
+        self.tracked = 0;
+    }
+
+    /// Stamps `id` as the newest member of the current generation on every
+    /// wire it touches (streaming filter bookkeeping).
+    fn stamp_wires(map: &mut [(u32, Option<GateId>)], gen: u32, w: usize, id: GateId) -> usize {
+        let fresh = usize::from(map[w].0 != gen);
+        map[w] = (gen, Some(id));
+        fresh
     }
 
     fn add_to_block(&mut self, table: &GateTable, pos: usize, id: GateId) {
@@ -372,6 +453,16 @@ impl Workspace {
         self.touched_mask |= table.wire_mask(id);
         if let Some(m) = self.block_pos.get_mut(pos) {
             *m = self.gen;
+        }
+        if !self.use_dag {
+            for w in table.qubit_indices(id) {
+                self.tracked += Self::stamp_wires(&mut self.block_wire, self.gen, w, id);
+            }
+            for bit in table.classical_bits(id) {
+                self.tracked +=
+                    Self::stamp_wires(&mut self.block_wire, self.gen, self.cbit_base + bit, id);
+            }
+            self.peak_tracked = self.peak_tracked.max(self.tracked);
         }
     }
 
@@ -381,21 +472,71 @@ impl Workspace {
         if let Some(m) = self.defer_pos.get_mut(pos) {
             *m = self.gen;
         }
+        if !self.use_dag {
+            for w in table.qubit_indices(id) {
+                self.tracked += Self::stamp_wires(&mut self.defer_wire, self.gen, w, id);
+            }
+            for bit in table.classical_bits(id) {
+                self.tracked +=
+                    Self::stamp_wires(&mut self.defer_wire, self.gen, self.cbit_base + bit, id);
+            }
+            self.peak_tracked = self.peak_tracked.max(self.tracked);
+        }
     }
 
-    /// DAG edge lookup (the negative filter): whether any direct conflict
-    /// predecessor of `pos` is currently a block or deferred member.
-    fn conflicts(&self, ir: &CommIr, pos: usize) -> (bool, bool) {
+    /// The negative conflict filter: whether a current block (resp.
+    /// deferred) member provably does not commute with the candidate.
+    ///
+    /// Two interchangeable implementations, bit-identical in output because
+    /// either way a `true` short-circuits exactly what the
+    /// [`CommSummary::commutes_with`] checks downstream would answer:
+    ///
+    /// * **streaming** (default): probe the newest member on each wire the
+    ///   candidate touches — `O(operands)` lookups against `O(wires)`
+    ///   state, no CSR arrays anywhere;
+    /// * **materialized** (reference rail): walk the candidate's DAG
+    ///   predecessor list and test generation membership — the historical
+    ///   path, kept for A/B benchmarking and the property tests.
+    fn conflicts(&self, ir: &CommIr, pos: usize, ids: &[GateId]) -> (bool, bool) {
+        if self.use_dag {
+            let mut in_block = false;
+            let mut in_defer = false;
+            if pos < ir.len() {
+                for &p in ir.dag().predecessors(pos) {
+                    if self.block_pos[p as usize] == self.gen {
+                        in_block = true;
+                    }
+                    if self.defer_pos[p as usize] == self.gen {
+                        in_defer = true;
+                    }
+                }
+            }
+            return (in_block, in_defer);
+        }
+        let table = ir.table();
         let mut in_block = false;
         let mut in_defer = false;
-        if pos < ir.len() {
-            for &p in ir.dag().predecessors(pos) {
-                if self.block_pos[p as usize] == self.gen {
-                    in_block = true;
+        for &id in ids {
+            for w in
+                table.qubit_indices(id).chain(table.classical_bits(id).map(|b| self.cbit_base + b))
+            {
+                if !in_block {
+                    if let (g, Some(member)) = self.block_wire[w] {
+                        if g == self.gen && !table.commutes_ids(member, id) {
+                            in_block = true;
+                        }
+                    }
                 }
-                if self.defer_pos[p as usize] == self.gen {
-                    in_defer = true;
+                if !in_defer {
+                    if let (g, Some(member)) = self.defer_wire[w] {
+                        if g == self.gen && !table.commutes_ids(member, id) {
+                            in_defer = true;
+                        }
+                    }
                 }
+            }
+            if in_block && in_defer {
+                break;
             }
         }
         (in_block, in_defer)
@@ -490,11 +631,14 @@ fn process_pair(
                         .iter()
                         .all(|&gid| table.disjoint_mask(gid) & ws.touched_mask == 0),
                 };
-                // DAG edge lookup: a direct conflict edge from a block or
-                // deferred member proves the item cannot be hoisted (and,
+                // Negative conflict filter: a proven non-commuting block or
+                // deferred member means the item cannot be hoisted (and,
                 // for deferred conflicts, cannot be absorbed either).
-                let (edge_block, edge_defer) =
-                    if disjoint_fast { (false, false) } else { ws.conflicts(ir, cur) };
+                let (edge_block, edge_defer) = if disjoint_fast {
+                    (false, false)
+                } else {
+                    ws.conflicts(ir, cur, arena.ids_at(cur))
+                };
                 let can_hoist = disjoint_fast
                     || (!edge_block
                         && !edge_defer
@@ -720,6 +864,44 @@ mod tests {
         assert!(max_block >= 6, "expected bursts of ≥ 6 remote CX, got {max_block}");
         let equivalent = dqc_sim::circuits_equivalent(&c, &agg.to_circuit(), 1e-8).unwrap();
         assert!(equivalent, "QFT aggregation must preserve semantics");
+    }
+
+    #[test]
+    fn streaming_filter_matches_materialized_dag_rail() {
+        for seed in 0..6 {
+            let (c, p) = dqc_workloads::random_distributed_circuit(6, 3, 200, seed);
+            let c = dqc_circuit::unroll_circuit(&c).unwrap();
+            for defer_limit in [0usize, 2, 64] {
+                let streaming =
+                    aggregate(&c, &p, AggregateOptions { defer_limit, materialized_dag: false });
+                let materialized =
+                    aggregate(&c, &p, AggregateOptions { defer_limit, materialized_dag: true });
+                assert_eq!(
+                    streaming, materialized,
+                    "rails drifted at seed {seed}, defer_limit {defer_limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_filter_working_set_is_wire_bounded() {
+        let (c, p) = dqc_workloads::random_distributed_circuit(8, 2, 400, 3);
+        let c = dqc_circuit::unroll_circuit(&c).unwrap();
+        let ir = CommIr::build_shared(&c, &p);
+        let (_, stats) = aggregate_ir_with_stats(ir.clone(), AggregateOptions::default());
+        assert!(!stats.used_materialized_dag);
+        assert_eq!(stats.tracked_entry_bound, 2 * (ir.num_qubits() + ir.num_cbits()));
+        assert!(stats.peak_tracked_entries <= stats.tracked_entry_bound);
+        // The default path never forced the lazy DAG.
+        assert!(ir.dag_edges_if_built().is_none());
+        let (_, dag_stats) = aggregate_ir_with_stats(
+            ir.clone(),
+            AggregateOptions { materialized_dag: true, ..AggregateOptions::default() },
+        );
+        assert!(dag_stats.used_materialized_dag);
+        assert_eq!(dag_stats.peak_tracked_entries, 0);
+        assert!(ir.dag_edges_if_built().is_some());
     }
 
     #[test]

@@ -169,7 +169,9 @@ impl CompiledArtifact {
             ir: ArtifactIrStats {
                 gates: result.ir.len(),
                 unique_gates: result.ir.unique_gates(),
-                dag_edges: result.ir.dag().edge_count(),
+                // 0 when the compile never materialized the lazy conflict
+                // DAG (the streaming-aggregation default).
+                dag_edges: result.ir.dag_edges_if_built().unwrap_or(0),
                 burst_pairs: result.ir.ranked_pairs().len(),
             },
             placement: placement.clone(),

@@ -20,7 +20,7 @@
 //! [`Arc`], so the whole pipeline resolves gates through one table and
 //! never re-derives commutation structure from raw gate pairs.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use dqc_circuit::{Circuit, DependencyDag, Gate, GateId, GateTable, NodeId, Partition, QubitId};
 
@@ -33,7 +33,12 @@ pub const DAG_WINDOW: usize = 64;
 pub struct CommIr {
     table: GateTable,
     stream: Vec<GateId>,
-    dag: DependencyDag,
+    /// Lazily materialized conflict DAG: the default compile path streams
+    /// predecessor sets through [`dqc_circuit::ConflictScan`] during
+    /// aggregation and never forces this; passes that genuinely need the
+    /// CSR graph (assignment parallel-group checks, analyses, property
+    /// tests) get it on first [`CommIr::dag`] call.
+    dag: OnceLock<DependencyDag>,
     partition: Partition,
     num_qubits: usize,
     num_cbits: usize,
@@ -78,17 +83,10 @@ impl CommIr {
             .collect();
         ranked_pairs
             .sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0 .0, a.0 .1).cmp(&(b.0 .0, b.0 .1))));
-        let dag = DependencyDag::commutation_aware_indexed(
-            &table,
-            &stream,
-            circuit.num_qubits(),
-            circuit.num_cbits(),
-            DAG_WINDOW,
-        );
         CommIr {
             table,
             stream,
-            dag,
+            dag: OnceLock::new(),
             partition: partition.clone(),
             num_qubits: circuit.num_qubits(),
             num_cbits: circuit.num_cbits(),
@@ -148,15 +146,39 @@ impl CommIr {
         self.num_cbits
     }
 
-    /// The windowed commutation-aware dependency DAG over stream positions.
+    /// The windowed commutation-aware dependency DAG over stream positions,
+    /// materialized on first use (see the `dag` field docs; the default
+    /// compile path never calls this).
     pub fn dag(&self) -> &DependencyDag {
-        &self.dag
+        self.dag.get_or_init(|| {
+            DependencyDag::commutation_aware_indexed(
+                &self.table,
+                &self.stream,
+                self.num_qubits,
+                self.num_cbits,
+                DAG_WINDOW,
+            )
+        })
+    }
+
+    /// The conflict DAG if some pass already forced materialization, else
+    /// `None`. Reporting paths use this so printing a compile artifact
+    /// never pays for a graph the compile itself did not need.
+    pub fn dag_if_built(&self) -> Option<&DependencyDag> {
+        self.dag.get()
+    }
+
+    /// Edge count of the materialized conflict DAG, or `None` while it is
+    /// still lazy.
+    pub fn dag_edges_if_built(&self) -> Option<usize> {
+        self.dag.get().map(DependencyDag::edge_count)
     }
 
     /// Whether stream positions `a < b` are linked by a direct conflict
     /// edge — a proof the two gates do not commute. Absence proves nothing.
+    /// Forces DAG materialization.
     pub fn conflicts_directly(&self, a: usize, b: usize) -> bool {
-        self.dag.has_edge(a, b)
+        self.dag().has_edge(a, b)
     }
 
     /// (qubit, node) pairs ranked by remote-gate count, descending.

@@ -77,8 +77,8 @@ mod program;
 mod schedule;
 
 pub use aggregate::{
-    aggregate, aggregate_ir, aggregate_no_commute, aggregate_no_commute_ir, AggregateOptions,
-    AggregatedProgram, Item,
+    aggregate, aggregate_ir, aggregate_ir_with_stats, aggregate_no_commute,
+    aggregate_no_commute_ir, AggregateOptions, AggregateStats, AggregatedProgram, Item,
 };
 pub use analysis::inverse_burst_distribution;
 pub use artifact::{
@@ -90,12 +90,13 @@ pub use assign::{
     AssignedItem, AssignedProgram, CatOrientation, Scheme,
 };
 pub use block::CommBlock;
+pub use dqc_circuit::PAR_THRESHOLD;
 pub use dqc_hardware::BufferPolicy;
 pub use error::CompileError;
 pub use ir::{CommIr, DAG_WINDOW};
 pub use lower::{lower_assigned, lower_assigned_on, lower_plan, CommOp};
 pub use metrics::{burst_distribution, BufferingReport, CommMetrics};
-pub use orient::orient_symmetric_gates;
+pub use orient::{orient_symmetric_gates, orient_symmetric_gates_sequential};
 pub use pass::{
     AggregatePass, AssignPass, IrPass, LowerPass, MetricsPass, OrientPass, Pass, PassContext,
     PassReport, PlacementPass, SchedulePass, UnrollPass,

@@ -15,38 +15,70 @@ use dqc_circuit::{Circuit, Gate, GateKind, Partition};
 
 use crate::pair_stats;
 
+/// Orients one gate against the precomputed pair statistics (pure per
+/// gate, which is what lets the parallel rail fan gates across threads).
+fn orient_gate(
+    gate: &Gate,
+    stats: &std::collections::HashMap<(dqc_circuit::QubitId, dqc_circuit::NodeId), usize>,
+    partition: &Partition,
+) -> Gate {
+    match gate.kind() {
+        GateKind::Cz | GateKind::Cp | GateKind::Rzz
+            if partition.is_remote(gate) && gate.condition().is_none() =>
+        {
+            let a = gate.qubits()[0];
+            let b = gate.qubits()[1];
+            let weight_a = stats.get(&(a, partition.node_of(b))).copied().unwrap_or(0);
+            let weight_b = stats.get(&(b, partition.node_of(a))).copied().unwrap_or(0);
+            if weight_b > weight_a {
+                // Swap operands: `b` becomes the control side.
+                match gate.kind() {
+                    GateKind::Cz => Gate::cz(b, a),
+                    GateKind::Cp => Gate::cp(gate.theta().expect("cp parameter"), b, a),
+                    GateKind::Rzz => Gate::rzz(gate.theta().expect("rzz parameter"), b, a),
+                    _ => unreachable!(),
+                }
+            } else {
+                gate.clone()
+            }
+        }
+        _ => gate.clone(),
+    }
+}
+
 /// Reorders the operands of symmetric diagonal two-qubit gates (`Cz`, `Cp`,
 /// `Rzz`) so the heavier burst pair gets the control side. Asymmetric gates
 /// and local gates pass through untouched; the result is gate-for-gate
 /// equivalent to the input (the gates are symmetric).
+///
+/// After the sequential statistics sweep the per-gate decisions are
+/// independent, so large circuits fan across `par_map` worker threads and
+/// splice in input order — bit-identical to
+/// [`orient_symmetric_gates_sequential`] by construction.
 pub fn orient_symmetric_gates(circuit: &Circuit, partition: &Partition) -> Circuit {
+    if circuit.len() < crate::PAR_THRESHOLD {
+        return orient_symmetric_gates_sequential(circuit, partition);
+    }
+    let stats = pair_stats(circuit, partition);
+    let oriented =
+        crate::par::par_map(circuit.gates(), |gate| orient_gate(gate, &stats, partition));
+    let mut out = Circuit::with_cbits(circuit.num_qubits(), circuit.num_cbits());
+    out.reserve(circuit.len());
+    for gate in oriented {
+        out.push(gate).expect("registers preserved");
+    }
+    out
+}
+
+/// The sequential reference rail of [`orient_symmetric_gates`] (one gate at
+/// a time on the calling thread), kept runtime-selectable as the
+/// bit-identity baseline for property tests and the scale gate.
+pub fn orient_symmetric_gates_sequential(circuit: &Circuit, partition: &Partition) -> Circuit {
     let stats = pair_stats(circuit, partition);
     let mut out = Circuit::with_cbits(circuit.num_qubits(), circuit.num_cbits());
     out.reserve(circuit.len());
     for gate in circuit.gates() {
-        let oriented = match gate.kind() {
-            GateKind::Cz | GateKind::Cp | GateKind::Rzz
-                if partition.is_remote(gate) && gate.condition().is_none() =>
-            {
-                let a = gate.qubits()[0];
-                let b = gate.qubits()[1];
-                let weight_a = stats.get(&(a, partition.node_of(b))).copied().unwrap_or(0);
-                let weight_b = stats.get(&(b, partition.node_of(a))).copied().unwrap_or(0);
-                if weight_b > weight_a {
-                    // Swap operands: `b` becomes the control side.
-                    match gate.kind() {
-                        GateKind::Cz => Gate::cz(b, a),
-                        GateKind::Cp => Gate::cp(gate.theta().expect("cp parameter"), b, a),
-                        GateKind::Rzz => Gate::rzz(gate.theta().expect("rzz parameter"), b, a),
-                        _ => unreachable!(),
-                    }
-                } else {
-                    gate.clone()
-                }
-            }
-            _ => gate.clone(),
-        };
-        out.push(oriented).expect("registers preserved");
+        out.push(orient_gate(gate, &stats, partition)).expect("registers preserved");
     }
     out
 }

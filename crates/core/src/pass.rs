@@ -226,12 +226,21 @@ impl Pass for IrPass {
 
     fn metric(&self, ctx: &PassContext<'_>) -> Option<String> {
         ctx.ir.as_ref().map(|ir| {
-            format!(
-                "{} gates ({} unique), {} dag edges",
-                ir.len(),
-                ir.unique_gates(),
-                ir.dag().edge_count()
-            )
+            // The conflict DAG is lazy: the default compile streams
+            // predecessor sets during aggregation, so forcing the CSR build
+            // here just to count edges would defeat the point. Report the
+            // count only if some pass already materialized it.
+            match ir.dag_edges_if_built() {
+                Some(edges) => {
+                    format!(
+                        "{} gates ({} unique), {} dag edges",
+                        ir.len(),
+                        ir.unique_gates(),
+                        edges
+                    )
+                }
+                None => format!("{} gates ({} unique), lazy dag", ir.len(), ir.unique_gates()),
+            }
         })
     }
 }
