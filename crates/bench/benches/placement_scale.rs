@@ -1,0 +1,99 @@
+//! Placement-stage scaling benchmarks: gain-cached vs full-rescan OEE
+//! refinement and parallel vs sequential cold scans on power-law
+//! interaction graphs — the configuration whose asserting companion is the
+//! `placement_scale_gate` binary (baseline:
+//! `crates/bench/baselines/placement_scale.json`).
+//!
+//! Each tier refines the same pre-built sparse [`InteractionGraph`], so the
+//! numbers isolate the partition-refinement stage from parsing and
+//! aggregation. The full-rescan entries are the historical reference rail;
+//! the gain-cached entries are the production path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dqc_circuit::{unroll_circuit, NodeId, Partition};
+use dqc_partition::{oee_refine_on, InteractionGraph, OeeOptions, UniformDistance};
+use dqc_workloads::large_sparse_circuit;
+
+/// The gate binary's workload: a power-law circuit at `qubits` with 8 gates
+/// per qubit, reduced to its interaction graph.
+fn sparse_graph(qubits: usize) -> InteractionGraph {
+    let circuit = large_sparse_circuit(qubits, qubits * 8, 0x5EED);
+    let unrolled = unroll_circuit(&circuit).expect("sparse workload unrolls");
+    InteractionGraph::from_circuit(&unrolled)
+}
+
+fn bench_placement_scale(c: &mut Criterion) {
+    let nodes = 8usize;
+    let node_map: Vec<NodeId> = (0..nodes).map(NodeId::new).collect();
+    let cached = OeeOptions::default();
+    let rescan = OeeOptions { full_rescan: true, sequential_scan: true, ..OeeOptions::default() };
+
+    for qubits in [256usize, 1024] {
+        let graph = sparse_graph(qubits);
+        let initial = Partition::block(qubits, nodes).expect("divisible register");
+        let name = format!("placement-scale-{qubits}");
+        let mut group = c.benchmark_group(name.as_str());
+        group.sample_size(10);
+        group.bench_function("gain-cached", |b| {
+            b.iter(|| {
+                black_box(oee_refine_on(
+                    black_box(&graph),
+                    initial.clone(),
+                    &node_map,
+                    &UniformDistance,
+                    cached,
+                ))
+            })
+        });
+        group.bench_function("full-rescan", |b| {
+            b.iter(|| {
+                black_box(oee_refine_on(
+                    black_box(&graph),
+                    initial.clone(),
+                    &node_map,
+                    &UniformDistance,
+                    rescan,
+                ))
+            })
+        });
+        group.finish();
+    }
+
+    // The cold candidate scan in isolation (max_exchanges = 0), above the
+    // parallel fan-out threshold.
+    let qubits = 4096usize;
+    let graph = sparse_graph(qubits);
+    let initial = Partition::block(qubits, nodes).expect("divisible register");
+    let scan_only = OeeOptions { max_exchanges: 0, ..OeeOptions::default() };
+    let seq_only = OeeOptions { sequential_scan: true, ..scan_only };
+    let mut group = c.benchmark_group("placement-cold-scan-4096");
+    group.sample_size(10);
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(oee_refine_on(
+                black_box(&graph),
+                initial.clone(),
+                &node_map,
+                &UniformDistance,
+                scan_only,
+            ))
+        })
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(oee_refine_on(
+                black_box(&graph),
+                initial.clone(),
+                &node_map,
+                &UniformDistance,
+                seq_only,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement_scale);
+criterion_main!(benches);

@@ -49,7 +49,7 @@ fn main() {
     };
 
     let mut rows: Vec<Row> = Vec::new();
-    for (label, circuit) in sweep_inputs(nodes, false, false) {
+    for (label, circuit) in sweep_inputs(nodes, false, false, false) {
         let partition: Partition = oee_mapping(&circuit, nodes);
         for topology in topologies() {
             let hw = HardwareSpec::for_partition(&partition)

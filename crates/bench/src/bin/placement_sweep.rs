@@ -1,5 +1,6 @@
 //! Placement-sensitivity sweep: compiles the smoke suite (plus the
-//! `node_ring_exchange` stressor) against every standard interconnect under
+//! `node_ring_exchange` stressor and the 1024-qubit power-law
+//! `large_sparse_circuit` workload) against every standard interconnect under
 //! each placement strategy — `block` (contiguous partition, identity map),
 //! `oee` (the paper's partitioner, identity map), and `topo` (OEE plus the
 //! topology- and traffic-aware iterative placement driver) — and reports
@@ -55,7 +56,7 @@ fn main() {
         ]
     };
 
-    let inputs: Vec<(String, Circuit)> = sweep_inputs(nodes, true, quick);
+    let inputs: Vec<(String, Circuit)> = sweep_inputs(nodes, true, quick, true);
 
     let mut rows: Vec<Row> = Vec::new();
     for (label, circuit) in &inputs {

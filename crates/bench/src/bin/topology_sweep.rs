@@ -46,7 +46,7 @@ fn main() {
         ]
     };
 
-    let inputs: Vec<(String, Circuit)> = sweep_inputs(nodes, true, quick);
+    let inputs: Vec<(String, Circuit)> = sweep_inputs(nodes, true, quick, false);
 
     let mut rows: Vec<Row> = Vec::new();
     for (label, circuit) in &inputs {

@@ -141,16 +141,35 @@ pub fn quick_requested() -> bool {
 /// The labelled workload set shared by the deterministic sweep binaries
 /// (`buffer_sweep`, `topology_sweep`, `placement_sweep`): every smoke-suite
 /// program, optionally followed by the `node_ring_exchange` interconnect
-/// stressor (`RING-X-16-4`, scaled down under `--quick`).
+/// stressor (`RING-X-16-4`, scaled down under `--quick`) and the
+/// 1024-qubit power-law `large_sparse_circuit` workload (`large`; 256
+/// qubits under `--quick`) that exercises the sparse-graph placement path
+/// at a register size the smoke suite never reaches.
 ///
 /// Keeping the list in one place keeps the three recorded sweep baselines
-/// in lockstep: a workload added here reaches every sweep at once.
-pub fn sweep_inputs(nodes: usize, stressor: bool, quick: bool) -> Vec<(String, Circuit)> {
+/// in lockstep: a workload added here reaches every sweep at once. Only
+/// `placement_sweep` opts into `large` — the buffer and topology sweeps
+/// measure the scheduler, where a 1024-qubit register adds minutes of
+/// runtime without touching the code under test.
+pub fn sweep_inputs(
+    nodes: usize,
+    stressor: bool,
+    quick: bool,
+    large: bool,
+) -> Vec<(String, Circuit)> {
     let mut inputs: Vec<(String, Circuit)> =
         smoke_suite().into_iter().map(|config| (config.label(), generate(&config))).collect();
     if stressor {
         inputs
             .push(("RING-X-16-4".into(), node_ring_exchange(16, nodes, if quick { 2 } else { 6 })));
+    }
+    if large {
+        let qubits = if quick { 256 } else { 1024 };
+        let gates = qubits * 8;
+        inputs.push((
+            format!("SPARSE-{qubits}-{gates}"),
+            dqc_workloads::large_sparse_circuit(qubits, gates, 0x5EED),
+        ));
     }
     inputs
 }

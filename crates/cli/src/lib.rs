@@ -470,7 +470,10 @@ impl CompileReport {
         let topology = self.hardware.topology();
         // `--timings` adds a flat pass-name -> milliseconds object next to
         // the structural "passes" array, so profiling consumers (the bench
-        // harness, the CI perf gate) can key on pass names directly.
+        // harness, the CI perf gate) can key on pass names directly. The
+        // placement optimizer's work counters ride along under
+        // "placement_work" — wall-clock numbers alone can't distinguish a
+        // warm cache hit from a fast cold scan.
         let timings = self.args.timings.then(|| {
             (
                 "timings",
@@ -478,7 +481,11 @@ impl CompileReport {
                     self.result
                         .passes
                         .iter()
-                        .map(|p| (p.pass, Json::number(p.duration.as_secs_f64() * 1e3))),
+                        .map(|p| (p.pass, Json::number(p.duration.as_secs_f64() * 1e3)))
+                        .chain([(
+                            "placement_work",
+                            sections::placement_work_json(&self.placement.work),
+                        )]),
                 ),
             )
         });
@@ -577,6 +584,19 @@ impl CompileReport {
                     self.placement.final_epr_cost,
                     self.placement.cut_weight,
                     self.placement.weighted_cost
+                ),
+            );
+            let w = &self.placement.work;
+            line(
+                &mut out,
+                "placement work",
+                format!(
+                    "{} exchange(s), {} scanned, {} cache hits, {} round(s) skipped{}",
+                    w.oee_exchanges + w.place_exchanges,
+                    w.oee_scanned,
+                    w.oee_cache_hits,
+                    w.rounds_skipped,
+                    if w.saturated { ", SATURATED" } else { "" }
                 ),
             );
         }

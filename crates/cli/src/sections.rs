@@ -8,7 +8,9 @@
 //! identical is to have only one. Each section here is the single builder
 //! both paths call.
 
-use autocomm::{Ablation, BufferingReport, CommMetrics, CompiledArtifact, PlacementReport};
+use autocomm::{
+    Ablation, BufferingReport, CommMetrics, CompiledArtifact, PlacementReport, PlacementWork,
+};
 use dqc_circuit::NodeId;
 
 use crate::json::Json;
@@ -22,8 +24,10 @@ pub fn topology_json(name: &str, links: usize, diameter: Option<usize>) -> Json 
     ])
 }
 
-/// The `"placement"` object: strategy echo plus the driver's report.
+/// The `"placement"` object: strategy echo plus the driver's report and
+/// its optimizer work counters.
 pub fn placement_json(strategy: &str, p: &PlacementReport) -> Json {
+    let w = &p.work;
     Json::object([
         ("strategy", Json::string(strategy)),
         ("iterations", Json::number(p.iterations as f64)),
@@ -32,6 +36,20 @@ pub fn placement_json(strategy: &str, p: &PlacementReport) -> Json {
         ("initial_epr_cost", Json::number(p.initial_epr_cost as f64)),
         ("final_epr_cost", Json::number(p.final_epr_cost as f64)),
         ("node_map", Json::array(p.node_map.iter().map(|n| Json::number(n.index() as f64)))),
+        ("work", placement_work_json(w)),
+    ])
+}
+
+/// The `"work"` object nested in `"placement"` (and echoed under
+/// `--timings`): what the placement optimizer actually did.
+pub fn placement_work_json(w: &PlacementWork) -> Json {
+    Json::object([
+        ("oee_exchanges", Json::number(w.oee_exchanges as f64)),
+        ("oee_scanned", Json::number(w.oee_scanned as f64)),
+        ("oee_cache_hits", Json::number(w.oee_cache_hits as f64)),
+        ("place_exchanges", Json::number(w.place_exchanges as f64)),
+        ("rounds_skipped", Json::number(w.rounds_skipped as f64)),
+        ("saturated", Json::Bool(w.saturated)),
     ])
 }
 

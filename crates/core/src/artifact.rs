@@ -24,11 +24,12 @@ use dqc_circuit::{CBitId, Gate, GateKind, NodeId, QubitId};
 use dqc_hardware::{BufferPolicy, HardwareSpec};
 
 use crate::metrics::{BufferingReport, CommMetrics};
-use crate::pipeline::{Ablation, CompileResult, PlacementReport};
+use crate::pipeline::{Ablation, CompileResult, PlacementReport, PlacementWork};
 use crate::{lower_plan, CommOp};
 
-/// Version tag of the artifact text format.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Version tag of the artifact text format. v2 added the `placement_work`
+/// record (optimizer work counters).
+pub const ARTIFACT_VERSION: u32 = 2;
 
 /// The compile-job configuration an artifact echoes back — everything in
 /// the cache key except the circuit content hash (which keys the circuit
@@ -234,6 +235,16 @@ impl CompiledArtifact {
             p.final_epr_cost,
             join_or_dash(p.node_map.iter().map(|n| n.index().to_string()))
         ));
+        let w = &p.work;
+        out.push_str(&format!(
+            "placement_work {} {} {} {} {} {}\n",
+            w.oee_exchanges,
+            w.oee_scanned,
+            w.oee_cache_hits,
+            w.place_exchanges,
+            w.rounds_skipped,
+            u8::from(w.saturated)
+        ));
         let m = &self.metrics;
         out.push_str(&format!(
             "metrics {} {} {} {} {} {}\n",
@@ -353,7 +364,7 @@ impl CompiledArtifact {
 
         let place_line = lines.tagged("placement")?.to_string();
         let mut f = place_line.split(' ');
-        let placement = PlacementReport {
+        let mut placement = PlacementReport {
             iterations: parse_field(&lines, f.next(), "placement iterations")?,
             cut_weight: parse_field(&lines, f.next(), "placement cut_weight")?,
             weighted_cost: parse_field(&lines, f.next(), "placement weighted_cost")?,
@@ -362,6 +373,17 @@ impl CompiledArtifact {
             node_map: split_or_dash(f.next().unwrap_or("-"))
                 .map(|n| Ok(NodeId::new(n.parse::<usize>().map_err(|e| lines.err(e))?)))
                 .collect::<Result<Vec<_>, ArtifactError>>()?,
+            work: PlacementWork::default(),
+        };
+        let work_line = lines.tagged("placement_work")?.to_string();
+        let mut f = work_line.split(' ');
+        placement.work = PlacementWork {
+            oee_exchanges: parse_field(&lines, f.next(), "placement_work oee_exchanges")?,
+            oee_scanned: parse_field(&lines, f.next(), "placement_work oee_scanned")?,
+            oee_cache_hits: parse_field(&lines, f.next(), "placement_work oee_cache_hits")?,
+            place_exchanges: parse_field(&lines, f.next(), "placement_work place_exchanges")?,
+            rounds_skipped: parse_field(&lines, f.next(), "placement_work rounds_skipped")?,
+            saturated: parse_field::<u8>(&lines, f.next(), "placement_work saturated")? != 0,
         };
 
         let metrics_line = lines.tagged("metrics")?.to_string();
@@ -658,6 +680,11 @@ mod tests {
                 node_map: vec![NodeId::new(0), NodeId::new(1)],
                 initial_epr_cost: result.metrics.total_epr_cost,
                 final_epr_cost: result.metrics.total_epr_cost,
+                work: PlacementWork {
+                    oee_exchanges: 1,
+                    oee_scanned: 6,
+                    ..PlacementWork::default()
+                },
             },
             &result,
         )

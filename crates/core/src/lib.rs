@@ -103,7 +103,7 @@ pub use pass::{
 };
 pub use pipeline::{
     Ablation, AutoComm, AutoCommOptions, CompileResult, Pipeline, PipelineBuilder, PipelineOutput,
-    PlacementConfig, PlacementReport, PlacementStrategy,
+    PlacementConfig, PlacementReport, PlacementStrategy, PlacementWork,
 };
 pub use placement::{comm_weighted_graph, Placement};
 pub use program::{pair_stats, remote_pairs_of};

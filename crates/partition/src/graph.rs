@@ -1,26 +1,86 @@
 //! The qubit interaction graph.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
 use dqc_circuit::{Circuit, NodeId, Partition, QubitId};
 
 use crate::NodeDistance;
 
+/// Compressed-sparse-row neighbor index over the (symmetric) adjacency,
+/// plus the sorted upper-triangular edge list. Rebuilt lazily after
+/// mutations; every traversal helper reads from here so scans cost
+/// O(degree) / O(edges), never O(n) / O(n²).
+#[derive(Clone, Debug)]
+struct CsrIndex {
+    /// `starts[q] .. starts[q + 1]` indexes `cols` / `weights` — the
+    /// neighbors of `q`, ascending.
+    starts: Vec<usize>,
+    cols: Vec<u32>,
+    weights: Vec<u64>,
+    /// Positive-weight edges `(i, j, w)` with `i < j`, ascending `(i, j)`.
+    edge_list: Vec<(u32, u32, u64)>,
+    total: u64,
+}
+
 /// Weighted undirected graph over qubits; edge weight = number of
 /// multi-qubit gates coupling the pair.
 ///
-/// Stored as a dense upper-triangular matrix — benchmark registers reach a
-/// few hundred qubits, where the dense form is both fastest and simplest.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Circuit-derived interaction graphs are sparse — each gate couples at
+/// most three qubits — so edges live in an upper-triangular hash map
+/// (O(edges) memory) fronted by a lazily built CSR neighbor index
+/// ([`InteractionGraph::neighbors`]) that every traversal helper reads.
+/// This keeps the 1k–4k-qubit tier linear in edges where the former dense
+/// matrix paid O(n²) in both memory and scan time.
+#[derive(Clone, Debug)]
 pub struct InteractionGraph {
     num_qubits: usize,
-    // weights[i][j] valid for j > i.
-    weights: Vec<Vec<u64>>,
+    /// Upper-triangular edge store: key packs `(i, j)` with `i < j`;
+    /// values are always positive (zero-weight adds are dropped), so
+    /// map equality is exactly edge-set equality.
+    edges: HashMap<u64, u64>,
+    /// Lazy CSR index; cleared by every mutation.
+    index: OnceLock<CsrIndex>,
+    /// Process-unique content stamp: every mutation takes a fresh value, so
+    /// equal stamps imply equal edge content (clones share the stamp until
+    /// one of them mutates). Lets the OEE warm-start cache validate its
+    /// graph in O(1) instead of re-hashing the edge set.
+    version: u64,
+}
+
+/// Monotone source for [`InteractionGraph::version`] stamps.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
+
+impl PartialEq for InteractionGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is a cache of `edges`; only content participates.
+        self.num_qubits == other.num_qubits && self.edges == other.edges
+    }
+}
+
+impl Eq for InteractionGraph {}
+
+#[inline]
+fn pack(i: usize, j: usize) -> u64 {
+    debug_assert!(i < j);
+    ((i as u64) << 32) | j as u64
 }
 
 impl InteractionGraph {
     /// An edgeless graph over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        let weights = (0..num_qubits).map(|i| vec![0; num_qubits - i]).collect();
-        InteractionGraph { num_qubits, weights }
+        assert!(num_qubits <= u32::MAX as usize, "qubit index must fit in 32 bits");
+        InteractionGraph {
+            num_qubits,
+            edges: HashMap::new(),
+            index: OnceLock::new(),
+            version: fresh_version(),
+        }
     }
 
     /// Builds the graph of `circuit`: every multi-qubit gate adds one unit
@@ -66,6 +126,11 @@ impl InteractionGraph {
         self.num_qubits
     }
 
+    /// Number of positive-weight edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
     /// Weight of the edge `{a, b}` (0 when absent or `a == b`).
     ///
     /// # Panics
@@ -73,10 +138,11 @@ impl InteractionGraph {
     /// Panics when a vertex is out of range.
     pub fn weight(&self, a: QubitId, b: QubitId) -> u64 {
         let (i, j) = order(a.index(), b.index());
+        assert!(j < self.num_qubits, "qubit {j} out of range (graph has {})", self.num_qubits);
         if i == j {
             return 0;
         }
-        self.weights[i][j - i]
+        self.edges.get(&pack(i, j)).copied().unwrap_or(0)
     }
 
     /// Adds `w` to the edge `{a, b}`.
@@ -87,12 +153,105 @@ impl InteractionGraph {
     pub fn add_weight(&mut self, a: QubitId, b: QubitId, w: u64) {
         assert_ne!(a, b, "self-loops are not meaningful");
         let (i, j) = order(a.index(), b.index());
-        self.weights[i][j - i] += w;
+        assert!(j < self.num_qubits, "qubit {j} out of range (graph has {})", self.num_qubits);
+        if w == 0 {
+            // Entries stay strictly positive so map equality is edge-set
+            // equality and `edges()` needs no filtering.
+            return;
+        }
+        *self.edges.entry(pack(i, j)).or_insert(0) += w;
+        self.index = OnceLock::new();
+        self.version = fresh_version();
+    }
+
+    /// The content stamp: equal stamps imply identical edge content (the
+    /// converse does not hold — rebuilding the same graph yields a fresh
+    /// stamp). O(1) cache-validity check for the OEE warm start.
+    pub(crate) fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The CSR neighbor index, built on first use after a mutation.
+    fn csr(&self) -> &CsrIndex {
+        self.index.get_or_init(|| {
+            let n = self.num_qubits;
+            let mut edge_list: Vec<(u32, u32, u64)> =
+                self.edges.iter().map(|(&key, &w)| ((key >> 32) as u32, key as u32, w)).collect();
+            edge_list.sort_unstable_by_key(|&(i, j, _)| (i, j));
+            let mut starts = vec![0usize; n + 1];
+            for &(i, j, _) in &edge_list {
+                starts[i as usize + 1] += 1;
+                starts[j as usize + 1] += 1;
+            }
+            for q in 0..n {
+                starts[q + 1] += starts[q];
+            }
+            let mut cursor = starts.clone();
+            let mut cols = vec![0u32; edge_list.len() * 2];
+            let mut weights = vec![0u64; edge_list.len() * 2];
+            let mut total = 0u64;
+            // Two passes keep every CSR row ascending: row q's neighbors
+            // are its `< q` half (edges (i, q), appended first from the
+            // (j, i)-sorted list ⇒ ascending i per row) followed by its
+            // `> q` half (edges (q, j), appended from the (i, j)-sorted
+            // list ⇒ ascending j per row).
+            let mut by_j = edge_list.clone();
+            by_j.sort_unstable_by_key(|&(i, j, _)| (j, i));
+            for &(i, j, w) in &by_j {
+                // Row j gains neighbor i (< j), ascending in i.
+                let slot = cursor[j as usize];
+                cols[slot] = i;
+                weights[slot] = w;
+                cursor[j as usize] += 1;
+            }
+            for &(i, j, w) in &edge_list {
+                // Row i gains neighbor j (> i), ascending in j — all after
+                // the `< i` half appended above.
+                let slot = cursor[i as usize];
+                cols[slot] = j;
+                weights[slot] = w;
+                cursor[i as usize] += 1;
+                total += w;
+            }
+            CsrIndex { starts, cols, weights, edge_list, total }
+        })
+    }
+
+    /// Iterates over `(neighbor, weight)` for every positive-weight edge at
+    /// `q`, in ascending neighbor order. O(degree) via the CSR index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    pub fn neighbors(&self, q: QubitId) -> impl Iterator<Item = (QubitId, u64)> + '_ {
+        let csr = self.csr();
+        let lo = csr.starts[q.index()];
+        let hi = csr.starts[q.index() + 1];
+        csr.cols[lo..hi]
+            .iter()
+            .zip(csr.weights[lo..hi].iter())
+            .map(|(&c, &w)| (QubitId::new(c as usize), w))
+    }
+
+    /// The raw CSR neighbor row of `q` — `(columns, weights)` slices in
+    /// ascending column order — for hot loops that walk a row in lockstep
+    /// with another ascending sweep.
+    pub(crate) fn neighbor_row(&self, q: QubitId) -> (&[u32], &[u64]) {
+        let csr = self.csr();
+        let lo = csr.starts[q.index()];
+        let hi = csr.starts[q.index() + 1];
+        (&csr.cols[lo..hi], &csr.weights[lo..hi])
+    }
+
+    /// Degree of `q`: the number of distinct positive-weight neighbors.
+    pub fn degree(&self, q: QubitId) -> usize {
+        let csr = self.csr();
+        csr.starts[q.index() + 1] - csr.starts[q.index()]
     }
 
     /// Sum of all edge weights.
     pub fn total_weight(&self) -> u64 {
-        self.weights.iter().flatten().sum()
+        self.csr().total
     }
 
     /// Sum of weights of edges whose endpoints live on different nodes —
@@ -100,13 +259,11 @@ impl InteractionGraph {
     /// gates when the graph came from a circuit.
     pub fn cut_weight(&self, partition: &Partition) -> u64 {
         let mut cut = 0;
-        for i in 0..self.num_qubits {
-            for j in i + 1..self.num_qubits {
-                let w = self.weights[i][j - i];
-                if w > 0 && partition.node_of(QubitId::new(i)) != partition.node_of(QubitId::new(j))
-                {
-                    cut += w;
-                }
+        for &(i, j, w) in &self.csr().edge_list {
+            if partition.node_of(QubitId::new(i as usize))
+                != partition.node_of(QubitId::new(j as usize))
+            {
+                cut += w;
             }
         }
         cut
@@ -129,17 +286,11 @@ impl InteractionGraph {
     ) -> u64 {
         assert!(node_map.len() >= partition.num_nodes(), "node map must cover every block");
         let mut cut = 0;
-        for i in 0..self.num_qubits {
-            for j in i + 1..self.num_qubits {
-                let w = self.weights[i][j - i];
-                if w == 0 {
-                    continue;
-                }
-                let a = partition.node_of(QubitId::new(i));
-                let b = partition.node_of(QubitId::new(j));
-                if a != b {
-                    cut += w * dist.node_distance(node_map[a.index()], node_map[b.index()]);
-                }
+        for &(i, j, w) in &self.csr().edge_list {
+            let a = partition.node_of(QubitId::new(i as usize));
+            let b = partition.node_of(QubitId::new(j as usize));
+            if a != b {
+                cut += w * dist.node_distance(node_map[a.index()], node_map[b.index()]);
             }
         }
         cut
@@ -163,28 +314,22 @@ impl InteractionGraph {
         traffic
     }
 
-    /// Iterates over `(a, b, weight)` for every positive-weight edge.
+    /// Iterates over `(a, b, weight)` for every positive-weight edge, in
+    /// ascending `(a, b)` order.
     pub fn edges(&self) -> impl Iterator<Item = (QubitId, QubitId, u64)> + '_ {
-        (0..self.num_qubits).flat_map(move |i| {
-            (i + 1..self.num_qubits).filter_map(move |j| {
-                let w = self.weights[i][j - i];
-                (w > 0).then(|| (QubitId::new(i), QubitId::new(j), w))
-            })
-        })
+        self.csr()
+            .edge_list
+            .iter()
+            .map(|&(i, j, w)| (QubitId::new(i as usize), QubitId::new(j as usize), w))
     }
 
     /// Total weight between `q` and all qubits of each node, as a dense
     /// per-node vector (scratch structure for the OEE inner loop).
+    /// O(degree) via the CSR index.
     pub fn node_weights(&self, q: QubitId, partition: &Partition) -> Vec<u64> {
         let mut out = vec![0; partition.num_nodes()];
-        for other in 0..self.num_qubits {
-            if other == q.index() {
-                continue;
-            }
-            let w = self.weight(q, QubitId::new(other));
-            if w > 0 {
-                out[partition.node_of(QubitId::new(other)).index()] += w;
-            }
+        for (other, w) in self.neighbors(q) {
+            out[partition.node_of(other).index()] += w;
         }
         out
     }
@@ -246,6 +391,64 @@ mod tests {
     }
 
     #[test]
+    fn edges_iterate_in_ascending_pair_order() {
+        let mut g = InteractionGraph::new(5);
+        // Inserted out of order; iteration must still be ascending (a, b).
+        g.add_weight(q(3), q(4), 1);
+        g.add_weight(q(0), q(4), 2);
+        g.add_weight(q(2), q(1), 3);
+        g.add_weight(q(0), q(1), 4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(q(0), q(1), 4), (q(0), q(4), 2), (q(1), q(2), 3), (q(3), q(4), 1)]);
+    }
+
+    #[test]
+    fn neighbors_are_ascending_and_symmetric() {
+        let mut g = InteractionGraph::new(6);
+        g.add_weight(q(2), q(5), 7);
+        g.add_weight(q(2), q(0), 3);
+        g.add_weight(q(2), q(4), 1);
+        g.add_weight(q(1), q(3), 9);
+        let n2: Vec<_> = g.neighbors(q(2)).collect();
+        assert_eq!(n2, vec![(q(0), 3), (q(4), 1), (q(5), 7)]);
+        let n5: Vec<_> = g.neighbors(q(5)).collect();
+        assert_eq!(n5, vec![(q(2), 7)]);
+        assert_eq!(g.degree(q(2)), 3);
+        assert_eq!(g.degree(q(3)), 1);
+        assert_eq!(g.degree(q(0)), 1);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_neighbor_index() {
+        let mut g = InteractionGraph::new(3);
+        g.add_weight(q(0), q(1), 1);
+        assert_eq!(g.neighbors(q(0)).count(), 1); // forces the CSR build
+        g.add_weight(q(0), q(2), 2);
+        let n0: Vec<_> = g.neighbors(q(0)).collect();
+        assert_eq!(n0, vec![(q(1), 1), (q(2), 2)]);
+        assert_eq!(g.total_weight(), 3);
+    }
+
+    #[test]
+    fn zero_weight_add_is_a_no_op() {
+        let mut g = InteractionGraph::new(3);
+        g.add_weight(q(0), q(1), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g, InteractionGraph::new(3), "no phantom zero-weight edge");
+    }
+
+    #[test]
+    fn equality_ignores_the_lazy_index() {
+        let mut a = InteractionGraph::new(4);
+        a.add_weight(q(0), q(1), 2);
+        let mut b = InteractionGraph::new(4);
+        b.add_weight(q(1), q(0), 2);
+        assert_eq!(a.neighbors(q(0)).count(), 1); // a has a built index
+        assert_eq!(a, b, "index state must not affect equality");
+    }
+
+    #[test]
     fn node_weights_accumulate_per_node() {
         let mut g = InteractionGraph::new(4);
         g.add_weight(q(0), q(1), 1);
@@ -259,6 +462,18 @@ mod tests {
     #[should_panic(expected = "self-loops")]
     fn self_loop_rejected() {
         InteractionGraph::new(2).add_weight(q(1), q(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_weight_rejected() {
+        InteractionGraph::new(2).weight(q(0), q(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_add_rejected() {
+        InteractionGraph::new(2).add_weight(q(0), q(5), 1);
     }
 
     #[test]

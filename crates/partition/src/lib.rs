@@ -54,5 +54,8 @@ mod place;
 
 pub use distance::{NodeDistance, UniformDistance};
 pub use graph::InteractionGraph;
-pub use oee::{oee_partition, oee_refine, oee_refine_on, OeeOptions};
-pub use place::{place_blocks, placement_cost, PlaceOptions};
+pub use oee::{
+    oee_partition, oee_refine, oee_refine_cached, oee_refine_on, oee_refine_on_stats, OeeCache,
+    OeeOptions, OeeStats,
+};
+pub use place::{place_blocks, place_blocks_stats, placement_cost, PlaceOptions, PlaceStats};

@@ -1,6 +1,31 @@
 //! Overall Extreme Exchange (OEE) partitioning.
+//!
+//! # Scaling
+//!
+//! The exchange loop runs in one of two modes, asserted bit-identical to
+//! each other by the `placement_scale` property tests and gate bench:
+//!
+//! - **Gain-cached** (default): every positive-gain candidate pair is held
+//!   in a deterministic best-tracking set keyed `(gain, a, b)`; after an
+//!   exchange of `(a, b)` only pairs touching `a`, `b`, or one of their
+//!   neighbors can change gain, so the loop delta-updates that affected
+//!   set (FM-style) instead of rescanning all O(n²) pairs per applied
+//!   exchange.
+//! - **Full rescan** (`OeeOptions { full_rescan: true }`): the historical
+//!   O(n²·k)-per-exchange reference rail, kept selectable the way the
+//!   `sequential_rails` / `linear_scan_timeline` / `materialized_dag`
+//!   knobs anchored earlier scaling PRs.
+//!
+//! The cold first-round scan (and every full-rescan round) fans row chunks
+//! of the candidate space through [`dqc_circuit::par_map`], merging per-row
+//! results in input order — bit-identical to the sequential scan, which
+//! stays selectable via `OeeOptions { sequential_scan: true }`.
 
-use dqc_circuit::{CircuitError, NodeId, Partition, QubitId};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Once;
+
+use dqc_circuit::{par_map, CircuitError, NodeId, Partition, QubitId};
 
 use crate::{InteractionGraph, NodeDistance, UniformDistance};
 
@@ -8,13 +33,89 @@ use crate::{InteractionGraph, NodeDistance, UniformDistance};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OeeOptions {
     /// Upper bound on applied exchanges (safety valve; the loop normally
-    /// terminates on its own when no improving swap exists).
+    /// terminates on its own when no improving swap exists). When the valve
+    /// trips, the returned [`OeeStats::saturated`] flag is set and a
+    /// one-time process warning is printed.
     pub max_exchanges: usize,
+    /// Run the historical full O(n²·k) gain rescan per applied exchange
+    /// instead of the gain-cached delta updates — the reference rail the
+    /// fast path is property-tested against. Assignment-identical to the
+    /// default mode, only slower.
+    pub full_rescan: bool,
+    /// Force the cold-scan / full-rescan candidate sweeps to run
+    /// sequentially even above the parallel threshold — the reference rail
+    /// for the parallel row scan. Bit-identical to the parallel merge.
+    pub sequential_scan: bool,
 }
 
 impl Default for OeeOptions {
     fn default() -> Self {
-        OeeOptions { max_exchanges: 100_000 }
+        OeeOptions { max_exchanges: 100_000, full_rescan: false, sequential_scan: false }
+    }
+}
+
+/// Work counters from one refinement run — an execution trace, not part of
+/// the optimization result (both modes produce identical partitions while
+/// reporting different counter values).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OeeStats {
+    /// Exchanges actually applied.
+    pub exchanges: usize,
+    /// Candidate gains computed (cold scans, rescans, and delta updates).
+    pub scanned: u64,
+    /// Candidate gains reused from the cache instead of recomputed — the
+    /// work the gain cache saved relative to a full rescan. Always 0 on the
+    /// `full_rescan` rail.
+    pub cache_hits: u64,
+    /// True when the loop stopped at [`OeeOptions::max_exchanges`] while an
+    /// improving exchange still existed — the result is under-refined.
+    pub saturated: bool,
+}
+
+impl OeeStats {
+    /// Accumulates `other` into `self` (counters add, saturation ORs).
+    pub fn merge(&mut self, other: &OeeStats) {
+        self.exchanges += other.exchanges;
+        self.scanned += other.scanned;
+        self.cache_hits += other.cache_hits;
+        self.saturated |= other.saturated;
+    }
+}
+
+/// Reusable warm-start state for [`oee_refine_cached`]: the per-qubit node
+/// weights and the positive-gain candidate set from the end of the previous
+/// refinement. When the next call presents the same graph, assignment, and
+/// block→node distances, the cold O(n²) scan is skipped entirely — the
+/// refinement loop resumes exactly where it left off (trivially so when the
+/// previous run terminated with no improving exchange left).
+#[derive(Debug, Default)]
+pub struct OeeCache {
+    valid: bool,
+    graph_version: u64,
+    assignment: Vec<NodeId>,
+    dmat: Vec<i64>,
+    k: usize,
+    node_w: Vec<i64>,
+    mdist: Vec<i64>,
+    gains: HashMap<u64, i64>,
+    best: BTreeSet<(i64, Reverse<(u32, u32)>)>,
+    in_gains: PairBits,
+}
+
+impl OeeCache {
+    /// An empty (cold) cache.
+    pub fn new() -> Self {
+        OeeCache::default()
+    }
+
+    /// True when the cached state matches `(graph, partition, dmat)` and
+    /// the refinement can resume without a cold scan.
+    fn matches(&self, graph: &InteractionGraph, partition: &Partition, dmat: &[i64]) -> bool {
+        self.valid
+            && self.graph_version == graph.version()
+            && self.k == partition.num_nodes()
+            && self.dmat == dmat
+            && self.assignment.as_slice() == partition.assignment()
     }
 }
 
@@ -26,8 +127,13 @@ impl Default for OeeOptions {
 /// The result is fully deterministic across runs and platforms: the
 /// exchange loop scans candidate pairs in ascending `(a, b)` qubit order
 /// and only a *strictly larger* gain displaces the running best, so equal
-/// gains always resolve to the lexicographically-first exchange. Placement
-/// baselines recorded from this partitioner are reproducible bit for bit.
+/// gains always resolve to the lexicographically-first exchange. The
+/// gain-cached mode preserves this exactly — its best-tracking set is
+/// ordered by `(gain, Reverse((a, b)))`, so the maximal element is the
+/// highest gain and, among equal gains, the smallest `(a, b)` pair — and
+/// the parallel cold scan merges per-row winners in ascending row order.
+/// Placement baselines recorded from this partitioner are reproducible bit
+/// for bit.
 ///
 /// # Errors
 ///
@@ -77,99 +183,698 @@ pub fn oee_refine(
 /// Panics when `node_map` does not cover every partition block.
 pub fn oee_refine_on(
     graph: &InteractionGraph,
-    mut partition: Partition,
+    partition: Partition,
     node_map: &[NodeId],
     dist: &impl NodeDistance,
     options: OeeOptions,
 ) -> Partition {
+    refine_impl(graph, partition, node_map, dist, options, None).0
+}
+
+/// [`oee_refine_on`] plus the [`OeeStats`] work counters.
+pub fn oee_refine_on_stats(
+    graph: &InteractionGraph,
+    partition: Partition,
+    node_map: &[NodeId],
+    dist: &impl NodeDistance,
+    options: OeeOptions,
+) -> (Partition, OeeStats) {
+    refine_impl(graph, partition, node_map, dist, options, None)
+}
+
+/// [`oee_refine_on_stats`] with a warm-start cache: when `cache` still
+/// matches `(graph, partition, node_map, dist)` — the normal case for the
+/// iterative placement driver re-refining an unchanged partition — the
+/// cold candidate scan is skipped and every skipped gain counts as a cache
+/// hit. The refined partition is always identical to the uncached call;
+/// only the work counters differ.
+pub fn oee_refine_cached(
+    graph: &InteractionGraph,
+    partition: Partition,
+    node_map: &[NodeId],
+    dist: &impl NodeDistance,
+    options: OeeOptions,
+    cache: &mut OeeCache,
+) -> (Partition, OeeStats) {
+    refine_impl(graph, partition, node_map, dist, options, Some(cache))
+}
+
+#[inline]
+fn pack(a: u32, b: u32) -> u64 {
+    debug_assert!(a < b);
+    (u64::from(a) << 32) | u64::from(b)
+}
+
+/// Membership bitset over upper-triangular qubit pairs (n²/8 bytes), kept
+/// in lockstep with the `gains` map so the delta-update sweep can rule out
+/// the overwhelmingly common case — a pair that is neither cached nor
+/// positive — with one bit test instead of a hash probe per pair.
+#[derive(Clone, Debug, Default)]
+struct PairBits {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl PairBits {
+    fn new(n: usize) -> Self {
+        PairBits { words: vec![0u64; (n * n).div_ceil(64)], n }
+    }
+
+    /// Membership is stored under both orders so the delta loop's probe is
+    /// always the row-major `x·n + y` bit — a sequential walk for a fixed
+    /// `x` — never the cache-line-per-probe column walk.
+    #[inline]
+    fn contains(&self, x: u32, y: u32) -> bool {
+        let bit = x as usize * self.n + y as usize;
+        self.words[bit >> 6] & (1 << (bit & 63)) != 0
+    }
+
+    #[inline]
+    fn insert(&mut self, lo: u32, hi: u32) {
+        let bit = lo as usize * self.n + hi as usize;
+        self.words[bit >> 6] |= 1 << (bit & 63);
+        let mirror = hi as usize * self.n + lo as usize;
+        self.words[mirror >> 6] |= 1 << (mirror & 63);
+    }
+
+    #[inline]
+    fn remove(&mut self, lo: u32, hi: u32) {
+        let bit = lo as usize * self.n + hi as usize;
+        self.words[bit >> 6] &= !(1 << (bit & 63));
+        let mirror = hi as usize * self.n + lo as usize;
+        self.words[mirror >> 6] &= !(1 << (mirror & 63));
+    }
+}
+
+/// Walks a qubit's ascending CSR neighbor row in lockstep with an ascending
+/// sweep of partner indices, so each `weight(x, y)` is an O(1) amortized
+/// pointer advance instead of a hash probe per candidate pair.
+struct WeightWalker<'a> {
+    cols: &'a [u32],
+    weights: &'a [u64],
+    idx: usize,
+}
+
+impl<'a> WeightWalker<'a> {
+    fn new(graph: &'a InteractionGraph, q: QubitId) -> Self {
+        let (cols, weights) = graph.neighbor_row(q);
+        WeightWalker { cols, weights, idx: 0 }
+    }
+
+    /// The weight of the edge to `y`, or 0. `y` must be strictly increasing
+    /// across calls on the same walker.
+    #[inline]
+    fn weight_to(&mut self, y: u32) -> i64 {
+        while self.idx < self.cols.len() && self.cols[self.idx] < y {
+            self.idx += 1;
+        }
+        if self.idx < self.cols.len() && self.cols[self.idx] == y {
+            let w = self.weights[self.idx] as i64;
+            self.idx += 1;
+            return w;
+        }
+        0
+    }
+}
+
+/// Block-to-block distances under the map, flattened (k is small).
+fn build_dmat(node_map: &[NodeId], dist: &impl NodeDistance, k: usize) -> Vec<i64> {
+    let mut dmat = vec![0i64; k * k];
+    for a in 0..k {
+        for b in 0..k {
+            dmat[a * k + b] = dist.node_distance(node_map[a], node_map[b]) as i64;
+        }
+    }
+    dmat
+}
+
+/// `node_w[q*k + node]` = total edge weight between `q` and the qubits of
+/// `node`. Built in O(edges) from the CSR edge list.
+fn build_node_w(graph: &InteractionGraph, partition: &Partition, k: usize) -> Vec<i64> {
+    let mut node_w = vec![0i64; graph.num_qubits() * k];
+    for (a, b, w) in graph.edges() {
+        node_w[a.index() * k + partition.node_of(b).index()] += w as i64;
+        node_w[b.index() * k + partition.node_of(a).index()] += w as i64;
+    }
+    node_w
+}
+
+/// The gain of exchanging `a` (block `na`) with `b` (block `nb`): the
+/// weighted cut decreases by `gain` when they swap. Summing over blocks C:
+///
+/// ```text
+/// gain = Σ_C node_w[a][C]·(d(A,C) − d(B,C))
+///      + Σ_C node_w[b][C]·(d(B,C) − d(A,C))
+///      − 2·w_ab·d(A,B)
+/// ```
+///
+/// (the correction removes the double-counted `(a, b)` edge, whose own
+/// contribution is unchanged by the swap). Under the uniform metric this
+/// reduces to the classic `node_w[a][B] − node_w[a][A] + node_w[b][A] −
+/// node_w[b][B] − 2·w_ab`. Exact i64 arithmetic — identical on every rail.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn pair_gain(
+    node_w: &[i64],
+    dmat: &[i64],
+    k: usize,
+    a: usize,
+    b: usize,
+    na: usize,
+    nb: usize,
+    w_ab: i64,
+) -> i64 {
+    let mut gain: i64 = -2 * w_ab * dmat[na * k + nb];
+    let ra = &node_w[a * k..(a + 1) * k];
+    let rb = &node_w[b * k..(b + 1) * k];
+    let da = &dmat[na * k..(na + 1) * k];
+    let db = &dmat[nb * k..(nb + 1) * k];
+    for c in 0..k {
+        let delta = da[c] - db[c];
+        if delta != 0 {
+            gain += (ra[c] - rb[c]) * delta;
+        }
+    }
+    gain
+}
+
+/// Swaps `(a, b)` in the partition and delta-updates the node-weight rows:
+/// every neighbor of `a` sees a move `na→nb`, every neighbor of `b` sees
+/// `nb→na`. O(degree(a) + degree(b)).
+fn apply_exchange(
+    graph: &InteractionGraph,
+    partition: &mut Partition,
+    node_w: &mut [i64],
+    k: usize,
+    a: u32,
+    b: u32,
+) {
+    let qa = QubitId::new(a as usize);
+    let qb = QubitId::new(b as usize);
+    let na = partition.node_of(qa).index();
+    let nb = partition.node_of(qb).index();
+    partition.swap_qubits(qa, qb);
+    for (u, w) in graph.neighbors(qa) {
+        let row = u.index() * k;
+        node_w[row + na] -= w as i64;
+        node_w[row + nb] += w as i64;
+    }
+    for (u, w) in graph.neighbors(qb) {
+        let row = u.index() * k;
+        node_w[row + nb] -= w as i64;
+        node_w[row + na] += w as i64;
+    }
+}
+
+/// `mdist[q*k + B]` = `Σ_C node_w[q][C] · d(B, C)` — the distance-weighted
+/// neighbor mass `q` would see from node `B`. Turns every cached-rail gain
+/// into four table loads:
+///
+/// ```text
+/// gain(a, b) = mdist[a][A] − mdist[a][B] + mdist[b][B] − mdist[b][A]
+///            − 2·w_ab·d(A, B)
+/// ```
+///
+/// (the same exact integer sum [`pair_gain`] computes, reassociated).
+fn build_mdist(node_w: &[i64], dmat: &[i64], k: usize) -> Vec<i64> {
+    let n = node_w.len() / k.max(1);
+    let mut mdist = vec![0i64; node_w.len()];
+    for q in 0..n {
+        let row = &node_w[q * k..(q + 1) * k];
+        let out = &mut mdist[q * k..(q + 1) * k];
+        for (b, slot) in out.iter_mut().enumerate() {
+            let d = &dmat[b * k..(b + 1) * k];
+            *slot = row.iter().zip(d).map(|(&w, &dist)| w * dist).sum();
+        }
+    }
+    mdist
+}
+
+/// The gain of exchanging `lo` (node `nlo`) with `hi` (node `nhi`) read
+/// from the [`build_mdist`] table — bit-identical to [`pair_gain`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn mdist_gain(
+    mdist: &[i64],
+    dmat: &[i64],
+    k: usize,
+    lo: usize,
+    hi: usize,
+    nlo: usize,
+    nhi: usize,
+    w: i64,
+) -> i64 {
+    let ml = &mdist[lo * k..(lo + 1) * k];
+    let mh = &mdist[hi * k..(hi + 1) * k];
+    ml[nlo] - ml[nhi] + mh[nhi] - mh[nlo] - 2 * w * dmat[nlo * k + nhi]
+}
+
+/// [`apply_exchange`] plus the matching `mdist` delta: a neighbor whose
+/// node-weight row moved mass `na→nb` sees `mdist[u][B] += w·(d(B,nb) −
+/// d(B,na))` for every B. O((degree(a) + degree(b))·k).
+#[allow(clippy::too_many_arguments)]
+fn apply_exchange_mdist(
+    graph: &InteractionGraph,
+    partition: &mut Partition,
+    node_w: &mut [i64],
+    mdist: &mut [i64],
+    dmat: &[i64],
+    k: usize,
+    a: u32,
+    b: u32,
+) {
+    let qa = QubitId::new(a as usize);
+    let qb = QubitId::new(b as usize);
+    let na = partition.node_of(qa).index();
+    let nb = partition.node_of(qb).index();
+    // d(B, nb) − d(B, na) per B, hoisted out of the neighbor loops.
+    let delta: Vec<i64> = (0..k).map(|bb| dmat[bb * k + nb] - dmat[bb * k + na]).collect();
+    for (u, w) in graph.neighbors(qa) {
+        let row = &mut mdist[u.index() * k..(u.index() + 1) * k];
+        for (slot, &d) in row.iter_mut().zip(&delta) {
+            *slot += w as i64 * d;
+        }
+    }
+    for (u, w) in graph.neighbors(qb) {
+        let row = &mut mdist[u.index() * k..(u.index() + 1) * k];
+        for (slot, &d) in row.iter_mut().zip(&delta) {
+            *slot -= w as i64 * d;
+        }
+    }
+    apply_exchange(graph, partition, node_w, k, a, b);
+}
+
+/// Number of cross-node candidate pairs under the current node sizes
+/// (invariant under exchanges, which preserve per-node loads).
+fn cross_pair_count(partition: &Partition) -> u64 {
+    let n = partition.num_qubits() as u64;
+    let mut sizes = vec![0u64; partition.num_nodes()];
+    for &node in partition.assignment() {
+        sizes[node.index()] += 1;
+    }
+    n * (n - 1) / 2 - sizes.iter().map(|&s| s * (s - 1) / 2).sum::<u64>()
+}
+
+/// One-time process warning when an exchange loop hits its safety valve.
+fn warn_saturated(what: &str, cap: usize) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: {what} stopped at its exchange safety valve \
+             (max_exchanges = {cap}) with improving exchanges left; the \
+             result is under-refined — raise the cap or check the \
+             `saturated` work stat"
+        );
+    });
+}
+
+/// Scans rows of the upper-triangular candidate space: row `a` covers pairs
+/// `(a, b)` for `b > a`. Fans through `par_map` (threshold-gated) unless
+/// `sequential` is set; per-row results merge in ascending row order either
+/// way, so output is bit-identical across both paths.
+fn scan_rows<R: Send>(n: usize, sequential: bool, f: impl Fn(&u32) -> R + Sync) -> Vec<R> {
+    let rows: Vec<u32> = (0..n as u32).collect();
+    if sequential {
+        rows.iter().map(f).collect()
+    } else {
+        par_map(&rows, f)
+    }
+}
+
+fn refine_impl(
+    graph: &InteractionGraph,
+    mut partition: Partition,
+    node_map: &[NodeId],
+    dist: &impl NodeDistance,
+    options: OeeOptions,
+    cache: Option<&mut OeeCache>,
+) -> (Partition, OeeStats) {
     let n = graph.num_qubits();
+    let mut stats = OeeStats::default();
     if n == 0 || partition.num_nodes() < 2 {
-        return partition;
+        return (partition, stats);
     }
     debug_assert_eq!(partition.num_qubits(), n, "partition must cover the graph");
     let k = partition.num_nodes();
     assert!(node_map.len() >= k, "node map must cover every block");
 
-    // Block-to-block distances under the map, flattened (k is small).
-    let d = |a: usize, b: usize| dist.node_distance(node_map[a], node_map[b]) as i64;
-
-    // node_w[q][node] = total edge weight between q and the qubits of node.
-    let mut node_w: Vec<Vec<u64>> =
-        (0..n).map(|q| graph.node_weights(QubitId::new(q), &partition)).collect();
-
+    let dmat = build_dmat(node_map, dist, k);
     let initial_cut = graph.placed_cut_weight(&partition, node_map, dist);
-    let mut applied = 0usize;
-    while applied < options.max_exchanges {
-        let mut best_gain: i64 = 0;
-        let mut best_pair: Option<(usize, usize)> = None;
-        for a in 0..n {
-            let na = partition.node_of(QubitId::new(a)).index();
-            for b in a + 1..n {
-                let nb = partition.node_of(QubitId::new(b)).index();
-                if na == nb {
-                    continue;
-                }
-                let w_ab = graph.weight(QubitId::new(a), QubitId::new(b)) as i64;
-                // Swapping a (block A) and b (block B) changes the weighted
-                // cut by -gain where, summing over every block C:
-                //   gain = Σ_C node_w[a][C]·(d(A,C) − d(B,C))
-                //        + Σ_C node_w[b][C]·(d(B,C) − d(A,C))
-                //        − 2·w_ab·d(A,B)
-                // (the correction removes the double-counted (a, b) edge,
-                // whose own contribution is unchanged by the swap). Under
-                // the uniform metric this reduces to the classic
-                // node_w[a][B] − node_w[a][A] + node_w[b][A] − node_w[b][B]
-                // − 2·w_ab.
-                let mut gain: i64 = -2 * w_ab * d(na, nb);
-                for (c, (&wa, &wb)) in node_w[a].iter().zip(node_w[b].iter()).enumerate() {
-                    let delta = d(na, c) - d(nb, c);
-                    if delta != 0 {
-                        gain += wa as i64 * delta;
-                        gain -= wb as i64 * delta;
-                    }
-                }
-                if gain > best_gain {
-                    best_gain = gain;
-                    best_pair = Some((a, b));
-                }
-            }
+
+    if options.full_rescan {
+        refine_full_rescan(graph, &mut partition, &dmat, k, options, &mut stats);
+        // The reference rail does not maintain the candidate set; a stale
+        // cache must not outlive it.
+        if let Some(cache) = cache {
+            cache.valid = false;
         }
-        let Some((a, b)) = best_pair else { break };
-        let qa = QubitId::new(a);
-        let qb = QubitId::new(b);
-        let na = partition.node_of(qa);
-        let nb = partition.node_of(qb);
-        partition.swap_qubits(qa, qb);
-        // Update cached node weights: every neighbor of a sees a move na→nb,
-        // every neighbor of b sees nb→na.
-        update_after_move(graph, &mut node_w, qa, na, nb);
-        update_after_move(graph, &mut node_w, qb, nb, na);
-        applied += 1;
+    } else {
+        refine_gain_cached(graph, &mut partition, &dmat, k, options, &mut stats, cache);
     }
 
+    if stats.saturated {
+        warn_saturated("OEE refinement", options.max_exchanges);
+    }
     debug_assert!(
         graph.placed_cut_weight(&partition, node_map, dist) <= initial_cut,
         "OEE must never increase the (weighted) cut"
     );
-    partition
+    (partition, stats)
 }
 
-fn update_after_move(
+/// The historical reference rail: recompute every cross-node candidate gain
+/// after each applied exchange, keeping the strictly-greater / first-
+/// lexicographic winner.
+fn refine_full_rescan(
     graph: &InteractionGraph,
-    node_w: &mut [Vec<u64>],
-    moved: QubitId,
-    from: NodeId,
-    to: NodeId,
+    partition: &mut Partition,
+    dmat: &[i64],
+    k: usize,
+    options: OeeOptions,
+    stats: &mut OeeStats,
 ) {
-    for (other, weights) in node_w.iter_mut().enumerate() {
-        if other == moved.index() {
-            continue;
+    let n = graph.num_qubits();
+    let mut node_w = build_node_w(graph, partition, k);
+    loop {
+        // Per-row best: within a row, only a strictly larger gain displaces
+        // the running best (ascending b ⇒ first-lexicographic); merging
+        // rows in ascending order with the same strict rule reproduces the
+        // historical row-major scan winner exactly.
+        let assignment = partition.assignment();
+        let per_row = scan_rows(n, options.sequential_scan, |&row| {
+            let a = row as usize;
+            let na = assignment[a].index();
+            let mut walker = WeightWalker::new(graph, QubitId::new(a));
+            let mut best: Option<(i64, u32)> = None;
+            let mut scanned = 0u64;
+            for (b, node) in assignment.iter().enumerate().skip(a + 1) {
+                let w_ab = walker.weight_to(b as u32);
+                let nb = node.index();
+                if na == nb {
+                    continue;
+                }
+                let gain = pair_gain(&node_w, dmat, k, a, b, na, nb, w_ab);
+                scanned += 1;
+                if gain > best.map_or(0, |(g, _)| g) {
+                    best = Some((gain, b as u32));
+                }
+            }
+            (best, scanned)
+        });
+        let mut best_gain = 0i64;
+        let mut best_pair: Option<(u32, u32)> = None;
+        for (a, (row_best, scanned)) in per_row.into_iter().enumerate() {
+            stats.scanned += scanned;
+            if let Some((gain, b)) = row_best {
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_pair = Some((a as u32, b));
+                }
+            }
         }
-        let w = graph.weight(moved, QubitId::new(other));
-        if w > 0 {
-            weights[from.index()] -= w;
-            weights[to.index()] += w;
+        let Some((a, b)) = best_pair else { break };
+        if stats.exchanges == options.max_exchanges {
+            stats.saturated = true;
+            break;
         }
+        apply_exchange(graph, partition, &mut node_w, k, a, b);
+        stats.exchanges += 1;
+    }
+}
+
+/// The gain-cached fast path: one cold scan fills the positive-candidate
+/// set; each applied exchange then delta-updates only the pairs whose gain
+/// can have changed — those touching the swapped qubits or one of their
+/// neighbors.
+#[allow(clippy::too_many_arguments)]
+fn refine_gain_cached(
+    graph: &InteractionGraph,
+    partition: &mut Partition,
+    dmat: &[i64],
+    k: usize,
+    options: OeeOptions,
+    stats: &mut OeeStats,
+    cache: Option<&mut OeeCache>,
+) {
+    let n = graph.num_qubits();
+    let cross_pairs = cross_pair_count(partition);
+
+    // `gains` mirrors `best`: every positive-gain cross pair, keyed by the
+    // packed pair for O(1) stale-entry removal. `best.last()` is the
+    // highest gain and, among equal gains, the smallest (a, b) pair —
+    // exactly the sequential scan's strictly-greater / first-lexicographic
+    // winner.
+    let mut cache = cache;
+    let warm_state = cache.as_deref_mut().and_then(|c| {
+        c.matches(graph, partition, dmat).then(|| {
+            (
+                std::mem::take(&mut c.node_w),
+                std::mem::take(&mut c.mdist),
+                std::mem::take(&mut c.gains),
+                std::mem::take(&mut c.best),
+                std::mem::take(&mut c.in_gains),
+            )
+        })
+    });
+    let (mut node_w, mut mdist, mut gains, mut best, mut in_gains) = if let Some(state) = warm_state
+    {
+        // Every candidate gain was reused instead of re-derived.
+        stats.cache_hits += cross_pairs;
+        state
+    } else {
+        let node_w = build_node_w(graph, partition, k);
+        let mdist = build_mdist(&node_w, dmat, k);
+        let mut gains = HashMap::new();
+        let mut best = BTreeSet::new();
+        let mut in_gains = PairBits::new(n);
+        let assignment = partition.assignment();
+        let per_row = scan_rows(n, options.sequential_scan, |&row| {
+            let a = row as usize;
+            let na = assignment[a].index();
+            let mut walker = WeightWalker::new(graph, QubitId::new(a));
+            let mut positives: Vec<(u32, i64)> = Vec::new();
+            let mut scanned = 0u64;
+            for (b, node) in assignment.iter().enumerate().skip(a + 1) {
+                let w_ab = walker.weight_to(b as u32);
+                let nb = node.index();
+                if na == nb {
+                    continue;
+                }
+                let gain = mdist_gain(&mdist, dmat, k, a, b, na, nb, w_ab);
+                scanned += 1;
+                if gain > 0 {
+                    positives.push((b as u32, gain));
+                }
+            }
+            (positives, scanned)
+        });
+        for (a, (positives, scanned)) in per_row.into_iter().enumerate() {
+            stats.scanned += scanned;
+            for (b, gain) in positives {
+                gains.insert(pack(a as u32, b), gain);
+                best.insert((gain, Reverse((a as u32, b))));
+                in_gains.insert(a as u32, b);
+            }
+        }
+        (node_w, mdist, gains, best, in_gains)
+    };
+
+    // Per-exchange scratch (reset after each exchange): affected-set
+    // membership marks, the net edge weight of each qubit toward the
+    // swapped pair (`cx[u] = w(u, a) − w(u, b)`), and the per-node gain
+    // shift table.
+    let mut in_affected = vec![false; n];
+    let mut cx = vec![0i64; n];
+    let mut shift = vec![0i64; k];
+
+    while let Some(&(_, Reverse((a, b)))) = best.last() {
+        if stats.exchanges == options.max_exchanges {
+            stats.saturated = true;
+            break;
+        }
+        let qa = QubitId::new(a as usize);
+        let qb = QubitId::new(b as usize);
+        // Pre-swap homes of the exchanged pair, and the per-node distance
+        // delta their neighbors' mdist rows move by.
+        let na = partition.node_of(qa).index();
+        let nb = partition.node_of(qb).index();
+        let delta: Vec<i64> = (0..k).map(|bb| dmat[bb * k + nb] - dmat[bb * k + na]).collect();
+        apply_exchange_mdist(graph, partition, &mut node_w, &mut mdist, dmat, k, a, b);
+        stats.exchanges += 1;
+
+        // Gains can only have changed for pairs with an endpoint in
+        // S = {a, b} ∪ N(a) ∪ N(b): the swap changes node_of for a and b
+        // and the node-weight rows of their neighbors; every other pair's
+        // gain inputs are untouched.
+        let mut affected: Vec<u32> = Vec::with_capacity(2 + graph.degree(qa) + graph.degree(qb));
+        affected.push(a);
+        affected.push(b);
+        for (u, w) in graph.neighbors(qa) {
+            affected.push(u.index() as u32);
+            cx[u.index()] += w as i64;
+        }
+        for (u, w) in graph.neighbors(qb) {
+            affected.push(u.index() as u32);
+            cx[u.index()] -= w as i64;
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        for &x in &affected {
+            in_affected[x as usize] = true;
+        }
+
+        let assignment = partition.assignment();
+        let mut recomputed = 0u64;
+
+        // Pass 1: pairs inside the affected set — both endpoints' gain
+        // inputs moved, so recompute fully, once per pair from the smaller
+        // endpoint (`affected` is sorted, so a per-x walker sees ascending
+        // partners).
+        for (i, &x) in affected.iter().enumerate() {
+            let xi = x as usize;
+            let nx = assignment[xi].index();
+            let mx = &mdist[xi * k..(xi + 1) * k];
+            let mx_nx = mx[nx];
+            let dx = &dmat[nx * k..(nx + 1) * k];
+            let mut walker = WeightWalker::new(graph, QubitId::new(xi));
+            for &y in &affected[i + 1..] {
+                let w = walker.weight_to(y);
+                if in_gains.contains(x, y) {
+                    in_gains.remove(x, y);
+                    let old = gains.remove(&pack(x, y)).expect("bitset mirrors gains");
+                    best.remove(&(old, Reverse((x, y))));
+                }
+                let yi = y as usize;
+                let ny = assignment[yi].index();
+                if nx == ny {
+                    continue;
+                }
+                // The endpoint-symmetric [`mdist_gain`] sum (NodeDistance
+                // guarantees d(A, B) = d(B, A)), so no lo/hi reorder here
+                // or below.
+                let my = &mdist[yi * k..(yi + 1) * k];
+                let gain = mx_nx - mx[ny] + my[ny] - my[nx] - 2 * w * dx[ny];
+                recomputed += 1;
+                if gain > 0 {
+                    gains.insert(pack(x, y), gain);
+                    best.insert((gain, Reverse((x, y))));
+                    in_gains.insert(x, y);
+                }
+            }
+        }
+
+        // Pass 2: pairs (x, y) with x affected, y outside the set. For the
+        // swapped qubits themselves the home node changed — recompute the
+        // whole row. For a pure neighbor `x`, only its mdist row moved, by
+        // exactly `cx[x]·delta[B]` per node B, so the gain of (x, y)
+        // shifts by the per-node constant `cx[x]·(delta[nx] − delta[ny])`:
+        // cached candidates update by addition, non-candidates can only
+        // become positive where the shift is positive, and nodes with a
+        // zero shift (most of them under near-uniform metrics) are skipped
+        // outright — all bit-identical to a full recompute, since gains
+        // are linear in the mdist row.
+        for &x in &affected {
+            let xi = x as usize;
+            let nx = assignment[xi].index();
+            let mx = &mdist[xi * k..(xi + 1) * k];
+            let mx_nx = mx[nx];
+            let dx = &dmat[nx * k..(nx + 1) * k];
+            let mut walker = WeightWalker::new(graph, QubitId::new(xi));
+            if x == a || x == b {
+                for y in 0..n as u32 {
+                    let w = walker.weight_to(y);
+                    if in_affected[y as usize] {
+                        continue;
+                    }
+                    if in_gains.contains(x, y) {
+                        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+                        in_gains.remove(lo, hi);
+                        let old = gains.remove(&pack(lo, hi)).expect("bitset mirrors gains");
+                        best.remove(&(old, Reverse((lo, hi))));
+                    }
+                    let yi = y as usize;
+                    let ny = assignment[yi].index();
+                    if nx == ny {
+                        continue;
+                    }
+                    let my = &mdist[yi * k..(yi + 1) * k];
+                    let gain = mx_nx - mx[ny] + my[ny] - my[nx] - 2 * w * dx[ny];
+                    recomputed += 1;
+                    if gain > 0 {
+                        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+                        gains.insert(pack(lo, hi), gain);
+                        best.insert((gain, Reverse((lo, hi))));
+                        in_gains.insert(lo, hi);
+                    }
+                }
+                continue;
+            }
+            // `shift[nx] = 0` by construction, which is also correct: a
+            // same-node pair can never be (or have been) a candidate.
+            let c = cx[xi];
+            for (bb, s) in shift.iter_mut().enumerate() {
+                *s = c * (delta[nx] - delta[bb]);
+            }
+            if shift.iter().all(|&s| s == 0) {
+                continue;
+            }
+            for y in 0..n as u32 {
+                let yi = y as usize;
+                if in_affected[yi] {
+                    continue;
+                }
+                let ny = assignment[yi].index();
+                let s = shift[ny];
+                if s == 0 {
+                    continue;
+                }
+                recomputed += 1;
+                if in_gains.contains(x, y) {
+                    let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+                    let old = gains.remove(&pack(lo, hi)).expect("bitset mirrors gains");
+                    best.remove(&(old, Reverse((lo, hi))));
+                    let gain = old + s;
+                    if gain > 0 {
+                        gains.insert(pack(lo, hi), gain);
+                        best.insert((gain, Reverse((lo, hi))));
+                    } else {
+                        in_gains.remove(lo, hi);
+                    }
+                } else if s > 0 {
+                    // Previously non-positive; only a positive shift can
+                    // push it across zero.
+                    let w = walker.weight_to(y);
+                    let my = &mdist[yi * k..(yi + 1) * k];
+                    let gain = mx_nx - mx[ny] + my[ny] - my[nx] - 2 * w * dx[ny];
+                    if gain > 0 {
+                        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+                        gains.insert(pack(lo, hi), gain);
+                        best.insert((gain, Reverse((lo, hi))));
+                        in_gains.insert(lo, hi);
+                    }
+                }
+            }
+        }
+        stats.scanned += recomputed;
+        // Every cross pair outside the affected sweep kept its cached gain.
+        stats.cache_hits += cross_pairs.saturating_sub(recomputed);
+        for &x in &affected {
+            in_affected[x as usize] = false;
+            cx[x as usize] = 0;
+        }
+    }
+
+    if let Some(cache) = cache {
+        cache.valid = true;
+        cache.graph_version = graph.version();
+        cache.assignment = partition.assignment().to_vec();
+        cache.dmat = dmat.to_vec();
+        cache.k = k;
+        cache.node_w = node_w;
+        cache.mdist = mdist;
+        cache.gains = gains;
+        cache.best = best;
+        cache.in_gains = in_gains;
     }
 }
 
@@ -180,6 +885,17 @@ mod tests {
 
     fn q(i: usize) -> QubitId {
         QubitId::new(i)
+    }
+
+    /// Every option combination the equivalence tests sweep.
+    fn all_modes() -> Vec<OeeOptions> {
+        let mut modes = Vec::new();
+        for full_rescan in [false, true] {
+            for sequential_scan in [false, true] {
+                modes.push(OeeOptions { full_rescan, sequential_scan, ..Default::default() });
+            }
+        }
+        modes
     }
 
     #[test]
@@ -230,8 +946,41 @@ mod tests {
         g.add_weight(q(1), q(2), 10);
         let initial = Partition::block(4, 2).unwrap();
         let before = g.cut_weight(&initial);
-        let refined = oee_refine(&g, initial, OeeOptions { max_exchanges: 0 });
+        let refined =
+            oee_refine(&g, initial, OeeOptions { max_exchanges: 0, ..Default::default() });
         assert_eq!(g.cut_weight(&refined), before);
+    }
+
+    #[test]
+    fn saturation_is_reported_on_both_rails() {
+        let mut g = InteractionGraph::new(4);
+        g.add_weight(q(0), q(3), 10);
+        g.add_weight(q(1), q(2), 10);
+        let identity: Vec<NodeId> = (0..2).map(NodeId::new).collect();
+        for full_rescan in [false, true] {
+            let capped = OeeOptions { max_exchanges: 0, full_rescan, ..Default::default() };
+            let (_, stats) = oee_refine_on_stats(
+                &g,
+                Partition::block(4, 2).unwrap(),
+                &identity,
+                &UniformDistance,
+                capped,
+            );
+            assert!(
+                stats.saturated,
+                "cap 0 with an improving swap left (full_rescan={full_rescan})"
+            );
+            assert_eq!(stats.exchanges, 0);
+            let (_, stats) = oee_refine_on_stats(
+                &g,
+                Partition::block(4, 2).unwrap(),
+                &identity,
+                &UniformDistance,
+                OeeOptions { full_rescan, ..Default::default() },
+            );
+            assert!(!stats.saturated, "natural termination is not saturation");
+            assert!(stats.exchanges > 0);
+        }
     }
 
     #[test]
@@ -268,19 +1017,26 @@ mod tests {
     fn tie_breaks_are_deterministic_and_lexicographically_first() {
         // Two disjoint, perfectly symmetric improving exchanges: (0,2)↔ and
         // (1,3)↔ both gain the same. The documented guarantee picks (0, 2)
-        // first on every run and platform.
+        // first on every run and platform — on every rail.
         let mut g = InteractionGraph::new(4);
         g.add_weight(q(0), q(3), 5); // wants 0 with 3
         g.add_weight(q(1), q(2), 5); // wants 1 with 2
         let initial = Partition::block(4, 2).unwrap(); // {0,1} | {2,3}
-        let a = oee_refine(&g, initial.clone(), OeeOptions { max_exchanges: 1 });
-        let b = oee_refine(&g, initial, OeeOptions { max_exchanges: 1 });
-        assert_eq!(a.assignment(), b.assignment(), "identical across runs");
-        // First applied exchange is the lexicographically-first candidate:
-        // swapping qubits 0 and 2 (not 1 and 3).
-        assert_eq!(a.node_of(q(0)).index(), 1);
-        assert_eq!(a.node_of(q(2)).index(), 0);
-        assert_eq!(a.node_of(q(1)).index(), 0, "qubit 1 untouched after one exchange");
+        for mut options in all_modes() {
+            options.max_exchanges = 1;
+            let a = oee_refine(&g, initial.clone(), options);
+            let b = oee_refine(&g, initial.clone(), options);
+            assert_eq!(a.assignment(), b.assignment(), "identical across runs ({options:?})");
+            // First applied exchange is the lexicographically-first
+            // candidate: swapping qubits 0 and 2 (not 1 and 3).
+            assert_eq!(a.node_of(q(0)).index(), 1, "{options:?}");
+            assert_eq!(a.node_of(q(2)).index(), 0, "{options:?}");
+            assert_eq!(
+                a.node_of(q(1)).index(),
+                0,
+                "qubit 1 untouched after one exchange ({options:?})"
+            );
+        }
     }
 
     #[test]
@@ -295,6 +1051,105 @@ mod tests {
                 oee_refine_on(&g, initial, &identity, &UniformDistance, OeeOptions::default());
             assert_eq!(classic.assignment(), weighted.assignment(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn gain_cached_matches_full_rescan_exchange_for_exchange() {
+        // Same assignment AND same exchange count at every cap value: the
+        // two rails must walk the identical exchange sequence.
+        for seed in 0..6u64 {
+            let (c, _) = dqc_workloads::random_distributed_circuit(12, 3, 80, seed);
+            let g = InteractionGraph::from_circuit(&c);
+            let identity: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+            for cap in [0, 1, 2, 5, usize::MAX] {
+                let initial = Partition::round_robin(12, 3).unwrap();
+                let (fast, fast_stats) = oee_refine_on_stats(
+                    &g,
+                    initial.clone(),
+                    &identity,
+                    &UniformDistance,
+                    OeeOptions { max_exchanges: cap, ..Default::default() },
+                );
+                let (slow, slow_stats) = oee_refine_on_stats(
+                    &g,
+                    initial,
+                    &identity,
+                    &UniformDistance,
+                    OeeOptions { max_exchanges: cap, full_rescan: true, ..Default::default() },
+                );
+                assert_eq!(fast.assignment(), slow.assignment(), "seed {seed} cap {cap}");
+                assert_eq!(fast_stats.exchanges, slow_stats.exchanges, "seed {seed} cap {cap}");
+                assert_eq!(fast_stats.saturated, slow_stats.saturated, "seed {seed} cap {cap}");
+                assert_eq!(slow_stats.cache_hits, 0, "reference rail never caches");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_resumes_without_rescanning() {
+        let (c, _) = dqc_workloads::random_distributed_circuit(12, 3, 80, 7);
+        let g = InteractionGraph::from_circuit(&c);
+        let identity: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let initial = Partition::round_robin(12, 3).unwrap();
+        let mut cache = OeeCache::new();
+        let (first, first_stats) = oee_refine_cached(
+            &g,
+            initial.clone(),
+            &identity,
+            &UniformDistance,
+            OeeOptions::default(),
+            &mut cache,
+        );
+        assert!(first_stats.scanned > 0, "cold call scans");
+        // Re-refining the refined partition: the cache matches, no
+        // improving exchange exists, so zero scans and all hits.
+        let (second, second_stats) = oee_refine_cached(
+            &g,
+            first.clone(),
+            &identity,
+            &UniformDistance,
+            OeeOptions::default(),
+            &mut cache,
+        );
+        assert_eq!(second.assignment(), first.assignment());
+        assert_eq!(second_stats.scanned, 0, "warm resume skips the cold scan");
+        assert_eq!(second_stats.exchanges, 0);
+        assert!(second_stats.cache_hits > 0);
+        // And the warm result is identical to an uncached run.
+        let uncached =
+            oee_refine_on(&g, first.clone(), &identity, &UniformDistance, OeeOptions::default());
+        assert_eq!(second.assignment(), uncached.assignment());
+    }
+
+    #[test]
+    fn stale_cache_is_detected_and_rebuilt() {
+        let (c, _) = dqc_workloads::random_distributed_circuit(12, 3, 80, 3);
+        let g = InteractionGraph::from_circuit(&c);
+        let identity: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let mut cache = OeeCache::new();
+        let (refined, _) = oee_refine_cached(
+            &g,
+            Partition::round_robin(12, 3).unwrap(),
+            &identity,
+            &UniformDistance,
+            OeeOptions::default(),
+            &mut cache,
+        );
+        // A different starting partition invalidates the cached assignment;
+        // the result must match the uncached call exactly.
+        let other = Partition::block(12, 3).unwrap();
+        let (from_stale, stats) = oee_refine_cached(
+            &g,
+            other.clone(),
+            &identity,
+            &UniformDistance,
+            OeeOptions::default(),
+            &mut cache,
+        );
+        let fresh = oee_refine_on(&g, other, &identity, &UniformDistance, OeeOptions::default());
+        assert_eq!(from_stale.assignment(), fresh.assignment());
+        assert!(stats.scanned > 0, "stale cache forces a cold scan");
+        let _ = refined;
     }
 
     #[test]

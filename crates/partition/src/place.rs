@@ -24,7 +24,9 @@ use crate::NodeDistance;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlaceOptions {
     /// Upper bound on applied exchanges (safety valve; the loop normally
-    /// terminates when no improving swap exists).
+    /// terminates when no improving swap exists). When the valve trips,
+    /// [`PlaceStats::saturated`] is set and a one-time process warning is
+    /// printed.
     pub max_exchanges: usize,
 }
 
@@ -34,24 +36,53 @@ impl Default for PlaceOptions {
     }
 }
 
+/// Work counters from one placement run — an execution trace, not part of
+/// the optimization result.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaceStats {
+    /// Block swaps actually applied during refinement.
+    pub exchanges: usize,
+    /// True when refinement stopped at [`PlaceOptions::max_exchanges`]
+    /// while an improving swap still existed — the map is under-refined.
+    pub saturated: bool,
+}
+
+impl PlaceStats {
+    /// Accumulates `other` into `self` (counters add, saturation ORs).
+    pub fn merge(&mut self, other: &PlaceStats) {
+        self.exchanges += other.exchanges;
+        self.saturated |= other.saturated;
+    }
+}
+
 /// `Σ traffic[i][j] × distance(node_map[i], node_map[j])` over `i < j` —
-/// the hop-weighted EPR cost of a block→node map.
+/// the hop-weighted EPR cost of a block→node map. Only nonzero traffic
+/// entries reach the distance metric, so the cost of a sparse matrix is
+/// proportional to its populated pairs.
 ///
 /// # Panics
 ///
 /// Panics when `node_map` is shorter than the traffic matrix.
 pub fn placement_cost(traffic: &[Vec<u64>], node_map: &[NodeId], dist: &impl NodeDistance) -> u64 {
-    let k = traffic.len();
     let mut cost = 0u64;
-    for i in 0..k {
-        for j in (i + 1)..k {
-            let w = traffic[i][j];
-            if w > 0 {
-                cost += w * dist.node_distance(node_map[i], node_map[j]);
-            }
+    for (i, row) in traffic.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate().skip(i + 1).filter(|&(_, &w)| w > 0) {
+            cost += w * dist.node_distance(node_map[i], node_map[j]);
         }
     }
     cost
+}
+
+/// One-time process warning when the placement loop hits its safety valve.
+fn warn_saturated(cap: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: block placement stopped at its exchange safety valve \
+             (max_exchanges = {cap}) with improving swaps left; the map is \
+             under-refined — raise the cap or check the `saturated` work stat"
+        );
+    });
 }
 
 /// Maps `k` partition blocks onto `num_nodes ≥ k` physical nodes,
@@ -79,12 +110,39 @@ pub fn place_blocks(
     dist: &impl NodeDistance,
     options: PlaceOptions,
 ) -> Vec<NodeId> {
+    place_blocks_stats(traffic, num_nodes, dist, options).0
+}
+
+/// [`place_blocks`] plus the [`PlaceStats`] work counters.
+pub fn place_blocks_stats(
+    traffic: &[Vec<u64>],
+    num_nodes: usize,
+    dist: &impl NodeDistance,
+    options: PlaceOptions,
+) -> (Vec<NodeId>, PlaceStats) {
     let k = traffic.len();
+    let mut stats = PlaceStats::default();
     assert!(traffic.iter().all(|row| row.len() == k), "traffic matrix must be square");
     assert!(num_nodes >= k, "need at least {k} physical nodes, have {num_nodes}");
     if k == 0 {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
+
+    // Sparse per-block adjacency: block-level traffic matrices are mostly
+    // zeros on sparse interconnect workloads, and both the greedy seed and
+    // the swap-delta loop only ever need the populated pairs. Ascending
+    // neighbor order keeps every sum in the historical evaluation order.
+    let adj: Vec<Vec<(usize, u64)>> = traffic
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|&(m, &w)| m != i && w > 0)
+                .map(|(m, &w)| (m, w))
+                .collect()
+        })
+        .collect();
 
     // Node centrality: total distance to every other node (ascending =
     // more central). Used to seed the first block and to break ties.
@@ -94,7 +152,7 @@ pub fn place_blocks(
 
     // Blocks in descending total-traffic order, ties to the lower index.
     let mut order: Vec<usize> = (0..k).collect();
-    let totals: Vec<u64> = (0..k).map(|i| traffic[i].iter().sum()).collect();
+    let totals: Vec<u64> = traffic.iter().map(|row| row.iter().sum()).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(totals[i]), i));
 
     const UNPLACED: usize = usize::MAX;
@@ -106,11 +164,11 @@ pub fn place_blocks(
             if !free[node] {
                 continue;
             }
-            let cost: u64 = (0..k)
-                .filter(|&other| node_of[other] != UNPLACED && traffic[blk][other] > 0)
-                .map(|other| {
-                    traffic[blk][other]
-                        * dist.node_distance(NodeId::new(node), NodeId::new(node_of[other]))
+            let cost: u64 = adj[blk]
+                .iter()
+                .filter(|&&(other, _)| node_of[other] != UNPLACED)
+                .map(|&(other, w)| {
+                    w * dist.node_distance(NodeId::new(node), NodeId::new(node_of[other]))
                 })
                 .sum();
             let key = (cost, centrality[node], node);
@@ -126,31 +184,35 @@ pub fn place_blocks(
     let mut node_map: Vec<NodeId> = node_of.into_iter().map(NodeId::new).collect();
 
     // Pairwise-exchange refinement (strict improvement only). Each
-    // candidate swap is scored by its O(k) cost *delta* — only pairs
-    // involving the two swapped blocks change, and the (i, j) pair itself
-    // is invariant under a symmetric metric — so a round is O(k³), not the
-    // O(k⁴) of re-evaluating the full matrix per candidate.
+    // candidate swap is scored by its cost *delta* over the populated
+    // neighbor lists of the two swapped blocks — only pairs involving them
+    // change, and the (i, j) pair itself is invariant under a symmetric
+    // metric — so a candidate costs O(degree(i) + degree(j)), not O(k),
+    // and a round O(k·edges), not the O(k⁴) of re-evaluating the full
+    // matrix per candidate. Summing i's neighbors then j's is the same
+    // exact i64 arithmetic as the historical interleaved m-scan.
     let swap_delta = |node_map: &[NodeId], i: usize, j: usize| -> i64 {
         let (ni, nj) = (node_map[i], node_map[j]);
         let mut delta = 0i64;
-        for m in 0..k {
-            if m == i || m == j {
+        for &(m, w) in &adj[i] {
+            if m == j {
                 continue;
             }
             let nm = node_map[m];
-            if traffic[i][m] > 0 {
-                delta += traffic[i][m] as i64
-                    * (dist.node_distance(nj, nm) as i64 - dist.node_distance(ni, nm) as i64);
+            delta +=
+                w as i64 * (dist.node_distance(nj, nm) as i64 - dist.node_distance(ni, nm) as i64);
+        }
+        for &(m, w) in &adj[j] {
+            if m == i {
+                continue;
             }
-            if traffic[j][m] > 0 {
-                delta += traffic[j][m] as i64
-                    * (dist.node_distance(ni, nm) as i64 - dist.node_distance(nj, nm) as i64);
-            }
+            let nm = node_map[m];
+            delta +=
+                w as i64 * (dist.node_distance(ni, nm) as i64 - dist.node_distance(nj, nm) as i64);
         }
         delta
     };
-    let mut applied = 0usize;
-    while applied < options.max_exchanges {
+    loop {
         let mut best: Option<(i64, usize, usize)> = None;
         for i in 0..k {
             for j in (i + 1)..k {
@@ -161,10 +223,17 @@ pub fn place_blocks(
             }
         }
         let Some((_, i, j)) = best else { break };
+        if stats.exchanges == options.max_exchanges {
+            stats.saturated = true;
+            break;
+        }
         node_map.swap(i, j);
-        applied += 1;
+        stats.exchanges += 1;
     }
-    node_map
+    if stats.saturated {
+        warn_saturated(options.max_exchanges);
+    }
+    (node_map, stats)
 }
 
 #[cfg(test)]
@@ -266,5 +335,23 @@ mod tests {
             placement_cost(&t, &refined, &chain) <= placement_cost(&t, &capped, &chain),
             "refinement can only improve on the seed"
         );
+    }
+
+    #[test]
+    fn saturation_is_reported_when_the_cap_trips() {
+        // The identity-seeded chain below needs at least one swap; capping
+        // at zero leaves an improving swap on the table.
+        let t = traffic(4, &[(0, 3, 10), (1, 2, 10), (0, 1, 1)]);
+        let chain = NetworkTopology::linear(4).unwrap();
+        let (capped_map, capped) =
+            place_blocks_stats(&t, 4, &chain, PlaceOptions { max_exchanges: 0 });
+        let (refined_map, refined) = place_blocks_stats(&t, 4, &chain, PlaceOptions::default());
+        if refined.exchanges > 0 {
+            assert!(capped.saturated, "cap 0 with improving swaps left must saturate");
+        }
+        assert!(!refined.saturated, "natural termination is not saturation");
+        assert_eq!(capped.exchanges, 0);
+        // The capped map is exactly the greedy seed the uncapped run refines.
+        assert_eq!(capped_map.len(), refined_map.len());
     }
 }

@@ -36,5 +36,5 @@ mod suite;
 
 pub use apps::{bv, bv_with_secret, qaoa_maxcut, qpe, uccsd};
 pub use blocks::{ghz, mctr, node_ring_exchange, qft, qft_inverse, rca};
-pub use random::{random_circuit, random_distributed_circuit};
+pub use random::{large_sparse_circuit, random_circuit, random_distributed_circuit};
 pub use suite::{generate, smoke_suite, table2_configs, BenchConfig, Workload};

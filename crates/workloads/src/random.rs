@@ -49,6 +49,93 @@ pub fn random_distributed_circuit(
     (circuit, partition)
 }
 
+/// A large random circuit whose interaction graph is *sparse* with a
+/// power-law degree distribution: a few hub qubits touch many partners,
+/// most qubits touch a handful. This is the shape the placement-scale
+/// benches need — dense `random_circuit` registers at 1024+ qubits give
+/// every pair weight and drown the sparse-graph machinery in an O(n²)
+/// edge set that real programs don't have.
+///
+/// The interaction topology is grown by preferential attachment
+/// (Barabási–Albert, 4 attachments per qubit): each qubit joins the graph
+/// by linking to 4 distinct earlier qubits drawn proportionally to their
+/// current degree, yielding `P(degree) ∝ degree⁻³` with hub degrees around
+/// `4·√n` — heavy-tailed, but never the near-clique rows a rank-weighted
+/// endpoint draw produces. Gates then sample edges uniformly, so heavily
+/// connected pairs accumulate weight. Everything is exact integer
+/// arithmetic over a seeded generator: deterministic from
+/// `(num_qubits, num_gates, seed)` on every platform. Roughly a quarter of
+/// the gates are single-qubit rotations; the rest are CXs along edges.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2`.
+///
+/// ```
+/// use dqc_workloads::large_sparse_circuit;
+/// let a = large_sparse_circuit(64, 400, 7);
+/// assert_eq!(a, large_sparse_circuit(64, 400, 7));
+/// assert_eq!(a.len(), 400);
+/// ```
+pub fn large_sparse_circuit(num_qubits: usize, num_gates: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "sparse circuits need at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = 4.min(num_qubits - 1);
+
+    // Grow the scale-free interaction topology: a seed clique on the first
+    // m+1 labels, then each new label attaches to m distinct predecessors
+    // sampled uniformly from the running endpoint list — i.e. proportional
+    // to current degree, the preferential-attachment rule.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut endpoints: Vec<u32> = Vec::new();
+    let seed_size = m + 1;
+    for i in 0..seed_size as u32 {
+        for j in i + 1..seed_size as u32 {
+            edges.push((i, j));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    let mut targets: Vec<u32> = Vec::with_capacity(m);
+    for v in seed_size as u32..num_qubits as u32 {
+        targets.clear();
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((t, v));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+
+    // Relabel through a random permutation (Fisher–Yates) so hubs land
+    // anywhere in the register instead of clustering at low indices, which
+    // would hand the block partitioner a pre-solved instance.
+    let mut perm: Vec<u32> = (0..num_qubits as u32).collect();
+    for i in (1..num_qubits).rev() {
+        let j = rng.random_range(0..i + 1);
+        perm.swap(i, j);
+    }
+
+    let q = |i: u32| QubitId::new(perm[i as usize] as usize);
+    let mut c = Circuit::new(num_qubits);
+    for g in 0..num_gates {
+        if g % 4 == 0 {
+            let a = endpoints[rng.random_range(0..endpoints.len())];
+            let theta = rng.random_range(0.0..std::f64::consts::TAU);
+            c.push(Gate::rz(theta, q(a))).expect("operand in range");
+        } else {
+            let (a, b) = edges[rng.random_range(0..edges.len())];
+            c.push(Gate::cx(q(a), q(b))).expect("operands in range");
+        }
+    }
+    c
+}
+
 fn random_gate(num_qubits: usize, rng: &mut StdRng) -> Gate {
     let q = |i: usize| QubitId::new(i);
     let a = rng.random_range(0..num_qubits);
@@ -97,6 +184,37 @@ mod tests {
         assert_eq!(c.num_qubits(), 6);
         assert_eq!(p.num_nodes(), 3);
         assert!(c.gates().iter().any(|g| p.is_remote(g)), "expect remote gates");
+    }
+
+    #[test]
+    fn large_sparse_is_deterministic_and_sparse() {
+        let n = 256;
+        let c = large_sparse_circuit(n, 2000, 11);
+        assert_eq!(c, large_sparse_circuit(n, 2000, 11));
+        assert_ne!(c, large_sparse_circuit(n, 2000, 12));
+        assert_eq!(c.len(), 2000);
+        // Count distinct interacting pairs: a power-law profile stays far
+        // below the n·(n-1)/2 dense ceiling even with thousands of gates.
+        let mut pairs = std::collections::HashSet::new();
+        let mut degree = vec![0usize; n];
+        for g in c.gates() {
+            let qs: Vec<usize> = g.qubits().iter().map(|q| q.index()).collect();
+            if qs.len() == 2 {
+                pairs.insert((qs[0].min(qs[1]), qs[0].max(qs[1])));
+                degree[qs[0]] += 1;
+                degree[qs[1]] += 1;
+            }
+        }
+        assert!(pairs.len() < n * (n - 1) / 20, "graph should be sparse: {}", pairs.len());
+        // Skewed degrees: the busiest qubit sees far more gates than the
+        // median qubit (power-law head vs body).
+        degree.sort_unstable();
+        assert!(
+            degree[n - 1] >= 8 * degree[n / 2].max(1),
+            "max {} median {}",
+            degree[n - 1],
+            degree[n / 2]
+        );
     }
 
     #[test]
